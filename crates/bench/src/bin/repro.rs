@@ -1,0 +1,131 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [EXPERIMENT ...] [--quick] [--pes N] [--out DIR]
+//!
+//! EXPERIMENT: config table5 fig5 fig6 fig7 fig8 fig9 lat1
+//!             ablate-split ablate-vfp ablate-hw
+//!             ext-cache ext-spxp ext-wholeobj all     (default: all)
+//! --quick     scaled-down workload sizes (CI-friendly)
+//! --pes N     PEs for the non-scalability experiments (default 8)
+//! --out DIR   also write <exp>.json / <exp>.txt into DIR
+//!             (default: results/)
+//! ```
+
+use dta_bench::experiments::{
+    ablate_hw, ablate_split, ablate_vfp, config, ext_cache, ext_spxp, ext_wholeobj, fig5, fig9,
+    fig_exec_scalability, lat1, table5,
+};
+use dta_bench::{emit, Bench, ExperimentResult};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    experiments: Vec<String>,
+    quick: bool,
+    pes: u16,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        experiments: Vec::new(),
+        quick: false,
+        pes: 8,
+        out: Some(PathBuf::from("results")),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--pes" => {
+                opts.pes = args
+                    .next()
+                    .ok_or("--pes needs a value")?
+                    .parse()
+                    .map_err(|_| "--pes needs a number")?;
+            }
+            "--out" => {
+                opts.out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?));
+            }
+            "--no-out" => opts.out = None,
+            "--help" | "-h" => {
+                return Err("usage: repro [EXPERIMENT ...] [--quick] [--pes N] [--out DIR]".into())
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            exp => opts.experiments.push(exp.to_string()),
+        }
+    }
+    if opts.experiments.is_empty() || opts.experiments.iter().any(|e| e == "all") {
+        opts.experiments = [
+            "config",
+            "table5",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "lat1",
+            "ablate-split",
+            "ablate-vfp",
+            "ablate-hw",
+            "ext-cache",
+            "ext-spxp",
+            "ext-wholeobj",
+        ]
+        .map(str::to_string)
+        .to_vec();
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let suite = if opts.quick {
+        Bench::quick_suite()
+    } else {
+        Bench::paper_suite()
+    };
+    let (bitcnt_n, mmul_n, zoom_n) = if opts.quick {
+        (512, 16, 16)
+    } else {
+        (10_000, 32, 32)
+    };
+    let colsum_n = if opts.quick { 32 } else { 128 };
+
+    for exp in &opts.experiments {
+        let started = std::time::Instant::now();
+        let result: ExperimentResult = match exp.as_str() {
+            "config" => config(),
+            "table5" => table5(&suite, opts.pes),
+            "fig5" => fig5(&suite, opts.pes),
+            "fig6" => fig_exec_scalability("fig6", Bench::Bitcnt(bitcnt_n), opts.pes),
+            "fig7" => fig_exec_scalability("fig7", Bench::Mmul(mmul_n), opts.pes),
+            "fig8" => fig_exec_scalability("fig8", Bench::Zoom(zoom_n), opts.pes),
+            "fig9" => fig9(&suite, opts.pes),
+            "lat1" => lat1(&suite, opts.pes),
+            "ablate-split" => ablate_split(colsum_n, opts.pes),
+            "ablate-vfp" => ablate_vfp(bitcnt_n, opts.pes),
+            "ablate-hw" => ablate_hw(mmul_n, opts.pes),
+            "ext-cache" => ext_cache(mmul_n, zoom_n, opts.pes),
+            "ext-spxp" => ext_spxp(&suite, opts.pes),
+            "ext-wholeobj" => ext_wholeobj(bitcnt_n, opts.pes),
+            other => {
+                eprintln!("unknown experiment {other:?} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = emit(&result, opts.out.as_deref()) {
+            eprintln!("failed to write results: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[{exp} done in {:.1?}]\n", started.elapsed());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,539 @@
+//! One function per paper table/figure (and per ablation).
+//!
+//! Every experiment returns its measured [`Row`]s plus a rendered text
+//! table whose rows/series match what the paper reports; `EXPERIMENTS.md`
+//! records paper-vs-measured for each.
+
+use crate::report::text_table;
+use crate::runner::{run, try_run, Bench, Row};
+use dta_core::{StallCat, SystemConfig};
+use dta_workloads::Variant;
+use serde::{Deserialize, Serialize};
+
+/// The result of one experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id (`table5`, `fig6`, ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// All measured rows.
+    pub rows: Vec<Row>,
+    /// Rendered text report.
+    pub text: String,
+}
+
+fn pes8(suite_pes: u16) -> SystemConfig {
+    SystemConfig::with_pes(suite_pes)
+}
+
+/// Variants reported in the figures: the paper's baseline and hand-coded
+/// prefetch, plus our automatic compiler as an extension row.
+const VARIANTS: [Variant; 3] = [Variant::Baseline, Variant::HandPrefetch, Variant::AutoPrefetch];
+
+/// Tables 2-4: the simulated platform's parameters.
+pub fn config() -> ExperimentResult {
+    let cfg = SystemConfig::paper_default();
+    let mut text = cfg.to_tables();
+    text.push_str(
+        "Table 3: DMA command operands\n\
+         \x20 LS address | MEM address | Data size | Tag ID\n\
+         \x20 (see dta_isa::Instr::DmaGet / DmaGetStrided / DmaPut)\n",
+    );
+    ExperimentResult {
+        id: "config".into(),
+        title: "Tables 2-4: platform parameters".into(),
+        rows: Vec::new(),
+        text,
+    }
+}
+
+/// Table 5: dynamic instruction counts of the original-DTA baselines.
+pub fn table5(suite: &[Bench], pes: u16) -> ExperimentResult {
+    // Paper values for the 10000/32/32 sizes, for side-by-side reading.
+    let paper: &[(&str, [u64; 5])] = &[
+        ("bitcnt(10000)", [9_415_559, 806_593, 806_593, 192_366, 2_814]),
+        ("mmul(32)", [341_422, 73, 73, 65_536, 1_024]),
+        ("zoom(32)", [353_425, 4_672, 4_672, 32_768, 16_384]),
+    ];
+    let mut rows = Vec::new();
+    let mut table = vec![vec![
+        "benchmark".to_string(),
+        "total".into(),
+        "LOAD".into(),
+        "STORE".into(),
+        "READ".into(),
+        "WRITE".into(),
+        "paper(total/LOAD/STORE/READ/WRITE)".into(),
+    ]];
+    for &bench in suite {
+        let row = run(bench, Variant::Baseline, pes8(pes));
+        let (t, l, s, r, w) = row.table5;
+        let paper_col = paper
+            .iter()
+            .find(|(n, _)| *n == row.bench)
+            .map(|(_, v)| format!("{}/{}/{}/{}/{}", v[0], v[1], v[2], v[3], v[4]))
+            .unwrap_or_else(|| "-".into());
+        table.push(vec![
+            row.bench.clone(),
+            t.to_string(),
+            l.to_string(),
+            s.to_string(),
+            r.to_string(),
+            w.to_string(),
+            paper_col,
+        ]);
+        rows.push(row);
+    }
+    ExperimentResult {
+        id: "table5".into(),
+        title: "Table 5: dynamic instruction counts (original DTA)".into(),
+        text: text_table(&table),
+        rows,
+    }
+}
+
+/// Figure 5: average SPU execution-time breakdown, without and with
+/// prefetching.
+pub fn fig5(suite: &[Bench], pes: u16) -> ExperimentResult {
+    let mut rows = Vec::new();
+    let mut table = vec![vec![
+        "benchmark".to_string(),
+        "variant".into(),
+        "Working%".into(),
+        "Idle%".into(),
+        "Mem%".into(),
+        "LS%".into(),
+        "LSE%".into(),
+        "Prefetch%".into(),
+    ]];
+    for &bench in suite {
+        for variant in VARIANTS {
+            let row = run(bench, variant, pes8(pes));
+            table.push(vec![
+                row.bench.clone(),
+                row.variant.clone(),
+                format!("{:5.1}", row.pct(StallCat::Working)),
+                format!("{:5.1}", row.pct(StallCat::Idle)),
+                format!("{:5.1}", row.pct(StallCat::MemStall)),
+                format!("{:5.1}", row.pct(StallCat::LsStall)),
+                format!("{:5.1}", row.pct(StallCat::LseStall)),
+                format!("{:5.1}", row.pct(StallCat::Prefetch)),
+            ]);
+            rows.push(row);
+        }
+    }
+    ExperimentResult {
+        id: "fig5".into(),
+        title: "Figure 5: SPU execution-time breakdown (no-prefetch vs prefetch)".into(),
+        text: text_table(&table),
+        rows,
+    }
+}
+
+/// Figures 6/7/8: execution time and scalability across 1/2/4/8 PEs.
+pub fn fig_exec_scalability(id: &str, bench: Bench, max_pes: u16) -> ExperimentResult {
+    let pes_list: Vec<u16> = [1u16, 2, 4, 8].into_iter().filter(|&p| p <= max_pes).collect();
+    let mut rows = Vec::new();
+    let mut table = vec![vec![
+        "PEs".to_string(),
+        "baseline cycles".into(),
+        "prefetch-hand cycles".into(),
+        "prefetch-auto cycles".into(),
+        "speedup(hand)".into(),
+        "scal(base)".into(),
+        "scal(hand)".into(),
+    ]];
+    let mut per_variant: Vec<Vec<Row>> = vec![Vec::new(); VARIANTS.len()];
+    for &pes in &pes_list {
+        for (vi, &variant) in VARIANTS.iter().enumerate() {
+            let row = run(bench, variant, SystemConfig::with_pes(pes));
+            per_variant[vi].push(row.clone());
+            rows.push(row);
+        }
+    }
+    for (i, &pes) in pes_list.iter().enumerate() {
+        let base = per_variant[0][i].cycles;
+        let hand = per_variant[1][i].cycles;
+        let auto = per_variant[2][i].cycles;
+        table.push(vec![
+            pes.to_string(),
+            base.to_string(),
+            hand.to_string(),
+            auto.to_string(),
+            format!("{:.2}x", base as f64 / hand as f64),
+            format!("{:.2}", per_variant[0][0].cycles as f64 / base as f64),
+            format!("{:.2}", per_variant[1][0].cycles as f64 / hand as f64),
+        ]);
+    }
+    ExperimentResult {
+        id: id.into(),
+        title: format!(
+            "{}: execution time & scalability for {}",
+            id, bench.name()
+        ),
+        text: text_table(&table),
+        rows,
+    }
+}
+
+/// Figure 9: pipeline usage with and without prefetching.
+pub fn fig9(suite: &[Bench], pes: u16) -> ExperimentResult {
+    let mut rows = Vec::new();
+    let mut table = vec![vec![
+        "benchmark".to_string(),
+        "variant".into(),
+        "pipeline usage".into(),
+        "IPC".into(),
+    ]];
+    for &bench in suite {
+        for variant in VARIANTS {
+            let row = run(bench, variant, pes8(pes));
+            table.push(vec![
+                row.bench.clone(),
+                row.variant.clone(),
+                format!("{:.3}", row.breakdown.pipeline_usage),
+                format!("{:.3}", row.breakdown.ipc),
+            ]);
+            rows.push(row);
+        }
+    }
+    ExperimentResult {
+        id: "fig9".into(),
+        title: "Figure 9: pipeline usage (no-prefetch vs prefetch)".into(),
+        text: text_table(&table),
+        rows,
+    }
+}
+
+/// §4.3 latency-1 experiment: every memory latency set to one cycle (the
+/// all-hits bound); prefetching should barely help, and bitcnt should
+/// *lose* to its own prefetch overhead.
+pub fn lat1(suite: &[Bench], pes: u16) -> ExperimentResult {
+    let mut rows = Vec::new();
+    let mut table = vec![vec![
+        "benchmark".to_string(),
+        "baseline cycles".into(),
+        "prefetch cycles".into(),
+        "speedup@lat1".into(),
+        "speedup@lat150".into(),
+    ]];
+    for &bench in suite {
+        let cfg1 = SystemConfig::with_pes(pes).latency_one();
+        let b1 = run(bench, Variant::Baseline, cfg1.clone());
+        let p1 = run(bench, Variant::HandPrefetch, cfg1);
+        let b150 = run(bench, Variant::Baseline, pes8(pes));
+        let p150 = run(bench, Variant::HandPrefetch, pes8(pes));
+        table.push(vec![
+            b1.bench.clone(),
+            b1.cycles.to_string(),
+            p1.cycles.to_string(),
+            format!("{:.2}x", b1.cycles as f64 / p1.cycles as f64),
+            format!("{:.2}x", b150.cycles as f64 / p150.cycles as f64),
+        ]);
+        rows.extend([b1, p1, b150, p150]);
+    }
+    ExperimentResult {
+        id: "lat1".into(),
+        title: "§4.3: all memory latencies = 1 cycle (always-hit bound)".into(),
+        text: text_table(&table),
+        rows,
+    }
+}
+
+/// Ablation A1: strided DMA as one transaction vs per-element split
+/// transactions (paper §3's rejected alternative).
+pub fn ablate_split(n: usize, pes: u16) -> ExperimentResult {
+    let bench = Bench::Colsum(n);
+    let mut rows = Vec::new();
+    let mut table = vec![vec![
+        "configuration".to_string(),
+        "cycles".into(),
+        "vs single-transaction".into(),
+    ]];
+    let base = run(bench, Variant::Baseline, pes8(pes));
+    let single = run(bench, Variant::HandPrefetch, pes8(pes));
+    let mut split_cfg = pes8(pes);
+    split_cfg.dma_split_transactions = true;
+    let split = run(bench, Variant::HandPrefetch, split_cfg);
+    for (label, row) in [
+        ("baseline (READs)", &base),
+        ("DMA, one transaction", &single),
+        ("DMA, split per element", &split),
+    ] {
+        table.push(vec![
+            label.to_string(),
+            row.cycles.to_string(),
+            format!("{:.2}x", row.cycles as f64 / single.cycles as f64),
+        ]);
+    }
+    rows.extend([base, single, split]);
+    ExperimentResult {
+        id: "ablate-split".into(),
+        title: format!("Ablation: strided DMA vs split transactions, colsum({n})"),
+        text: text_table(&table),
+        rows,
+    }
+}
+
+/// Ablation A2: virtual frame pointers (paper §4.3: "a possible solution
+/// [to bitcnt's LSE stalls] is to use virtual frame pointers, but we did
+/// not include this feature"). bitcnt's wave-bounded unfolding respects
+/// the default 64-frame pool, so the sweep also shrinks the physical
+/// capacity to make frame pressure bind — VFP then removes the deferred
+/// FALLOCs entirely.
+pub fn ablate_vfp(n: usize, pes: u16) -> ExperimentResult {
+    let bench = Bench::Bitcnt(n);
+    let mut rows = Vec::new();
+    let mut table = vec![vec![
+        "frames/PE".to_string(),
+        "virtual".into(),
+        "cycles".into(),
+        "LSE stall %".into(),
+        "Idle %".into(),
+    ]];
+    for capacity in [2u32, 4, 64] {
+        for vfp in [false, true] {
+            let mut cfg = pes8(pes);
+            cfg.frame_capacity = capacity;
+            cfg.virtual_frames = vfp;
+            match try_run(bench, Variant::Baseline, cfg) {
+                Ok(row) => {
+                    table.push(vec![
+                        capacity.to_string(),
+                        if vfp { "yes" } else { "no" }.into(),
+                        row.cycles.to_string(),
+                        format!("{:.1}", row.pct(StallCat::LseStall)),
+                        format!("{:.1}", row.pct(StallCat::Idle)),
+                    ]);
+                    rows.push(row);
+                }
+                Err(e) => {
+                    // Under-provisioned frame pools without VFP can
+                    // genuinely deadlock a frame-based dataflow machine —
+                    // that *is* the result.
+                    let status = if e.contains("deadlock") {
+                        "DEADLOCK".to_string()
+                    } else {
+                        e.clone()
+                    };
+                    table.push(vec![
+                        capacity.to_string(),
+                        if vfp { "yes" } else { "no" }.into(),
+                        status,
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+    }
+    ExperimentResult {
+        id: "ablate-vfp".into(),
+        title: format!("Ablation: virtual frame pointers x frame capacity, bitcnt({n})"),
+        text: text_table(&table),
+        rows,
+    }
+}
+
+/// Ablation A3: hardware sensitivity — bus count and MFC queue depth
+/// under the prefetched mmul.
+pub fn ablate_hw(n: usize, pes: u16) -> ExperimentResult {
+    let bench = Bench::Mmul(n);
+    let mut rows = Vec::new();
+    let mut table = vec![vec![
+        "buses".to_string(),
+        "MFC queue".into(),
+        "cycles".into(),
+        "bus util".into(),
+    ]];
+    for buses in [1usize, 2, 4] {
+        for queue in [2usize, 16] {
+            let mut cfg = pes8(pes);
+            cfg.buses = buses;
+            cfg.mfc.queue_capacity = queue;
+            let row = run(bench, Variant::HandPrefetch, cfg);
+            table.push(vec![
+                buses.to_string(),
+                queue.to_string(),
+                row.cycles.to_string(),
+                format!("{:.3}", row.bus_utilisation),
+            ]);
+            rows.push(row);
+        }
+    }
+    ExperimentResult {
+        id: "ablate-hw".into(),
+        title: format!("Ablation: bus count × MFC queue depth, mmul({n}) prefetched"),
+        text: text_table(&table),
+        rows,
+    }
+}
+
+/// Extension E1: does prefetching "almost eliminate the need for caches"
+/// (paper §4.3)? Adds the cache module the paper's simulator lacked and
+/// compares baseline, baseline+cache, prefetch, and prefetch+cache.
+pub fn ext_cache(mmul_n: usize, zoom_n: usize, pes: u16) -> ExperimentResult {
+    let mut rows = Vec::new();
+    let mut table = vec![vec![
+        "benchmark".to_string(),
+        "configuration".into(),
+        "cycles".into(),
+        "hit rate".into(),
+    ]];
+    for bench in [Bench::Mmul(mmul_n), Bench::Zoom(zoom_n)] {
+        for (label, variant, cache) in [
+            ("original DTA", Variant::Baseline, false),
+            ("original DTA + cache", Variant::Baseline, true),
+            ("DMA prefetch", Variant::HandPrefetch, false),
+            ("DMA prefetch + cache", Variant::HandPrefetch, true),
+        ] {
+            let mut cfg = pes8(pes);
+            if cache {
+                cfg.cache = Some(dta_mem::CacheParams::default());
+            }
+            let row = run(bench, variant, cfg);
+            let hits = row.cache_hits + row.cache_misses;
+            table.push(vec![
+                row.bench.clone(),
+                label.to_string(),
+                row.cycles.to_string(),
+                if hits == 0 {
+                    "-".into()
+                } else {
+                    format!("{:.2}", row.cache_hits as f64 / hits as f64)
+                },
+            ]);
+            rows.push(row);
+        }
+    }
+    ExperimentResult {
+        id: "ext-cache".into(),
+        title: "Extension: DMA prefetch vs a data cache (paper §4.3's missing module)".into(),
+        text: text_table(&table),
+        rows,
+    }
+}
+
+/// Extension E2: run PF blocks on the LSE's SP pipeline, overlapped with
+/// execution — the DTA-C capability the paper notes CellDTA lacks.
+pub fn ext_spxp(suite: &[Bench], pes: u16) -> ExperimentResult {
+    let mut rows = Vec::new();
+    let mut table = vec![vec![
+        "benchmark".to_string(),
+        "SP/XP".into(),
+        "cycles".into(),
+        "Prefetch%".into(),
+        "SP cycles".into(),
+    ]];
+    for &bench in suite {
+        for overlap in [false, true] {
+            let mut cfg = pes8(pes);
+            cfg.sp_pf_overlap = overlap;
+            let row = run(bench, Variant::HandPrefetch, cfg);
+            table.push(vec![
+                row.bench.clone(),
+                if overlap { "on" } else { "off (CellDTA)" }.into(),
+                row.cycles.to_string(),
+                format!("{:.1}", row.pct(StallCat::Prefetch)),
+                row.sp_pf_cycles.to_string(),
+            ]);
+            rows.push(row);
+        }
+    }
+    ExperimentResult {
+        id: "ext-spxp".into(),
+        title: "Extension: PF blocks on the LSE's SP pipeline (DTA-C overlap)".into(),
+        text: text_table(&table),
+        rows,
+    }
+}
+
+/// Extension E3: whole-structure prefetch for bitcnt's bounded table
+/// lookups — the paper's §4.3: "we do not decouple all the global access,
+/// but only a portion of them (this shall be considered in the next
+/// releases of our simulator)". This is that next release.
+pub fn ext_wholeobj(n: usize, pes: u16) -> ExperimentResult {
+    use dta_compiler::{prefetch_program, PlanOptions, TransformOptions};
+    use dta_core::simulate;
+    use dta_workloads::bitcnt;
+    use std::sync::Arc;
+
+    let mut rows = Vec::new();
+    let mut table = vec![vec![
+        "configuration".to_string(),
+        "cycles".into(),
+        "Mem%".into(),
+        "READs left".into(),
+        "speedup vs baseline".into(),
+    ]];
+    let base_row = run(Bench::Bitcnt(n), Variant::Baseline, pes8(pes));
+    let auto_row = run(Bench::Bitcnt(n), Variant::AutoPrefetch, pes8(pes));
+
+    // The "next release": auto-prefetch with whole-object fetching on.
+    let wp = bitcnt::build(n, Variant::Baseline);
+    let opts = TransformOptions {
+        plan: PlanOptions {
+            whole_object: true,
+            ..PlanOptions::default()
+        },
+    };
+    let (program, _) = prefetch_program(&wp.program, &opts);
+    let (stats, sys) = simulate(pes8(pes), Arc::new(program), &wp.args)
+        .expect("whole-object bitcnt runs");
+    bitcnt::verify(&sys, n).expect("whole-object bitcnt verifies");
+
+    let entries = [
+        ("original DTA", base_row.cycles, base_row.pct(StallCat::MemStall), base_row.table5.3),
+        ("prefetch (paper: partial)", auto_row.cycles, auto_row.pct(StallCat::MemStall), auto_row.table5.3),
+        (
+            "prefetch + whole-object tables",
+            stats.cycles,
+            stats.breakdown().pct(StallCat::MemStall),
+            stats.aggregate.reads,
+        ),
+    ];
+    for (label, cycles, mem, reads) in entries {
+        table.push(vec![
+            label.to_string(),
+            cycles.to_string(),
+            format!("{mem:.1}"),
+            reads.to_string(),
+            format!("{:.2}x", base_row.cycles as f64 / cycles as f64),
+        ]);
+    }
+    rows.extend([base_row, auto_row]);
+    ExperimentResult {
+        id: "ext-wholeobj".into(),
+        title: format!("Extension: whole-structure table prefetch, bitcnt({n})"),
+        text: text_table(&table),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table5_has_three_benchmarks() {
+        let r = table5(&Bench::quick_suite(), 2);
+        assert_eq!(r.rows.len(), 3);
+        assert!(r.text.contains("bitcnt(512)"));
+        assert!(r.text.contains("paper"));
+    }
+
+    #[test]
+    fn quick_fig_exec_reports_speedups() {
+        let r = fig_exec_scalability("fig7", Bench::Mmul(8), 2);
+        assert_eq!(r.rows.len(), 6); // 2 PE counts x 3 variants
+        assert!(r.text.contains("speedup"));
+    }
+
+    #[test]
+    fn config_prints_paper_tables() {
+        let r = config();
+        assert!(r.text.contains("512 MB"));
+        assert!(r.text.contains("Tag ID"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Report rendering and persistence.
+
+use crate::experiments::ExperimentResult;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Renders rows of cells as an aligned text table (first row = header).
+pub fn text_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:width$}", cell, width = widths[i]));
+        }
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Prints an experiment to stdout and saves its JSON next to the text.
+pub fn emit(result: &ExperimentResult, out_dir: Option<&Path>) -> std::io::Result<()> {
+    println!("== {} ==", result.title);
+    println!("{}", result.text);
+    if let Some(dir) = out_dir {
+        fs::create_dir_all(dir)?;
+        let json = serde_json::to_string_pretty(result).expect("serialisable");
+        fs::write(dir.join(format!("{}.json", result.id)), json)?;
+        let mut f = fs::File::create(dir.join(format!("{}.txt", result.id)))?;
+        writeln!(f, "== {} ==", result.title)?;
+        writeln!(f, "{}", result.text)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = text_table(&[
+            vec!["a".into(), "long-header".into()],
+            vec!["wide-cell".into(), "x".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3); // header, rule, one row
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[1].starts_with('-'));
+        // Both data columns aligned under headers.
+        let hpos = lines[0].find("long-header").unwrap();
+        let xpos = lines[2].find('x').unwrap();
+        assert_eq!(hpos, xpos);
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert!(text_table(&[]).is_empty());
+    }
+}

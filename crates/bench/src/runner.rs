@@ -1,0 +1,182 @@
+//! Running one benchmark configuration and collecting a result row.
+
+use dta_core::{simulate, Breakdown, RunStats, StallCat, SystemConfig};
+use dta_workloads::{bitcnt, colsum, mmul, stencil, vecscale, zoom, Variant, WorkloadProgram};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A benchmark instance (workload + size).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Bench {
+    /// `bitcnt(n)` — n samples.
+    Bitcnt(usize),
+    /// `mmul(n)` — n×n matrices.
+    Mmul(usize),
+    /// `zoom(n)` — n×n source image.
+    Zoom(usize),
+    /// `vecscale(n, chunks)`.
+    Vecscale(usize, usize),
+    /// `stencil(n, chunks)`.
+    Stencil(usize, usize),
+    /// `colsum(n)`.
+    Colsum(usize),
+}
+
+impl Bench {
+    /// The paper's three benchmarks at the paper's sizes (§4.2:
+    /// bitcnt(10000), mmul(32), zoom(32)).
+    pub fn paper_suite() -> [Bench; 3] {
+        [Bench::Bitcnt(10_000), Bench::Mmul(32), Bench::Zoom(32)]
+    }
+
+    /// Scaled-down suite for quick runs and CI.
+    pub fn quick_suite() -> [Bench; 3] {
+        [Bench::Bitcnt(512), Bench::Mmul(16), Bench::Zoom(16)]
+    }
+
+    /// Display name, matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            Bench::Bitcnt(n) => format!("bitcnt({n})"),
+            Bench::Mmul(n) => format!("mmul({n})"),
+            Bench::Zoom(n) => format!("zoom({n})"),
+            Bench::Vecscale(n, _) => format!("vecscale({n})"),
+            Bench::Stencil(n, _) => format!("stencil({n})"),
+            Bench::Colsum(n) => format!("colsum({n})"),
+        }
+    }
+
+    /// Builds the program for a variant.
+    pub fn build(&self, variant: Variant) -> WorkloadProgram {
+        match *self {
+            Bench::Bitcnt(n) => bitcnt::build(n, variant),
+            Bench::Mmul(n) => mmul::build(n, variant),
+            Bench::Zoom(n) => zoom::build(n, variant),
+            Bench::Vecscale(n, c) => vecscale::build(n, c, variant),
+            Bench::Stencil(n, c) => stencil::build(n, c, variant),
+            Bench::Colsum(n) => colsum::build(n, variant),
+        }
+    }
+
+    fn verify(&self, sys: &dta_core::System) -> Result<(), String> {
+        match *self {
+            Bench::Bitcnt(n) => bitcnt::verify(sys, n),
+            Bench::Mmul(n) => mmul::verify(sys, n),
+            Bench::Zoom(n) => zoom::verify(sys, n),
+            Bench::Vecscale(n, _) => vecscale::verify(sys, n),
+            Bench::Stencil(n, _) => stencil::verify(sys, n),
+            Bench::Colsum(n) => colsum::verify(sys, n),
+        }
+    }
+}
+
+/// One measured data point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Row {
+    /// Benchmark name, e.g. `mmul(32)`.
+    pub bench: String,
+    /// Variant label (`baseline` / `prefetch-hand` / `prefetch-auto`).
+    pub variant: String,
+    /// Number of PEs.
+    pub pes: u16,
+    /// Main-memory latency used.
+    pub mem_latency: u64,
+    /// Execution time in cycles.
+    pub cycles: u64,
+    /// Average per-SPU breakdown.
+    pub breakdown: Breakdown,
+    /// Table 5 counters: (total, LOAD, STORE, READ, WRITE).
+    pub table5: (u64, u64, u64, u64, u64),
+    /// Thread instances created.
+    pub instances: u64,
+    /// DMA commands issued.
+    pub dma_commands: u64,
+    /// Bus utilisation.
+    pub bus_utilisation: f64,
+    /// SP-pipeline PF cycles (sp_pf_overlap extension).
+    pub sp_pf_cycles: u64,
+    /// Cache hits / misses (cache extension; zero without a cache).
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Result checked against the host reference.
+    pub verified: bool,
+}
+
+impl Row {
+    /// Percentage helper for report printing.
+    pub fn pct(&self, cat: StallCat) -> f64 {
+        self.breakdown.pct(cat)
+    }
+}
+
+/// Runs one benchmark configuration, verifying the result. Returns an
+/// error description on deadlock/launch failure (used by ablations that
+/// deliberately under-provision the machine).
+pub fn try_run(bench: Bench, variant: Variant, cfg: SystemConfig) -> Result<Row, String> {
+    let wp = bench.build(variant);
+    let mem_latency = cfg.mem_latency;
+    let pes = cfg.total_pes();
+    let (stats, sys) = simulate(cfg, Arc::new(wp.program), &wp.args)
+        .map_err(|e| format!("{} [{}]: {e}", bench.name(), variant.label()))?;
+    bench
+        .verify(&sys)
+        .map_err(|e| format!("{} [{}]: result mismatch: {e}", bench.name(), variant.label()))?;
+    Ok(row_from(&bench, variant, pes, mem_latency, &stats, true))
+}
+
+/// Runs one benchmark configuration, verifying the result.
+///
+/// # Panics
+///
+/// On simulation failure or result mismatch.
+pub fn run(bench: Bench, variant: Variant, cfg: SystemConfig) -> Row {
+    try_run(bench, variant, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn row_from(
+    bench: &Bench,
+    variant: Variant,
+    pes: u16,
+    mem_latency: u64,
+    stats: &RunStats,
+    verified: bool,
+) -> Row {
+    Row {
+        bench: bench.name(),
+        variant: variant.label().to_string(),
+        pes,
+        mem_latency,
+        cycles: stats.cycles,
+        breakdown: stats.breakdown(),
+        table5: stats.table5_row(),
+        instances: stats.instances,
+        dma_commands: stats.dma_commands,
+        bus_utilisation: stats.bus_utilisation,
+        sp_pf_cycles: stats.aggregate.sp_pf_cycles,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_runs_and_verifies() {
+        for bench in Bench::quick_suite() {
+            let row = run(bench, Variant::Baseline, SystemConfig::with_pes(2));
+            assert!(row.verified);
+            assert!(row.cycles > 0);
+            assert_eq!(row.pes, 2);
+        }
+    }
+
+    #[test]
+    fn names_match_paper_style() {
+        assert_eq!(Bench::Mmul(32).name(), "mmul(32)");
+        assert_eq!(Bench::Bitcnt(10_000).name(), "bitcnt(10000)");
+    }
+}

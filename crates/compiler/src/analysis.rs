@@ -1,0 +1,565 @@
+//! Decouplability analysis.
+//!
+//! A forward abstract interpretation over a thread's code computes, for
+//! every main-memory `READ`, a symbolic address in the [`crate::sym`]
+//! affine domain. A read whose address is affine in *frame inputs*,
+//! *constants*, and *loop counters* is **decouplable**: its address
+//! sequence is computable before the EX block runs, so a PF code block
+//! can fetch the data by DMA (paper §3). A read whose address flows from
+//! memory contents (e.g. bitcnt's data-dependent table index) is
+//! **data-dependent** and stays in place — "it is faster to leave one
+//! memory access inside the thread" (§4.3).
+//!
+//! ## Soundness
+//!
+//! The interpretation is linear over the instruction list with three
+//! structural rules that keep it sound for the structured control flow
+//! the builder/assembler produce:
+//!
+//! 1. at every *forward-branch join* (a pc that is the target of a
+//!    forward branch), all registers defined inside the skipped span are
+//!    invalidated;
+//! 2. at every *loop header*, registers redefined in the body become
+//!    loop-varying: recognised induction registers get `init + k·step`,
+//!    everything else becomes unknown;
+//! 3. at every *loop exit*, induction registers get their final value
+//!    (when the trip count is known) and other body-defined registers
+//!    stay unknown.
+//!
+//! Threads with improper loop nesting or side entries into loops are
+//! rejected wholesale (the transform then leaves them untouched).
+
+use crate::loops::{find_loops, Guard, Loop, LoopError};
+use crate::sym::{Affine, LoopId, Sym};
+use dta_isa::{BrCond, Instr, Src, ThreadCode, NUM_REGS};
+use std::collections::{BTreeMap, HashMap};
+
+/// Classification of one `READ`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReadClass {
+    /// Address is affine in inputs/constants/loop counters.
+    Decouplable(Affine),
+    /// Address is data-dependent but provably inside
+    /// `[base, base + span + 3]` (e.g. a masked table index) — a
+    /// candidate for whole-structure prefetching (paper §3).
+    BoundedObject {
+        /// Affine lower bound of the address.
+        base: Affine,
+        /// Uncertainty width in bytes.
+        span: u64,
+    },
+    /// Address depends on memory contents or unanalysable flow.
+    DataDependent,
+}
+
+/// Per-`READ` analysis result.
+#[derive(Clone, Debug)]
+pub struct ReadInfo {
+    /// pc of the `READ`.
+    pub pc: u32,
+    /// Address classification.
+    pub class: ReadClass,
+    /// Ids of loops containing the read, outermost first.
+    pub enclosing: Vec<LoopId>,
+}
+
+/// Whole-thread analysis result.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// The loop table.
+    pub loops: Vec<Loop>,
+    /// Trip counts per loop (`None` = not recognised / not affine).
+    pub trips: BTreeMap<LoopId, Option<Affine>>,
+    /// One entry per `READ` instruction, in pc order.
+    pub reads: Vec<ReadInfo>,
+}
+
+impl Analysis {
+    /// Number of decouplable reads.
+    pub fn decouplable(&self) -> usize {
+        self.reads
+            .iter()
+            .filter(|r| matches!(r.class, ReadClass::Decouplable(_)))
+            .count()
+    }
+
+    /// Trip count of a loop, if known.
+    pub fn trip(&self, l: LoopId) -> Option<&Affine> {
+        self.trips.get(&l).and_then(|t| t.as_ref())
+    }
+}
+
+type Env = Vec<Sym>;
+
+fn initial_env() -> Env {
+    let mut env = vec![Sym::konst(0); NUM_REGS];
+    // r1 (frame pointer) and r2 (prefetch base) hold machine addresses,
+    // not analysable data.
+    env[1] = Sym::Unknown;
+    env[2] = Sym::Unknown;
+    env
+}
+
+fn src_sym(env: &Env, s: Src) -> Sym {
+    match s {
+        Src::Reg(r) => env[r.index()].clone(),
+        Src::Imm(i) => Sym::konst(i as i64),
+    }
+}
+
+fn compute_trip(l: &Loop, guard: &Guard, pre: &Env, thread: &ThreadCode) -> Option<Affine> {
+    let step = *l.inductions.get(&guard.reg)?;
+    if step <= 0 {
+        return None;
+    }
+    // Bound must be loop-invariant: an immediate, or a register not
+    // redefined in the body.
+    let bound = match guard.bound {
+        Src::Imm(i) => Affine::konst(i as i64),
+        Src::Reg(r) => {
+            for pc in l.header..=l.latch {
+                if thread.code[pc as usize].defs().contains(r) {
+                    return None;
+                }
+            }
+            pre[r.index()].affine()?.clone()
+        }
+    };
+    let init = pre[guard.reg.index()].affine()?.clone();
+    let span = bound.sub(&init);
+    match guard.cond {
+        BrCond::Ne => span.div_exact(step),
+        BrCond::Ge | BrCond::Geu | BrCond::Lt | BrCond::Ltu => {
+            if let Some(c) = span.as_const() {
+                Some(Affine::konst((c.max(0) + step - 1) / step))
+            } else {
+                span.div_exact(step)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Runs the analysis.
+pub fn analyze(thread: &ThreadCode) -> Result<Analysis, LoopError> {
+    let loops = find_loops(thread)?;
+    let code = &thread.code;
+    let len = code.len() as u32;
+
+    // Forward-branch spans keyed by their join point.
+    let mut joins: HashMap<u32, Vec<u32>> = HashMap::new(); // target -> sources
+    for (pc, instr) in code.iter().enumerate() {
+        let pc = pc as u32;
+        if let Some(t) = instr.target() {
+            if t > pc && t < len {
+                joins.entry(t).or_default().push(pc);
+            }
+        }
+    }
+    // Loop exits keyed by latch+1.
+    let mut exits: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (i, l) in loops.iter().enumerate() {
+        exits.entry(l.latch + 1).or_default().push(i);
+    }
+    let header_of: HashMap<u32, usize> = loops
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l.header, i))
+        .collect();
+
+    let mut env = initial_env();
+    let mut pre_envs: HashMap<LoopId, Env> = HashMap::new();
+    let mut trips: BTreeMap<LoopId, Option<Affine>> = BTreeMap::new();
+    let mut reads = Vec::new();
+
+    let kill_range = |env: &mut Env, from: u32, to: u32| {
+        for pc in from..to {
+            for r in &code[pc as usize].defs() {
+                env[r.index()] = Sym::Unknown;
+            }
+        }
+    };
+
+    for pc in 0..len {
+        // 1. Joins of forward branches: invalidate skipped definitions.
+        if let Some(sources) = joins.get(&pc) {
+            for &src in sources {
+                kill_range(&mut env, src + 1, pc);
+            }
+        }
+        // 2. Loop exits: finalise induction values.
+        if let Some(ids) = exits.get(&pc) {
+            for &i in ids {
+                let l = &loops[i];
+                let trip = trips.get(&l.id).cloned().flatten();
+                let pre = &pre_envs[&l.id];
+                for pq in l.header..=l.latch {
+                    for r in &code[pq as usize].defs() {
+                        env[r.index()] = Sym::Unknown;
+                    }
+                }
+                if let Some(trip) = trip {
+                    for (&r, &step) in &l.inductions {
+                        if let Some(init) = pre[r.index()].affine() {
+                            env[r.index()] = Sym::Aff(init.add(&trip.scale(step)));
+                        }
+                    }
+                }
+            }
+        }
+        // 3. Loop header: abstract the body-varying registers.
+        if let Some(&i) = header_of.get(&pc) {
+            let l = &loops[i];
+            let pre = env.clone();
+            let trip = l.guard.as_ref().and_then(|g| compute_trip(l, g, &pre, thread));
+            trips.insert(l.id, trip);
+            for pq in l.header..=l.latch {
+                for r in &code[pq as usize].defs() {
+                    env[r.index()] = Sym::Unknown;
+                }
+            }
+            for (&r, &step) in &l.inductions {
+                if let Some(init) = pre[r.index()].affine() {
+                    env[r.index()] =
+                        Sym::Aff(init.add(&Affine::induction(l.id).scale(step)));
+                }
+            }
+            pre_envs.insert(l.id, pre);
+        }
+
+        // 4. Interpret the instruction.
+        let instr = code[pc as usize];
+        if let Instr::Read { ra, off, .. } = instr {
+            let class = match &env[ra.index()] {
+                Sym::Aff(a) => ReadClass::Decouplable(a.add(&Affine::konst(off as i64))),
+                Sym::Bounded { base, span } => ReadClass::BoundedObject {
+                    base: base.add(&Affine::konst(off as i64)),
+                    span: *span,
+                },
+                Sym::Unknown => ReadClass::DataDependent,
+            };
+            let mut enclosing: Vec<LoopId> = loops
+                .iter()
+                .filter(|l| l.contains(pc))
+                .map(|l| l.id)
+                .collect();
+            enclosing.sort_by_key(|&id| {
+                let l = &loops[id as usize];
+                std::cmp::Reverse(l.latch - l.header)
+            });
+            reads.push(ReadInfo {
+                pc,
+                class,
+                enclosing,
+            });
+        }
+        match instr {
+            Instr::Alu { op, rd, ra, rb } => {
+                let v = Sym::eval(op, &env[ra.index()].clone(), &src_sym(&env, rb));
+                if !rd.is_zero() {
+                    env[rd.index()] = v;
+                }
+            }
+            Instr::Li { rd, imm } => {
+                if !rd.is_zero() {
+                    env[rd.index()] = Sym::konst(imm);
+                }
+            }
+            Instr::Mov { rd, ra } => {
+                if !rd.is_zero() {
+                    env[rd.index()] = env[ra.index()].clone();
+                }
+            }
+            Instr::Load { rd, slot } => {
+                if !rd.is_zero() {
+                    env[rd.index()] = Sym::Aff(Affine::input(slot));
+                }
+            }
+            Instr::Read { rd, .. } | Instr::LsLoad { rd, .. } | Instr::Falloc { rd, .. } => {
+                if !rd.is_zero() {
+                    env[rd.index()] = Sym::Unknown;
+                }
+            }
+            // No register effects.
+            Instr::Nop
+            | Instr::Br { .. }
+            | Instr::Jmp { .. }
+            | Instr::Store { .. }
+            | Instr::Ffree { .. }
+            | Instr::Stop
+            | Instr::Write { .. }
+            | Instr::LsStore { .. }
+            | Instr::DmaGet { .. }
+            | Instr::DmaGetStrided { .. }
+            | Instr::DmaPut { .. }
+            | Instr::DmaYield
+            | Instr::DmaWait { .. } => {}
+        }
+    }
+
+    Ok(Analysis {
+        loops,
+        trips,
+        reads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_isa::{reg::r, BrCond, ThreadBuilder};
+
+    #[test]
+    fn straight_line_input_address_is_decouplable() {
+        // addr = in0 + 16
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.read(r(4), r(3), 16);
+        t.stop();
+        let a = analyze(&t.build()).unwrap();
+        assert_eq!(a.reads.len(), 1);
+        match &a.reads[0].class {
+            ReadClass::Decouplable(addr) => {
+                assert_eq!(addr.konst, 16);
+                assert_eq!(addr.inputs[&0], 1);
+                assert!(a.reads[0].enclosing.is_empty());
+            }
+            other => panic!("expected decouplable, got {other:?}"),
+        }
+        assert_eq!(a.decouplable(), 1);
+    }
+
+    #[test]
+    fn data_dependent_chain_is_not_decouplable() {
+        // idx = mem[in0]; val = mem[base + idx*4]  (bitcnt-style)
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.read(r(4), r(3), 0); // decouplable
+        t.shl(r(5), r(4), 2);
+        t.li(r(6), 0x1000);
+        t.add(r(6), r(6), r(5));
+        t.read(r(7), r(6), 0); // data-dependent
+        t.stop();
+        let a = analyze(&t.build()).unwrap();
+        assert_eq!(a.reads.len(), 2);
+        assert!(matches!(a.reads[0].class, ReadClass::Decouplable(_)));
+        assert!(matches!(a.reads[1].class, ReadClass::DataDependent));
+        assert_eq!(a.decouplable(), 1);
+    }
+
+    #[test]
+    fn masked_table_lookup_is_a_bounded_object() {
+        // idx = (x >> 8) & 0xFF; val = T[idx] — the bitcnt pattern.
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0); // x (a frame input, but shifted+masked = bounded)
+        t.begin_ex();
+        t.read(r(4), r(3), 0); // make the index truly data-dependent
+        t.shr(r(5), r(4), 8);
+        t.and(r(5), r(5), 0xFF);
+        t.shl(r(5), r(5), 2);
+        t.li(r(6), 0x2000);
+        t.add(r(6), r(6), r(5));
+        t.read(r(7), r(6), 4);
+        t.stop();
+        let a = analyze(&t.build()).unwrap();
+        match &a.reads[1].class {
+            ReadClass::BoundedObject { base, span } => {
+                assert_eq!(base.as_const(), Some(0x2004));
+                assert_eq!(*span, 1020);
+            }
+            other => panic!("expected bounded object, got {other:?}"),
+        }
+    }
+
+    fn strided_loop_thread(n: i32) -> ThreadCode {
+        // base = in0; for (i=0; i<n; i++) sum += mem[base + i*4]
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0); // base
+        t.begin_ex();
+        t.li(r(4), 0); // i
+        t.li(r(5), 0); // sum
+        let top = t.label_here();
+        let done = t.new_label();
+        t.br(BrCond::Ge, r(4), n, done);
+        t.shl(r(6), r(4), 2);
+        t.add(r(6), r(3), r(6));
+        t.read(r(7), r(6), 0);
+        t.add(r(5), r(5), r(7));
+        t.add(r(4), r(4), 1);
+        t.jmp(top);
+        t.bind(done);
+        t.stop();
+        t.build()
+    }
+
+    #[test]
+    fn loop_read_gets_induction_address_and_trip() {
+        let a = analyze(&strided_loop_thread(32)).unwrap();
+        assert_eq!(a.reads.len(), 1);
+        let info = &a.reads[0];
+        let ReadClass::Decouplable(addr) = &info.class else {
+            panic!("expected decouplable");
+        };
+        // addr = in0 + 4*k0
+        assert_eq!(addr.inputs[&0], 1);
+        assert_eq!(addr.induction_coeff(0), 4);
+        assert_eq!(info.enclosing, vec![0]);
+        assert_eq!(a.trip(0).unwrap().as_const(), Some(32));
+    }
+
+    #[test]
+    fn input_dependent_bound_gives_symbolic_trip() {
+        // for (i=0; i<in1; i++) ... with step 1: trip = in1.
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.load(r(8), 1);
+        t.begin_ex();
+        t.li(r(4), 0);
+        let top = t.label_here();
+        let done = t.new_label();
+        t.br(BrCond::Ge, r(4), r(8), done);
+        t.read(r(7), r(3), 0);
+        t.add(r(4), r(4), 1);
+        t.jmp(top);
+        t.bind(done);
+        t.stop();
+        let a = analyze(&t.build()).unwrap();
+        let trip = a.trip(0).expect("symbolic trip");
+        assert_eq!(trip.inputs[&1], 1);
+        assert_eq!(trip.konst, 0);
+    }
+
+    #[test]
+    fn nested_loops_give_two_induction_terms() {
+        // for (i=0;i<4;i++) for (j=0;j<8;j++) read mem[in0 + i*64 + j*4]
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.li(r(4), 0); // i
+        let otop = t.label_here();
+        let odone = t.new_label();
+        t.br(BrCond::Ge, r(4), 4, odone);
+        t.li(r(5), 0); // j
+        let itop = t.label_here();
+        let idone = t.new_label();
+        t.br(BrCond::Ge, r(5), 8, idone);
+        t.mul(r(6), r(4), 64);
+        t.shl(r(7), r(5), 2);
+        t.add(r(6), r(6), r(7));
+        t.add(r(6), r(3), r(6));
+        t.read(r(8), r(6), 0);
+        t.add(r(5), r(5), 1);
+        t.jmp(itop);
+        t.bind(idone);
+        t.add(r(4), r(4), 1);
+        t.jmp(otop);
+        t.bind(odone);
+        t.stop();
+        let a = analyze(&t.build()).unwrap();
+        assert_eq!(a.reads.len(), 1);
+        let ReadClass::Decouplable(addr) = &a.reads[0].class else {
+            panic!("expected decouplable")
+        };
+        // Outer loop id 0 (larger extent), inner id 1.
+        assert_eq!(addr.induction_coeff(0), 64);
+        assert_eq!(addr.induction_coeff(1), 4);
+        assert_eq!(addr.inputs[&0], 1);
+        assert_eq!(a.trip(0).unwrap().as_const(), Some(4));
+        assert_eq!(a.trip(1).unwrap().as_const(), Some(8));
+        assert_eq!(a.reads[0].enclosing, vec![0, 1]);
+    }
+
+    #[test]
+    fn conditional_definition_kills_address() {
+        // if (in0 != 0) base = 0x100; read mem[base] -> join kills base.
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.li(r(4), 0x200);
+        let skip = t.new_label();
+        t.br(BrCond::Eq, r(3), 0, skip);
+        t.li(r(4), 0x100);
+        t.bind(skip);
+        t.read(r(5), r(4), 0);
+        t.stop();
+        let a = analyze(&t.build()).unwrap();
+        assert!(matches!(a.reads[0].class, ReadClass::DataDependent));
+    }
+
+    #[test]
+    fn read_inside_conditional_span_uses_fallthrough_env() {
+        // br skips over the read; the read, when executed, sees the
+        // fallthrough definitions — which are analysable.
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        let skip = t.new_label();
+        t.br(BrCond::Eq, r(3), 0, skip);
+        t.li(r(4), 0x400);
+        t.read(r(5), r(4), 0);
+        t.bind(skip);
+        t.stop();
+        let a = analyze(&t.build()).unwrap();
+        let ReadClass::Decouplable(addr) = &a.reads[0].class else {
+            panic!("expected decouplable")
+        };
+        assert_eq!(addr.as_const(), Some(0x400));
+    }
+
+    #[test]
+    fn post_loop_induction_value_is_final() {
+        // After for(i=0;i<10;i++), read mem[in0 + i*4] uses i = 10.
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.li(r(4), 0);
+        let top = t.label_here();
+        let done = t.new_label();
+        t.br(BrCond::Ge, r(4), 10, done);
+        t.add(r(4), r(4), 1);
+        t.jmp(top);
+        t.bind(done);
+        t.shl(r(6), r(4), 2);
+        t.add(r(6), r(3), r(6));
+        t.read(r(7), r(6), 0);
+        t.stop();
+        let a = analyze(&t.build()).unwrap();
+        let ReadClass::Decouplable(addr) = &a.reads[0].class else {
+            panic!("expected decouplable")
+        };
+        assert_eq!(addr.konst, 40);
+        assert_eq!(addr.inputs[&0], 1);
+        assert!(addr.is_loop_invariant());
+    }
+
+    #[test]
+    fn loop_varying_non_induction_is_unknown() {
+        // acc doubles every iteration: not affine.
+        let mut t = ThreadBuilder::new("t");
+        t.begin_ex();
+        t.li(r(3), 0);
+        t.li(r(4), 1);
+        let top = t.label_here();
+        let done = t.new_label();
+        t.br(BrCond::Ge, r(3), 10, done);
+        t.add(r(4), r(4), r(4)); // acc *= 2
+        t.read(r(5), r(4), 0);
+        t.add(r(3), r(3), 1);
+        t.jmp(top);
+        t.bind(done);
+        t.stop();
+        let a = analyze(&t.build()).unwrap();
+        assert!(matches!(a.reads[0].class, ReadClass::DataDependent));
+    }
+}

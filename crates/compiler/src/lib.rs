@@ -1,0 +1,57 @@
+//! # dta-compiler — the automatic prefetch transformation
+//!
+//! The paper adds the DMA-prefetching code blocks to its benchmarks *by
+//! hand* and names compiler automation as future work ("the compiler has
+//! to recognize when a thread uses different types of global data, and be
+//! able to insert the prefetch instructions in the PreFetch code block",
+//! §3). This crate implements that compiler:
+//!
+//! * [`analysis`] — a sound symbolic dataflow analysis that classifies
+//!   every main-memory `READ` as *decouplable* (address computable before
+//!   EX from frame inputs, constants, and counted-loop induction
+//!   variables) or *data-dependent* (the bitcnt case the paper leaves in
+//!   place);
+//! * [`loops`] — natural-loop detection with induction variables and trip
+//!   counts;
+//! * [`regions`] — DMA region planning: element coalescing, bounding-box
+//!   fetches for (nested) affine walks, packed strided gathers;
+//! * [`transform`] — PF-block synthesis and the `READ` → local-store
+//!   rewrite of the paper's Fig. 3, including the `DMAYIELD` that enables
+//!   the non-blocking "Wait for DMA" state of Fig. 4.
+//!
+//! ```
+//! use dta_compiler::{prefetch_program, TransformOptions};
+//! use dta_isa::{ProgramBuilder, ThreadBuilder, reg::r};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let arr = pb.global_words("arr", &[1, 2, 3, 4]);
+//! let main = pb.declare("main");
+//! let mut t = ThreadBuilder::new("main");
+//! t.begin_ex();
+//! t.li(r(3), arr as i64);
+//! t.read(r(4), r(3), 0);   // decouplable
+//! t.read(r(5), r(3), 4);   // coalesces with the first
+//! t.begin_ps();
+//! t.ffree_self();
+//! t.stop();
+//! pb.define(main, t);
+//! pb.set_entry(main, 0);
+//!
+//! let (prefetched, report) = prefetch_program(&pb.build(), &TransformOptions::default());
+//! assert_eq!(report.total_decoupled(), 2);
+//! assert!(prefetched.threads[0].blocks.pf_end > 0);
+//! ```
+
+pub mod analysis;
+pub mod loops;
+pub mod regions;
+pub mod sym;
+pub mod transform;
+
+pub use analysis::{analyze, Analysis, ReadClass, ReadInfo};
+pub use loops::{find_loops, Loop, LoopError};
+pub use regions::{plan, Plan, PlanOptions, Region, RegionShape, SkipReason};
+pub use sym::{Affine, Sym};
+pub use transform::{
+    prefetch_program, prefetch_thread, ProgramReport, ThreadReport, ThreadSkip, TransformOptions,
+};

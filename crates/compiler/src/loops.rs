@@ -1,0 +1,401 @@
+//! Natural-loop detection over a thread's flat instruction list.
+//!
+//! Threads built by `dta_isa::builder` (and anything the assembler
+//! accepts) have their loops laid out as contiguous ranges `[header,
+//! latch]` with a backward edge from the latch region to the header. This
+//! module finds those ranges, checks structural sanity (proper nesting,
+//! no branches into a loop from outside), and recognises the canonical
+//! counted-loop shapes so the analysis can attach trip counts:
+//!
+//! * **header-guarded**: `header: br {ge,geu} i, bound, exit; ...;
+//!   add i, i, step; jmp header` (what the builder's loop idiom emits);
+//! * **latch-guarded**: `...; add i, i, step; br {lt,ltu,ne} i, bound,
+//!   header` (do-while form).
+
+use crate::sym::LoopId;
+use dta_isa::{BrCond, Instr, Reg, ThreadCode};
+use std::collections::BTreeMap;
+
+/// A natural loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Loop {
+    /// Loop id (index in the loop table, outermost-first by header).
+    pub id: LoopId,
+    /// First instruction of the loop body (branch target of the back
+    /// edge).
+    pub header: u32,
+    /// The instruction carrying the back edge.
+    pub latch: u32,
+    /// Induction registers: single in-loop definition `r = r + step`
+    /// outside any inner loop.
+    pub inductions: BTreeMap<Reg, i64>,
+    /// The loop guard, when the shape was recognised.
+    pub guard: Option<Guard>,
+}
+
+/// A recognised loop guard (gives the trip count).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Guard {
+    /// The guarded induction register.
+    pub reg: Reg,
+    /// pc of the guard branch.
+    pub at: u32,
+    /// The bound operand (register or immediate, as written).
+    pub bound: dta_isa::Src,
+    /// Guard condition as written.
+    pub cond: BrCond,
+    /// `true` when the guard sits at the header (exit-if-taken), `false`
+    /// for a latch guard (continue-if-taken).
+    pub at_header: bool,
+}
+
+impl Loop {
+    /// Does the loop body contain `pc`?
+    #[inline]
+    pub fn contains(&self, pc: u32) -> bool {
+        self.header <= pc && pc <= self.latch
+    }
+}
+
+/// Why a thread cannot be analysed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoopError {
+    /// Two loops overlap without nesting.
+    ImproperNesting { a: u32, b: u32 },
+    /// A branch from outside a loop targets the middle of its body.
+    EntryIntoLoop { from: u32, to: u32 },
+}
+
+impl std::fmt::Display for LoopError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoopError::ImproperNesting { a, b } => {
+                write!(f, "loops with headers at {a} and {b} overlap without nesting")
+            }
+            LoopError::EntryIntoLoop { from, to } => {
+                write!(f, "branch at {from} enters a loop body at {to}")
+            }
+        }
+    }
+}
+
+/// Finds all natural loops in a thread.
+pub fn find_loops(thread: &ThreadCode) -> Result<Vec<Loop>, LoopError> {
+    let code = &thread.code;
+
+    // Back edges: control transfer to a pc <= source.
+    let mut ranges: Vec<(u32, u32)> = Vec::new(); // (header, latch)
+    for (pc, instr) in code.iter().enumerate() {
+        let pc = pc as u32;
+        if let Some(t) = instr.target() {
+            if t <= pc {
+                // Merge back edges sharing a header: keep the farthest
+                // latch.
+                if let Some(r) = ranges.iter_mut().find(|r| r.0 == t) {
+                    r.1 = r.1.max(pc);
+                } else {
+                    ranges.push((t, pc));
+                }
+            }
+        }
+    }
+    ranges.sort();
+
+    // Proper nesting: for any two ranges, disjoint or nested.
+    for i in 0..ranges.len() {
+        for j in i + 1..ranges.len() {
+            let (h1, l1) = ranges[i];
+            let (h2, l2) = ranges[j];
+            let disjoint = l1 < h2 || l2 < h1;
+            let nested = (h1 <= h2 && l2 <= l1) || (h2 <= h1 && l1 <= l2);
+            if !disjoint && !nested {
+                return Err(LoopError::ImproperNesting { a: h1, b: h2 });
+            }
+        }
+    }
+
+    // No entries into a loop body from outside (other than the header).
+    for (pc, instr) in code.iter().enumerate() {
+        let pc = pc as u32;
+        if let Some(t) = instr.target() {
+            for &(h, l) in &ranges {
+                let target_inside = t > h && t <= l;
+                let source_outside = pc < h || pc > l;
+                if target_inside && source_outside {
+                    return Err(LoopError::EntryIntoLoop { from: pc, to: t });
+                }
+            }
+        }
+    }
+
+    let mut loops: Vec<Loop> = Vec::new();
+    for (idx, &(header, latch)) in ranges.iter().enumerate() {
+        // Inner loops of this one (strictly contained).
+        let inner: Vec<(u32, u32)> = ranges
+            .iter()
+            .copied()
+            .filter(|&(h, l)| (h > header || l < latch) && h >= header && l <= latch)
+            .collect();
+        let in_inner =
+            |pc: u32| -> bool { inner.iter().any(|&(h, l)| pc >= h && pc <= l) };
+
+        // Induction candidates: count defs per register inside the body.
+        let mut def_count: BTreeMap<Reg, u32> = BTreeMap::new();
+        for pc in header..=latch {
+            for r in &code[pc as usize].defs() {
+                *def_count.entry(r).or_insert(0) += 1;
+            }
+        }
+        let mut inductions = BTreeMap::new();
+        for pc in header..=latch {
+            if in_inner(pc) {
+                continue;
+            }
+            if let Instr::Alu {
+                op: dta_isa::AluOp::Add,
+                rd,
+                ra,
+                rb: dta_isa::Src::Imm(step),
+            } = code[pc as usize]
+            {
+                if rd == ra && def_count.get(&rd) == Some(&1) && step != 0 {
+                    inductions.insert(rd, step as i64);
+                }
+            }
+        }
+
+        // Guard recognition.
+        let guard = recognise_guard(code, header, latch, &inductions);
+
+        loops.push(Loop {
+            id: idx as LoopId,
+            header,
+            latch,
+            inductions,
+            guard,
+        });
+    }
+    Ok(loops)
+}
+
+fn recognise_guard(
+    code: &[Instr],
+    header: u32,
+    latch: u32,
+    inductions: &BTreeMap<Reg, i64>,
+) -> Option<Guard> {
+    // Header guard: `br {ge,geu} i, bound, exit` with exit beyond the latch.
+    if let Instr::Br {
+        cond,
+        ra,
+        rb,
+        target,
+    } = code[header as usize]
+    {
+        if matches!(cond, BrCond::Ge | BrCond::Geu)
+            && target > latch
+            && inductions.contains_key(&ra)
+        {
+            return Some(Guard {
+                reg: ra,
+                at: header,
+                bound: rb,
+                cond,
+                at_header: true,
+            });
+        }
+    }
+    // Latch guard: `br {lt,ltu,ne} i, bound, header`.
+    if let Instr::Br {
+        cond,
+        ra,
+        rb,
+        target,
+    } = code[latch as usize]
+    {
+        if matches!(cond, BrCond::Lt | BrCond::Ltu | BrCond::Ne)
+            && target == header
+            && inductions.contains_key(&ra)
+        {
+            return Some(Guard {
+                reg: ra,
+                at: latch,
+                bound: rb,
+                cond,
+                at_header: false,
+            });
+        }
+    }
+    None
+}
+
+/// Innermost loop containing `pc`.
+pub fn innermost_containing(loops: &[Loop], pc: u32) -> Option<&Loop> {
+    loops
+        .iter()
+        .filter(|l| l.contains(pc))
+        .min_by_key(|l| l.latch - l.header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_isa::{reg::r, BrCond, ThreadBuilder};
+
+    fn counted_loop_thread() -> ThreadCode {
+        // for (i = 0; i < 10; i++) { sum += i }
+        let mut t = ThreadBuilder::new("t");
+        t.begin_ex();
+        t.li(r(3), 0); // i
+        t.li(r(4), 0); // sum
+        let top = t.label_here();
+        let done = t.new_label();
+        t.br(BrCond::Ge, r(3), 10, done);
+        t.add(r(4), r(4), r(3));
+        t.add(r(3), r(3), 1);
+        t.jmp(top);
+        t.bind(done);
+        t.stop();
+        t.build()
+    }
+
+    #[test]
+    fn finds_counted_loop_with_guard() {
+        let t = counted_loop_thread();
+        let loops = find_loops(&t).unwrap();
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, 2);
+        assert_eq!(l.latch, 5);
+        assert_eq!(l.inductions[&r(3)], 1);
+        assert!(!l.inductions.contains_key(&r(4))); // sum += i is not i += c
+        let g = l.guard.expect("guard recognised");
+        assert_eq!(g.reg, r(3));
+        assert!(g.at_header);
+        assert_eq!(g.cond, BrCond::Ge);
+    }
+
+    #[test]
+    fn latch_guarded_loop_recognised() {
+        // do { i += 4 } while (i < 64)
+        let mut t = ThreadBuilder::new("t");
+        t.begin_ex();
+        t.li(r(3), 0);
+        let top = t.label_here();
+        t.add(r(3), r(3), 4);
+        t.br(BrCond::Lt, r(3), 64, top);
+        t.stop();
+        let code = t.build();
+        let loops = find_loops(&code).unwrap();
+        assert_eq!(loops.len(), 1);
+        let g = loops[0].guard.unwrap();
+        assert!(!g.at_header);
+        assert_eq!(loops[0].inductions[&r(3)], 4);
+    }
+
+    #[test]
+    fn nested_loops_are_ordered_and_nested() {
+        let mut t = ThreadBuilder::new("t");
+        t.begin_ex();
+        t.li(r(3), 0);
+        let otop = t.label_here();
+        let odone = t.new_label();
+        t.br(BrCond::Ge, r(3), 4, odone);
+        t.li(r(4), 0);
+        let itop = t.label_here();
+        let idone = t.new_label();
+        t.br(BrCond::Ge, r(4), 8, idone);
+        t.add(r(4), r(4), 1);
+        t.jmp(itop);
+        t.bind(idone);
+        t.add(r(3), r(3), 1);
+        t.jmp(otop);
+        t.bind(odone);
+        t.stop();
+        let code = t.build();
+        let loops = find_loops(&code).unwrap();
+        assert_eq!(loops.len(), 2);
+        let outer = &loops[0];
+        let inner = &loops[1];
+        assert!(outer.header < inner.header && inner.latch < outer.latch);
+        // The outer loop's induction set must not claim the inner counter.
+        assert!(outer.inductions.contains_key(&r(3)));
+        assert!(!outer.inductions.contains_key(&r(4)));
+        assert!(inner.inductions.contains_key(&r(4)));
+        // Innermost lookup.
+        let mid = inner.header + 1;
+        assert_eq!(innermost_containing(&loops, mid).unwrap().id, inner.id);
+        assert_eq!(
+            innermost_containing(&loops, outer.header + 1).unwrap().id,
+            outer.id
+        );
+    }
+
+    #[test]
+    fn induction_requires_single_def() {
+        // i is incremented twice in the body -> not a recognised induction.
+        let mut t = ThreadBuilder::new("t");
+        t.begin_ex();
+        t.li(r(3), 0);
+        let top = t.label_here();
+        let done = t.new_label();
+        t.br(BrCond::Ge, r(3), 10, done);
+        t.add(r(3), r(3), 1);
+        t.add(r(3), r(3), 1);
+        t.jmp(top);
+        t.bind(done);
+        t.stop();
+        let loops = find_loops(&t.build()).unwrap();
+        assert!(loops[0].inductions.is_empty());
+        assert!(loops[0].guard.is_none());
+    }
+
+    #[test]
+    fn entry_into_loop_detected() {
+        // Hand-construct a forward jump into a loop body:
+        //   0: jmp 4        ; enters the loop mid-body
+        //   1: li r3, 0
+        //   2: br ge r3, 10, 6   ; loop header
+        //   3: nop
+        //   4: add r3, r3, 1
+        //   5: jmp 2        ; back edge -> loop [2, 5]
+        //   6: stop
+        use dta_isa::{AluOp, BlockMap, Instr, Src};
+        let t = ThreadCode {
+            name: "t".into(),
+            code: vec![
+                Instr::Jmp { target: 4 },
+                Instr::Li { rd: r(3), imm: 0 },
+                Instr::Br {
+                    cond: BrCond::Ge,
+                    ra: r(3),
+                    rb: Src::Imm(10),
+                    target: 6,
+                },
+                Instr::Nop,
+                Instr::Alu {
+                    op: AluOp::Add,
+                    rd: r(3),
+                    ra: r(3),
+                    rb: Src::Imm(1),
+                },
+                Instr::Jmp { target: 2 },
+                Instr::Stop,
+            ],
+            blocks: BlockMap::default(),
+            frame_slots: 0,
+            prefetch_bytes: 0,
+        };
+        let err = find_loops(&t).unwrap_err();
+        assert_eq!(err, LoopError::EntryIntoLoop { from: 0, to: 4 });
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut t = ThreadBuilder::new("t");
+        t.begin_ex();
+        t.li(r(3), 1);
+        t.stop();
+        assert!(find_loops(&t.build()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,652 @@
+//! Prefetch-region planning.
+//!
+//! Converts the per-`READ` symbolic addresses of [`crate::analysis`] into
+//! a set of DMA transfer descriptors ("regions") plus a read→region
+//! assignment. This implements the paper's §3 requirement that
+//! "prefetching can be tuned in order to prefetch not a single datum but
+//! more data depending on the situation":
+//!
+//! * a read with no loop-counter terms fetches a single element, and
+//!   nearby single elements with the same symbolic base are **coalesced**
+//!   into one transfer;
+//! * a read that walks an affine sequence across enclosing counted loops
+//!   fetches its **bounding box** in one contiguous transfer when that
+//!   fits the buffer budget (this also collapses nested row-major walks);
+//! * a large-stride walk whose bounding box would be wasteful degrades to
+//!   a **packed strided gather** (one DMA transaction, as the paper notes
+//!   the hardware supports) when the stride is a power of two, which
+//!   keeps the EX-side address translation cheap (shifts).
+
+use crate::analysis::{Analysis, ReadClass};
+use crate::sym::Affine;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Planner options.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanOptions {
+    /// Maximum bytes of one region (and cap on the per-instance buffer).
+    pub max_region_bytes: u32,
+    /// Merge single-element reads whose gap is at most this many bytes.
+    pub merge_gap: u32,
+    /// Allow packed strided gathers (disable to force bounding boxes —
+    /// useful for ablations).
+    pub allow_strided: bool,
+    /// Whole-structure prefetch for bounded data-dependent reads (masked
+    /// table indices). Off by default — the paper's initial
+    /// implementation leaves these in place and flags them for "the next
+    /// releases of our simulator" (§4.3).
+    pub whole_object: bool,
+    /// A whole-structure fetch is only worthwhile when the object is read
+    /// at least this many times per instance (statically: reads sharing
+    /// the region, times any enclosing constant trip count). The paper's
+    /// rationale: "it is faster to leave one memory access inside the
+    /// thread rather than prefetch all elements of the array when only
+    /// one will be used".
+    pub whole_object_min_uses: u64,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            max_region_bytes: 16 * 1024,
+            merge_gap: 64,
+            allow_strided: true,
+            whole_object: false,
+            whole_object_min_uses: 2,
+        }
+    }
+}
+
+/// Why a decouplable read was nevertheless left in place.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SkipReason {
+    /// Address depends on memory contents (paper: left in the thread).
+    DataDependent,
+    /// An enclosing loop has no recognisable constant trip count.
+    NoConstantTrip,
+    /// Region would exceed `max_region_bytes` and no strided fallback
+    /// applies.
+    TooLarge,
+    /// A bounded data-dependent read whose whole object is not fetched:
+    /// either `whole_object` is off (the paper's configuration) or the
+    /// expected number of uses does not pay for the transfer.
+    NotWorthwhile,
+}
+
+/// The shape of one DMA transfer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RegionShape {
+    /// Contiguous block of `bytes` (placed at natural offsets: LS address
+    /// = mem address − base + buffer offset).
+    Block {
+        /// Transfer size.
+        bytes: u32,
+    },
+    /// Packed gather: `count` 4-byte elements `stride` bytes apart,
+    /// packed contiguously in the buffer. `log2_stride` drives the
+    /// EX-side shift-based translation.
+    Strided {
+        /// Element count.
+        count: u32,
+        /// Main-memory stride (power of two).
+        stride: i64,
+    },
+}
+
+impl RegionShape {
+    /// Bytes of prefetch buffer the region occupies.
+    pub fn buffer_bytes(&self) -> u32 {
+        match *self {
+            RegionShape::Block { bytes } => bytes,
+            RegionShape::Strided { count, .. } => count * 4,
+        }
+    }
+}
+
+/// One planned region.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Region {
+    /// Loop-invariant main-memory base address (affine over inputs).
+    pub base: Affine,
+    /// Transfer shape.
+    pub shape: RegionShape,
+    /// Byte offset of this region inside the instance's prefetch buffer
+    /// (16-aligned).
+    pub pf_offset: u32,
+}
+
+/// The complete plan for one thread.
+#[derive(Clone, Debug, Default)]
+pub struct Plan {
+    /// Planned regions.
+    pub regions: Vec<Region>,
+    /// read pc → region index.
+    pub assignment: BTreeMap<u32, usize>,
+    /// Reads left in place, with reasons.
+    pub skipped: Vec<(u32, SkipReason)>,
+    /// Total prefetch-buffer bytes needed per instance.
+    pub buffer_bytes: u32,
+}
+
+/// Signature used to coalesce single-element reads: the input-coefficient
+/// part of the base (two addresses with equal signatures differ by a
+/// constant).
+fn base_signature(a: &Affine) -> Vec<(u16, i64)> {
+    a.inputs.iter().map(|(k, v)| (*k, *v)).collect()
+}
+
+/// The PF code generator materialises input coefficients as `MUL`
+/// immediates; bases whose coefficients do not fit cannot be emitted
+/// faithfully and must stay as READs.
+fn emittable(a: &Affine) -> bool {
+    a.inputs
+        .values()
+        .all(|&c| i32::try_from(c).is_ok())
+}
+
+/// Builds the region plan from an analysis.
+pub fn plan(analysis: &Analysis, opts: &PlanOptions) -> Plan {
+    let mut plan = Plan::default();
+
+    // Candidate descriptors before offset assignment/merging:
+    // (read pc, base, shape).
+    let mut singles: Vec<(u32, Affine)> = Vec::new();
+    let mut shaped: Vec<(u32, Affine, RegionShape)> = Vec::new();
+    // Whole-object candidates: (pc, box base, extent, expected uses).
+    let mut bounded: Vec<(u32, Affine, i64, u64)> = Vec::new();
+
+    'reads: for read in &analysis.reads {
+        let addr = match &read.class {
+            ReadClass::Decouplable(a) => a,
+            ReadClass::BoundedObject { base, span } => {
+                if !opts.whole_object {
+                    plan.skipped.push((read.pc, SkipReason::NotWorthwhile));
+                    continue;
+                }
+                // Box = affine box of the base plus the bounded span.
+                let mut b = base.clone();
+                let mut lo = 0i64;
+                let mut extent = 4i64 + *span as i64;
+                let mut uses = 1u64;
+                for (&l, &coeff) in &base.inductions.clone() {
+                    let Some(trip) = analysis.trip(l).and_then(|t| t.as_const()) else {
+                        plan.skipped.push((read.pc, SkipReason::NoConstantTrip));
+                        continue 'reads;
+                    };
+                    let trip = trip.max(1);
+                    uses = uses.saturating_mul(trip as u64);
+                    let reach = coeff * (trip - 1);
+                    lo += reach.min(0);
+                    extent += reach.abs();
+                    b = b.subst_induction(l, &Affine::konst(0));
+                }
+                // Enclosing loops the address does not vary with still
+                // multiply the number of uses.
+                for &l in &read.enclosing {
+                    if base.induction_coeff(l) == 0 {
+                        if let Some(t) = analysis.trip(l).and_then(|t| t.as_const()) {
+                            uses = uses.saturating_mul(t.max(1) as u64);
+                        }
+                    }
+                }
+                let bb = b.add(&Affine::konst(lo));
+                if extent > opts.max_region_bytes as i64 || !emittable(&bb) {
+                    plan.skipped.push((read.pc, SkipReason::TooLarge));
+                    continue;
+                }
+                bounded.push((read.pc, bb, extent, uses));
+                continue;
+            }
+            ReadClass::DataDependent => {
+                plan.skipped.push((read.pc, SkipReason::DataDependent));
+                continue;
+            }
+        };
+        if addr.inductions.is_empty() {
+            if !emittable(addr) {
+                plan.skipped.push((read.pc, SkipReason::TooLarge));
+                continue;
+            }
+            singles.push((read.pc, addr.clone()));
+            continue;
+        }
+        // All loop terms need constant trip counts.
+        let mut spans: Vec<(i64, i64)> = Vec::new(); // (coeff, trip)
+        for (&l, &coeff) in &addr.inductions {
+            match analysis.trip(l).and_then(|t| t.as_const()) {
+                Some(t) if t > 0 => spans.push((coeff, t)),
+                Some(_) => {
+                    // Zero-trip loop: the read never executes; fetch one
+                    // element so translation stays valid.
+                    spans.push((coeff, 1));
+                }
+                None => {
+                    plan.skipped.push((read.pc, SkipReason::NoConstantTrip));
+                    continue 'reads;
+                }
+            }
+        }
+        // Bounding box.
+        let mut base = addr.clone();
+        for &l in addr.inductions.clone().keys() {
+            base = base.subst_induction(l, &Affine::konst(0));
+        }
+        let mut lo = 0i64;
+        let mut extent = 4i64;
+        for &(coeff, trip) in &spans {
+            let reach = coeff * (trip - 1);
+            lo += reach.min(0);
+            extent += reach.abs();
+        }
+        let box_base = base.add(&Affine::konst(lo));
+        if !emittable(&box_base) {
+            plan.skipped.push((read.pc, SkipReason::TooLarge));
+            continue;
+        }
+        if extent <= opts.max_region_bytes as i64 {
+            shaped.push((
+                read.pc,
+                box_base,
+                RegionShape::Block {
+                    bytes: extent as u32,
+                },
+            ));
+            continue;
+        }
+        // Strided fallback: single positive power-of-two stride.
+        if opts.allow_strided && spans.len() == 1 {
+            let (stride, count) = spans[0];
+            if stride > 4
+                && (stride as u64).is_power_of_two()
+                && count * 4 <= opts.max_region_bytes as i64
+            {
+                shaped.push((
+                    read.pc,
+                    base,
+                    RegionShape::Strided {
+                        count: count as u32,
+                        stride,
+                    },
+                ));
+                continue;
+            }
+        }
+        plan.skipped.push((read.pc, SkipReason::TooLarge));
+    }
+
+    // Coalesce singles by signature.
+    singles.sort_by(|a, b| {
+        (base_signature(&a.1), a.1.konst).cmp(&(base_signature(&b.1), b.1.konst))
+    });
+    let mut i = 0;
+    while i < singles.len() {
+        let sig = base_signature(&singles[i].1);
+        let start = singles[i].1.konst;
+        let mut end = start + 4;
+        let mut members = vec![singles[i].0];
+        let mut j = i + 1;
+        while j < singles.len()
+            && base_signature(&singles[j].1) == sig
+            && singles[j].1.konst <= end + opts.merge_gap as i64
+            && (singles[j].1.konst + 4 - start) <= opts.max_region_bytes as i64
+        {
+            end = end.max(singles[j].1.konst + 4);
+            members.push(singles[j].0);
+            j += 1;
+        }
+        let mut base = singles[i].1.clone();
+        base.konst = start;
+        let idx = plan.regions.len();
+        plan.regions.push(Region {
+            base,
+            shape: RegionShape::Block {
+                bytes: (end - start) as u32,
+            },
+            pf_offset: 0,
+        });
+        for pc in members {
+            plan.assignment.insert(pc, idx);
+        }
+        i = j;
+    }
+
+    // Shaped regions are one-per-read.
+    for (pc, base, shape) in shaped {
+        let idx = plan.regions.len();
+        plan.regions.push(Region {
+            base,
+            shape,
+            pf_offset: 0,
+        });
+        plan.assignment.insert(pc, idx);
+    }
+
+    // Whole-object candidates: group identical regions (same base, same
+    // extent); a group is worthwhile when its total expected uses pay for
+    // one transfer.
+    bounded.sort_by_key(|a| (base_signature(&a.1), a.1.konst, a.2));
+    let mut i = 0;
+    while i < bounded.len() {
+        let mut j = i + 1;
+        let mut uses = bounded[i].3;
+        while j < bounded.len()
+            && bounded[j].1 == bounded[i].1
+            && bounded[j].2 == bounded[i].2
+        {
+            uses = uses.saturating_add(bounded[j].3);
+            j += 1;
+        }
+        if uses >= opts.whole_object_min_uses {
+            let idx = plan.regions.len();
+            plan.regions.push(Region {
+                base: bounded[i].1.clone(),
+                shape: RegionShape::Block {
+                    bytes: bounded[i].2 as u32,
+                },
+                pf_offset: 0,
+            });
+            for item in &bounded[i..j] {
+                plan.assignment.insert(item.0, idx);
+            }
+        } else {
+            for item in &bounded[i..j] {
+                plan.skipped.push((item.0, SkipReason::NotWorthwhile));
+            }
+        }
+        i = j;
+    }
+
+    // Assign 16-aligned buffer offsets.
+    let mut off = 0u32;
+    for r in &mut plan.regions {
+        r.pf_offset = off;
+        off += r.shape.buffer_bytes().div_ceil(16) * 16;
+    }
+    plan.buffer_bytes = off;
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use dta_isa::{reg::r, BrCond, ThreadBuilder};
+
+    fn plan_of(t: dta_isa::ThreadCode, opts: PlanOptions) -> Plan {
+        plan(&analyze(&t).unwrap(), &opts)
+    }
+
+    #[test]
+    fn single_elements_with_shared_base_coalesce() {
+        // reads at in0+0, in0+8, in0+16 -> one 20-byte block.
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.read(r(4), r(3), 0);
+        t.read(r(5), r(3), 8);
+        t.read(r(6), r(3), 16);
+        t.stop();
+        let p = plan_of(t.build(), PlanOptions::default());
+        assert_eq!(p.regions.len(), 1);
+        assert_eq!(p.regions[0].shape, RegionShape::Block { bytes: 20 });
+        assert_eq!(p.assignment.len(), 3);
+        assert_eq!(p.buffer_bytes, 32); // 20 rounded to 16-alignment
+    }
+
+    #[test]
+    fn distant_elements_do_not_coalesce() {
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.read(r(4), r(3), 0);
+        t.read(r(5), r(3), 10_000);
+        t.stop();
+        let p = plan_of(t.build(), PlanOptions::default());
+        assert_eq!(p.regions.len(), 2);
+    }
+
+    #[test]
+    fn different_bases_do_not_coalesce() {
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.load(r(4), 1);
+        t.begin_ex();
+        t.read(r(5), r(3), 0);
+        t.read(r(6), r(4), 0);
+        t.stop();
+        let p = plan_of(t.build(), PlanOptions::default());
+        assert_eq!(p.regions.len(), 2);
+    }
+
+    fn loop_read(n: i32, elem_stride_shift: u8) -> dta_isa::ThreadCode {
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.li(r(4), 0);
+        let top = t.label_here();
+        let done = t.new_label();
+        t.br(BrCond::Ge, r(4), n, done);
+        t.shl(r(6), r(4), elem_stride_shift as i32);
+        t.add(r(6), r(3), r(6));
+        t.read(r(7), r(6), 0);
+        t.add(r(4), r(4), 1);
+        t.jmp(top);
+        t.bind(done);
+        t.stop();
+        t.build()
+    }
+
+    #[test]
+    fn unit_stride_loop_becomes_block() {
+        let p = plan_of(loop_read(32, 2), PlanOptions::default());
+        assert_eq!(p.regions.len(), 1);
+        assert_eq!(p.regions[0].shape, RegionShape::Block { bytes: 128 });
+        assert!(p.skipped.is_empty());
+    }
+
+    #[test]
+    fn large_stride_degrades_to_packed_gather() {
+        // stride 1024 over 32 iterations: box = 31*1024+4 > cap; strided
+        // packs into 128 bytes.
+        let opts = PlanOptions {
+            max_region_bytes: 4096,
+            ..PlanOptions::default()
+        };
+        let p = plan_of(loop_read(32, 10), opts);
+        assert_eq!(p.regions.len(), 1);
+        assert_eq!(
+            p.regions[0].shape,
+            RegionShape::Strided {
+                count: 32,
+                stride: 1024
+            }
+        );
+    }
+
+    #[test]
+    fn strided_fallback_can_be_disabled() {
+        let opts = PlanOptions {
+            max_region_bytes: 4096,
+            allow_strided: false,
+            ..PlanOptions::default()
+        };
+        let p = plan_of(loop_read(32, 10), opts);
+        assert!(p.regions.is_empty());
+        assert_eq!(p.skipped, vec![(5, SkipReason::TooLarge)]);
+    }
+
+    fn table_lookup_thread(lookups: usize) -> dta_isa::ThreadCode {
+        // x = mem[in0]; repeat: acc += T[(x >> 8k) & 0xFF]
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.read(r(4), r(3), 0); // data-dependent source value
+        for k in 0..lookups {
+            t.shr(r(5), r(4), (k as i32 * 8) % 24);
+            t.and(r(5), r(5), 0xFF);
+            t.shl(r(5), r(5), 2);
+            t.li(r(6), 0x2000);
+            t.add(r(6), r(6), r(5));
+            t.read(r(7), r(6), 0);
+            t.add(r(8), r(8), r(7));
+        }
+        t.stop();
+        t.build()
+    }
+
+    #[test]
+    fn whole_object_off_skips_bounded_reads() {
+        let p = plan_of(table_lookup_thread(4), PlanOptions::default());
+        // Only the source read is prefetched; the 4 lookups are skipped
+        // as not worthwhile (the paper's configuration).
+        assert_eq!(p.assignment.len(), 1);
+        assert_eq!(
+            p.skipped
+                .iter()
+                .filter(|(_, r)| *r == SkipReason::NotWorthwhile)
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn whole_object_groups_shared_tables() {
+        let opts = PlanOptions {
+            whole_object: true,
+            ..PlanOptions::default()
+        };
+        let p = plan_of(table_lookup_thread(4), opts);
+        // Source read + ONE region covering the whole 1 KiB table.
+        assert_eq!(p.assignment.len(), 5);
+        assert_eq!(p.regions.len(), 2);
+        assert!(p
+            .regions
+            .iter()
+            .any(|r| r.shape == RegionShape::Block { bytes: 1024 }));
+        assert!(p.skipped.is_empty());
+    }
+
+    #[test]
+    fn single_use_whole_object_is_not_worthwhile() {
+        let opts = PlanOptions {
+            whole_object: true,
+            ..PlanOptions::default()
+        };
+        let p = plan_of(table_lookup_thread(1), opts);
+        // One lookup of a 1 KiB table: leave the READ in place, exactly
+        // the paper's bitcnt decision.
+        assert_eq!(
+            p.skipped
+                .iter()
+                .filter(|(_, r)| *r == SkipReason::NotWorthwhile)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn data_dependent_reads_are_skipped() {
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.read(r(4), r(3), 0);
+        t.read(r(5), r(4), 0); // depends on the first read's data
+        t.stop();
+        let p = plan_of(t.build(), PlanOptions::default());
+        assert_eq!(p.regions.len(), 1);
+        assert_eq!(p.skipped.len(), 1);
+        assert_eq!(p.skipped[0].1, SkipReason::DataDependent);
+    }
+
+    #[test]
+    fn nested_row_major_walk_collapses_into_one_block() {
+        // for i in 0..4 { for j in 0..8 { read in0 + i*32 + j*4 } }:
+        // bounding box = 4*32 = 128 bytes, contiguous.
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.li(r(4), 0);
+        let otop = t.label_here();
+        let odone = t.new_label();
+        t.br(BrCond::Ge, r(4), 4, odone);
+        t.li(r(5), 0);
+        let itop = t.label_here();
+        let idone = t.new_label();
+        t.br(BrCond::Ge, r(5), 8, idone);
+        t.mul(r(6), r(4), 32);
+        t.shl(r(7), r(5), 2);
+        t.add(r(6), r(6), r(7));
+        t.add(r(6), r(3), r(6));
+        t.read(r(8), r(6), 0);
+        t.add(r(5), r(5), 1);
+        t.jmp(itop);
+        t.bind(idone);
+        t.add(r(4), r(4), 1);
+        t.jmp(otop);
+        t.bind(odone);
+        t.stop();
+        let p = plan_of(t.build(), PlanOptions::default());
+        assert_eq!(p.regions.len(), 1);
+        assert_eq!(p.regions[0].shape, RegionShape::Block { bytes: 128 });
+    }
+
+    #[test]
+    fn unknown_trip_is_skipped() {
+        // Bound is a data-dependent value.
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.read(r(8), r(3), 0); // n loaded from memory
+        t.li(r(4), 0);
+        let top = t.label_here();
+        let done = t.new_label();
+        t.br(BrCond::Ge, r(4), r(8), done);
+        t.shl(r(6), r(4), 2);
+        t.add(r(6), r(3), r(6));
+        t.read(r(7), r(6), 4);
+        t.add(r(4), r(4), 1);
+        t.jmp(top);
+        t.bind(done);
+        t.stop();
+        let p = plan_of(t.build(), PlanOptions::default());
+        // The scalar read of n is prefetchable; the loop body read is not.
+        assert_eq!(p.regions.len(), 1);
+        assert!(p
+            .skipped
+            .iter()
+            .any(|(_, r)| *r == SkipReason::NoConstantTrip));
+    }
+
+    #[test]
+    fn negative_stride_boxes_from_the_low_end() {
+        // read in0 - i*4 for i in 0..8: box base = in0 - 28, 32 bytes.
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.li(r(4), 0);
+        let top = t.label_here();
+        let done = t.new_label();
+        t.br(BrCond::Ge, r(4), 8, done);
+        t.mul(r(6), r(4), -4);
+        t.add(r(6), r(3), r(6));
+        t.read(r(7), r(6), 0);
+        t.add(r(4), r(4), 1);
+        t.jmp(top);
+        t.bind(done);
+        t.stop();
+        let p = plan_of(t.build(), PlanOptions::default());
+        assert_eq!(p.regions.len(), 1);
+        assert_eq!(p.regions[0].base.konst, -28);
+        assert_eq!(p.regions[0].shape, RegionShape::Block { bytes: 32 });
+    }
+}

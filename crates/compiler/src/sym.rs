@@ -1,0 +1,451 @@
+//! Symbolic values for the prefetch analysis.
+//!
+//! The analysis tracks, for every register, an abstract value describing
+//! how it derives from what is known *before a thread's EX block runs*:
+//! constants, frame inputs, and loop induction variables. A main-memory
+//! `READ` whose address is such a value is **decouplable** — exactly the
+//! paper's criterion (bitcnt's table index "is not known before the
+//! execution starts", so that read stays).
+//!
+//! The canonical form is an affine expression
+//! `konst + Σ coeff·input(slot) + Σ coeff·k_L` where `k_L` is the
+//! iteration counter of loop `L` (0-based).
+
+use dta_isa::AluOp;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a natural loop within one thread (index into the loop
+/// table).
+pub type LoopId = u32;
+
+/// An affine symbolic value. `None`-producing operations yield
+/// [`Sym::Unknown`] instead.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Affine {
+    /// Constant part.
+    pub konst: i64,
+    /// Coefficients of frame-input slots.
+    pub inputs: BTreeMap<u16, i64>,
+    /// Coefficients of loop iteration counters.
+    pub inductions: BTreeMap<LoopId, i64>,
+}
+
+impl Affine {
+    /// The constant `c`.
+    pub fn konst(c: i64) -> Self {
+        Affine {
+            konst: c,
+            ..Default::default()
+        }
+    }
+
+    /// The value of frame input `slot`.
+    pub fn input(slot: u16) -> Self {
+        let mut inputs = BTreeMap::new();
+        inputs.insert(slot, 1);
+        Affine {
+            inputs,
+            ..Default::default()
+        }
+    }
+
+    /// The iteration counter of loop `l` (0 on the first iteration).
+    pub fn induction(l: LoopId) -> Self {
+        let mut inductions = BTreeMap::new();
+        inductions.insert(l, 1);
+        Affine {
+            inductions,
+            ..Default::default()
+        }
+    }
+
+    /// Is this a plain constant?
+    pub fn as_const(&self) -> Option<i64> {
+        if self.inputs.is_empty() && self.inductions.is_empty() {
+            Some(self.konst)
+        } else {
+            None
+        }
+    }
+
+    /// Is the value independent of any loop counter?
+    pub fn is_loop_invariant(&self) -> bool {
+        self.inductions.is_empty()
+    }
+
+    fn prune(mut self) -> Self {
+        self.inputs.retain(|_, c| *c != 0);
+        self.inductions.retain(|_, c| *c != 0);
+        self
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Affine) -> Affine {
+        let mut r = self.clone();
+        r.konst = r.konst.wrapping_add(other.konst);
+        for (k, v) in &other.inputs {
+            *r.inputs.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.inductions {
+            *r.inductions.entry(*k).or_insert(0) += v;
+        }
+        r.prune()
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Affine) -> Affine {
+        self.add(&other.scale(-1))
+    }
+
+    /// `self * c`.
+    pub fn scale(&self, c: i64) -> Affine {
+        let mut r = self.clone();
+        r.konst = r.konst.wrapping_mul(c);
+        for v in r.inputs.values_mut() {
+            *v = v.wrapping_mul(c);
+        }
+        for v in r.inductions.values_mut() {
+            *v = v.wrapping_mul(c);
+        }
+        r.prune()
+    }
+
+    /// Exact division by a positive constant, when every coefficient
+    /// divides evenly.
+    pub fn div_exact(&self, c: i64) -> Option<Affine> {
+        if c <= 0 {
+            return None;
+        }
+        if self.konst % c != 0
+            || self.inputs.values().any(|v| v % c != 0)
+            || self.inductions.values().any(|v| v % c != 0)
+        {
+            return None;
+        }
+        let mut r = self.clone();
+        r.konst /= c;
+        for v in r.inputs.values_mut() {
+            *v /= c;
+        }
+        for v in r.inductions.values_mut() {
+            *v /= c;
+        }
+        Some(r)
+    }
+
+    /// Substitutes loop `l`'s counter with the affine `value` (used when a
+    /// loop exits with a known final counter, and when splitting a read
+    /// address into region base + per-iteration stride).
+    pub fn subst_induction(&self, l: LoopId, value: &Affine) -> Affine {
+        let mut r = self.clone();
+        let Some(coeff) = r.inductions.remove(&l) else {
+            return r;
+        };
+        r.add(&value.scale(coeff)).prune()
+    }
+
+    /// Coefficient of loop `l`'s counter.
+    pub fn induction_coeff(&self, l: LoopId) -> i64 {
+        self.inductions.get(&l).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.konst)?;
+        for (s, c) in &self.inputs {
+            write!(f, " + {c}*in{s}")?;
+        }
+        for (l, c) in &self.inductions {
+            write!(f, " + {c}*k{l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A register's abstract value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Sym {
+    /// Affine in inputs and loop counters — computable before EX runs.
+    Aff(Affine),
+    /// `base + u` for some runtime value `u ∈ [0, span]` — typically a
+    /// masked, data-dependent index (`(x >> s) & 0xFF`). The *bounds* are
+    /// known before EX runs even though the value is not, which is what
+    /// enables whole-structure prefetching (paper §3: "prefetch the
+    /// entire data structure").
+    Bounded {
+        /// Known affine lower bound.
+        base: Affine,
+        /// Non-negative width of the uncertainty interval.
+        span: u64,
+    },
+    /// Depends on memory contents, scheduler results, or unanalyzable
+    /// control flow.
+    Unknown,
+}
+
+impl Sym {
+    /// The affine value, if exactly known.
+    pub fn affine(&self) -> Option<&Affine> {
+        match self {
+            Sym::Aff(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Constant constructor.
+    pub fn konst(c: i64) -> Self {
+        Sym::Aff(Affine::konst(c))
+    }
+
+    /// Evaluates an ALU op over two abstract values.
+    pub fn eval(op: AluOp, a: &Sym, b: &Sym) -> Sym {
+        use Sym::*;
+        // Fully constant operands defer to the concrete semantics.
+        if let (Aff(x), Aff(y)) = (a, b) {
+            if let (Some(ca), Some(cb)) = (x.as_const(), y.as_const()) {
+                return Sym::konst(op.eval(ca, cb));
+            }
+        }
+        // Masking anything with a non-negative constant bounds it.
+        if op == AluOp::And {
+            match (a, b) {
+                (_, Aff(y)) if matches!(y.as_const(), Some(m) if m >= 0) => {
+                    let m = y.as_const().expect("checked");
+                    // A tighter result when the left side is already known
+                    // non-negative and smaller than the mask.
+                    if let Bounded { base, span } = a {
+                        if let Some(lo) = base.as_const() {
+                            if lo >= 0 && lo + *span as i64 <= m {
+                                return a.clone();
+                            }
+                        }
+                    }
+                    return Bounded {
+                        base: Affine::konst(0),
+                        span: m as u64,
+                    };
+                }
+                (Aff(x), _) if matches!(x.as_const(), Some(m) if m >= 0) => {
+                    let m = x.as_const().expect("checked");
+                    return Bounded {
+                        base: Affine::konst(0),
+                        span: m as u64,
+                    };
+                }
+                _ => {}
+            }
+        }
+        match (a, b) {
+            (Aff(x), Aff(y)) => {
+                match op {
+                    AluOp::Add => Aff(x.add(y)),
+                    AluOp::Sub => Aff(x.sub(y)),
+                    AluOp::Mul => match (x.as_const(), y.as_const()) {
+                        (Some(c), _) => Aff(y.scale(c)),
+                        (_, Some(c)) => Aff(x.scale(c)),
+                        _ => Unknown,
+                    },
+                    AluOp::Shl => match y.as_const() {
+                        Some(c) if (0..63).contains(&c) => Aff(x.scale(1i64 << c)),
+                        _ => Unknown,
+                    },
+                    // Anything else on non-constant operands loses
+                    // linearity.
+                    _ => Unknown,
+                }
+            }
+            (Bounded { base, span }, Aff(y)) => match op {
+                AluOp::Add => Bounded {
+                    base: base.add(y),
+                    span: *span,
+                },
+                AluOp::Sub => Bounded {
+                    base: base.sub(y),
+                    span: *span,
+                },
+                AluOp::Mul => match y.as_const() {
+                    Some(c) if c > 0 => Bounded {
+                        base: base.scale(c),
+                        span: span.saturating_mul(c as u64),
+                    },
+                    _ => Unknown,
+                },
+                AluOp::Shl => match y.as_const() {
+                    Some(c) if (0..32).contains(&c) => Bounded {
+                        base: base.scale(1i64 << c),
+                        span: span.saturating_mul(1u64 << c),
+                    },
+                    _ => Unknown,
+                },
+                AluOp::Shr => match (base.as_const(), y.as_const()) {
+                    // Only when the whole interval is non-negative.
+                    (Some(lo), Some(c)) if lo >= 0 && (0..63).contains(&c) => {
+                        let hi = lo + *span as i64;
+                        Bounded {
+                            base: Affine::konst(lo >> c),
+                            span: ((hi >> c) - (lo >> c)) as u64,
+                        }
+                    }
+                    _ => Unknown,
+                },
+                _ => Unknown,
+            },
+            (Aff(x), Bounded { base, span }) => match op {
+                AluOp::Add => Bounded {
+                    base: x.add(base),
+                    span: *span,
+                },
+                // x - [b, b+s] = [x-b-s, x-b]
+                AluOp::Sub => Bounded {
+                    base: x.sub(base).sub(&Affine::konst(*span as i64)),
+                    span: *span,
+                },
+                AluOp::Mul => match x.as_const() {
+                    Some(c) if c > 0 => Bounded {
+                        base: base.scale(c),
+                        span: span.saturating_mul(c as u64),
+                    },
+                    _ => Unknown,
+                },
+                _ => Unknown,
+            },
+            (Bounded { base: b1, span: s1 }, Bounded { base: b2, span: s2 }) => match op {
+                AluOp::Add => Bounded {
+                    base: b1.add(b2),
+                    span: s1.saturating_add(*s2),
+                },
+                _ => Unknown,
+            },
+            _ => Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_arithmetic() {
+        let a = Affine::input(0).scale(4).add(&Affine::konst(16));
+        assert_eq!(a.konst, 16);
+        assert_eq!(a.inputs[&0], 4);
+        let b = a.sub(&Affine::input(0).scale(4));
+        assert_eq!(b.as_const(), Some(16));
+    }
+
+    #[test]
+    fn zero_coefficients_are_pruned() {
+        let a = Affine::input(3).sub(&Affine::input(3));
+        assert_eq!(a.as_const(), Some(0));
+        assert!(a.inputs.is_empty());
+    }
+
+    #[test]
+    fn induction_substitution() {
+        // addr = 100 + 4*k0
+        let addr = Affine::konst(100).add(&Affine::induction(0).scale(4));
+        let at0 = addr.subst_induction(0, &Affine::konst(0));
+        assert_eq!(at0.as_const(), Some(100));
+        let at_n = addr.subst_induction(0, &Affine::input(1));
+        assert_eq!(at_n.konst, 100);
+        assert_eq!(at_n.inputs[&1], 4);
+        assert!(at_n.is_loop_invariant());
+    }
+
+    #[test]
+    fn div_exact_checks_all_coefficients() {
+        let a = Affine::input(0).scale(8).add(&Affine::konst(4));
+        assert_eq!(a.div_exact(4).unwrap().inputs[&0], 2);
+        assert!(a.div_exact(3).is_none());
+        assert!(a.div_exact(0).is_none());
+        assert!(a.div_exact(-2).is_none());
+    }
+
+    #[test]
+    fn sym_eval_linearity() {
+        let x = Sym::Aff(Affine::input(0));
+        let four = Sym::konst(4);
+        let scaled = Sym::eval(AluOp::Mul, &x, &four);
+        assert_eq!(scaled.affine().unwrap().inputs[&0], 4);
+        let shifted = Sym::eval(AluOp::Shl, &x, &Sym::konst(2));
+        assert_eq!(shifted.affine().unwrap().inputs[&0], 4);
+        let sum = Sym::eval(AluOp::Add, &scaled, &shifted);
+        assert_eq!(sum.affine().unwrap().inputs[&0], 8);
+    }
+
+    #[test]
+    fn sym_eval_nonlinear_is_unknown() {
+        let x = Sym::Aff(Affine::input(0));
+        let y = Sym::Aff(Affine::input(1));
+        assert_eq!(Sym::eval(AluOp::Mul, &x, &y), Sym::Unknown);
+        assert_eq!(Sym::eval(AluOp::Add, &x, &Sym::Unknown), Sym::Unknown);
+        assert_eq!(Sym::eval(AluOp::Xor, &x, &y), Sym::Unknown);
+    }
+
+    #[test]
+    fn masking_bounds_a_value() {
+        // (unknown & 0xFF) in [0, 255]
+        let masked = Sym::eval(AluOp::And, &Sym::Unknown, &Sym::konst(255));
+        assert_eq!(
+            masked,
+            Sym::Bounded { base: Affine::konst(0), span: 255 }
+        );
+        // << 2 scales the interval
+        let scaled = Sym::eval(AluOp::Shl, &masked, &Sym::konst(2));
+        assert_eq!(
+            scaled,
+            Sym::Bounded { base: Affine::konst(0), span: 1020 }
+        );
+        // + table base shifts it
+        let addr = Sym::eval(AluOp::Add, &scaled, &Sym::Aff(Affine::input(0)));
+        match addr {
+            Sym::Bounded { base, span } => {
+                assert_eq!(base.inputs[&0], 1);
+                assert_eq!(span, 1020);
+            }
+            other => panic!("expected bounded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_shr_needs_nonnegative_constant_base() {
+        let b = Sym::Bounded { base: Affine::konst(16), span: 240 };
+        assert_eq!(
+            Sym::eval(AluOp::Shr, &b, &Sym::konst(4)),
+            Sym::Bounded { base: Affine::konst(1), span: 15 }
+        );
+        let neg = Sym::Bounded { base: Affine::konst(-8), span: 4 };
+        assert_eq!(Sym::eval(AluOp::Shr, &neg, &Sym::konst(1)), Sym::Unknown);
+    }
+
+    #[test]
+    fn tight_mask_is_a_no_op() {
+        // ([0, 15] & 0xFF) stays [0, 15].
+        let small = Sym::Bounded { base: Affine::konst(0), span: 15 };
+        assert_eq!(Sym::eval(AluOp::And, &small, &Sym::konst(255)), small);
+    }
+
+    #[test]
+    fn sym_eval_constants_fold_exactly() {
+        assert_eq!(
+            Sym::eval(AluOp::And, &Sym::konst(0b1100), &Sym::konst(0b1010)),
+            Sym::konst(0b1000)
+        );
+        assert_eq!(
+            Sym::eval(AluOp::Div, &Sym::konst(7), &Sym::konst(2)),
+            Sym::konst(3)
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = Affine::konst(8)
+            .add(&Affine::input(2).scale(4))
+            .add(&Affine::induction(1).scale(128));
+        assert_eq!(a.to_string(), "8 + 4*in2 + 128*k1");
+    }
+}

@@ -1,0 +1,735 @@
+//! The prefetch transformation.
+//!
+//! Implements the code rewrite of the paper's §3 and Fig. 3 — and
+//! automates what the authors did by hand ("prefetching code blocks are
+//! added by hand"; full automation is their stated future work):
+//!
+//! 1. analyse the thread ([`crate::analysis`]) and plan DMA regions
+//!    ([`crate::regions`]);
+//! 2. synthesise a **PF code block** that computes each region's base
+//!    address from frame inputs, programs the DMA unit (Table 3
+//!    operands), and ends with a non-blocking `DMAYIELD` (the new "Program
+//!    DMA" → "Wait for DMA" lifecycle states of Fig. 4);
+//! 3. rewrite each decoupled `READ` in the EX block into a local-store
+//!    access ("all READ instructions that the thread contained are
+//!    replaced by the compiler with [local] instructions that now access
+//!    the prefetched data");
+//! 4. leave data-dependent reads in place (the paper's bitcnt decision).
+//!
+//! Address translation uses per-region *delta registers* computed once in
+//! the PF block: for a block region, `LS = mem + (bufbase − membase)`; for
+//! a packed strided region the element index is recovered with shifts.
+
+use crate::analysis::{analyze, Analysis};
+use crate::regions::{plan, Plan, PlanOptions, Region, RegionShape, SkipReason};
+use crate::sym::Affine;
+use dta_isa::{
+    AluOp, BlockMap, Instr, Program, Reg, Src, ThreadCode, NUM_REGS, PREFETCH_BASE_REG,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Transformation options.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransformOptions {
+    /// Region planning knobs.
+    pub plan: PlanOptions,
+}
+
+/// Why a whole thread was left untouched.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ThreadSkip {
+    /// No main-memory READs: "threads will remain unchanged as in the
+    /// original DTA" (§3).
+    NoGlobalReads,
+    /// The thread already has a PF block or DMA instructions.
+    AlreadyPrefetching,
+    /// Control flow too irregular for the analysis.
+    Unanalysable(String),
+    /// Not enough free architectural registers for the rewrite.
+    NoScratchRegisters,
+    /// Nothing was decouplable.
+    NothingDecouplable,
+}
+
+/// Per-thread transformation report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThreadReport {
+    /// Thread name.
+    pub name: String,
+    /// Total `READ`s in the thread.
+    pub reads: usize,
+    /// `READ`s rewritten to local-store accesses.
+    pub decoupled: usize,
+    /// DMA regions programmed by the PF block.
+    pub regions: usize,
+    /// Prefetch buffer bytes per instance.
+    pub buffer_bytes: u32,
+    /// Reads left in place, with reasons.
+    pub skipped_reads: Vec<(u32, SkipReason)>,
+    /// Why the thread was skipped entirely (when it was).
+    pub skipped: Option<ThreadSkip>,
+}
+
+impl ThreadReport {
+    /// Was any rewrite applied?
+    pub fn transformed(&self) -> bool {
+        self.skipped.is_none() && self.decoupled > 0
+    }
+}
+
+/// Whole-program transformation report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProgramReport {
+    /// One report per thread.
+    pub threads: Vec<ThreadReport>,
+}
+
+impl ProgramReport {
+    /// Static count of READs across the program.
+    pub fn total_reads(&self) -> usize {
+        self.threads.iter().map(|t| t.reads).sum()
+    }
+
+    /// Static count of decoupled READs.
+    pub fn total_decoupled(&self) -> usize {
+        self.threads.iter().map(|t| t.decoupled).sum()
+    }
+
+    /// Fraction of static READs decoupled (the paper reports 62% for
+    /// bitcnt).
+    pub fn decoupled_fraction(&self) -> f64 {
+        let total = self.total_reads();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_decoupled() as f64 / total as f64
+        }
+    }
+}
+
+fn skip_report(thread: &ThreadCode, reads: usize, why: ThreadSkip) -> ThreadReport {
+    ThreadReport {
+        name: thread.name.clone(),
+        reads,
+        decoupled: 0,
+        regions: 0,
+        buffer_bytes: 0,
+        skipped_reads: Vec::new(),
+        skipped: Some(why),
+    }
+}
+
+/// Registers the rewrite needs for one region.
+#[derive(Clone, Copy, Debug)]
+enum RegionRegs {
+    /// `delta = bufbase − membase`.
+    Block { delta: Reg },
+    /// `base_minus_off` and `bufbase` for shift translation.
+    Strided { base_minus_off: Reg, bufbase: Reg },
+}
+
+/// Emits code computing `dst = affine` (inputs must already be loaded
+/// into `input_regs`). Uses `scratch` for scaled terms.
+fn emit_affine(
+    out: &mut Vec<Instr>,
+    a: &Affine,
+    dst: Reg,
+    scratch: Reg,
+    input_regs: &BTreeMap<u16, Reg>,
+) {
+    out.push(Instr::Li {
+        rd: dst,
+        imm: a.konst,
+    });
+    for (slot, &coeff) in &a.inputs {
+        let src = input_regs[slot];
+        if coeff == 1 {
+            out.push(Instr::Alu {
+                op: AluOp::Add,
+                rd: dst,
+                ra: dst,
+                rb: Src::Reg(src),
+            });
+        } else {
+            out.push(Instr::Alu {
+                op: AluOp::Mul,
+                rd: scratch,
+                ra: src,
+                rb: Src::Imm(coeff as i32),
+            });
+            out.push(Instr::Alu {
+                op: AluOp::Add,
+                rd: dst,
+                ra: dst,
+                rb: Src::Reg(scratch),
+            });
+        }
+    }
+}
+
+/// Transforms one thread. Never fails: threads that cannot be transformed
+/// are returned unchanged with the reason in the report.
+pub fn prefetch_thread(thread: &ThreadCode, opts: &TransformOptions) -> (ThreadCode, ThreadReport) {
+    let reads_total = thread
+        .code
+        .iter()
+        .filter(|i| matches!(i, Instr::Read { .. }))
+        .count();
+    if reads_total == 0 {
+        return (
+            thread.clone(),
+            skip_report(thread, 0, ThreadSkip::NoGlobalReads),
+        );
+    }
+    if thread.blocks.pf_end > 0
+        || thread
+            .code
+            .iter()
+            .any(|i| i.class() == dta_isa::IClass::Dma)
+    {
+        return (
+            thread.clone(),
+            skip_report(thread, reads_total, ThreadSkip::AlreadyPrefetching),
+        );
+    }
+    let analysis: Analysis = match analyze(thread) {
+        Ok(a) => a,
+        Err(e) => {
+            return (
+                thread.clone(),
+                skip_report(thread, reads_total, ThreadSkip::Unanalysable(e.to_string())),
+            )
+        }
+    };
+    let mut region_plan: Plan = plan(&analysis, &opts.plan);
+    if region_plan.regions.is_empty() {
+        let mut rep = skip_report(thread, reads_total, ThreadSkip::NothingDecouplable);
+        rep.skipped_reads = region_plan.skipped.clone();
+        return (thread.clone(), rep);
+    }
+
+    // ---- scratch register allocation -----------------------------------
+    let mut used: BTreeSet<usize> = [0usize, 1, 2].into_iter().collect();
+    for i in &thread.code {
+        for r in &i.defs() {
+            used.insert(r.index());
+        }
+        for r in &i.uses() {
+            used.insert(r.index());
+        }
+    }
+    let mut pool: Vec<Reg> = (3..NUM_REGS as u8)
+        .rev()
+        .map(Reg::new)
+        .filter(|r| !used.contains(&r.index()))
+        .collect();
+
+    // Fixed costs: translation temp + 2 PF transients + inputs.
+    let input_slots: BTreeSet<u16> = region_plan
+        .regions
+        .iter()
+        .flat_map(|r| r.base.inputs.keys().copied())
+        .collect();
+    let per_region = |r: &Region| match r.shape {
+        RegionShape::Block { .. } => 1,
+        RegionShape::Strided { .. } => 2,
+    };
+    let fixed = 3 + input_slots.len();
+    // Drop regions (latest-planned first) until the register budget fits.
+    loop {
+        let need: usize = fixed
+            + region_plan
+                .regions
+                .iter()
+                .map(per_region)
+                .sum::<usize>();
+        if need <= pool.len() {
+            break;
+        }
+        if region_plan.regions.is_empty() {
+            return (
+                thread.clone(),
+                skip_report(thread, reads_total, ThreadSkip::NoScratchRegisters),
+            );
+        }
+        let dropped = region_plan.regions.len() - 1;
+        region_plan.regions.pop();
+        region_plan
+            .assignment
+            .retain(|_, &mut idx| idx != dropped);
+    }
+    if region_plan.assignment.is_empty() {
+        return (
+            thread.clone(),
+            skip_report(thread, reads_total, ThreadSkip::NothingDecouplable),
+        );
+    }
+    // Recompute buffer offsets after any drops.
+    {
+        let mut off = 0u32;
+        for r in &mut region_plan.regions {
+            r.pf_offset = off;
+            off += r.shape.buffer_bytes().div_ceil(16) * 16;
+        }
+        region_plan.buffer_bytes = off;
+    }
+
+    let mut take = || pool.pop().expect("budgeted above");
+    let trans_tmp = take();
+    let pf_tmp1 = take();
+    let pf_tmp2 = take();
+    let input_regs: BTreeMap<u16, Reg> = input_slots.iter().map(|&s| (s, take())).collect();
+
+    // The `off` of the single read assigned to each strided region.
+    let read_off: BTreeMap<u32, i32> = thread
+        .code
+        .iter()
+        .enumerate()
+        .filter_map(|(pc, i)| match i {
+            Instr::Read { off, .. } => Some((pc as u32, *off)),
+            _ => None,
+        })
+        .collect();
+
+    // ---- PF block synthesis ---------------------------------------------
+    let mut pf: Vec<Instr> = Vec::new();
+    for (&slot, &reg) in &input_regs {
+        pf.push(Instr::Load { rd: reg, slot });
+    }
+    let mut region_regs: Vec<RegionRegs> = Vec::new();
+    for (idx, region) in region_plan.regions.iter().enumerate() {
+        let tag = (idx % 32) as u8;
+        match region.shape {
+            RegionShape::Block { bytes } => {
+                let delta = take();
+                emit_affine(&mut pf, &region.base, pf_tmp1, pf_tmp2, &input_regs);
+                pf.push(Instr::DmaGet {
+                    rls: PREFETCH_BASE_REG,
+                    ls_off: region.pf_offset as i32,
+                    rmem: pf_tmp1,
+                    mem_off: 0,
+                    bytes: Src::Imm(bytes as i32),
+                    tag,
+                });
+                // delta = (r2 + pf_offset) - base
+                pf.push(Instr::Alu {
+                    op: AluOp::Add,
+                    rd: delta,
+                    ra: PREFETCH_BASE_REG,
+                    rb: Src::Imm(region.pf_offset as i32),
+                });
+                pf.push(Instr::Alu {
+                    op: AluOp::Sub,
+                    rd: delta,
+                    ra: delta,
+                    rb: Src::Reg(pf_tmp1),
+                });
+                region_regs.push(RegionRegs::Block { delta });
+            }
+            RegionShape::Strided { count, stride } => {
+                let base_minus_off = take();
+                let bufbase = take();
+                // The single read assigned to this region.
+                let (&pc, _) = region_plan
+                    .assignment
+                    .iter()
+                    .find(|&(_, &i)| i == idx)
+                    .expect("strided region has exactly one read");
+                let off = read_off[&pc];
+                emit_affine(&mut pf, &region.base, pf_tmp1, pf_tmp2, &input_regs);
+                pf.push(Instr::DmaGetStrided {
+                    rls: PREFETCH_BASE_REG,
+                    ls_off: region.pf_offset as i32,
+                    rmem: pf_tmp1,
+                    mem_off: 0,
+                    elem_bytes: 4,
+                    count: Src::Imm(count as i32),
+                    stride: Src::Imm(stride as i32),
+                    tag,
+                });
+                pf.push(Instr::Alu {
+                    op: AluOp::Sub,
+                    rd: base_minus_off,
+                    ra: pf_tmp1,
+                    rb: Src::Imm(off),
+                });
+                pf.push(Instr::Alu {
+                    op: AluOp::Add,
+                    rd: bufbase,
+                    ra: PREFETCH_BASE_REG,
+                    rb: Src::Imm(region.pf_offset as i32),
+                });
+                region_regs.push(RegionRegs::Strided {
+                    base_minus_off,
+                    bufbase,
+                });
+            }
+        }
+    }
+    pf.push(Instr::DmaYield);
+    let pf_len = pf.len() as u32;
+
+    // ---- body rewrite ----------------------------------------------------
+    let old_len = thread.code.len() as u32;
+    let mut body: Vec<Instr> = Vec::new();
+    let mut map: Vec<u32> = Vec::with_capacity(old_len as usize);
+    let mut decoupled = 0usize;
+    for (pc, instr) in thread.code.iter().enumerate() {
+        let pc = pc as u32;
+        map.push(body.len() as u32);
+        match (instr, region_plan.assignment.get(&pc)) {
+            (&Instr::Read { rd, ra, off }, Some(&idx)) => {
+                decoupled += 1;
+                match region_regs[idx] {
+                    RegionRegs::Block { delta } => {
+                        body.push(Instr::Alu {
+                            op: AluOp::Add,
+                            rd: trans_tmp,
+                            ra,
+                            rb: Src::Reg(delta),
+                        });
+                        body.push(Instr::LsLoad {
+                            rd,
+                            ra: trans_tmp,
+                            off,
+                        });
+                    }
+                    RegionRegs::Strided {
+                        base_minus_off,
+                        bufbase,
+                    } => {
+                        let RegionShape::Strided { stride, .. } =
+                            region_plan.regions[idx].shape
+                        else {
+                            unreachable!("shape/regs mismatch")
+                        };
+                        let log2 = stride.trailing_zeros() as i32;
+                        body.push(Instr::Alu {
+                            op: AluOp::Sub,
+                            rd: trans_tmp,
+                            ra,
+                            rb: Src::Reg(base_minus_off),
+                        });
+                        body.push(Instr::Alu {
+                            op: AluOp::Shr,
+                            rd: trans_tmp,
+                            ra: trans_tmp,
+                            rb: Src::Imm(log2),
+                        });
+                        body.push(Instr::Alu {
+                            op: AluOp::Shl,
+                            rd: trans_tmp,
+                            ra: trans_tmp,
+                            rb: Src::Imm(2),
+                        });
+                        body.push(Instr::Alu {
+                            op: AluOp::Add,
+                            rd: trans_tmp,
+                            ra: trans_tmp,
+                            rb: Src::Reg(bufbase),
+                        });
+                        body.push(Instr::LsLoad {
+                            rd,
+                            ra: trans_tmp,
+                            off: 0,
+                        });
+                    }
+                }
+            }
+            _ => body.push(*instr),
+        }
+    }
+    // Retarget branches: new = pf_len + map[old].
+    for instr in &mut body {
+        if let Some(t) = instr.target() {
+            instr.set_target(pf_len + map[t as usize]);
+        }
+    }
+
+    let boundary = |b: u32| -> u32 {
+        if b >= old_len {
+            pf_len + body.len() as u32
+        } else {
+            pf_len + map[b as usize]
+        }
+    };
+    let blocks = BlockMap {
+        pf_end: pf_len,
+        pl_end: boundary(thread.blocks.pl_end),
+        ex_end: boundary(thread.blocks.ex_end),
+    };
+
+    let mut code = pf;
+    code.extend(body);
+    let new_thread = ThreadCode {
+        name: thread.name.clone(),
+        code,
+        blocks,
+        frame_slots: thread.frame_slots,
+        prefetch_bytes: region_plan.buffer_bytes.max(16),
+    };
+
+    let report = ThreadReport {
+        name: thread.name.clone(),
+        reads: reads_total,
+        decoupled,
+        regions: region_plan.regions.len(),
+        buffer_bytes: new_thread.prefetch_bytes,
+        skipped_reads: region_plan.skipped,
+        skipped: None,
+    };
+    (new_thread, report)
+}
+
+/// Transforms every thread of a program (threads without global reads are
+/// untouched, as in the paper).
+pub fn prefetch_program(program: &Program, opts: &TransformOptions) -> (Program, ProgramReport) {
+    let mut threads = Vec::with_capacity(program.threads.len());
+    let mut reports = Vec::with_capacity(program.threads.len());
+    for t in &program.threads {
+        let (nt, rep) = prefetch_thread(t, opts);
+        threads.push(nt);
+        reports.push(rep);
+    }
+    (
+        Program {
+            threads,
+            entry: program.entry,
+            entry_args: program.entry_args,
+            globals: program.globals.clone(),
+        },
+        ProgramReport { threads: reports },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_isa::{reg::r, validate_thread, BrCond, CodeBlock, ThreadBuilder};
+
+    fn strided_sum_thread(n: i32) -> ThreadCode {
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0); // base
+        t.load(r(8), 1); // out address
+        t.begin_ex();
+        t.li(r(4), 0);
+        t.li(r(5), 0);
+        let top = t.label_here();
+        let done = t.new_label();
+        t.br(BrCond::Ge, r(4), n, done);
+        t.shl(r(6), r(4), 2);
+        t.add(r(6), r(3), r(6));
+        t.read(r(7), r(6), 0);
+        t.add(r(5), r(5), r(7));
+        t.add(r(4), r(4), 1);
+        t.jmp(top);
+        t.bind(done);
+        t.begin_ps();
+        t.write(r(5), r(8), 0);
+        t.ffree_self();
+        t.stop();
+        t.build()
+    }
+
+    #[test]
+    fn loop_read_is_rewritten_into_pf_plus_lsload() {
+        let orig = strided_sum_thread(32);
+        let (new, rep) = prefetch_thread(&orig, &TransformOptions::default());
+        assert!(rep.transformed());
+        assert_eq!(rep.reads, 1);
+        assert_eq!(rep.decoupled, 1);
+        assert_eq!(rep.regions, 1);
+        assert!(new.blocks.pf_end > 0);
+        // PF ends with a yield.
+        assert!(matches!(
+            new.code[new.blocks.pf_end as usize - 1],
+            Instr::DmaYield
+        ));
+        // No READs remain; an LSLOAD appeared.
+        assert!(!new.code.iter().any(|i| matches!(i, Instr::Read { .. })));
+        assert!(new.code.iter().any(|i| matches!(i, Instr::LsLoad { .. })));
+        assert!(new.prefetch_bytes >= 128);
+        // Block boundaries still map the write into PS.
+        let write_pc = new
+            .code
+            .iter()
+            .position(|i| matches!(i, Instr::Write { .. }))
+            .unwrap() as u32;
+        assert_eq!(new.block_of(write_pc), CodeBlock::Ps);
+        // The result still validates.
+        let mut errs = Vec::new();
+        validate_thread(&new, std::slice::from_ref(&new), &mut errs);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn branch_targets_survive_the_rewrite() {
+        let orig = strided_sum_thread(16);
+        let (new, _) = prefetch_thread(&orig, &TransformOptions::default());
+        // Every branch target lands on a valid instruction and the loop
+        // back-edge still points at the guard.
+        for i in &new.code {
+            if let Some(t) = i.target() {
+                assert!(t < new.len());
+            }
+        }
+        let guard_pc = new
+            .code
+            .iter()
+            .position(|i| matches!(i, Instr::Br { cond: BrCond::Ge, .. }))
+            .unwrap() as u32;
+        let jmp = new
+            .code
+            .iter()
+            .find(|i| matches!(i, Instr::Jmp { .. }))
+            .unwrap();
+        assert_eq!(jmp.target(), Some(guard_pc));
+    }
+
+    #[test]
+    fn thread_without_reads_is_untouched() {
+        let mut t = ThreadBuilder::new("t");
+        t.begin_ex();
+        t.li(r(3), 1);
+        t.stop();
+        let orig = t.build();
+        let (new, rep) = prefetch_thread(&orig, &TransformOptions::default());
+        assert_eq!(new, orig);
+        assert_eq!(rep.skipped, Some(ThreadSkip::NoGlobalReads));
+    }
+
+    #[test]
+    fn already_prefetching_thread_is_untouched() {
+        let mut t = ThreadBuilder::new("t");
+        t.prefetch_bytes(64);
+        t.li(r(3), 0x1000);
+        t.dmaget(r(2), 0, r(3), 0, 64, 0);
+        t.dmayield();
+        t.begin_ex();
+        t.read(r(4), r(3), 0);
+        t.stop();
+        let orig = t.build();
+        let (new, rep) = prefetch_thread(&orig, &TransformOptions::default());
+        assert_eq!(new, orig);
+        assert_eq!(rep.skipped, Some(ThreadSkip::AlreadyPrefetching));
+    }
+
+    #[test]
+    fn data_dependent_read_is_left_in_place() {
+        // One decouplable + one chained read.
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.read(r(4), r(3), 0);
+        t.shl(r(5), r(4), 2);
+        t.add(r(5), r(3), r(5));
+        t.read(r(6), r(5), 0);
+        t.begin_ps();
+        t.ffree_self();
+        t.stop();
+        let (new, rep) = prefetch_thread(&t.build(), &TransformOptions::default());
+        assert_eq!(rep.reads, 2);
+        assert_eq!(rep.decoupled, 1);
+        assert_eq!(
+            new.code
+                .iter()
+                .filter(|i| matches!(i, Instr::Read { .. }))
+                .count(),
+            1
+        );
+        assert_eq!(rep.skipped_reads.len(), 1);
+    }
+
+    #[test]
+    fn register_pressure_falls_back_gracefully() {
+        // A thread using every register leaves no scratch space.
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        for i in 3..64u8 {
+            t.li(r(i), i as i64);
+        }
+        t.read(r(4), r(3), 0);
+        t.stop();
+        let orig = t.build();
+        let (new, rep) = prefetch_thread(&orig, &TransformOptions::default());
+        assert_eq!(new, orig);
+        assert_eq!(rep.skipped, Some(ThreadSkip::NoScratchRegisters));
+    }
+
+    #[test]
+    fn strided_region_uses_shift_translation() {
+        // stride 1024 (power of two), small cap forces packed gather.
+        let mut t = ThreadBuilder::new("t");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.li(r(4), 0);
+        let top = t.label_here();
+        let done = t.new_label();
+        t.br(BrCond::Ge, r(4), 32, done);
+        t.shl(r(6), r(4), 10);
+        t.add(r(6), r(3), r(6));
+        t.read(r(7), r(6), 0);
+        t.add(r(4), r(4), 1);
+        t.jmp(top);
+        t.bind(done);
+        t.stop();
+        let opts = TransformOptions {
+            plan: PlanOptions {
+                max_region_bytes: 4096,
+                ..PlanOptions::default()
+            },
+        };
+        let (new, rep) = prefetch_thread(&t.build(), &opts);
+        assert!(rep.transformed());
+        assert!(new
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::DmaGetStrided { .. })));
+        // The shift pair appears in the translation.
+        assert!(new.code.iter().any(
+            |i| matches!(i, Instr::Alu { op: AluOp::Shr, rb: Src::Imm(10), .. })
+        ));
+    }
+
+    #[test]
+    fn program_report_aggregates() {
+        let mut pb = dta_isa::ProgramBuilder::new();
+        let a = pb.declare("a");
+        let b = pb.declare("b");
+        pb.define(a, {
+            let mut t = ThreadBuilder::new("a");
+            t.begin_pl();
+            t.load(r(3), 0);
+            t.begin_ex();
+            t.read(r(4), r(3), 0);
+            t.begin_ps();
+            t.ffree_self();
+            t.stop();
+            t
+        });
+        pb.define(b, {
+            let mut t = ThreadBuilder::new("b");
+            t.begin_ex();
+            t.li(r(3), 1);
+            t.begin_ps();
+            t.ffree_self();
+            t.stop();
+            t
+        });
+        pb.set_entry(a, 1);
+        let p = pb.build();
+        let (p2, rep) = prefetch_program(&p, &TransformOptions::default());
+        assert_eq!(rep.total_reads(), 1);
+        assert_eq!(rep.total_decoupled(), 1);
+        assert!((rep.decoupled_fraction() - 1.0).abs() < 1e-9);
+        assert!(p2.threads[0].blocks.pf_end > 0);
+        assert_eq!(p2.threads[1], p.threads[1]);
+        assert!(dta_isa::validate_program(&p2).is_empty());
+    }
+}

@@ -1,0 +1,296 @@
+//! System configuration.
+//!
+//! Defaults reproduce the paper's simulated platform exactly:
+//!
+//! * Table 2 (memory subsystem): main memory 512 MB / 150-cycle latency /
+//!   1 port; local store 156 kB / 6-cycle latency / 3 ports.
+//! * Table 4 (communication subsystem): 4 buses × 8 bytes/cycle; MFC
+//!   command queue 16, command latency 30.
+//! * Topology: one node with eight SPE-like PEs and one DSE (the CellDTA
+//!   arrangement; `nodes` > 1 exercises DTA's inter-node forwarding).
+
+use dta_mem::{BusModel, MemoryModel, MemorySystem, MfcParams};
+use dta_sched::{DseParams, LseParams};
+use serde::{Deserialize, Serialize};
+
+/// Full system configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of DTA nodes (each with its own DSE).
+    pub nodes: u16,
+    /// Processing elements per node.
+    pub pes_per_node: u16,
+
+    /// Main memory size, bytes (Table 2: 512 MB).
+    pub mem_size: u64,
+    /// Main memory latency, cycles (Table 2: 150).
+    pub mem_latency: u64,
+    /// Main memory ports (Table 2: 1).
+    pub mem_ports: usize,
+    /// Memory-array streaming bandwidth, bytes/cycle.
+    pub mem_array_bytes_per_cycle: u64,
+
+    /// Local store size, bytes (Table 2: 156 kB).
+    pub ls_size: u32,
+    /// Local store latency, cycles (Table 2: 6).
+    pub ls_latency: u64,
+    /// Local store ports (Table 2: 3).
+    pub ls_ports: usize,
+
+    /// Number of buses (Table 4: 4).
+    pub buses: usize,
+    /// Per-bus bandwidth, bytes/cycle (Table 4: 8).
+    pub bus_bytes_per_cycle: u64,
+    /// One-way interconnect propagation latency, cycles.
+    pub wire_latency: u64,
+    /// Extra memory-port cycles per strided DMA element.
+    pub stride_penalty_per_elem: u64,
+    /// Ablation: strided DMA as per-element split transactions instead of
+    /// one DMA transaction (paper §3's rejected alternative).
+    pub dma_split_transactions: bool,
+
+    /// MFC (DMA controller) parameters (Table 4).
+    pub mfc: MfcParams,
+
+    /// Scheduler-message delivery latency, cycles.
+    pub msg_latency: u64,
+    /// Physical frames per PE.
+    pub frame_capacity: u32,
+    /// LSE per-operation processing latency, cycles.
+    pub lse_op_latency: u64,
+    /// DSE per-operation processing latency, cycles.
+    pub dse_op_latency: u64,
+    /// Virtual frame pointers (paper §4.3 — off in the paper's runs).
+    pub virtual_frames: bool,
+
+    /// Optional per-PE data cache for scalar READ/WRITE (extension: the
+    /// paper's simulator had none — "does not yet include the cache
+    /// module"). `None` reproduces the paper.
+    pub cache: Option<dta_mem::CacheParams>,
+    /// Extension: execute straight-line PF blocks on the LSE's SP
+    /// pipeline, overlapped with other threads' execution — the paper
+    /// notes DTA-C's LSE "has two available pipelines (SP and XP)" and
+    /// "can overlap this with the execution of other threads, but in the
+    /// CellDTA this is not yet available". `false` reproduces CellDTA.
+    pub sp_pf_overlap: bool,
+
+    /// Pipeline penalty for taken branches, cycles (the SPU has no branch
+    /// prediction; compilers insert hints — we charge a small fixed cost).
+    pub taken_branch_penalty: u64,
+    /// Cycles to dispatch a ready thread onto the pipeline.
+    pub dispatch_penalty: u64,
+
+    /// Record a scheduler-level execution trace (see
+    /// [`crate::trace::Trace`]).
+    pub trace: bool,
+    /// Maximum trace events retained.
+    pub trace_capacity: usize,
+
+    /// Safety valve: abort `run` after this many cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl SystemConfig {
+    /// The paper's CellDTA platform (Tables 2-4), with eight PEs.
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            nodes: 1,
+            pes_per_node: 8,
+            mem_size: 512 << 20,
+            mem_latency: 150,
+            mem_ports: 1,
+            mem_array_bytes_per_cycle: 32,
+            ls_size: 156 * 1024,
+            ls_latency: 6,
+            ls_ports: 3,
+            buses: 4,
+            bus_bytes_per_cycle: 8,
+            wire_latency: 5,
+            stride_penalty_per_elem: 1,
+            dma_split_transactions: false,
+            mfc: MfcParams {
+                queue_capacity: 16,
+                command_latency: 30,
+            },
+            msg_latency: 5,
+            frame_capacity: 64,
+            lse_op_latency: 2,
+            dse_op_latency: 4,
+            virtual_frames: false,
+            cache: None,
+            sp_pf_overlap: false,
+            taken_branch_penalty: 2,
+            dispatch_penalty: 1,
+            trace: false,
+            trace_capacity: 200_000,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// Same platform with `pes` total PEs in one node (the paper's
+    /// scalability sweeps use 1, 2, 4, 8).
+    pub fn with_pes(pes: u16) -> Self {
+        SystemConfig {
+            pes_per_node: pes,
+            ..Self::paper_default()
+        }
+    }
+
+    /// The paper's §4.3 second experiment: "all memory latencies in the
+    /// system set to one cycle" (the always-hit bound).
+    pub fn latency_one(mut self) -> Self {
+        self.mem_latency = 1;
+        self.ls_latency = 1;
+        self.wire_latency = 1;
+        self
+    }
+
+    /// Total number of PEs.
+    #[inline]
+    pub fn total_pes(&self) -> u16 {
+        self.nodes * self.pes_per_node
+    }
+
+    /// Builds the shared memory system from this configuration.
+    pub fn memory_system(&self) -> MemorySystem {
+        let mut sys = MemorySystem::new(
+            BusModel::new(self.buses, self.bus_bytes_per_cycle, self.wire_latency),
+            MemoryModel::new(self.mem_ports, self.mem_latency, self.mem_array_bytes_per_cycle),
+            self.stride_penalty_per_elem,
+        );
+        sys.split_transactions = self.dma_split_transactions;
+        sys
+    }
+
+    /// Derives the per-PE LSE parameters for a program that needs
+    /// `pf_buf_bytes` of prefetch buffer per instance. Returns an error if
+    /// the local store cannot hold even one buffer.
+    pub fn lse_params(&self, pf_buf_bytes: u32) -> Result<LseParams, String> {
+        // Align buffers to 16 bytes (DMA-friendly, matches global layout).
+        let buf = pf_buf_bytes.max(16).div_ceil(16) * 16;
+        let pool = (self.ls_size / buf).min(self.frame_capacity);
+        if pf_buf_bytes > 0 && pool == 0 {
+            return Err(format!(
+                "prefetch buffer of {pf_buf_bytes} bytes does not fit in a {}-byte local store",
+                self.ls_size
+            ));
+        }
+        Ok(LseParams {
+            frame_capacity: self.frame_capacity,
+            pf_buf_bytes: buf,
+            pf_pool_size: pool.max(1),
+            pf_region_base: 0,
+            op_latency: self.lse_op_latency,
+            virtual_frames: self.virtual_frames,
+        })
+    }
+
+    /// DSE parameters.
+    pub fn dse_params(&self) -> DseParams {
+        DseParams {
+            op_latency: self.dse_op_latency,
+            virtual_frames: self.virtual_frames,
+        }
+    }
+
+    /// Renders the configuration as the paper's Tables 2-4 (used by the
+    /// `repro config` experiment).
+    pub fn to_tables(&self) -> String {
+        format!(
+            "Table 2: memory subsystem\n\
+             \x20 Main memory   size            {} MB\n\
+             \x20 Main memory   latency         {} cycles\n\
+             \x20 Main memory   ports           {}\n\
+             \x20 Local store   size            {} kB\n\
+             \x20 Local store   latency         {} cycles\n\
+             \x20 Local store   ports           {}\n\
+             Table 4: communication subsystem\n\
+             \x20 Bus           count           {}\n\
+             \x20 Bus           bandwidth       {} bytes/cycle each\n\
+             \x20 MFC           queue size      {}\n\
+             \x20 MFC           command latency {} cycles\n",
+            self.mem_size >> 20,
+            self.mem_latency,
+            self.mem_ports,
+            self.ls_size / 1024,
+            self.ls_latency,
+            self.ls_ports,
+            self.buses,
+            self.bus_bytes_per_cycle,
+            self.mfc.queue_capacity,
+            self.mfc.command_latency,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_tables() {
+        let c = SystemConfig::paper_default();
+        assert_eq!(c.mem_size, 512 << 20);
+        assert_eq!(c.mem_latency, 150);
+        assert_eq!(c.mem_ports, 1);
+        assert_eq!(c.ls_size, 156 * 1024);
+        assert_eq!(c.ls_latency, 6);
+        assert_eq!(c.ls_ports, 3);
+        assert_eq!(c.buses, 4);
+        assert_eq!(c.bus_bytes_per_cycle, 8);
+        assert_eq!(c.mfc.queue_capacity, 16);
+        assert_eq!(c.mfc.command_latency, 30);
+        assert_eq!(c.total_pes(), 8);
+    }
+
+    #[test]
+    fn latency_one_transforms_all_latencies() {
+        let c = SystemConfig::paper_default().latency_one();
+        assert_eq!(c.mem_latency, 1);
+        assert_eq!(c.ls_latency, 1);
+        assert_eq!(c.wire_latency, 1);
+    }
+
+    #[test]
+    fn lse_params_size_buffer_pool() {
+        let c = SystemConfig::paper_default();
+        let p = c.lse_params(8192).unwrap();
+        assert_eq!(p.pf_buf_bytes, 8192);
+        assert_eq!(p.pf_pool_size, (156 * 1024 / 8192));
+        // No prefetching program: tiny buffer, pool capped by frames.
+        let p0 = c.lse_params(0).unwrap();
+        assert_eq!(p0.pf_pool_size, 64);
+    }
+
+    #[test]
+    fn lse_params_reject_oversized_buffer() {
+        let c = SystemConfig::paper_default();
+        assert!(c.lse_params(200 * 1024).is_err());
+    }
+
+    #[test]
+    fn lse_params_align_buffers() {
+        let c = SystemConfig::paper_default();
+        assert_eq!(c.lse_params(100).unwrap().pf_buf_bytes, 112);
+    }
+
+    #[test]
+    fn tables_render_paper_values() {
+        let t = SystemConfig::paper_default().to_tables();
+        assert!(t.contains("512 MB"));
+        assert!(t.contains("150 cycles"));
+        assert!(t.contains("156 kB"));
+        assert!(t.contains("queue size      16"));
+    }
+
+    #[test]
+    fn with_pes_sets_count() {
+        assert_eq!(SystemConfig::with_pes(4).total_pes(), 4);
+    }
+}

@@ -1,0 +1,864 @@
+//! The processing element: an SPU-like pipeline plus its LSE, local
+//! store, and MFC.
+//!
+//! The pipeline keeps the SPU properties the paper relies on (§4.1):
+//! in-order, dual-issue (one *compute*-class + one *memory*-class
+//! instruction per cycle), no caches, no branch prediction (taken branches
+//! pay a small fixed penalty). Asynchronous results (frame `LOAD`s,
+//! `LSLOAD`s) flow through a per-register scoreboard so local-store
+//! latency overlaps with execution ("LS stalls ... are mostly hidden",
+//! §4.3), while main-memory `READ`s block the pipeline outright — the
+//! stalls the prefetch mechanism exists to remove.
+//!
+//! Every cycle is attributed to exactly one [`StallCat`] bucket; cycles
+//! spent anywhere inside a PF code block (including waiting for a full MFC
+//! queue) are *Prefetching* overhead, as in the paper's Fig. 5.
+
+use crate::stats::{PeStats, StallCat};
+use crate::trace::{TraceKind, TraceRecord};
+use dta_isa::{
+    CodeBlock, FramePtr, IClass, Instr, Program, Reg, Src, FRAME_PTR_REG, NUM_REGS,
+    PREFETCH_BASE_REG,
+};
+use dta_mem::{
+    Cache, CacheParams, DmaCommand, DmaKind, LocalStore, MainMemory, MemorySystem, Mfc, MfcParams,
+    ResourcePool, TransferKind,
+};
+use dta_sched::{Dest, InstanceId, Lse, LseParams, Message, ThreadState};
+use std::collections::VecDeque;
+
+/// Pipeline tuning knobs (extracted from
+/// [`SystemConfig`](crate::config::SystemConfig)).
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineParams {
+    /// Penalty cycles for taken branches.
+    pub taken_branch_penalty: u64,
+    /// Cycles to dispatch a ready thread.
+    pub dispatch_penalty: u64,
+    /// Scheduler-message latency (remote destinations).
+    pub msg_latency: u64,
+    /// Local-store access latency.
+    pub ls_latency: u64,
+    /// Local-store ports.
+    pub ls_ports: usize,
+    /// Optional scalar data cache (extension; `None` = paper platform).
+    pub cache: Option<CacheParams>,
+    /// Run straight-line PF blocks on the LSE's SP pipeline (extension).
+    pub sp_pf_overlap: bool,
+    /// Record pipeline-level trace events.
+    pub trace: bool,
+}
+
+/// What a PE did this cycle — drives the system loop's time skipping.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Activity {
+    /// Issued/stalled productively; tick again next cycle.
+    Active,
+    /// Blocked until the given cycle (stall cycles already attributed) or
+    /// until an external event (`u64::MAX`).
+    Blocked(u64),
+    /// No current thread and nothing ready.
+    Idle,
+}
+
+/// Shared mutable state a PE needs while ticking.
+pub struct SysCtx<'a> {
+    /// The shared interconnect + memory controller.
+    pub sys: &'a mut MemorySystem,
+    /// Main-memory contents.
+    pub mem: &'a mut MainMemory,
+    /// The program being executed.
+    pub program: &'a Program,
+    /// Outbox: `(absolute delivery cycle, destination, message)`.
+    pub out: &'a mut Vec<(u64, Dest, Message)>,
+    /// Latest cycle at which posted writes will have drained.
+    pub drain_until: &'a mut u64,
+}
+
+enum Exec {
+    /// Advance to the next instruction.
+    Next,
+    /// Taken branch/jump to this pc.
+    Redirect(u32),
+    /// Could not issue (e.g. MFC queue full); retry next cycle.
+    Retry(StallCat),
+    /// Issued; pipeline blocked until the given cycle.
+    Block { until: u64, cat: StallCat },
+    /// Issued a FALLOC; blocked until the response message arrives.
+    BlockFalloc,
+    /// DMAYIELD with outstanding transfers: the thread leaves the
+    /// pipeline in the *Wait for DMA* state.
+    Yield,
+    /// STOP.
+    Stop,
+}
+
+/// A processing element.
+pub struct Pe {
+    pe: u16,
+    node: u16,
+    /// The PE's Local Scheduler Element (owns all local instances).
+    pub lse: Lse,
+    /// The PE's local store.
+    pub ls: LocalStore,
+    /// The PE's DMA engine.
+    pub mfc: Mfc,
+    /// Optional scalar data cache.
+    pub cache: Option<Cache>,
+    ls_ports: ResourcePool,
+    /// The SP pipeline (PF offload) is free from this cycle.
+    sp_free_at: u64,
+    params: PipelineParams,
+    current: Option<InstanceId>,
+    /// Pipeline resumes at this cycle (stall already attributed).
+    resume_at: u64,
+    /// Destination register of an in-flight FALLOC.
+    waiting_falloc: Option<Reg>,
+    falloc_block_start: u64,
+    /// Instances parked off the pipeline because their FALLOC was queued
+    /// at the DSE (FIFO: grants arrive in queue order).
+    parked_fallocs: VecDeque<InstanceId>,
+    /// Scoreboard: cycle at which each register's value is usable.
+    reg_ready: [u64; NUM_REGS],
+    /// Which stall bucket a too-early consumer of each register charges.
+    reg_stall: [StallCat; NUM_REGS],
+    idle_since: Option<u64>,
+    /// Executed-instruction counters.
+    pub stats: PeStats,
+    /// Pipeline-level trace events, drained by the system each tick.
+    pub trace_log: Vec<TraceRecord>,
+}
+
+impl Pe {
+    /// Creates PE `pe` of node `node`.
+    pub fn new(
+        pe: u16,
+        node: u16,
+        lse_params: LseParams,
+        mfc_params: MfcParams,
+        ls_size: u32,
+        params: PipelineParams,
+    ) -> Self {
+        Pe {
+            pe,
+            node,
+            lse: Lse::new(pe, lse_params),
+            ls: LocalStore::new(ls_size as usize),
+            mfc: Mfc::new(mfc_params),
+            cache: params.cache.map(Cache::new),
+            ls_ports: ResourcePool::new(params.ls_ports),
+            sp_free_at: 0,
+            params,
+            current: None,
+            resume_at: 0,
+            waiting_falloc: None,
+            falloc_block_start: 0,
+            parked_fallocs: VecDeque::new(),
+            reg_ready: [0; NUM_REGS],
+            reg_stall: [StallCat::Working; NUM_REGS],
+            idle_since: None,
+            stats: PeStats::default(),
+            trace_log: Vec::new(),
+        }
+    }
+
+    /// Global PE index.
+    #[inline]
+    pub fn id(&self) -> u16 {
+        self.pe
+    }
+
+    /// The instance currently on the pipeline.
+    #[inline]
+    pub fn current(&self) -> Option<InstanceId> {
+        self.current
+    }
+
+    /// Closes out trailing idle time at the end of a run so per-PE
+    /// category sums equal total cycles.
+    pub fn finish(&mut self, final_cycle: u64) {
+        if let Some(t0) = self.idle_since.take() {
+            self.stats.add_cycles(StallCat::Idle, final_cycle.saturating_sub(t0));
+        }
+    }
+
+    /// Delivers a FALLOC response: writes the frame pointer, attributes
+    /// the LSE-stall time, and unblocks the pipeline — or, if the waiting
+    /// thread was descheduled by a `FallocDeferred`, re-readies the parked
+    /// instance.
+    pub fn complete_falloc(&mut self, now: u64, frame: FramePtr, for_inst: InstanceId) {
+        if self.waiting_falloc.is_some() && self.current == Some(for_inst) {
+            let rd = self.waiting_falloc.take().expect("checked");
+            self.set_reg(for_inst, rd, frame.encode() as i64, now, StallCat::Working);
+            // The response itself takes a cycle to process.
+            let resume = now + 1;
+            self.stats
+                .add_cycles(StallCat::LseStall, resume - self.falloc_block_start);
+            self.resume_at = resume;
+            return;
+        }
+        let pos = self
+            .parked_fallocs
+            .iter()
+            .position(|&p| p == for_inst)
+            .expect("FALLOC response without a waiting or parked FALLOC");
+        let id = self
+            .parked_fallocs
+            .remove(pos)
+            .expect("position just found");
+        let inst = self.lse.instance_mut(id);
+        let rd = inst
+            .pending_falloc
+            .take()
+            .expect("parked instance lost its pending FALLOC register");
+        if !rd.is_zero() {
+            inst.regs[rd.index()] = frame.encode() as i64;
+        }
+        self.lse.make_ready(now, id);
+    }
+
+    /// Delivers a `FallocDeferred` nack: the waiting thread leaves the
+    /// pipeline so other ready threads can run; its grant arrives later as
+    /// a normal response.
+    pub fn defer_falloc(&mut self, now: u64, for_inst: InstanceId) {
+        let rd = self
+            .waiting_falloc
+            .take()
+            .expect("FallocDeferred without a waiting FALLOC");
+        let id = self.current.take().expect("FallocDeferred with no current thread");
+        assert_eq!(id, for_inst, "FallocDeferred correlation mismatch");
+        let inst = self.lse.instance_mut(id);
+        inst.pending_falloc = Some(rd);
+        inst.state = ThreadState::WaitFalloc;
+        self.parked_fallocs.push_back(id);
+        self.record(now, id, TraceKind::ParkedWaitFalloc);
+        let resume = now + 1;
+        self.stats
+            .add_cycles(StallCat::LseStall, resume - self.falloc_block_start);
+        self.resume_at = resume;
+    }
+
+    /// Handles a DMA completion that belongs to the *currently running*
+    /// instance (still on the pipeline, e.g. in its PF block).
+    pub fn current_dma_done(&mut self, owner: InstanceId, tag: u8) -> bool {
+        if self.current == Some(owner) {
+            let inst = self.lse.instance_mut(owner);
+            inst.dma_complete(tag);
+            true
+        } else {
+            false
+        }
+    }
+
+    #[inline]
+    fn reg(&self, id: InstanceId, r: Reg) -> i64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.lse.instance(id).regs[r.index()]
+        }
+    }
+
+    #[inline]
+    fn set_reg(&mut self, id: InstanceId, r: Reg, v: i64, ready_at: u64, stall: StallCat) {
+        if r.is_zero() {
+            return;
+        }
+        self.lse.instance_mut(id).regs[r.index()] = v;
+        self.reg_ready[r.index()] = ready_at;
+        self.reg_stall[r.index()] = stall;
+    }
+
+    #[inline]
+    fn src_val(&self, id: InstanceId, s: Src) -> i64 {
+        match s {
+            Src::Reg(r) => self.reg(id, r),
+            Src::Imm(i) => i as i64,
+        }
+    }
+
+    /// If an operand of `instr` is not yet ready, returns the stall bucket
+    /// to charge.
+    fn operand_stall(&self, instr: &Instr, now: u64, in_pf: bool) -> Option<StallCat> {
+        let mut worst: Option<(u64, StallCat)> = None;
+        for r in &instr.uses() {
+            let t = self.reg_ready[r.index()];
+            if t > now && worst.is_none_or(|(wt, _)| t > wt) {
+                worst = Some((t, self.reg_stall[r.index()]));
+            }
+        }
+        worst.map(|(_, cat)| if in_pf { StallCat::Prefetch } else { cat })
+    }
+
+    /// One simulation cycle.
+    pub fn tick(&mut self, now: u64, ctx: &mut SysCtx<'_>) -> Activity {
+        if self.waiting_falloc.is_some() {
+            return Activity::Blocked(u64::MAX);
+        }
+        if self.resume_at > now {
+            return Activity::Blocked(self.resume_at);
+        }
+
+        // Dispatch if the pipeline is free. With the SP/XP extension,
+        // ready threads whose next work is a straight-line PF block are
+        // offloaded to the SP pipeline instead of occupying this one.
+        if self.current.is_none() {
+            let id = loop {
+                let Some(id) = self.lse.pop_ready() else {
+                    self.idle_since.get_or_insert(now);
+                    return Activity::Idle;
+                };
+                if self.params.sp_pf_overlap && self.sp_offloadable(id, ctx.program) {
+                    self.run_pf_on_sp(id, now, ctx);
+                    continue;
+                }
+                break id;
+            };
+            if let Some(t0) = self.idle_since.take() {
+                self.stats.add_cycles(StallCat::Idle, now - t0);
+            }
+            self.dispatch(id, now, ctx.program);
+            if self.params.dispatch_penalty > 0 {
+                self.stats
+                    .add_cycles(StallCat::Working, self.params.dispatch_penalty);
+                self.resume_at = now + self.params.dispatch_penalty;
+                return Activity::Blocked(self.resume_at);
+            }
+        }
+
+        self.issue(now, ctx)
+    }
+
+    fn dispatch(&mut self, id: InstanceId, now: u64, program: &Program) {
+        let inst = self.lse.instance_mut(id);
+        let thread = &program.threads[inst.thread.index()];
+        let starting = inst.pc == 0;
+        inst.state = if thread.block_of(inst.pc) == CodeBlock::Pf {
+            ThreadState::ProgramDma
+        } else {
+            ThreadState::Running
+        };
+        if starting {
+            inst.regs[FRAME_PTR_REG.index()] = inst.frame.encode() as i64;
+            inst.regs[PREFETCH_BASE_REG.index()] = if inst.pf_buf_addr == u32::MAX {
+                0
+            } else {
+                inst.pf_buf_addr as i64
+            };
+        }
+        // All register values live in the instance; everything is ready.
+        self.reg_ready = [now; NUM_REGS];
+        self.stats.threads_dispatched += 1;
+        self.current = Some(id);
+        self.record(now, id, TraceKind::Dispatched);
+    }
+
+    fn issue(&mut self, now: u64, ctx: &mut SysCtx<'_>) -> Activity {
+        let id = self.current.expect("issue without a current thread");
+        let (thread_id, mut pc) = {
+            let inst = self.lse.instance(id);
+            (inst.thread, inst.pc)
+        };
+        let thread = &ctx.program.threads[thread_id.index()];
+        let block = thread.block_of(pc);
+        let in_pf = block == CodeBlock::Pf;
+        let cycle_cat = if in_pf {
+            StallCat::Prefetch
+        } else {
+            StallCat::Working
+        };
+
+        let i1 = thread.code[pc as usize];
+        if let Some(cat) = self.operand_stall(&i1, now, in_pf) {
+            self.stats.add_cycles(cat, 1);
+            return Activity::Active;
+        }
+
+        let r1 = self.exec(now, id, i1, in_pf, ctx);
+        if let Exec::Retry(cat) = r1 {
+            self.stats.add_cycles(cat, 1);
+            self.stats.dma_queue_retries += 1;
+            return Activity::Active;
+        }
+
+        self.stats.record_issue(i1.class());
+        self.count_mem_op(&i1);
+        self.stats.issue_cycles += 1;
+
+        match r1 {
+            Exec::Retry(_) => unreachable!("handled above"),
+            Exec::Next => {
+                pc += 1;
+                // Try to pair a second instruction (dual issue).
+                if (pc as usize) < thread.code.len() {
+                    let i2 = thread.code[pc as usize];
+                    if pairable(i1.class(), i2.class())
+                        && thread.block_of(pc) == block
+                        && self.operand_stall(&i2, now, in_pf).is_none()
+                    {
+                        let r2 = self.exec(now, id, i2, in_pf, ctx);
+                        match r2 {
+                            Exec::Next => {
+                                self.stats.record_issue(i2.class());
+                                self.count_mem_op(&i2);
+                                self.stats.dual_cycles += 1;
+                                pc += 1;
+                            }
+                            Exec::Redirect(target) => {
+                                self.stats.record_issue(i2.class());
+                                self.stats.dual_cycles += 1;
+                                pc = target;
+                                self.apply_branch_penalty(now, cycle_cat);
+                            }
+                            // Pairable classes never block, retry, yield
+                            // or stop.
+                            _ => unreachable!("non-simple instruction slipped into dual issue"),
+                        }
+                    }
+                }
+                self.stats.add_cycles(cycle_cat, 1);
+                self.lse.instance_mut(id).pc = pc;
+                Activity::Active
+            }
+            Exec::Redirect(target) => {
+                self.stats.add_cycles(cycle_cat, 1);
+                self.apply_branch_penalty(now, cycle_cat);
+                self.lse.instance_mut(id).pc = target;
+                if self.resume_at > now + 1 {
+                    Activity::Blocked(self.resume_at)
+                } else {
+                    Activity::Active
+                }
+            }
+            Exec::Block { until, cat } => {
+                let until = until.max(now + 1);
+                self.stats.add_cycles(cat, until - now);
+                self.resume_at = until;
+                self.lse.instance_mut(id).pc = pc + 1;
+                Activity::Blocked(until)
+            }
+            Exec::BlockFalloc => {
+                self.falloc_block_start = now;
+                self.lse.instance_mut(id).pc = pc + 1;
+                Activity::Blocked(u64::MAX)
+            }
+            Exec::Yield => {
+                self.stats.add_cycles(cycle_cat, 1);
+                let inst = self.lse.instance_mut(id);
+                inst.pc = pc + 1;
+                inst.state = ThreadState::WaitDma;
+                self.current = None;
+                self.record(now, id, TraceKind::WaitDma);
+                Activity::Active
+            }
+            Exec::Stop => {
+                self.stats.add_cycles(cycle_cat, 1);
+                self.record(now, id, TraceKind::Stopped);
+                self.lse.stop(id);
+                self.current = None;
+                Activity::Active
+            }
+        }
+    }
+
+    fn apply_branch_penalty(&mut self, now: u64, cat: StallCat) {
+        if self.params.taken_branch_penalty > 0 {
+            self.stats.add_cycles(cat, self.params.taken_branch_penalty);
+            self.resume_at = now + 1 + self.params.taken_branch_penalty;
+        }
+    }
+
+    fn count_mem_op(&mut self, i: &Instr) {
+        match i {
+            Instr::Load { .. } => self.stats.loads += 1,
+            Instr::Store { .. } => self.stats.stores += 1,
+            Instr::Read { .. } => self.stats.reads += 1,
+            Instr::Write { .. } => self.stats.writes += 1,
+            _ => {}
+        }
+    }
+
+    fn exec(&mut self, now: u64, id: InstanceId, i: Instr, in_pf: bool, ctx: &mut SysCtx<'_>) -> Exec {
+        match i {
+            Instr::Alu { op, rd, ra, rb } => {
+                let v = op.eval(self.reg(id, ra), self.src_val(id, rb));
+                self.set_reg(id, rd, v, now + 1, StallCat::Working);
+                Exec::Next
+            }
+            Instr::Li { rd, imm } => {
+                self.set_reg(id, rd, imm, now + 1, StallCat::Working);
+                Exec::Next
+            }
+            Instr::Mov { rd, ra } => {
+                let v = self.reg(id, ra);
+                self.set_reg(id, rd, v, now + 1, StallCat::Working);
+                Exec::Next
+            }
+            Instr::Nop => Exec::Next,
+            Instr::Br {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
+                if cond.eval(self.reg(id, ra), self.src_val(id, rb)) {
+                    Exec::Redirect(target)
+                } else {
+                    Exec::Next
+                }
+            }
+            Instr::Jmp { target } => Exec::Redirect(target),
+            Instr::Load { rd, slot } => {
+                let v = self.lse.instance(id).slot(slot);
+                let ready = self.ls_ports.reserve(now, 1).end + self.params.ls_latency;
+                self.set_reg(id, rd, v, ready, StallCat::LsStall);
+                Exec::Next
+            }
+            Instr::Store { rs, rframe, slot } => {
+                let frame = FramePtr::decode_expect(self.reg(id, rframe) as u64);
+                let value = self.reg(id, rs);
+                let delay = self.msg_delay(frame.pe);
+                ctx.out
+                    .push((now + delay, Dest::Lse(frame.pe), Message::Store { frame, slot, value }));
+                Exec::Next
+            }
+            Instr::Falloc { rd, thread, sc } => {
+                ctx.out.push((
+                    now + self.params.msg_latency,
+                    Dest::Dse(self.node),
+                    Message::FallocRequest {
+                        requester: self.pe,
+                        for_inst: id,
+                        thread,
+                        sc,
+                        hops: 0,
+                    },
+                ));
+                self.waiting_falloc = Some(rd);
+                Exec::BlockFalloc
+            }
+            Instr::Ffree { rframe } => {
+                let frame = FramePtr::decode_expect(self.reg(id, rframe) as u64);
+                let delay = self.msg_delay(frame.pe);
+                ctx.out
+                    .push((now + delay, Dest::Lse(frame.pe), Message::Ffree { frame }));
+                Exec::Next
+            }
+            Instr::Stop => Exec::Stop,
+            Instr::Read { rd, ra, off } => {
+                let addr = (self.reg(id, ra) + off as i64) as u64;
+                let v = ctx.mem.read_i32_sext(addr);
+                let until = match &mut self.cache {
+                    Some(c) => c.read(now, addr, ctx.sys),
+                    None => ctx.sys.request(now, TransferKind::ScalarRead),
+                };
+                self.set_reg(id, rd, v, until, StallCat::MemStall);
+                Exec::Block {
+                    until,
+                    cat: if in_pf {
+                        StallCat::Prefetch
+                    } else {
+                        StallCat::MemStall
+                    },
+                }
+            }
+            Instr::Write { rs, ra, off } => {
+                let addr = (self.reg(id, ra) + off as i64) as u64;
+                ctx.mem.write_u32(addr, self.reg(id, rs) as u32);
+                if let Some(c) = &mut self.cache {
+                    c.write(now, addr);
+                }
+                let done = ctx.sys.request(now, TransferKind::ScalarWrite);
+                *ctx.drain_until = (*ctx.drain_until).max(done);
+                Exec::Next
+            }
+            Instr::LsLoad { rd, ra, off } => {
+                let addr = (self.reg(id, ra) + off as i64) as u32;
+                let v = self.ls.read_i32_sext(addr);
+                let ready = self.ls_ports.reserve(now, 1).end + self.params.ls_latency;
+                self.set_reg(id, rd, v, ready, StallCat::LsStall);
+                Exec::Next
+            }
+            Instr::LsStore { rs, ra, off } => {
+                let addr = (self.reg(id, ra) + off as i64) as u32;
+                self.ls.write_u32(addr, self.reg(id, rs) as u32);
+                self.ls_ports.reserve(now, 1);
+                Exec::Next
+            }
+            Instr::DmaGet {
+                rls,
+                ls_off,
+                rmem,
+                mem_off,
+                bytes,
+                tag,
+            } => {
+                let cmd = DmaCommand {
+                    owner: id.token(),
+                    tag,
+                    ls_addr: (self.reg(id, rls) + ls_off as i64) as u32,
+                    mem_addr: (self.reg(id, rmem) + mem_off as i64) as u64,
+                    kind: DmaKind::Get {
+                        bytes: self.src_val(id, bytes) as u32,
+                    },
+                };
+                self.enqueue_dma(now, id, cmd, in_pf, ctx)
+            }
+            Instr::DmaGetStrided {
+                rls,
+                ls_off,
+                rmem,
+                mem_off,
+                elem_bytes,
+                count,
+                stride,
+                tag,
+            } => {
+                let cmd = DmaCommand {
+                    owner: id.token(),
+                    tag,
+                    ls_addr: (self.reg(id, rls) + ls_off as i64) as u32,
+                    mem_addr: (self.reg(id, rmem) + mem_off as i64) as u64,
+                    kind: DmaKind::GetStrided {
+                        elem_bytes: elem_bytes as u32,
+                        count: self.src_val(id, count) as u32,
+                        stride: self.src_val(id, stride),
+                    },
+                };
+                self.enqueue_dma(now, id, cmd, in_pf, ctx)
+            }
+            Instr::DmaPut {
+                rls,
+                ls_off,
+                rmem,
+                mem_off,
+                bytes,
+                tag,
+            } => {
+                let cmd = DmaCommand {
+                    owner: id.token(),
+                    tag,
+                    ls_addr: (self.reg(id, rls) + ls_off as i64) as u32,
+                    mem_addr: (self.reg(id, rmem) + mem_off as i64) as u64,
+                    kind: DmaKind::Put {
+                        bytes: self.src_val(id, bytes) as u32,
+                    },
+                };
+                self.enqueue_dma(now, id, cmd, in_pf, ctx)
+            }
+            Instr::DmaYield => {
+                if self.lse.instance(id).outstanding_dma > 0 {
+                    Exec::Yield
+                } else {
+                    Exec::Next
+                }
+            }
+            Instr::DmaWait { tag } => {
+                if self.lse.instance(id).dma_by_tag[tag as usize] > 0 {
+                    Exec::Retry(if in_pf {
+                        StallCat::Prefetch
+                    } else {
+                        StallCat::MemStall
+                    })
+                } else {
+                    Exec::Next
+                }
+            }
+        }
+    }
+
+    fn enqueue_dma(
+        &mut self,
+        now: u64,
+        id: InstanceId,
+        cmd: DmaCommand,
+        in_pf: bool,
+        ctx: &mut SysCtx<'_>,
+    ) -> Exec {
+        match self.mfc.enqueue(now, cmd, ctx.sys, &mut self.ls, ctx.mem) {
+            Some(done) => {
+                self.lse.instance_mut(id).dma_issued(cmd.tag);
+                self.record(now, id, TraceKind::DmaIssued { tag: cmd.tag });
+                ctx.out.push((
+                    done.at.max(now + 1),
+                    Dest::Lse(self.pe),
+                    Message::DmaDone {
+                        owner: id,
+                        tag: cmd.tag,
+                    },
+                ));
+                Exec::Next
+            }
+            None => Exec::Retry(if in_pf {
+                StallCat::Prefetch
+            } else {
+                StallCat::MemStall
+            }),
+        }
+    }
+
+    /// Can this instance's next work be run on the SP pipeline? True for
+    /// a fresh instance whose PF block is straight-line (no control flow,
+    /// no blocking main-memory access).
+    fn sp_offloadable(&self, id: InstanceId, program: &Program) -> bool {
+        let inst = self.lse.instance(id);
+        let thread = &program.threads[inst.thread.index()];
+        let pf_end = thread.blocks.pf_end;
+        if inst.pc != 0 || pf_end == 0 {
+            return false;
+        }
+        thread.code[..pf_end as usize].iter().all(|i| {
+            matches!(
+                i,
+                Instr::Alu { .. }
+                    | Instr::Li { .. }
+                    | Instr::Mov { .. }
+                    | Instr::Nop
+                    | Instr::Load { .. }
+                    | Instr::LsLoad { .. }
+                    | Instr::LsStore { .. }
+                    | Instr::DmaGet { .. }
+                    | Instr::DmaGetStrided { .. }
+                    | Instr::DmaPut { .. }
+                    | Instr::DmaYield
+            )
+        })
+    }
+
+    /// Executes an instance's whole PF block on the SP pipeline (one
+    /// instruction per SP cycle; the main pipeline keeps running other
+    /// threads). The instance moves to *Wait for DMA*, or straight back
+    /// to ready when its transfers finished within the block.
+    fn run_pf_on_sp(&mut self, id: InstanceId, now: u64, ctx: &mut SysCtx<'_>) {
+        let (thread_id, frame, pf_buf_addr) = {
+            let inst = self.lse.instance(id);
+            (inst.thread, inst.frame, inst.pf_buf_addr)
+        };
+        let thread = &ctx.program.threads[thread_id.index()];
+        let pf_end = thread.blocks.pf_end;
+        {
+            let inst = self.lse.instance_mut(id);
+            inst.regs[FRAME_PTR_REG.index()] = frame.encode() as i64;
+            inst.regs[PREFETCH_BASE_REG.index()] =
+                if pf_buf_addr == u32::MAX { 0 } else { pf_buf_addr as i64 };
+            inst.state = ThreadState::ProgramDma;
+        }
+        self.record(now, id, TraceKind::PfOffloaded);
+        let start = self.sp_free_at.max(now);
+        let mut t = start;
+        for pc in 0..pf_end {
+            let i = thread.code[pc as usize];
+            self.stats.record_issue(i.class());
+            self.count_mem_op(&i);
+            match i {
+                Instr::Alu { op, rd, ra, rb } => {
+                    let v = op.eval(self.reg(id, ra), self.src_val(id, rb));
+                    if !rd.is_zero() {
+                        self.lse.instance_mut(id).regs[rd.index()] = v;
+                    }
+                }
+                Instr::Li { rd, imm } => {
+                    if !rd.is_zero() {
+                        self.lse.instance_mut(id).regs[rd.index()] = imm;
+                    }
+                }
+                Instr::Mov { rd, ra } => {
+                    let v = self.reg(id, ra);
+                    if !rd.is_zero() {
+                        self.lse.instance_mut(id).regs[rd.index()] = v;
+                    }
+                }
+                Instr::Load { rd, slot } => {
+                    let v = self.lse.instance(id).slot(slot);
+                    if !rd.is_zero() {
+                        self.lse.instance_mut(id).regs[rd.index()] = v;
+                    }
+                    t += self.params.ls_latency; // serial SP: no scoreboard
+                }
+                Instr::LsLoad { rd, ra, off } => {
+                    let addr = (self.reg(id, ra) + off as i64) as u32;
+                    let v = self.ls.read_i32_sext(addr);
+                    if !rd.is_zero() {
+                        self.lse.instance_mut(id).regs[rd.index()] = v;
+                    }
+                    t += self.params.ls_latency;
+                }
+                Instr::LsStore { rs, ra, off } => {
+                    let addr = (self.reg(id, ra) + off as i64) as u32;
+                    let v = self.reg(id, rs) as u32;
+                    self.ls.write_u32(addr, v);
+                }
+                Instr::DmaGet { .. } | Instr::DmaGetStrided { .. } | Instr::DmaPut { .. } => {
+                    // Re-use the pipeline's command construction, retrying
+                    // on a full MFC queue at SP pace.
+                    loop {
+                        match self.exec(t, id, i, true, ctx) {
+                            Exec::Next => break,
+                            Exec::Retry(_) => t += 1,
+                            _ => unreachable!("DMA exec is Next or Retry"),
+                        }
+                    }
+                }
+                Instr::Nop | Instr::DmaYield => {}
+                _ => unreachable!("sp_offloadable filtered the PF block"),
+            }
+            t += 1;
+        }
+        self.sp_free_at = t;
+        self.stats.sp_pf_cycles += t - start;
+        let inst = self.lse.instance_mut(id);
+        inst.pc = pf_end;
+        if inst.outstanding_dma > 0 {
+            inst.state = ThreadState::WaitDma;
+            self.record(now, id, TraceKind::WaitDma);
+        } else {
+            self.lse.make_ready(now, id);
+        }
+    }
+
+    fn record(&mut self, cycle: u64, id: InstanceId, kind: TraceKind) {
+        if self.params.trace {
+            let thread = self.lse.instance(id).thread;
+            self.trace_log.push(TraceRecord {
+                cycle,
+                pe: self.pe,
+                instance: id,
+                thread,
+                kind,
+            });
+        }
+    }
+
+    fn msg_delay(&self, dest_pe: u16) -> u64 {
+        if dest_pe == self.pe {
+            1
+        } else {
+            self.params.msg_latency
+        }
+    }
+}
+
+fn pairable(a: IClass, b: IClass) -> bool {
+    use IClass::*;
+    let simple = |c: IClass| matches!(c, Branch | Frame | Ls);
+    (a == Compute && simple(b)) || (simple(a) && b == Compute)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairing_rules() {
+        use IClass::*;
+        assert!(pairable(Compute, Branch));
+        assert!(pairable(Frame, Compute));
+        assert!(pairable(Compute, Ls));
+        assert!(!pairable(Compute, Compute));
+        assert!(!pairable(Compute, Mem));
+        assert!(!pairable(Mem, Compute));
+        assert!(!pairable(Compute, Dma));
+        assert!(!pairable(Sched, Compute));
+        assert!(!pairable(Branch, Frame));
+    }
+}

@@ -1,0 +1,359 @@
+//! Execution statistics.
+//!
+//! Everything the paper's evaluation section reports is derived from the
+//! counters here:
+//!
+//! * **Figure 5** — the per-SPU execution-time breakdown into Working /
+//!   Idle / Memory stalls / LS stalls / LSE stalls / Prefetching
+//!   ([`StallCat`], [`Breakdown`]);
+//! * **Table 5** — dynamic instruction counts, total and per memory class
+//!   ([`PeStats::loads`] etc.);
+//! * **Figure 9** — pipeline usage ([`Breakdown::pipeline_usage`]);
+//! * **Figures 6-8** — execution time and scalability
+//!   ([`RunStats::cycles`]).
+
+use dta_isa::IClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Cycle-breakdown categories (the paper's Fig. 5 legend).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum StallCat {
+    /// "when the SPU works without stalls".
+    Working = 0,
+    /// "when the SPU has no ready threads to execute".
+    Idle = 1,
+    /// "when SPU waits for a response from main memory (including the
+    /// time that a request to memory spends on the network)".
+    MemStall = 2,
+    /// "when SPU is waiting for a response from the Local Store".
+    LsStall = 3,
+    /// "when the SPU waits for a response from the LSE".
+    LseStall = 4,
+    /// "prefetching overhead ... SPU must spend some time in order to
+    /// program the DMA unit".
+    Prefetch = 5,
+}
+
+impl StallCat {
+    /// All categories, in display order.
+    pub const ALL: [StallCat; 6] = [
+        StallCat::Working,
+        StallCat::Idle,
+        StallCat::MemStall,
+        StallCat::LsStall,
+        StallCat::LseStall,
+        StallCat::Prefetch,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCat::Working => "Working",
+            StallCat::Idle => "Idle",
+            StallCat::MemStall => "Memory stalls",
+            StallCat::LsStall => "LS stalls",
+            StallCat::LseStall => "LSE stalls",
+            StallCat::Prefetch => "Prefetching",
+        }
+    }
+}
+
+impl fmt::Display for StallCat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const NUM_CATS: usize = 6;
+const NUM_CLASSES: usize = 7;
+
+fn class_index(c: IClass) -> usize {
+    match c {
+        IClass::Compute => 0,
+        IClass::Branch => 1,
+        IClass::Frame => 2,
+        IClass::Mem => 3,
+        IClass::Ls => 4,
+        IClass::Dma => 5,
+        IClass::Sched => 6,
+    }
+}
+
+/// Per-PE counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeStats {
+    /// Cycle counts per [`StallCat`] (indexed by the enum discriminant).
+    pub cycles: [u64; NUM_CATS],
+    /// Instructions issued.
+    pub issued: u64,
+    /// Cycles in which two instructions issued.
+    pub dual_cycles: u64,
+    /// Cycles in which at least one instruction issued.
+    pub issue_cycles: u64,
+    /// Instructions per [`dta_isa::IClass`].
+    pub class_counts: [u64; NUM_CLASSES],
+    /// Frame-memory LOADs (Table 5).
+    pub loads: u64,
+    /// Frame-memory STOREs (Table 5).
+    pub stores: u64,
+    /// Main-memory READs (Table 5).
+    pub reads: u64,
+    /// Main-memory WRITEs (Table 5).
+    pub writes: u64,
+    /// Thread instances dispatched onto this pipeline.
+    pub threads_dispatched: u64,
+    /// Cycles lost retrying a full MFC queue.
+    pub dma_queue_retries: u64,
+    /// Cycles the LSE's SP pipeline spent executing PF blocks (only with
+    /// the `sp_pf_overlap` extension; these run in parallel with the main
+    /// pipeline and are not part of the breakdown buckets).
+    pub sp_pf_cycles: u64,
+}
+
+impl PeStats {
+    /// Adds `n` cycles to a category.
+    #[inline]
+    pub fn add_cycles(&mut self, cat: StallCat, n: u64) {
+        self.cycles[cat as usize] += n;
+    }
+
+    /// Records an issued instruction of class `c`.
+    #[inline]
+    pub fn record_issue(&mut self, c: IClass) {
+        self.issued += 1;
+        self.class_counts[class_index(c)] += 1;
+    }
+
+    /// Total attributed cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Cycles in a category.
+    #[inline]
+    pub fn cat(&self, cat: StallCat) -> u64 {
+        self.cycles[cat as usize]
+    }
+
+    /// Instructions of a class.
+    #[inline]
+    pub fn class(&self, c: IClass) -> u64 {
+        self.class_counts[class_index(c)]
+    }
+
+    /// Merges another PE's counters into this one.
+    pub fn merge(&mut self, other: &PeStats) {
+        for i in 0..NUM_CATS {
+            self.cycles[i] += other.cycles[i];
+        }
+        for i in 0..NUM_CLASSES {
+            self.class_counts[i] += other.class_counts[i];
+        }
+        self.issued += other.issued;
+        self.dual_cycles += other.dual_cycles;
+        self.issue_cycles += other.issue_cycles;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.threads_dispatched += other.threads_dispatched;
+        self.dma_queue_retries += other.dma_queue_retries;
+        self.sp_pf_cycles += other.sp_pf_cycles;
+    }
+}
+
+/// A normalised execution-time breakdown (Fig. 5 bar).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    /// Fraction of time per category, summing to ~1.
+    pub fractions: [f64; NUM_CATS],
+    /// Fraction of cycles with at least one instruction issued (Fig. 9's
+    /// "pipeline usage").
+    pub pipeline_usage: f64,
+    /// Average instructions per cycle.
+    pub ipc: f64,
+}
+
+impl Breakdown {
+    /// Computes the breakdown of (aggregated) PE counters.
+    pub fn from_stats(s: &PeStats) -> Self {
+        let total = s.total_cycles();
+        let mut fractions = [0.0; NUM_CATS];
+        if total > 0 {
+            for (f, &c) in fractions.iter_mut().zip(s.cycles.iter()) {
+                *f = c as f64 / total as f64;
+            }
+        }
+        Breakdown {
+            fractions,
+            pipeline_usage: if total > 0 {
+                s.issue_cycles as f64 / total as f64
+            } else {
+                0.0
+            },
+            ipc: if total > 0 {
+                s.issued as f64 / total as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Fraction for one category.
+    #[inline]
+    pub fn frac(&self, cat: StallCat) -> f64 {
+        self.fractions[cat as usize]
+    }
+
+    /// Percentage for one category.
+    #[inline]
+    pub fn pct(&self, cat: StallCat) -> f64 {
+        self.frac(cat) * 100.0
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, cat) in StallCat::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{}: {:5.1}%", cat.name(), self.fractions[i] * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Whole-run results returned by the simulator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total execution time in cycles (until all threads and traffic
+    /// drained).
+    pub cycles: u64,
+    /// Per-PE counters.
+    pub per_pe: Vec<PeStats>,
+    /// Counters summed over all PEs.
+    pub aggregate: PeStats,
+    /// Total dynamic instructions (all PEs).
+    pub instructions: u64,
+    /// Thread instances created.
+    pub instances: u64,
+    /// Bus utilisation over the run.
+    pub bus_utilisation: f64,
+    /// Memory-port utilisation over the run.
+    pub mem_utilisation: f64,
+    /// Payload bytes moved to/from main memory.
+    pub mem_payload_bytes: u64,
+    /// DMA commands issued.
+    pub dma_commands: u64,
+    /// Peak pending FALLOCs at any DSE.
+    pub max_dse_pending: usize,
+    /// Cache hits across all PEs (0 when no cache is configured).
+    pub cache_hits: u64,
+    /// Cache misses across all PEs.
+    pub cache_misses: u64,
+}
+
+impl RunStats {
+    /// The average per-SPU breakdown (paper Fig. 5 is the average over the
+    /// eight SPUs).
+    pub fn breakdown(&self) -> Breakdown {
+        Breakdown::from_stats(&self.aggregate)
+    }
+
+    /// Table 5 row: (total, LOAD, STORE, READ, WRITE).
+    pub fn table5_row(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.instructions,
+            self.aggregate.loads,
+            self.aggregate.stores,
+            self.aggregate.reads,
+            self.aggregate.writes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let mut s = PeStats::default();
+        s.add_cycles(StallCat::Working, 30);
+        s.add_cycles(StallCat::MemStall, 60);
+        s.add_cycles(StallCat::Idle, 10);
+        let b = Breakdown::from_stats(&s);
+        let sum: f64 = b.fractions.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((b.frac(StallCat::MemStall) - 0.6).abs() < 1e-9);
+        assert!((b.pct(StallCat::Working) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_give_zero_breakdown() {
+        let b = Breakdown::from_stats(&PeStats::default());
+        assert_eq!(b.pipeline_usage, 0.0);
+        assert_eq!(b.ipc, 0.0);
+        assert!(b.fractions.iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn record_issue_buckets_by_class() {
+        let mut s = PeStats::default();
+        s.record_issue(IClass::Compute);
+        s.record_issue(IClass::Compute);
+        s.record_issue(IClass::Mem);
+        assert_eq!(s.issued, 3);
+        assert_eq!(s.class(IClass::Compute), 2);
+        assert_eq!(s.class(IClass::Mem), 1);
+        assert_eq!(s.class(IClass::Dma), 0);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = PeStats::default();
+        a.add_cycles(StallCat::Working, 5);
+        a.loads = 2;
+        a.issued = 7;
+        let mut b = PeStats::default();
+        b.add_cycles(StallCat::Working, 3);
+        b.loads = 1;
+        b.issued = 2;
+        a.merge(&b);
+        assert_eq!(a.cat(StallCat::Working), 8);
+        assert_eq!(a.loads, 3);
+        assert_eq!(a.issued, 9);
+    }
+
+    #[test]
+    fn pipeline_usage_and_ipc() {
+        let mut s = PeStats::default();
+        s.add_cycles(StallCat::Working, 50);
+        s.add_cycles(StallCat::MemStall, 50);
+        s.issue_cycles = 50;
+        s.issued = 80; // 30 dual-issue cycles
+        let b = Breakdown::from_stats(&s);
+        assert!((b.pipeline_usage - 0.5).abs() < 1e-9);
+        assert!((b.ipc - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_contains_all_categories() {
+        let b = Breakdown::from_stats(&PeStats::default());
+        let s = b.to_string();
+        for cat in StallCat::ALL {
+            assert!(s.contains(cat.name()), "missing {cat}");
+        }
+    }
+
+    #[test]
+    fn stallcat_names_are_unique() {
+        let mut names: Vec<_> = StallCat::ALL.iter().map(|c| c.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,609 @@
+//! The whole-chip simulator.
+//!
+//! A [`System`] is the paper's CellDTA platform: `nodes × pes_per_node`
+//! processing elements (each with pipeline, LSE, local store and MFC), one
+//! DSE per node, and a shared interconnect + main memory. The host
+//! processor (the Cell PPE) appears only at [`System::launch`], where it
+//! allocates the entry thread's frame and stores its arguments — "the PPE
+//! is used to initiate the DTA TLP activities" (§4.1).
+//!
+//! Simulation is cycle-driven with event-based time skipping: scheduler
+//! messages and DMA completions sit in a time-ordered queue, and when
+//! every pipeline is blocked or idle the clock jumps straight to the next
+//! event. Arbitration everywhere is deterministic, so a given
+//! (program, config) pair always produces identical results.
+
+use crate::config::SystemConfig;
+use crate::pipeline::{Activity, Pe, PipelineParams, SysCtx};
+use crate::stats::{PeStats, RunStats};
+use crate::trace::{Trace, TraceKind, TraceRecord};
+use dta_isa::{validate_program, Program, ValidationError};
+use dta_mem::{MainMemory, MemorySystem};
+use dta_sched::dse::FallocDecision;
+use dta_sched::{Dest, Dse, Message, PendingFalloc};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a run failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// The program failed static validation.
+    Validation(Vec<ValidationError>),
+    /// The program/config combination cannot be launched.
+    Launch(String),
+    /// The system wedged: no events, pipelines blocked or idle, but
+    /// instances still alive (a synchronisation bug in the program).
+    Deadlock {
+        /// Cycle at which the deadlock was detected.
+        cycle: u64,
+        /// Instances still alive.
+        live: usize,
+    },
+    /// `max_cycles` exceeded.
+    CycleLimit(u64),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Validation(errs) => {
+                writeln!(f, "program failed validation:")?;
+                for e in errs {
+                    writeln!(f, "  {e}")?;
+                }
+                Ok(())
+            }
+            RunError::Launch(msg) => write!(f, "launch failed: {msg}"),
+            RunError::Deadlock { cycle, live } => {
+                write!(f, "deadlock at cycle {cycle}: {live} instances still alive")
+            }
+            RunError::CycleLimit(n) => write!(f, "cycle limit of {n} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[derive(PartialEq, Eq)]
+struct Event {
+    time: u64,
+    seq: u64,
+    to: Dest,
+    msg: Message,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (Reverse(self.time), Reverse(self.seq)).cmp(&(Reverse(other.time), Reverse(other.seq)))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulated machine.
+pub struct System {
+    config: SystemConfig,
+    program: Arc<Program>,
+    pes: Vec<Pe>,
+    dses: Vec<Dse>,
+    memsys: MemorySystem,
+    mem: MainMemory,
+    events: BinaryHeap<Event>,
+    seq: u64,
+    now: u64,
+    drain_until: u64,
+    launched: bool,
+    trace: Option<Trace>,
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("now", &self.now)
+            .field("pes", &self.pes.len())
+            .field("nodes", &self.dses.len())
+            .field("pending_events", &self.events.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// Builds a system for `program` under `config`.
+    ///
+    /// Validates the program and sizes the per-PE prefetch-buffer pool
+    /// from the program's declared needs.
+    pub fn new(config: SystemConfig, program: Arc<Program>) -> Result<Self, RunError> {
+        let errors = validate_program(&program);
+        if !errors.is_empty() {
+            return Err(RunError::Validation(errors));
+        }
+        let lse_params = config
+            .lse_params(program.max_prefetch_bytes())
+            .map_err(RunError::Launch)?;
+        let pparams = PipelineParams {
+            taken_branch_penalty: config.taken_branch_penalty,
+            dispatch_penalty: config.dispatch_penalty,
+            msg_latency: config.msg_latency,
+            ls_latency: config.ls_latency,
+            ls_ports: config.ls_ports,
+            cache: config.cache,
+            sp_pf_overlap: config.sp_pf_overlap,
+            trace: config.trace,
+        };
+        let mut pes = Vec::with_capacity(config.total_pes() as usize);
+        for pe in 0..config.total_pes() {
+            let node = pe / config.pes_per_node;
+            pes.push(Pe::new(
+                pe,
+                node,
+                lse_params,
+                config.mfc,
+                config.ls_size,
+                pparams,
+            ));
+        }
+        let dses = (0..config.nodes)
+            .map(|node| {
+                let local: Vec<u16> = (0..config.pes_per_node)
+                    .map(|i| node * config.pes_per_node + i)
+                    .collect();
+                Dse::new(
+                    node,
+                    local,
+                    config.frame_capacity,
+                    config.nodes,
+                    config.dse_params(),
+                )
+            })
+            .collect();
+        let mut mem = MainMemory::new(config.mem_size);
+        mem.load_globals(&program.globals);
+        let trace = if config.trace {
+            Some(Trace::new(config.trace_capacity))
+        } else {
+            None
+        };
+        Ok(System {
+            memsys: config.memory_system(),
+            config,
+            program,
+            pes,
+            dses,
+            mem,
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            drain_until: 0,
+            launched: false,
+            trace,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Read-only view of main memory (for verifying results after a run).
+    pub fn memory(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// The recorded trace, when tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Renders the recorded trace as a per-instance lifecycle table.
+    pub fn render_trace(&self) -> Option<String> {
+        let names: Vec<String> = self.program.threads.iter().map(|t| t.name.clone()).collect();
+        self.trace.as_ref().map(|t| t.render(&names))
+    }
+
+    fn record(&mut self, pe: u16, instance: dta_sched::InstanceId, kind: TraceKind) {
+        if let Some(trace) = &mut self.trace {
+            let thread = self.pes[pe as usize].lse.instance(instance).thread;
+            trace.push(TraceRecord {
+                cycle: self.now,
+                pe,
+                instance,
+                thread,
+                kind,
+            });
+        }
+    }
+
+    /// Reads 32-bit word `index` of global `name`.
+    pub fn read_global_word(&self, name: &str, index: usize) -> Option<i32> {
+        let g = self.program.global(name)?;
+        if (index + 1) * 4 > g.size() {
+            return None;
+        }
+        Some(self.mem.read_u32(g.addr + index as u64 * 4) as i32)
+    }
+
+    fn post(&mut self, time: u64, to: Dest, msg: Message) {
+        self.seq += 1;
+        self.events.push(Event {
+            time: time.max(self.now + 1),
+            seq: self.seq,
+            to,
+            msg,
+        });
+    }
+
+    /// The host (PPE) side of program start: allocates the entry frame via
+    /// the normal DSE path and stores the arguments.
+    ///
+    /// # Panics
+    ///
+    /// If called twice.
+    pub fn launch(&mut self, args: &[i64]) -> Result<(), RunError> {
+        assert!(!self.launched, "launch called twice");
+        self.launched = true;
+        let entry = self.program.entry;
+        let entry_code = self.program.thread(entry);
+        if args.len() != self.program.entry_args as usize {
+            return Err(RunError::Launch(format!(
+                "entry thread expects {} arguments, got {}",
+                self.program.entry_args,
+                args.len()
+            )));
+        }
+        let sc = args.len() as u16;
+        let slots = entry_code.frame_slots.max(sc);
+        let needs_pf = entry_code.prefetch_bytes > 0;
+        // The host's FALLOC goes through the DSE like any other, at time 0.
+        let req = PendingFalloc {
+            requester: u16::MAX, // host marker; response handled inline
+            for_inst: dta_sched::InstanceId(u64::MAX),
+            thread: entry,
+            sc,
+        };
+        let pe = match self.dses[0].on_falloc(req, 0) {
+            FallocDecision::Grant { pe } => pe,
+            _ => return Err(RunError::Launch("no frame available for entry thread".into())),
+        };
+        let granted = self.pes[pe as usize]
+            .lse
+            .alloc_frame(u16::MAX, dta_sched::InstanceId(u64::MAX), entry, sc, slots, needs_pf)
+            .ok_or_else(|| RunError::Launch("entry allocation parked (no prefetch buffer)".into()))?;
+        for (i, &a) in args.iter().enumerate() {
+            self.pes[pe as usize]
+                .lse
+                .store(0, granted.frame, i as u16, a);
+        }
+        Ok(())
+    }
+
+    fn deliver(&mut self, to: Dest, msg: Message) {
+        let now = self.now;
+        match to {
+            Dest::Dse(node) => {
+                let dse = &mut self.dses[node as usize];
+                match msg {
+                    Message::FallocRequest {
+                        requester,
+                        for_inst,
+                        thread,
+                        sc,
+                        hops,
+                    } => {
+                        let done = dse.reserve_op(now);
+                        let req = PendingFalloc {
+                            requester,
+                            for_inst,
+                            thread,
+                            sc,
+                        };
+                        match dse.on_falloc(req, hops) {
+                            FallocDecision::Grant { pe } => {
+                                self.post(
+                                    done + self.config.msg_latency,
+                                    Dest::Lse(pe),
+                                    Message::AllocFrame {
+                                        requester,
+                                        for_inst,
+                                        thread,
+                                        sc,
+                                    },
+                                );
+                            }
+                            FallocDecision::Forward => {
+                                let next = (node + 1) % self.config.nodes;
+                                self.post(
+                                    done + self.config.msg_latency,
+                                    Dest::Dse(next),
+                                    Message::FallocRequest {
+                                        requester,
+                                        for_inst,
+                                        thread,
+                                        sc,
+                                        hops: hops + 1,
+                                    },
+                                );
+                            }
+                            FallocDecision::Queued => {
+                                // Tell the requester to deschedule; the
+                                // grant will arrive once a frame frees up.
+                                self.post(
+                                    done + self.config.msg_latency,
+                                    Dest::Pipeline(requester),
+                                    Message::FallocDeferred { for_inst },
+                                );
+                            }
+                        }
+                    }
+                    Message::FrameFreed { pe } => {
+                        let done = dse.reserve_op(now);
+                        for (target, req) in dse.on_frame_freed(pe) {
+                            self.post(
+                                done + self.config.msg_latency,
+                                Dest::Lse(target),
+                                Message::AllocFrame {
+                                    requester: req.requester,
+                                    for_inst: req.for_inst,
+                                    thread: req.thread,
+                                    sc: req.sc,
+                                },
+                            );
+                        }
+                    }
+                    other => panic!("DSE {node} received unexpected message {other:?}"),
+                }
+            }
+            Dest::Lse(pe) => {
+                let pe_idx = pe as usize;
+                match msg {
+                    Message::AllocFrame {
+                        requester,
+                        for_inst,
+                        thread,
+                        sc,
+                    } => {
+                        let code = &self.program.threads[thread.index()];
+                        let slots = code.frame_slots;
+                        let needs_pf = code.prefetch_bytes > 0;
+                        let done = self.pes[pe_idx].lse.reserve_op(now);
+                        match self.pes[pe_idx].lse.alloc_frame(
+                            requester, for_inst, thread, sc, slots, needs_pf,
+                        ) {
+                            Some(granted) => {
+                                self.record(
+                                    pe,
+                                    granted.instance,
+                                    TraceKind::FrameGranted {
+                                        frame: granted.frame,
+                                    },
+                                );
+                                self.post(
+                                    done + self.config.msg_latency,
+                                    Dest::Pipeline(requester),
+                                    Message::FallocResponse {
+                                        frame: granted.frame,
+                                        for_inst: granted.for_inst,
+                                    },
+                                );
+                            }
+                            None => {
+                                // Parked on prefetch-buffer exhaustion:
+                                // tell the requester to deschedule, like a
+                                // DSE queue (the grant arrives when a
+                                // buffer frees up).
+                                self.post(
+                                    done + self.config.msg_latency,
+                                    Dest::Pipeline(requester),
+                                    Message::FallocDeferred { for_inst },
+                                );
+                            }
+                        }
+                    }
+                    Message::Store { frame, slot, value } => {
+                        self.pes[pe_idx].lse.reserve_op(now);
+                        let owner = self.pes[pe_idx].lse.frame_owner(frame);
+                        let ready = self.pes[pe_idx].lse.store(now, frame, slot, value);
+                        if let Some(owner) = owner {
+                            self.record(
+                                pe,
+                                owner,
+                                TraceKind::StoreApplied {
+                                    slot,
+                                    became_ready: ready.is_some(),
+                                },
+                            );
+                        }
+                    }
+                    Message::Ffree { frame } => {
+                        let done = self.pes[pe_idx].lse.reserve_op(now);
+                        if let Some(owner) = self.pes[pe_idx].lse.frame_owner(frame) {
+                            self.record(pe, owner, TraceKind::FrameFreed);
+                        }
+                        let granted = self.pes[pe_idx].lse.ffree(frame);
+                        for g in granted {
+                            self.post(
+                                done + self.config.msg_latency,
+                                Dest::Pipeline(g.requester),
+                                Message::FallocResponse {
+                                    frame: g.frame,
+                                    for_inst: g.for_inst,
+                                },
+                            );
+                        }
+                        let node = pe / self.config.pes_per_node;
+                        self.post(
+                            done + self.config.msg_latency,
+                            Dest::Dse(node),
+                            Message::FrameFreed { pe },
+                        );
+                    }
+                    Message::DmaDone { owner, tag } => {
+                        if self.trace.is_some() && self.pes[pe_idx].lse.has_instance(owner) {
+                            self.record(pe, owner, TraceKind::DmaCompleted { tag });
+                        }
+                        let p = &mut self.pes[pe_idx];
+                        if !p.current_dma_done(owner, tag) {
+                            p.lse.dma_done(now, owner, tag);
+                        }
+                    }
+                    other => panic!("LSE {pe} received unexpected message {other:?}"),
+                }
+            }
+            Dest::Pipeline(pe) => match msg {
+                Message::FallocResponse { frame, for_inst } => {
+                    self.pes[pe as usize].complete_falloc(now, frame, for_inst);
+                }
+                Message::FallocDeferred { for_inst } => {
+                    self.pes[pe as usize].defer_falloc(now, for_inst);
+                }
+                other => panic!("pipeline {pe} received unexpected message {other:?}"),
+            },
+        }
+    }
+
+    /// Runs to completion; returns the collected statistics.
+    pub fn run(&mut self) -> Result<RunStats, RunError> {
+        assert!(self.launched, "run() before launch()");
+        let mut outbox: Vec<(u64, Dest, Message)> = Vec::new();
+
+        loop {
+            if self.now > self.config.max_cycles {
+                return Err(RunError::CycleLimit(self.config.max_cycles));
+            }
+
+            // Deliver everything due now.
+            while self
+                .events
+                .peek()
+                .is_some_and(|e| e.time <= self.now)
+            {
+                let e = self.events.pop().expect("peeked");
+                self.deliver(e.to, e.msg);
+            }
+
+            // Tick every PE.
+            let mut any_active = false;
+            let mut next_wake = u64::MAX;
+            {
+                let System {
+                    pes,
+                    memsys,
+                    mem,
+                    program,
+                    drain_until,
+                    ..
+                } = self;
+                let mut ctx = SysCtx {
+                    sys: memsys,
+                    mem,
+                    program,
+                    out: &mut outbox,
+                    drain_until,
+                };
+                for pe in pes.iter_mut() {
+                    match pe.tick(self.now, &mut ctx) {
+                        Activity::Active => any_active = true,
+                        Activity::Blocked(t) => next_wake = next_wake.min(t),
+                        Activity::Idle => {}
+                    }
+                }
+            }
+            for (time, to, msg) in outbox.drain(..) {
+                self.post(time, to, msg);
+            }
+            if self.trace.is_some() {
+                let mut logs: Vec<TraceRecord> = Vec::new();
+                for pe in &mut self.pes {
+                    logs.append(&mut pe.trace_log);
+                }
+                if let Some(trace) = &mut self.trace {
+                    for rec in logs {
+                        trace.push(rec);
+                    }
+                }
+            }
+
+            if any_active {
+                self.now += 1;
+                continue;
+            }
+            // Jump to the next interesting time.
+            let next_event = self.events.peek().map(|e| e.time).unwrap_or(u64::MAX);
+            let target = next_event.min(next_wake);
+            if target == u64::MAX {
+                // Nothing will ever happen again.
+                let live: usize = self.pes.iter().map(|p| p.lse.live_instances()).sum();
+                if live > 0 {
+                    return Err(RunError::Deadlock {
+                        cycle: self.now,
+                        live,
+                    });
+                }
+                break;
+            }
+            debug_assert!(target > self.now, "time must advance");
+            self.now = target;
+        }
+
+        let final_cycle = self.now.max(self.drain_until);
+        for pe in &mut self.pes {
+            pe.finish(final_cycle);
+        }
+        Ok(self.collect(final_cycle))
+    }
+
+    fn collect(&self, final_cycle: u64) -> RunStats {
+        let per_pe: Vec<PeStats> = self.pes.iter().map(|p| p.stats).collect();
+        let mut aggregate = PeStats::default();
+        for s in &per_pe {
+            aggregate.merge(s);
+        }
+        RunStats {
+            cycles: final_cycle,
+            instructions: aggregate.issued,
+            instances: self.pes.iter().map(|p| p.lse.stats().allocs).sum(),
+            bus_utilisation: self.memsys.bus.utilisation(final_cycle),
+            mem_utilisation: self.memsys.mem.utilisation(final_cycle),
+            mem_payload_bytes: self.memsys.stats().payload_bytes,
+            dma_commands: self.pes.iter().map(|p| p.mfc.stats().commands).sum(),
+            max_dse_pending: self.dses.iter().map(|d| d.stats().max_pending).max().unwrap_or(0),
+            cache_hits: self
+                .pes
+                .iter()
+                .filter_map(|p| p.cache.as_ref())
+                .map(|c| c.stats().hits)
+                .sum(),
+            cache_misses: self
+                .pes
+                .iter()
+                .filter_map(|p| p.cache.as_ref())
+                .map(|c| c.stats().misses)
+                .sum(),
+            per_pe,
+            aggregate,
+        }
+    }
+}
+
+/// Convenience: build, launch, and run a program in one call.
+pub fn simulate(
+    config: SystemConfig,
+    program: Arc<Program>,
+    args: &[i64],
+) -> Result<(RunStats, System), RunError> {
+    let mut sys = System::new(config, program)?;
+    sys.launch(args)?;
+    let stats = sys.run()?;
+    Ok((stats, sys))
+}

@@ -1,0 +1,230 @@
+//! Execution tracing.
+//!
+//! When enabled ([`crate::SystemConfig::trace`]), the simulator records
+//! the scheduler-visible life of every thread instance — frame grants,
+//! readiness, dispatches, DMA waits, parks, stops — so the paper's thread
+//! lifecycle (Fig. 4) can be *observed*, not just asserted. Traces are
+//! bounded (oldest events are kept; recording stops at capacity and the
+//! truncation is flagged) and render as a per-instance timeline.
+
+use dta_isa::{FramePtr, ThreadId};
+use dta_sched::InstanceId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// What happened.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A frame was granted and the instance was born.
+    FrameGranted {
+        /// The granted frame.
+        frame: FramePtr,
+    },
+    /// A producer store arrived (`slot`), possibly making it ready.
+    StoreApplied {
+        /// Destination slot.
+        slot: u16,
+        /// Did the SC reach zero?
+        became_ready: bool,
+    },
+    /// Dispatched onto a pipeline.
+    Dispatched,
+    /// PF block offloaded to the SP pipeline (extension).
+    PfOffloaded,
+    /// Programmed a DMA transfer.
+    DmaIssued {
+        /// MFC tag.
+        tag: u8,
+    },
+    /// A DMA transfer completed.
+    DmaCompleted {
+        /// MFC tag.
+        tag: u8,
+    },
+    /// Yielded the pipeline into *Wait for DMA* (Fig. 4).
+    WaitDma,
+    /// Descheduled while its FALLOC is queued.
+    ParkedWaitFalloc,
+    /// Executed `STOP`.
+    Stopped,
+    /// Released its frame.
+    FrameFreed,
+}
+
+/// One trace record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Simulation cycle.
+    pub cycle: u64,
+    /// PE on which the event occurred.
+    pub pe: u16,
+    /// The instance involved.
+    pub instance: InstanceId,
+    /// Static thread of the instance.
+    pub thread: ThreadId,
+    /// The event.
+    pub kind: TraceKind,
+}
+
+/// A bounded event log.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceRecord>,
+    capacity: usize,
+    /// `true` when events were dropped at capacity.
+    pub truncated: bool,
+}
+
+impl Trace {
+    /// A trace holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            truncated: false,
+        }
+    }
+
+    /// Records an event (drops it when full).
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.events.len() < self.capacity {
+            self.events.push(rec);
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    /// All events, in recording order (cycle-monotone per PE).
+    pub fn events(&self) -> &[TraceRecord] {
+        &self.events
+    }
+
+    /// Events of one instance, in order.
+    pub fn for_instance(&self, id: InstanceId) -> Vec<&TraceRecord> {
+        self.events.iter().filter(|e| e.instance == id).collect()
+    }
+
+    /// Count of events matching a predicate.
+    pub fn count(&self, f: impl Fn(&TraceRecord) -> bool) -> usize {
+        self.events.iter().filter(|e| f(e)).count()
+    }
+
+    /// Renders a per-instance lifecycle table: birth, ready latency,
+    /// dispatches, DMA waits, stop.
+    pub fn render(&self, thread_names: &[String]) -> String {
+        #[derive(Default)]
+        struct Life {
+            thread: usize,
+            pe: u16,
+            born: Option<u64>,
+            dispatches: u64,
+            first_dispatch: Option<u64>,
+            dma: u64,
+            waits: u64,
+            stopped: Option<u64>,
+        }
+        let mut lives: BTreeMap<InstanceId, Life> = BTreeMap::new();
+        for e in &self.events {
+            let l = lives.entry(e.instance).or_default();
+            l.thread = e.thread.index();
+            l.pe = e.pe;
+            match e.kind {
+                TraceKind::FrameGranted { .. } => l.born = Some(e.cycle),
+                TraceKind::Dispatched => {
+                    l.dispatches += 1;
+                    l.first_dispatch.get_or_insert(e.cycle);
+                }
+                TraceKind::DmaIssued { .. } => l.dma += 1,
+                TraceKind::WaitDma => l.waits += 1,
+                TraceKind::Stopped => l.stopped = Some(e.cycle),
+                _ => {}
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:<12} {:>3} {:>9} {:>9} {:>5} {:>4} {:>5} {:>9}",
+            "instance", "thread", "pe", "born", "dispatch", "disp#", "dma", "waits", "stopped"
+        );
+        for (id, l) in &lives {
+            let name = thread_names
+                .get(l.thread)
+                .map(String::as_str)
+                .unwrap_or("?");
+            let fmt_opt = |v: Option<u64>| v.map(|c| c.to_string()).unwrap_or_else(|| "-".into());
+            let _ = writeln!(
+                out,
+                "{:<10} {:<12} {:>3} {:>9} {:>9} {:>5} {:>4} {:>5} {:>9}",
+                id.to_string(),
+                name,
+                l.pe,
+                fmt_opt(l.born),
+                fmt_opt(l.first_dispatch),
+                l.dispatches,
+                l.dma,
+                l.waits,
+                fmt_opt(l.stopped),
+            );
+        }
+        if self.truncated {
+            let _ = writeln!(out, "(trace truncated at {} events)", self.capacity);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(cycle: u64, inst: u64, kind: TraceKind) -> TraceRecord {
+        TraceRecord {
+            cycle,
+            pe: 0,
+            instance: InstanceId(inst),
+            thread: ThreadId(0),
+            kind,
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_flagged() {
+        let mut t = Trace::new(2);
+        t.push(rec(1, 1, TraceKind::Dispatched));
+        t.push(rec(2, 1, TraceKind::Stopped));
+        assert!(!t.truncated);
+        t.push(rec(3, 1, TraceKind::FrameFreed));
+        assert!(t.truncated);
+        assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn per_instance_filter() {
+        let mut t = Trace::new(10);
+        t.push(rec(1, 1, TraceKind::Dispatched));
+        t.push(rec(2, 2, TraceKind::Dispatched));
+        t.push(rec(3, 1, TraceKind::Stopped));
+        assert_eq!(t.for_instance(InstanceId(1)).len(), 2);
+        assert_eq!(t.for_instance(InstanceId(2)).len(), 1);
+        assert_eq!(t.count(|e| matches!(e.kind, TraceKind::Dispatched)), 2);
+    }
+
+    #[test]
+    fn render_summarises_lifecycles() {
+        let mut t = Trace::new(10);
+        t.push(rec(5, 1, TraceKind::FrameGranted { frame: FramePtr::new(0, 0) }));
+        t.push(rec(9, 1, TraceKind::Dispatched));
+        t.push(rec(10, 1, TraceKind::DmaIssued { tag: 0 }));
+        t.push(rec(11, 1, TraceKind::WaitDma));
+        t.push(rec(40, 1, TraceKind::Dispatched));
+        t.push(rec(60, 1, TraceKind::Stopped));
+        let s = t.render(&["worker".into()]);
+        assert!(s.contains("worker"));
+        assert!(s.contains("i1"));
+        // 2 dispatches, 1 dma, 1 wait, stop at 60.
+        let line = s.lines().nth(1).unwrap();
+        assert!(line.contains("60"), "{line}");
+        assert!(line.contains('2'), "{line}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Tests for the two architecture extensions: the optional scalar data
+//! cache and the SP/XP PF-block overlap.
+
+use dta_core::{simulate, StallCat, SystemConfig};
+use dta_isa::{reg::r, BrCond, ProgramBuilder, ThreadBuilder};
+use dta_mem::CacheParams;
+use std::sync::Arc;
+
+/// A read-heavy single thread with strong line reuse: sums an array
+/// twice.
+fn reuse_program(n: usize) -> Arc<dta_isa::Program> {
+    let words: Vec<i32> = (0..n as i32).collect();
+    let mut pb = ProgramBuilder::new();
+    let arr = pb.global_words("arr", &words);
+    let out = pb.global_zeroed("out", 4);
+    let main = pb.declare("main");
+    let mut t = ThreadBuilder::new("main");
+    t.begin_ex();
+    t.li(r(3), arr as i64);
+    t.li(r(5), 0); // acc
+    for _pass in 0..2 {
+        t.li(r(4), 0); // i
+        let top = t.label_here();
+        let done = t.new_label();
+        t.br(BrCond::Ge, r(4), n as i32, done);
+        t.shl(r(6), r(4), 2);
+        t.add(r(6), r(3), r(6));
+        t.read(r(7), r(6), 0);
+        t.add(r(5), r(5), r(7));
+        t.add(r(4), r(4), 1);
+        t.jmp(top);
+        t.bind(done);
+    }
+    t.begin_ps();
+    t.li(r(8), out as i64);
+    t.write(r(5), r(8), 0);
+    t.ffree_self();
+    t.stop();
+    pb.define(main, t);
+    pb.set_entry(main, 0);
+    Arc::new(pb.build())
+}
+
+#[test]
+fn cache_accelerates_read_heavy_code_and_stays_correct() {
+    let n = 256;
+    let expected: i32 = 2 * (0..n as i32).sum::<i32>();
+
+    let (no_cache, sys) = simulate(SystemConfig::with_pes(1), reuse_program(n), &[]).unwrap();
+    assert_eq!(sys.read_global_word("out", 0), Some(expected));
+
+    let mut cfg = SystemConfig::with_pes(1);
+    cfg.cache = Some(CacheParams::default());
+    let (cached, sys) = simulate(cfg, reuse_program(n), &[]).unwrap();
+    assert_eq!(sys.read_global_word("out", 0), Some(expected));
+
+    // 512 reads over 256 words: 8 line fills (128B lines), everything
+    // else hits.
+    assert_eq!(cached.cache_misses, 8);
+    assert_eq!(cached.cache_hits, 504);
+    assert!(
+        cached.cycles * 5 < no_cache.cycles,
+        "cache {} vs none {}",
+        cached.cycles,
+        no_cache.cycles
+    );
+    assert_eq!(no_cache.cache_hits + no_cache.cache_misses, 0);
+}
+
+#[test]
+fn prefetch_beats_or_matches_cache_on_streaming_kernels() {
+    // The paper's §4.3 claim: prefetching "can almost eliminate the need
+    // for caches". Compare baseline+cache against prefetch-no-cache on
+    // the streaming zoom workload.
+    use dta_workloads::{zoom, Variant};
+    let n = 16;
+    let mut cached_cfg = SystemConfig::with_pes(8);
+    cached_cfg.cache = Some(CacheParams::default());
+    let base = zoom::build(n, Variant::Baseline);
+    let (with_cache, sys) = simulate(cached_cfg, Arc::new(base.program), &base.args).unwrap();
+    zoom::verify(&sys, n).unwrap();
+
+    let pf = zoom::build(n, Variant::HandPrefetch);
+    let (with_pf, sys) = simulate(SystemConfig::with_pes(8), Arc::new(pf.program), &pf.args).unwrap();
+    zoom::verify(&sys, n).unwrap();
+
+    assert!(
+        with_pf.cycles <= with_cache.cycles * 2,
+        "prefetch ({}) should be in the same league as a cache ({})",
+        with_pf.cycles,
+        with_cache.cycles
+    );
+}
+
+#[test]
+fn sp_overlap_moves_pf_work_off_the_pipeline() {
+    use dta_workloads::{mmul, Variant};
+    let n = 16;
+    let celldta = SystemConfig::with_pes(4); // paper: no SP/XP overlap
+    let mut dtac = SystemConfig::with_pes(4);
+    dtac.sp_pf_overlap = true;
+
+    let wp = mmul::build(n, Variant::HandPrefetch);
+    let (base_stats, sys) = simulate(celldta, Arc::new(wp.program), &wp.args).unwrap();
+    mmul::verify(&sys, n).unwrap();
+
+    let wp = mmul::build(n, Variant::HandPrefetch);
+    let (sp_stats, sys) = simulate(dtac, Arc::new(wp.program), &wp.args).unwrap();
+    mmul::verify(&sys, n).unwrap();
+
+    // PF work shows up on the SP pipeline, and pipeline prefetch overhead
+    // shrinks.
+    assert_eq!(base_stats.aggregate.sp_pf_cycles, 0);
+    assert!(sp_stats.aggregate.sp_pf_cycles > 0);
+    assert!(
+        sp_stats.aggregate.cat(StallCat::Prefetch) < base_stats.aggregate.cat(StallCat::Prefetch),
+        "sp {} vs base {}",
+        sp_stats.aggregate.cat(StallCat::Prefetch),
+        base_stats.aggregate.cat(StallCat::Prefetch)
+    );
+    // And never slower overall.
+    assert!(sp_stats.cycles <= base_stats.cycles);
+}
+
+#[test]
+fn sp_overlap_keeps_results_identical_across_workloads() {
+    use dta_workloads::{bitcnt, colsum, stencil, Variant};
+    let mut cfg = SystemConfig::with_pes(4);
+    cfg.sp_pf_overlap = true;
+    for variant in [Variant::HandPrefetch, Variant::AutoPrefetch] {
+        let wp = bitcnt::build(96, variant);
+        let (_, sys) = simulate(cfg.clone(), Arc::new(wp.program), &wp.args).unwrap();
+        bitcnt::verify(&sys, 96).unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+
+        let wp = stencil::build(64, 4, variant);
+        let (_, sys) = simulate(cfg.clone(), Arc::new(wp.program), &wp.args).unwrap();
+        stencil::verify(&sys, 64).unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+
+        let wp = colsum::build(16, variant);
+        let (_, sys) = simulate(cfg.clone(), Arc::new(wp.program), &wp.args).unwrap();
+        colsum::verify(&sys, 16).unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+    }
+}
+
+#[test]
+fn sp_overlap_fixes_the_latency_one_bitcnt_regression() {
+    // Paper §4.3: at latency 1, bitcnt's prefetch overhead makes it
+    // *slower*. With the SP/XP overlap the paper attributes to DTA-C,
+    // the overhead leaves the critical path.
+    use dta_workloads::{bitcnt, Variant};
+    let base_cfg = SystemConfig::with_pes(8).latency_one();
+    let mut sp_cfg = base_cfg.clone();
+    sp_cfg.sp_pf_overlap = true;
+
+    let wp = bitcnt::build(512, Variant::HandPrefetch);
+    let (celldta, _) = simulate(base_cfg, Arc::new(wp.program), &wp.args).unwrap();
+    let wp = bitcnt::build(512, Variant::HandPrefetch);
+    let (dtac, _) = simulate(sp_cfg, Arc::new(wp.program), &wp.args).unwrap();
+    // The pipeline's own prefetch overhead must drop out entirely...
+    assert!(
+        dtac.aggregate.cat(StallCat::Prefetch) < celldta.aggregate.cat(StallCat::Prefetch) / 2,
+        "SP overlap should remove pipeline PF overhead: {} vs {}",
+        dtac.aggregate.cat(StallCat::Prefetch),
+        celldta.aggregate.cat(StallCat::Prefetch)
+    );
+    // ...and total time must stay in the same ballpark (the extra
+    // ready-queue hop costs a percent or two of second-order scheduling).
+    assert!(
+        dtac.cycles <= celldta.cycles * 105 / 100,
+        "SP overlap should not be materially slower: {} vs {}",
+        dtac.cycles,
+        celldta.cycles
+    );
+}

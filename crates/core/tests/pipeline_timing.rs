@@ -1,0 +1,212 @@
+//! Precise pipeline-timing tests: dual issue, the register scoreboard,
+//! and branch penalties, measured through instruction/cycle counters on
+//! single-thread programs.
+
+use dta_core::{simulate, RunStats, StallCat, SystemConfig};
+use dta_isa::{reg::r, BrCond, Program, ProgramBuilder, ThreadBuilder};
+use std::sync::Arc;
+
+/// A 1-PE config with every penalty and latency pinned for exact math.
+fn pinned() -> SystemConfig {
+    let mut cfg = SystemConfig::with_pes(1);
+    cfg.dispatch_penalty = 0;
+    cfg.taken_branch_penalty = 0;
+    cfg
+}
+
+fn run_one(body: impl FnOnce(&mut ThreadBuilder)) -> (RunStats, Program) {
+    let mut pb = ProgramBuilder::new();
+    let main = pb.declare("main");
+    let mut t = ThreadBuilder::new("main");
+    body(&mut t);
+    pb.define(main, t);
+    pb.set_entry(main, 0);
+    let p = pb.build();
+    let (stats, _) = simulate(pinned(), Arc::new(p.clone()), &[]).unwrap();
+    (stats, p)
+}
+
+#[test]
+fn independent_compute_and_frame_ops_dual_issue() {
+    // Pairs of (ALU, frame STORE to own... no: use LSSTORE) should issue
+    // two per cycle: N pairs -> ~N issue cycles with 2N instructions.
+    let n = 32;
+    let (stats, _) = run_one(|t| {
+        t.begin_ex();
+        t.li(r(4), 0); // LS address register
+        for i in 0..n {
+            // Independent compute (different dests) + LS store.
+            t.add(r(5), r(4), i);
+            t.lsstore(r(4), r(4), i * 4);
+        }
+        t.begin_ps();
+        t.ffree_self();
+        t.stop();
+    });
+    let agg = &stats.aggregate;
+    assert!(
+        agg.dual_cycles >= (n as u64) - 2,
+        "expected ~{n} dual-issue cycles, got {}",
+        agg.dual_cycles
+    );
+    assert!(agg.issued >= 2 * n as u64);
+}
+
+#[test]
+fn dependent_alu_chain_single_issues() {
+    // A strict dependency chain can never dual-issue.
+    let n = 64;
+    let (stats, _) = run_one(|t| {
+        t.begin_ex();
+        t.li(r(4), 1);
+        for _ in 0..n {
+            t.add(r(4), r(4), 1);
+        }
+        t.begin_ps();
+        t.ffree_self();
+        t.stop();
+    });
+    assert_eq!(stats.aggregate.dual_cycles, 0);
+    // issue cycles ≈ instructions (1 IPC on the chain).
+    assert!(stats.aggregate.issue_cycles as i64 - stats.aggregate.issued as i64 <= 1);
+}
+
+#[test]
+fn scoreboard_charges_ls_latency_to_early_consumers() {
+    // lsload followed immediately by its use stalls ~ls_latency cycles,
+    // attributed to LS stalls.
+    let uses = 32;
+    let (stats, _) = run_one(|t| {
+        t.begin_ex();
+        t.li(r(4), 0);
+        for i in 0..uses {
+            t.lsload(r(5), r(4), i * 4);
+            t.add(r(6), r(5), 1); // immediate use -> stall
+        }
+        t.begin_ps();
+        t.ffree_self();
+        t.stop();
+    });
+    let ls = stats.aggregate.cat(StallCat::LsStall);
+    // Each pair loses ~(ls_latency - 1) cycles; allow generous bounds.
+    assert!(
+        ls >= (uses as u64) * 3,
+        "expected LS stalls from immediate consumers, got {ls}"
+    );
+}
+
+#[test]
+fn scheduling_independent_work_hides_ls_latency() {
+    // The same loads with 6 independent ALU ops in between: no LS stalls.
+    let uses = 32;
+    let (stats, _) = run_one(|t| {
+        t.begin_ex();
+        t.li(r(4), 0);
+        for i in 0..uses {
+            t.lsload(r(5), r(4), i * 4);
+            for k in 0..6 {
+                t.add(r(7), r(4), k); // independent filler
+            }
+            t.add(r(6), r(5), 1);
+        }
+        t.begin_ps();
+        t.ffree_self();
+        t.stop();
+    });
+    assert!(
+        stats.aggregate.cat(StallCat::LsStall) <= 2,
+        "scheduled loads should hide LS latency, got {}",
+        stats.aggregate.cat(StallCat::LsStall)
+    );
+}
+
+#[test]
+fn taken_branch_penalty_is_charged() {
+    // A counted loop of k iterations takes ~penalty extra cycles per
+    // taken branch.
+    let iters = 100u64;
+    let build = |penalty: u64| {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main");
+        let mut t = ThreadBuilder::new("main");
+        t.begin_ex();
+        t.li(r(4), 0);
+        let top = t.label_here();
+        let done = t.new_label();
+        t.br(BrCond::Ge, r(4), iters as i32, done);
+        t.add(r(4), r(4), 1);
+        t.jmp(top);
+        t.bind(done);
+        t.begin_ps();
+        t.ffree_self();
+        t.stop();
+        pb.define(main, t);
+        pb.set_entry(main, 0);
+        let mut cfg = pinned();
+        cfg.taken_branch_penalty = penalty;
+        simulate(cfg, Arc::new(pb.build()), &[]).unwrap().0.cycles
+    };
+    let fast = build(0);
+    let slow = build(4);
+    // Each iteration takes one taken jmp (+ the final taken guard);
+    // penalty 4 adds ~4 cycles per taken branch.
+    let delta = slow - fast;
+    assert!(
+        (delta as i64 - (4 * (iters as i64 + 1))).abs() <= 8,
+        "penalty delta {delta}, expected ~{}",
+        4 * (iters + 1)
+    );
+}
+
+#[test]
+fn blocking_read_round_trip_is_exact() {
+    // One READ on an otherwise empty machine: memory stall cycles equal
+    // the documented round trip (command 1+wire, port 1, latency, data
+    // 1+wire).
+    let (stats, _) = run_one(|t| {
+        t.begin_ex();
+        t.li(r(4), 0x10_0000);
+        t.read(r(5), r(4), 0);
+        t.begin_ps();
+        t.ffree_self();
+        t.stop();
+    });
+    let cfg = SystemConfig::paper_default();
+    let expected = 1 + cfg.wire_latency + 1 + cfg.mem_latency + 1 + cfg.wire_latency;
+    assert_eq!(stats.aggregate.cat(StallCat::MemStall), expected);
+}
+
+#[test]
+fn read_and_dual_issue_dont_overcount_instructions() {
+    // Total issued instructions must equal the static path length for a
+    // straight-line thread.
+    let (stats, p) = run_one(|t| {
+        t.begin_ex();
+        t.li(r(4), 0x10_0000);
+        t.read(r(5), r(4), 0);
+        t.add(r(6), r(5), 1);
+        t.li(r(7), 128); // a local-store address
+        t.lsstore(r(6), r(7), 0);
+        t.begin_ps();
+        t.ffree_self();
+        t.stop();
+    });
+    assert_eq!(stats.aggregate.issued, p.threads[0].code.len() as u64);
+}
+
+#[test]
+fn nop_runs_at_one_per_cycle() {
+    let n = 50;
+    let (stats, _) = run_one(|t| {
+        t.begin_ex();
+        for _ in 0..n {
+            t.nop();
+        }
+        t.begin_ps();
+        t.ffree_self();
+        t.stop();
+    });
+    // NOPs are compute-class and cannot pair with each other.
+    assert_eq!(stats.aggregate.dual_cycles, 0);
+    assert!(stats.aggregate.cat(StallCat::Working) >= n as u64);
+}

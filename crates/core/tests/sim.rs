@@ -1,0 +1,358 @@
+//! End-to-end simulator tests: whole programs through `System`.
+
+use dta_core::{simulate, RunError, StallCat, SystemConfig};
+use dta_isa::{reg::r, BrCond, ProgramBuilder, ThreadBuilder};
+use std::sync::Arc;
+
+/// entry(arg) -> worker(x, out_addr): writes x*2 to memory.
+fn producer_consumer_program() -> Arc<dta_isa::Program> {
+    let mut pb = ProgramBuilder::new();
+    let out = pb.global_zeroed("out", 4);
+    let main = pb.declare("main");
+    let worker = pb.declare("worker");
+
+    let mut t = ThreadBuilder::new("main");
+    t.begin_pl();
+    t.load(r(3), 0); // arg
+    t.begin_ex();
+    t.falloc(r(4), worker, 2);
+    t.li(r(5), out as i64);
+    t.begin_ps();
+    t.store(r(3), r(4), 0);
+    t.store(r(5), r(4), 1);
+    t.ffree_self();
+    t.stop();
+    pb.define(main, t);
+
+    let mut w = ThreadBuilder::new("worker");
+    w.begin_pl();
+    w.load(r(3), 0); // x
+    w.load(r(4), 1); // out address
+    w.begin_ex();
+    w.add(r(5), r(3), r(3));
+    w.begin_ps();
+    w.write(r(5), r(4), 0);
+    w.ffree_self();
+    w.stop();
+    pb.define(worker, w);
+
+    pb.set_entry(main, 1);
+    Arc::new(pb.build())
+}
+
+#[test]
+fn producer_consumer_computes_and_terminates() {
+    let (stats, sys) = simulate(SystemConfig::with_pes(2), producer_consumer_program(), &[21])
+        .expect("runs");
+    assert_eq!(sys.read_global_word("out", 0), Some(42));
+    assert_eq!(stats.instances, 2);
+    assert!(stats.cycles > 0);
+    assert_eq!(stats.aggregate.loads, 3);
+    assert_eq!(stats.aggregate.stores, 2);
+    assert_eq!(stats.aggregate.writes, 1);
+    assert_eq!(stats.aggregate.reads, 0);
+    // Every PE's category sums must equal the total runtime.
+    for pe in &stats.per_pe {
+        assert_eq!(pe.total_cycles(), stats.cycles);
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let p = producer_consumer_program();
+    let (a, _) = simulate(SystemConfig::with_pes(4), p.clone(), &[5]).unwrap();
+    let (b, _) = simulate(SystemConfig::with_pes(4), p, &[5]).unwrap();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.aggregate, b.aggregate);
+    assert_eq!(a.per_pe, b.per_pe);
+}
+
+/// Entry forks `n` workers; worker i writes i*i to out[i].
+fn fanout_program(n: i64) -> Arc<dta_isa::Program> {
+    let mut pb = ProgramBuilder::new();
+    let out = pb.global_zeroed("out", (n as usize) * 4);
+    let main = pb.declare("main");
+    let worker = pb.declare("worker");
+
+    let mut t = ThreadBuilder::new("main");
+    t.begin_ex();
+    t.li(r(3), 0); // i
+    t.li(r(4), n);
+    let loop_top = t.label_here();
+    let done = t.new_label();
+    t.br(BrCond::Ge, r(3), r(4), done);
+    t.falloc(r(5), worker, 1);
+    t.store(r(3), r(5), 0);
+    t.add(r(3), r(3), 1);
+    t.jmp(loop_top);
+    t.bind(done);
+    t.begin_ps();
+    t.ffree_self();
+    t.stop();
+    pb.define(main, t);
+
+    let mut w = ThreadBuilder::new("worker");
+    w.begin_pl();
+    w.load(r(3), 0); // i
+    w.begin_ex();
+    w.mul(r(4), r(3), r(3));
+    w.shl(r(5), r(3), 2); // i*4
+    w.li(r(6), out as i64);
+    w.add(r(6), r(6), r(5));
+    w.begin_ps();
+    w.write(r(4), r(6), 0);
+    w.ffree_self();
+    w.stop();
+    pb.define(worker, w);
+
+    pb.set_entry(main, 0);
+    Arc::new(pb.build())
+}
+
+#[test]
+fn fanout_distributes_work_across_pes() {
+    let (stats, sys) = simulate(SystemConfig::with_pes(4), fanout_program(32), &[]).unwrap();
+    for i in 0..32 {
+        assert_eq!(
+            sys.read_global_word("out", i),
+            Some((i * i) as i32),
+            "out[{i}]"
+        );
+    }
+    assert_eq!(stats.instances, 33); // entry + 32 workers
+    // The DSE load-balances: more than one PE must have dispatched threads.
+    let active_pes = stats
+        .per_pe
+        .iter()
+        .filter(|p| p.threads_dispatched > 0)
+        .count();
+    assert!(active_pes >= 2, "only {active_pes} PEs used");
+}
+
+#[test]
+fn more_pes_run_fanout_faster() {
+    let (s1, _) = simulate(SystemConfig::with_pes(1), fanout_program(64), &[]).unwrap();
+    let (s8, _) = simulate(SystemConfig::with_pes(8), fanout_program(64), &[]).unwrap();
+    assert!(
+        s8.cycles < s1.cycles,
+        "8 PEs ({}) not faster than 1 PE ({})",
+        s8.cycles,
+        s1.cycles
+    );
+}
+
+/// Two versions of "sum 64 words from a global array":
+/// with `reads` the EX block READs each word from main memory; otherwise a
+/// PF block DMAs the whole array into the local store first.
+fn sum_program(use_reads: bool) -> Arc<dta_isa::Program> {
+    let n = 64usize;
+    let words: Vec<i32> = (0..n as i32).collect();
+    let mut pb = ProgramBuilder::new();
+    let arr = pb.global_words("arr", &words);
+    let out = pb.global_zeroed("out", 4);
+    let main = pb.declare("main");
+
+    let mut t = ThreadBuilder::new("main");
+    if use_reads {
+        t.begin_ex();
+        t.li(r(3), arr as i64); // base
+        t.li(r(4), 0); // i
+        t.li(r(5), 0); // acc
+        let top = t.label_here();
+        let done = t.new_label();
+        t.br(BrCond::Ge, r(4), n as i32, done);
+        t.shl(r(6), r(4), 2);
+        t.add(r(6), r(3), r(6));
+        t.read(r(7), r(6), 0);
+        t.add(r(5), r(5), r(7));
+        t.add(r(4), r(4), 1);
+        t.jmp(top);
+        t.bind(done);
+    } else {
+        t.prefetch_bytes((n * 4) as u32);
+        // PF block: one DMA for the whole array, then yield.
+        t.li(r(3), arr as i64);
+        t.dmaget(r(2), 0, r(3), 0, (n * 4) as i32, 0);
+        t.dmayield();
+        t.begin_ex();
+        t.li(r(4), 0); // i
+        t.li(r(5), 0); // acc
+        let top = t.label_here();
+        let done = t.new_label();
+        t.br(BrCond::Ge, r(4), n as i32, done);
+        t.shl(r(6), r(4), 2);
+        t.add(r(6), r(2), r(6));
+        t.lsload(r(7), r(6), 0);
+        t.add(r(5), r(5), r(7));
+        t.add(r(4), r(4), 1);
+        t.jmp(top);
+        t.bind(done);
+    }
+    t.begin_ps();
+    t.li(r(8), out as i64);
+    t.write(r(5), r(8), 0);
+    t.ffree_self();
+    t.stop();
+    pb.define(main, t);
+    pb.set_entry(main, 0);
+    Arc::new(pb.build())
+}
+
+#[test]
+fn read_and_prefetch_versions_compute_the_same_sum() {
+    let expected: i32 = (0..64).sum();
+    let (_, sys_r) = simulate(SystemConfig::with_pes(1), sum_program(true), &[]).unwrap();
+    assert_eq!(sys_r.read_global_word("out", 0), Some(expected));
+    let (_, sys_p) = simulate(SystemConfig::with_pes(1), sum_program(false), &[]).unwrap();
+    assert_eq!(sys_p.read_global_word("out", 0), Some(expected));
+}
+
+#[test]
+fn prefetch_eliminates_memory_stalls_and_wins_at_high_latency() {
+    let (reads, _) = simulate(SystemConfig::with_pes(1), sum_program(true), &[]).unwrap();
+    let (pf, _) = simulate(SystemConfig::with_pes(1), sum_program(false), &[]).unwrap();
+
+    let b_reads = reads.breakdown();
+    let b_pf = pf.breakdown();
+    // READ version: dominated by memory stalls (64 blocking 150-cycle
+    // round trips).
+    assert!(
+        b_reads.frac(StallCat::MemStall) > 0.5,
+        "read version memstall {:.2}",
+        b_reads.frac(StallCat::MemStall)
+    );
+    // Prefetch version: memory stalls gone from the EX block.
+    assert!(
+        b_pf.frac(StallCat::MemStall) < 0.05,
+        "pf version memstall {:.2}",
+        b_pf.frac(StallCat::MemStall)
+    );
+    assert!(b_pf.frac(StallCat::Prefetch) > 0.0);
+    // And it is much faster overall.
+    assert!(
+        pf.cycles * 3 < reads.cycles,
+        "prefetch {} vs reads {}",
+        pf.cycles,
+        reads.cycles
+    );
+    // Table-5-style counters.
+    assert_eq!(reads.aggregate.reads, 64);
+    assert_eq!(pf.aggregate.reads, 0);
+    assert_eq!(pf.dma_commands, 1);
+}
+
+#[test]
+fn latency_one_shrinks_the_prefetch_advantage() {
+    let cfg = SystemConfig::with_pes(1).latency_one();
+    let (reads, _) = simulate(cfg.clone(), sum_program(true), &[]).unwrap();
+    let (pf, _) = simulate(cfg, sum_program(false), &[]).unwrap();
+    let speedup_low = reads.cycles as f64 / pf.cycles as f64;
+
+    let (reads_hi, _) = simulate(SystemConfig::with_pes(1), sum_program(true), &[]).unwrap();
+    let (pf_hi, _) = simulate(SystemConfig::with_pes(1), sum_program(false), &[]).unwrap();
+    let speedup_hi = reads_hi.cycles as f64 / pf_hi.cycles as f64;
+
+    assert!(
+        speedup_hi > speedup_low,
+        "high-latency speedup {speedup_hi:.2} should exceed latency-1 speedup {speedup_low:.2}"
+    );
+}
+
+#[test]
+fn deadlock_is_detected() {
+    // Entry forks a worker with sc=1 but never stores to it.
+    let mut pb = ProgramBuilder::new();
+    let main = pb.declare("main");
+    let worker = pb.declare("worker");
+    let mut t = ThreadBuilder::new("main");
+    t.begin_ex();
+    t.falloc(r(3), worker, 1);
+    t.begin_ps();
+    t.ffree_self();
+    t.stop();
+    pb.define(main, t);
+    let mut w = ThreadBuilder::new("worker");
+    w.begin_pl();
+    w.load(r(3), 0);
+    w.begin_ps();
+    w.ffree_self();
+    w.stop();
+    pb.define(worker, w);
+    pb.set_entry(main, 0);
+
+    let err = simulate(SystemConfig::with_pes(1), Arc::new(pb.build()), &[]).unwrap_err();
+    assert!(matches!(err, RunError::Deadlock { live: 1, .. }), "{err}");
+}
+
+#[test]
+fn wrong_arg_count_is_a_launch_error() {
+    let err = simulate(SystemConfig::with_pes(1), producer_consumer_program(), &[]).unwrap_err();
+    assert!(matches!(err, RunError::Launch(_)), "{err}");
+}
+
+#[test]
+fn invalid_program_is_rejected() {
+    let mut pb = ProgramBuilder::new();
+    let main = pb.declare("main");
+    let mut t = ThreadBuilder::new("main");
+    t.nop(); // no STOP
+    pb.define(main, t);
+    pb.set_entry(main, 0);
+    let err = simulate(SystemConfig::with_pes(1), Arc::new(pb.build()), &[]).unwrap_err();
+    assert!(matches!(err, RunError::Validation(_)), "{err}");
+}
+
+#[test]
+fn idle_pes_account_their_time() {
+    // 8 PEs, serial program: 7 PEs are idle essentially the whole time.
+    let (stats, _) = simulate(SystemConfig::with_pes(8), sum_program(true), &[]).unwrap();
+    let idle_pes = stats
+        .per_pe
+        .iter()
+        .filter(|p| p.cat(StallCat::Idle) as f64 > 0.95 * stats.cycles as f64)
+        .count();
+    assert!(idle_pes >= 7, "{idle_pes} fully-idle PEs");
+}
+
+#[test]
+fn dma_wait_blocks_until_completion() {
+    // Same as the prefetch sum but with a blocking DMAWAIT in PF instead
+    // of a yield: still correct, slower or equal.
+    let n = 64usize;
+    let words: Vec<i32> = (0..n as i32).map(|i| 2 * i).collect();
+    let mut pb = ProgramBuilder::new();
+    let arr = pb.global_words("arr", &words);
+    let out = pb.global_zeroed("out", 4);
+    let main = pb.declare("main");
+    let mut t = ThreadBuilder::new("main");
+    t.prefetch_bytes((n * 4) as u32);
+    t.li(r(3), arr as i64);
+    t.dmaget(r(2), 0, r(3), 0, (n * 4) as i32, 5);
+    t.dmawait(5);
+    t.begin_ex();
+    t.li(r(4), 0);
+    t.li(r(5), 0);
+    let top = t.label_here();
+    let done = t.new_label();
+    t.br(BrCond::Ge, r(4), n as i32, done);
+    t.shl(r(6), r(4), 2);
+    t.add(r(6), r(2), r(6));
+    t.lsload(r(7), r(6), 0);
+    t.add(r(5), r(5), r(7));
+    t.add(r(4), r(4), 1);
+    t.jmp(top);
+    t.bind(done);
+    t.begin_ps();
+    t.li(r(8), out as i64);
+    t.write(r(5), r(8), 0);
+    t.ffree_self();
+    t.stop();
+    pb.define(main, t);
+    pb.set_entry(main, 0);
+
+    let (stats, sys) = simulate(SystemConfig::with_pes(1), Arc::new(pb.build()), &[]).unwrap();
+    let expected: i32 = (0..64).map(|i| 2 * i).sum();
+    assert_eq!(sys.read_global_word("out", 0), Some(expected));
+    // The blocking wait shows up as prefetch overhead.
+    assert!(stats.breakdown().frac(StallCat::Prefetch) > 0.1);
+}

@@ -1,0 +1,159 @@
+//! End-to-end tests of the execution trace: the recorded events must
+//! follow the thread lifecycle of the paper's Fig. 4.
+
+use dta_core::{simulate, SystemConfig, TraceKind};
+use dta_isa::{reg::r, ProgramBuilder, ThreadBuilder};
+use std::sync::Arc;
+
+/// main forks one prefetching worker that DMAs 64 bytes, sums them, and
+/// writes the result.
+fn traced_program() -> Arc<dta_isa::Program> {
+    let mut pb = ProgramBuilder::new();
+    let arr = pb.global_words("arr", &[1, 2, 3, 4]);
+    let out = pb.global_zeroed("out", 4);
+    let main = pb.declare("main");
+    let worker = pb.declare("worker");
+
+    let mut t = ThreadBuilder::new("main");
+    t.begin_ex();
+    t.falloc(r(3), worker, 1);
+    t.li(r(4), out as i64);
+    t.begin_ps();
+    t.store(r(4), r(3), 0);
+    t.ffree_self();
+    t.stop();
+    pb.define(main, t);
+
+    let mut w = ThreadBuilder::new("worker");
+    w.prefetch_bytes(16);
+    w.li(r(3), arr as i64);
+    w.dmaget(r(2), 0, r(3), 0, 16, 0);
+    w.dmayield();
+    w.begin_pl();
+    w.load(r(4), 0); // out address
+    w.begin_ex();
+    w.lsload(r(5), r(2), 0);
+    w.lsload(r(6), r(2), 4);
+    w.add(r(5), r(5), r(6));
+    w.lsload(r(6), r(2), 8);
+    w.add(r(5), r(5), r(6));
+    w.lsload(r(6), r(2), 12);
+    w.add(r(5), r(5), r(6));
+    w.begin_ps();
+    w.write(r(5), r(4), 0);
+    w.ffree_self();
+    w.stop();
+    pb.define(worker, w);
+
+    pb.set_entry(main, 0);
+    Arc::new(pb.build())
+}
+
+#[test]
+fn trace_records_the_fig4_lifecycle() {
+    let mut cfg = SystemConfig::with_pes(2);
+    cfg.trace = true;
+    let (_, sys) = simulate(cfg, traced_program(), &[]).unwrap();
+    assert_eq!(sys.read_global_word("out", 0), Some(10));
+    let trace = sys.trace().expect("tracing enabled");
+    assert!(!trace.truncated);
+
+    // Find the worker instance: it issued DMA.
+    let dma_issue = trace
+        .events()
+        .iter()
+        .find(|e| matches!(e.kind, TraceKind::DmaIssued { .. }))
+        .expect("worker issued DMA");
+    let worker = dma_issue.instance;
+    let kinds: Vec<_> = trace
+        .for_instance(worker)
+        .iter()
+        .map(|e| e.kind)
+        .collect();
+
+    // Fig. 4 order: frame granted -> store (ready) -> dispatched
+    // (Program DMA) -> DMA issued -> Wait for DMA -> DMA completed ->
+    // dispatched again (Execution) -> stopped -> frame freed.
+    let pos = |k: fn(&TraceKind) -> bool| kinds.iter().position(&k);
+    let granted = pos(|k| matches!(k, TraceKind::FrameGranted { .. })).expect("granted");
+    let store = pos(|k| matches!(k, TraceKind::StoreApplied { became_ready: true, .. }))
+        .expect("store made it ready");
+    let first_dispatch = pos(|k| matches!(k, TraceKind::Dispatched)).expect("dispatched");
+    let issued = pos(|k| matches!(k, TraceKind::DmaIssued { .. })).expect("dma");
+    let wait = pos(|k| matches!(k, TraceKind::WaitDma)).expect("wait-dma");
+    let done = pos(|k| matches!(k, TraceKind::DmaCompleted { .. })).expect("dma done");
+    let stopped = pos(|k| matches!(k, TraceKind::Stopped)).expect("stopped");
+    let freed = pos(|k| matches!(k, TraceKind::FrameFreed)).expect("freed");
+    assert!(granted < store, "{kinds:?}");
+    assert!(store < first_dispatch, "{kinds:?}");
+    assert!(first_dispatch < issued, "{kinds:?}");
+    assert!(issued < wait, "{kinds:?}");
+    assert!(wait < done, "{kinds:?}");
+    assert!(done < stopped, "{kinds:?}");
+    assert!(freed < stopped || stopped < freed, "{kinds:?}"); // both present
+
+    // Two dispatches: Program DMA, then Execution.
+    assert_eq!(
+        kinds
+            .iter()
+            .filter(|k| matches!(k, TraceKind::Dispatched))
+            .count(),
+        2
+    );
+
+    // The rendered table names the worker thread.
+    let rendered = sys.render_trace().unwrap();
+    assert!(rendered.contains("worker"), "{rendered}");
+    assert!(rendered.contains("main"), "{rendered}");
+}
+
+#[test]
+fn tracing_off_records_nothing_and_changes_nothing() {
+    let cfg = SystemConfig::with_pes(2);
+    let (a, sys) = simulate(cfg.clone(), traced_program(), &[]).unwrap();
+    assert!(sys.trace().is_none());
+    let mut traced = cfg;
+    traced.trace = true;
+    let (b, _) = simulate(traced, traced_program(), &[]).unwrap();
+    // Tracing is observation only: identical timing and counters.
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.aggregate, b.aggregate);
+}
+
+#[test]
+fn trace_capacity_truncates_gracefully() {
+    use dta_workloads::{bitcnt, Variant};
+    let mut cfg = SystemConfig::with_pes(2);
+    cfg.trace = true;
+    cfg.trace_capacity = 50;
+    let wp = bitcnt::build(96, Variant::Baseline);
+    let (_, sys) = simulate(cfg, Arc::new(wp.program), &wp.args).unwrap();
+    let trace = sys.trace().unwrap();
+    assert!(trace.truncated);
+    assert_eq!(trace.events().len(), 50);
+    assert!(sys.render_trace().unwrap().contains("truncated"));
+}
+
+#[test]
+fn sp_offload_appears_in_the_trace() {
+    let mut cfg = SystemConfig::with_pes(2);
+    cfg.trace = true;
+    cfg.sp_pf_overlap = true;
+    let (_, sys) = simulate(cfg, traced_program(), &[]).unwrap();
+    let trace = sys.trace().unwrap();
+    assert!(trace.count(|e| matches!(e.kind, TraceKind::PfOffloaded)) > 0);
+    // Offloaded PF means only ONE pipeline dispatch for the worker.
+    let off = trace
+        .events()
+        .iter()
+        .find(|e| matches!(e.kind, TraceKind::PfOffloaded))
+        .unwrap();
+    assert_eq!(
+        trace
+            .for_instance(off.instance)
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Dispatched))
+            .count(),
+        1
+    );
+}

@@ -1,0 +1,818 @@
+//! Program/thread builder DSL.
+//!
+//! The paper's benchmarks were "hand-coded for the original DTA"; this
+//! module is the hand-coding surface. [`ProgramBuilder`] owns the thread
+//! name space and the global-data layout, while [`ThreadBuilder`] provides
+//! label-based control flow and per-code-block emission:
+//!
+//! ```
+//! use dta_isa::{ProgramBuilder, ThreadBuilder, reg::r, AluOp, BrCond};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let main = pb.declare("main");
+//! let table = pb.global_words("table", &[1, 2, 3, 4]);
+//!
+//! let mut t = ThreadBuilder::new("main");
+//! t.begin_pl();
+//! t.load(r(3), 0); // argument 0
+//! t.begin_ex();
+//! t.li(r(4), table as i64);
+//! t.read(r(5), r(4), 0); // global access (a prefetch candidate)
+//! t.alu(AluOp::Add, r(5), r(5), r(3));
+//! t.begin_ps();
+//! t.stop();
+//! pb.define(main, t);
+//! pb.set_entry(main, 1);
+//! let program = pb.build();
+//! assert_eq!(program.threads.len(), 1);
+//! ```
+//!
+//! Builder misuse (unbound labels, duplicate names, undefined threads) is a
+//! programming error in the benchmark being written, so the builder panics
+//! with a descriptive message rather than returning `Result`.
+
+use crate::frame::FramePtr;
+use crate::instr::{AluOp, BrCond, Instr, Src};
+use crate::program::{BlockMap, CodeBlock, GlobalDef, Program, ThreadCode, ThreadId};
+use crate::reg::{Reg, FRAME_PTR_REG};
+use std::collections::HashMap;
+
+/// Default base address of the global data segment in main memory. Kept
+/// away from address 0 so that null-ish pointers fault loudly in tests.
+pub const DEFAULT_GLOBAL_BASE: u64 = 0x0010_0000;
+
+/// Alignment applied to every global object (DMA-transfer friendly).
+pub const GLOBAL_ALIGN: u64 = 16;
+
+/// A forward-referenceable branch target inside one [`ThreadBuilder`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Label(u32);
+
+/// Builds one thread's code. See the [module docs](self) for an example.
+#[derive(Debug)]
+pub struct ThreadBuilder {
+    name: String,
+    code: Vec<Instr>,
+    /// Branch-site fixups: (instruction index, label).
+    fixups: Vec<(u32, Label)>,
+    /// Bound label positions (`u32::MAX` = unbound).
+    labels: Vec<u32>,
+    pf_end: Option<u32>,
+    pl_end: Option<u32>,
+    ex_end: Option<u32>,
+    /// Last block explicitly begun (None = no markers: the whole body
+    /// defaults to EX).
+    current_block: Option<CodeBlock>,
+    frame_slots: Option<u16>,
+    prefetch_bytes: u32,
+}
+
+impl ThreadBuilder {
+    /// Starts building a thread named `name`. Emission starts in the PF
+    /// block; call [`begin_pl`](Self::begin_pl) /
+    /// [`begin_ex`](Self::begin_ex) / [`begin_ps`](Self::begin_ps) to move
+    /// through the blocks (skipping blocks is fine).
+    pub fn new(name: impl Into<String>) -> Self {
+        ThreadBuilder {
+            name: name.into(),
+            code: Vec::new(),
+            fixups: Vec::new(),
+            labels: Vec::new(),
+            pf_end: None,
+            pl_end: None,
+            ex_end: None,
+            current_block: None,
+            frame_slots: None,
+            prefetch_bytes: 0,
+        }
+    }
+
+    /// Current instruction index (the pc the next emitted instruction will
+    /// occupy).
+    #[inline]
+    pub fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    // ---- block boundaries -------------------------------------------------
+
+    /// Marks the start of the PF block explicitly (emission already
+    /// starts in PF; this only records that the body's tail belongs to PF
+    /// when no later block is begun).
+    pub fn begin_pf(&mut self) {
+        assert!(
+            self.current_block.is_none(),
+            "{}: PF must be the first block",
+            self.name
+        );
+        self.current_block = Some(CodeBlock::Pf);
+    }
+
+    /// Ends the PF block.
+    pub fn begin_pl(&mut self) {
+        assert!(self.pf_end.is_none(), "{}: PL block already begun", self.name);
+        self.pf_end = Some(self.here());
+        self.current_block = Some(CodeBlock::Pl);
+    }
+
+    /// Ends the PL (and PF, if still open) block.
+    pub fn begin_ex(&mut self) {
+        if self.pf_end.is_none() {
+            self.pf_end = Some(self.here());
+        }
+        assert!(self.pl_end.is_none(), "{}: EX block already begun", self.name);
+        self.pl_end = Some(self.here());
+        self.current_block = Some(CodeBlock::Ex);
+    }
+
+    /// Ends the EX (and earlier, if still open) block.
+    pub fn begin_ps(&mut self) {
+        if self.pf_end.is_none() {
+            self.pf_end = Some(self.here());
+        }
+        if self.pl_end.is_none() {
+            self.pl_end = Some(self.here());
+        }
+        assert!(self.ex_end.is_none(), "{}: PS block already begun", self.name);
+        self.ex_end = Some(self.here());
+        self.current_block = Some(CodeBlock::Ps);
+    }
+
+    /// Overrides the auto-computed frame slot count (the default is the
+    /// highest `load` slot + 1).
+    pub fn frame_slots(&mut self, slots: u16) {
+        self.frame_slots = Some(slots);
+    }
+
+    /// Declares how many bytes of local-store prefetch buffer an instance
+    /// of this thread needs.
+    pub fn prefetch_bytes(&mut self, bytes: u32) {
+        self.prefetch_bytes = bytes;
+    }
+
+    // ---- labels ------------------------------------------------------------
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(u32::MAX);
+        Label(self.labels.len() as u32 - 1)
+    }
+
+    /// Binds `label` to the current position.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0 as usize];
+        assert_eq!(*slot, u32::MAX, "{}: label bound twice", self.name);
+        *slot = self.code.len() as u32;
+    }
+
+    /// Creates a label already bound to the current position.
+    pub fn label_here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    // ---- raw emission --------------------------------------------------------
+
+    /// Emits a raw instruction, returning its pc.
+    pub fn emit(&mut self, i: Instr) -> u32 {
+        let pc = self.here();
+        self.code.push(i);
+        pc
+    }
+
+    // ---- compute ---------------------------------------------------------------
+
+    /// `rd = op(ra, rb)`.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, ra: Reg, rb: impl Into<Src>) {
+        self.emit(Instr::Alu {
+            op,
+            rd,
+            ra,
+            rb: rb.into(),
+        });
+    }
+
+    /// `rd = ra + rb`.
+    pub fn add(&mut self, rd: Reg, ra: Reg, rb: impl Into<Src>) {
+        self.alu(AluOp::Add, rd, ra, rb);
+    }
+
+    /// `rd = ra - rb`.
+    pub fn sub(&mut self, rd: Reg, ra: Reg, rb: impl Into<Src>) {
+        self.alu(AluOp::Sub, rd, ra, rb);
+    }
+
+    /// `rd = ra * rb`.
+    pub fn mul(&mut self, rd: Reg, ra: Reg, rb: impl Into<Src>) {
+        self.alu(AluOp::Mul, rd, ra, rb);
+    }
+
+    /// `rd = ra & rb`.
+    pub fn and(&mut self, rd: Reg, ra: Reg, rb: impl Into<Src>) {
+        self.alu(AluOp::And, rd, ra, rb);
+    }
+
+    /// `rd = ra >> rb` (logical).
+    pub fn shr(&mut self, rd: Reg, ra: Reg, rb: impl Into<Src>) {
+        self.alu(AluOp::Shr, rd, ra, rb);
+    }
+
+    /// `rd = ra << rb`.
+    pub fn shl(&mut self, rd: Reg, ra: Reg, rb: impl Into<Src>) {
+        self.alu(AluOp::Shl, rd, ra, rb);
+    }
+
+    /// `rd = imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.emit(Instr::Li { rd, imm });
+    }
+
+    /// `rd = ra`.
+    pub fn mov(&mut self, rd: Reg, ra: Reg) {
+        self.emit(Instr::Mov { rd, ra });
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) {
+        self.emit(Instr::Nop);
+    }
+
+    // ---- control -----------------------------------------------------------------
+
+    /// Conditional branch to `label`.
+    pub fn br(&mut self, cond: BrCond, ra: Reg, rb: impl Into<Src>, label: Label) {
+        let pc = self.emit(Instr::Br {
+            cond,
+            ra,
+            rb: rb.into(),
+            target: u32::MAX,
+        });
+        self.fixups.push((pc, label));
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) {
+        let pc = self.emit(Instr::Jmp { target: u32::MAX });
+        self.fixups.push((pc, label));
+    }
+
+    // ---- frame / scheduler ----------------------------------------------------------
+
+    /// `rd = frame[slot]`.
+    pub fn load(&mut self, rd: Reg, slot: u16) {
+        self.emit(Instr::Load { rd, slot });
+    }
+
+    /// `frame(rframe)[slot] = rs`.
+    pub fn store(&mut self, rs: Reg, rframe: Reg, slot: u16) {
+        self.emit(Instr::Store { rs, rframe, slot });
+    }
+
+    /// Allocate a frame for an instance of `thread` with sync count `sc`.
+    pub fn falloc(&mut self, rd: Reg, thread: ThreadId, sc: u16) {
+        self.emit(Instr::Falloc { rd, thread, sc });
+    }
+
+    /// Free the frame pointed to by `rframe`.
+    pub fn ffree(&mut self, rframe: Reg) {
+        self.emit(Instr::Ffree { rframe });
+    }
+
+    /// Free the thread's own frame (`r1`).
+    pub fn ffree_self(&mut self) {
+        self.ffree(FRAME_PTR_REG);
+    }
+
+    /// End the thread.
+    pub fn stop(&mut self) {
+        self.emit(Instr::Stop);
+    }
+
+    // ---- memory ------------------------------------------------------------------------
+
+    /// Blocking main-memory read: `rd = mem[ra + off]`.
+    pub fn read(&mut self, rd: Reg, ra: Reg, off: i32) {
+        self.emit(Instr::Read { rd, ra, off });
+    }
+
+    /// Main-memory write: `mem[ra + off] = rs`.
+    pub fn write(&mut self, rs: Reg, ra: Reg, off: i32) {
+        self.emit(Instr::Write { rs, ra, off });
+    }
+
+    /// Local-store load: `rd = ls[ra + off]`.
+    pub fn lsload(&mut self, rd: Reg, ra: Reg, off: i32) {
+        self.emit(Instr::LsLoad { rd, ra, off });
+    }
+
+    /// Local-store store: `ls[ra + off] = rs`.
+    pub fn lsstore(&mut self, rs: Reg, ra: Reg, off: i32) {
+        self.emit(Instr::LsStore { rs, ra, off });
+    }
+
+    // ---- DMA ------------------------------------------------------------------------------
+
+    /// Program a contiguous main-memory → local-store transfer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dmaget(
+        &mut self,
+        rls: Reg,
+        ls_off: i32,
+        rmem: Reg,
+        mem_off: i32,
+        bytes: impl Into<Src>,
+        tag: u8,
+    ) {
+        self.emit(Instr::DmaGet {
+            rls,
+            ls_off,
+            rmem,
+            mem_off,
+            bytes: bytes.into(),
+            tag,
+        });
+    }
+
+    /// Program a strided gather.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dmagets(
+        &mut self,
+        rls: Reg,
+        ls_off: i32,
+        rmem: Reg,
+        mem_off: i32,
+        elem_bytes: u16,
+        count: impl Into<Src>,
+        stride: impl Into<Src>,
+        tag: u8,
+    ) {
+        self.emit(Instr::DmaGetStrided {
+            rls,
+            ls_off,
+            rmem,
+            mem_off,
+            elem_bytes,
+            count: count.into(),
+            stride: stride.into(),
+            tag,
+        });
+    }
+
+    /// Program a local-store → main-memory transfer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dmaput(
+        &mut self,
+        rls: Reg,
+        ls_off: i32,
+        rmem: Reg,
+        mem_off: i32,
+        bytes: impl Into<Src>,
+        tag: u8,
+    ) {
+        self.emit(Instr::DmaPut {
+            rls,
+            ls_off,
+            rmem,
+            mem_off,
+            bytes: bytes.into(),
+            tag,
+        });
+    }
+
+    /// Non-blocking wait for all outstanding DMA of this instance (ends a
+    /// PF block).
+    pub fn dmayield(&mut self) {
+        self.emit(Instr::DmaYield);
+    }
+
+    /// Blocking wait for `tag`.
+    pub fn dmawait(&mut self, tag: u8) {
+        self.emit(Instr::DmaWait { tag });
+    }
+
+    // ---- finish ----------------------------------------------------------------------------
+
+    /// Finalises the thread: resolves labels, computes block boundaries and
+    /// the frame slot count.
+    ///
+    /// # Panics
+    ///
+    /// On unbound labels referenced by branches.
+    pub fn build(mut self) -> ThreadCode {
+        for (pc, label) in &self.fixups {
+            let pos = self.labels[label.0 as usize];
+            assert_ne!(
+                pos,
+                u32::MAX,
+                "{}: branch at pc {} references an unbound label",
+                self.name,
+                pc
+            );
+            self.code[*pc as usize].set_target(pos);
+        }
+        let len = self.code.len() as u32;
+        // The body's tail belongs to the last block begun; earlier
+        // boundaries were recorded by the begin_* calls.
+        let (pf_end, pl_end, ex_end) = match self.current_block {
+            None => (0, 0, len), // no markers: the whole body is EX
+            Some(CodeBlock::Pf) => (len, len, len),
+            Some(CodeBlock::Pl) => {
+                let pf = self.pf_end.expect("begin_pl records pf_end");
+                (pf, len, len)
+            }
+            Some(CodeBlock::Ex) => {
+                let pf = self.pf_end.expect("begin_ex records pf_end");
+                let pl = self.pl_end.expect("begin_ex records pl_end");
+                (pf, pl, len)
+            }
+            Some(CodeBlock::Ps) => (
+                self.pf_end.expect("begin_ps records pf_end"),
+                self.pl_end.expect("begin_ps records pl_end"),
+                self.ex_end.expect("begin_ps records ex_end"),
+            ),
+        };
+        let frame_slots = self.frame_slots.unwrap_or_else(|| {
+            self.code
+                .iter()
+                .filter_map(|i| match i {
+                    Instr::Load { slot, .. } => Some(*slot + 1),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0)
+        });
+        ThreadCode {
+            name: self.name,
+            code: self.code,
+            blocks: BlockMap {
+                pf_end,
+                pl_end,
+                ex_end,
+            },
+            frame_slots,
+            prefetch_bytes: self.prefetch_bytes,
+        }
+    }
+}
+
+/// Builds a whole [`Program`]: thread name space, global data layout, and
+/// the entry point.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    threads: Vec<Option<ThreadCode>>,
+    names: HashMap<String, ThreadId>,
+    globals: Vec<GlobalDef>,
+    global_names: HashMap<String, u64>,
+    next_global_addr: u64,
+    entry: Option<(ThreadId, u16)>,
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// New builder with the [`DEFAULT_GLOBAL_BASE`] data segment base.
+    pub fn new() -> Self {
+        Self::with_global_base(DEFAULT_GLOBAL_BASE)
+    }
+
+    /// New builder with a custom data segment base address.
+    pub fn with_global_base(base: u64) -> Self {
+        ProgramBuilder {
+            threads: Vec::new(),
+            names: HashMap::new(),
+            globals: Vec::new(),
+            global_names: HashMap::new(),
+            next_global_addr: base,
+            entry: None,
+        }
+    }
+
+    /// Declares a thread name, returning its [`ThreadId`] so other threads
+    /// can `FALLOC` it before its code is defined.
+    ///
+    /// # Panics
+    ///
+    /// On duplicate names.
+    pub fn declare(&mut self, name: impl Into<String>) -> ThreadId {
+        let name = name.into();
+        assert!(
+            !self.names.contains_key(&name),
+            "thread {name:?} declared twice"
+        );
+        let id = ThreadId(self.threads.len() as u32);
+        self.names.insert(name, id);
+        self.threads.push(None);
+        id
+    }
+
+    /// Defines the code of a previously declared thread.
+    ///
+    /// # Panics
+    ///
+    /// If `id` is unknown, already defined, or the builder's name does not
+    /// match the declared name.
+    pub fn define(&mut self, id: ThreadId, tb: ThreadBuilder) {
+        let declared = self
+            .names
+            .iter()
+            .find(|(_, &v)| v == id)
+            .map(|(k, _)| k.clone())
+            .unwrap_or_else(|| panic!("thread {id} was never declared"));
+        assert_eq!(
+            declared, tb.name,
+            "thread {id} declared as {declared:?} but defined as {:?}",
+            tb.name
+        );
+        let slot = &mut self.threads[id.index()];
+        assert!(slot.is_none(), "thread {declared:?} defined twice");
+        *slot = Some(tb.build());
+    }
+
+    /// Declares and defines in one step.
+    pub fn add_thread(&mut self, tb: ThreadBuilder) -> ThreadId {
+        let id = self.declare(tb.name.clone());
+        self.define(id, tb);
+        id
+    }
+
+    /// Lays out a zero-initialised global of `bytes` bytes, returning its
+    /// address.
+    pub fn global_zeroed(&mut self, name: impl Into<String>, bytes: usize) -> u64 {
+        self.push_global(name.into(), vec![0; bytes])
+    }
+
+    /// Lays out a global initialised from 32-bit words, returning its
+    /// address.
+    pub fn global_words(&mut self, name: impl Into<String>, words: &[i32]) -> u64 {
+        let mut data = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            data.extend_from_slice(&w.to_le_bytes());
+        }
+        self.push_global(name.into(), data)
+    }
+
+    /// Lays out a global from raw bytes, returning its address.
+    pub fn global_bytes(&mut self, name: impl Into<String>, data: Vec<u8>) -> u64 {
+        self.push_global(name.into(), data)
+    }
+
+    /// Lays out a global at an explicit address (used by the assembler to
+    /// preserve a disassembled program's exact layout).
+    pub fn global_bytes_at(&mut self, name: impl Into<String>, addr: u64, data: Vec<u8>) -> u64 {
+        let name = name.into();
+        assert!(
+            !self.global_names.contains_key(&name),
+            "global {name:?} declared twice"
+        );
+        let end = (addr + data.len() as u64).div_ceil(GLOBAL_ALIGN) * GLOBAL_ALIGN;
+        self.next_global_addr = self.next_global_addr.max(end);
+        self.global_names.insert(name.clone(), addr);
+        self.globals.push(GlobalDef { name, addr, data });
+        addr
+    }
+
+    fn push_global(&mut self, name: String, data: Vec<u8>) -> u64 {
+        let addr = self.next_global_addr;
+        self.global_bytes_at(name, addr, data)
+    }
+
+    /// Address of a previously laid-out global.
+    pub fn global_addr(&self, name: &str) -> Option<u64> {
+        self.global_names.get(name).copied()
+    }
+
+    /// Sets the entry thread and the number of argument slots the host
+    /// stores into its frame.
+    pub fn set_entry(&mut self, id: ThreadId, args: u16) {
+        self.entry = Some((id, args));
+    }
+
+    /// Finalises the program.
+    ///
+    /// # Panics
+    ///
+    /// If a declared thread was never defined or no entry was set.
+    pub fn build(self) -> Program {
+        let mut name_of = vec![String::new(); self.threads.len()];
+        for (n, id) in &self.names {
+            name_of[id.index()] = n.clone();
+        }
+        let threads: Vec<ThreadCode> = self
+            .threads
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| t.unwrap_or_else(|| panic!("thread {:?} declared but never defined", name_of[i])))
+            .collect();
+        let (entry, entry_args) = self.entry.expect("no entry thread set");
+        Program {
+            threads,
+            entry,
+            entry_args,
+            globals: self.globals,
+        }
+    }
+}
+
+/// Helper: the encoded frame pointer a host would pass for PE 0, frame 0 —
+/// occasionally useful in tests.
+pub fn host_frame_ptr() -> u64 {
+    FramePtr::new(0, 0).encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+    use crate::reg::r;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut t = ThreadBuilder::new("loop");
+        t.li(r(3), 4);
+        let top = t.label_here(); // backward target
+        let done = t.new_label(); // forward target
+        t.sub(r(3), r(3), 1);
+        t.br(BrCond::Eq, r(3), 0, done);
+        t.jmp(top);
+        t.bind(done);
+        t.stop();
+        let code = t.build();
+        assert_eq!(code.code[2].target(), Some(4)); // beq -> bind point
+        assert_eq!(code.code[3].target(), Some(1)); // jmp -> top
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut t = ThreadBuilder::new("bad");
+        let l = t.new_label();
+        t.jmp(l);
+        let _ = t.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut t = ThreadBuilder::new("bad");
+        let l = t.new_label();
+        t.bind(l);
+        t.bind(l);
+    }
+
+    #[test]
+    fn block_boundaries_recorded() {
+        let mut t = ThreadBuilder::new("blocks");
+        t.dmaget(r(2), 0, r(3), 0, 64, 0);
+        t.dmayield();
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.add(r(4), r(3), 1);
+        t.begin_ps();
+        t.stop();
+        let code = t.build();
+        assert_eq!(code.blocks.pf_end, 2);
+        assert_eq!(code.blocks.pl_end, 3);
+        assert_eq!(code.blocks.ex_end, 4);
+        assert_eq!(code.block_of(0), crate::CodeBlock::Pf);
+        assert_eq!(code.block_of(4), crate::CodeBlock::Ps);
+    }
+
+    #[test]
+    fn skipping_blocks_is_allowed() {
+        let mut t = ThreadBuilder::new("noblocks");
+        t.begin_ex(); // no PF, no PL
+        t.li(r(3), 1);
+        t.stop();
+        let code = t.build();
+        assert_eq!(code.blocks.pf_end, 0);
+        assert_eq!(code.blocks.pl_end, 0);
+        assert_eq!(code.block_of(0), crate::CodeBlock::Ex);
+    }
+
+    #[test]
+    fn default_blockmap_puts_body_in_ex() {
+        let mut t = ThreadBuilder::new("plain");
+        t.li(r(3), 1);
+        t.stop();
+        let code = t.build();
+        // No markers: PF and PL empty, everything up to the end is EX.
+        assert_eq!(code.block_of(0), crate::CodeBlock::Ex);
+        assert_eq!(code.block_of(1), crate::CodeBlock::Ex);
+    }
+
+    #[test]
+    fn frame_slots_inferred_from_loads() {
+        let mut t = ThreadBuilder::new("slots");
+        t.load(r(3), 0);
+        t.load(r(4), 5);
+        t.stop();
+        assert_eq!(t.build().frame_slots, 6);
+    }
+
+    #[test]
+    fn frame_slots_override() {
+        let mut t = ThreadBuilder::new("slots");
+        t.load(r(3), 0);
+        t.frame_slots(9);
+        t.stop();
+        assert_eq!(t.build().frame_slots, 9);
+    }
+
+    #[test]
+    fn program_builder_layout_and_lookup() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.global_words("a", &[1, 2, 3]); // 12 bytes -> aligned to 16
+        let b = pb.global_zeroed("b", 4);
+        assert_eq!(a, DEFAULT_GLOBAL_BASE);
+        assert_eq!(b, DEFAULT_GLOBAL_BASE + 16);
+        assert_eq!(pb.global_addr("a"), Some(a));
+        assert_eq!(pb.global_addr("c"), None);
+
+        let main = pb.declare("main");
+        let mut t = ThreadBuilder::new("main");
+        t.stop();
+        pb.define(main, t);
+        pb.set_entry(main, 0);
+        let p = pb.build();
+        assert_eq!(p.entry, main);
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.global("a").unwrap().addr, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared but never defined")]
+    fn undefined_thread_panics() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main");
+        let _ghost = pb.declare("ghost");
+        let mut t = ThreadBuilder::new("main");
+        t.stop();
+        pb.define(main, t);
+        pb.set_entry(main, 0);
+        let _ = pb.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_thread_name_panics() {
+        let mut pb = ProgramBuilder::new();
+        pb.declare("main");
+        pb.declare("main");
+    }
+
+    #[test]
+    #[should_panic(expected = "no entry thread set")]
+    fn missing_entry_panics() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main");
+        let mut t = ThreadBuilder::new("main");
+        t.stop();
+        pb.define(main, t);
+        let _ = pb.build();
+    }
+
+    #[test]
+    fn add_thread_shorthand() {
+        let mut pb = ProgramBuilder::new();
+        let mut t = ThreadBuilder::new("only");
+        t.stop();
+        let id = pb.add_thread(t);
+        pb.set_entry(id, 0);
+        let p = pb.build();
+        assert_eq!(p.thread(id).name, "only");
+        assert!(matches!(p.thread(id).code[0], Instr::Stop));
+    }
+
+    #[test]
+    fn emitted_helpers_produce_expected_instrs() {
+        let mut t = ThreadBuilder::new("x");
+        t.dmagets(r(2), 8, r(5), 0, 4, 32, 128, 2);
+        t.dmaput(r(2), 0, r(6), 4, 64, 1);
+        t.dmawait(1);
+        t.ffree_self();
+        t.stop();
+        let code = t.build();
+        assert!(matches!(
+            code.code[0],
+            Instr::DmaGetStrided {
+                elem_bytes: 4,
+                tag: 2,
+                ..
+            }
+        ));
+        assert!(matches!(code.code[1], Instr::DmaPut { tag: 1, .. }));
+        assert!(matches!(code.code[2], Instr::DmaWait { tag: 1 }));
+        assert!(matches!(
+            code.code[3],
+            Instr::Ffree {
+                rframe: FRAME_PTR_REG
+            }
+        ));
+    }
+}

@@ -1,0 +1,612 @@
+//! Binary instruction encoding.
+//!
+//! DTA thread code lives in each PE's local store (the paper: "in order
+//! to store the code of DTA threads that execute on the SPU ... we use
+//! the Local Store"), so programs need a machine-code image format. The
+//! encoding is byte-oriented and self-describing: one opcode byte
+//! followed by fixed-width little-endian operands per instruction, plus a
+//! small thread/program container with a magic and version. Every value
+//! round-trips exactly (see the property tests).
+//!
+//! The encoding also gives an honest *code size* figure per thread —
+//! relevant because code competes with frames and prefetch buffers for
+//! the 156 kB local store.
+
+use crate::instr::{AluOp, BrCond, Instr, Src};
+use crate::program::{BlockMap, Program, ThreadCode, ThreadId};
+use crate::reg::Reg;
+use std::fmt;
+
+/// Image format magic (`DTA1`).
+pub const MAGIC: [u8; 4] = *b"DTA1";
+
+/// Decoding failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Input ended mid-value.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Register index out of range.
+    BadRegister(u8),
+    /// Bad container magic/version.
+    BadMagic,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated instruction stream"),
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::BadRegister(r) => write!(f, "register index {r} out of range"),
+            DecodeError::BadMagic => write!(f, "bad image magic or version"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcodes. Src-carrying instructions use op and op|SRC_IMM_BIT.
+const SRC_IMM_BIT: u8 = 0x80;
+const OP_ALU: u8 = 0x01;
+const OP_LI: u8 = 0x02;
+const OP_MOV: u8 = 0x03;
+const OP_NOP: u8 = 0x04;
+const OP_BR: u8 = 0x05;
+const OP_JMP: u8 = 0x06;
+const OP_LOAD: u8 = 0x07;
+const OP_STORE: u8 = 0x08;
+const OP_FALLOC: u8 = 0x09;
+const OP_FFREE: u8 = 0x0A;
+const OP_STOP: u8 = 0x0B;
+const OP_READ: u8 = 0x0C;
+const OP_WRITE: u8 = 0x0D;
+const OP_LSLOAD: u8 = 0x0E;
+const OP_LSSTORE: u8 = 0x0F;
+const OP_DMAGET: u8 = 0x10;
+const OP_DMAGETS: u8 = 0x11;
+const OP_DMAPUT: u8 = 0x12;
+const OP_DMAYIELD: u8 = 0x13;
+const OP_DMAWAIT: u8 = 0x14;
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        Ok(self.u32()? as i32)
+    }
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn reg(&mut self) -> Result<Reg, DecodeError> {
+        let b = self.u8()?;
+        Reg::try_new(b).ok_or(DecodeError::BadRegister(b))
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_i32(out: &mut Vec<u8>, v: i32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn alu_code(op: AluOp) -> u8 {
+    AluOp::ALL.iter().position(|o| *o == op).unwrap() as u8
+}
+fn br_code(c: BrCond) -> u8 {
+    BrCond::ALL.iter().position(|o| *o == c).unwrap() as u8
+}
+
+fn src_payload(out: &mut Vec<u8>, s: Src) -> u8 {
+    match s {
+        Src::Reg(r) => {
+            out.push(r.index() as u8);
+            out.extend_from_slice(&[0, 0, 0]); // keep width fixed
+            0
+        }
+        Src::Imm(i) => {
+            put_i32(out, i);
+            SRC_IMM_BIT
+        }
+    }
+}
+
+fn read_src(c: &mut Cursor, imm: bool) -> Result<Src, DecodeError> {
+    if imm {
+        Ok(Src::Imm(c.i32()?))
+    } else {
+        let r = c.reg()?;
+        c.take(3)?;
+        Ok(Src::Reg(r))
+    }
+}
+
+/// Appends one instruction's encoding.
+pub fn encode_instr(i: &Instr, out: &mut Vec<u8>) {
+    match *i {
+        Instr::Alu { op, rd, ra, rb } => {
+            let at = out.len();
+            out.push(OP_ALU);
+            out.push(alu_code(op));
+            out.push(rd.index() as u8);
+            out.push(ra.index() as u8);
+            let bit = src_payload(out, rb);
+            out[at] |= bit;
+        }
+        Instr::Li { rd, imm } => {
+            out.push(OP_LI);
+            out.push(rd.index() as u8);
+            put_i64(out, imm);
+        }
+        Instr::Mov { rd, ra } => {
+            out.push(OP_MOV);
+            out.push(rd.index() as u8);
+            out.push(ra.index() as u8);
+        }
+        Instr::Nop => out.push(OP_NOP),
+        Instr::Br { cond, ra, rb, target } => {
+            let at = out.len();
+            out.push(OP_BR);
+            out.push(br_code(cond));
+            out.push(ra.index() as u8);
+            put_u32(out, target);
+            let bit = src_payload(out, rb);
+            out[at] |= bit;
+        }
+        Instr::Jmp { target } => {
+            out.push(OP_JMP);
+            put_u32(out, target);
+        }
+        Instr::Load { rd, slot } => {
+            out.push(OP_LOAD);
+            out.push(rd.index() as u8);
+            put_u16(out, slot);
+        }
+        Instr::Store { rs, rframe, slot } => {
+            out.push(OP_STORE);
+            out.push(rs.index() as u8);
+            out.push(rframe.index() as u8);
+            put_u16(out, slot);
+        }
+        Instr::Falloc { rd, thread, sc } => {
+            out.push(OP_FALLOC);
+            out.push(rd.index() as u8);
+            put_u32(out, thread.0);
+            put_u16(out, sc);
+        }
+        Instr::Ffree { rframe } => {
+            out.push(OP_FFREE);
+            out.push(rframe.index() as u8);
+        }
+        Instr::Stop => out.push(OP_STOP),
+        Instr::Read { rd, ra, off } => {
+            out.push(OP_READ);
+            out.push(rd.index() as u8);
+            out.push(ra.index() as u8);
+            put_i32(out, off);
+        }
+        Instr::Write { rs, ra, off } => {
+            out.push(OP_WRITE);
+            out.push(rs.index() as u8);
+            out.push(ra.index() as u8);
+            put_i32(out, off);
+        }
+        Instr::LsLoad { rd, ra, off } => {
+            out.push(OP_LSLOAD);
+            out.push(rd.index() as u8);
+            out.push(ra.index() as u8);
+            put_i32(out, off);
+        }
+        Instr::LsStore { rs, ra, off } => {
+            out.push(OP_LSSTORE);
+            out.push(rs.index() as u8);
+            out.push(ra.index() as u8);
+            put_i32(out, off);
+        }
+        Instr::DmaGet { rls, ls_off, rmem, mem_off, bytes, tag } => {
+            let at = out.len();
+            out.push(OP_DMAGET);
+            out.push(rls.index() as u8);
+            put_i32(out, ls_off);
+            out.push(rmem.index() as u8);
+            put_i32(out, mem_off);
+            out.push(tag);
+            let bit = src_payload(out, bytes);
+            out[at] |= bit;
+        }
+        Instr::DmaGetStrided { rls, ls_off, rmem, mem_off, elem_bytes, count, stride, tag } => {
+            // Two Src operands: encode their tags in one flags byte.
+            out.push(OP_DMAGETS);
+            let mut flags = 0u8;
+            if matches!(count, Src::Imm(_)) {
+                flags |= 1;
+            }
+            if matches!(stride, Src::Imm(_)) {
+                flags |= 2;
+            }
+            out.push(flags);
+            out.push(rls.index() as u8);
+            put_i32(out, ls_off);
+            out.push(rmem.index() as u8);
+            put_i32(out, mem_off);
+            put_u16(out, elem_bytes);
+            src_payload(out, count);
+            src_payload(out, stride);
+            out.push(tag);
+        }
+        Instr::DmaPut { rls, ls_off, rmem, mem_off, bytes, tag } => {
+            let at = out.len();
+            out.push(OP_DMAPUT);
+            out.push(rls.index() as u8);
+            put_i32(out, ls_off);
+            out.push(rmem.index() as u8);
+            put_i32(out, mem_off);
+            out.push(tag);
+            let bit = src_payload(out, bytes);
+            out[at] |= bit;
+        }
+        Instr::DmaYield => out.push(OP_DMAYIELD),
+        Instr::DmaWait { tag } => {
+            out.push(OP_DMAWAIT);
+            out.push(tag);
+        }
+    }
+}
+
+fn decode_one(c: &mut Cursor) -> Result<Instr, DecodeError> {
+    let op = c.u8()?;
+    let imm = op & SRC_IMM_BIT != 0;
+    Ok(match op & !SRC_IMM_BIT {
+        OP_ALU => {
+            let code = c.u8()? as usize;
+            let alu = *AluOp::ALL.get(code).ok_or(DecodeError::BadOpcode(op))?;
+            let rd = c.reg()?;
+            let ra = c.reg()?;
+            let rb = read_src(c, imm)?;
+            Instr::Alu { op: alu, rd, ra, rb }
+        }
+        OP_LI => Instr::Li {
+            rd: c.reg()?,
+            imm: c.i64()?,
+        },
+        OP_MOV => Instr::Mov {
+            rd: c.reg()?,
+            ra: c.reg()?,
+        },
+        OP_NOP => Instr::Nop,
+        OP_BR => {
+            let code = c.u8()? as usize;
+            let cond = *BrCond::ALL.get(code).ok_or(DecodeError::BadOpcode(op))?;
+            let ra = c.reg()?;
+            let target = c.u32()?;
+            let rb = read_src(c, imm)?;
+            Instr::Br { cond, ra, rb, target }
+        }
+        OP_JMP => Instr::Jmp { target: c.u32()? },
+        OP_LOAD => Instr::Load {
+            rd: c.reg()?,
+            slot: c.u16()?,
+        },
+        OP_STORE => Instr::Store {
+            rs: c.reg()?,
+            rframe: c.reg()?,
+            slot: c.u16()?,
+        },
+        OP_FALLOC => Instr::Falloc {
+            rd: c.reg()?,
+            thread: ThreadId(c.u32()?),
+            sc: c.u16()?,
+        },
+        OP_FFREE => Instr::Ffree { rframe: c.reg()? },
+        OP_STOP => Instr::Stop,
+        OP_READ => Instr::Read {
+            rd: c.reg()?,
+            ra: c.reg()?,
+            off: c.i32()?,
+        },
+        OP_WRITE => Instr::Write {
+            rs: c.reg()?,
+            ra: c.reg()?,
+            off: c.i32()?,
+        },
+        OP_LSLOAD => Instr::LsLoad {
+            rd: c.reg()?,
+            ra: c.reg()?,
+            off: c.i32()?,
+        },
+        OP_LSSTORE => Instr::LsStore {
+            rs: c.reg()?,
+            ra: c.reg()?,
+            off: c.i32()?,
+        },
+        OP_DMAGET => {
+            let rls = c.reg()?;
+            let ls_off = c.i32()?;
+            let rmem = c.reg()?;
+            let mem_off = c.i32()?;
+            let tag = c.u8()?;
+            let bytes = read_src(c, imm)?;
+            Instr::DmaGet { rls, ls_off, rmem, mem_off, bytes, tag }
+        }
+        OP_DMAGETS => {
+            let flags = c.u8()?;
+            let rls = c.reg()?;
+            let ls_off = c.i32()?;
+            let rmem = c.reg()?;
+            let mem_off = c.i32()?;
+            let elem_bytes = c.u16()?;
+            let count = read_src(c, flags & 1 != 0)?;
+            let stride = read_src(c, flags & 2 != 0)?;
+            let tag = c.u8()?;
+            Instr::DmaGetStrided { rls, ls_off, rmem, mem_off, elem_bytes, count, stride, tag }
+        }
+        OP_DMAPUT => {
+            let rls = c.reg()?;
+            let ls_off = c.i32()?;
+            let rmem = c.reg()?;
+            let mem_off = c.i32()?;
+            let tag = c.u8()?;
+            let bytes = read_src(c, imm)?;
+            Instr::DmaPut { rls, ls_off, rmem, mem_off, bytes, tag }
+        }
+        OP_DMAYIELD => Instr::DmaYield,
+        OP_DMAWAIT => Instr::DmaWait { tag: c.u8()? },
+        other => return Err(DecodeError::BadOpcode(other)),
+    })
+}
+
+/// Encodes a thread (header + code stream).
+pub fn encode_thread(t: &ThreadCode, out: &mut Vec<u8>) {
+    let name = t.name.as_bytes();
+    put_u16(out, name.len() as u16);
+    out.extend_from_slice(name);
+    put_u32(out, t.code.len() as u32);
+    put_u32(out, t.blocks.pf_end);
+    put_u32(out, t.blocks.pl_end);
+    put_u32(out, t.blocks.ex_end);
+    put_u16(out, t.frame_slots);
+    put_u32(out, t.prefetch_bytes);
+    for i in &t.code {
+        encode_instr(i, out);
+    }
+}
+
+fn decode_thread(c: &mut Cursor) -> Result<ThreadCode, DecodeError> {
+    let name_len = c.u16()? as usize;
+    let name = String::from_utf8(c.take(name_len)?.to_vec()).map_err(|_| DecodeError::BadMagic)?;
+    let n = c.u32()? as usize;
+    let blocks = BlockMap {
+        pf_end: c.u32()?,
+        pl_end: c.u32()?,
+        ex_end: c.u32()?,
+    };
+    let frame_slots = c.u16()?;
+    let prefetch_bytes = c.u32()?;
+    let mut code = Vec::with_capacity(n);
+    for _ in 0..n {
+        code.push(decode_one(c)?);
+    }
+    Ok(ThreadCode {
+        name,
+        code,
+        blocks,
+        frame_slots,
+        prefetch_bytes,
+    })
+}
+
+/// Encodes a whole program image (threads + globals + entry).
+pub fn encode_program(p: &Program) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, p.threads.len() as u32);
+    put_u32(&mut out, p.entry.0);
+    put_u16(&mut out, p.entry_args);
+    for t in &p.threads {
+        encode_thread(t, &mut out);
+    }
+    put_u32(&mut out, p.globals.len() as u32);
+    for g in &p.globals {
+        let name = g.name.as_bytes();
+        put_u16(&mut out, name.len() as u16);
+        out.extend_from_slice(name);
+        put_i64(&mut out, g.addr as i64);
+        put_u32(&mut out, g.data.len() as u32);
+        out.extend_from_slice(&g.data);
+    }
+    out
+}
+
+/// Decodes a program image.
+pub fn decode_program(buf: &[u8]) -> Result<Program, DecodeError> {
+    let mut c = Cursor { buf, pos: 0 };
+    if c.take(4)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let nthreads = c.u32()? as usize;
+    let entry = ThreadId(c.u32()?);
+    let entry_args = c.u16()?;
+    let mut threads = Vec::with_capacity(nthreads);
+    for _ in 0..nthreads {
+        threads.push(decode_thread(&mut c)?);
+    }
+    let nglobals = c.u32()? as usize;
+    let mut globals = Vec::with_capacity(nglobals);
+    for _ in 0..nglobals {
+        let name_len = c.u16()? as usize;
+        let name =
+            String::from_utf8(c.take(name_len)?.to_vec()).map_err(|_| DecodeError::BadMagic)?;
+        let addr = c.i64()? as u64;
+        let len = c.u32()? as usize;
+        let data = c.take(len)?.to_vec();
+        globals.push(crate::program::GlobalDef { name, addr, data });
+    }
+    Ok(Program {
+        threads,
+        entry,
+        entry_args,
+        globals,
+    })
+}
+
+/// Encoded code size of one thread, in bytes (header excluded) — how much
+/// local store the thread's code occupies.
+pub fn code_size(t: &ThreadCode) -> usize {
+    let mut buf = Vec::new();
+    for i in &t.code {
+        encode_instr(i, &mut buf);
+    }
+    buf.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::r;
+
+    fn sample_instrs() -> Vec<Instr> {
+        vec![
+            Instr::Alu { op: AluOp::Add, rd: r(3), ra: r(4), rb: Src::Imm(-9) },
+            Instr::Alu { op: AluOp::Sltu, rd: r(3), ra: r(4), rb: Src::Reg(r(5)) },
+            Instr::Li { rd: r(6), imm: i64::MIN },
+            Instr::Mov { rd: r(1), ra: r(2) },
+            Instr::Nop,
+            Instr::Br { cond: BrCond::Geu, ra: r(7), rb: Src::Imm(42), target: 9 },
+            Instr::Jmp { target: 0 },
+            Instr::Load { rd: r(8), slot: 65535 },
+            Instr::Store { rs: r(9), rframe: r(10), slot: 3 },
+            Instr::Falloc { rd: r(11), thread: ThreadId(7), sc: 12 },
+            Instr::Ffree { rframe: r(1) },
+            Instr::Stop,
+            Instr::Read { rd: r(12), ra: r(13), off: -128 },
+            Instr::Write { rs: r(14), ra: r(15), off: i32::MAX },
+            Instr::LsLoad { rd: r(16), ra: r(17), off: 4 },
+            Instr::LsStore { rs: r(18), ra: r(19), off: -4 },
+            Instr::DmaGet { rls: r(2), ls_off: 0, rmem: r(20), mem_off: 64, bytes: Src::Imm(128), tag: 5 },
+            Instr::DmaGetStrided {
+                rls: r(2), ls_off: 16, rmem: r(21), mem_off: 0,
+                elem_bytes: 4, count: Src::Reg(r(22)), stride: Src::Imm(1024), tag: 6,
+            },
+            Instr::DmaPut { rls: r(2), ls_off: 8, rmem: r(23), mem_off: -8, bytes: Src::Reg(r(24)), tag: 7 },
+            Instr::DmaYield,
+            Instr::DmaWait { tag: 31 },
+        ]
+    }
+
+    #[test]
+    fn every_instruction_round_trips() {
+        for i in sample_instrs() {
+            let mut buf = Vec::new();
+            encode_instr(&i, &mut buf);
+            let mut c = Cursor { buf: &buf, pos: 0 };
+            let back = decode_one(&mut c).unwrap_or_else(|e| panic!("{i}: {e}"));
+            assert_eq!(back, i);
+            assert_eq!(c.pos, buf.len(), "{i}: trailing bytes");
+        }
+    }
+
+    #[test]
+    fn stream_of_instructions_round_trips() {
+        let instrs = sample_instrs();
+        let mut buf = Vec::new();
+        for i in &instrs {
+            encode_instr(i, &mut buf);
+        }
+        let mut c = Cursor { buf: &buf, pos: 0 };
+        let decoded: Vec<Instr> = (0..instrs.len())
+            .map(|_| decode_one(&mut c).unwrap())
+            .collect();
+        assert_eq!(decoded, instrs);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let mut buf = Vec::new();
+        encode_instr(&Instr::Li { rd: r(3), imm: 1 }, &mut buf);
+        for cut in 1..buf.len() {
+            let mut c = Cursor { buf: &buf[..cut], pos: 0 };
+            assert_eq!(decode_one(&mut c), Err(DecodeError::Truncated), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_opcode_is_an_error() {
+        let mut c = Cursor { buf: &[0x7F], pos: 0 };
+        assert_eq!(decode_one(&mut c), Err(DecodeError::BadOpcode(0x7F)));
+    }
+
+    #[test]
+    fn bad_register_is_an_error() {
+        let buf = [OP_MOV, 64, 0];
+        let mut c = Cursor { buf: &buf, pos: 0 };
+        assert_eq!(decode_one(&mut c), Err(DecodeError::BadRegister(64)));
+    }
+
+    #[test]
+    fn program_image_round_trips() {
+        use crate::builder::{ProgramBuilder, ThreadBuilder};
+        let mut pb = ProgramBuilder::new();
+        pb.global_words("tbl", &[1, -2, 3]);
+        let main = pb.declare("main");
+        let mut t = ThreadBuilder::new("main");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.read(r(4), r(3), 0);
+        t.begin_ps();
+        t.ffree_self();
+        t.stop();
+        pb.define(main, t);
+        pb.set_entry(main, 1);
+        let p = pb.build();
+        let img = encode_program(&p);
+        assert_eq!(&img[..4], &MAGIC);
+        let back = decode_program(&img).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode_program(b"NOPE....."), Err(DecodeError::BadMagic));
+        assert_eq!(decode_program(b"DT"), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn code_size_reports_bytes() {
+        let t = ThreadCode {
+            name: "t".into(),
+            code: vec![Instr::Nop, Instr::Stop],
+            blocks: BlockMap::default(),
+            frame_slots: 0,
+            prefetch_bytes: 0,
+        };
+        assert_eq!(code_size(&t), 2);
+    }
+}

@@ -1,0 +1,816 @@
+//! Instruction definitions.
+//!
+//! The instruction set has three layers:
+//!
+//! 1. a conventional scalar RISC core (ALU ops, immediates, branches);
+//! 2. the DTA thread-management instructions from the paper's Table 1:
+//!    [`Instr::Falloc`], [`Instr::Ffree`], [`Instr::Stop`], frame
+//!    [`Instr::Load`] / [`Instr::Store`];
+//! 3. the memory-decoupling layer: blocking main-memory [`Instr::Read`] /
+//!    [`Instr::Write`] ("READ and WRITE ... cause stalls in the pipeline",
+//!    §2), non-blocking local-store [`Instr::LsLoad`] / [`Instr::LsStore`],
+//!    and the DMA programming instructions of Table 3
+//!    ([`Instr::DmaGet`], [`Instr::DmaGetStrided`], [`Instr::DmaPut`],
+//!    [`Instr::DmaYield`], [`Instr::DmaWait`]).
+//!
+//! Every instruction reports its [`IClass`]; the pipeline issues at most one
+//! *compute*-class and one *memory*-class (anything else) instruction per
+//! cycle, mirroring the SPU's even/odd pipe split.
+
+use crate::program::ThreadId;
+use crate::reg::Reg;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// ALU operations over 64-bit two's-complement integers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division; division by zero yields 0 (the hardware raises no
+    /// trap — simulated programs are expected to guard).
+    Div,
+    /// Signed remainder; remainder by zero yields 0.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount masked to 0..64).
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sra,
+    /// Set-if-less-than, signed (result 0/1).
+    Slt,
+    /// Set-if-less-than, unsigned (result 0/1).
+    Sltu,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+}
+
+impl AluOp {
+    /// Pure evaluation of the operation; this is the single source of ALU
+    /// semantics, shared by the pipeline and the compiler's constant
+    /// propagation.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => ((a as u64) << (b as u64 & 63)) as i64,
+            AluOp::Shr => ((a as u64) >> (b as u64 & 63)) as i64,
+            AluOp::Sra => a >> (b as u64 & 63),
+            AluOp::Slt => (a < b) as i64,
+            AluOp::Sltu => ((a as u64) < (b as u64)) as i64,
+            AluOp::Min => a.min(b),
+            AluOp::Max => a.max(b),
+        }
+    }
+
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Min => "min",
+            AluOp::Max => "max",
+        }
+    }
+
+    /// All ALU operations (used by the assembler and by property tests).
+    pub const ALL: [AluOp; 15] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sra,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Min,
+        AluOp::Max,
+    ];
+}
+
+/// Branch conditions (compare two operands, branch when true).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum BrCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl BrCond {
+    /// Evaluates the condition.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            BrCond::Eq => a == b,
+            BrCond::Ne => a != b,
+            BrCond::Lt => a < b,
+            BrCond::Ge => a >= b,
+            BrCond::Ltu => (a as u64) < (b as u64),
+            BrCond::Geu => (a as u64) >= (b as u64),
+        }
+    }
+
+    /// Assembler mnemonic (`beq`, `bne`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BrCond::Eq => "beq",
+            BrCond::Ne => "bne",
+            BrCond::Lt => "blt",
+            BrCond::Ge => "bge",
+            BrCond::Ltu => "bltu",
+            BrCond::Geu => "bgeu",
+        }
+    }
+
+    /// All branch conditions.
+    pub const ALL: [BrCond; 6] = [
+        BrCond::Eq,
+        BrCond::Ne,
+        BrCond::Lt,
+        BrCond::Ge,
+        BrCond::Ltu,
+        BrCond::Geu,
+    ];
+}
+
+/// A flexible second operand: register or signed immediate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Src {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate operand.
+    Imm(i32),
+}
+
+impl Src {
+    /// The register, if this operand is one.
+    #[inline]
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Src::Reg(r) => Some(r),
+            Src::Imm(_) => None,
+        }
+    }
+
+    /// The immediate, if this operand is one.
+    #[inline]
+    pub fn as_imm(self) -> Option<i32> {
+        match self {
+            Src::Reg(_) => None,
+            Src::Imm(i) => Some(i),
+        }
+    }
+}
+
+impl From<Reg> for Src {
+    fn from(r: Reg) -> Self {
+        Src::Reg(r)
+    }
+}
+
+impl From<i32> for Src {
+    fn from(i: i32) -> Self {
+        Src::Imm(i)
+    }
+}
+
+impl fmt::Display for Src {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src::Reg(r) => write!(f, "{r}"),
+            Src::Imm(i) => write!(f, "#{i}"),
+        }
+    }
+}
+
+/// Instruction class — drives dual-issue pairing and the per-class dynamic
+/// instruction counts of the paper's Table 5.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum IClass {
+    /// ALU / immediate / move — issued on the even (compute) pipe.
+    Compute,
+    /// Branches — odd pipe.
+    Branch,
+    /// Frame-memory `LOAD`/`STORE` (Table 5 columns LOAD / STORE).
+    Frame,
+    /// Main-memory `READ`/`WRITE` (Table 5 columns READ / WRITE).
+    Mem,
+    /// Local-store accesses to prefetched data.
+    Ls,
+    /// DMA programming and synchronisation.
+    Dma,
+    /// Scheduler interactions (`FALLOC`, `FFREE`, `STOP`).
+    Sched,
+}
+
+impl IClass {
+    /// Does this class issue on the odd (memory) pipe?
+    #[inline]
+    pub fn is_odd_pipe(self) -> bool {
+        !matches!(self, IClass::Compute)
+    }
+}
+
+/// A fixed-capacity register list returned by [`Instr::defs`] /
+/// [`Instr::uses`]; avoids heap allocation on the simulator's hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegList {
+    regs: [Reg; 4],
+    len: u8,
+}
+
+impl RegList {
+    fn new() -> Self {
+        RegList {
+            regs: [crate::reg::ZERO_REG; 4],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, r: Reg) {
+        self.regs[self.len as usize] = r;
+        self.len += 1;
+    }
+
+    fn push_src(&mut self, s: Src) {
+        if let Src::Reg(r) = s {
+            self.push(r);
+        }
+    }
+
+    /// The registers as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Reg] {
+        &self.regs[..self.len as usize]
+    }
+
+    /// Is the list empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of registers in the list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, r: Reg) -> bool {
+        self.as_slice().contains(&r)
+    }
+}
+
+impl std::ops::Deref for RegList {
+    type Target = [Reg];
+    fn deref(&self) -> &[Reg] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a RegList {
+    type Item = Reg;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Reg>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter().copied()
+    }
+}
+
+/// One machine instruction.
+///
+/// Branch targets are absolute instruction indices within the owning
+/// thread's code (labels are resolved by the builder/assembler).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Instr {
+    // ---- compute class -------------------------------------------------
+    /// `rd = op(ra, rb)`.
+    Alu { op: AluOp, rd: Reg, ra: Reg, rb: Src },
+    /// Load a 64-bit immediate: `rd = imm`.
+    Li { rd: Reg, imm: i64 },
+    /// Register move: `rd = ra`.
+    Mov { rd: Reg, ra: Reg },
+    /// No operation.
+    Nop,
+
+    // ---- control -------------------------------------------------------
+    /// Conditional branch: `if cond(ra, rb) goto target`.
+    Br {
+        cond: BrCond,
+        ra: Reg,
+        rb: Src,
+        target: u32,
+    },
+    /// Unconditional jump.
+    Jmp { target: u32 },
+
+    // ---- frame memory (Table 1: LOAD / STORE) ---------------------------
+    /// `rd = self.frame[slot]` — read the thread's own frame (held in the
+    /// local store; completes asynchronously through the scoreboard).
+    Load { rd: Reg, slot: u16 },
+    /// `frame(rframe)[slot] = rs` — store into *another* thread's frame,
+    /// decrementing its synchronisation counter. `rframe` holds an encoded
+    /// [`crate::FramePtr`].
+    Store { rs: Reg, rframe: Reg, slot: u16 },
+
+    // ---- scheduler (Table 1: FALLOC / FFREE / STOP) ----------------------
+    /// Ask the scheduler for a new frame for an instance of `thread` with
+    /// synchronisation count `sc`; the encoded frame pointer is written to
+    /// `rd`. Blocks until the FALLOC-Response arrives (LSE stall).
+    Falloc { rd: Reg, thread: ThreadId, sc: u16 },
+    /// Release the frame whose pointer is in `rframe` (normally the
+    /// thread's own, `r1`).
+    Ffree { rframe: Reg },
+    /// Notify the LSE that the thread has completed.
+    Stop,
+
+    // ---- main memory (the accesses prefetching removes) ------------------
+    /// `rd = mainmem[ra + off]` (32-bit, sign-extended). Blocks the
+    /// pipeline until the response returns (paper §2).
+    Read { rd: Reg, ra: Reg, off: i32 },
+    /// `mainmem[ra + off] = rs` (32-bit). Posted, but must win a spot in
+    /// the memory request queue.
+    Write { rs: Reg, ra: Reg, off: i32 },
+
+    // ---- local store (prefetched data) -----------------------------------
+    /// `rd = localstore[ra + off]` (32-bit, sign-extended; asynchronous,
+    /// scoreboarded — "LS accesses are mostly hidden", §4.3).
+    LsLoad { rd: Reg, ra: Reg, off: i32 },
+    /// `localstore[ra + off] = rs` (32-bit).
+    LsStore { rs: Reg, ra: Reg, off: i32 },
+
+    // ---- DMA (Table 3 operands: LS address, MEM address, size, tag) ------
+    /// Program the MFC to copy `bytes` bytes from main memory
+    /// `[rmem + mem_off]` into the local store `[rls + ls_off]`, tagged
+    /// `tag`.
+    DmaGet {
+        rls: Reg,
+        ls_off: i32,
+        rmem: Reg,
+        mem_off: i32,
+        bytes: Src,
+        tag: u8,
+    },
+    /// Strided gather: `count` elements of `elem_bytes` bytes, consecutive
+    /// in the local store, `stride` bytes apart in main memory — "in case
+    /// where thread accesses array with a certain stride ... DMA performs
+    /// it in one transaction" (§3).
+    DmaGetStrided {
+        rls: Reg,
+        ls_off: i32,
+        rmem: Reg,
+        mem_off: i32,
+        elem_bytes: u16,
+        count: Src,
+        stride: Src,
+        tag: u8,
+    },
+    /// Program the MFC to copy `bytes` bytes from the local store to main
+    /// memory.
+    DmaPut {
+        rls: Reg,
+        ls_off: i32,
+        rmem: Reg,
+        mem_off: i32,
+        bytes: Src,
+        tag: u8,
+    },
+    /// End of a PF code block: if this thread instance has outstanding DMA
+    /// transfers, yield the pipeline and move to the *Wait for DMA* state
+    /// (Fig. 4); the scheduler re-readies the thread when the MFC signals
+    /// completion. Never busy-waits.
+    DmaYield,
+    /// Blocking wait for the completion of DMA transfers with tag `tag`
+    /// (occupies the pipeline; used for post-store DMA draining and as an
+    /// ablation of the non-blocking yield).
+    DmaWait { tag: u8 },
+}
+
+impl Instr {
+    /// The instruction's class.
+    #[inline]
+    pub fn class(&self) -> IClass {
+        match self {
+            Instr::Alu { .. } | Instr::Li { .. } | Instr::Mov { .. } | Instr::Nop => {
+                IClass::Compute
+            }
+            Instr::Br { .. } | Instr::Jmp { .. } => IClass::Branch,
+            Instr::Load { .. } | Instr::Store { .. } => IClass::Frame,
+            Instr::Falloc { .. } | Instr::Ffree { .. } | Instr::Stop => IClass::Sched,
+            Instr::Read { .. } | Instr::Write { .. } => IClass::Mem,
+            Instr::LsLoad { .. } | Instr::LsStore { .. } => IClass::Ls,
+            Instr::DmaGet { .. }
+            | Instr::DmaGetStrided { .. }
+            | Instr::DmaPut { .. }
+            | Instr::DmaYield
+            | Instr::DmaWait { .. } => IClass::Dma,
+        }
+    }
+
+    /// Register(s) written by this instruction.
+    pub fn defs(&self) -> RegList {
+        let mut l = RegList::new();
+        match *self {
+            Instr::Alu { rd, .. }
+            | Instr::Li { rd, .. }
+            | Instr::Mov { rd, .. }
+            | Instr::Load { rd, .. }
+            | Instr::Falloc { rd, .. }
+            | Instr::Read { rd, .. }
+            | Instr::LsLoad { rd, .. } => l.push(rd),
+            _ => {}
+        }
+        l
+    }
+
+    /// Registers read by this instruction.
+    pub fn uses(&self) -> RegList {
+        let mut l = RegList::new();
+        match *self {
+            Instr::Alu { ra, rb, .. } => {
+                l.push(ra);
+                l.push_src(rb);
+            }
+            Instr::Mov { ra, .. } => l.push(ra),
+            Instr::Br { ra, rb, .. } => {
+                l.push(ra);
+                l.push_src(rb);
+            }
+            Instr::Store { rs, rframe, .. } => {
+                l.push(rs);
+                l.push(rframe);
+            }
+            Instr::Ffree { rframe } => l.push(rframe),
+            Instr::Read { ra, .. } | Instr::LsLoad { ra, .. } => l.push(ra),
+            Instr::Write { rs, ra, .. } | Instr::LsStore { rs, ra, .. } => {
+                l.push(rs);
+                l.push(ra);
+            }
+            Instr::DmaGet { rls, rmem, bytes, .. } | Instr::DmaPut { rls, rmem, bytes, .. } => {
+                l.push(rls);
+                l.push(rmem);
+                l.push_src(bytes);
+            }
+            Instr::DmaGetStrided {
+                rls,
+                rmem,
+                count,
+                stride,
+                ..
+            } => {
+                l.push(rls);
+                l.push(rmem);
+                l.push_src(count);
+                l.push_src(stride);
+            }
+            Instr::Li { .. }
+            | Instr::Nop
+            | Instr::Jmp { .. }
+            | Instr::Load { .. }
+            | Instr::Falloc { .. }
+            | Instr::Stop
+            | Instr::DmaYield
+            | Instr::DmaWait { .. } => {}
+        }
+        l
+    }
+
+    /// `true` for instructions that end a thread's execution.
+    #[inline]
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Instr::Stop)
+    }
+
+    /// `true` for control-flow instructions.
+    #[inline]
+    pub fn is_control(&self) -> bool {
+        matches!(self, Instr::Br { .. } | Instr::Jmp { .. })
+    }
+
+    /// Branch/jump target, if any.
+    #[inline]
+    pub fn target(&self) -> Option<u32> {
+        match *self {
+            Instr::Br { target, .. } | Instr::Jmp { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the branch/jump target (used by code transformation
+    /// passes). No-op for non-control instructions.
+    pub fn set_target(&mut self, new: u32) {
+        match self {
+            Instr::Br { target, .. } | Instr::Jmp { target } => *target = new,
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Alu { op, rd, ra, rb } => write!(f, "{} {rd}, {ra}, {rb}", op.mnemonic()),
+            Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instr::Mov { rd, ra } => write!(f, "mov {rd}, {ra}"),
+            Instr::Nop => write!(f, "nop"),
+            Instr::Br {
+                cond,
+                ra,
+                rb,
+                target,
+            } => write!(f, "{} {ra}, {rb}, {target}", cond.mnemonic()),
+            Instr::Jmp { target } => write!(f, "jmp {target}"),
+            Instr::Load { rd, slot } => write!(f, "load {rd}, {slot}"),
+            Instr::Store { rs, rframe, slot } => write!(f, "store {rs}, {rframe}, {slot}"),
+            Instr::Falloc { rd, thread, sc } => write!(f, "falloc {rd}, t{}, {sc}", thread.0),
+            Instr::Ffree { rframe } => write!(f, "ffree {rframe}"),
+            Instr::Stop => write!(f, "stop"),
+            Instr::Read { rd, ra, off } => write!(f, "read {rd}, {off}({ra})"),
+            Instr::Write { rs, ra, off } => write!(f, "write {rs}, {off}({ra})"),
+            Instr::LsLoad { rd, ra, off } => write!(f, "lsload {rd}, {off}({ra})"),
+            Instr::LsStore { rs, ra, off } => write!(f, "lsstore {rs}, {off}({ra})"),
+            Instr::DmaGet {
+                rls,
+                ls_off,
+                rmem,
+                mem_off,
+                bytes,
+                tag,
+            } => write!(f, "dmaget {ls_off}({rls}), {mem_off}({rmem}), {bytes}, tag{tag}"),
+            Instr::DmaGetStrided {
+                rls,
+                ls_off,
+                rmem,
+                mem_off,
+                elem_bytes,
+                count,
+                stride,
+                tag,
+            } => write!(
+                f,
+                "dmagets {ls_off}({rls}), {mem_off}({rmem}), elem={elem_bytes}, count={count}, stride={stride}, tag{tag}"
+            ),
+            Instr::DmaPut {
+                rls,
+                ls_off,
+                rmem,
+                mem_off,
+                bytes,
+                tag,
+            } => write!(f, "dmaput {ls_off}({rls}), {mem_off}({rmem}), {bytes}, tag{tag}"),
+            Instr::DmaYield => write!(f, "dmayield"),
+            Instr::DmaWait { tag } => write!(f, "dmawait tag{tag}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::r;
+
+    #[test]
+    fn alu_eval_basics() {
+        assert_eq!(AluOp::Add.eval(2, 3), 5);
+        assert_eq!(AluOp::Sub.eval(2, 3), -1);
+        assert_eq!(AluOp::Mul.eval(-4, 3), -12);
+        assert_eq!(AluOp::Div.eval(7, 2), 3);
+        assert_eq!(AluOp::Rem.eval(7, 2), 1);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.eval(1, 4), 16);
+        assert_eq!(AluOp::Shr.eval(-1, 60), 15);
+        assert_eq!(AluOp::Sra.eval(-16, 2), -4);
+        assert_eq!(AluOp::Slt.eval(-1, 0), 1);
+        assert_eq!(AluOp::Sltu.eval(-1, 0), 0);
+        assert_eq!(AluOp::Min.eval(3, -5), -5);
+        assert_eq!(AluOp::Max.eval(3, -5), 3);
+    }
+
+    #[test]
+    fn alu_eval_no_division_trap() {
+        assert_eq!(AluOp::Div.eval(42, 0), 0);
+        assert_eq!(AluOp::Rem.eval(42, 0), 0);
+        // MIN_INT / -1 must not overflow-panic.
+        assert_eq!(AluOp::Div.eval(i64::MIN, -1), i64::MIN);
+        assert_eq!(AluOp::Rem.eval(i64::MIN, -1), 0);
+    }
+
+    #[test]
+    fn shift_amounts_are_masked() {
+        assert_eq!(AluOp::Shl.eval(1, 64), 1);
+        assert_eq!(AluOp::Shl.eval(1, 65), 2);
+        assert_eq!(AluOp::Shr.eval(8, 67), 1);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BrCond::Eq.eval(4, 4));
+        assert!(BrCond::Ne.eval(4, 5));
+        assert!(BrCond::Lt.eval(-2, 1));
+        assert!(BrCond::Ge.eval(1, 1));
+        assert!(BrCond::Ltu.eval(1, u64::MAX as i64));
+        assert!(BrCond::Geu.eval(-1, 1)); // -1 is huge unsigned
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: r(3),
+                ra: r(4),
+                rb: Src::Imm(1)
+            }
+            .class(),
+            IClass::Compute
+        );
+        assert_eq!(Instr::Load { rd: r(3), slot: 0 }.class(), IClass::Frame);
+        assert_eq!(
+            Instr::Read {
+                rd: r(3),
+                ra: r(4),
+                off: 0
+            }
+            .class(),
+            IClass::Mem
+        );
+        assert_eq!(Instr::Stop.class(), IClass::Sched);
+        assert_eq!(Instr::DmaYield.class(), IClass::Dma);
+        assert!(IClass::Mem.is_odd_pipe());
+        assert!(!IClass::Compute.is_odd_pipe());
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: r(3),
+            ra: r(4),
+            rb: Src::Reg(r(5)),
+        };
+        assert_eq!(i.defs().as_slice(), &[r(3)]);
+        assert_eq!(i.uses().as_slice(), &[r(4), r(5)]);
+
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: r(3),
+            ra: r(4),
+            rb: Src::Imm(7),
+        };
+        assert_eq!(i.uses().as_slice(), &[r(4)]);
+
+        let i = Instr::Store {
+            rs: r(6),
+            rframe: r(7),
+            slot: 2,
+        };
+        assert!(i.defs().is_empty());
+        assert_eq!(i.uses().as_slice(), &[r(6), r(7)]);
+
+        let i = Instr::DmaGetStrided {
+            rls: r(2),
+            ls_off: 0,
+            rmem: r(8),
+            mem_off: 4,
+            elem_bytes: 4,
+            count: Src::Reg(r(9)),
+            stride: Src::Imm(128),
+            tag: 1,
+        };
+        assert_eq!(i.uses().as_slice(), &[r(2), r(8), r(9)]);
+        assert!(i.defs().is_empty());
+    }
+
+    #[test]
+    fn falloc_defines_frame_register() {
+        let i = Instr::Falloc {
+            rd: r(10),
+            thread: ThreadId(2),
+            sc: 3,
+        };
+        assert_eq!(i.defs().as_slice(), &[r(10)]);
+        assert!(i.uses().is_empty());
+    }
+
+    #[test]
+    fn control_helpers() {
+        let mut b = Instr::Br {
+            cond: BrCond::Ne,
+            ra: r(3),
+            rb: Src::Imm(0),
+            target: 7,
+        };
+        assert!(b.is_control());
+        assert_eq!(b.target(), Some(7));
+        b.set_target(12);
+        assert_eq!(b.target(), Some(12));
+        assert!(!Instr::Nop.is_control());
+        assert_eq!(Instr::Nop.target(), None);
+        assert!(Instr::Stop.is_terminator());
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: r(3),
+            ra: r(4),
+            rb: Src::Imm(-2),
+        };
+        assert_eq!(i.to_string(), "add r3, r4, #-2");
+        assert_eq!(
+            Instr::Read {
+                rd: r(5),
+                ra: r(6),
+                off: 16
+            }
+            .to_string(),
+            "read r5, 16(r6)"
+        );
+        assert_eq!(
+            Instr::DmaGet {
+                rls: r(2),
+                ls_off: 0,
+                rmem: r(8),
+                mem_off: 64,
+                bytes: Src::Imm(128),
+                tag: 3
+            }
+            .to_string(),
+            "dmaget 0(r2), 64(r8), #128, tag3"
+        );
+    }
+
+    #[test]
+    fn reglist_dedup_not_required_but_iteration_works() {
+        let i = Instr::Write {
+            rs: r(4),
+            ra: r(4),
+            off: 0,
+        };
+        let uses: Vec<_> = (&i.uses()).into_iter().collect();
+        assert_eq!(uses, vec![r(4), r(4)]);
+        assert!(i.uses().contains(r(4)));
+        assert_eq!(i.uses().len(), 2);
+    }
+}

@@ -1,0 +1,443 @@
+//! Programs, threads, and code blocks.
+//!
+//! A DTA [`Program`] is a set of [`ThreadCode`]s (one per static thread in
+//! the source), an entry thread started by the host processor (the Cell PPE
+//! in the paper's platform), and a global data segment laid out in main
+//! memory. Each thread's code is partitioned into the four code blocks of
+//! the paper's Figure 3: **PF** (prefetch — programs the DMA unit),
+//! **PL** (pre-load — reads inputs from the frame / local store into
+//! registers), **EX** (execute — register-to-register compute), and
+//! **PS** (post-store — writes results to consumer frames).
+
+use crate::instr::{IClass, Instr};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a static thread (an index into [`Program::threads`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The thread's index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The four code blocks of a DTA thread (paper Fig. 3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CodeBlock {
+    /// PreFetch: programs the DMA unit; cycles here are the paper's
+    /// "Prefetching" overhead category.
+    Pf,
+    /// Pre-load: reads thread inputs from the frame (and prefetched data
+    /// from the local store) into registers.
+    Pl,
+    /// Execute: register-to-register computation. In the *original* DTA it
+    /// may still contain main-memory READ/WRITEs — the stalls the paper's
+    /// mechanism removes.
+    Ex,
+    /// Post-store: sends results to the frames of consumer threads.
+    Ps,
+}
+
+impl CodeBlock {
+    /// Short lowercase name (`pf`, `pl`, `ex`, `ps`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CodeBlock::Pf => "pf",
+            CodeBlock::Pl => "pl",
+            CodeBlock::Ex => "ex",
+            CodeBlock::Ps => "ps",
+        }
+    }
+
+    /// All blocks in program order.
+    pub const ALL: [CodeBlock; 4] = [CodeBlock::Pf, CodeBlock::Pl, CodeBlock::Ex, CodeBlock::Ps];
+}
+
+impl fmt::Display for CodeBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Block boundaries within a thread's code: instruction indices
+/// `[0, pf_end)` = PF, `[pf_end, pl_end)` = PL, `[pl_end, ex_end)` = EX,
+/// `[ex_end, code.len())` = PS.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct BlockMap {
+    /// End of the PF block (0 when the thread has no prefetch code).
+    pub pf_end: u32,
+    /// End of the PL block.
+    pub pl_end: u32,
+    /// End of the EX block.
+    pub ex_end: u32,
+}
+
+impl BlockMap {
+    /// Which block does the instruction at `pc` belong to?
+    #[inline]
+    pub fn block_of(&self, pc: u32) -> CodeBlock {
+        if pc < self.pf_end {
+            CodeBlock::Pf
+        } else if pc < self.pl_end {
+            CodeBlock::Pl
+        } else if pc < self.ex_end {
+            CodeBlock::Ex
+        } else {
+            CodeBlock::Ps
+        }
+    }
+
+    /// Instruction index range of a block (`len` = total code length).
+    pub fn range(&self, block: CodeBlock, len: u32) -> std::ops::Range<u32> {
+        match block {
+            CodeBlock::Pf => 0..self.pf_end,
+            CodeBlock::Pl => self.pf_end..self.pl_end,
+            CodeBlock::Ex => self.pl_end..self.ex_end,
+            CodeBlock::Ps => self.ex_end..len,
+        }
+    }
+
+    /// Monotonicity check against a code length.
+    pub fn is_well_formed(&self, len: u32) -> bool {
+        self.pf_end <= self.pl_end && self.pl_end <= self.ex_end && self.ex_end <= len
+    }
+}
+
+/// The code of one static thread.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ThreadCode {
+    /// Human-readable name (used by the assembler and traces).
+    pub name: String,
+    /// The instructions; branch targets are absolute indices into this
+    /// vector.
+    pub code: Vec<Instr>,
+    /// PF/PL/EX/PS boundaries.
+    pub blocks: BlockMap,
+    /// Number of 64-bit input slots the thread's frame must provide.
+    pub frame_slots: u16,
+    /// Bytes of local-store prefetch buffer each *instance* of this thread
+    /// needs (0 when the thread has no PF block).
+    pub prefetch_bytes: u32,
+}
+
+impl ThreadCode {
+    /// Number of instructions.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// `true` when the thread has no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// The code block containing `pc`.
+    #[inline]
+    pub fn block_of(&self, pc: u32) -> CodeBlock {
+        self.blocks.block_of(pc)
+    }
+
+    /// Static instruction counts per class.
+    pub fn class_histogram(&self) -> BTreeMap<IClass, u64> {
+        let mut h = BTreeMap::new();
+        for i in &self.code {
+            *h.entry(i.class()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// `true` if any instruction accesses main memory directly — i.e. the
+    /// thread is a candidate for the prefetch transformation.
+    pub fn has_global_accesses(&self) -> bool {
+        self.code.iter().any(|i| i.class() == IClass::Mem)
+    }
+
+    /// Disassembly listing with block annotations.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut last_block = None;
+        for (pc, instr) in self.code.iter().enumerate() {
+            let block = self.block_of(pc as u32);
+            if last_block != Some(block) {
+                let _ = writeln!(out, ".block {}", block.name());
+                last_block = Some(block);
+            }
+            let _ = writeln!(out, "  {pc:4}: {instr}");
+        }
+        out
+    }
+}
+
+// `IClass` needs `Ord` for the histogram's BTreeMap key.
+impl PartialOrd for IClass {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for IClass {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (*self as u8).cmp(&(*other as u8))
+    }
+}
+
+/// One global object in main memory.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct GlobalDef {
+    /// Symbol name.
+    pub name: String,
+    /// Assigned byte address in main memory.
+    pub addr: u64,
+    /// Initial contents; zero-filled objects may use
+    /// [`GlobalDef::zeroed`]. The object's size is `data.len()`.
+    pub data: Vec<u8>,
+}
+
+impl GlobalDef {
+    /// A zero-initialised global of `bytes` bytes.
+    pub fn zeroed(name: impl Into<String>, addr: u64, bytes: usize) -> Self {
+        GlobalDef {
+            name: name.into(),
+            addr,
+            data: vec![0; bytes],
+        }
+    }
+
+    /// A global initialised from 32-bit little-endian words (the machine's
+    /// scalar access width).
+    pub fn from_words(name: impl Into<String>, addr: u64, words: &[i32]) -> Self {
+        let mut data = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            data.extend_from_slice(&w.to_le_bytes());
+        }
+        GlobalDef {
+            name: name.into(),
+            addr,
+            data,
+        }
+    }
+
+    /// Size in bytes.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Byte range occupied in main memory.
+    #[inline]
+    pub fn byte_range(&self) -> std::ops::Range<u64> {
+        self.addr..self.addr + self.data.len() as u64
+    }
+}
+
+/// A complete DTA program.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Program {
+    /// All static threads; [`ThreadId`] indexes this vector.
+    pub threads: Vec<ThreadCode>,
+    /// The thread the host starts.
+    pub entry: ThreadId,
+    /// Number of argument slots the host stores into the entry thread's
+    /// frame (= the entry instance's synchronisation count).
+    pub entry_args: u16,
+    /// Global data laid out in main memory.
+    pub globals: Vec<GlobalDef>,
+}
+
+impl Program {
+    /// Looks up a thread's code.
+    #[inline]
+    pub fn thread(&self, id: ThreadId) -> &ThreadCode {
+        &self.threads[id.index()]
+    }
+
+    /// Looks up a thread by name.
+    pub fn thread_by_name(&self, name: &str) -> Option<(ThreadId, &ThreadCode)> {
+        self.threads
+            .iter()
+            .enumerate()
+            .find(|(_, t)| t.name == name)
+            .map(|(i, t)| (ThreadId(i as u32), t))
+    }
+
+    /// Looks up a global by name.
+    pub fn global(&self, name: &str) -> Option<&GlobalDef> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// Total static instruction count.
+    pub fn static_instructions(&self) -> u64 {
+        self.threads.iter().map(|t| t.code.len() as u64).sum()
+    }
+
+    /// Static per-class histogram summed over all threads.
+    pub fn class_histogram(&self) -> BTreeMap<IClass, u64> {
+        let mut h = BTreeMap::new();
+        for t in &self.threads {
+            for (k, v) in t.class_histogram() {
+                *h.entry(k).or_insert(0) += v;
+            }
+        }
+        h
+    }
+
+    /// Largest prefetch-buffer requirement over all threads (used to size
+    /// the per-frame prefetch region).
+    pub fn max_prefetch_bytes(&self) -> u32 {
+        self.threads.iter().map(|t| t.prefetch_bytes).max().unwrap_or(0)
+    }
+
+    /// `true` if any thread still performs direct main-memory accesses.
+    pub fn has_global_accesses(&self) -> bool {
+        self.threads.iter().any(|t| t.has_global_accesses())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, Src};
+    use crate::reg::r;
+
+    fn tiny_thread() -> ThreadCode {
+        ThreadCode {
+            name: "t".into(),
+            code: vec![
+                Instr::Load { rd: r(3), slot: 0 },
+                Instr::Alu {
+                    op: AluOp::Add,
+                    rd: r(4),
+                    ra: r(3),
+                    rb: Src::Imm(1),
+                },
+                Instr::Read {
+                    rd: r(5),
+                    ra: r(4),
+                    off: 0,
+                },
+                Instr::Stop,
+            ],
+            blocks: BlockMap {
+                pf_end: 0,
+                pl_end: 1,
+                ex_end: 3,
+            },
+            frame_slots: 1,
+            prefetch_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn block_of_maps_ranges() {
+        let t = tiny_thread();
+        assert_eq!(t.block_of(0), CodeBlock::Pl);
+        assert_eq!(t.block_of(1), CodeBlock::Ex);
+        assert_eq!(t.block_of(2), CodeBlock::Ex);
+        assert_eq!(t.block_of(3), CodeBlock::Ps);
+    }
+
+    #[test]
+    fn blockmap_with_pf() {
+        let b = BlockMap {
+            pf_end: 2,
+            pl_end: 5,
+            ex_end: 9,
+        };
+        assert_eq!(b.block_of(0), CodeBlock::Pf);
+        assert_eq!(b.block_of(1), CodeBlock::Pf);
+        assert_eq!(b.block_of(2), CodeBlock::Pl);
+        assert_eq!(b.block_of(4), CodeBlock::Pl);
+        assert_eq!(b.block_of(5), CodeBlock::Ex);
+        assert_eq!(b.block_of(8), CodeBlock::Ex);
+        assert_eq!(b.block_of(9), CodeBlock::Ps);
+        assert_eq!(b.range(CodeBlock::Pf, 12), 0..2);
+        assert_eq!(b.range(CodeBlock::Ps, 12), 9..12);
+        assert!(b.is_well_formed(12));
+        assert!(!b.is_well_formed(8));
+    }
+
+    #[test]
+    fn malformed_blockmap_detected() {
+        let b = BlockMap {
+            pf_end: 5,
+            pl_end: 3,
+            ex_end: 9,
+        };
+        assert!(!b.is_well_formed(10));
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        let t = tiny_thread();
+        let h = t.class_histogram();
+        assert_eq!(h[&IClass::Frame], 1);
+        assert_eq!(h[&IClass::Compute], 1);
+        assert_eq!(h[&IClass::Mem], 1);
+        assert_eq!(h[&IClass::Sched], 1);
+        assert!(t.has_global_accesses());
+    }
+
+    #[test]
+    fn global_from_words_layout() {
+        let g = GlobalDef::from_words("tbl", 0x1000, &[1, -1, 256]);
+        assert_eq!(g.size(), 12);
+        assert_eq!(g.byte_range(), 0x1000..0x100C);
+        assert_eq!(&g.data[0..4], &[1, 0, 0, 0]);
+        assert_eq!(&g.data[4..8], &[0xFF, 0xFF, 0xFF, 0xFF]);
+        assert_eq!(&g.data[8..12], &[0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn zeroed_global() {
+        let g = GlobalDef::zeroed("buf", 0, 64);
+        assert_eq!(g.size(), 64);
+        assert!(g.data.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn program_lookup() {
+        let p = Program {
+            threads: vec![tiny_thread()],
+            entry: ThreadId(0),
+            entry_args: 1,
+            globals: vec![GlobalDef::zeroed("g", 16, 4)],
+        };
+        assert!(p.thread_by_name("t").is_some());
+        assert!(p.thread_by_name("missing").is_none());
+        assert!(p.global("g").is_some());
+        assert!(p.global("h").is_none());
+        assert_eq!(p.static_instructions(), 4);
+        assert!(p.has_global_accesses());
+        assert_eq!(p.max_prefetch_bytes(), 0);
+    }
+
+    #[test]
+    fn disassembly_contains_blocks_and_instrs() {
+        let t = tiny_thread();
+        let d = t.disassemble();
+        assert!(d.contains(".block pl"));
+        assert!(d.contains(".block ex"));
+        assert!(d.contains(".block ps"));
+        assert!(d.contains("load r3, 0"));
+        assert!(d.contains("stop"));
+    }
+}

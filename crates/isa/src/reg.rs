@@ -1,0 +1,135 @@
+//! Architectural registers.
+//!
+//! The machine has [`NUM_REGS`] 64-bit general-purpose registers per thread
+//! context. Register `r0` reads as zero and ignores writes; `r1` and `r2`
+//! are initialised by the hardware when a thread starts (self frame pointer
+//! and prefetch-buffer base, respectively) but are otherwise ordinary.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of architectural registers per thread context.
+pub const NUM_REGS: usize = 64;
+
+/// An architectural register index (`r0` .. `r63`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+/// `r0`: hard-wired zero.
+pub const ZERO_REG: Reg = Reg(0);
+/// `r1`: initialised to the thread's own frame pointer (encoded, see
+/// [`crate::FramePtr`]).
+pub const FRAME_PTR_REG: Reg = Reg(1);
+/// `r2`: initialised to the local-store byte address of the thread
+/// instance's prefetch buffer.
+pub const PREFETCH_BASE_REG: Reg = Reg(2);
+
+impl Reg {
+    /// Creates a register, panicking if `idx >= NUM_REGS`.
+    ///
+    /// Use [`Reg::try_new`] for fallible construction (e.g. in the
+    /// assembler).
+    #[inline]
+    pub const fn new(idx: u8) -> Self {
+        assert!((idx as usize) < NUM_REGS, "register index out of range");
+        Reg(idx)
+    }
+
+    /// Fallible constructor.
+    #[inline]
+    pub const fn try_new(idx: u8) -> Option<Self> {
+        if (idx as usize) < NUM_REGS {
+            Some(Reg(idx))
+        } else {
+            None
+        }
+    }
+
+    /// The register's index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// `true` for `r0`.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterator over every architectural register.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Convenience constructor used pervasively by builders and tests.
+#[inline]
+pub const fn r(idx: u8) -> Reg {
+    Reg::new(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(ZERO_REG.is_zero());
+        assert_eq!(ZERO_REG.index(), 0);
+        assert!(!r(1).is_zero());
+    }
+
+    #[test]
+    fn conventions_occupy_low_registers() {
+        assert_eq!(FRAME_PTR_REG.index(), 1);
+        assert_eq!(PREFETCH_BASE_REG.index(), 2);
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert!(Reg::try_new(63).is_some());
+        assert!(Reg::try_new(64).is_none());
+        assert!(Reg::try_new(255).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(64);
+    }
+
+    #[test]
+    fn all_yields_every_register_once() {
+        let v: Vec<Reg> = Reg::all().collect();
+        assert_eq!(v.len(), NUM_REGS);
+        assert_eq!(v[0], ZERO_REG);
+        assert_eq!(v[63], r(63));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(r(17).to_string(), "r17");
+        assert_eq!(format!("{:?}", r(3)), "r3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(r(3) < r(10));
+        let mut v = vec![r(5), r(1), r(9)];
+        v.sort();
+        assert_eq!(v, vec![r(1), r(5), r(9)]);
+    }
+}

@@ -1,0 +1,428 @@
+//! Structural validation of programs.
+//!
+//! The simulator assumes a handful of well-formedness invariants; this pass
+//! checks them ahead of time so that simulator panics always indicate
+//! simulator bugs, not malformed input:
+//!
+//! * block maps are monotone and in range;
+//! * branch targets are in range;
+//! * every thread contains a `STOP` (threads must terminate to release
+//!   their pipeline);
+//! * frame `LOAD` slots are within the thread's declared frame size;
+//! * `FALLOC` targets exist and their SC is non-zero when the target reads
+//!   inputs;
+//! * `DMAYIELD` appears only inside a PF block (the non-blocking wait state
+//!   of Fig. 4 is entered from the prefetch phase);
+//! * DMA tags fit the MFC tag space;
+//! * threads with DMA instructions declare a prefetch buffer;
+//! * globals do not overlap;
+//! * the entry thread's inputs are covered by the host-provided arguments.
+
+use crate::instr::Instr;
+use crate::program::{CodeBlock, Program, ThreadCode, ThreadId};
+use std::fmt;
+
+/// Number of MFC tag groups (Cell MFC has 32 tag groups).
+pub const MAX_DMA_TAGS: u8 = 32;
+
+/// A validation failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValidationError {
+    /// The block map is not monotone / exceeds the code length.
+    MalformedBlockMap { thread: String },
+    /// A thread has no instructions.
+    EmptyThread { thread: String },
+    /// A branch or jump target is out of range.
+    BranchOutOfRange { thread: String, pc: u32, target: u32 },
+    /// No `STOP` anywhere in the thread.
+    MissingStop { thread: String },
+    /// A frame `LOAD` reads a slot beyond the declared frame size.
+    LoadSlotOutOfRange { thread: String, pc: u32, slot: u16, frame_slots: u16 },
+    /// `FALLOC` references a non-existent thread.
+    UnknownFallocTarget { thread: String, pc: u32, target: ThreadId },
+    /// `FALLOC` would create an instance that waits forever (SC is zero but
+    /// the target reads frame inputs) or can never become ready (SC smaller
+    /// than the highest input slot the target reads).
+    InsufficientSyncCount { thread: String, pc: u32, target: ThreadId, sc: u16, needed: u16 },
+    /// `DMAYIELD` outside a PF block.
+    DmaYieldOutsidePf { thread: String, pc: u32 },
+    /// DMA tag out of range.
+    DmaTagOutOfRange { thread: String, pc: u32, tag: u8 },
+    /// A thread programs DMA but declares no prefetch buffer.
+    MissingPrefetchBuffer { thread: String, pc: u32 },
+    /// Two globals overlap in main memory.
+    OverlappingGlobals { a: String, b: String },
+    /// The entry thread reads more input slots than the host provides.
+    EntryArgsTooFew { needed: u16, provided: u16 },
+    /// The entry thread id is out of range.
+    BadEntry,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ValidationError::*;
+        match self {
+            MalformedBlockMap { thread } => write!(f, "thread {thread}: malformed block map"),
+            EmptyThread { thread } => write!(f, "thread {thread}: empty code"),
+            BranchOutOfRange { thread, pc, target } => {
+                write!(f, "thread {thread}: pc {pc}: branch target {target} out of range")
+            }
+            MissingStop { thread } => write!(f, "thread {thread}: no STOP instruction"),
+            LoadSlotOutOfRange { thread, pc, slot, frame_slots } => write!(
+                f,
+                "thread {thread}: pc {pc}: LOAD slot {slot} >= frame size {frame_slots}"
+            ),
+            UnknownFallocTarget { thread, pc, target } => {
+                write!(f, "thread {thread}: pc {pc}: FALLOC of unknown thread {target}")
+            }
+            InsufficientSyncCount { thread, pc, target, sc, needed } => write!(
+                f,
+                "thread {thread}: pc {pc}: FALLOC {target} with sc={sc} but target reads {needed} slots"
+            ),
+            DmaYieldOutsidePf { thread, pc } => {
+                write!(f, "thread {thread}: pc {pc}: DMAYIELD outside the PF block")
+            }
+            DmaTagOutOfRange { thread, pc, tag } => {
+                write!(f, "thread {thread}: pc {pc}: DMA tag {tag} out of range")
+            }
+            MissingPrefetchBuffer { thread, pc } => write!(
+                f,
+                "thread {thread}: pc {pc}: DMA transfer but prefetch_bytes == 0"
+            ),
+            OverlappingGlobals { a, b } => write!(f, "globals {a:?} and {b:?} overlap"),
+            EntryArgsTooFew { needed, provided } => write!(
+                f,
+                "entry thread reads {needed} input slots but the host provides {provided}"
+            ),
+            BadEntry => write!(f, "entry thread id out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates a single thread against a program context (needed for FALLOC
+/// target checks). `threads` is the full thread table.
+pub fn validate_thread(
+    thread: &ThreadCode,
+    threads: &[ThreadCode],
+    errors: &mut Vec<ValidationError>,
+) {
+    let name = || thread.name.clone();
+    let len = thread.len();
+
+    if thread.is_empty() {
+        errors.push(ValidationError::EmptyThread { thread: name() });
+        return;
+    }
+    if !thread.blocks.is_well_formed(len) {
+        errors.push(ValidationError::MalformedBlockMap { thread: name() });
+    }
+    if !thread.code.iter().any(|i| i.is_terminator()) {
+        errors.push(ValidationError::MissingStop { thread: name() });
+    }
+
+    let mut uses_dma_transfer = None;
+    for (pc, instr) in thread.code.iter().enumerate() {
+        let pc = pc as u32;
+        if let Some(target) = instr.target() {
+            if target >= len {
+                errors.push(ValidationError::BranchOutOfRange {
+                    thread: name(),
+                    pc,
+                    target,
+                });
+            }
+        }
+        match *instr {
+            Instr::Load { slot, .. }
+                if slot >= thread.frame_slots => {
+                    errors.push(ValidationError::LoadSlotOutOfRange {
+                        thread: name(),
+                        pc,
+                        slot,
+                        frame_slots: thread.frame_slots,
+                    });
+                }
+            Instr::Falloc { thread: target, sc, .. } => {
+                match threads.get(target.index()) {
+                    None => errors.push(ValidationError::UnknownFallocTarget {
+                        thread: name(),
+                        pc,
+                        target,
+                    }),
+                    Some(t) => {
+                        if sc < t.frame_slots {
+                            errors.push(ValidationError::InsufficientSyncCount {
+                                thread: name(),
+                                pc,
+                                target,
+                                sc,
+                                needed: t.frame_slots,
+                            });
+                        }
+                    }
+                }
+            }
+            Instr::DmaYield
+                if thread.block_of(pc) != CodeBlock::Pf => {
+                    errors.push(ValidationError::DmaYieldOutsidePf { thread: name(), pc });
+                }
+            Instr::DmaGet { tag, .. }
+            | Instr::DmaGetStrided { tag, .. }
+            | Instr::DmaPut { tag, .. }
+            | Instr::DmaWait { tag } => {
+                if tag >= MAX_DMA_TAGS {
+                    errors.push(ValidationError::DmaTagOutOfRange {
+                        thread: name(),
+                        pc,
+                        tag,
+                    });
+                }
+                if matches!(instr, Instr::DmaGet { .. } | Instr::DmaGetStrided { .. }) {
+                    uses_dma_transfer.get_or_insert(pc);
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(pc) = uses_dma_transfer {
+        if thread.prefetch_bytes == 0 {
+            errors.push(ValidationError::MissingPrefetchBuffer { thread: name(), pc });
+        }
+    }
+}
+
+/// Validates a whole program. Returns all problems found (empty = valid).
+pub fn validate_program(program: &Program) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+
+    for thread in &program.threads {
+        validate_thread(thread, &program.threads, &mut errors);
+    }
+
+    // Globals must not overlap.
+    let mut sorted: Vec<_> = program.globals.iter().collect();
+    sorted.sort_by_key(|g| g.addr);
+    for pair in sorted.windows(2) {
+        if pair[0].byte_range().end > pair[1].addr {
+            errors.push(ValidationError::OverlappingGlobals {
+                a: pair[0].name.clone(),
+                b: pair[1].name.clone(),
+            });
+        }
+    }
+
+    match program.threads.get(program.entry.index()) {
+        None => errors.push(ValidationError::BadEntry),
+        Some(entry) => {
+            if entry.frame_slots > program.entry_args {
+                errors.push(ValidationError::EntryArgsTooFew {
+                    needed: entry.frame_slots,
+                    provided: program.entry_args,
+                });
+            }
+        }
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ProgramBuilder, ThreadBuilder};
+    use crate::program::{BlockMap, GlobalDef};
+    use crate::reg::r;
+
+    fn ok_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare("main");
+        let worker = pb.declare("worker");
+
+        let mut t = ThreadBuilder::new("main");
+        t.begin_ex();
+        t.falloc(r(3), worker, 1);
+        t.li(r(4), 7);
+        t.begin_ps();
+        t.store(r(4), r(3), 0);
+        t.ffree_self();
+        t.stop();
+        pb.define(main, t);
+
+        let mut w = ThreadBuilder::new("worker");
+        w.begin_pl();
+        w.load(r(3), 0);
+        w.begin_ps();
+        w.ffree_self();
+        w.stop();
+        pb.define(worker, w);
+
+        pb.set_entry(main, 0);
+        pb.build()
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        assert!(validate_program(&ok_program()).is_empty());
+    }
+
+    #[test]
+    fn branch_out_of_range_detected() {
+        let mut p = ok_program();
+        p.threads[0].code[1] = Instr::Jmp { target: 999 };
+        let errs = validate_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::BranchOutOfRange { target: 999, .. })));
+    }
+
+    #[test]
+    fn missing_stop_detected() {
+        let mut p = ok_program();
+        for i in p.threads[1].code.iter_mut() {
+            if i.is_terminator() {
+                *i = Instr::Nop;
+            }
+        }
+        let errs = validate_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::MissingStop { .. })));
+    }
+
+    #[test]
+    fn load_slot_out_of_range_detected() {
+        let mut p = ok_program();
+        p.threads[1].frame_slots = 1;
+        p.threads[1].code[0] = Instr::Load { rd: r(3), slot: 4 };
+        let errs = validate_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::LoadSlotOutOfRange { slot: 4, .. })));
+    }
+
+    #[test]
+    fn unknown_falloc_target_detected() {
+        let mut p = ok_program();
+        p.threads[0].code[0] = Instr::Falloc {
+            rd: r(3),
+            thread: crate::ThreadId(42),
+            sc: 1,
+        };
+        let errs = validate_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnknownFallocTarget { .. })));
+    }
+
+    #[test]
+    fn insufficient_sync_count_detected() {
+        let mut p = ok_program();
+        // worker loads slot 0 -> needs sc >= 1, but falloc says 0.
+        p.threads[0].code[0] = Instr::Falloc {
+            rd: r(3),
+            thread: crate::ThreadId(1),
+            sc: 0,
+        };
+        let errs = validate_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::InsufficientSyncCount { sc: 0, needed: 1, .. })));
+    }
+
+    #[test]
+    fn dmayield_outside_pf_detected() {
+        let mut p = ok_program();
+        // main's blocks: everything is EX/PS; put a DMAYIELD in EX.
+        p.threads[0].code[1] = Instr::DmaYield;
+        let errs = validate_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::DmaYieldOutsidePf { .. })));
+    }
+
+    #[test]
+    fn dma_without_prefetch_buffer_detected() {
+        let mut t = ThreadBuilder::new("main");
+        t.dmaget(r(2), 0, r(3), 0, 64, 0);
+        t.dmayield();
+        t.begin_ex();
+        t.stop();
+        let mut pb = ProgramBuilder::new();
+        let id = pb.add_thread(t);
+        pb.set_entry(id, 0);
+        let p = pb.build();
+        let errs = validate_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::MissingPrefetchBuffer { .. })));
+    }
+
+    #[test]
+    fn dma_tag_out_of_range_detected() {
+        let mut t = ThreadBuilder::new("main");
+        t.prefetch_bytes(64);
+        t.dmaget(r(2), 0, r(3), 0, 64, 33);
+        t.dmayield();
+        t.begin_ex();
+        t.stop();
+        let mut pb = ProgramBuilder::new();
+        let id = pb.add_thread(t);
+        pb.set_entry(id, 0);
+        let errs = validate_program(&pb.build());
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::DmaTagOutOfRange { tag: 33, .. })));
+    }
+
+    #[test]
+    fn overlapping_globals_detected() {
+        let mut p = ok_program();
+        p.globals = vec![
+            GlobalDef::zeroed("a", 0x1000, 32),
+            GlobalDef::zeroed("b", 0x1010, 8),
+        ];
+        let errs = validate_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::OverlappingGlobals { .. })));
+    }
+
+    #[test]
+    fn entry_args_too_few_detected() {
+        let mut p = ok_program();
+        p.entry = crate::ThreadId(1); // worker reads 1 slot
+        p.entry_args = 0;
+        let errs = validate_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::EntryArgsTooFew { needed: 1, provided: 0 })));
+    }
+
+    #[test]
+    fn malformed_blockmap_detected() {
+        let mut p = ok_program();
+        p.threads[0].blocks = BlockMap {
+            pf_end: 3,
+            pl_end: 1,
+            ex_end: 2,
+        };
+        let errs = validate_program(&p);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::MalformedBlockMap { .. })));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ValidationError::LoadSlotOutOfRange {
+            thread: "w".into(),
+            pc: 3,
+            slot: 9,
+            frame_slots: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains('w') && s.contains('9') && s.contains('2'));
+    }
+}

@@ -1,0 +1,210 @@
+//! Property tests for the ISA crate: assembler round-trips, serde
+//! round-trips, and structural invariants over arbitrary instructions.
+
+use dta_isa::asm::{assemble, program_to_asm};
+use dta_isa::{AluOp, BlockMap, BrCond, Instr, Program, Reg, Src, ThreadCode, ThreadId, NUM_REGS};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0..NUM_REGS as u8).prop_map(Reg::new)
+}
+
+fn arb_src() -> impl Strategy<Value = Src> {
+    prop_oneof![
+        arb_reg().prop_map(Src::Reg),
+        any::<i32>().prop_map(Src::Imm),
+    ]
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+fn arb_br_cond() -> impl Strategy<Value = BrCond> {
+    prop::sample::select(BrCond::ALL.to_vec())
+}
+
+prop_compose! {
+    fn arb_instr()(
+        choice in 0..17usize,
+        op in arb_alu_op(),
+        cond in arb_br_cond(),
+        rd in arb_reg(),
+        ra in arb_reg(),
+        rs in arb_reg(),
+        rb in arb_src(),
+        imm in any::<i64>(),
+        off in -4096..4096i32,
+        slot in 0..32u16,
+        target in 0..512u32,
+        thread in 0..2u32, // the generated programs have two threads
+        sc in 0..16u16,
+        tag in 0..32u8,
+        bytes in 0..4096i32,
+        count in 1..64i32,
+        stride in prop::sample::select(vec![4i64, 8, 16, 64, 128, 1024]),
+    ) -> Instr {
+        match choice {
+            0 => Instr::Alu { op, rd, ra, rb },
+            1 => Instr::Li { rd, imm },
+            2 => Instr::Mov { rd, ra },
+            3 => Instr::Nop,
+            4 => Instr::Br { cond, ra, rb, target },
+            5 => Instr::Jmp { target },
+            6 => Instr::Load { rd, slot },
+            7 => Instr::Store { rs, rframe: ra, slot },
+            8 => Instr::Falloc { rd, thread: ThreadId(thread), sc },
+            9 => Instr::Ffree { rframe: ra },
+            10 => Instr::Read { rd, ra, off },
+            11 => Instr::Write { rs, ra, off },
+            12 => Instr::LsLoad { rd, ra, off },
+            13 => Instr::LsStore { rs, ra, off },
+            14 => Instr::DmaGet { rls: ra, ls_off: off, rmem: rs, mem_off: off, bytes: Src::Imm(bytes), tag },
+            15 => Instr::DmaGetStrided {
+                rls: ra, ls_off: off, rmem: rs, mem_off: off,
+                elem_bytes: 4, count: Src::Imm(count), stride: Src::Imm(stride as i32), tag,
+            },
+            _ => Instr::DmaPut { rls: ra, ls_off: off, rmem: rs, mem_off: off, bytes: Src::Imm(bytes), tag },
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_thread(name: &'static str)(
+        mut code in prop::collection::vec(arb_instr(), 1..40),
+        cuts in prop::collection::vec(0..40u32, 3),
+        frame_slots in 0..32u16,
+        prefetch in prop::sample::select(vec![0u32, 16, 256, 4096]),
+    ) -> ThreadCode {
+        code.push(Instr::Stop);
+        let len = code.len() as u32;
+        let mut cuts: Vec<u32> = cuts.into_iter().map(|c| c.min(len)).collect();
+        cuts.sort_unstable();
+        ThreadCode {
+            name: name.to_string(),
+            code,
+            blocks: BlockMap { pf_end: cuts[0], pl_end: cuts[1], ex_end: cuts[2] },
+            frame_slots,
+            prefetch_bytes: prefetch,
+        }
+    }
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (arb_thread("alpha"), arb_thread("beta"), 0..4u16).prop_map(|(a, b, entry_args)| Program {
+        threads: vec![a, b],
+        entry: ThreadId(0),
+        entry_args,
+        globals: vec![
+            dta_isa::GlobalDef::from_words("tbl", 0x10_0000, &[1, 2, 3, 4]),
+            dta_isa::GlobalDef::zeroed("buf", 0x10_0020, 32),
+        ],
+    })
+}
+
+proptest! {
+    /// Disassembling then re-assembling reproduces the program exactly
+    /// (instructions, block maps, frame sizes, globals, entry).
+    #[test]
+    fn asm_round_trip(program in arb_program()) {
+        let text = program_to_asm(&program);
+        let back = assemble(&text)
+            .unwrap_or_else(|e| panic!("re-assembly failed: {e}\n{text}"));
+        prop_assert_eq!(&back.threads, &program.threads);
+        prop_assert_eq!(back.entry, program.entry);
+        prop_assert_eq!(back.entry_args, program.entry_args);
+        prop_assert_eq!(&back.globals, &program.globals);
+    }
+
+    /// Programs survive a serde JSON round trip.
+    #[test]
+    fn serde_round_trip(program in arb_program()) {
+        let json = serde_json::to_string(&program).unwrap();
+        let back: Program = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, program);
+    }
+
+    /// `defs`/`uses` always return in-range registers, and `defs` has at
+    /// most one element (single-output ISA).
+    #[test]
+    fn defs_uses_invariants(instr in arb_instr()) {
+        let defs = instr.defs();
+        prop_assert!(defs.len() <= 1);
+        for r in &defs {
+            prop_assert!(r.index() < NUM_REGS);
+        }
+        for r in &instr.uses() {
+            prop_assert!(r.index() < NUM_REGS);
+        }
+        // Display never panics and never emits newlines (one instruction
+        // per line in listings).
+        let s = instr.to_string();
+        prop_assert!(!s.contains('\n'));
+        prop_assert!(!s.is_empty());
+    }
+
+    /// `block_of` is consistent with `range`: every pc belongs to exactly
+    /// the block whose range contains it.
+    #[test]
+    fn blockmap_partition(
+        len in 1..200u32,
+        cuts in prop::collection::vec(0..200u32, 3),
+    ) {
+        let mut cuts: Vec<u32> = cuts.into_iter().map(|c| c.min(len)).collect();
+        cuts.sort_unstable();
+        let map = BlockMap { pf_end: cuts[0], pl_end: cuts[1], ex_end: cuts[2] };
+        prop_assert!(map.is_well_formed(len));
+        for pc in 0..len {
+            let b = map.block_of(pc);
+            let r = map.range(b, len);
+            prop_assert!(r.contains(&pc), "pc {} not in {:?} range {:?}", pc, b, r);
+            // ...and in no other block's range.
+            for other in dta_isa::CodeBlock::ALL {
+                if other != b {
+                    prop_assert!(!map.range(other, len).contains(&pc));
+                }
+            }
+        }
+    }
+
+    /// ALU evaluation matches the obvious i64 reference for the
+    /// non-trapping operations.
+    #[test]
+    fn alu_eval_reference(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(AluOp::Add.eval(a, b), a.wrapping_add(b));
+        prop_assert_eq!(AluOp::Sub.eval(a, b), a.wrapping_sub(b));
+        prop_assert_eq!(AluOp::Mul.eval(a, b), a.wrapping_mul(b));
+        prop_assert_eq!(AluOp::And.eval(a, b), a & b);
+        prop_assert_eq!(AluOp::Or.eval(a, b), a | b);
+        prop_assert_eq!(AluOp::Xor.eval(a, b), a ^ b);
+        prop_assert_eq!(AluOp::Min.eval(a, b), a.min(b));
+        prop_assert_eq!(AluOp::Max.eval(a, b), a.max(b));
+        prop_assert_eq!(AluOp::Slt.eval(a, b), (a < b) as i64);
+        prop_assert_eq!(AluOp::Sltu.eval(a, b), ((a as u64) < (b as u64)) as i64);
+        if b != 0 {
+            prop_assert_eq!(AluOp::Div.eval(a, b), a.wrapping_div(b));
+            prop_assert_eq!(AluOp::Rem.eval(a, b), a.wrapping_rem(b));
+        }
+        let sh = (b & 63) as u32;
+        prop_assert_eq!(AluOp::Shl.eval(a, b), ((a as u64) << sh) as i64);
+        prop_assert_eq!(AluOp::Shr.eval(a, b), ((a as u64) >> sh) as i64);
+        prop_assert_eq!(AluOp::Sra.eval(a, b), a >> sh);
+    }
+
+    /// Binary program images round-trip exactly.
+    #[test]
+    fn binary_encode_round_trip(program in arb_program()) {
+        let img = dta_isa::encode_program(&program);
+        let back = dta_isa::decode_program(&img).unwrap();
+        prop_assert_eq!(back, program);
+    }
+
+    /// Frame pointers round-trip through their register encoding, and no
+    /// small integer ever decodes as one.
+    #[test]
+    fn frame_ptr_encoding(pe in any::<u16>(), index in any::<u32>(), junk in 0..0x1_0000_0000u64) {
+        let fp = dta_isa::FramePtr::new(pe, index);
+        prop_assert_eq!(dta_isa::FramePtr::decode(fp.encode()), Some(fp));
+        prop_assert_eq!(dta_isa::FramePtr::decode(junk), None);
+    }
+}

@@ -1,0 +1,492 @@
+//! Interconnect and main-memory controller timing.
+//!
+//! Parameters follow the paper's Table 4 (bus) and Table 2 (memory):
+//! 4 buses of 8 bytes/cycle each — so the network moves up to 32 bytes per
+//! cycle, the figure the paper quotes when noting that scalar READs (4
+//! bytes each) leave bandwidth idle while DMA can saturate it — and a
+//! single-ported main memory with 150-cycle latency.
+
+use crate::resource::{ResourcePool, Reservation};
+use serde::{Deserialize, Serialize};
+
+/// Default number of buses (Table 4).
+pub const DEFAULT_BUSES: usize = 4;
+/// Default per-bus bandwidth in bytes/cycle (Table 4).
+pub const DEFAULT_BUS_BYTES_PER_CYCLE: u64 = 8;
+/// Default one-way wire/propagation latency of the interconnect, cycles.
+/// (Not separately specified by the paper; folded into its 150-cycle
+/// "latency to access memory" — we keep it small and explicit.)
+pub const DEFAULT_WIRE_LATENCY: u64 = 5;
+/// Default main-memory access latency in cycles (Table 2).
+pub const DEFAULT_MEM_LATENCY: u64 = 150;
+/// Default number of memory ports (Table 2).
+pub const DEFAULT_MEM_PORTS: usize = 1;
+/// Default internal array streaming bandwidth, bytes/cycle (matches the
+/// aggregate bus bandwidth so neither side artificially bottlenecks block
+/// transfers).
+pub const DEFAULT_MEM_ARRAY_BYTES_PER_CYCLE: u64 = 32;
+/// Size of a command/request packet on the bus, bytes.
+pub const REQUEST_PACKET_BYTES: u64 = 8;
+
+/// The kinds of main-memory transactions the system performs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TransferKind {
+    /// A blocking 4-byte `READ` issued by a pipeline.
+    ScalarRead,
+    /// A posted 4-byte `WRITE` issued by a pipeline.
+    ScalarWrite,
+    /// A DMA block fetch of `bytes` bytes (main memory → local store).
+    BlockGet { bytes: u64 },
+    /// A DMA block store of `bytes` bytes (local store → main memory).
+    BlockPut { bytes: u64 },
+    /// A DMA strided gather: `count` elements of `elem_bytes` bytes.
+    StridedGet { count: u64, elem_bytes: u64 },
+}
+
+impl TransferKind {
+    /// Payload bytes moved by this transaction.
+    pub fn payload_bytes(self) -> u64 {
+        match self {
+            TransferKind::ScalarRead | TransferKind::ScalarWrite => 4,
+            TransferKind::BlockGet { bytes } | TransferKind::BlockPut { bytes } => bytes,
+            TransferKind::StridedGet { count, elem_bytes } => count * elem_bytes,
+        }
+    }
+}
+
+/// The interconnect: a bank of data buses with per-bus bandwidth and a
+/// one-way propagation latency, plus a lightly-loaded command network for
+/// request packets (the Cell EIB likewise separates its address/command
+/// network from the four data rings).
+///
+/// Commands do not reserve data-bus lanes: lane occupancy is tracked as a
+/// per-lane watermark, so mixing present-time command packets with
+/// future-time data reservations (a read response is reserved ~latency
+/// cycles ahead) would otherwise let one response block a whole round of
+/// later requests.
+#[derive(Clone, Debug)]
+pub struct BusModel {
+    lanes: ResourcePool,
+    bytes_per_cycle: u64,
+    wire_latency: u64,
+    bytes_moved: u64,
+    commands_sent: u64,
+}
+
+impl BusModel {
+    /// Creates a bus bank.
+    pub fn new(buses: usize, bytes_per_cycle: u64, wire_latency: u64) -> Self {
+        assert!(bytes_per_cycle > 0, "bus bandwidth must be positive");
+        BusModel {
+            lanes: ResourcePool::new(buses),
+            bytes_per_cycle,
+            wire_latency,
+            bytes_moved: 0,
+            commands_sent: 0,
+        }
+    }
+
+    /// Paper-default bus bank.
+    pub fn paper_default() -> Self {
+        Self::new(DEFAULT_BUSES, DEFAULT_BUS_BYTES_PER_CYCLE, DEFAULT_WIRE_LATENCY)
+    }
+
+    /// Sends `bytes` of *data* over the earliest-free bus starting at
+    /// `now`; returns the cycle at which the last byte arrives.
+    pub fn send(&mut self, now: u64, bytes: u64) -> u64 {
+        let occupancy = bytes.div_ceil(self.bytes_per_cycle);
+        let res: Reservation = self.lanes.reserve(now, occupancy);
+        self.bytes_moved += bytes;
+        res.end + self.wire_latency
+    }
+
+    /// Sends a small command/request packet (optionally with a scalar
+    /// payload piggybacked) over the command network; returns its arrival
+    /// cycle. The command network is provisioned for one packet per cycle
+    /// per requester, so only the propagation latency is charged.
+    pub fn command(&mut self, now: u64) -> u64 {
+        self.commands_sent += 1;
+        now + 1 + self.wire_latency
+    }
+
+    /// Command packets sent so far.
+    #[inline]
+    pub fn commands_sent(&self) -> u64 {
+        self.commands_sent
+    }
+
+    /// Total bytes moved so far.
+    #[inline]
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Bus utilisation over `elapsed` cycles.
+    pub fn utilisation(&self, elapsed: u64) -> f64 {
+        self.lanes.utilisation(elapsed)
+    }
+
+    /// One-way wire latency.
+    #[inline]
+    pub fn wire_latency(&self) -> u64 {
+        self.wire_latency
+    }
+}
+
+/// The main-memory controller: `ports` ports, `latency` cycles from port
+/// grant to data, and an internal streaming bandwidth for block accesses.
+#[derive(Clone, Debug)]
+pub struct MemoryModel {
+    ports: ResourcePool,
+    latency: u64,
+    array_bytes_per_cycle: u64,
+    accesses: u64,
+}
+
+impl MemoryModel {
+    /// Creates a memory controller.
+    pub fn new(ports: usize, latency: u64, array_bytes_per_cycle: u64) -> Self {
+        assert!(array_bytes_per_cycle > 0, "array bandwidth must be positive");
+        MemoryModel {
+            ports: ResourcePool::new(ports),
+            latency,
+            array_bytes_per_cycle,
+            accesses: 0,
+        }
+    }
+
+    /// Paper-default memory controller.
+    pub fn paper_default() -> Self {
+        Self::new(
+            DEFAULT_MEM_PORTS,
+            DEFAULT_MEM_LATENCY,
+            DEFAULT_MEM_ARRAY_BYTES_PER_CYCLE,
+        )
+    }
+
+    /// Performs an access of `bytes` bytes whose request arrives at `now`,
+    /// with `extra_port_cycles` of additional port occupancy (strided
+    /// gather overhead); returns the cycle at which the data is available
+    /// at the memory-side bus interface.
+    pub fn access(&mut self, now: u64, bytes: u64, extra_port_cycles: u64) -> u64 {
+        let occupancy = bytes.div_ceil(self.array_bytes_per_cycle).max(1) + extra_port_cycles;
+        let res = self.ports.reserve(now, occupancy);
+        self.accesses += 1;
+        res.end + self.latency
+    }
+
+    /// Number of accesses served.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Access latency (cycles).
+    #[inline]
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Port utilisation over `elapsed` cycles.
+    pub fn utilisation(&self, elapsed: u64) -> f64 {
+        self.ports.utilisation(elapsed)
+    }
+}
+
+/// Per-kind transaction counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemTrafficStats {
+    /// Scalar READ transactions.
+    pub scalar_reads: u64,
+    /// Scalar WRITE transactions.
+    pub scalar_writes: u64,
+    /// DMA get transactions (block + strided).
+    pub dma_gets: u64,
+    /// DMA put transactions.
+    pub dma_puts: u64,
+    /// Total payload bytes moved.
+    pub payload_bytes: u64,
+}
+
+/// The complete shared memory system: interconnect + controller.
+///
+/// All PEs (and their MFCs) funnel their main-memory traffic through one
+/// `MemorySystem`; contention between them is captured by the underlying
+/// resource pools.
+#[derive(Clone, Debug)]
+pub struct MemorySystem {
+    /// The interconnect.
+    pub bus: BusModel,
+    /// The memory controller.
+    pub mem: MemoryModel,
+    /// Extra memory-port cycles charged per strided-gather element
+    /// (row-activation style overhead).
+    pub stride_penalty_per_elem: u64,
+    /// Ablation of the paper's §3 argument: when `true`, a strided gather
+    /// is not one DMA transaction but one split transaction per element
+    /// ("it could generate too many transactions").
+    pub split_transactions: bool,
+    stats: MemTrafficStats,
+}
+
+impl MemorySystem {
+    /// Builds a memory system from its parts.
+    pub fn new(bus: BusModel, mem: MemoryModel, stride_penalty_per_elem: u64) -> Self {
+        MemorySystem {
+            bus,
+            mem,
+            stride_penalty_per_elem,
+            split_transactions: false,
+            stats: MemTrafficStats::default(),
+        }
+    }
+
+    /// Paper-default memory system.
+    pub fn paper_default() -> Self {
+        Self::new(BusModel::paper_default(), MemoryModel::paper_default(), 1)
+    }
+
+    /// Issues a transaction at `now`; returns the cycle at which it
+    /// completes from the requester's point of view:
+    ///
+    /// * reads / gets: data has arrived at the requester;
+    /// * writes / puts: the memory has accepted the data (used for
+    ///   draining; the pipeline does not wait on posted writes).
+    pub fn request(&mut self, now: u64, kind: TransferKind) -> u64 {
+        self.stats.payload_bytes += kind.payload_bytes();
+        match kind {
+            TransferKind::ScalarRead => {
+                self.stats.scalar_reads += 1;
+                let req = self.bus.command(now);
+                let data = self.mem.access(req, 4, 0);
+                self.bus.send(data, 4)
+            }
+            TransferKind::ScalarWrite => {
+                self.stats.scalar_writes += 1;
+                // The 4-byte datum rides in the command packet.
+                let req = self.bus.command(now);
+                self.mem.access(req, 4, 0)
+            }
+            TransferKind::BlockGet { bytes } => {
+                self.stats.dma_gets += 1;
+                let req = self.bus.command(now);
+                let data = self.mem.access(req, bytes, 0);
+                self.bus.send(data, bytes)
+            }
+            TransferKind::BlockPut { bytes } => {
+                self.stats.dma_puts += 1;
+                // The payload streams from the local store over a data bus.
+                let req = self.bus.send(now, bytes);
+                self.mem.access(req, bytes, 0)
+            }
+            TransferKind::StridedGet { count, elem_bytes } => {
+                self.stats.dma_gets += 1;
+                if self.split_transactions {
+                    // One network transaction per element.
+                    let mut done = now;
+                    for _ in 0..count {
+                        let req = self.bus.command(now);
+                        let data = self.mem.access(req, elem_bytes, self.stride_penalty_per_elem);
+                        done = done.max(self.bus.send(data, elem_bytes));
+                    }
+                    return done;
+                }
+                let total = count * elem_bytes;
+                let req = self.bus.command(now);
+                let data = self
+                    .mem
+                    .access(req, total, count * self.stride_penalty_per_elem);
+                self.bus.send(data, total)
+            }
+        }
+    }
+
+    /// Traffic counters.
+    #[inline]
+    pub fn stats(&self) -> MemTrafficStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_read_latency_shape() {
+        let mut sys = MemorySystem::paper_default();
+        let done = sys.request(0, TransferKind::ScalarRead);
+        // command: 1 cycle + 5 wire; port 1 cycle; 150 latency;
+        // response: 1 cycle bus + 5 wire.
+        assert_eq!(done, 1 + 5 + 1 + 150 + 1 + 5);
+    }
+
+    #[test]
+    fn concurrent_readers_pipeline_instead_of_serialising() {
+        // Regression test: response-lane reservations live ~latency cycles
+        // in the future; they must not block the *requests* of other PEs
+        // (this is why commands ride a separate network).
+        let mut sys = MemorySystem::paper_default();
+        let mut t = [0u64; 8];
+        for _ in 0..50 {
+            for slot in t.iter_mut() {
+                *slot = sys.request(*slot, TransferKind::ScalarRead);
+            }
+        }
+        let avg = t[7] / 50;
+        assert!(
+            avg < 200,
+            "8 blocking readers should sustain ~latency round trips, got {avg}"
+        );
+    }
+
+    #[test]
+    fn scalar_write_is_cheaper_than_read() {
+        let mut sys = MemorySystem::paper_default();
+        let w = sys.request(0, TransferKind::ScalarWrite);
+        let mut sys2 = MemorySystem::paper_default();
+        let r = sys2.request(0, TransferKind::ScalarRead);
+        assert!(w > 0);
+        assert!(w <= r);
+    }
+
+    #[test]
+    fn block_get_amortises_latency() {
+        // 4 KiB via one DMA vs 1024 scalar reads issued back-to-back by one
+        // requester: DMA must be far faster.
+        let mut dma = MemorySystem::paper_default();
+        let dma_done = dma.request(0, TransferKind::BlockGet { bytes: 4096 });
+
+        let mut scalar = MemorySystem::paper_default();
+        let mut t = 0;
+        for _ in 0..1024 {
+            t = scalar.request(t, TransferKind::ScalarRead); // blocking chain
+        }
+        assert!(
+            dma_done * 10 < t,
+            "DMA ({dma_done}) should be >=10x faster than scalar chain ({t})"
+        );
+    }
+
+    #[test]
+    fn four_buses_give_parallel_transfers() {
+        let mut bus = BusModel::paper_default();
+        // Four 64-byte sends at cycle 0 all start immediately...
+        let ends: Vec<u64> = (0..4).map(|_| bus.send(0, 64)).collect();
+        assert!(ends.iter().all(|&e| e == ends[0]));
+        // ...the fifth queues.
+        let fifth = bus.send(0, 64);
+        assert!(fifth > ends[0]);
+    }
+
+    #[test]
+    fn single_port_serialises_concurrent_block_gets() {
+        let mut sys = MemorySystem::paper_default();
+        let a = sys.request(0, TransferKind::BlockGet { bytes: 4096 });
+        let b = sys.request(0, TransferKind::BlockGet { bytes: 4096 });
+        // 4096/32 = 128 port cycles each; the second waits for the first's
+        // port occupancy.
+        assert!(b >= a + 100);
+    }
+
+    #[test]
+    fn strided_get_costs_more_than_contiguous() {
+        let mut sys = MemorySystem::paper_default();
+        let strided = sys.request(
+            0,
+            TransferKind::StridedGet {
+                count: 32,
+                elem_bytes: 4,
+            },
+        );
+        let mut sys2 = MemorySystem::paper_default();
+        let contiguous = sys2.request(0, TransferKind::BlockGet { bytes: 128 });
+        assert!(strided > contiguous);
+        // ...but still one transaction: far cheaper than 32 scalar reads.
+        let mut sys3 = MemorySystem::paper_default();
+        let mut t = 0;
+        for _ in 0..32 {
+            t = sys3.request(t, TransferKind::ScalarRead);
+        }
+        assert!(strided * 5 < t);
+    }
+
+    #[test]
+    fn traffic_stats_accumulate() {
+        let mut sys = MemorySystem::paper_default();
+        sys.request(0, TransferKind::ScalarRead);
+        sys.request(0, TransferKind::ScalarWrite);
+        sys.request(0, TransferKind::BlockGet { bytes: 256 });
+        sys.request(
+            0,
+            TransferKind::StridedGet {
+                count: 8,
+                elem_bytes: 4,
+            },
+        );
+        sys.request(0, TransferKind::BlockPut { bytes: 64 });
+        let s = sys.stats();
+        assert_eq!(s.scalar_reads, 1);
+        assert_eq!(s.scalar_writes, 1);
+        assert_eq!(s.dma_gets, 2);
+        assert_eq!(s.dma_puts, 1);
+        assert_eq!(s.payload_bytes, 4 + 4 + 256 + 32 + 64);
+    }
+
+    #[test]
+    fn payload_bytes_per_kind() {
+        assert_eq!(TransferKind::ScalarRead.payload_bytes(), 4);
+        assert_eq!(TransferKind::BlockGet { bytes: 100 }.payload_bytes(), 100);
+        assert_eq!(
+            TransferKind::StridedGet {
+                count: 5,
+                elem_bytes: 8
+            }
+            .payload_bytes(),
+            40
+        );
+    }
+
+    #[test]
+    fn memory_latency_one_is_fast() {
+        // The paper's §4.3 all-latency-1 experiment: the fabric should then
+        // be dominated by wire/bus time only.
+        let mut sys = MemorySystem::new(
+            BusModel::new(4, 8, 1),
+            MemoryModel::new(1, 1, 32),
+            1,
+        );
+        let done = sys.request(0, TransferKind::ScalarRead);
+        assert!(done < 10, "latency-1 scalar read took {done}");
+    }
+
+    #[test]
+    fn split_transactions_cost_far_more() {
+        let mut one = MemorySystem::paper_default();
+        let a = one.request(
+            0,
+            TransferKind::StridedGet {
+                count: 64,
+                elem_bytes: 4,
+            },
+        );
+        let mut split = MemorySystem::paper_default();
+        split.split_transactions = true;
+        let b = split.request(
+            0,
+            TransferKind::StridedGet {
+                count: 64,
+                elem_bytes: 4,
+            },
+        );
+        assert!(b > a, "split {b} should exceed single-transaction {a}");
+    }
+
+    #[test]
+    fn bus_utilisation_tracks_traffic() {
+        let mut bus = BusModel::new(1, 8, 0);
+        bus.send(0, 80); // 10 cycles busy
+        assert!((bus.utilisation(10) - 1.0).abs() < 1e-9);
+        assert_eq!(bus.bytes_moved(), 80);
+    }
+}

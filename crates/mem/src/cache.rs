@@ -1,0 +1,223 @@
+//! An optional per-PE data cache for scalar main-memory accesses.
+//!
+//! The paper's simulator "does not yet include the cache module (still
+//! under development)"; the authors bracket cache behaviour with a
+//! latency-1 sweep and conclude that "this prefetching scheme can almost
+//! eliminate the need for caches" (§4.3). This module implements the
+//! missing piece so the claim can actually be tested: a direct-mapped,
+//! write-through, no-write-allocate cache in front of the shared memory
+//! system, used by scalar `READ`/`WRITE` only — DMA transfers bypass it,
+//! exactly as Cell's MFC bypasses the PPE cache hierarchy.
+//!
+//! The cache is a *timing* model: data is already moved functionally by
+//! the stores, so only hit/miss latency and line-fill traffic matter.
+//! It is intentionally not coherent with DMA writes (neither was Cell).
+
+use crate::bus::{MemorySystem, TransferKind};
+use serde::{Deserialize, Serialize};
+
+/// Cache configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheParams {
+    /// Total capacity in bytes (0 disables the cache).
+    pub size_bytes: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl Default for CacheParams {
+    fn default() -> Self {
+        CacheParams {
+            size_bytes: 16 * 1024,
+            line_bytes: 128,
+            hit_latency: 6,
+        }
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Read hits.
+    pub hits: u64,
+    /// Read misses (each triggers a line fill).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A direct-mapped, write-through, no-write-allocate data cache.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    params: CacheParams,
+    /// Tag per line (`None` = invalid). Tag = address >> (index+offset bits).
+    tags: Vec<Option<u64>>,
+    /// Cycle at which each line's fill completes (a hit on an in-flight
+    /// line waits for the fill).
+    fill_done: Vec<u64>,
+    line_shift: u32,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache.
+    ///
+    /// # Panics
+    ///
+    /// If the line size is not a power of two or exceeds the capacity.
+    pub fn new(params: CacheParams) -> Self {
+        assert!(
+            params.line_bytes.is_power_of_two() && params.line_bytes >= 4,
+            "cache line must be a power of two >= 4"
+        );
+        assert!(
+            params.size_bytes >= params.line_bytes,
+            "cache smaller than one line"
+        );
+        let lines = (params.size_bytes / params.line_bytes) as usize;
+        Cache {
+            params,
+            tags: vec![None; lines],
+            fill_done: vec![0; lines],
+            line_shift: params.line_bytes.trailing_zeros(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Configuration.
+    #[inline]
+    pub fn params(&self) -> CacheParams {
+        self.params
+    }
+
+    /// Counters.
+    #[inline]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn index_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        ((line as usize) % self.tags.len(), line)
+    }
+
+    /// A scalar read at `addr` issued at `now`: returns the completion
+    /// cycle, filling the line through `sys` on a miss.
+    pub fn read(&mut self, now: u64, addr: u64, sys: &mut MemorySystem) -> u64 {
+        let (idx, tag) = self.index_and_tag(addr);
+        if self.tags[idx] == Some(tag) {
+            self.stats.hits += 1;
+            // A hit on a line still being filled waits for the fill.
+            now.max(self.fill_done[idx]) + self.params.hit_latency
+        } else {
+            self.stats.misses += 1;
+            let fill = sys.request(
+                now,
+                TransferKind::BlockGet {
+                    bytes: self.params.line_bytes as u64,
+                },
+            );
+            self.tags[idx] = Some(tag);
+            self.fill_done[idx] = fill;
+            fill + self.params.hit_latency
+        }
+    }
+
+    /// A scalar write at `addr` issued at `now`: write-through (memory
+    /// traffic unchanged), no allocation; an existing copy stays valid
+    /// because the datum itself goes to memory functionally.
+    pub fn write(&mut self, _now: u64, _addr: u64) {
+        // No-allocate, write-through: nothing to do in the timing model —
+        // the caller still posts the memory write.
+    }
+
+    /// Invalidates everything (e.g. around DMA regions in tests).
+    pub fn invalidate_all(&mut self) {
+        self.tags.fill(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rig() -> (Cache, MemorySystem) {
+        (Cache::new(CacheParams::default()), MemorySystem::paper_default())
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let (mut c, mut sys) = rig();
+        let t1 = c.read(0, 0x1000, &mut sys);
+        assert!(t1 > 100, "miss should pay memory latency, got {t1}");
+        let t2 = c.read(t1, 0x1004, &mut sys); // same 128B line
+        assert_eq!(t2, t1 + 6, "hit pays hit latency only");
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        let (mut c, mut sys) = rig();
+        let sets = (16 * 1024 / 128) as u64;
+        let a = 0x0u64;
+        let b = a + sets * 128; // same index, different tag
+        c.read(0, a, &mut sys);
+        c.read(1000, b, &mut sys); // evicts a
+        let t = c.read(2000, a, &mut sys);
+        assert!(t > 2100, "re-read of evicted line must miss");
+        assert_eq!(c.stats().misses, 3);
+    }
+
+    #[test]
+    fn hit_on_in_flight_line_waits_for_fill() {
+        let (mut c, mut sys) = rig();
+        let fill_done = c.read(0, 0x2000, &mut sys) - 6;
+        let t = c.read(1, 0x2004, &mut sys);
+        assert_eq!(t, fill_done + 6);
+    }
+
+    #[test]
+    fn streaming_reads_hit_within_lines() {
+        // 128 sequential word reads = 4 line fills + 124 hits.
+        let (mut c, mut sys) = rig();
+        let mut now = 0;
+        for i in 0..128u64 {
+            now = c.read(now, i * 4, &mut sys);
+        }
+        assert_eq!(c.stats().misses, 4);
+        assert_eq!(c.stats().hits, 124);
+        assert!((c.stats().hit_rate() - 124.0 / 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalidate_forces_refetch() {
+        let (mut c, mut sys) = rig();
+        c.read(0, 0, &mut sys);
+        c.invalidate_all();
+        c.read(1000, 0, &mut sys);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_rejected() {
+        Cache::new(CacheParams {
+            size_bytes: 1024,
+            line_bytes: 100,
+            hit_latency: 1,
+        });
+    }
+}

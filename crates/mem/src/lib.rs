@@ -1,0 +1,38 @@
+//! # dta-mem — the memory subsystem of the DTA simulator
+//!
+//! Implements the platform of the paper's Tables 2 and 4:
+//!
+//! * [`MainMemory`] — 512 MB, paged sparse backing store;
+//! * [`LocalStore`] — the per-PE software-managed memory (156 kB usable,
+//!   6-cycle latency, 3 ports) holding thread code metadata, frames and
+//!   prefetch buffers;
+//! * [`BusModel`] / [`MemoryModel`] / [`MemorySystem`] — the interconnect
+//!   (4 buses × 8 bytes/cycle) and the single-ported, 150-cycle-latency
+//!   main memory controller;
+//! * [`Mfc`] — the per-PE Memory Flow Controller (DMA engine): a 16-entry
+//!   command queue with a 30-cycle command latency, driving block and
+//!   strided transfers between main memory and a local store.
+//!
+//! ## Timing model
+//!
+//! Data moves *functionally* at request time while *timing* is computed by
+//! reserving slots on contended resources ([`ResourcePool`]): each request
+//! deterministically claims the earliest-available bus channel / memory
+//! port, and its completion cycle is returned to the caller, which delivers
+//! the architectural effect (register ready, DMA tag complete) at that
+//! cycle. This is the standard "functional data, timed completion" split of
+//! trace-driven simulators: it is exact for programs that synchronise
+//! through the DTA mechanisms (frames, SC, DMA tags), which is the
+//! execution model DTA enforces.
+
+pub mod bus;
+pub mod cache;
+pub mod mfc;
+pub mod resource;
+pub mod store;
+
+pub use bus::{BusModel, MemoryModel, MemorySystem, TransferKind};
+pub use cache::{Cache, CacheParams, CacheStats};
+pub use mfc::{DmaCommand, DmaCompletion, DmaKind, Mfc, MfcParams};
+pub use resource::{Reservation, ResourcePool};
+pub use store::{LocalStore, MainMemory};

@@ -1,0 +1,326 @@
+//! Backing stores: main memory and local store.
+//!
+//! Both stores are purely *functional* — access timing is modelled by
+//! [`crate::bus`] and the local-store port model in the core simulator.
+//! Accesses are little-endian; the machine's scalar access width is 32
+//! bits (the paper: "each READ instruction fetches only 4 bytes").
+
+use dta_isa::GlobalDef;
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse, paged main memory (Table 2: 512 MB by default).
+///
+/// Pages are allocated on first touch so simulating a 512 MB address space
+/// costs only what programs actually use. Out-of-range accesses panic —
+/// the validator plus the DTA execution model make them program bugs worth
+/// failing loudly on.
+#[derive(Clone, Debug, Default)]
+pub struct MainMemory {
+    size: u64,
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl MainMemory {
+    /// Creates a memory of `size` bytes.
+    pub fn new(size: u64) -> Self {
+        MainMemory {
+            size,
+            pages: HashMap::new(),
+        }
+    }
+
+    /// Memory size in bytes.
+    #[inline]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Number of pages touched so far (useful for footprint assertions).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    #[inline]
+    #[track_caller]
+    fn check(&self, addr: u64, len: usize) {
+        assert!(
+            addr.checked_add(len as u64).is_some_and(|end| end <= self.size),
+            "main-memory access [{addr:#x}, +{len}) out of range (size {:#x})",
+            self.size
+        );
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.check(addr, 1);
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.check(addr, 1);
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr` (page-chunked: one
+    /// table lookup per touched page, which keeps multi-KiB DMA copies
+    /// off the per-byte path).
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        self.check(addr, buf.len());
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = addr + done as u64;
+            let in_page = (cur as usize) & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - in_page).min(buf.len() - done);
+            match self.pages.get(&(cur >> PAGE_SHIFT)) {
+                Some(p) => buf[done..done + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
+        }
+    }
+
+    /// Writes `data` starting at `addr` (page-chunked).
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        self.check(addr, data.len());
+        let mut done = 0usize;
+        while done < data.len() {
+            let cur = addr + done as u64;
+            let in_page = (cur as usize) & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - in_page).min(data.len() - done);
+            let page = self
+                .pages
+                .entry(cur >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
+            done += n;
+        }
+    }
+
+    /// Reads a 32-bit little-endian value.
+    #[inline]
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a 32-bit little-endian value.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a 32-bit value sign-extended to `i64` (the semantics of the
+    /// `READ` instruction).
+    #[inline]
+    pub fn read_i32_sext(&self, addr: u64) -> i64 {
+        self.read_u32(addr) as i32 as i64
+    }
+
+    /// Loads a program's global data segment.
+    pub fn load_globals(&mut self, globals: &[GlobalDef]) {
+        for g in globals {
+            self.write_bytes(g.addr, &g.data);
+        }
+    }
+}
+
+/// A per-PE local store (Table 2: 156 kB usable, by default).
+///
+/// Dense storage: local stores are small and fully touched.
+#[derive(Clone, Debug)]
+pub struct LocalStore {
+    data: Vec<u8>,
+}
+
+impl LocalStore {
+    /// Creates a local store of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        LocalStore {
+            data: vec![0; size],
+        }
+    }
+
+    /// Size in bytes.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    #[track_caller]
+    fn check(&self, addr: u32, len: usize) {
+        assert!(
+            (addr as usize).checked_add(len).is_some_and(|end| end <= self.data.len()),
+            "local-store access [{addr:#x}, +{len}) out of range (size {:#x})",
+            self.data.len()
+        );
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        self.check(addr, 1);
+        self.data[addr as usize]
+    }
+
+    /// Reads bytes into `buf`.
+    pub fn read_bytes(&self, addr: u32, buf: &mut [u8]) {
+        self.check(addr, buf.len());
+        buf.copy_from_slice(&self.data[addr as usize..addr as usize + buf.len()]);
+    }
+
+    /// Writes bytes.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) {
+        self.check(addr, data.len());
+        self.data[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads a 32-bit little-endian value.
+    #[inline]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        self.check(addr, 4);
+        let a = addr as usize;
+        u32::from_le_bytes([self.data[a], self.data[a + 1], self.data[a + 2], self.data[a + 3]])
+    }
+
+    /// Writes a 32-bit little-endian value.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a 32-bit value sign-extended to `i64` (`LSLOAD` semantics).
+    #[inline]
+    pub fn read_i32_sext(&self, addr: u32) -> i64 {
+        self.read_u32(addr) as i32 as i64
+    }
+
+    /// Reads a 64-bit little-endian value (frame slots are 64-bit).
+    #[inline]
+    pub fn read_u64(&self, addr: u32) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a 64-bit little-endian value.
+    #[inline]
+    pub fn write_u64(&mut self, addr: u32, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_memory_starts_zeroed_and_sparse() {
+        let m = MainMemory::new(512 << 20);
+        assert_eq!(m.read_u32(0), 0);
+        assert_eq!(m.read_u32(511 << 20), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn main_memory_rw_roundtrip() {
+        let mut m = MainMemory::new(1 << 20);
+        m.write_u32(0x1000, 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(0x1000), 0xDEAD_BEEF);
+        assert_eq!(m.read_u8(0x1000), 0xEF); // little-endian
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn main_memory_cross_page_access() {
+        let mut m = MainMemory::new(1 << 20);
+        let addr = (1 << 12) - 2; // straddles the first page boundary
+        m.write_u32(addr, 0x0102_0304);
+        assert_eq!(m.read_u32(addr), 0x0102_0304);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn main_memory_sign_extension() {
+        let mut m = MainMemory::new(1 << 16);
+        m.write_u32(0, -5i32 as u32);
+        assert_eq!(m.read_i32_sext(0), -5);
+        m.write_u32(4, 7);
+        assert_eq!(m.read_i32_sext(4), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn main_memory_oob_panics() {
+        let m = MainMemory::new(1 << 16);
+        let _ = m.read_u32((1 << 16) - 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn main_memory_overflow_addr_panics() {
+        let m = MainMemory::new(1 << 16);
+        let _ = m.read_u8(u64::MAX);
+    }
+
+    #[test]
+    fn load_globals_places_data() {
+        let mut m = MainMemory::new(1 << 22);
+        let g = vec![
+            GlobalDef::from_words("a", 0x10_0000, &[1, 2]),
+            GlobalDef::zeroed("b", 0x10_0010, 8),
+        ];
+        m.load_globals(&g);
+        assert_eq!(m.read_u32(0x10_0000), 1);
+        assert_eq!(m.read_u32(0x10_0004), 2);
+        assert_eq!(m.read_u32(0x10_0010), 0);
+    }
+
+    #[test]
+    fn local_store_rw_roundtrip() {
+        let mut ls = LocalStore::new(4096);
+        ls.write_u32(0, 42);
+        ls.write_u64(8, u64::MAX - 1);
+        assert_eq!(ls.read_u32(0), 42);
+        assert_eq!(ls.read_u64(8), u64::MAX - 1);
+        assert_eq!(ls.size(), 4096);
+    }
+
+    #[test]
+    fn local_store_bytes_roundtrip() {
+        let mut ls = LocalStore::new(64);
+        ls.write_bytes(10, &[1, 2, 3]);
+        let mut buf = [0u8; 3];
+        ls.read_bytes(10, &mut buf);
+        assert_eq!(buf, [1, 2, 3]);
+        assert_eq!(ls.read_u8(11), 2);
+    }
+
+    #[test]
+    fn local_store_sign_extension() {
+        let mut ls = LocalStore::new(64);
+        ls.write_u32(0, -1i32 as u32);
+        assert_eq!(ls.read_i32_sext(0), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn local_store_oob_panics() {
+        let ls = LocalStore::new(64);
+        let _ = ls.read_u32(62);
+    }
+}

@@ -1,0 +1,232 @@
+//! Property tests for the memory subsystem: reservation invariants,
+//! backing-store equivalence against a naive model, and timing sanity.
+
+use dta_mem::{
+    BusModel, DmaCommand, DmaKind, LocalStore, MainMemory, MemoryModel, MemorySystem, Mfc,
+    MfcParams, ResourcePool, TransferKind,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// Reservations on one pool never overlap within a channel, never
+    /// start before the request time, and have the requested duration.
+    #[test]
+    fn resource_pool_reservations_are_disjoint(
+        channels in 1..6usize,
+        ops in prop::collection::vec((0..10_000u64, 1..200u64), 1..200),
+    ) {
+        let mut pool = ResourcePool::new(channels);
+        let mut now = 0u64;
+        let mut per_channel: Vec<Vec<(u64, u64)>> = vec![Vec::new(); channels];
+        for (advance, dur) in ops {
+            now += advance / 100; // mostly-monotone request times
+            let r = pool.reserve(now, dur);
+            prop_assert!(r.start >= now);
+            prop_assert_eq!(r.end - r.start, dur.max(1));
+            per_channel[r.channel].push((r.start, r.end));
+        }
+        for spans in &per_channel {
+            for w in spans.windows(2) {
+                prop_assert!(
+                    w[0].1 <= w[1].0,
+                    "overlapping reservations {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    /// MainMemory agrees with a byte-map model under arbitrary mixed
+    /// u8/u32/bulk traffic.
+    #[test]
+    fn main_memory_matches_model(
+        ops in prop::collection::vec(
+            (0..3usize, 0..65_500u64, any::<u32>(), 1..32usize),
+            1..200,
+        ),
+    ) {
+        let mut mem = MainMemory::new(1 << 16);
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for (kind, addr, value, len) in ops {
+            match kind {
+                0 => {
+                    let addr = addr.min((1 << 16) - 4);
+                    mem.write_u32(addr, value);
+                    for (i, b) in value.to_le_bytes().iter().enumerate() {
+                        model.insert(addr + i as u64, *b);
+                    }
+                }
+                1 => {
+                    let addr = addr.min((1 << 16) - 4);
+                    let expect = u32::from_le_bytes(std::array::from_fn(|i| {
+                        model.get(&(addr + i as u64)).copied().unwrap_or(0)
+                    }));
+                    prop_assert_eq!(mem.read_u32(addr), expect);
+                }
+                _ => {
+                    let len = len.min(((1 << 16) - addr) as usize).max(1);
+                    let data: Vec<u8> = (0..len).map(|i| (value as usize + i) as u8).collect();
+                    mem.write_bytes(addr, &data);
+                    for (i, b) in data.iter().enumerate() {
+                        model.insert(addr + i as u64, *b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every transaction completes strictly after it was issued, and
+    /// issuing the same kinds in the same order is deterministic.
+    #[test]
+    fn memory_system_timing_sane(
+        kinds in prop::collection::vec(0..5usize, 1..100),
+    ) {
+        let build = |kinds: &[usize]| {
+            let mut sys = MemorySystem::paper_default();
+            let mut now = 0;
+            let mut times = Vec::new();
+            for &k in kinds {
+                let kind = match k {
+                    0 => TransferKind::ScalarRead,
+                    1 => TransferKind::ScalarWrite,
+                    2 => TransferKind::BlockGet { bytes: 256 },
+                    3 => TransferKind::BlockPut { bytes: 64 },
+                    _ => TransferKind::StridedGet { count: 8, elem_bytes: 4 },
+                };
+                let done = sys.request(now, kind);
+                times.push(done);
+                now += 3;
+            }
+            times
+        };
+        let a = build(&kinds);
+        let b = build(&kinds);
+        prop_assert_eq!(&a, &b);
+        for (i, &t) in a.iter().enumerate() {
+            prop_assert!(t > (i as u64) * 3, "transaction {i} completed at {t}");
+        }
+    }
+
+    /// The MFC's functional data movement matches a plain memcpy model
+    /// for arbitrary command sequences over disjoint regions.
+    #[test]
+    fn mfc_moves_data_like_memcpy(
+        cmds in prop::collection::vec(
+            (0..2usize, 0..16u32, 1..16u32, 0..32u8),
+            1..24,
+        ),
+    ) {
+        let mut mfc = Mfc::new(MfcParams::default());
+        let mut sys = MemorySystem::paper_default();
+        let mut ls = LocalStore::new(64 * 1024);
+        let mut mem = MainMemory::new(1 << 20);
+        // Seed memory deterministically.
+        for i in 0..4096u64 {
+            mem.write_u32(i * 4, (i as u32).wrapping_mul(0x9E37_79B9));
+        }
+        let mut model_ls = vec![0u8; 64 * 1024];
+        let mut now = 0u64;
+        for (dir, slot, blocks, tag) in cmds {
+            let ls_addr = slot * 1024; // disjoint-ish LS slots
+            let mem_addr = (slot as u64) * 1024;
+            let bytes = blocks * 16;
+            let cmd = DmaCommand {
+                owner: 1,
+                tag,
+                ls_addr,
+                mem_addr,
+                kind: if dir == 0 {
+                    DmaKind::Get { bytes }
+                } else {
+                    DmaKind::Put { bytes }
+                },
+            };
+            // Retry until the queue accepts (time moves forward).
+            loop {
+                if let Some(c) = mfc.enqueue(now, cmd, &mut sys, &mut ls, &mut mem) {
+                    prop_assert!(c.at >= now + MfcParams::default().command_latency);
+                    break;
+                }
+                now += 100;
+            }
+            // Mirror functionally.
+            if dir == 0 {
+                let mut buf = vec![0u8; bytes as usize];
+                mem.read_bytes(mem_addr, &mut buf);
+                model_ls[ls_addr as usize..(ls_addr + bytes) as usize].copy_from_slice(&buf);
+            } else {
+                let src = &model_ls[ls_addr as usize..(ls_addr + bytes) as usize];
+                mem.write_bytes(mem_addr, src);
+            }
+            now += 1;
+        }
+        let mut actual = vec![0u8; 64 * 1024];
+        ls.read_bytes(0, &mut actual);
+        prop_assert_eq!(actual, model_ls);
+    }
+
+    /// Strided gathers pack exactly the elements a scalar loop would
+    /// read.
+    #[test]
+    fn strided_gather_matches_scalar_loop(
+        count in 1..64u32,
+        stride_words in 1..64i64,
+        base_word in 0..256u64,
+    ) {
+        let mut mfc = Mfc::new(MfcParams::default());
+        let mut sys = MemorySystem::paper_default();
+        let mut ls = LocalStore::new(64 * 1024);
+        let mut mem = MainMemory::new(1 << 20);
+        for i in 0..32_768u64 {
+            mem.write_u32(i * 4, (i as u32) ^ 0xABCD_1234);
+        }
+        let base = base_word * 4;
+        let stride = stride_words * 4;
+        mfc.enqueue(
+            0,
+            DmaCommand {
+                owner: 0,
+                tag: 0,
+                ls_addr: 0,
+                mem_addr: base,
+                kind: DmaKind::GetStrided { elem_bytes: 4, count, stride },
+            },
+            &mut sys,
+            &mut ls,
+            &mut mem,
+        ).expect("queue empty");
+        for i in 0..count {
+            let want = mem.read_u32(base + i as u64 * stride as u64);
+            prop_assert_eq!(ls.read_u32(i * 4), want, "element {}", i);
+        }
+    }
+
+    /// Bus data transfers respect bandwidth: n back-to-back sends of B
+    /// bytes on one lane take at least n*ceil(B/bw) cycles.
+    #[test]
+    fn bus_bandwidth_bound(
+        sends in 1..40u64,
+        bytes in 1..512u64,
+    ) {
+        let mut bus = BusModel::new(1, 8, 0);
+        let mut last = 0;
+        for _ in 0..sends {
+            last = bus.send(0, bytes);
+        }
+        prop_assert!(last >= sends * bytes.div_ceil(8));
+        prop_assert_eq!(bus.bytes_moved(), sends * bytes);
+    }
+
+    /// Memory accesses complete no earlier than request + latency.
+    #[test]
+    fn memory_latency_is_a_floor(
+        at in 0..10_000u64,
+        bytes in 1..4096u64,
+    ) {
+        let mut m = MemoryModel::new(1, 150, 32);
+        let done = m.access(at, bytes, 0);
+        prop_assert!(done >= at + 150 + bytes.div_ceil(32));
+    }
+}

@@ -1,0 +1,332 @@
+//! The Distributed Scheduler Element (DSE).
+//!
+//! One DSE per node (paper §2): "it is responsible for distributing the
+//! workload between processors in the node, and for forwarding it to other
+//! nodes when internal resources are finished". The DSE keeps a mirror of
+//! every local PE's free-frame count (updated by grants and by `FrameFreed`
+//! notifications) and picks the least-loaded PE for each `FALLOC`.
+//!
+//! When no local PE has a free frame the request is either **forwarded**
+//! to the next node's DSE (multi-node configurations) or **queued** until
+//! a `FrameFreed` arrives — the queueing shows up at the requesting
+//! pipeline as an LSE stall, exactly the bitcnt behaviour of Fig. 5.
+
+use crate::instance::InstanceId;
+use crate::message::Message;
+use dta_isa::ThreadId;
+use dta_mem::ResourcePool;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// DSE configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DseParams {
+    /// DSE processing time per operation, cycles.
+    pub op_latency: u64,
+    /// Virtual frame pointers: grant without regard to physical capacity.
+    pub virtual_frames: bool,
+}
+
+impl Default for DseParams {
+    fn default() -> Self {
+        DseParams {
+            op_latency: 4,
+            virtual_frames: false,
+        }
+    }
+}
+
+/// A FALLOC that could not be served yet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PendingFalloc {
+    /// PE whose pipeline is blocked.
+    pub requester: u16,
+    /// The requesting instance (correlation token).
+    pub for_inst: InstanceId,
+    /// Thread to instantiate.
+    pub thread: ThreadId,
+    /// Synchronisation count.
+    pub sc: u16,
+}
+
+/// The DSE's decision for an incoming FALLOC request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FallocDecision {
+    /// Send `AllocFrame` to this PE's LSE.
+    Grant {
+        /// Chosen PE (global index).
+        pe: u16,
+    },
+    /// Forward the request to the next node's DSE.
+    Forward,
+    /// Parked locally until a frame frees up.
+    Queued,
+}
+
+/// DSE activity counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DseStats {
+    /// Requests received.
+    pub requests: u64,
+    /// Requests granted locally.
+    pub grants: u64,
+    /// Requests forwarded to another node.
+    pub forwards: u64,
+    /// High-water mark of the pending queue.
+    pub max_pending: usize,
+}
+
+/// The per-node Distributed Scheduler Element.
+#[derive(Debug)]
+pub struct Dse {
+    node: u16,
+    /// Global PE indices belonging to this node.
+    pes: Vec<u16>,
+    /// Mirror of per-PE free frame counts (indexed like `pes`).
+    free_mirror: Vec<i64>,
+    pending: VecDeque<PendingFalloc>,
+    params: DseParams,
+    total_nodes: u16,
+    busy: ResourcePool,
+    stats: DseStats,
+}
+
+impl Dse {
+    /// Creates the DSE of `node`, managing `pes` (each starting with
+    /// `frames_per_pe` free frames), in a system of `total_nodes` nodes.
+    pub fn new(
+        node: u16,
+        pes: Vec<u16>,
+        frames_per_pe: u32,
+        total_nodes: u16,
+        params: DseParams,
+    ) -> Self {
+        assert!(!pes.is_empty(), "a node needs at least one PE");
+        let n = pes.len();
+        Dse {
+            node,
+            pes,
+            free_mirror: vec![frames_per_pe as i64; n],
+            pending: VecDeque::new(),
+            params,
+            total_nodes,
+            busy: ResourcePool::new(1),
+            stats: DseStats::default(),
+        }
+    }
+
+    /// The node this DSE serves.
+    #[inline]
+    pub fn node(&self) -> u16 {
+        self.node
+    }
+
+    /// Counters.
+    #[inline]
+    pub fn stats(&self) -> DseStats {
+        self.stats
+    }
+
+    /// Number of requests parked.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Reserves the DSE engine for one operation starting at `now`;
+    /// returns the completion cycle.
+    pub fn reserve_op(&mut self, now: u64) -> u64 {
+        self.busy.reserve(now, self.params.op_latency).end
+    }
+
+    fn pick_pe(&self) -> Option<usize> {
+        // Least-loaded = most free frames; ties break to the lowest PE
+        // index for determinism.
+        let (best, &free) = self
+            .free_mirror
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &f)| (f, std::cmp::Reverse(i)))?;
+        if free > 0 || self.params.virtual_frames {
+            Some(best)
+        } else {
+            None
+        }
+    }
+
+    /// Handles a `FallocRequest` (`hops` counts inter-node forwards so a
+    /// request that has visited every node queues instead of circulating
+    /// forever).
+    pub fn on_falloc(&mut self, req: PendingFalloc, hops: u16) -> FallocDecision {
+        self.stats.requests += 1;
+        match self.pick_pe() {
+            Some(i) => {
+                self.free_mirror[i] -= 1;
+                self.stats.grants += 1;
+                FallocDecision::Grant { pe: self.pes[i] }
+            }
+            None if hops + 1 < self.total_nodes => {
+                self.stats.forwards += 1;
+                FallocDecision::Forward
+            }
+            None => {
+                self.pending.push_back(req);
+                self.stats.max_pending = self.stats.max_pending.max(self.pending.len());
+                FallocDecision::Queued
+            }
+        }
+    }
+
+    /// Handles a `FrameFreed` notification from local PE `pe`; returns any
+    /// parked requests that can now be granted, as `(target_pe, request)`
+    /// pairs.
+    pub fn on_frame_freed(&mut self, pe: u16) -> Vec<(u16, PendingFalloc)> {
+        let i = self
+            .pes
+            .iter()
+            .position(|&p| p == pe)
+            .unwrap_or_else(|| panic!("FrameFreed from PE {pe} not in node {}", self.node));
+        self.free_mirror[i] += 1;
+        let mut grants = Vec::new();
+        while !self.pending.is_empty() {
+            match self.pick_pe() {
+                Some(j) => {
+                    self.free_mirror[j] -= 1;
+                    self.stats.grants += 1;
+                    let req = self.pending.pop_front().expect("non-empty");
+                    grants.push((self.pes[j], req));
+                }
+                None => break,
+            }
+        }
+        grants
+    }
+
+    /// Builds the `AllocFrame` message for a grant.
+    pub fn alloc_message(req: PendingFalloc) -> Message {
+        Message::AllocFrame {
+            requester: req.requester,
+            for_inst: req.for_inst,
+            thread: req.thread,
+            sc: req.sc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(requester: u16) -> PendingFalloc {
+        PendingFalloc {
+            requester,
+            for_inst: InstanceId(0),
+            thread: ThreadId(0),
+            sc: 1,
+        }
+    }
+
+    #[test]
+    fn grants_go_to_least_loaded_pe() {
+        let mut d = Dse::new(0, vec![0, 1, 2], 2, 1, DseParams::default());
+        // All equal: picks PE 0.
+        assert_eq!(d.on_falloc(req(0), 0), FallocDecision::Grant { pe: 0 });
+        // Now PE 1 and 2 have more free frames; ties break low.
+        assert_eq!(d.on_falloc(req(0), 0), FallocDecision::Grant { pe: 1 });
+        assert_eq!(d.on_falloc(req(0), 0), FallocDecision::Grant { pe: 2 });
+        assert_eq!(d.on_falloc(req(0), 0), FallocDecision::Grant { pe: 0 });
+    }
+
+    #[test]
+    fn exhaustion_queues_in_single_node() {
+        let mut d = Dse::new(0, vec![0], 1, 1, DseParams::default());
+        assert_eq!(d.on_falloc(req(0), 0), FallocDecision::Grant { pe: 0 });
+        assert_eq!(d.on_falloc(req(1), 0), FallocDecision::Queued);
+        assert_eq!(d.pending_len(), 1);
+        assert_eq!(d.stats().max_pending, 1);
+    }
+
+    #[test]
+    fn exhaustion_forwards_in_multi_node() {
+        let mut d = Dse::new(0, vec![0], 1, 2, DseParams::default());
+        assert_eq!(d.on_falloc(req(0), 0), FallocDecision::Grant { pe: 0 });
+        // First hop forwards...
+        assert_eq!(d.on_falloc(req(1), 0), FallocDecision::Forward);
+        // ...but a request that already visited the other node queues.
+        assert_eq!(d.on_falloc(req(1), 1), FallocDecision::Queued);
+    }
+
+    #[test]
+    fn frame_freed_drains_pending() {
+        let mut d = Dse::new(0, vec![0, 1], 1, 1, DseParams::default());
+        d.on_falloc(req(0), 0);
+        d.on_falloc(req(0), 0);
+        assert_eq!(d.on_falloc(req(5), 0), FallocDecision::Queued);
+        assert_eq!(d.on_falloc(req(6), 0), FallocDecision::Queued);
+        let grants = d.on_frame_freed(1);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].0, 1);
+        assert_eq!(grants[0].1.requester, 5);
+        let grants = d.on_frame_freed(0);
+        assert_eq!(grants[0].0, 0);
+        assert_eq!(grants[0].1.requester, 6);
+        assert_eq!(d.pending_len(), 0);
+    }
+
+    #[test]
+    fn virtual_frames_never_queue() {
+        let mut d = Dse::new(
+            0,
+            vec![0],
+            1,
+            1,
+            DseParams {
+                virtual_frames: true,
+                ..DseParams::default()
+            },
+        );
+        for _ in 0..10 {
+            assert!(matches!(d.on_falloc(req(0), 0), FallocDecision::Grant { pe: 0 }));
+        }
+        assert_eq!(d.pending_len(), 0);
+    }
+
+    #[test]
+    fn mirror_balances_after_frees() {
+        let mut d = Dse::new(0, vec![0, 1], 4, 1, DseParams::default());
+        // Drain PE 0 twice, PE 1 twice (alternating picks).
+        for _ in 0..4 {
+            d.on_falloc(req(0), 0);
+        }
+        d.on_frame_freed(0);
+        // PE 0 now has 3 free vs PE 1's 2 → next grant goes to PE 0.
+        assert_eq!(d.on_falloc(req(0), 0), FallocDecision::Grant { pe: 0 });
+    }
+
+    #[test]
+    fn reserve_op_serialises() {
+        let mut d = Dse::new(0, vec![0], 1, 1, DseParams::default());
+        assert_eq!(d.reserve_op(0), 4);
+        assert_eq!(d.reserve_op(0), 8);
+        assert_eq!(d.reserve_op(100), 104);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in node")]
+    fn foreign_frame_freed_panics() {
+        let mut d = Dse::new(0, vec![0, 1], 1, 1, DseParams::default());
+        d.on_frame_freed(9);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = Dse::new(0, vec![0], 1, 2, DseParams::default());
+        d.on_falloc(req(0), 0);
+        d.on_falloc(req(0), 0); // forward
+        d.on_falloc(req(0), 1); // queue
+        let s = d.stats();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.grants, 1);
+        assert_eq!(s.forwards, 1);
+        assert_eq!(s.max_pending, 1);
+    }
+}

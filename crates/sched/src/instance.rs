@@ -1,0 +1,317 @@
+//! Thread instances and their lifecycle.
+//!
+//! A thread *instance* is one dynamic execution of a static thread: it is
+//! born when the scheduler grants a `FALLOC`, waits for its inputs
+//! (tracked by the synchronisation counter), optionally programs DMA and
+//! waits for it, executes, and dies at `STOP`. The state machine is the
+//! paper's Figure 4 — the original DTA lifecycle plus the two DMA states
+//! introduced by the prefetching mechanism.
+
+use dta_isa::{FramePtr, Reg, ThreadId, NUM_REGS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique identifier of a thread instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstanceId(pub u64);
+
+impl InstanceId {
+    /// The raw token (used as the MFC `owner` field).
+    #[inline]
+    pub fn token(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Ids encode the owning PE in the high bits; render as pe.counter
+        // so trace tables stay readable.
+        let pe = self.0 >> 48;
+        let ctr = self.0 & 0xFFFF_FFFF_FFFF;
+        if pe == 0 {
+            write!(f, "i{ctr}")
+        } else {
+            write!(f, "i{pe}.{ctr}")
+        }
+    }
+}
+
+impl fmt::Debug for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// Lifecycle states (paper Fig. 4). The two darker-background states of
+/// the figure — [`ThreadState::ProgramDma`] and [`ThreadState::WaitDma`] —
+/// exist only when prefetching is in play.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ThreadState {
+    /// Frame assigned; waiting for the synchronisation counter to reach
+    /// zero ("Wait for stores").
+    WaitStores,
+    /// All inputs present; queued for a pipeline.
+    Ready,
+    /// Descheduled while its own `FALLOC` request is queued at the DSE
+    /// (no frame capacity anywhere); re-readied when the grant arrives.
+    WaitFalloc,
+    /// On the pipeline executing its PF block ("Program DMA").
+    ProgramDma,
+    /// Off the pipeline, waiting for DMA completions ("Wait for DMA").
+    WaitDma,
+    /// On the pipeline executing PL/EX/PS ("Execution").
+    Running,
+    /// `STOP` executed.
+    Done,
+}
+
+impl ThreadState {
+    /// Is the instance occupying a pipeline in this state?
+    #[inline]
+    pub fn on_pipeline(self) -> bool {
+        matches!(self, ThreadState::ProgramDma | ThreadState::Running)
+    }
+}
+
+/// One dynamic thread instance.
+///
+/// The register file lives here: DTA's multithreading is
+/// context-per-instance (as in SDF), so yielding at `DMAYIELD` and
+/// resuming later costs no architectural copying.
+#[derive(Clone)]
+pub struct Instance {
+    /// Unique id (also the DMA `owner` token).
+    pub id: InstanceId,
+    /// The static thread being executed.
+    pub thread: ThreadId,
+    /// The frame granted to this instance.
+    pub frame: FramePtr,
+    /// Remaining stores before the instance is ready (the SC).
+    pub sc: u16,
+    /// Lifecycle state.
+    pub state: ThreadState,
+    /// Saved program counter (valid when not on a pipeline).
+    pub pc: u32,
+    /// Architectural registers.
+    pub regs: [i64; NUM_REGS],
+    /// Frame input slots (64-bit values stored by producers).
+    pub slots: Vec<i64>,
+    /// Local-store byte address of this instance's prefetch buffer
+    /// (`u32::MAX` when the thread declared none).
+    pub pf_buf_addr: u32,
+    /// Outstanding DMA transfers programmed by this instance.
+    pub outstanding_dma: u16,
+    /// Outstanding DMA transfers per MFC tag group.
+    pub dma_by_tag: [u16; 32],
+    /// Destination register of a deferred `FALLOC` (set while parked in
+    /// [`ThreadState::WaitFalloc`]).
+    pub pending_falloc: Option<Reg>,
+    /// Cycle at which the instance became ready (for queue-delay stats).
+    pub ready_at: u64,
+}
+
+impl Instance {
+    /// Creates an instance in the *Wait for stores* state (or *Ready*
+    /// directly when `sc == 0`).
+    pub fn new(
+        id: InstanceId,
+        thread: ThreadId,
+        frame: FramePtr,
+        sc: u16,
+        slots: u16,
+        pf_buf_addr: u32,
+    ) -> Self {
+        Instance {
+            id,
+            thread,
+            frame,
+            sc,
+            state: if sc == 0 {
+                ThreadState::Ready
+            } else {
+                ThreadState::WaitStores
+            },
+            pc: 0,
+            regs: [0; NUM_REGS],
+            slots: vec![0; slots as usize],
+            pf_buf_addr,
+            outstanding_dma: 0,
+            dma_by_tag: [0; 32],
+            pending_falloc: None,
+            ready_at: 0,
+        }
+    }
+
+    /// Records that this instance programmed a DMA transfer with `tag`.
+    pub fn dma_issued(&mut self, tag: u8) {
+        self.outstanding_dma += 1;
+        self.dma_by_tag[tag as usize] += 1;
+    }
+
+    /// Records a producer's store into `slot`, decrementing the SC.
+    /// Returns `true` when this store made the instance ready.
+    pub fn store(&mut self, slot: u16, value: i64) -> bool {
+        assert!(
+            (slot as usize) < self.slots.len(),
+            "store to slot {slot} of {} (frame has {} slots)",
+            self.id,
+            self.slots.len()
+        );
+        assert!(
+            self.sc > 0,
+            "store to {} after its SC already reached zero",
+            self.id
+        );
+        self.slots[slot as usize] = value;
+        self.sc -= 1;
+        if self.sc == 0 && self.state == ThreadState::WaitStores {
+            self.state = ThreadState::Ready;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reads a frame slot (`LOAD` semantics).
+    #[inline]
+    #[track_caller]
+    pub fn slot(&self, slot: u16) -> i64 {
+        self.slots[slot as usize]
+    }
+
+    /// Records a DMA completion. Returns `true` when this was the last
+    /// outstanding transfer and the instance was in *Wait for DMA* (so it
+    /// becomes ready again).
+    pub fn dma_complete(&mut self, tag: u8) -> bool {
+        assert!(self.outstanding_dma > 0, "{}: spurious DMA completion", self.id);
+        assert!(
+            self.dma_by_tag[tag as usize] > 0,
+            "{}: spurious DMA completion for tag {tag}",
+            self.id
+        );
+        self.dma_by_tag[tag as usize] -= 1;
+        self.outstanding_dma -= 1;
+        if self.outstanding_dma == 0 && self.state == ThreadState::WaitDma {
+            self.state = ThreadState::Ready;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Instance")
+            .field("id", &self.id)
+            .field("thread", &self.thread)
+            .field("frame", &self.frame)
+            .field("sc", &self.sc)
+            .field("state", &self.state)
+            .field("pc", &self.pc)
+            .field("outstanding_dma", &self.outstanding_dma)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(sc: u16, slots: u16) -> Instance {
+        Instance::new(
+            InstanceId(1),
+            ThreadId(0),
+            FramePtr::new(0, 0),
+            sc,
+            slots,
+            u32::MAX,
+        )
+    }
+
+    #[test]
+    fn zero_sc_starts_ready() {
+        assert_eq!(inst(0, 0).state, ThreadState::Ready);
+        assert_eq!(inst(2, 2).state, ThreadState::WaitStores);
+    }
+
+    #[test]
+    fn stores_count_down_to_ready() {
+        let mut i = inst(2, 2);
+        assert!(!i.store(0, 10));
+        assert_eq!(i.state, ThreadState::WaitStores);
+        assert!(i.store(1, 20));
+        assert_eq!(i.state, ThreadState::Ready);
+        assert_eq!(i.slot(0), 10);
+        assert_eq!(i.slot(1), 20);
+    }
+
+    #[test]
+    fn repeated_store_to_same_slot_still_counts() {
+        // The SC counts *stores*, not distinct slots (paper §2: "SC is
+        // decremented every time a datum is stored in a thread frame").
+        let mut i = inst(2, 1);
+        assert!(!i.store(0, 1));
+        assert!(i.store(0, 2));
+        assert_eq!(i.slot(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "after its SC")]
+    fn store_after_ready_panics() {
+        let mut i = inst(1, 1);
+        i.store(0, 1);
+        i.store(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot")]
+    fn store_out_of_range_panics() {
+        let mut i = inst(1, 1);
+        i.store(3, 1);
+    }
+
+    #[test]
+    fn dma_completion_transitions_waitdma_to_ready() {
+        let mut i = inst(0, 0);
+        i.dma_issued(0);
+        i.dma_issued(1);
+        i.state = ThreadState::WaitDma;
+        assert!(!i.dma_complete(0));
+        assert_eq!(i.state, ThreadState::WaitDma);
+        assert_eq!(i.dma_by_tag[0], 0);
+        assert_eq!(i.dma_by_tag[1], 1);
+        assert!(i.dma_complete(1));
+        assert_eq!(i.state, ThreadState::Ready);
+    }
+
+    #[test]
+    fn dma_completion_while_running_does_not_ready() {
+        // A transfer that finishes before the thread yields: the thread is
+        // still in ProgramDma on the pipeline; completion must not enqueue
+        // it as ready.
+        let mut i = inst(0, 0);
+        i.state = ThreadState::ProgramDma;
+        i.dma_issued(3);
+        assert!(!i.dma_complete(3));
+        assert_eq!(i.state, ThreadState::ProgramDma);
+    }
+
+    #[test]
+    #[should_panic(expected = "spurious")]
+    fn spurious_dma_completion_panics() {
+        let mut i = inst(0, 0);
+        i.dma_complete(0);
+    }
+
+    #[test]
+    fn pipeline_occupancy_by_state() {
+        assert!(ThreadState::Running.on_pipeline());
+        assert!(ThreadState::ProgramDma.on_pipeline());
+        assert!(!ThreadState::WaitDma.on_pipeline());
+        assert!(!ThreadState::Ready.on_pipeline());
+        assert!(!ThreadState::WaitStores.on_pipeline());
+        assert!(!ThreadState::Done.on_pipeline());
+    }
+}

@@ -1,0 +1,538 @@
+//! The Local Scheduler Element (LSE).
+//!
+//! One LSE per processing element (paper §2): it "manages local frames and
+//! forwards requests for resources to a DSE". Concretely it owns:
+//!
+//! * the PE's **frame table** and free list (physical capacity is a
+//!   hardware parameter; the *virtual frame pointers* option the paper
+//!   mentions in §4.3 lifts the capacity limit and is implemented here as
+//!   [`LseParams::virtual_frames`]);
+//! * the **prefetch-buffer pool** — one local-store region per concurrent
+//!   prefetching instance;
+//! * the PE's **ready queue** of instances whose SC reached zero (or whose
+//!   DMA completed);
+//! * all live [`Instance`]s assigned to this PE.
+//!
+//! The LSE is a serially-occupied piece of hardware: the core simulator
+//! charges [`LseParams::op_latency`] per operation through
+//! [`Lse::reserve_op`], which is how bitcnt's fork storms turn into the
+//! "LSE stalls" of the paper's Figure 5.
+
+use crate::instance::{Instance, InstanceId, ThreadState};
+use dta_isa::{FramePtr, ThreadId};
+use dta_mem::ResourcePool;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// LSE configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LseParams {
+    /// Physical frames per PE.
+    pub frame_capacity: u32,
+    /// Bytes of local store reserved per prefetch buffer.
+    pub pf_buf_bytes: u32,
+    /// Number of prefetch buffers in the pool (bounded by the local-store
+    /// space left after code and frames; allocations for prefetching
+    /// threads park when the pool is dry).
+    pub pf_pool_size: u32,
+    /// Local-store base address of the prefetch-buffer region.
+    pub pf_region_base: u32,
+    /// LSE processing time per operation, cycles.
+    pub op_latency: u64,
+    /// Enable virtual frame pointers: FALLOC never fails for lack of
+    /// physical frames (paper §4.3's proposed fix for LSE stalls).
+    pub virtual_frames: bool,
+}
+
+impl Default for LseParams {
+    fn default() -> Self {
+        LseParams {
+            frame_capacity: 64,
+            pf_buf_bytes: 8192,
+            pf_pool_size: 16,
+            pf_region_base: 0,
+            op_latency: 2,
+            virtual_frames: false,
+        }
+    }
+}
+
+/// LSE activity counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LseStats {
+    /// Frames granted.
+    pub allocs: u64,
+    /// Frame stores applied.
+    pub stores: u64,
+    /// Frames released.
+    pub frees: u64,
+    /// Instances that reached `STOP`.
+    pub stops: u64,
+    /// High-water mark of live instances.
+    pub max_live_instances: usize,
+    /// High-water mark of the ready queue.
+    pub max_ready_queue: usize,
+    /// High-water mark of allocations parked waiting for a prefetch
+    /// buffer.
+    pub max_pending_allocs: usize,
+}
+
+/// An allocation the LSE granted; the caller must send the
+/// `FallocResponse` to `requester`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Granted {
+    /// PE whose pipeline awaits the response.
+    pub requester: u16,
+    /// The instance whose `FALLOC` this grant answers.
+    pub for_inst: InstanceId,
+    /// The frame pointer to return.
+    pub frame: FramePtr,
+    /// The new instance.
+    pub instance: InstanceId,
+}
+
+/// The per-PE Local Scheduler Element.
+#[derive(Debug)]
+pub struct Lse {
+    pe: u16,
+    params: LseParams,
+    /// Frame table: index → owning instance.
+    frames: Vec<Option<InstanceId>>,
+    free_frames: Vec<u32>,
+    /// Free prefetch-buffer indices (each maps to a fixed LS region).
+    pf_free: Vec<u32>,
+    /// Per-instance assigned prefetch buffer index (releases on FFREE).
+    pf_assigned: HashMap<InstanceId, u32>,
+    instances: HashMap<InstanceId, Instance>,
+    ready: VecDeque<InstanceId>,
+    /// Allocations granted a frame but waiting for a prefetch buffer
+    /// (only possible with virtual frames).
+    pending: VecDeque<(u16, InstanceId, ThreadId, u16, u16, bool)>,
+    busy: ResourcePool,
+    next_instance: u64,
+    stats: LseStats,
+}
+
+impl Lse {
+    /// Creates the LSE of PE `pe`.
+    pub fn new(pe: u16, params: LseParams) -> Self {
+        Lse {
+            pe,
+            params,
+            frames: vec![None; params.frame_capacity as usize],
+            free_frames: (0..params.frame_capacity).rev().collect(),
+            pf_free: (0..params.pf_pool_size).rev().collect(),
+            pf_assigned: HashMap::new(),
+            instances: HashMap::new(),
+            ready: VecDeque::new(),
+            pending: VecDeque::new(),
+            busy: ResourcePool::new(1),
+            next_instance: 0,
+            stats: LseStats::default(),
+        }
+    }
+
+    /// The PE this LSE belongs to.
+    #[inline]
+    pub fn pe(&self) -> u16 {
+        self.pe
+    }
+
+    /// Configuration.
+    #[inline]
+    pub fn params(&self) -> LseParams {
+        self.params
+    }
+
+    /// Counters.
+    #[inline]
+    pub fn stats(&self) -> LseStats {
+        self.stats
+    }
+
+    /// Number of free physical frames (what the DSE load-balances on).
+    pub fn free_frames(&self) -> u32 {
+        self.free_frames.len() as u32
+    }
+
+    /// Number of live instances.
+    pub fn live_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Reserves the LSE engine for one operation starting at `now`;
+    /// returns the cycle at which the operation completes. Used by the
+    /// core to model LSE contention.
+    pub fn reserve_op(&mut self, now: u64) -> u64 {
+        self.busy.reserve(now, self.params.op_latency).end
+    }
+
+    fn fresh_instance_id(&mut self) -> InstanceId {
+        let id = InstanceId(((self.pe as u64) << 48) | self.next_instance);
+        self.next_instance += 1;
+        id
+    }
+
+    /// Grants a frame for an instance of `thread` (the DSE has already
+    /// picked this PE). `slots` is the frame size of the thread,
+    /// `needs_pf` whether it declared a prefetch buffer.
+    ///
+    /// Returns `None` when the allocation had to be parked (no prefetch
+    /// buffer available — only possible with virtual frames, where
+    /// concurrency can exceed physical capacity); parked allocations are
+    /// granted by [`Lse::ffree`] as buffers free up.
+    #[allow(clippy::too_many_arguments)]
+    pub fn alloc_frame(
+        &mut self,
+        requester: u16,
+        for_inst: InstanceId,
+        thread: ThreadId,
+        sc: u16,
+        slots: u16,
+        needs_pf: bool,
+    ) -> Option<Granted> {
+        if needs_pf && self.pf_free.is_empty() {
+            self.pending
+                .push_back((requester, for_inst, thread, sc, slots, needs_pf));
+            self.stats.max_pending_allocs = self.stats.max_pending_allocs.max(self.pending.len());
+            return None;
+        }
+        let index = match self.free_frames.pop() {
+            Some(i) => i,
+            None => {
+                assert!(
+                    self.params.virtual_frames,
+                    "LSE {}: frame allocation beyond capacity without virtual frames \
+                     (the DSE must not over-commit)",
+                    self.pe
+                );
+                let i = self.frames.len() as u32;
+                self.frames.push(None);
+                i
+            }
+        };
+        let id = self.fresh_instance_id();
+        let pf_buf_addr = if needs_pf {
+            let buf = self.pf_free.pop().expect("checked above");
+            self.pf_assigned.insert(id, buf);
+            self.params.pf_region_base + buf * self.params.pf_buf_bytes
+        } else {
+            u32::MAX
+        };
+        let frame = FramePtr::new(self.pe, index);
+        let inst = Instance::new(id, thread, frame, sc, slots, pf_buf_addr);
+        let became_ready = inst.state == ThreadState::Ready;
+        self.frames[index as usize] = Some(id);
+        self.instances.insert(id, inst);
+        self.stats.allocs += 1;
+        self.stats.max_live_instances = self.stats.max_live_instances.max(self.instances.len());
+        if became_ready {
+            self.push_ready(id, 0);
+        }
+        Some(Granted {
+            requester,
+            for_inst,
+            frame,
+            instance: id,
+        })
+    }
+
+    /// Applies a store to a local frame; returns the instance id if the
+    /// store made it ready.
+    #[track_caller]
+    pub fn store(&mut self, now: u64, frame: FramePtr, slot: u16, value: i64) -> Option<InstanceId> {
+        assert_eq!(frame.pe, self.pe, "store routed to the wrong LSE");
+        let id = self.frames[frame.index as usize]
+            .unwrap_or_else(|| panic!("store to unallocated frame {frame}"));
+        self.stats.stores += 1;
+        let inst = self.instances.get_mut(&id).expect("frame table consistent");
+        if inst.store(slot, value) {
+            self.push_ready(id, now);
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    /// Releases a frame (the `FFREE` instruction). Returns allocations
+    /// that were parked on a prefetch buffer and can now be granted (the
+    /// caller sends their responses).
+    #[track_caller]
+    pub fn ffree(&mut self, frame: FramePtr) -> Vec<Granted> {
+        assert_eq!(frame.pe, self.pe, "ffree routed to the wrong LSE");
+        let id = self.frames[frame.index as usize]
+            .unwrap_or_else(|| panic!("ffree of unallocated frame {frame}"));
+        self.frames[frame.index as usize] = None;
+        self.free_frames.push(frame.index);
+        if let Some(buf) = self.pf_assigned.remove(&id) {
+            self.pf_free.push(buf);
+        }
+        self.stats.frees += 1;
+
+        // Retry parked allocations now that a buffer may be free.
+        let mut granted = Vec::new();
+        while !self.pending.is_empty() && !self.pf_free.is_empty() && !self.free_frames.is_empty()
+        {
+            let (req, for_inst, thread, sc, slots, needs_pf) =
+                self.pending.pop_front().expect("non-empty");
+            if let Some(g) = self.alloc_frame(req, for_inst, thread, sc, slots, needs_pf) {
+                granted.push(g);
+            }
+        }
+        granted
+    }
+
+    /// Marks an instance stopped; removes it once its DMA has drained.
+    pub fn stop(&mut self, id: InstanceId) {
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("stop of unknown instance {id}"));
+        inst.state = ThreadState::Done;
+        self.stats.stops += 1;
+        if inst.outstanding_dma == 0 {
+            self.instances.remove(&id);
+        }
+    }
+
+    /// Records a DMA completion for `owner`; returns `true` if it made the
+    /// instance ready.
+    pub fn dma_done(&mut self, now: u64, owner: InstanceId, tag: u8) -> bool {
+        let Some(inst) = self.instances.get_mut(&owner) else {
+            panic!("DMA completion for unknown instance {owner}");
+        };
+        let ready = inst.dma_complete(tag);
+        if inst.state == ThreadState::Done && inst.outstanding_dma == 0 {
+            self.instances.remove(&owner);
+            return false;
+        }
+        if ready {
+            self.push_ready(owner, now);
+        }
+        ready
+    }
+
+    fn push_ready(&mut self, id: InstanceId, now: u64) {
+        if let Some(inst) = self.instances.get_mut(&id) {
+            inst.ready_at = now;
+        }
+        self.ready.push_back(id);
+        self.stats.max_ready_queue = self.stats.max_ready_queue.max(self.ready.len());
+    }
+
+    /// Transitions an instance to Ready and enqueues it (used when a
+    /// deferred FALLOC grant finally arrives for a parked instance).
+    pub fn make_ready(&mut self, now: u64, id: InstanceId) {
+        let inst = self.instance_mut(id);
+        inst.state = ThreadState::Ready;
+        self.push_ready(id, now);
+    }
+
+    /// Pops the next ready instance for the pipeline (FIFO).
+    pub fn pop_ready(&mut self) -> Option<InstanceId> {
+        self.ready.pop_front()
+    }
+
+    /// Number of instances currently queued ready.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Immutable access to an instance.
+    #[track_caller]
+    pub fn instance(&self, id: InstanceId) -> &Instance {
+        self.instances
+            .get(&id)
+            .unwrap_or_else(|| panic!("unknown instance {id}"))
+    }
+
+    /// Mutable access to an instance.
+    #[track_caller]
+    pub fn instance_mut(&mut self, id: InstanceId) -> &mut Instance {
+        self.instances
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown instance {id}"))
+    }
+
+    /// Does the instance still exist? (Stopped instances with drained DMA
+    /// are removed.)
+    pub fn has_instance(&self, id: InstanceId) -> bool {
+        self.instances.contains_key(&id)
+    }
+
+    /// The instance currently owning a frame index, if any.
+    pub fn frame_owner(&self, frame: FramePtr) -> Option<InstanceId> {
+        assert_eq!(frame.pe, self.pe, "lookup routed to the wrong LSE");
+        self.frames.get(frame.index as usize).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lse() -> Lse {
+        Lse::new(
+            0,
+            LseParams {
+                frame_capacity: 2,
+                pf_buf_bytes: 1024,
+                pf_pool_size: 2,
+                pf_region_base: 0x100,
+                op_latency: 2,
+                virtual_frames: false,
+            },
+        )
+    }
+
+    #[test]
+    fn alloc_store_ready_flow() {
+        let mut l = lse();
+        let g = l.alloc_frame(0, InstanceId(900), ThreadId(0), 2, 2, false).unwrap();
+        assert_eq!(g.frame.pe, 0);
+        assert_eq!(l.free_frames(), 1);
+        assert!(l.pop_ready().is_none());
+
+        assert!(l.store(10, g.frame, 0, 5).is_none());
+        let ready = l.store(11, g.frame, 1, 6);
+        assert_eq!(ready, Some(g.instance));
+        assert_eq!(l.pop_ready(), Some(g.instance));
+        let inst = l.instance(g.instance);
+        assert_eq!(inst.slot(0), 5);
+        assert_eq!(inst.slot(1), 6);
+        assert_eq!(inst.ready_at, 11);
+    }
+
+    #[test]
+    fn sc_zero_instance_is_immediately_ready() {
+        let mut l = lse();
+        let g = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false).unwrap();
+        assert_eq!(l.pop_ready(), Some(g.instance));
+    }
+
+    #[test]
+    fn ffree_recycles_frame_and_pf_buffer() {
+        let mut l = lse();
+        let g1 = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, true).unwrap();
+        let a1 = l.instance(g1.instance).pf_buf_addr;
+        assert_ne!(a1, u32::MAX);
+        l.stop(g1.instance);
+        assert!(l.ffree(g1.frame).is_empty());
+        assert_eq!(l.free_frames(), 2);
+        // The same frame index and buffer can be handed out again.
+        let g2 = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, true).unwrap();
+        assert_eq!(g2.frame.index, g1.frame.index);
+        assert_eq!(l.instance(g2.instance).pf_buf_addr, a1);
+        // ...but the instance id is fresh.
+        assert_ne!(g2.instance, g1.instance);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn overcommit_without_vfp_panics() {
+        let mut l = lse();
+        l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false);
+        l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false);
+        l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false); // capacity 2
+    }
+
+    #[test]
+    fn virtual_frames_grow_beyond_capacity() {
+        let mut l = Lse::new(
+            0,
+            LseParams {
+                frame_capacity: 1,
+                virtual_frames: true,
+                ..LseParams::default()
+            },
+        );
+        let g1 = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false).unwrap();
+        let g2 = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false).unwrap();
+        let g3 = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false).unwrap();
+        let mut idx = vec![g1.frame.index, g2.frame.index, g3.frame.index];
+        idx.dedup();
+        assert_eq!(idx.len(), 3, "distinct virtual frames");
+    }
+
+    #[test]
+    fn vfp_with_pf_exhaustion_parks_allocation() {
+        let mut l = Lse::new(
+            0,
+            LseParams {
+                frame_capacity: 1,
+                pf_pool_size: 1,
+                virtual_frames: true,
+                ..LseParams::default()
+            },
+        );
+        let g1 = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, true).unwrap();
+        // Only one pf buffer exists; second prefetching alloc parks.
+        assert!(l.alloc_frame(7, InstanceId(900), ThreadId(1), 1, 1, true).is_none());
+        // Freeing the first frame releases the buffer and grants the
+        // parked request.
+        l.stop(g1.instance);
+        let granted = l.ffree(g1.frame);
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].requester, 7);
+    }
+
+    #[test]
+    fn stop_with_outstanding_dma_defers_removal() {
+        let mut l = lse();
+        let g = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false).unwrap();
+        l.instance_mut(g.instance).dma_issued(2);
+        l.stop(g.instance);
+        assert!(l.has_instance(g.instance));
+        assert!(!l.dma_done(0, g.instance, 2));
+        assert!(!l.has_instance(g.instance));
+    }
+
+    #[test]
+    fn dma_done_readies_waiting_instance() {
+        let mut l = lse();
+        let g = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false).unwrap();
+        assert_eq!(l.pop_ready(), Some(g.instance)); // drain initial ready
+        let inst = l.instance_mut(g.instance);
+        inst.dma_issued(0);
+        inst.state = ThreadState::WaitDma;
+        assert!(l.dma_done(42, g.instance, 0));
+        assert_eq!(l.pop_ready(), Some(g.instance));
+        assert_eq!(l.instance(g.instance).ready_at, 42);
+    }
+
+    #[test]
+    fn reserve_op_serialises_lse_work() {
+        let mut l = lse();
+        let a = l.reserve_op(0);
+        let b = l.reserve_op(0);
+        assert_eq!(a, 2);
+        assert_eq!(b, 4); // queued behind the first op
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong LSE")]
+    fn misrouted_store_panics() {
+        let mut l = lse();
+        l.store(0, FramePtr::new(1, 0), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated frame")]
+    fn store_to_free_frame_panics() {
+        let mut l = lse();
+        l.store(0, FramePtr::new(0, 0), 0, 0);
+    }
+
+    #[test]
+    fn stats_track_high_water_marks() {
+        let mut l = lse();
+        let g1 = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false).unwrap();
+        let _g2 = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false).unwrap();
+        let s = l.stats();
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.max_live_instances, 2);
+        assert_eq!(s.max_ready_queue, 2);
+        l.stop(g1.instance);
+        assert_eq!(l.stats().stops, 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Scheduler messages.
+//!
+//! The paper (§2): "Scheduler elements communicate among themselves by
+//! sending messages. These messages can signal the allocation of a new
+//! frame (FALLOC-Request and FALLOC-Response messages), releasing a frame
+//! (FFREE message) and storing the data in remote frames."
+//!
+//! Delivery timing is owned by the core simulator's message network; this
+//! module only defines the payloads and addressing.
+
+use crate::instance::InstanceId;
+use dta_isa::{FramePtr, ThreadId};
+use serde::{Deserialize, Serialize};
+
+/// Message destinations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Dest {
+    /// The DSE of a node.
+    Dse(u16),
+    /// The LSE of a PE (global PE index).
+    Lse(u16),
+    /// The pipeline of a PE (FALLOC responses unblock it).
+    Pipeline(u16),
+}
+
+/// Scheduler message payloads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Message {
+    /// PE → DSE: request a frame for an instance of `thread`.
+    FallocRequest {
+        /// PE whose pipeline is blocked waiting for the response.
+        requester: u16,
+        /// The requesting instance (correlation token for the response).
+        for_inst: InstanceId,
+        /// Static thread to instantiate.
+        thread: ThreadId,
+        /// Synchronisation count for the new instance.
+        sc: u16,
+        /// Inter-node forwarding hop count (0 = original request).
+        hops: u16,
+    },
+    /// DSE → LSE: create the frame/instance on the chosen PE.
+    AllocFrame {
+        /// PE whose pipeline is blocked waiting for the response.
+        requester: u16,
+        /// The requesting instance (correlation token for the response).
+        for_inst: InstanceId,
+        /// Static thread to instantiate.
+        thread: ThreadId,
+        /// Synchronisation count for the new instance.
+        sc: u16,
+    },
+    /// LSE → requesting pipeline: the granted frame pointer.
+    FallocResponse {
+        /// The granted frame.
+        frame: FramePtr,
+        /// The instance whose `FALLOC` this answers.
+        for_inst: InstanceId,
+    },
+    /// DSE → requesting pipeline: the request was queued (no frame
+    /// capacity anywhere). The requesting thread must deschedule so other
+    /// ready threads can use the pipeline — the grant arrives later as a
+    /// normal `FallocResponse`. (Without this, a fork storm on a single
+    /// PE would deadlock the machine.)
+    FallocDeferred {
+        /// The instance whose `FALLOC` was queued.
+        for_inst: InstanceId,
+    },
+    /// Any PE → owning LSE: store a value into a frame slot (decrements
+    /// the target's SC).
+    Store {
+        /// Target frame.
+        frame: FramePtr,
+        /// Destination slot.
+        slot: u16,
+        /// The 64-bit datum.
+        value: i64,
+    },
+    /// Any PE → owning LSE: release a frame.
+    Ffree {
+        /// Frame to release.
+        frame: FramePtr,
+    },
+    /// LSE → its DSE: a frame was freed (updates the DSE's free-frame
+    /// mirror and may unblock queued FALLOCs).
+    FrameFreed {
+        /// PE that freed the frame.
+        pe: u16,
+    },
+    /// MFC → LSE: a DMA transfer belonging to `owner` completed.
+    DmaDone {
+        /// The owning instance.
+        owner: InstanceId,
+        /// Tag group of the completed command.
+        tag: u8,
+    },
+}
+
+/// A routed message with a relative delivery delay.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Where it goes.
+    pub to: Dest,
+    /// What it carries.
+    pub msg: Message,
+    /// Cycles from send to delivery.
+    pub delay: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelopes_are_plain_data() {
+        let e = Envelope {
+            to: Dest::Lse(3),
+            msg: Message::Store {
+                frame: FramePtr::new(3, 7),
+                slot: 1,
+                value: -9,
+            },
+            delay: 5,
+        };
+        let e2 = e;
+        assert_eq!(e, e2);
+        match e2.msg {
+            Message::Store { frame, slot, value } => {
+                assert_eq!(frame, FramePtr::new(3, 7));
+                assert_eq!(slot, 1);
+                assert_eq!(value, -9);
+            }
+            _ => panic!("wrong payload"),
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = Envelope {
+            to: Dest::Dse(0),
+            msg: Message::FallocRequest {
+                requester: 2,
+                for_inst: InstanceId(9),
+                thread: ThreadId(5),
+                sc: 3,
+                hops: 0,
+            },
+            delay: 4,
+        };
+        let s = serde_json::to_string(&e).unwrap();
+        let back: Envelope = serde_json::from_str(&s).unwrap();
+        assert_eq!(e, back);
+    }
+}

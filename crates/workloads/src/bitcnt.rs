@@ -1,0 +1,464 @@
+//! `bitcnt(n)` — bit counting (paper §4.2, from MiBench).
+//!
+//! "bitcount ... counts bits for a certain number of iterations. Its
+//! parallelization has been performed by unrolling both the main loop and
+//! the loops inside each function. This benchmark is used in order to
+//! test the scalability of the architecture. Global data that is used by
+//! some of the functions is prefetched in the threads where it was
+//! needed."
+//!
+//! The main loop is unrolled into **waves** of `WAVE` leaves × [`LEAF`]
+//! samples. A wave thread forks its leaves plus a wave-join; every sample
+//! gets its own `count` thread using one of four bit-counting methods —
+//! two table-driven (MiBench's byte/nibble lookup tables in main memory)
+//! and two register-only (Kernighan, SWAR); counts flow back up through
+//! frames, and the wave-join spawns the next wave (a k-bounded unfolding:
+//! a wave's whole subtree needs ~50 frames, so the program never
+//! overruns a PE's physical frame pool — unbounded forking would deadlock
+//! any frame-based dataflow machine, which is exactly why the paper's
+//! §4.3 floats *virtual frame pointers*).
+//!
+//! The fork storm (~1.5 instances per sample) stresses the LSE/DSE and
+//! the frame traffic dominates main-memory traffic — both Fig. 5
+//! behaviours of the paper's bitcnt. Prefetching decouples only the
+//! affine reads (each leaf's slice of the sample/weight arrays); the
+//! table lookups stay, since their addresses are "not known before the
+//! execution starts" (§4.3) — so bitcnt keeps residual memory stalls and
+//! gains little, as in the paper.
+
+use crate::common::{synth_values, Variant, WorkloadProgram};
+use dta_core::System;
+use dta_isa::{reg::r, BrCond, ProgramBuilder, ThreadBuilder, ZERO_REG};
+
+/// Samples per leaf thread.
+pub const LEAF: usize = 4;
+/// Leaves per wave.
+pub const WAVE: usize = 8;
+/// Samples per wave.
+pub const WAVE_SAMPLES: usize = LEAF * WAVE;
+
+/// The sample values whose bits are counted (padded entries are zero and
+/// contribute nothing).
+pub fn samples(n: usize) -> Vec<i32> {
+    synth_values(0xB17C, n)
+}
+
+/// Per-sample weights (1..=3).
+pub fn weights(n: usize) -> Vec<i32> {
+    (0..n).map(|s| (s % 3 + 1) as i32).collect()
+}
+
+/// Reference result.
+pub fn expected(n: usize) -> i64 {
+    samples(n)
+        .iter()
+        .zip(weights(n))
+        .map(|(&x, w)| (x as u32).count_ones() as i64 * w as i64)
+        .sum()
+}
+
+/// Builds `bitcnt(n)`. `n` is padded up to a whole number of waves with
+/// zero samples.
+///
+/// # Panics
+///
+/// If `n == 0`.
+pub fn build(n: usize, variant: Variant) -> WorkloadProgram {
+    assert!(n > 0, "bitcnt needs at least one sample");
+    let padded = n.div_ceil(WAVE_SAMPLES) * WAVE_SAMPLES;
+
+    let mut pb = ProgramBuilder::new();
+    let mut sam = samples(n);
+    sam.resize(padded, 0);
+    let mut wts = weights(n);
+    wts.resize(padded, 1);
+    let t8: Vec<i32> = (0..256).map(|i: i32| i.count_ones() as i32).collect();
+    let t16: Vec<i32> = (0..16).map(|i: i32| i.count_ones() as i32).collect();
+
+    let sam_addr = pb.global_words("SAMPLES", &sam);
+    let wts_addr = pb.global_words("WEIGHTS", &wts);
+    let t8_addr = pb.global_words("T8", &t8);
+    let t16_addr = pb.global_words("T16", &t16);
+    pb.global_zeroed("TOTAL", 4);
+    let total_addr = pb.global_addr("TOTAL").unwrap();
+
+    let main = pb.declare("main");
+    let finish = pb.declare("finish");
+    let wave = pb.declare("wave");
+    let wavejoin = pb.declare("wavejoin");
+    let leaf = pb.declare("leaf");
+    let leafjoin = pb.declare("leafjoin");
+    let count = pb.declare("count");
+
+    // wavejoin frame layout: slots 0..WAVE-1 = leaf results,
+    // WAVE = running total, WAVE+1 = lo, WAVE+2 = finish frame.
+    let wj_sc = (WAVE + 3) as u16;
+
+    // ---- main -------------------------------------------------------------
+    let mut t = ThreadBuilder::new("main");
+    t.begin_ex();
+    t.falloc(r(3), finish, 1);
+    t.falloc(r(4), wave, 3);
+    t.begin_ps();
+    t.store(ZERO_REG, r(4), 0); // lo = 0
+    t.store(ZERO_REG, r(4), 1); // total = 0
+    t.store(r(3), r(4), 2); // finish frame
+    t.ffree_self();
+    t.stop();
+    pb.define(main, t);
+
+    // ---- finish ------------------------------------------------------------
+    let mut t = ThreadBuilder::new("finish");
+    t.begin_pl();
+    t.load(r(3), 0);
+    t.begin_ex();
+    t.li(r(4), total_addr as i64);
+    t.begin_ps();
+    t.write(r(3), r(4), 0);
+    t.ffree_self();
+    t.stop();
+    pb.define(finish, t);
+
+    // ---- wave: fork WAVE leaves + the wave-join -----------------------------
+    let mut t = ThreadBuilder::new("wave");
+    t.begin_pl();
+    t.load(r(3), 0); // lo
+    t.load(r(4), 1); // running total
+    t.load(r(5), 2); // finish frame
+    t.begin_ex();
+    t.falloc(r(6), wavejoin, wj_sc);
+    t.store(r(4), r(6), WAVE as u16);
+    t.store(r(3), r(6), (WAVE + 1) as u16);
+    t.store(r(5), r(6), (WAVE + 2) as u16);
+    for w in 0..WAVE {
+        t.falloc(r(7), leaf, 3);
+        t.add(r(8), r(3), (w * LEAF) as i32); // leaf lo
+        t.store(r(8), r(7), 0);
+        t.store(r(6), r(7), 1); // wave-join frame
+        t.li(r(9), w as i64);
+        t.store(r(9), r(7), 2); // result slot
+    }
+    t.begin_ps();
+    t.ffree_self();
+    t.stop();
+    pb.define(wave, t);
+
+    // ---- wavejoin: sum the wave, then continue or finish ---------------------
+    let mut t = ThreadBuilder::new("wavejoin");
+    t.begin_pl();
+    for w in 0..WAVE {
+        t.load(r(3 + w as u8), w as u16);
+    }
+    t.load(r(12), WAVE as u16); // running total
+    t.load(r(13), (WAVE + 1) as u16); // lo
+    t.load(r(14), (WAVE + 2) as u16); // finish frame
+    t.begin_ex();
+    for w in 1..WAVE {
+        t.add(r(3), r(3), r(3 + w as u8));
+    }
+    t.add(r(12), r(12), r(3)); // new total
+    t.add(r(13), r(13), WAVE_SAMPLES as i32); // next lo
+    let more = t.new_label();
+    let done = t.new_label();
+    t.br(BrCond::Lt, r(13), padded as i32, more);
+    // All samples processed: deliver the total.
+    t.store(r(12), r(14), 0);
+    t.jmp(done);
+    t.bind(more);
+    t.falloc(r(15), wave, 3);
+    t.store(r(13), r(15), 0);
+    t.store(r(12), r(15), 1);
+    t.store(r(14), r(15), 2);
+    t.bind(done);
+    t.begin_ps();
+    t.ffree_self();
+    t.stop();
+    pb.define(wavejoin, t);
+
+    // ---- leaf: read LEAF samples+weights, fork count threads ------------------
+    let mut t = ThreadBuilder::new("leaf");
+    let hand = variant == Variant::HandPrefetch;
+    if hand {
+        t.prefetch_bytes(2 * (LEAF as u32) * 4);
+        t.load(r(3), 0); // lo
+        t.shl(r(7), r(3), 2);
+        t.li(r(8), sam_addr as i64);
+        t.add(r(8), r(8), r(7));
+        t.dmaget(r(2), 0, r(8), 0, (LEAF * 4) as i32, 0);
+        t.li(r(9), wts_addr as i64);
+        t.add(r(9), r(9), r(7));
+        t.dmaget(r(2), (LEAF * 4) as i32, r(9), 0, (LEAF * 4) as i32, 1);
+        t.dmayield();
+    }
+    t.begin_pl();
+    t.load(r(3), 0); // lo
+    t.load(r(4), 1); // wave-join frame
+    t.load(r(5), 2); // result slot in the wave-join
+    t.begin_ex();
+    t.falloc(r(6), leafjoin, (LEAF + 2) as u16);
+    t.store(r(4), r(6), LEAF as u16);
+    t.store(r(5), r(6), (LEAF + 1) as u16);
+    if !hand {
+        t.shl(r(13), r(3), 2);
+        t.li(r(14), sam_addr as i64);
+        t.add(r(14), r(14), r(13));
+        t.li(r(15), wts_addr as i64);
+        t.add(r(15), r(15), r(13));
+    }
+    for j in 0..LEAF {
+        let off = (j * 4) as i32;
+        if hand {
+            t.lsload(r(16), r(2), off);
+            t.lsload(r(17), r(2), (LEAF * 4) as i32 + off);
+        } else {
+            t.read(r(16), r(14), off);
+            t.read(r(17), r(15), off);
+        }
+        t.falloc(r(18), count, 4);
+        t.store(r(16), r(18), 0); // x
+        t.store(r(17), r(18), 1); // w
+        t.store(r(6), r(18), 2); // leaf-join frame
+        t.li(r(19), j as i64);
+        t.store(r(19), r(18), 3); // slot (also selects the method)
+    }
+    t.begin_ps();
+    t.ffree_self();
+    t.stop();
+    pb.define(leaf, t);
+
+    // ---- count: one sample's weighted popcount --------------------------------
+    let mut t = ThreadBuilder::new("count");
+    t.begin_pl();
+    t.load(r(3), 0); // x
+    t.load(r(4), 1); // w
+    t.load(r(5), 2); // leaf-join frame
+    t.load(r(6), 3); // slot / method selector
+    t.begin_ex();
+    t.li(r(20), 0xFFFF_FFFF);
+    t.and(r(3), r(3), r(20)); // 32-bit pattern
+    t.li(r(8), 0); // cnt
+    t.alu(dta_isa::AluOp::And, r(7), r(6), 3);
+    let m1 = t.new_label();
+    let m2 = t.new_label();
+    let m3 = t.new_label();
+    let msum = t.new_label();
+    t.br(BrCond::Eq, r(7), 1, m1);
+    t.br(BrCond::Eq, r(7), 2, m2);
+    t.br(BrCond::Eq, r(7), 3, m3);
+    // method 0: byte-table lookups (4 data-dependent READs).
+    {
+        t.li(r(9), t8_addr as i64);
+        for shift in [0, 8, 16, 24] {
+            t.shr(r(10), r(3), shift);
+            t.and(r(10), r(10), 0xFF);
+            t.shl(r(10), r(10), 2);
+            t.add(r(10), r(9), r(10));
+            t.read(r(11), r(10), 0);
+            t.add(r(8), r(8), r(11));
+        }
+        t.jmp(msum);
+    }
+    // method 1: nibble-table lookups (8 data-dependent READs).
+    t.bind(m1);
+    {
+        t.li(r(9), t16_addr as i64);
+        for shift in [0, 4, 8, 12, 16, 20, 24, 28] {
+            t.shr(r(10), r(3), shift);
+            t.and(r(10), r(10), 0xF);
+            t.shl(r(10), r(10), 2);
+            t.add(r(10), r(9), r(10));
+            t.read(r(11), r(10), 0);
+            t.add(r(8), r(8), r(11));
+        }
+        t.jmp(msum);
+    }
+    // method 2: Kernighan's clear-lowest-set-bit loop.
+    t.bind(m2);
+    {
+        let top = t.label_here();
+        let done = t.new_label();
+        t.br(BrCond::Eq, r(3), 0, done);
+        t.sub(r(10), r(3), 1);
+        t.and(r(3), r(3), r(10));
+        t.add(r(8), r(8), 1);
+        t.jmp(top);
+        t.bind(done);
+        t.jmp(msum);
+    }
+    // method 3: SWAR parallel popcount.
+    t.bind(m3);
+    {
+        t.shr(r(10), r(3), 1);
+        t.and(r(10), r(10), 0x5555_5555);
+        t.sub(r(10), r(3), r(10));
+        t.and(r(11), r(10), 0x3333_3333);
+        t.shr(r(10), r(10), 2);
+        t.and(r(10), r(10), 0x3333_3333);
+        t.add(r(10), r(10), r(11));
+        t.shr(r(11), r(10), 4);
+        t.add(r(10), r(10), r(11));
+        t.and(r(10), r(10), 0x0F0F_0F0F);
+        t.mul(r(10), r(10), 0x0101_0101);
+        t.shr(r(10), r(10), 24);
+        t.and(r(8), r(10), 0xFF);
+    }
+    t.bind(msum);
+    t.mul(r(8), r(8), r(4)); // weighted
+    t.begin_ps();
+    // Store into leaf-join slot r6 (0..LEAF-1); slot operands are
+    // immediates, so select by branching.
+    let send = t.new_label();
+    for j in 0..LEAF as i32 {
+        let next = t.new_label();
+        if j < LEAF as i32 - 1 {
+            t.br(BrCond::Ne, r(6), j, next);
+        }
+        t.store(r(8), r(5), j as u16);
+        if j < LEAF as i32 - 1 {
+            t.jmp(send);
+        }
+        t.bind(next);
+    }
+    t.bind(send);
+    t.ffree_self();
+    t.stop();
+    pb.define(count, t);
+
+    // ---- leafjoin: sum LEAF counts, store to the wave-join ---------------------
+    let mut t = ThreadBuilder::new("leafjoin");
+    t.begin_pl();
+    for j in 0..LEAF {
+        t.load(r(3 + j as u8), j as u16);
+    }
+    t.load(r(10), LEAF as u16); // wave-join frame
+    t.load(r(11), (LEAF + 1) as u16); // wave-join slot (0..WAVE-1)
+    t.begin_ex();
+    t.add(r(12), r(3), r(4));
+    t.add(r(12), r(12), r(5));
+    t.add(r(12), r(12), r(6));
+    t.begin_ps();
+    let out = t.new_label();
+    for w in 0..WAVE as i32 {
+        let next = t.new_label();
+        if w < WAVE as i32 - 1 {
+            t.br(BrCond::Ne, r(11), w, next);
+        }
+        t.store(r(12), r(10), w as u16);
+        if w < WAVE as i32 - 1 {
+            t.jmp(out);
+        }
+        t.bind(next);
+    }
+    t.bind(out);
+    t.ffree_self();
+    t.stop();
+    pb.define(leafjoin, t);
+
+    pb.set_entry(main, 0);
+    let wp = WorkloadProgram {
+        name: format!("bitcnt({n})"),
+        program: pb.build(),
+        args: vec![],
+        compiler_report: None,
+    };
+    match variant {
+        Variant::AutoPrefetch => wp.auto_prefetch(),
+        _ => wp,
+    }
+}
+
+/// Checks the simulated total against [`expected`].
+pub fn verify(sys: &System, n: usize) -> Result<(), String> {
+    let want = expected(n) as i32;
+    match sys.read_global_word("TOTAL", 0) {
+        Some(got) if got == want => Ok(()),
+        got => Err(format!("TOTAL = {got:?}, expected {want} (bitcnt({n}))")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_core::{simulate, StallCat, SystemConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn all_variants_count_correctly() {
+        let n = 40; // deliberately not a wave multiple: exercises padding
+        for variant in Variant::ALL {
+            let wp = build(n, variant);
+            assert!(
+                dta_isa::validate_program(&wp.program).is_empty(),
+                "{variant:?} fails validation"
+            );
+            let (_, sys) =
+                simulate(SystemConfig::with_pes(4), Arc::new(wp.program), &wp.args).unwrap();
+            verify(&sys, n).unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bounded_waves_survive_a_single_pe() {
+        // The k-bounded unfolding must not exhaust one PE's frame pool.
+        let wp = build(256, Variant::Baseline);
+        let (stats, sys) =
+            simulate(SystemConfig::with_pes(1), Arc::new(wp.program), &wp.args).unwrap();
+        verify(&sys, 256).unwrap();
+        assert!(stats.instances > 300);
+    }
+
+    #[test]
+    fn frame_traffic_dominates_memory_traffic() {
+        // The Table 5 bitcnt shape: LOAD/STORE >> READ, WRITE tiny.
+        let wp = build(128, Variant::Baseline);
+        let (stats, _) =
+            simulate(SystemConfig::with_pes(8), Arc::new(wp.program), &wp.args).unwrap();
+        let frame = stats.aggregate.loads + stats.aggregate.stores;
+        assert!(
+            frame > stats.aggregate.reads,
+            "frame {} vs reads {}",
+            frame,
+            stats.aggregate.reads
+        );
+        assert!(stats.aggregate.writes < 10); // only the final total
+        assert!(stats.instances > 128); // fork storm
+    }
+
+    #[test]
+    fn prefetch_leaves_table_lookups_in_place() {
+        let n = 128;
+        let base = build(n, Variant::Baseline);
+        let auto = build(n, Variant::AutoPrefetch);
+        let report = auto.compiler_report.as_ref().unwrap();
+        let leaf = report.threads.iter().find(|t| t.name == "leaf").unwrap();
+        // The 8 leaf reads decouple into 2 coalesced regions.
+        assert_eq!(leaf.decoupled, 8);
+        assert_eq!(leaf.regions, 2);
+        let count = report.threads.iter().find(|t| t.name == "count").unwrap();
+        // Table lookups are data-dependent: nothing decoupled.
+        assert_eq!(count.decoupled, 0);
+        assert_eq!(count.reads, 12);
+
+        let cfg = SystemConfig::with_pes(8);
+        let (sb, _) = simulate(cfg.clone(), Arc::new(base.program), &base.args).unwrap();
+        let (sa, sys) = simulate(cfg, Arc::new(auto.program), &auto.args).unwrap();
+        verify(&sys, n).unwrap();
+        // Sample/weight reads gone, table reads remain.
+        assert!(sa.aggregate.reads > 0);
+        assert!(sa.aggregate.reads < sb.aggregate.reads);
+        // Residual memory stalls remain (the paper's bitcnt keeps 26%).
+        assert!(sa.breakdown().frac(StallCat::MemStall) > 0.02);
+    }
+
+    #[test]
+    fn expected_matches_a_naive_popcount() {
+        assert_eq!(
+            expected(8),
+            samples(8)
+                .iter()
+                .zip(weights(8))
+                .map(|(&x, w)| (x as u32).count_ones() as i64 * w as i64)
+                .sum::<i64>()
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! `colsum(n)` — per-column sums of an n×n matrix.
+//!
+//! Not a paper benchmark; its access pattern (each worker walks one
+//! *column*, stride `4n`) is the canonical strided gather, so it drives
+//! the packed strided-DMA path and the split-transaction hardware
+//! ablation (paper §3: "in case where thread accesses array with a
+//! certain stride between elements it could generate too many
+//! transactions [with a split-transaction network] (and DMA performs it
+//! in one transaction)").
+
+use crate::common::{synth_values, Variant, WorkloadProgram};
+use dta_compiler::{PlanOptions, TransformOptions};
+use dta_core::System;
+use dta_isa::{reg::r, BrCond, ProgramBuilder, ThreadBuilder};
+
+/// Input matrix (row-major, n×n, small values).
+pub fn input(n: usize) -> Vec<i32> {
+    synth_values(0xC0153, n * n)
+        .into_iter()
+        .map(|v| v & 0xFFFF)
+        .collect()
+}
+
+/// Reference column sums.
+pub fn expected(n: usize) -> Vec<i32> {
+    let m = input(n);
+    (0..n)
+        .map(|j| (0..n).map(|i| m[i * n + j]).sum())
+        .collect()
+}
+
+/// Builds `colsum(n)`. The auto variant uses a buffer cap that forces the
+/// packed strided-gather path (one DMA transaction per column).
+///
+/// # Panics
+///
+/// If `n` is not a power of two (keeps the stride a power of two).
+pub fn build(n: usize, variant: Variant) -> WorkloadProgram {
+    assert!(n.is_power_of_two() && n >= 2, "colsum needs a power-of-two n");
+    let stride = (n * 4) as i32;
+
+    let mut pb = ProgramBuilder::new();
+    let mat = pb.global_words("M", &input(n));
+    let out = pb.global_zeroed("S", n * 4);
+    let main = pb.declare("main");
+    let col = pb.declare("col");
+
+    let mut t = ThreadBuilder::new("main");
+    t.begin_ex();
+    t.li(r(3), 0);
+    let top = t.label_here();
+    let done = t.new_label();
+    t.br(BrCond::Ge, r(3), n as i32, done);
+    t.falloc(r(4), col, 1);
+    t.store(r(3), r(4), 0);
+    t.add(r(3), r(3), 1);
+    t.jmp(top);
+    t.bind(done);
+    t.begin_ps();
+    t.ffree_self();
+    t.stop();
+    pb.define(main, t);
+
+    let mut w = ThreadBuilder::new("col");
+    let hand = variant == Variant::HandPrefetch;
+    if hand {
+        w.prefetch_bytes((n * 4) as u32);
+        w.load(r(3), 0); // j
+        w.shl(r(4), r(3), 2);
+        w.li(r(5), mat as i64);
+        w.add(r(5), r(5), r(4)); // &M[0][j]
+        w.dmagets(r(2), 0, r(5), 0, 4, n as i32, stride, 0);
+        w.dmayield();
+    }
+    w.begin_pl();
+    w.load(r(3), 0); // column j
+    w.begin_ex();
+    w.li(r(7), 0); // i
+    w.li(r(8), 0); // sum
+    if hand {
+        // Packed column in the prefetch buffer: element i at r2 + i*4.
+        let top = w.label_here();
+        let done = w.new_label();
+        w.br(BrCond::Ge, r(7), n as i32, done);
+        w.shl(r(9), r(7), 2);
+        w.add(r(9), r(2), r(9));
+        w.lsload(r(10), r(9), 0);
+        w.add(r(8), r(8), r(10));
+        w.add(r(7), r(7), 1);
+        w.jmp(top);
+        w.bind(done);
+    } else {
+        w.shl(r(4), r(3), 2);
+        w.li(r(5), mat as i64);
+        w.add(r(5), r(5), r(4)); // &M[0][j]
+        let top = w.label_here();
+        let done = w.new_label();
+        w.br(BrCond::Ge, r(7), n as i32, done);
+        w.mul(r(9), r(7), stride);
+        w.add(r(9), r(5), r(9));
+        w.read(r(10), r(9), 0);
+        w.add(r(8), r(8), r(10));
+        w.add(r(7), r(7), 1);
+        w.jmp(top);
+        w.bind(done);
+    }
+    w.begin_ps();
+    w.shl(r(11), r(3), 2);
+    w.li(r(12), out as i64);
+    w.add(r(12), r(12), r(11));
+    w.write(r(8), r(12), 0);
+    w.ffree_self();
+    w.stop();
+    pb.define(col, w);
+
+    pb.set_entry(main, 0);
+    let mut wp = WorkloadProgram {
+        name: format!("colsum({n})"),
+        program: pb.build(),
+        args: vec![],
+        compiler_report: None,
+    };
+    if variant == Variant::AutoPrefetch {
+        // Cap below the column bounding box so the planner picks the
+        // packed strided gather.
+        let opts = TransformOptions {
+            plan: PlanOptions {
+                max_region_bytes: (n * 8) as u32,
+                ..PlanOptions::default()
+            },
+        };
+        let (p, report) = dta_compiler::prefetch_program(&wp.program, &opts);
+        wp.program = p;
+        wp.compiler_report = Some(report);
+    }
+    wp
+}
+
+/// Checks the simulated sums against [`expected`].
+pub fn verify(sys: &System, n: usize) -> Result<(), String> {
+    let want = expected(n);
+    for (idx, &w) in want.iter().enumerate() {
+        match sys.read_global_word("S", idx) {
+            Some(got) if got == w => {}
+            got => return Err(format!("S[{idx}] = {got:?}, expected {w}")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_core::{simulate, SystemConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn all_variants_sum_columns_correctly() {
+        for variant in Variant::ALL {
+            let wp = build(16, variant);
+            assert!(
+                dta_isa::validate_program(&wp.program).is_empty(),
+                "{variant:?} invalid"
+            );
+            let (_, sys) =
+                simulate(SystemConfig::with_pes(4), Arc::new(wp.program), &wp.args).unwrap();
+            verify(&sys, 16).unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn auto_variant_uses_strided_gather() {
+        let wp = build(16, Variant::AutoPrefetch);
+        assert!(wp.program.threads.iter().any(|t| t
+            .code
+            .iter()
+            .any(|i| matches!(i, dta_isa::Instr::DmaGetStrided { .. }))));
+        let (stats, _) =
+            simulate(SystemConfig::with_pes(4), Arc::new(wp.program), &wp.args).unwrap();
+        assert_eq!(stats.aggregate.reads, 0);
+    }
+
+    #[test]
+    fn split_transactions_slow_the_prefetch_variant() {
+        let wp = || build(32, Variant::HandPrefetch);
+        let fast = SystemConfig::with_pes(4);
+        let mut slow = SystemConfig::with_pes(4);
+        slow.dma_split_transactions = true;
+        let a = simulate(fast, Arc::new(wp().program), &[]).unwrap().0;
+        let b = simulate(slow, Arc::new(wp().program), &[]).unwrap().0;
+        assert!(
+            b.cycles > a.cycles,
+            "split {} should exceed single-transaction {}",
+            b.cycles,
+            a.cycles
+        );
+    }
+}

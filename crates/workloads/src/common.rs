@@ -1,0 +1,98 @@
+//! Shared workload plumbing.
+
+use dta_compiler::{prefetch_program, ProgramReport, TransformOptions};
+use dta_isa::Program;
+use serde::{Deserialize, Serialize};
+
+/// Which code version of a benchmark to build (paper §4.2: benchmarks are
+/// "hand-coded for the original DTA", then "prefetching code blocks are
+/// added by hand"; our compiler automates the latter).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Variant {
+    /// Original DTA: main-memory READs inside the EX blocks.
+    Baseline,
+    /// PF blocks written by hand, as in the paper.
+    HandPrefetch,
+    /// PF blocks inserted by `dta-compiler`.
+    AutoPrefetch,
+}
+
+impl Variant {
+    /// All variants.
+    pub const ALL: [Variant; 3] = [Variant::Baseline, Variant::HandPrefetch, Variant::AutoPrefetch];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Baseline => "baseline",
+            Variant::HandPrefetch => "prefetch-hand",
+            Variant::AutoPrefetch => "prefetch-auto",
+        }
+    }
+
+    /// Does this variant prefetch?
+    pub fn prefetches(self) -> bool {
+        !matches!(self, Variant::Baseline)
+    }
+}
+
+/// A benchmark instance ready to simulate.
+pub struct WorkloadProgram {
+    /// Display name, e.g. `mmul(32)`.
+    pub name: String,
+    /// The program.
+    pub program: Program,
+    /// Host arguments for the entry thread.
+    pub args: Vec<i64>,
+    /// Compiler report when the variant is [`Variant::AutoPrefetch`].
+    pub compiler_report: Option<ProgramReport>,
+}
+
+impl WorkloadProgram {
+    /// Applies the automatic prefetch compiler to a baseline program.
+    pub fn auto_prefetch(mut self) -> Self {
+        let (p, report) = prefetch_program(&self.program, &TransformOptions::default());
+        self.program = p;
+        self.compiler_report = Some(report);
+        self
+    }
+}
+
+/// Deterministic pseudo-random 32-bit values for workload inputs
+/// (xorshift; seeds are fixed per workload so runs are reproducible).
+pub fn synth_values(seed: u32, n: usize) -> Vec<i32> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            x as i32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_values_are_deterministic_and_seed_dependent() {
+        let a = synth_values(7, 16);
+        let b = synth_values(7, 16);
+        let c = synth_values(8, 16);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn variant_labels_unique() {
+        let mut labels: Vec<_> = Variant::ALL.iter().map(|v| v.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 3);
+        assert!(!Variant::Baseline.prefetches());
+        assert!(Variant::HandPrefetch.prefetches());
+    }
+}

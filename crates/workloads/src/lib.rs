@@ -1,0 +1,35 @@
+//! # dta-workloads — the paper's benchmarks, hand-coded for DTA
+//!
+//! "All the benchmarks are hand-coded for the original DTA ...
+//! Prefetching code blocks are added by hand following the principles
+//! described in the previous sections" (paper §4.2). Each workload here
+//! builds in three [`Variant`]s: the original-DTA baseline, the paper's
+//! hand-written PF blocks, and the `dta-compiler` automatic
+//! transformation.
+//!
+//! Paper benchmarks:
+//!
+//! * [`bitcnt`] — MiBench bit counting: fork-storm parallelism, frame
+//!   traffic ≫ memory traffic, data-dependent table lookups that cannot
+//!   be prefetched;
+//! * [`mmul`] — matrix multiply: one worker per output row, `2n³` READs,
+//!   fully decouplable;
+//! * [`zoom`] — 4× image zoom with 2-tap interpolation: one worker per
+//!   output row, 2 READs per output pixel, fully decouplable.
+//!
+//! Extra workloads for examples/ablations: [`vecscale`], [`stencil`],
+//! [`colsum`].
+//!
+//! Every module exposes `build(...) -> WorkloadProgram`, a host-side
+//! `expected(...)`, and `verify(&System, ...)` so results are always
+//! checked, never eyeballed.
+
+pub mod bitcnt;
+pub mod colsum;
+pub mod common;
+pub mod mmul;
+pub mod stencil;
+pub mod vecscale;
+pub mod zoom;
+
+pub use common::{synth_values, Variant, WorkloadProgram};

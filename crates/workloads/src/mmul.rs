@@ -1,0 +1,276 @@
+//! `mmul(n)` — matrix multiply (paper §4.2).
+//!
+//! "Matrix multiply is a program that multiplies two matrices. Threads
+//! that run in parallel are calculating parts of the output matrix. The
+//! number of threads is always a power of two. ... Prefetching of the
+//! parts of the input matrices is performed in the threads that are
+//! calculating the output matrix."
+//!
+//! Structure: the entry thread forks one worker per output row; worker
+//! `i` computes row `i` of `C = A × B` with the classic j/k loop nest.
+//! Per worker the baseline issues `2n²` READs (A-row elements re-read per
+//! column, B in full), so the whole run issues `2n³` READs and `n²`
+//! WRITEs — the Table 5 shape (65 536 and 1 024 for n = 32).
+//!
+//! The hand-prefetch variant DMAs the worker's A row and the whole B
+//! matrix into the local store in its PF block, exactly as the paper's
+//! authors hand-coded; the auto variant lets `dta-compiler` discover the
+//! same two regions.
+
+use crate::common::{synth_values, Variant, WorkloadProgram};
+use dta_core::System;
+use dta_isa::{reg::r, BrCond, ProgramBuilder, ThreadBuilder};
+
+/// Element mask keeping products comfortably inside 32 bits.
+const ELEM_MASK: i32 = 0xFFF;
+
+/// Deterministic input matrix A (row-major, n×n).
+pub fn input_a(n: usize) -> Vec<i32> {
+    synth_values(0xA11CE, n * n)
+        .into_iter()
+        .map(|v| v & ELEM_MASK)
+        .collect()
+}
+
+/// Deterministic input matrix B (row-major, n×n).
+pub fn input_b(n: usize) -> Vec<i32> {
+    synth_values(0xB0B, n * n)
+        .into_iter()
+        .map(|v| v & ELEM_MASK)
+        .collect()
+}
+
+/// Reference result computed on the host.
+pub fn expected(n: usize) -> Vec<i32> {
+    let a = input_a(n);
+    let b = input_b(n);
+    let mut c = vec![0i32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0i64;
+            for k in 0..n {
+                acc += a[i * n + k] as i64 * b[k * n + j] as i64;
+            }
+            c[i * n + j] = acc as i32;
+        }
+    }
+    c
+}
+
+/// Builds `mmul(n)`.
+///
+/// # Panics
+///
+/// If `n` is not a power of two (the paper's constraint) or `n < 2`.
+pub fn build(n: usize, variant: Variant) -> WorkloadProgram {
+    assert!(n.is_power_of_two() && n >= 2, "mmul needs a power-of-two n >= 2");
+    let nb = (n * 4) as i32; // row bytes
+
+    let mut pb = ProgramBuilder::new();
+    let a = pb.global_words("A", &input_a(n));
+    let b = pb.global_words("B", &input_b(n));
+    let c = pb.global_zeroed("C", n * n * 4);
+    let main = pb.declare("main");
+    let row = pb.declare("row");
+
+    // ---- entry: fork one worker per row ---------------------------------
+    let mut t = ThreadBuilder::new("main");
+    t.begin_ex();
+    t.li(r(3), 0);
+    let top = t.label_here();
+    let done = t.new_label();
+    t.br(BrCond::Ge, r(3), n as i32, done);
+    t.falloc(r(4), row, 1);
+    t.store(r(3), r(4), 0);
+    t.add(r(3), r(3), 1);
+    t.jmp(top);
+    t.bind(done);
+    t.begin_ps();
+    t.ffree_self();
+    t.stop();
+    pb.define(main, t);
+
+    // ---- row worker ------------------------------------------------------
+    let mut w = ThreadBuilder::new("row");
+    let hand = variant == Variant::HandPrefetch;
+    // LS layout for the hand variant: [0, nb) = A row; [arow_pad, +n*nb) = B.
+    let arow_pad = ((n * 4).div_ceil(16) * 16) as i32;
+
+    if hand {
+        w.prefetch_bytes((arow_pad as usize + n * n * 4) as u32);
+        // PF: fetch A row i and all of B.
+        w.load(r(3), 0); // i
+        w.mul(r(4), r(3), nb);
+        w.li(r(5), a as i64);
+        w.add(r(5), r(5), r(4)); // &A[i][0]
+        w.dmaget(r(2), 0, r(5), 0, nb, 0);
+        w.li(r(6), b as i64);
+        w.dmaget(r(2), arow_pad, r(6), 0, (n * n * 4) as i32, 1);
+        w.dmayield();
+    }
+    w.begin_pl();
+    w.load(r(3), 0); // i
+    w.begin_ex();
+    w.mul(r(4), r(3), nb); // row byte offset
+    if hand {
+        // Bases point into the local store.
+        w.mov(r(5), r(2)); // A row (LS)
+        w.add(r(6), r(2), arow_pad); // B (LS)
+    } else {
+        w.li(r(5), a as i64);
+        w.add(r(5), r(5), r(4)); // &A[i][0] (main memory)
+        w.li(r(6), b as i64); // B (main memory)
+    }
+    w.li(r(7), c as i64);
+    w.add(r(7), r(7), r(4)); // &C[i][0]
+
+    w.li(r(8), 0); // j
+    let jtop = w.label_here();
+    let jdone = w.new_label();
+    w.br(BrCond::Ge, r(8), n as i32, jdone);
+    w.shl(r(14), r(8), 2); // j*4, loop-invariant in k
+    w.li(r(9), 0); // k
+    w.li(r(10), 0); // acc
+    // The k-loop is unrolled by two with the loads scheduled ahead of
+    // their uses, as the paper's hand-unrolled SPU kernels would be —
+    // this is what keeps local-store latency hidden ("LS stalls ...
+    // mostly overlapped with the execution", §4.3).
+    let ktop = w.label_here();
+    let kdone = w.new_label();
+    w.br(BrCond::Ge, r(9), n as i32, kdone);
+    w.shl(r(11), r(9), 2);
+    w.add(r(11), r(5), r(11)); // &A[i][k]
+    w.mul(r(13), r(9), nb);
+    w.add(r(13), r(13), r(14));
+    w.add(r(13), r(6), r(13)); // &B[k][j]
+    if hand {
+        w.lsload(r(16), r(11), 0);
+        w.lsload(r(17), r(11), 4);
+        w.lsload(r(18), r(13), 0);
+        w.lsload(r(19), r(13), nb);
+    } else {
+        w.read(r(16), r(11), 0);
+        w.read(r(17), r(11), 4);
+        w.read(r(18), r(13), 0);
+        w.read(r(19), r(13), nb);
+    }
+    w.add(r(9), r(9), 2); // bookkeeping overlaps the loads in flight
+    w.mul(r(20), r(16), r(18));
+    w.add(r(10), r(10), r(20));
+    w.mul(r(21), r(17), r(19));
+    w.add(r(10), r(10), r(21));
+    w.jmp(ktop);
+    w.bind(kdone);
+    // C[i][j] = acc
+    w.shl(r(17), r(8), 2);
+    w.add(r(17), r(7), r(17));
+    w.write(r(10), r(17), 0);
+    w.add(r(8), r(8), 1);
+    w.jmp(jtop);
+    w.bind(jdone);
+    w.begin_ps();
+    w.ffree_self();
+    w.stop();
+    pb.define(row, w);
+
+    pb.set_entry(main, 0);
+    let wp = WorkloadProgram {
+        name: format!("mmul({n})"),
+        program: pb.build(),
+        args: vec![],
+        compiler_report: None,
+    };
+    match variant {
+        Variant::AutoPrefetch => wp.auto_prefetch(),
+        _ => wp,
+    }
+}
+
+/// Checks the simulated result against [`expected`].
+pub fn verify(sys: &System, n: usize) -> Result<(), String> {
+    let want = expected(n);
+    for (idx, &w) in want.iter().enumerate() {
+        match sys.read_global_word("C", idx) {
+            Some(got) if got == w => {}
+            got => {
+                return Err(format!(
+                    "C[{}] = {:?}, expected {} (mmul({n}))",
+                    idx, got, w
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_core::{simulate, StallCat, SystemConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn all_variants_compute_the_same_product() {
+        let n = 8;
+        for variant in Variant::ALL {
+            let wp = build(n, variant);
+            assert!(
+                dta_isa::validate_program(&wp.program).is_empty(),
+                "{variant:?} fails validation"
+            );
+            let (_, sys) =
+                simulate(SystemConfig::with_pes(4), Arc::new(wp.program), &wp.args).unwrap();
+            verify(&sys, n).unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn baseline_read_counts_match_the_table5_shape() {
+        let n = 8;
+        let wp = build(n, Variant::Baseline);
+        let (stats, _) =
+            simulate(SystemConfig::with_pes(4), Arc::new(wp.program), &wp.args).unwrap();
+        assert_eq!(stats.aggregate.reads, 2 * (n * n * n) as u64);
+        assert_eq!(stats.aggregate.writes, (n * n) as u64);
+    }
+
+    #[test]
+    fn prefetch_variants_eliminate_reads_and_memory_stalls() {
+        let n = 8;
+        for variant in [Variant::HandPrefetch, Variant::AutoPrefetch] {
+            let wp = build(n, variant);
+            let (stats, _) =
+                simulate(SystemConfig::with_pes(4), Arc::new(wp.program), &wp.args).unwrap();
+            assert_eq!(stats.aggregate.reads, 0, "{variant:?} left READs behind");
+            assert!(
+                stats.breakdown().frac(StallCat::MemStall) < 0.05,
+                "{variant:?} memstall {:.2}",
+                stats.breakdown().frac(StallCat::MemStall)
+            );
+            assert!(stats.dma_commands >= n as u64); // >=1 per row worker
+        }
+    }
+
+    #[test]
+    fn auto_compiler_decouples_every_read_site() {
+        // The unrolled k-loop has four read sites: two A-row walks and
+        // two B walks; all four decouple.
+        let wp = build(8, Variant::AutoPrefetch);
+        let report = wp.compiler_report.expect("auto variant has a report");
+        let row = report
+            .threads
+            .iter()
+            .find(|t| t.name == "row")
+            .expect("row worker");
+        assert_eq!(row.reads, 4);
+        assert_eq!(row.decoupled, 4);
+        assert_eq!(row.regions, 4);
+        assert!(row.skipped_reads.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        build(12, Variant::Baseline);
+    }
+}

@@ -1,0 +1,248 @@
+//! `zoom(n)` — image zoom (paper §4.2).
+//!
+//! "Zoom is a program that zooms into one part of the input picture. It
+//! is parallelized by sending different parts of the picture to different
+//! PEs. ... Parts of the input image are prefetched in the threads that
+//! are calculating the zoom."
+//!
+//! We zoom an n×n source 4× in each dimension to a 4n×4n output with
+//! 2-tap horizontal interpolation: every output pixel reads its two
+//! source neighbours, so the run issues `2·(4n)²` READs and `(4n)²`
+//! WRITEs — the Table 5 shape (32 768 and 16 384 for n = 32).
+//!
+//! One worker per output row; the entry thread passes each worker the
+//! *addresses* of its source row and destination row through the frame
+//! (pointer-passing keeps the worker's addresses affine in its inputs, so
+//! the auto-prefetch compiler can decouple them). The source image is
+//! stored with one padding column (edge-replicated) so the right
+//! neighbour load never needs a clamp.
+
+use crate::common::{synth_values, Variant, WorkloadProgram};
+use dta_core::System;
+use dta_isa::{reg::r, BrCond, ProgramBuilder, ThreadBuilder};
+
+/// Zoom factor (fixed, as in the paper's figures).
+pub const FACTOR: usize = 4;
+
+/// Source image, n rows × (n+1) columns (last column replicates column
+/// n−1), 8-bit values.
+pub fn input_image(n: usize) -> Vec<i32> {
+    let vals = synth_values(0x200A, n * n);
+    let mut img = vec![0i32; n * (n + 1)];
+    for y in 0..n {
+        for x in 0..n {
+            img[y * (n + 1) + x] = vals[y * n + x] & 0xFF;
+        }
+        img[y * (n + 1) + n] = img[y * (n + 1) + n - 1];
+    }
+    img
+}
+
+/// Reference output computed on the host.
+pub fn expected(n: usize) -> Vec<i32> {
+    let src = input_image(n);
+    let on = FACTOR * n;
+    let mut out = vec![0i32; on * on];
+    for y in 0..on {
+        let yi = y / FACTOR;
+        for xi in 0..n {
+            let a = src[yi * (n + 1) + xi];
+            let b = src[yi * (n + 1) + xi + 1];
+            for f in 0..FACTOR {
+                out[y * on + xi * FACTOR + f] =
+                    (a * (FACTOR as i32 - f as i32) + b * f as i32) / FACTOR as i32;
+            }
+        }
+    }
+    out
+}
+
+/// Builds `zoom(n)`.
+///
+/// # Panics
+///
+/// If `n < 2` or `n` is not a power of two.
+pub fn build(n: usize, variant: Variant) -> WorkloadProgram {
+    assert!(n.is_power_of_two() && n >= 2, "zoom needs a power-of-two n >= 2");
+    let src_stride = ((n + 1) * 4) as i32;
+    let on = FACTOR * n;
+    let out_stride = (on * 4) as i32;
+
+    let mut pb = ProgramBuilder::new();
+    let src = pb.global_words("SRC", &input_image(n));
+    let out = pb.global_zeroed("OUT", on * on * 4);
+    let main = pb.declare("main");
+    let rowt = pb.declare("zoomrow");
+
+    // ---- entry: one worker per output row --------------------------------
+    let mut t = ThreadBuilder::new("main");
+    t.begin_ex();
+    t.li(r(3), 0); // y
+    let top = t.label_here();
+    let done = t.new_label();
+    t.br(BrCond::Ge, r(3), on as i32, done);
+    // src row address: SRC + (y/4)*src_stride
+    t.shr(r(4), r(3), 2);
+    t.mul(r(4), r(4), src_stride);
+    t.li(r(5), src as i64);
+    t.add(r(5), r(5), r(4));
+    // dst row address: OUT + y*out_stride
+    t.mul(r(6), r(3), out_stride);
+    t.li(r(7), out as i64);
+    t.add(r(7), r(7), r(6));
+    t.falloc(r(8), rowt, 2);
+    t.store(r(5), r(8), 0);
+    t.store(r(7), r(8), 1);
+    t.add(r(3), r(3), 1);
+    t.jmp(top);
+    t.bind(done);
+    t.begin_ps();
+    t.ffree_self();
+    t.stop();
+    pb.define(main, t);
+
+    // ---- row worker -------------------------------------------------------
+    let mut w = ThreadBuilder::new("zoomrow");
+    let hand = variant == Variant::HandPrefetch;
+    if hand {
+        w.prefetch_bytes(((n + 1) * 4) as u32);
+        w.load(r(3), 0); // src row
+        w.dmaget(r(2), 0, r(3), 0, src_stride, 0);
+        w.dmayield();
+    }
+    w.begin_pl();
+    w.load(r(3), 0); // src row base
+    w.load(r(4), 1); // dst row base
+    w.begin_ex();
+    if hand {
+        w.mov(r(3), r(2)); // the row now lives in the local store
+    }
+    w.li(r(5), 0); // xi
+    let xtop = w.label_here();
+    let xdone = w.new_label();
+    w.br(BrCond::Ge, r(5), n as i32, xdone);
+    w.shl(r(6), r(5), 2);
+    w.add(r(6), r(3), r(6)); // &src_row[xi]
+    w.li(r(9), 0); // f
+    let ftop = w.label_here();
+    let fdone = w.new_label();
+    w.br(BrCond::Ge, r(9), FACTOR as i32, fdone);
+    if hand {
+        w.lsload(r(7), r(6), 0); // a
+        w.lsload(r(8), r(6), 4); // b
+    } else {
+        w.read(r(7), r(6), 0); // a
+        w.read(r(8), r(6), 4); // b
+    }
+    // Independent work first (weights, output address) so the loads'
+    // local-store latency is hidden before a/b are consumed.
+    w.li(r(10), FACTOR as i64);
+    w.sub(r(10), r(10), r(9));
+    w.shl(r(12), r(5), 2);
+    w.add(r(12), r(12), r(9));
+    w.shl(r(12), r(12), 2);
+    w.add(r(12), r(4), r(12)); // &out[xi*4 + f]
+    // pixel = (a*(4-f) + b*f) / 4
+    w.mul(r(10), r(7), r(10));
+    w.mul(r(11), r(8), r(9));
+    w.add(r(10), r(10), r(11));
+    w.shr(r(10), r(10), 2);
+    w.write(r(10), r(12), 0);
+    w.add(r(9), r(9), 1);
+    w.jmp(ftop);
+    w.bind(fdone);
+    w.add(r(5), r(5), 1);
+    w.jmp(xtop);
+    w.bind(xdone);
+    w.begin_ps();
+    w.ffree_self();
+    w.stop();
+    pb.define(rowt, w);
+
+    pb.set_entry(main, 0);
+    let wp = WorkloadProgram {
+        name: format!("zoom({n})"),
+        program: pb.build(),
+        args: vec![],
+        compiler_report: None,
+    };
+    match variant {
+        Variant::AutoPrefetch => wp.auto_prefetch(),
+        _ => wp,
+    }
+}
+
+/// Checks the simulated output against [`expected`].
+pub fn verify(sys: &System, n: usize) -> Result<(), String> {
+    let want = expected(n);
+    for (idx, &w) in want.iter().enumerate() {
+        match sys.read_global_word("OUT", idx) {
+            Some(got) if got == w => {}
+            got => {
+                return Err(format!(
+                    "OUT[{}] = {:?}, expected {} (zoom({n}))",
+                    idx, got, w
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_core::{simulate, StallCat, SystemConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn all_variants_compute_the_same_image() {
+        let n = 4;
+        for variant in Variant::ALL {
+            let wp = build(n, variant);
+            assert!(
+                dta_isa::validate_program(&wp.program).is_empty(),
+                "{variant:?} fails validation"
+            );
+            let (_, sys) =
+                simulate(SystemConfig::with_pes(4), Arc::new(wp.program), &wp.args).unwrap();
+            verify(&sys, n).unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn baseline_counts_match_the_table5_shape() {
+        let n = 4;
+        let on = (FACTOR * n) as u64;
+        let wp = build(n, Variant::Baseline);
+        let (stats, _) =
+            simulate(SystemConfig::with_pes(4), Arc::new(wp.program), &wp.args).unwrap();
+        assert_eq!(stats.aggregate.writes, on * on);
+        assert_eq!(stats.aggregate.reads, 2 * on * on);
+    }
+
+    #[test]
+    fn prefetch_removes_memory_stalls() {
+        let n = 8;
+        for variant in [Variant::HandPrefetch, Variant::AutoPrefetch] {
+            let wp = build(n, variant);
+            let (stats, sys) =
+                simulate(SystemConfig::with_pes(8), Arc::new(wp.program), &wp.args).unwrap();
+            verify(&sys, n).unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+            assert_eq!(stats.aggregate.reads, 0, "{variant:?}");
+            assert!(
+                stats.breakdown().frac(StallCat::MemStall) < 0.05,
+                "{variant:?} memstall {:.2}",
+                stats.breakdown().frac(StallCat::MemStall)
+            );
+        }
+    }
+
+    #[test]
+    fn edge_replication_pads_the_last_column() {
+        let img = input_image(4);
+        for y in 0..4 {
+            assert_eq!(img[y * 5 + 4], img[y * 5 + 3]);
+        }
+    }
+}

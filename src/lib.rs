@@ -1,0 +1,6 @@
+pub use dta_compiler as compiler;
+pub use dta_core as core;
+pub use dta_isa as isa;
+pub use dta_mem as mem;
+pub use dta_sched as sched;
+pub use dta_workloads as workloads;

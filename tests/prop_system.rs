@@ -1,0 +1,73 @@
+//! System-level property tests: determinism and accounting invariants
+//! across randomly drawn hardware configurations.
+
+use dta::core::{simulate, SystemConfig};
+use dta::workloads::{stencil, vecscale, Variant};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_config() -> impl Strategy<Value = SystemConfig> {
+    (
+        1..9u16,                                  // PEs
+        prop::sample::select(vec![1u64, 20, 150, 400]), // memory latency
+        1..5usize,                                // buses
+        prop::sample::select(vec![2usize, 4, 16]), // MFC queue
+        prop::sample::select(vec![8u32, 64]),      // frame capacity
+        any::<bool>(),                             // virtual frames
+        0..4u64,                                   // branch penalty
+    )
+        .prop_map(|(pes, lat, buses, queue, frames, vfp, bp)| {
+            let mut cfg = SystemConfig::with_pes(pes);
+            cfg.mem_latency = lat;
+            cfg.buses = buses;
+            cfg.mfc.queue_capacity = queue;
+            cfg.frame_capacity = frames;
+            cfg.virtual_frames = vfp;
+            cfg.taken_branch_penalty = bp;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any configuration: results verify, runs are bit-identical across
+    /// repeats, and per-PE cycle accounting partitions total time.
+    #[test]
+    fn simulation_invariants_hold_everywhere(
+        cfg in arb_config(),
+        variant in prop::sample::select(Variant::ALL.to_vec()),
+    ) {
+        let wp = vecscale::build(64, 4, variant);
+        let program = Arc::new(wp.program);
+        let (a, sys) = simulate(cfg.clone(), program.clone(), &wp.args).unwrap();
+        vecscale::verify(&sys, 64).unwrap();
+        let (b, _) = simulate(cfg, program, &wp.args).unwrap();
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(&a.aggregate, &b.aggregate);
+        for pe in &a.per_pe {
+            prop_assert_eq!(pe.total_cycles(), a.cycles);
+        }
+        // Dynamic instruction counts are configuration-independent facts
+        // of the program (same variant, same chunking).
+        prop_assert_eq!(a.aggregate.writes, 64);
+    }
+
+    /// Slower memory never makes a run *faster* (monotonicity of the
+    /// timing model), for the read-bound baseline.
+    #[test]
+    fn memory_latency_is_monotone(
+        lat_lo in 1..100u64,
+        extra in 1..300u64,
+    ) {
+        let run_at = |lat: u64| {
+            let wp = stencil::build(64, 4, Variant::Baseline);
+            let mut cfg = SystemConfig::with_pes(2);
+            cfg.mem_latency = lat;
+            simulate(cfg, Arc::new(wp.program), &wp.args).unwrap().0.cycles
+        };
+        let fast = run_at(lat_lo);
+        let slow = run_at(lat_lo + extra);
+        prop_assert!(slow >= fast, "lat {} -> {}, lat {} -> {}", lat_lo, fast, lat_lo + extra, slow);
+    }
+}
