@@ -1,135 +1,105 @@
-//! Criterion benchmarks: one group per paper table/figure.
+//! Wall-clock benchmarks: one group per paper table/figure.
 //!
 //! These measure the *simulator's* wall-clock cost of regenerating each
 //! artifact at CI-friendly sizes (the full paper-scale regeneration is
 //! `cargo run -p dta-bench --release --bin repro`). Keeping one group per
 //! table/figure means a perf regression in any subsystem (pipeline,
 //! scheduler, MFC, compiler) shows up against the artifact it slows down.
+//!
+//! Plain `std::time::Instant` timing (`harness = false`) — the repo
+//! builds hermetically, so no external benchmarking framework. Run with
+//! `cargo bench -p dta-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dta_bench::{run, Bench};
 use dta_core::SystemConfig;
 use dta_workloads::Variant;
+use std::time::Instant;
 
 const PES: u16 = 8;
+const SAMPLES: u32 = 3;
 
-fn bench_table5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table5_instruction_counts");
-    g.sample_size(10);
-    for bench in Bench::quick_suite() {
-        g.bench_function(bench.name(), |b| {
-            b.iter(|| run(bench, Variant::Baseline, SystemConfig::with_pes(PES)))
-        });
+/// Times `f` SAMPLES times and prints the best (least-noise) sample.
+fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) {
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
     }
-    g.finish();
+    println!("{group}/{name}: {:.3} ms", best * 1e3);
 }
 
-fn bench_fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_breakdown");
-    g.sample_size(10);
-    for variant in [Variant::Baseline, Variant::HandPrefetch, Variant::AutoPrefetch] {
-        g.bench_function(format!("mmul16_{}", variant.label()), |b| {
-            b.iter(|| run(Bench::Mmul(16), variant, SystemConfig::with_pes(PES)))
+fn bench_table5() {
+    for b in Bench::quick_suite() {
+        bench("table5_instruction_counts", &b.name(), || {
+            run(b, Variant::Baseline, SystemConfig::with_pes(PES))
         });
     }
-    g.finish();
 }
 
-fn bench_fig6_bitcnt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_bitcnt_scalability");
-    g.sample_size(10);
+fn bench_fig5() {
+    for variant in [
+        Variant::Baseline,
+        Variant::HandPrefetch,
+        Variant::AutoPrefetch,
+    ] {
+        bench(
+            "fig5_breakdown",
+            &format!("mmul16_{}", variant.label()),
+            || run(Bench::Mmul(16), variant, SystemConfig::with_pes(PES)),
+        );
+    }
+}
+
+fn bench_scalability(group: &str, b: Bench) {
     for pes in [1u16, 8] {
-        g.bench_function(format!("baseline_{pes}pe"), |b| {
-            b.iter(|| run(Bench::Bitcnt(512), Variant::Baseline, SystemConfig::with_pes(pes)))
+        bench(group, &format!("baseline_{pes}pe"), || {
+            run(b, Variant::Baseline, SystemConfig::with_pes(pes))
         });
-        g.bench_function(format!("prefetch_{pes}pe"), |b| {
-            b.iter(|| {
-                run(
-                    Bench::Bitcnt(512),
-                    Variant::HandPrefetch,
-                    SystemConfig::with_pes(pes),
-                )
-            })
+        bench(group, &format!("prefetch_{pes}pe"), || {
+            run(b, Variant::HandPrefetch, SystemConfig::with_pes(pes))
         });
     }
-    g.finish();
 }
 
-fn bench_fig7_mmul(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_mmul_scalability");
-    g.sample_size(10);
-    for pes in [1u16, 8] {
-        g.bench_function(format!("baseline_{pes}pe"), |b| {
-            b.iter(|| run(Bench::Mmul(16), Variant::Baseline, SystemConfig::with_pes(pes)))
-        });
-        g.bench_function(format!("prefetch_{pes}pe"), |b| {
-            b.iter(|| run(Bench::Mmul(16), Variant::HandPrefetch, SystemConfig::with_pes(pes)))
-        });
-    }
-    g.finish();
-}
-
-fn bench_fig8_zoom(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_zoom_scalability");
-    g.sample_size(10);
-    for pes in [1u16, 8] {
-        g.bench_function(format!("baseline_{pes}pe"), |b| {
-            b.iter(|| run(Bench::Zoom(16), Variant::Baseline, SystemConfig::with_pes(pes)))
-        });
-        g.bench_function(format!("prefetch_{pes}pe"), |b| {
-            b.iter(|| run(Bench::Zoom(16), Variant::HandPrefetch, SystemConfig::with_pes(pes)))
-        });
-    }
-    g.finish();
-}
-
-fn bench_fig9_usage(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_pipeline_usage");
-    g.sample_size(10);
-    g.bench_function("zoom16_prefetch", |b| {
-        b.iter(|| run(Bench::Zoom(16), Variant::HandPrefetch, SystemConfig::with_pes(PES)))
+fn bench_fig9_usage() {
+    bench("fig9_pipeline_usage", "zoom16_prefetch", || {
+        run(
+            Bench::Zoom(16),
+            Variant::HandPrefetch,
+            SystemConfig::with_pes(PES),
+        )
     });
-    g.finish();
 }
 
-fn bench_lat1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lat1_always_hit_bound");
-    g.sample_size(10);
-    g.bench_function("mmul16_baseline_lat1", |b| {
-        b.iter(|| {
-            run(
-                Bench::Mmul(16),
-                Variant::Baseline,
-                SystemConfig::with_pes(PES).latency_one(),
-            )
-        })
+fn bench_lat1() {
+    bench("lat1_always_hit_bound", "mmul16_baseline_lat1", || {
+        run(
+            Bench::Mmul(16),
+            Variant::Baseline,
+            SystemConfig::with_pes(PES).latency_one(),
+        )
     });
-    g.finish();
 }
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.bench_function("split_transactions_colsum32", |b| {
-        let mut cfg = SystemConfig::with_pes(PES);
-        cfg.dma_split_transactions = true;
-        b.iter(|| run(Bench::Colsum(32), Variant::HandPrefetch, cfg.clone()))
+fn bench_ablations() {
+    let mut cfg = SystemConfig::with_pes(PES);
+    cfg.dma_split_transactions = true;
+    bench("ablations", "split_transactions_colsum32", || {
+        run(Bench::Colsum(32), Variant::HandPrefetch, cfg.clone())
     });
-    g.bench_function("compiler_transform_mmul16", |b| {
-        b.iter(|| Bench::Mmul(16).build(Variant::AutoPrefetch))
+    bench("ablations", "compiler_transform_mmul16", || {
+        Bench::Mmul(16).build(Variant::AutoPrefetch)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_table5,
-    bench_fig5,
-    bench_fig6_bitcnt,
-    bench_fig7_mmul,
-    bench_fig8_zoom,
-    bench_fig9_usage,
-    bench_lat1,
-    bench_ablations
-);
-criterion_main!(benches);
+fn main() {
+    bench_table5();
+    bench_fig5();
+    bench_scalability("fig6_bitcnt_scalability", Bench::Bitcnt(512));
+    bench_scalability("fig7_mmul_scalability", Bench::Mmul(16));
+    bench_scalability("fig8_zoom_scalability", Bench::Zoom(16));
+    bench_fig9_usage();
+    bench_lat1();
+    bench_ablations();
+}

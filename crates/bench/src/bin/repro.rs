@@ -1,20 +1,24 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--quick] [--pes N] [--out DIR]
+//! repro [EXPERIMENT ...] [--quick] [--pes N] [--threads N] [--out DIR]
 //!
 //! EXPERIMENT: config table5 fig5 fig6 fig7 fig8 fig9 lat1
 //!             ablate-split ablate-vfp ablate-hw
-//!             ext-cache ext-spxp ext-wholeobj all     (default: all)
+//!             ext-cache ext-spxp ext-wholeobj
+//!             parallel all                            (default: all)
 //! --quick     scaled-down workload sizes (CI-friendly)
 //! --pes N     PEs for the non-scalability experiments (default 8)
+//! --threads N run every experiment on the epoch-sharded engine with N
+//!             host threads (results are bit-identical to sequential;
+//!             the `parallel` experiment pins its own engine modes)
 //! --out DIR   also write <exp>.json / <exp>.txt into DIR
 //!             (default: results/)
 //! ```
 
 use dta_bench::experiments::{
     ablate_hw, ablate_split, ablate_vfp, config, ext_cache, ext_spxp, ext_wholeobj, fig5, fig9,
-    fig_exec_scalability, lat1, table5,
+    fig_exec_scalability, lat1, parallel_bench, table5,
 };
 use dta_bench::{emit, Bench, ExperimentResult};
 use std::path::PathBuf;
@@ -24,6 +28,7 @@ struct Options {
     experiments: Vec<String>,
     quick: bool,
     pes: u16,
+    threads: Option<u16>,
     out: Option<PathBuf>,
 }
 
@@ -32,6 +37,7 @@ fn parse_args() -> Result<Options, String> {
         experiments: Vec::new(),
         quick: false,
         pes: 8,
+        threads: None,
         out: Some(PathBuf::from("results")),
     };
     let mut args = std::env::args().skip(1);
@@ -45,12 +51,23 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--pes needs a number")?;
             }
+            "--threads" => {
+                opts.threads = Some(
+                    args.next()
+                        .ok_or("--threads needs a value")?
+                        .parse()
+                        .map_err(|_| "--threads needs a number")?,
+                );
+            }
             "--out" => {
                 opts.out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?));
             }
             "--no-out" => opts.out = None,
             "--help" | "-h" => {
-                return Err("usage: repro [EXPERIMENT ...] [--quick] [--pes N] [--out DIR]".into())
+                return Err(
+                    "usage: repro [EXPERIMENT ...] [--quick] [--pes N] [--threads N] [--out DIR]"
+                        .into(),
+                )
             }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             exp => opts.experiments.push(exp.to_string()),
@@ -72,6 +89,7 @@ fn parse_args() -> Result<Options, String> {
             "ext-cache",
             "ext-spxp",
             "ext-wholeobj",
+            "parallel",
         ]
         .map(str::to_string)
         .to_vec();
@@ -87,6 +105,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(n) = opts.threads {
+        dta_bench::experiments::set_default_parallelism(dta_core::Parallelism::Threads(n));
+    }
     let suite = if opts.quick {
         Bench::quick_suite()
     } else {
@@ -116,6 +137,7 @@ fn main() -> ExitCode {
             "ext-cache" => ext_cache(mmul_n, zoom_n, opts.pes),
             "ext-spxp" => ext_spxp(&suite, opts.pes),
             "ext-wholeobj" => ext_wholeobj(bitcnt_n, opts.pes),
+            "parallel" => parallel_bench(if opts.quick { 16 } else { 64 }, opts.pes),
             other => {
                 eprintln!("unknown experiment {other:?} (try --help)");
                 return ExitCode::FAILURE;

@@ -5,13 +5,24 @@
 //! records paper-vs-measured for each.
 
 use crate::report::text_table;
-use crate::runner::{run, try_run, Bench, Row};
-use dta_core::{StallCat, SystemConfig};
+use crate::runner::{run, try_run, try_run_timed, Bench, Row};
+use dta_core::{Parallelism, StallCat, SystemConfig};
 use dta_workloads::Variant;
-use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Process-wide default engine mode, applied to every experiment config
+/// (set once by `repro --threads`; the `parallel` benchmark ignores it
+/// because it pins each mode explicitly).
+static DEFAULT_PARALLELISM: OnceLock<Parallelism> = OnceLock::new();
+
+/// Sets the engine mode every experiment runs under. First call wins;
+/// later calls are ignored.
+pub fn set_default_parallelism(par: Parallelism) {
+    let _ = DEFAULT_PARALLELISM.set(par);
+}
 
 /// The result of one experiment.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentResult {
     /// Experiment id (`table5`, `fig6`, ...).
     pub id: String,
@@ -24,12 +35,20 @@ pub struct ExperimentResult {
 }
 
 fn pes8(suite_pes: u16) -> SystemConfig {
-    SystemConfig::with_pes(suite_pes)
+    let mut cfg = SystemConfig::with_pes(suite_pes);
+    if let Some(&par) = DEFAULT_PARALLELISM.get() {
+        cfg.parallelism = par;
+    }
+    cfg
 }
 
 /// Variants reported in the figures: the paper's baseline and hand-coded
 /// prefetch, plus our automatic compiler as an extension row.
-const VARIANTS: [Variant; 3] = [Variant::Baseline, Variant::HandPrefetch, Variant::AutoPrefetch];
+const VARIANTS: [Variant; 3] = [
+    Variant::Baseline,
+    Variant::HandPrefetch,
+    Variant::AutoPrefetch,
+];
 
 /// Tables 2-4: the simulated platform's parameters.
 pub fn config() -> ExperimentResult {
@@ -52,7 +71,10 @@ pub fn config() -> ExperimentResult {
 pub fn table5(suite: &[Bench], pes: u16) -> ExperimentResult {
     // Paper values for the 10000/32/32 sizes, for side-by-side reading.
     let paper: &[(&str, [u64; 5])] = &[
-        ("bitcnt(10000)", [9_415_559, 806_593, 806_593, 192_366, 2_814]),
+        (
+            "bitcnt(10000)",
+            [9_415_559, 806_593, 806_593, 192_366, 2_814],
+        ),
         ("mmul(32)", [341_422, 73, 73, 65_536, 1_024]),
         ("zoom(32)", [353_425, 4_672, 4_672, 32_768, 16_384]),
     ];
@@ -133,7 +155,10 @@ pub fn fig5(suite: &[Bench], pes: u16) -> ExperimentResult {
 
 /// Figures 6/7/8: execution time and scalability across 1/2/4/8 PEs.
 pub fn fig_exec_scalability(id: &str, bench: Bench, max_pes: u16) -> ExperimentResult {
-    let pes_list: Vec<u16> = [1u16, 2, 4, 8].into_iter().filter(|&p| p <= max_pes).collect();
+    let pes_list: Vec<u16> = [1u16, 2, 4, 8]
+        .into_iter()
+        .filter(|&p| p <= max_pes)
+        .collect();
     let mut rows = Vec::new();
     let mut table = vec![vec![
         "PEs".to_string(),
@@ -147,7 +172,7 @@ pub fn fig_exec_scalability(id: &str, bench: Bench, max_pes: u16) -> ExperimentR
     let mut per_variant: Vec<Vec<Row>> = vec![Vec::new(); VARIANTS.len()];
     for &pes in &pes_list {
         for (vi, &variant) in VARIANTS.iter().enumerate() {
-            let row = run(bench, variant, SystemConfig::with_pes(pes));
+            let row = run(bench, variant, pes8(pes));
             per_variant[vi].push(row.clone());
             rows.push(row);
         }
@@ -168,10 +193,7 @@ pub fn fig_exec_scalability(id: &str, bench: Bench, max_pes: u16) -> ExperimentR
     }
     ExperimentResult {
         id: id.into(),
-        title: format!(
-            "{}: execution time & scalability for {}",
-            id, bench.name()
-        ),
+        title: format!("{}: execution time & scalability for {}", id, bench.name()),
         text: text_table(&table),
         rows,
     }
@@ -219,7 +241,7 @@ pub fn lat1(suite: &[Bench], pes: u16) -> ExperimentResult {
         "speedup@lat150".into(),
     ]];
     for &bench in suite {
-        let cfg1 = SystemConfig::with_pes(pes).latency_one();
+        let cfg1 = pes8(pes).latency_one();
         let b1 = run(bench, Variant::Baseline, cfg1.clone());
         let p1 = run(bench, Variant::HandPrefetch, cfg1);
         let b150 = run(bench, Variant::Baseline, pes8(pes));
@@ -479,13 +501,23 @@ pub fn ext_wholeobj(n: usize, pes: u16) -> ExperimentResult {
         },
     };
     let (program, _) = prefetch_program(&wp.program, &opts);
-    let (stats, sys) = simulate(pes8(pes), Arc::new(program), &wp.args)
-        .expect("whole-object bitcnt runs");
+    let (stats, sys) =
+        simulate(pes8(pes), Arc::new(program), &wp.args).expect("whole-object bitcnt runs");
     bitcnt::verify(&sys, n).expect("whole-object bitcnt verifies");
 
     let entries = [
-        ("original DTA", base_row.cycles, base_row.pct(StallCat::MemStall), base_row.table5.3),
-        ("prefetch (paper: partial)", auto_row.cycles, auto_row.pct(StallCat::MemStall), auto_row.table5.3),
+        (
+            "original DTA",
+            base_row.cycles,
+            base_row.pct(StallCat::MemStall),
+            base_row.table5.3,
+        ),
+        (
+            "prefetch (paper: partial)",
+            auto_row.cycles,
+            auto_row.pct(StallCat::MemStall),
+            auto_row.table5.3,
+        ),
         (
             "prefetch + whole-object tables",
             stats.cycles,
@@ -507,6 +539,71 @@ pub fn ext_wholeobj(n: usize, pes: u16) -> ExperimentResult {
         id: "ext-wholeobj".into(),
         title: format!("Extension: whole-structure table prefetch, bitcnt({n})"),
         text: text_table(&table),
+        rows,
+    }
+}
+
+/// Engine benchmark: host wall-clock of the simulator itself, sequential
+/// oracle vs the epoch-sharded engine at several thread counts. Written
+/// as `BENCH_parallel.json` so successive PRs can track simulator
+/// performance. Also cross-checks determinism: every mode must report
+/// identical cycle counts.
+pub fn parallel_bench(mmul_n: usize, pes: u16) -> ExperimentResult {
+    use dta_core::Parallelism;
+
+    let bench = Bench::Mmul(mmul_n);
+    let modes: [(&str, Parallelism); 4] = [
+        ("sequential", Parallelism::Off),
+        ("threads(2)", Parallelism::Threads(2)),
+        ("threads(4)", Parallelism::Threads(4)),
+        ("auto", Parallelism::Auto),
+    ];
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut rows = Vec::new();
+    let mut table = vec![vec![
+        "engine".to_string(),
+        "variant".into(),
+        "cycles".into(),
+        "wall ms".into(),
+        "speedup".into(),
+    ]];
+    for variant in [Variant::Baseline, Variant::HandPrefetch] {
+        let mut seq = None;
+        for (label, par) in modes {
+            let mut cfg = SystemConfig::with_pes(pes);
+            cfg.parallelism = par;
+            let (mut row, ms) =
+                try_run_timed(bench, variant, cfg).unwrap_or_else(|e| panic!("{e}"));
+            let (seq_ms, seq_cycles) = *seq.get_or_insert((ms, row.cycles));
+            assert_eq!(
+                row.cycles, seq_cycles,
+                "{label} diverged from the sequential oracle"
+            );
+            row.wall_ms = Some(ms);
+            row.parallelism = Some(label.to_string());
+            table.push(vec![
+                label.to_string(),
+                row.variant.clone(),
+                row.cycles.to_string(),
+                format!("{ms:.1}"),
+                format!("{:.2}x", seq_ms / ms),
+            ]);
+            rows.push(row);
+        }
+    }
+    let mut text = text_table(&table);
+    text.push_str(&format!("host parallelism: {host} core(s)\n"));
+    if host == 1 {
+        text.push_str(
+            "(single-core host: the engine runs every shard inline on one \
+             thread, so thread speedup is structurally ~1.0x here; run on a \
+             multi-core host to measure parallel speedup)\n",
+        );
+    }
+    ExperimentResult {
+        id: "BENCH_parallel".into(),
+        title: format!("Engine wall-clock: sequential vs epoch-sharded, mmul({mmul_n}) {pes} PEs"),
+        text,
         rows,
     }
 }

@@ -16,6 +16,7 @@
 //! | `ablate-split` | §3 split-transaction alternative |
 //! | `ablate-vfp`   | §4.3 virtual frame pointers |
 //! | `ablate-hw`    | bus/queue sensitivity |
+//! | `parallel` | engine wall-clock, sequential vs epoch-sharded (`BENCH_parallel.json`) |
 //!
 //! Run with `cargo run -p dta-bench --release --bin repro [-- <exp>...]`.
 

@@ -1,9 +1,46 @@
 //! Report rendering and persistence.
 
 use crate::experiments::ExperimentResult;
+use crate::runner::Row;
+use dta_json::{Json, ToJson};
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        let (total, loads, stores, reads, writes) = self.table5;
+        Json::obj([
+            ("bench", self.bench.to_json()),
+            ("variant", self.variant.to_json()),
+            ("pes", self.pes.to_json()),
+            ("mem_latency", self.mem_latency.to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("breakdown", self.breakdown.to_json()),
+            ("table5", [total, loads, stores, reads, writes].to_json()),
+            ("instances", self.instances.to_json()),
+            ("dma_commands", self.dma_commands.to_json()),
+            ("bus_utilisation", self.bus_utilisation.to_json()),
+            ("sp_pf_cycles", self.sp_pf_cycles.to_json()),
+            ("cache_hits", self.cache_hits.to_json()),
+            ("cache_misses", self.cache_misses.to_json()),
+            ("verified", self.verified.to_json()),
+            ("wall_ms", self.wall_ms.to_json()),
+            ("parallelism", self.parallelism.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ExperimentResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.to_json()),
+            ("title", self.title.to_json()),
+            ("rows", self.rows.to_json()),
+            ("text", self.text.to_json()),
+        ])
+    }
+}
 
 /// Renders rows of cells as an aligned text table (first row = header).
 pub fn text_table(rows: &[Vec<String>]) -> String {
@@ -41,7 +78,7 @@ pub fn emit(result: &ExperimentResult, out_dir: Option<&Path>) -> std::io::Resul
     println!("{}", result.text);
     if let Some(dir) = out_dir {
         fs::create_dir_all(dir)?;
-        let json = serde_json::to_string_pretty(result).expect("serialisable");
+        let json = result.to_json().to_string_pretty();
         fs::write(dir.join(format!("{}.json", result.id)), json)?;
         let mut f = fs::File::create(dir.join(format!("{}.txt", result.id)))?;
         writeln!(f, "== {} ==", result.title)?;

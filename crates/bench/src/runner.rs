@@ -2,11 +2,10 @@
 
 use dta_core::{simulate, Breakdown, RunStats, StallCat, SystemConfig};
 use dta_workloads::{bitcnt, colsum, mmul, stencil, vecscale, zoom, Variant, WorkloadProgram};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// A benchmark instance (workload + size).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Bench {
     /// `bitcnt(n)` — n samples.
     Bitcnt(usize),
@@ -71,7 +70,7 @@ impl Bench {
 }
 
 /// One measured data point.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Benchmark name, e.g. `mmul(32)`.
     pub bench: String,
@@ -101,6 +100,11 @@ pub struct Row {
     pub cache_misses: u64,
     /// Result checked against the host reference.
     pub verified: bool,
+    /// Host wall-clock for the run, milliseconds (only the `parallel`
+    /// engine benchmark measures this; `None` elsewhere).
+    pub wall_ms: Option<f64>,
+    /// Engine mode label for the `parallel` benchmark (`None` elsewhere).
+    pub parallelism: Option<String>,
 }
 
 impl Row {
@@ -114,15 +118,35 @@ impl Row {
 /// error description on deadlock/launch failure (used by ablations that
 /// deliberately under-provision the machine).
 pub fn try_run(bench: Bench, variant: Variant, cfg: SystemConfig) -> Result<Row, String> {
+    try_run_timed(bench, variant, cfg).map(|(row, _)| row)
+}
+
+/// Like [`try_run`], additionally returning the host wall-clock of the
+/// `simulate` call alone (excluding workload build and host-side
+/// verification), in milliseconds.
+pub fn try_run_timed(
+    bench: Bench,
+    variant: Variant,
+    cfg: SystemConfig,
+) -> Result<(Row, f64), String> {
     let wp = bench.build(variant);
     let mem_latency = cfg.mem_latency;
     let pes = cfg.total_pes();
+    let started = std::time::Instant::now();
     let (stats, sys) = simulate(cfg, Arc::new(wp.program), &wp.args)
         .map_err(|e| format!("{} [{}]: {e}", bench.name(), variant.label()))?;
-    bench
-        .verify(&sys)
-        .map_err(|e| format!("{} [{}]: result mismatch: {e}", bench.name(), variant.label()))?;
-    Ok(row_from(&bench, variant, pes, mem_latency, &stats, true))
+    let sim_ms = started.elapsed().as_secs_f64() * 1e3;
+    bench.verify(&sys).map_err(|e| {
+        format!(
+            "{} [{}]: result mismatch: {e}",
+            bench.name(),
+            variant.label()
+        )
+    })?;
+    Ok((
+        row_from(&bench, variant, pes, mem_latency, &stats, true),
+        sim_ms,
+    ))
 }
 
 /// Runs one benchmark configuration, verifying the result.
@@ -157,6 +181,8 @@ fn row_from(
         cache_hits: stats.cache_hits,
         cache_misses: stats.cache_misses,
         verified,
+        wall_ms: None,
+        parallelism: None,
     }
 }
 

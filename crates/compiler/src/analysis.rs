@@ -211,7 +211,10 @@ pub fn analyze(thread: &ThreadCode) -> Result<Analysis, LoopError> {
         if let Some(&i) = header_of.get(&pc) {
             let l = &loops[i];
             let pre = env.clone();
-            let trip = l.guard.as_ref().and_then(|g| compute_trip(l, g, &pre, thread));
+            let trip = l
+                .guard
+                .as_ref()
+                .and_then(|g| compute_trip(l, g, &pre, thread));
             trips.insert(l.id, trip);
             for pq in l.header..=l.latch {
                 for r in &code[pq as usize].defs() {
@@ -220,8 +223,7 @@ pub fn analyze(thread: &ThreadCode) -> Result<Analysis, LoopError> {
             }
             for (&r, &step) in &l.inductions {
                 if let Some(init) = pre[r.index()].affine() {
-                    env[r.index()] =
-                        Sym::Aff(init.add(&Affine::induction(l.id).scale(step)));
+                    env[r.index()] = Sym::Aff(init.add(&Affine::induction(l.id).scale(step)));
                 }
             }
             pre_envs.insert(l.id, pre);

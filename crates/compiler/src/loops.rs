@@ -70,7 +70,10 @@ impl std::fmt::Display for LoopError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoopError::ImproperNesting { a, b } => {
-                write!(f, "loops with headers at {a} and {b} overlap without nesting")
+                write!(
+                    f,
+                    "loops with headers at {a} and {b} overlap without nesting"
+                )
             }
             LoopError::EntryIntoLoop { from, to } => {
                 write!(f, "branch at {from} enters a loop body at {to}")
@@ -136,8 +139,7 @@ pub fn find_loops(thread: &ThreadCode) -> Result<Vec<Loop>, LoopError> {
             .copied()
             .filter(|&(h, l)| (h > header || l < latch) && h >= header && l <= latch)
             .collect();
-        let in_inner =
-            |pc: u32| -> bool { inner.iter().any(|&(h, l)| pc >= h && pc <= l) };
+        let in_inner = |pc: u32| -> bool { inner.iter().any(|&(h, l)| pc >= h && pc <= l) };
 
         // Induction candidates: count defs per register inside the body.
         let mut def_count: BTreeMap<Reg, u32> = BTreeMap::new();

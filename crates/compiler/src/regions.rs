@@ -19,11 +19,10 @@
 
 use crate::analysis::{Analysis, ReadClass};
 use crate::sym::Affine;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Planner options.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PlanOptions {
     /// Maximum bytes of one region (and cap on the per-instance buffer).
     pub max_region_bytes: u32,
@@ -59,7 +58,7 @@ impl Default for PlanOptions {
 }
 
 /// Why a decouplable read was nevertheless left in place.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SkipReason {
     /// Address depends on memory contents (paper: left in the thread).
     DataDependent,
@@ -75,7 +74,7 @@ pub enum SkipReason {
 }
 
 /// The shape of one DMA transfer.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RegionShape {
     /// Contiguous block of `bytes` (placed at natural offsets: LS address
     /// = mem address − base + buffer offset).
@@ -140,9 +139,7 @@ fn base_signature(a: &Affine) -> Vec<(u16, i64)> {
 /// immediates; bases whose coefficients do not fit cannot be emitted
 /// faithfully and must stay as READs.
 fn emittable(a: &Affine) -> bool {
-    a.inputs
-        .values()
-        .all(|&c| i32::try_from(c).is_ok())
+    a.inputs.values().all(|&c| i32::try_from(c).is_ok())
 }
 
 /// Builds the region plan from an analysis.
@@ -276,9 +273,7 @@ pub fn plan(analysis: &Analysis, opts: &PlanOptions) -> Plan {
     }
 
     // Coalesce singles by signature.
-    singles.sort_by(|a, b| {
-        (base_signature(&a.1), a.1.konst).cmp(&(base_signature(&b.1), b.1.konst))
-    });
+    singles.sort_by_key(|a| (base_signature(&a.1), a.1.konst));
     let mut i = 0;
     while i < singles.len() {
         let sig = base_signature(&singles[i].1);
@@ -330,10 +325,7 @@ pub fn plan(analysis: &Analysis, opts: &PlanOptions) -> Plan {
     while i < bounded.len() {
         let mut j = i + 1;
         let mut uses = bounded[i].3;
-        while j < bounded.len()
-            && bounded[j].1 == bounded[i].1
-            && bounded[j].2 == bounded[i].2
-        {
+        while j < bounded.len() && bounded[j].1 == bounded[i].1 && bounded[j].2 == bounded[i].2 {
             uses = uses.saturating_add(bounded[j].3);
             j += 1;
         }

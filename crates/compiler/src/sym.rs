@@ -12,7 +12,6 @@
 //! iteration counter of loop `L` (0-based).
 
 use dta_isa::AluOp;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -22,7 +21,7 @@ pub type LoopId = u32;
 
 /// An affine symbolic value. `None`-producing operations yield
 /// [`Sym::Unknown`] instead.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Affine {
     /// Constant part.
     pub konst: i64,
@@ -392,13 +391,19 @@ mod tests {
         let masked = Sym::eval(AluOp::And, &Sym::Unknown, &Sym::konst(255));
         assert_eq!(
             masked,
-            Sym::Bounded { base: Affine::konst(0), span: 255 }
+            Sym::Bounded {
+                base: Affine::konst(0),
+                span: 255
+            }
         );
         // << 2 scales the interval
         let scaled = Sym::eval(AluOp::Shl, &masked, &Sym::konst(2));
         assert_eq!(
             scaled,
-            Sym::Bounded { base: Affine::konst(0), span: 1020 }
+            Sym::Bounded {
+                base: Affine::konst(0),
+                span: 1020
+            }
         );
         // + table base shifts it
         let addr = Sym::eval(AluOp::Add, &scaled, &Sym::Aff(Affine::input(0)));
@@ -413,19 +418,31 @@ mod tests {
 
     #[test]
     fn bounded_shr_needs_nonnegative_constant_base() {
-        let b = Sym::Bounded { base: Affine::konst(16), span: 240 };
+        let b = Sym::Bounded {
+            base: Affine::konst(16),
+            span: 240,
+        };
         assert_eq!(
             Sym::eval(AluOp::Shr, &b, &Sym::konst(4)),
-            Sym::Bounded { base: Affine::konst(1), span: 15 }
+            Sym::Bounded {
+                base: Affine::konst(1),
+                span: 15
+            }
         );
-        let neg = Sym::Bounded { base: Affine::konst(-8), span: 4 };
+        let neg = Sym::Bounded {
+            base: Affine::konst(-8),
+            span: 4,
+        };
         assert_eq!(Sym::eval(AluOp::Shr, &neg, &Sym::konst(1)), Sym::Unknown);
     }
 
     #[test]
     fn tight_mask_is_a_no_op() {
         // ([0, 15] & 0xFF) stays [0, 15].
-        let small = Sym::Bounded { base: Affine::konst(0), span: 15 };
+        let small = Sym::Bounded {
+            base: Affine::konst(0),
+            span: 15,
+        };
         assert_eq!(Sym::eval(AluOp::And, &small, &Sym::konst(255)), small);
     }
 

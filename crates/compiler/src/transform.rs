@@ -23,21 +23,18 @@
 use crate::analysis::{analyze, Analysis};
 use crate::regions::{plan, Plan, PlanOptions, Region, RegionShape, SkipReason};
 use crate::sym::Affine;
-use dta_isa::{
-    AluOp, BlockMap, Instr, Program, Reg, Src, ThreadCode, NUM_REGS, PREFETCH_BASE_REG,
-};
-use serde::{Deserialize, Serialize};
+use dta_isa::{AluOp, BlockMap, Instr, Program, Reg, Src, ThreadCode, NUM_REGS, PREFETCH_BASE_REG};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Transformation options.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TransformOptions {
     /// Region planning knobs.
     pub plan: PlanOptions,
 }
 
 /// Why a whole thread was left untouched.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ThreadSkip {
     /// No main-memory READs: "threads will remain unchanged as in the
     /// original DTA" (§3).
@@ -53,7 +50,7 @@ pub enum ThreadSkip {
 }
 
 /// Per-thread transformation report.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ThreadReport {
     /// Thread name.
     pub name: String,
@@ -79,7 +76,7 @@ impl ThreadReport {
 }
 
 /// Whole-program transformation report.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ProgramReport {
     /// One report per thread.
     pub threads: Vec<ThreadReport>,
@@ -238,12 +235,7 @@ pub fn prefetch_thread(thread: &ThreadCode, opts: &TransformOptions) -> (ThreadC
     let fixed = 3 + input_slots.len();
     // Drop regions (latest-planned first) until the register budget fits.
     loop {
-        let need: usize = fixed
-            + region_plan
-                .regions
-                .iter()
-                .map(per_region)
-                .sum::<usize>();
+        let need: usize = fixed + region_plan.regions.iter().map(per_region).sum::<usize>();
         if need <= pool.len() {
             break;
         }
@@ -255,9 +247,7 @@ pub fn prefetch_thread(thread: &ThreadCode, opts: &TransformOptions) -> (ThreadC
         }
         let dropped = region_plan.regions.len() - 1;
         region_plan.regions.pop();
-        region_plan
-            .assignment
-            .retain(|_, &mut idx| idx != dropped);
+        region_plan.assignment.retain(|_, &mut idx| idx != dropped);
     }
     if region_plan.assignment.is_empty() {
         return (
@@ -399,8 +389,7 @@ pub fn prefetch_thread(thread: &ThreadCode, opts: &TransformOptions) -> (ThreadC
                         base_minus_off,
                         bufbase,
                     } => {
-                        let RegionShape::Strided { stride, .. } =
-                            region_plan.regions[idx].shape
+                        let RegionShape::Strided { stride, .. } = region_plan.regions[idx].shape
                         else {
                             unreachable!("shape/regs mismatch")
                         };
@@ -578,7 +567,15 @@ mod tests {
         let guard_pc = new
             .code
             .iter()
-            .position(|i| matches!(i, Instr::Br { cond: BrCond::Ge, .. }))
+            .position(|i| {
+                matches!(
+                    i,
+                    Instr::Br {
+                        cond: BrCond::Ge,
+                        ..
+                    }
+                )
+            })
             .unwrap() as u32;
         let jmp = new
             .code
@@ -692,9 +689,14 @@ mod tests {
             .iter()
             .any(|i| matches!(i, Instr::DmaGetStrided { .. })));
         // The shift pair appears in the translation.
-        assert!(new.code.iter().any(
-            |i| matches!(i, Instr::Alu { op: AluOp::Shr, rb: Src::Imm(10), .. })
-        ));
+        assert!(new.code.iter().any(|i| matches!(
+            i,
+            Instr::Alu {
+                op: AluOp::Shr,
+                rb: Src::Imm(10),
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -1,18 +1,46 @@
-//! Property tests for the prefetch compiler.
+//! Randomised property tests for the prefetch compiler.
 //!
 //! The central property: for randomly generated kernels mixing affine
 //! reads, data-dependent (chained) reads, counted read loops, and
 //! arithmetic, the **transformed program computes exactly the same result
 //! as the baseline**, and both match a host-side model. This is a
 //! three-way differential test of the compiler *and* the simulator.
+//!
+//! Deterministic seeded PRNG (no external property-testing dependency —
+//! the repo builds hermetically); failures print the case index so a
+//! failure can be replayed by pinning `SEED`.
 
 use dta_compiler::{prefetch_program, TransformOptions};
 use dta_core::{simulate, SystemConfig};
 use dta_isa::{reg::r, AluOp, BrCond, Program, ProgramBuilder, ThreadBuilder};
-use proptest::prelude::*;
 use std::sync::Arc;
 
+const SEED: u64 = 0xA076_1D64_78BD_642F;
 const DATA_WORDS: usize = 512;
+
+/// xorshift64* — small, fast, deterministic.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+}
 
 fn data_words() -> Vec<i32> {
     (0..DATA_WORDS as u32)
@@ -41,26 +69,35 @@ enum Pat {
     },
 }
 
-fn arb_pat() -> impl Strategy<Value = Pat> {
-    prop_oneof![
-        (0..2usize, 0..4i64, 0..64i64)
-            .prop_map(|(input, scale, off)| Pat::AffineRead { input, scale, off }),
-        Just(Pat::ChainedRead),
-        (
-            prop::sample::select(vec![AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::Mul]),
-            -7..8i64
-        )
-            .prop_map(|(op, imm)| Pat::Arith { op, imm }),
-        (0..2usize, 0..4i64, 1..8i64, 1..4i64, 0..64i64).prop_map(
-            |(input, scale, trip, stride, off)| Pat::LoopSum {
-                input,
-                scale,
-                trip,
-                stride,
-                off,
+fn arb_pat(rng: &mut Rng) -> Pat {
+    match rng.below(4) {
+        0 => Pat::AffineRead {
+            input: rng.below(2) as usize,
+            scale: rng.range(0, 4),
+            off: rng.range(0, 64),
+        },
+        1 => Pat::ChainedRead,
+        2 => {
+            let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::Mul];
+            Pat::Arith {
+                op: ops[rng.below(4) as usize],
+                imm: rng.range(-7, 8),
             }
-        ),
-    ]
+        }
+        _ => Pat::LoopSum {
+            input: rng.below(2) as usize,
+            scale: rng.range(0, 4),
+            trip: rng.range(1, 8),
+            stride: rng.range(1, 4),
+            off: rng.range(0, 64),
+        },
+    }
+}
+
+fn arb_pats(rng: &mut Rng, max: u64) -> Vec<Pat> {
+    (0..rng.range(1, max as i64))
+        .map(|_| arb_pat(rng))
+        .collect()
 }
 
 /// Host-side reference semantics.
@@ -166,42 +203,51 @@ fn build(pats: &[Pat]) -> Program {
     pb.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Baseline, transformed program, and host model all agree, for every
-    /// argument pair and pattern mix.
-    #[test]
-    fn transform_preserves_semantics(
-        pats in prop::collection::vec(arb_pat(), 1..10),
-        a0 in 0..8i64,
-        a1 in 0..8i64,
-    ) {
-        let args = [a0, a1];
+/// Baseline, transformed program, and host model all agree, for every
+/// argument pair and pattern mix.
+#[test]
+fn transform_preserves_semantics() {
+    let mut rng = Rng::new(SEED);
+    for case in 0..48 {
+        let pats = arb_pats(&mut rng, 10);
+        let args = [rng.range(0, 8), rng.range(0, 8)];
         let expected = model(&pats, &args) as i32;
 
         let base = build(&pats);
-        prop_assert!(dta_isa::validate_program(&base).is_empty());
+        assert!(dta_isa::validate_program(&base).is_empty(), "case {case}");
         let (pf, report) = prefetch_program(&base, &TransformOptions::default());
-        prop_assert!(dta_isa::validate_program(&pf).is_empty(),
-            "transformed program invalid: {:?}", dta_isa::validate_program(&pf));
+        assert!(
+            dta_isa::validate_program(&pf).is_empty(),
+            "case {case}: transformed program invalid: {:?}",
+            dta_isa::validate_program(&pf)
+        );
 
         let cfg = SystemConfig::with_pes(1);
         let (_, sys_b) = simulate(cfg.clone(), Arc::new(base), &args).unwrap();
-        prop_assert_eq!(sys_b.read_global_word("out", 0), Some(expected), "baseline");
+        assert_eq!(
+            sys_b.read_global_word("out", 0),
+            Some(expected),
+            "case {case}: baseline"
+        );
         let (_, sys_p) = simulate(cfg, Arc::new(pf), &args).unwrap();
-        prop_assert_eq!(sys_p.read_global_word("out", 0), Some(expected),
-            "transformed (report: {:?})", report.threads[0]);
+        assert_eq!(
+            sys_p.read_global_word("out", 0),
+            Some(expected),
+            "case {case}: transformed (report: {:?})",
+            report.threads[0]
+        );
     }
+}
 
-    /// Every affine read decouples; a chained read stays exactly when a
-    /// real memory value has already flowed into `last` (a chained read
-    /// before any other read has a *constant* address — the analysis is
-    /// allowed to decouple it).
-    #[test]
-    fn classification_matches_construction(
-        pats in prop::collection::vec(arb_pat(), 1..10),
-    ) {
+/// Every affine read decouples; a chained read stays exactly when a
+/// real memory value has already flowed into `last` (a chained read
+/// before any other read has a *constant* address — the analysis is
+/// allowed to decouple it).
+#[test]
+fn classification_matches_construction() {
+    let mut rng = Rng::new(SEED ^ 1);
+    for case in 0..64 {
+        let pats = arb_pats(&mut rng, 10);
         let base = build(&pats);
         let (_, report) = prefetch_program(&base, &TransformOptions::default());
         let rep = &report.threads[0];
@@ -232,8 +278,11 @@ proptest! {
                 Pat::Arith { .. } => {}
             }
         }
-        prop_assert_eq!(rep.reads, reads);
-        prop_assert_eq!(rep.decoupled, expected_decoupled, "report {:?}", rep);
+        assert_eq!(rep.reads, reads, "case {case}");
+        assert_eq!(
+            rep.decoupled, expected_decoupled,
+            "case {case}: report {rep:?}"
+        );
         // The chained reads are masked (`last & 63`), so the analysis
         // classifies them as *bounded* objects; with whole-object
         // prefetching off (the default/paper configuration) they are
@@ -249,19 +298,19 @@ proptest! {
                 )
             })
             .count();
-        prop_assert_eq!(stayed, expected_stay);
+        assert_eq!(stayed, expected_stay, "case {case}");
     }
+}
 
-    /// With whole-object prefetching enabled, the same kernels still
-    /// compute identical results (the chained reads' 256-byte window is
-    /// staged in the local store).
-    #[test]
-    fn whole_object_transform_preserves_semantics(
-        pats in prop::collection::vec(arb_pat(), 1..10),
-        a0 in 0..8i64,
-        a1 in 0..8i64,
-    ) {
-        let args = [a0, a1];
+/// With whole-object prefetching enabled, the same kernels still
+/// compute identical results (the chained reads' 256-byte window is
+/// staged in the local store).
+#[test]
+fn whole_object_transform_preserves_semantics() {
+    let mut rng = Rng::new(SEED ^ 2);
+    for case in 0..32 {
+        let pats = arb_pats(&mut rng, 10);
+        let args = [rng.range(0, 8), rng.range(0, 8)];
         let expected = model(&pats, &args) as i32;
         let base = build(&pats);
         let opts = TransformOptions {
@@ -272,22 +321,31 @@ proptest! {
             },
         };
         let (pf, _) = dta_compiler::prefetch_program(&base, &opts);
-        prop_assert!(dta_isa::validate_program(&pf).is_empty());
+        assert!(dta_isa::validate_program(&pf).is_empty(), "case {case}");
         let cfg = SystemConfig::with_pes(1);
         let (_, sys_p) = simulate(cfg, Arc::new(pf), &args).unwrap();
-        prop_assert_eq!(sys_p.read_global_word("out", 0), Some(expected), "whole-object");
+        assert_eq!(
+            sys_p.read_global_word("out", 0),
+            Some(expected),
+            "case {case}: whole-object"
+        );
     }
+}
 
-    /// The transformation is idempotent in effect: transforming an
-    /// already-transformed program changes nothing.
-    #[test]
-    fn transform_is_idempotent(
-        pats in prop::collection::vec(arb_pat(), 1..8),
-    ) {
+/// The transformation is idempotent in effect: transforming an
+/// already-transformed program changes nothing.
+#[test]
+fn transform_is_idempotent() {
+    let mut rng = Rng::new(SEED ^ 3);
+    for case in 0..48 {
+        let pats = arb_pats(&mut rng, 8);
         let base = build(&pats);
         let (once, _) = prefetch_program(&base, &TransformOptions::default());
         let (twice, report) = prefetch_program(&once, &TransformOptions::default());
-        prop_assert_eq!(once, twice);
-        prop_assert!(report.threads.iter().all(|t| !t.transformed()));
+        assert_eq!(once, twice, "case {case}");
+        assert!(
+            report.threads.iter().all(|t| !t.transformed()),
+            "case {case}"
+        );
     }
 }

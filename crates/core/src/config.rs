@@ -11,10 +11,27 @@
 
 use dta_mem::{BusModel, MemoryModel, MemorySystem, MfcParams};
 use dta_sched::{DseParams, LseParams};
-use serde::{Deserialize, Serialize};
+
+/// How the simulator itself executes on the host.
+///
+/// All modes produce bit-identical [`RunStats`](crate::stats::RunStats):
+/// the sharded engine orders every cross-shard interaction by a
+/// partition-independent `(time, source rank, source sequence)` stamp, so
+/// the shard count never leaks into simulated behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parallelism {
+    /// The sequential oracle: one host thread, one global event queue.
+    Off,
+    /// Epoch-sharded execution on up to `n` host threads (PEs and DSEs
+    /// are partitioned into per-node shards; `Threads(1)` exercises the
+    /// sharded engine without spawning).
+    Threads(u16),
+    /// `Threads(available_parallelism())`.
+    Auto,
+}
 
 /// Full system configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SystemConfig {
     /// Number of DTA nodes (each with its own DSE).
     pub nodes: u16,
@@ -88,6 +105,10 @@ pub struct SystemConfig {
 
     /// Safety valve: abort `run` after this many cycles.
     pub max_cycles: u64,
+
+    /// Host-side execution strategy (simulated results are identical in
+    /// every mode).
+    pub parallelism: Parallelism,
 }
 
 impl Default for SystemConfig {
@@ -130,6 +151,7 @@ impl SystemConfig {
             trace: false,
             trace_capacity: 200_000,
             max_cycles: 2_000_000_000,
+            parallelism: Parallelism::Off,
         }
     }
 
@@ -161,7 +183,11 @@ impl SystemConfig {
     pub fn memory_system(&self) -> MemorySystem {
         let mut sys = MemorySystem::new(
             BusModel::new(self.buses, self.bus_bytes_per_cycle, self.wire_latency),
-            MemoryModel::new(self.mem_ports, self.mem_latency, self.mem_array_bytes_per_cycle),
+            MemoryModel::new(
+                self.mem_ports,
+                self.mem_latency,
+                self.mem_array_bytes_per_cycle,
+            ),
             self.stride_penalty_per_elem,
         );
         sys.split_transactions = self.dma_split_transactions;

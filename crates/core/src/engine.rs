@@ -1,0 +1,552 @@
+//! The epoch-sharded parallel engine.
+//!
+//! [`run_sharded`] partitions the machine into per-node **shards** — each
+//! owning a contiguous range of PEs plus the DSEs of the nodes whose first
+//! PE falls in that range — and executes them on host threads in
+//! lock-step **epochs** of `W` simulated cycles, where `W` is the
+//! conservative lookahead: the minimum latency of any interaction that
+//! can cross a shard boundary or touch globally shared state
+//! ([`epoch_width`]).
+//!
+//! Within an epoch every shard ticks its own PEs against its own event
+//! queue; interactions with the *shared* memory system (scalar
+//! `READ`/`WRITE`, DMA data movement) are recorded as
+//! [`Ticket`]s and resolved at the epoch barrier by the coordinator in
+//! `(time, pe, seq)` order — exactly the order in which the sequential
+//! engine, which ticks PEs in index order within a cycle, would have
+//! performed them. Cross-shard messages always have delivery latency
+//! ≥ `W`, so they land in a future epoch and can be exchanged at the
+//! barrier. Same-cycle deliveries are ordered by the partition-independent
+//! [`MsgSeq`] stamp everywhere. The net effect: identical per-unit event
+//! sequences, identical reservation-pool watermarks, and therefore
+//! bit-identical [`RunStats`] for any shard count — the property the
+//! `determinism` integration test enforces.
+//!
+//! Shard count and OS-thread count are decoupled: partitioning never
+//! affects results, so on a single-core host (or under
+//! `DTA_HOST_PARALLELISM=1`) all shards run the identical epoch protocol
+//! on the calling thread instead of paying barrier rendezvous with no
+//! hardware parallelism behind them.
+
+use crate::config::SystemConfig;
+use crate::pipeline::{Activity, MemPort, OutMsg, Pe, SysCtx, Ticket, TicketKind};
+use crate::stats::RunStats;
+use crate::system::{deliver, DeliverEnv, Event, RunError, System};
+use crate::trace::Trace;
+use dta_isa::Program;
+use dta_mem::{MainMemory, MemorySystem, TransferKind};
+use dta_sched::{Dest, Dse, Message, MsgSeq};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The conservative epoch width: no interaction that leaves a shard (or
+/// returns to one from the shared memory system) can take effect sooner
+/// than this many cycles after it is initiated.
+///
+/// * scheduler messages to any other unit take `msg_latency` (same-PE
+///   messages take 1 cycle but never leave the shard);
+/// * a DMA completion cannot arrive before `mfc.command_latency` (which
+///   also makes shard-local MFC *admission* exact: commands issued inside
+///   an epoch cannot retire inside it);
+/// * a deferred scalar `READ`'s response cannot arrive before the
+///   cheapest read path completes — the cache hit latency when a cache is
+///   configured, else a safe lower bound on the uncached path
+///   (command packet + memory access + response).
+fn epoch_width(config: &SystemConfig) -> u64 {
+    let read_floor = match config.cache {
+        Some(c) => c.hit_latency,
+        None => 1 + config.wire_latency + config.mem_latency,
+    };
+    config
+        .msg_latency
+        .min(config.mfc.command_latency)
+        .min(read_floor)
+        .max(1)
+}
+
+/// One shard: a contiguous slice of the machine with its own event queue.
+struct Shard {
+    pe_base: u16,
+    pes: Vec<Pe>,
+    dse_base: u16,
+    dses: Vec<Dse>,
+    dse_stamps: Vec<MsgSeq>,
+    events: BinaryHeap<Event>,
+    /// Deferred shared-memory operations from the epoch just run.
+    tickets: Vec<Ticket>,
+    /// Posts destined for other shards, exchanged at the barrier.
+    remote: Vec<OutMsg>,
+    /// Scratch post buffer (deliveries and ticks both fill it; routed
+    /// after each step).
+    posts: Vec<OutMsg>,
+    /// Always `None` — the sharded engine never runs with tracing on.
+    trace: Option<Trace>,
+    /// Scratch `drain_until` for the tick context; never written through
+    /// the deferred port (writes become tickets instead).
+    scratch_drain: u64,
+    /// The next cycle this shard's own units want to run (≥ the epoch end
+    /// it last finished, or `u64::MAX` when fully quiescent).
+    next_hint: u64,
+    /// Last cycle this shard's body actually visited.
+    last_t: u64,
+    nodes: u16,
+    pes_per_node: u16,
+    msg_latency: u64,
+}
+
+impl Shard {
+    /// Earliest cycle at which this shard has anything to do.
+    fn next_ready(&self) -> u64 {
+        self.next_hint
+            .min(self.events.peek().map_or(u64::MAX, |e| e.time))
+    }
+
+    /// Moves everything in `posts` into the local queue (clamped to
+    /// strictly-future delivery, like the sequential engine's `post`) or
+    /// the cross-shard buffer.
+    fn route_posts(&mut self, t: u64) {
+        let pe_end = self.pe_base + self.pes.len() as u16;
+        let dse_end = self.dse_base + self.dses.len() as u16;
+        let mut posts = std::mem::take(&mut self.posts);
+        for (time, to, msg, stamp) in posts.drain(..) {
+            let local = match to {
+                Dest::Dse(n) => n >= self.dse_base && n < dse_end,
+                Dest::Lse(p) | Dest::Pipeline(p) => p >= self.pe_base && p < pe_end,
+            };
+            if local {
+                self.events.push(Event {
+                    time: time.max(t + 1),
+                    stamp,
+                    to,
+                    msg,
+                });
+            } else {
+                self.remote.push((time, to, msg, stamp));
+            }
+        }
+        self.posts = posts;
+    }
+
+    /// Runs this shard over simulated cycles `[e_start, e_end)` — the
+    /// same deliver-then-tick body as the sequential engine, restricted to
+    /// this shard's units, with event-based time skipping inside the
+    /// window.
+    fn run_epoch(&mut self, e_start: u64, e_end: u64, program: &Program) {
+        let mut t = self.next_ready().max(e_start);
+        while t < e_end {
+            self.last_t = t;
+
+            while self.events.peek().is_some_and(|e| e.time <= t) {
+                let e = self.events.pop().expect("peeked");
+                let mut env = DeliverEnv {
+                    pes: &mut self.pes,
+                    pe_base: self.pe_base,
+                    dses: &mut self.dses,
+                    dse_base: self.dse_base,
+                    dse_stamps: &mut self.dse_stamps,
+                    program,
+                    nodes: self.nodes,
+                    pes_per_node: self.pes_per_node,
+                    msg_latency: self.msg_latency,
+                    trace: &mut self.trace,
+                    posts: &mut self.posts,
+                };
+                deliver(&mut env, t, e.to, e.msg);
+                self.route_posts(t);
+            }
+
+            let mut any_active = false;
+            let mut next_wake = u64::MAX;
+            {
+                let mut ctx = SysCtx {
+                    port: MemPort::Deferred {
+                        tickets: &mut self.tickets,
+                    },
+                    program,
+                    out: &mut self.posts,
+                    drain_until: &mut self.scratch_drain,
+                };
+                for pe in self.pes.iter_mut() {
+                    match pe.tick(t, &mut ctx) {
+                        Activity::Active => any_active = true,
+                        Activity::Blocked(w) => next_wake = next_wake.min(w),
+                        Activity::Idle => {}
+                    }
+                }
+            }
+            self.route_posts(t);
+
+            if any_active {
+                t += 1;
+            } else {
+                let peek = self.events.peek().map_or(u64::MAX, |e| e.time);
+                t = next_wake.min(peek).max(t + 1);
+            }
+        }
+        self.next_hint = t;
+    }
+}
+
+/// Coordinator-owned shared state for the barrier-time merge.
+struct MergeCtx<'a> {
+    memsys: &'a mut MemorySystem,
+    mem: &'a mut MainMemory,
+    drain_until: &'a mut u64,
+    /// Owning shard of each global PE index.
+    pe_owner: &'a [usize],
+    /// Owning shard of each node's DSE.
+    dse_owner: &'a [usize],
+}
+
+/// Resolves the epoch's deferred shared-memory tickets in sequential wall
+/// order, exchanges cross-shard posts, and returns the next epoch start
+/// (`u64::MAX` when the whole machine is quiescent).
+fn merge_epoch(shards: &mut [&mut Shard], ctx: &mut MergeCtx<'_>) -> u64 {
+    let mut tickets: Vec<Ticket> = Vec::new();
+    for s in shards.iter_mut() {
+        tickets.append(&mut s.tickets);
+    }
+    // (time, pe, seq) is exactly the order the sequential engine touches
+    // the shared memory system: it ticks PEs in index order within each
+    // cycle, and deliveries never touch it.
+    tickets.sort_unstable_by_key(|t| (t.time, t.pe, t.seq));
+    for tk in tickets {
+        let shard = &mut *shards[ctx.pe_owner[tk.pe as usize]];
+        let idx = (tk.pe - shard.pe_base) as usize;
+        match tk.kind {
+            TicketKind::Read { addr } => {
+                let value = ctx.mem.read_i32_sext(addr);
+                let pe = &mut shard.pes[idx];
+                let until = match &mut pe.cache {
+                    Some(c) => c.read(tk.time, addr, ctx.memsys),
+                    None => ctx.memsys.request(tk.time, TransferKind::ScalarRead),
+                };
+                // The response is synthetic (the sequential engine blocks
+                // inline), so its stamp only needs deterministic
+                // uniqueness; the high bit keeps it clear of real send
+                // counters.
+                shard.events.push(Event {
+                    time: until.max(tk.time + 1),
+                    stamp: MsgSeq {
+                        src_rank: tk.pe as u32,
+                        seq: (1 << 63) | tk.seq,
+                    },
+                    to: Dest::Pipeline(tk.pe),
+                    msg: Message::ReadDone {
+                        value,
+                        ready_at: until,
+                    },
+                });
+            }
+            TicketKind::Write { addr, value } => {
+                ctx.mem.write_u32(addr, value);
+                let pe = &mut shard.pes[idx];
+                if let Some(c) = &mut pe.cache {
+                    c.write(tk.time, addr);
+                }
+                let done = ctx.memsys.request(tk.time, TransferKind::ScalarWrite);
+                *ctx.drain_until = (*ctx.drain_until).max(done);
+            }
+            TicketKind::Dma { cmd, owner, stamp } => {
+                let pe = &mut shard.pes[idx];
+                let done = pe.mfc.commit(tk.time, cmd, ctx.memsys, &mut pe.ls, ctx.mem);
+                shard.events.push(Event {
+                    time: done.at.max(tk.time + 1),
+                    stamp,
+                    to: Dest::Lse(tk.pe),
+                    msg: Message::DmaDone {
+                        owner,
+                        tag: done.tag,
+                    },
+                });
+            }
+        }
+    }
+
+    let mut remote: Vec<OutMsg> = Vec::new();
+    for s in shards.iter_mut() {
+        remote.append(&mut s.remote);
+    }
+    for (time, to, msg, stamp) in remote {
+        let s = match to {
+            Dest::Dse(n) => ctx.dse_owner[n as usize],
+            Dest::Lse(p) | Dest::Pipeline(p) => ctx.pe_owner[p as usize],
+        };
+        shards[s].events.push(Event {
+            time,
+            stamp,
+            to,
+            msg,
+        });
+    }
+
+    shards
+        .iter()
+        .map(|s| s.next_ready())
+        .min()
+        .unwrap_or(u64::MAX)
+}
+
+/// A sense-reversing spin barrier. Epochs are short (a handful of
+/// simulated cycles), so a futex-based barrier's syscall cost would
+/// dominate; spinning with a bounded backoff to `yield_now` keeps the
+/// rendezvous in the sub-microsecond range.
+struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        SpinBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                spins = spins.wrapping_add(1);
+                if spins < 10_000 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+enum Outcome {
+    /// Nothing will ever happen again (finished, or deadlocked).
+    Exhausted,
+    /// The next interesting cycle lies beyond `max_cycles`.
+    CycleLimit,
+}
+
+/// How many OS threads are worth spawning. Shard *partitioning* never
+/// affects results, so the engine is free to run every shard on one
+/// thread when the host has a single core — spawning more would turn
+/// each epoch barrier into a scheduler round-trip (observed: 3 orders
+/// of magnitude slower on a 1-core container). `DTA_HOST_PARALLELISM`
+/// overrides detection, mainly so tests can force the threaded path.
+fn host_parallelism() -> usize {
+    std::env::var("DTA_HOST_PARALLELISM")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Runs `sys` to completion on up to `threads` host threads. Produces
+/// results bit-identical to [`System::run`] with parallelism off.
+pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, RunError> {
+    let total = sys.config.total_pes() as usize;
+    if total == 0 {
+        return sys.run_sequential();
+    }
+    let nshards = threads.min(total).max(1);
+    let ppn = sys.config.pes_per_node as usize;
+
+    // Partition: contiguous PE chunks; each node's DSE rides with the
+    // shard owning the node's first PE.
+    let mut pes = std::mem::take(&mut sys.pes);
+    let mut dses = std::mem::take(&mut sys.dses);
+    let mut dse_stamps = std::mem::take(&mut sys.dse_stamps);
+    let base = total / nshards;
+    let extra = total % nshards;
+    let mut pe_owner = vec![0usize; total];
+    let mut dse_owner = vec![0usize; dses.len()];
+    let mut shards: Vec<Shard> = Vec::with_capacity(nshards);
+    {
+        let mut pes_iter = pes.drain(..);
+        let mut next_pe = 0usize;
+        for s in 0..nshards {
+            let n = base + usize::from(s < extra);
+            for owner in &mut pe_owner[next_pe..next_pe + n] {
+                *owner = s;
+            }
+            shards.push(Shard {
+                pe_base: next_pe as u16,
+                pes: pes_iter.by_ref().take(n).collect(),
+                dse_base: 0,
+                dses: Vec::new(),
+                dse_stamps: Vec::new(),
+                events: BinaryHeap::new(),
+                tickets: Vec::new(),
+                remote: Vec::new(),
+                posts: Vec::new(),
+                trace: None,
+                scratch_drain: 0,
+                next_hint: 0,
+                last_t: 0,
+                nodes: sys.config.nodes,
+                pes_per_node: sys.config.pes_per_node,
+                msg_latency: sys.config.msg_latency,
+            });
+            next_pe += n;
+        }
+    }
+    for (node, (dse, stamp)) in dses.drain(..).zip(dse_stamps.drain(..)).enumerate() {
+        let s = pe_owner[node * ppn];
+        dse_owner[node] = s;
+        let shard = &mut shards[s];
+        if shard.dses.is_empty() {
+            shard.dse_base = node as u16;
+        }
+        shard.dses.push(dse);
+        shard.dse_stamps.push(stamp);
+    }
+    // Route any events pending at run start (none today — launch posts
+    // nothing — but the invariant is cheap to keep).
+    for e in sys.events.drain() {
+        let s = match e.to {
+            Dest::Dse(n) => dse_owner[n as usize],
+            Dest::Lse(p) | Dest::Pipeline(p) => pe_owner[p as usize],
+        };
+        shards[s].events.push(e);
+    }
+
+    let w = epoch_width(&sys.config);
+    let max_cycles = sys.config.max_cycles;
+    let program = sys.program.clone();
+    let mut drain_until = sys.drain_until;
+    let mut mctx = MergeCtx {
+        memsys: &mut sys.memsys,
+        mem: &mut sys.mem,
+        drain_until: &mut drain_until,
+        pe_owner: &pe_owner,
+        dse_owner: &dse_owner,
+    };
+
+    let outcome;
+    if nshards == 1 || host_parallelism() == 1 {
+        // The full epoch protocol — partitioning, tickets, stamps, epoch
+        // skipping, cross-shard routing, barrier-order merge — on the
+        // current thread. Taken when there is one shard, or when the host
+        // has one core (results are partition-independent, so skipping the
+        // OS threads changes nothing but wall-clock).
+        let mut e = 0u64;
+        outcome = loop {
+            let e_end = e.saturating_add(w).min(max_cycles.saturating_add(1));
+            for shard in shards.iter_mut() {
+                shard.run_epoch(e, e_end, &program);
+            }
+            let mut refs: Vec<&mut Shard> = shards.iter_mut().collect();
+            let next = merge_epoch(&mut refs, &mut mctx);
+            if next == u64::MAX {
+                break Outcome::Exhausted;
+            }
+            if next > max_cycles {
+                break Outcome::CycleLimit;
+            }
+            e = next;
+        };
+    } else {
+        let stop = AtomicBool::new(false);
+        let epoch_start = AtomicU64::new(0);
+        let epoch_end = AtomicU64::new(0);
+        let barrier = SpinBarrier::new(nshards);
+        let mutexes: Vec<Mutex<Shard>> = shards.drain(..).map(Mutex::new).collect();
+        let program_ref: &Program = &program;
+
+        outcome = std::thread::scope(|scope| {
+            for i in 1..nshards {
+                let (barrier, stop) = (&barrier, &stop);
+                let (epoch_start, epoch_end) = (&epoch_start, &epoch_end);
+                let mutexes = &mutexes;
+                scope.spawn(move || loop {
+                    barrier.wait();
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let s = epoch_start.load(Ordering::Acquire);
+                    let e = epoch_end.load(Ordering::Acquire);
+                    let mut shard = mutexes[i].lock().expect("shard mutex poisoned");
+                    shard.run_epoch(s, e, program_ref);
+                    drop(shard);
+                    barrier.wait();
+                });
+            }
+
+            // This thread is worker 0 *and* the coordinator. While it
+            // merges, the workers spin at the next epoch's opening
+            // barrier, so locking every shard here cannot contend.
+            let mut e = 0u64;
+            loop {
+                let e_end = e.saturating_add(w).min(max_cycles.saturating_add(1));
+                epoch_start.store(e, Ordering::Release);
+                epoch_end.store(e_end, Ordering::Release);
+                barrier.wait();
+                mutexes[0]
+                    .lock()
+                    .expect("shard mutex poisoned")
+                    .run_epoch(e, e_end, program_ref);
+                barrier.wait();
+
+                let mut guards: Vec<_> = mutexes
+                    .iter()
+                    .map(|m| m.lock().expect("shard mutex poisoned"))
+                    .collect();
+                let mut refs: Vec<&mut Shard> = guards.iter_mut().map(|g| &mut **g).collect();
+                let next = merge_epoch(&mut refs, &mut mctx);
+                drop(guards);
+
+                if next == u64::MAX || next > max_cycles {
+                    stop.store(true, Ordering::Release);
+                    barrier.wait();
+                    break if next == u64::MAX {
+                        Outcome::Exhausted
+                    } else {
+                        Outcome::CycleLimit
+                    };
+                }
+                e = next;
+            }
+        });
+
+        shards = mutexes
+            .into_iter()
+            .map(|m| m.into_inner().expect("shard mutex poisoned"))
+            .collect();
+    }
+
+    // Reassemble the machine (shards hold contiguous, ordered slices).
+    sys.drain_until = drain_until;
+    let mut now = 0u64;
+    for shard in &mut shards {
+        now = now.max(shard.last_t);
+        sys.pes.append(&mut shard.pes);
+        sys.dses.append(&mut shard.dses);
+        sys.dse_stamps.append(&mut shard.dse_stamps);
+    }
+    // The deepest cycle any shard's body visited is exactly the sequential
+    // engine's final `now`: every shard-visited cycle is also visited by
+    // the sequential loop, and the last sequentially-visited cycle belongs
+    // to whichever shard hosted its activity.
+    sys.now = now;
+
+    match outcome {
+        Outcome::CycleLimit => Err(RunError::CycleLimit(max_cycles)),
+        Outcome::Exhausted => {
+            let live: usize = sys.pes.iter().map(|p| p.lse.live_instances()).sum();
+            if live > 0 {
+                return Err(sys.deadlock_error());
+            }
+            let final_cycle = sys.now.max(sys.drain_until);
+            for pe in &mut sys.pes {
+                pe.finish(final_cycle);
+            }
+            Ok(sys.collect(final_cycle))
+        }
+    }
+}

@@ -47,12 +47,13 @@
 //! ```
 
 pub mod config;
+pub(crate) mod engine;
 pub mod pipeline;
 pub mod stats;
 pub mod system;
 pub mod trace;
 
-pub use config::SystemConfig;
+pub use config::{Parallelism, SystemConfig};
 pub use pipeline::{Activity, Pe, PipelineParams};
 pub use stats::{Breakdown, PeStats, RunStats, StallCat};
 pub use system::{simulate, RunError, System};

@@ -24,8 +24,83 @@ use dta_mem::{
     Cache, CacheParams, DmaCommand, DmaKind, LocalStore, MainMemory, MemorySystem, Mfc, MfcParams,
     ResourcePool, TransferKind,
 };
-use dta_sched::{Dest, InstanceId, Lse, LseParams, Message, ThreadState};
+use dta_sched::{Dest, InstanceId, Lse, LseParams, Message, MsgSeq, ThreadState};
 use std::collections::VecDeque;
+
+/// A stamped outbox entry: `(absolute delivery cycle, destination,
+/// message, deterministic source stamp)`.
+pub type OutMsg = (u64, Dest, Message, MsgSeq);
+
+/// Shared-resource access deferred from a shard to the epoch barrier.
+///
+/// Tickets record, in issue order, every touch of the globally shared
+/// memory system a PE wanted to make while its shard was ticking in
+/// parallel. The coordinator resolves all shards' tickets sorted by
+/// `(time, pe, seq)` — exactly the order the sequential engine (which
+/// ticks PEs in index order within a cycle, with at most one
+/// shared-memory operation per PE per cycle) would have performed them,
+/// so reservation watermarks and functional memory state evolve
+/// identically.
+#[derive(Clone, Copy, Debug)]
+pub struct Ticket {
+    /// Cycle at which the PE issued the operation.
+    pub time: u64,
+    /// Issuing PE (global index).
+    pub pe: u16,
+    /// Per-PE issue counter (disambiguates nothing today — one shared
+    /// operation per cycle — but keeps the sort total and future-proof).
+    pub seq: u64,
+    /// The operation.
+    pub kind: TicketKind,
+}
+
+/// The deferred operation behind a [`Ticket`].
+#[derive(Clone, Copy, Debug)]
+pub enum TicketKind {
+    /// Scalar `READ`: the pipeline blocks until the coordinator posts a
+    /// [`Message::ReadDone`] back.
+    Read {
+        /// Main-memory byte address.
+        addr: u64,
+    },
+    /// Scalar `WRITE`: posted, pipeline does not block.
+    Write {
+        /// Main-memory byte address.
+        addr: u64,
+        /// The stored word.
+        value: u32,
+    },
+    /// DMA command admitted by the shard-local MFC queue; the coordinator
+    /// runs the data movement and schedules the `DmaDone`.
+    Dma {
+        /// The admitted command.
+        cmd: DmaCommand,
+        /// Owning instance (the `DmaDone` correlation token).
+        owner: InstanceId,
+        /// Source stamp reserved at issue for the eventual `DmaDone`
+        /// event (keeps per-PE stamp counters identical to the
+        /// sequential engine, which stamps the completion at issue).
+        stamp: MsgSeq,
+    },
+}
+
+/// How a ticking PE reaches the shared memory system.
+pub enum MemPort<'a> {
+    /// Sequential engine: direct mutable access, operations resolve
+    /// inline.
+    Direct {
+        /// The shared interconnect + memory controller.
+        sys: &'a mut MemorySystem,
+        /// Main-memory contents.
+        mem: &'a mut MainMemory,
+    },
+    /// Sharded engine: operations are recorded as [`Ticket`]s and
+    /// resolved at the epoch barrier.
+    Deferred {
+        /// Ticket sink (drained by the shard after each tick).
+        tickets: &'a mut Vec<Ticket>,
+    },
+}
 
 /// Pipeline tuning knobs (extracted from
 /// [`SystemConfig`](crate::config::SystemConfig)).
@@ -63,14 +138,12 @@ pub enum Activity {
 
 /// Shared mutable state a PE needs while ticking.
 pub struct SysCtx<'a> {
-    /// The shared interconnect + memory controller.
-    pub sys: &'a mut MemorySystem,
-    /// Main-memory contents.
-    pub mem: &'a mut MainMemory,
+    /// Access to the shared memory system (direct or epoch-deferred).
+    pub port: MemPort<'a>,
     /// The program being executed.
     pub program: &'a Program,
-    /// Outbox: `(absolute delivery cycle, destination, message)`.
-    pub out: &'a mut Vec<(u64, Dest, Message)>,
+    /// Outbox: stamped `(absolute delivery cycle, destination, message)`.
+    pub out: &'a mut Vec<OutMsg>,
     /// Latest cycle at which posted writes will have drained.
     pub drain_until: &'a mut u64,
 }
@@ -86,11 +159,24 @@ enum Exec {
     Block { until: u64, cat: StallCat },
     /// Issued a FALLOC; blocked until the response message arrives.
     BlockFalloc,
+    /// Issued a deferred scalar READ (sharded engine); blocked until the
+    /// `ReadDone` message arrives.
+    BlockRead,
     /// DMAYIELD with outstanding transfers: the thread leaves the
     /// pipeline in the *Wait for DMA* state.
     Yield,
     /// STOP.
     Stop,
+}
+
+/// Bookkeeping for a deferred scalar READ between issue and `ReadDone`.
+struct ReadWait {
+    /// Destination register.
+    rd: Reg,
+    /// Issue cycle (the whole blocked span is charged at completion).
+    start: u64,
+    /// Stall bucket the blocked span belongs to (decided at issue).
+    cat: StallCat,
 }
 
 /// A processing element.
@@ -115,6 +201,14 @@ pub struct Pe {
     /// Destination register of an in-flight FALLOC.
     waiting_falloc: Option<Reg>,
     falloc_block_start: u64,
+    /// An in-flight deferred scalar READ (sharded engine only).
+    waiting_read: Option<ReadWait>,
+    /// Deterministic source stamp for posted messages (rank = PE index).
+    pub(crate) stamp: MsgSeq,
+    /// Issue counter for deferred shared-memory tickets (a separate
+    /// sequence from `stamp`: the sequential engine posts no message for
+    /// scalar READ/WRITE, so tickets must not advance message stamps).
+    ticket_seq: u64,
     /// Instances parked off the pipeline because their FALLOC was queued
     /// at the DSE (FIFO: grants arrive in queue order).
     parked_fallocs: VecDeque<InstanceId>,
@@ -153,6 +247,9 @@ impl Pe {
             resume_at: 0,
             waiting_falloc: None,
             falloc_block_start: 0,
+            waiting_read: None,
+            stamp: MsgSeq::first(pe as u32),
+            ticket_seq: 0,
             parked_fallocs: VecDeque::new(),
             reg_ready: [0; NUM_REGS],
             reg_stall: [StallCat::Working; NUM_REGS],
@@ -178,7 +275,8 @@ impl Pe {
     /// category sums equal total cycles.
     pub fn finish(&mut self, final_cycle: u64) {
         if let Some(t0) = self.idle_since.take() {
-            self.stats.add_cycles(StallCat::Idle, final_cycle.saturating_sub(t0));
+            self.stats
+                .add_cycles(StallCat::Idle, final_cycle.saturating_sub(t0));
         }
     }
 
@@ -225,7 +323,10 @@ impl Pe {
             .waiting_falloc
             .take()
             .expect("FallocDeferred without a waiting FALLOC");
-        let id = self.current.take().expect("FallocDeferred with no current thread");
+        let id = self
+            .current
+            .take()
+            .expect("FallocDeferred with no current thread");
         assert_eq!(id, for_inst, "FallocDeferred correlation mismatch");
         let inst = self.lse.instance_mut(id);
         inst.pending_falloc = Some(rd);
@@ -236,6 +337,23 @@ impl Pe {
         self.stats
             .add_cycles(StallCat::LseStall, resume - self.falloc_block_start);
         self.resume_at = resume;
+    }
+
+    /// Delivers a deferred scalar READ's result (sharded engine): writes
+    /// the register, charges the whole blocked span to the bucket chosen
+    /// at issue, and unblocks the pipeline. Timing-identical to the
+    /// sequential engine's inline `Exec::Block`: the delivery cycle is the
+    /// resolved completion clamped to issue+1, so the charged span and
+    /// resume cycle match the inline `until.max(now + 1)` exactly.
+    pub fn complete_read(&mut self, now: u64, value: i64, ready_at: u64) {
+        let wait = self
+            .waiting_read
+            .take()
+            .expect("ReadDone without a waiting READ");
+        let id = self.current.expect("ReadDone with no current thread");
+        self.set_reg(id, wait.rd, value, ready_at, StallCat::MemStall);
+        self.stats.add_cycles(wait.cat, now - wait.start);
+        self.resume_at = now;
     }
 
     /// Handles a DMA completion that belongs to the *currently running*
@@ -292,7 +410,7 @@ impl Pe {
 
     /// One simulation cycle.
     pub fn tick(&mut self, now: u64, ctx: &mut SysCtx<'_>) -> Activity {
-        if self.waiting_falloc.is_some() {
+        if self.waiting_falloc.is_some() || self.waiting_read.is_some() {
             return Activity::Blocked(u64::MAX);
         }
         if self.resume_at > now {
@@ -442,6 +560,12 @@ impl Pe {
                 self.lse.instance_mut(id).pc = pc + 1;
                 Activity::Blocked(u64::MAX)
             }
+            Exec::BlockRead => {
+                // Stall cycles are charged on completion (`complete_read`),
+                // once the coordinator has resolved the contended latency.
+                self.lse.instance_mut(id).pc = pc + 1;
+                Activity::Blocked(u64::MAX)
+            }
             Exec::Yield => {
                 self.stats.add_cycles(cycle_cat, 1);
                 let inst = self.lse.instance_mut(id);
@@ -478,7 +602,14 @@ impl Pe {
         }
     }
 
-    fn exec(&mut self, now: u64, id: InstanceId, i: Instr, in_pf: bool, ctx: &mut SysCtx<'_>) -> Exec {
+    fn exec(
+        &mut self,
+        now: u64,
+        id: InstanceId,
+        i: Instr,
+        in_pf: bool,
+        ctx: &mut SysCtx<'_>,
+    ) -> Exec {
         match i {
             Instr::Alu { op, rd, ra, rb } => {
                 let v = op.eval(self.reg(id, ra), self.src_val(id, rb));
@@ -518,11 +649,17 @@ impl Pe {
                 let frame = FramePtr::decode_expect(self.reg(id, rframe) as u64);
                 let value = self.reg(id, rs);
                 let delay = self.msg_delay(frame.pe);
-                ctx.out
-                    .push((now + delay, Dest::Lse(frame.pe), Message::Store { frame, slot, value }));
+                let stamp = self.stamp.bump();
+                ctx.out.push((
+                    now + delay,
+                    Dest::Lse(frame.pe),
+                    Message::Store { frame, slot, value },
+                    stamp,
+                ));
                 Exec::Next
             }
             Instr::Falloc { rd, thread, sc } => {
+                let stamp = self.stamp.bump();
                 ctx.out.push((
                     now + self.params.msg_latency,
                     Dest::Dse(self.node),
@@ -533,6 +670,7 @@ impl Pe {
                         sc,
                         hops: 0,
                     },
+                    stamp,
                 ));
                 self.waiting_falloc = Some(rd);
                 Exec::BlockFalloc
@@ -540,36 +678,72 @@ impl Pe {
             Instr::Ffree { rframe } => {
                 let frame = FramePtr::decode_expect(self.reg(id, rframe) as u64);
                 let delay = self.msg_delay(frame.pe);
-                ctx.out
-                    .push((now + delay, Dest::Lse(frame.pe), Message::Ffree { frame }));
+                let stamp = self.stamp.bump();
+                ctx.out.push((
+                    now + delay,
+                    Dest::Lse(frame.pe),
+                    Message::Ffree { frame },
+                    stamp,
+                ));
                 Exec::Next
             }
             Instr::Stop => Exec::Stop,
             Instr::Read { rd, ra, off } => {
                 let addr = (self.reg(id, ra) + off as i64) as u64;
-                let v = ctx.mem.read_i32_sext(addr);
-                let until = match &mut self.cache {
-                    Some(c) => c.read(now, addr, ctx.sys),
-                    None => ctx.sys.request(now, TransferKind::ScalarRead),
+                let cat = if in_pf {
+                    StallCat::Prefetch
+                } else {
+                    StallCat::MemStall
                 };
-                self.set_reg(id, rd, v, until, StallCat::MemStall);
-                Exec::Block {
-                    until,
-                    cat: if in_pf {
-                        StallCat::Prefetch
-                    } else {
-                        StallCat::MemStall
-                    },
+                match &mut ctx.port {
+                    MemPort::Direct { sys, mem } => {
+                        let v = mem.read_i32_sext(addr);
+                        let until = match &mut self.cache {
+                            Some(c) => c.read(now, addr, sys),
+                            None => sys.request(now, TransferKind::ScalarRead),
+                        };
+                        self.set_reg(id, rd, v, until, StallCat::MemStall);
+                        Exec::Block { until, cat }
+                    }
+                    MemPort::Deferred { tickets } => {
+                        tickets.push(Ticket {
+                            time: now,
+                            pe: self.pe,
+                            seq: self.ticket_seq,
+                            kind: TicketKind::Read { addr },
+                        });
+                        self.ticket_seq += 1;
+                        self.waiting_read = Some(ReadWait {
+                            rd,
+                            start: now,
+                            cat,
+                        });
+                        Exec::BlockRead
+                    }
                 }
             }
             Instr::Write { rs, ra, off } => {
                 let addr = (self.reg(id, ra) + off as i64) as u64;
-                ctx.mem.write_u32(addr, self.reg(id, rs) as u32);
-                if let Some(c) = &mut self.cache {
-                    c.write(now, addr);
+                let value = self.reg(id, rs) as u32;
+                match &mut ctx.port {
+                    MemPort::Direct { sys, mem } => {
+                        mem.write_u32(addr, value);
+                        if let Some(c) = &mut self.cache {
+                            c.write(now, addr);
+                        }
+                        let done = sys.request(now, TransferKind::ScalarWrite);
+                        *ctx.drain_until = (*ctx.drain_until).max(done);
+                    }
+                    MemPort::Deferred { tickets } => {
+                        tickets.push(Ticket {
+                            time: now,
+                            pe: self.pe,
+                            seq: self.ticket_seq,
+                            kind: TicketKind::Write { addr, value },
+                        });
+                        self.ticket_seq += 1;
+                    }
                 }
-                let done = ctx.sys.request(now, TransferKind::ScalarWrite);
-                *ctx.drain_until = (*ctx.drain_until).max(done);
                 Exec::Next
             }
             Instr::LsLoad { rd, ra, off } => {
@@ -675,25 +849,60 @@ impl Pe {
         in_pf: bool,
         ctx: &mut SysCtx<'_>,
     ) -> Exec {
-        match self.mfc.enqueue(now, cmd, ctx.sys, &mut self.ls, ctx.mem) {
-            Some(done) => {
-                self.lse.instance_mut(id).dma_issued(cmd.tag);
-                self.record(now, id, TraceKind::DmaIssued { tag: cmd.tag });
-                ctx.out.push((
-                    done.at.max(now + 1),
-                    Dest::Lse(self.pe),
-                    Message::DmaDone {
-                        owner: id,
-                        tag: cmd.tag,
-                    },
-                ));
-                Exec::Next
-            }
-            None => Exec::Retry(if in_pf {
+        let retry = |in_pf: bool| {
+            Exec::Retry(if in_pf {
                 StallCat::Prefetch
             } else {
                 StallCat::MemStall
-            }),
+            })
+        };
+        match &mut ctx.port {
+            MemPort::Direct { sys, mem } => {
+                match self.mfc.enqueue(now, cmd, sys, &mut self.ls, mem) {
+                    Some(done) => {
+                        self.lse.instance_mut(id).dma_issued(cmd.tag);
+                        self.record(now, id, TraceKind::DmaIssued { tag: cmd.tag });
+                        let stamp = self.stamp.bump();
+                        ctx.out.push((
+                            done.at.max(now + 1),
+                            Dest::Lse(self.pe),
+                            Message::DmaDone {
+                                owner: id,
+                                tag: cmd.tag,
+                            },
+                            stamp,
+                        ));
+                        Exec::Next
+                    }
+                    None => retry(in_pf),
+                }
+            }
+            MemPort::Deferred { tickets } => {
+                // Admission is decidable shard-locally: commands issued
+                // inside this epoch cannot retire inside it, so the known
+                // outstanding set plus the admitted-pending counter is
+                // exact. The coordinator moves the data and schedules the
+                // completion; the stamp is consumed now so per-PE stamp
+                // streams match the sequential engine.
+                if !self.mfc.admit(now) {
+                    return retry(in_pf);
+                }
+                self.lse.instance_mut(id).dma_issued(cmd.tag);
+                self.record(now, id, TraceKind::DmaIssued { tag: cmd.tag });
+                let stamp = self.stamp.bump();
+                tickets.push(Ticket {
+                    time: now,
+                    pe: self.pe,
+                    seq: self.ticket_seq,
+                    kind: TicketKind::Dma {
+                        cmd,
+                        owner: id,
+                        stamp,
+                    },
+                });
+                self.ticket_seq += 1;
+                Exec::Next
+            }
         }
     }
 
@@ -739,8 +948,11 @@ impl Pe {
         {
             let inst = self.lse.instance_mut(id);
             inst.regs[FRAME_PTR_REG.index()] = frame.encode() as i64;
-            inst.regs[PREFETCH_BASE_REG.index()] =
-                if pf_buf_addr == u32::MAX { 0 } else { pf_buf_addr as i64 };
+            inst.regs[PREFETCH_BASE_REG.index()] = if pf_buf_addr == u32::MAX {
+                0
+            } else {
+                pf_buf_addr as i64
+            };
             inst.state = ThreadState::ProgramDma;
         }
         self.record(now, id, TraceKind::PfOffloaded);

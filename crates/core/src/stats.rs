@@ -13,11 +13,11 @@
 //!   ([`RunStats::cycles`]).
 
 use dta_isa::IClass;
-use serde::{Deserialize, Serialize};
+use dta_json::{Json, ToJson};
 use std::fmt;
 
 /// Cycle-breakdown categories (the paper's Fig. 5 legend).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(usize)]
 pub enum StallCat {
     /// "when the SPU works without stalls".
@@ -82,7 +82,7 @@ fn class_index(c: IClass) -> usize {
 }
 
 /// Per-PE counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PeStats {
     /// Cycle counts per [`StallCat`] (indexed by the enum discriminant).
     pub cycles: [u64; NUM_CATS],
@@ -165,7 +165,7 @@ impl PeStats {
 }
 
 /// A normalised execution-time breakdown (Fig. 5 bar).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Breakdown {
     /// Fraction of time per category, summing to ~1.
     pub fractions: [f64; NUM_CATS],
@@ -227,7 +227,10 @@ impl fmt::Display for Breakdown {
 }
 
 /// Whole-run results returned by the simulator.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` exists so determinism tests can assert bit-identical runs
+/// across repeats and across host-parallelism modes.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunStats {
     /// Total execution time in cycles (until all threads and traffic
     /// drained).
@@ -272,6 +275,54 @@ impl RunStats {
             self.aggregate.reads,
             self.aggregate.writes,
         )
+    }
+}
+
+impl ToJson for PeStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycles", self.cycles.to_json()),
+            ("issued", self.issued.to_json()),
+            ("dual_cycles", self.dual_cycles.to_json()),
+            ("issue_cycles", self.issue_cycles.to_json()),
+            ("class_counts", self.class_counts.to_json()),
+            ("loads", self.loads.to_json()),
+            ("stores", self.stores.to_json()),
+            ("reads", self.reads.to_json()),
+            ("writes", self.writes.to_json()),
+            ("threads_dispatched", self.threads_dispatched.to_json()),
+            ("dma_queue_retries", self.dma_queue_retries.to_json()),
+            ("sp_pf_cycles", self.sp_pf_cycles.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Breakdown {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("fractions", self.fractions.to_json()),
+            ("pipeline_usage", self.pipeline_usage.to_json()),
+            ("ipc", self.ipc.to_json()),
+        ])
+    }
+}
+
+impl ToJson for RunStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycles", self.cycles.to_json()),
+            ("per_pe", self.per_pe.to_json()),
+            ("aggregate", self.aggregate.to_json()),
+            ("instructions", self.instructions.to_json()),
+            ("instances", self.instances.to_json()),
+            ("bus_utilisation", self.bus_utilisation.to_json()),
+            ("mem_utilisation", self.mem_utilisation.to_json()),
+            ("mem_payload_bytes", self.mem_payload_bytes.to_json()),
+            ("dma_commands", self.dma_commands.to_json()),
+            ("max_dse_pending", self.max_dse_pending.to_json()),
+            ("cache_hits", self.cache_hits.to_json()),
+            ("cache_misses", self.cache_misses.to_json()),
+        ])
     }
 }
 

@@ -9,12 +9,11 @@
 
 use dta_isa::{FramePtr, ThreadId};
 use dta_sched::InstanceId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// What happened.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TraceKind {
     /// A frame was granted and the instance was born.
     FrameGranted {
@@ -53,7 +52,7 @@ pub enum TraceKind {
 }
 
 /// One trace record.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TraceRecord {
     /// Simulation cycle.
     pub cycle: u64,
@@ -68,7 +67,7 @@ pub struct TraceRecord {
 }
 
 /// A bounded event log.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
     events: Vec<TraceRecord>,
     capacity: usize,
@@ -213,7 +212,13 @@ mod tests {
     #[test]
     fn render_summarises_lifecycles() {
         let mut t = Trace::new(10);
-        t.push(rec(5, 1, TraceKind::FrameGranted { frame: FramePtr::new(0, 0) }));
+        t.push(rec(
+            5,
+            1,
+            TraceKind::FrameGranted {
+                frame: FramePtr::new(0, 0),
+            },
+        ));
         t.push(rec(9, 1, TraceKind::Dispatched));
         t.push(rec(10, 1, TraceKind::DmaIssued { tag: 0 }));
         t.push(rec(11, 1, TraceKind::WaitDma));

@@ -81,7 +81,8 @@ fn prefetch_beats_or_matches_cache_on_streaming_kernels() {
     zoom::verify(&sys, n).unwrap();
 
     let pf = zoom::build(n, Variant::HandPrefetch);
-    let (with_pf, sys) = simulate(SystemConfig::with_pes(8), Arc::new(pf.program), &pf.args).unwrap();
+    let (with_pf, sys) =
+        simulate(SystemConfig::with_pes(8), Arc::new(pf.program), &pf.args).unwrap();
     zoom::verify(&sys, n).unwrap();
 
     assert!(

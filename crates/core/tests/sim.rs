@@ -42,8 +42,12 @@ fn producer_consumer_program() -> Arc<dta_isa::Program> {
 
 #[test]
 fn producer_consumer_computes_and_terminates() {
-    let (stats, sys) = simulate(SystemConfig::with_pes(2), producer_consumer_program(), &[21])
-        .expect("runs");
+    let (stats, sys) = simulate(
+        SystemConfig::with_pes(2),
+        producer_consumer_program(),
+        &[21],
+    )
+    .expect("runs");
     assert_eq!(sys.read_global_word("out", 0), Some(42));
     assert_eq!(stats.instances, 2);
     assert!(stats.cycles > 0);
@@ -120,7 +124,7 @@ fn fanout_distributes_work_across_pes() {
         );
     }
     assert_eq!(stats.instances, 33); // entry + 32 workers
-    // The DSE load-balances: more than one PE must have dispatched threads.
+                                     // The DSE load-balances: more than one PE must have dispatched threads.
     let active_pes = stats
         .per_pe
         .iter()
@@ -282,6 +286,19 @@ fn deadlock_is_detected() {
 
     let err = simulate(SystemConfig::with_pes(1), Arc::new(pb.build()), &[]).unwrap_err();
     assert!(matches!(err, RunError::Deadlock { live: 1, .. }), "{err}");
+    // The report breaks the count down per PE with each stuck instance's
+    // lifecycle state, so a wedged run names its culprits.
+    let RunError::Deadlock { pes, .. } = &err else {
+        unreachable!()
+    };
+    assert_eq!(pes.len(), 1, "one PE holds live instances");
+    assert_eq!(pes[0].pe, 0);
+    assert_eq!(pes[0].instances.len(), 1);
+    let rendered = err.to_string();
+    assert!(
+        rendered.contains("pe 0:"),
+        "per-PE line missing: {rendered}"
+    );
 }
 
 #[test]

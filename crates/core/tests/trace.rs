@@ -65,19 +65,23 @@ fn trace_records_the_fig4_lifecycle() {
         .find(|e| matches!(e.kind, TraceKind::DmaIssued { .. }))
         .expect("worker issued DMA");
     let worker = dma_issue.instance;
-    let kinds: Vec<_> = trace
-        .for_instance(worker)
-        .iter()
-        .map(|e| e.kind)
-        .collect();
+    let kinds: Vec<_> = trace.for_instance(worker).iter().map(|e| e.kind).collect();
 
     // Fig. 4 order: frame granted -> store (ready) -> dispatched
     // (Program DMA) -> DMA issued -> Wait for DMA -> DMA completed ->
     // dispatched again (Execution) -> stopped -> frame freed.
     let pos = |k: fn(&TraceKind) -> bool| kinds.iter().position(&k);
     let granted = pos(|k| matches!(k, TraceKind::FrameGranted { .. })).expect("granted");
-    let store = pos(|k| matches!(k, TraceKind::StoreApplied { became_ready: true, .. }))
-        .expect("store made it ready");
+    let store = pos(|k| {
+        matches!(
+            k,
+            TraceKind::StoreApplied {
+                became_ready: true,
+                ..
+            }
+        )
+    })
+    .expect("store made it ready");
     let first_dispatch = pos(|k| matches!(k, TraceKind::Dispatched)).expect("dispatched");
     let issued = pos(|k| matches!(k, TraceKind::DmaIssued { .. })).expect("dma");
     let wait = pos(|k| matches!(k, TraceKind::WaitDma)).expect("wait-dma");

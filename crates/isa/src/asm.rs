@@ -63,7 +63,10 @@ fn split_label(line: &str) -> (Option<&str>, &str) {
     if let Some((head, rest)) = line.split_once(':') {
         let name = head.trim();
         let is_ident = !name.is_empty()
-            && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
             && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
         if is_ident {
             return (Some(name), rest.trim());
@@ -97,12 +100,10 @@ fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
     let Some(num) = t.strip_prefix('r') else {
         return err(line, format!("expected register, found {t:?}"));
     };
-    let idx: u8 = num
-        .parse()
-        .map_err(|_| AsmError {
-            line,
-            msg: format!("bad register {t:?}"),
-        })?;
+    let idx: u8 = num.parse().map_err(|_| AsmError {
+        line,
+        msg: format!("bad register {t:?}"),
+    })?;
     Reg::try_new(idx).ok_or(AsmError {
         line,
         msg: format!("register {t:?} out of range"),
@@ -130,24 +131,20 @@ fn parse_src(tok: &str, line: usize) -> Result<Src, AsmError> {
         Ok(Src::Reg(parse_reg(t, line)?))
     } else {
         let v = parse_i64(t, line)?;
-        i32::try_from(v)
-            .map(Src::Imm)
-            .map_err(|_| AsmError {
-                line,
-                msg: format!("immediate {v} does not fit in 32 bits"),
-            })
+        i32::try_from(v).map(Src::Imm).map_err(|_| AsmError {
+            line,
+            msg: format!("immediate {v} does not fit in 32 bits"),
+        })
     }
 }
 
 /// Parses `off(rN)`.
 fn parse_memop(tok: &str, line: usize) -> Result<(i32, Reg), AsmError> {
     let t = tok.trim();
-    let (off_s, rest) = t
-        .split_once('(')
-        .ok_or_else(|| AsmError {
-            line,
-            msg: format!("expected off(reg), found {t:?}"),
-        })?;
+    let (off_s, rest) = t.split_once('(').ok_or_else(|| AsmError {
+        line,
+        msg: format!("expected off(reg), found {t:?}"),
+    })?;
     let reg_s = rest.strip_suffix(')').ok_or_else(|| AsmError {
         line,
         msg: format!("missing ')' in {t:?}"),
@@ -261,12 +258,13 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             // (the disassembler always emits one so layouts round-trip).
             let mut addr = None;
             if let Some(stripped) = rest.strip_prefix('@') {
-                let (tok, tail) = stripped
-                    .split_once(char::is_whitespace)
-                    .ok_or_else(|| AsmError {
-                        line: lineno,
-                        msg: usage.into(),
-                    })?;
+                let (tok, tail) =
+                    stripped
+                        .split_once(char::is_whitespace)
+                        .ok_or_else(|| AsmError {
+                            line: lineno,
+                            msg: usage.into(),
+                        })?;
                 addr = Some(parse_i64(tok, lineno)? as u64);
                 rest = tail.trim_start();
             }
@@ -388,16 +386,19 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             if ops.len() == n {
                 Ok(())
             } else {
-                err(lineno, format!("{mn}: expected {n} operands, found {}", ops.len()))
+                err(
+                    lineno,
+                    format!("{mn}: expected {n} operands, found {}", ops.len()),
+                )
             }
         };
 
         // Branch target: label name or absolute index.
         let branch_to = |t: &mut ThreadAsm,
-                             cond: Option<BrCond>,
-                             ra: Reg,
-                             rb: Src,
-                             target: &str|
+                         cond: Option<BrCond>,
+                         ra: Reg,
+                         rb: Src,
+                         target: &str|
          -> Result<(), AsmError> {
             let tgt = target.trim();
             if tgt.chars().all(|c| c.is_ascii_digit()) {
@@ -453,8 +454,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             }
             "mov" => {
                 want(2)?;
-                t.tb
-                    .mov(parse_reg(ops[0], lineno)?, parse_reg(ops[1], lineno)?);
+                t.tb.mov(parse_reg(ops[0], lineno)?, parse_reg(ops[1], lineno)?);
             }
             "nop" => {
                 want(0)?;
@@ -466,8 +466,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             }
             "load" => {
                 want(2)?;
-                t.tb
-                    .load(parse_reg(ops[0], lineno)?, parse_i64(ops[1], lineno)? as u16);
+                t.tb.load(
+                    parse_reg(ops[0], lineno)?,
+                    parse_i64(ops[1], lineno)? as u16,
+                );
             }
             "store" => {
                 want(3)?;
@@ -535,8 +537,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 let count = parse_src(parse_kv(ops[3], "count", lineno)?, lineno)?;
                 let stride = parse_src(parse_kv(ops[4], "stride", lineno)?, lineno)?;
                 let tag = parse_tag(ops[5], lineno)?;
-                t.tb
-                    .dmagets(rls, ls_off, rmem, mem_off, elem, count, stride, tag);
+                t.tb.dmagets(rls, ls_off, rmem, mem_off, elem, count, stride, tag);
             }
             "dmayield" => {
                 want(0)?;
@@ -571,18 +572,36 @@ pub fn program_to_asm(program: &Program) -> String {
     for g in &program.globals {
         if g.data.len() % 4 == 0 && !g.data.is_empty() {
             if g.data.iter().all(|&b| b == 0) {
-                let _ = writeln!(out, ".global {} @{:#x} zeroed {}", g.name, g.addr, g.data.len());
+                let _ = writeln!(
+                    out,
+                    ".global {} @{:#x} zeroed {}",
+                    g.name,
+                    g.addr,
+                    g.data.len()
+                );
             } else {
                 let words: Vec<String> = g
                     .data
                     .chunks_exact(4)
                     .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]).to_string())
                     .collect();
-                let _ = writeln!(out, ".global {} @{:#x} words {}", g.name, g.addr, words.join(", "));
+                let _ = writeln!(
+                    out,
+                    ".global {} @{:#x} words {}",
+                    g.name,
+                    g.addr,
+                    words.join(", ")
+                );
             }
         } else {
             let bytes: Vec<String> = g.data.iter().map(|b| format!("{b:02x}")).collect();
-            let _ = writeln!(out, ".global {} @{:#x} bytes {}", g.name, g.addr, bytes.join(" "));
+            let _ = writeln!(
+                out,
+                ".global {} @{:#x} bytes {}",
+                g.name,
+                g.addr,
+                bytes.join(" ")
+            );
         }
     }
     let _ = writeln!(
@@ -811,7 +830,8 @@ top: sub r3, r3, #1
 
     #[test]
     fn hex_immediates() {
-        let src = ".entry main 0\n.thread main\n    li r3, 0x10\n    add r4, r3, #0x20\n    stop\n.end\n";
+        let src =
+            ".entry main 0\n.thread main\n    li r3, 0x10\n    add r4, r3, #0x20\n    stop\n.end\n";
         let p = assemble(src).unwrap();
         assert!(matches!(p.threads[0].code[0], Instr::Li { imm: 16, .. }));
         assert!(matches!(

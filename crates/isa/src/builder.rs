@@ -110,7 +110,11 @@ impl ThreadBuilder {
 
     /// Ends the PF block.
     pub fn begin_pl(&mut self) {
-        assert!(self.pf_end.is_none(), "{}: PL block already begun", self.name);
+        assert!(
+            self.pf_end.is_none(),
+            "{}: PL block already begun",
+            self.name
+        );
         self.pf_end = Some(self.here());
         self.current_block = Some(CodeBlock::Pl);
     }
@@ -120,7 +124,11 @@ impl ThreadBuilder {
         if self.pf_end.is_none() {
             self.pf_end = Some(self.here());
         }
-        assert!(self.pl_end.is_none(), "{}: EX block already begun", self.name);
+        assert!(
+            self.pl_end.is_none(),
+            "{}: EX block already begun",
+            self.name
+        );
         self.pl_end = Some(self.here());
         self.current_block = Some(CodeBlock::Ex);
     }
@@ -133,7 +141,11 @@ impl ThreadBuilder {
         if self.pl_end.is_none() {
             self.pl_end = Some(self.here());
         }
-        assert!(self.ex_end.is_none(), "{}: PS block already begun", self.name);
+        assert!(
+            self.ex_end.is_none(),
+            "{}: PS block already begun",
+            self.name
+        );
         self.ex_end = Some(self.here());
         self.current_block = Some(CodeBlock::Ps);
     }
@@ -606,7 +618,9 @@ impl ProgramBuilder {
             .threads
             .into_iter()
             .enumerate()
-            .map(|(i, t)| t.unwrap_or_else(|| panic!("thread {:?} declared but never defined", name_of[i])))
+            .map(|(i, t)| {
+                t.unwrap_or_else(|| panic!("thread {:?} declared but never defined", name_of[i]))
+            })
             .collect();
         let (entry, entry_args) = self.entry.expect("no entry thread set");
         Program {

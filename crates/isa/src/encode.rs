@@ -171,7 +171,12 @@ pub fn encode_instr(i: &Instr, out: &mut Vec<u8>) {
             out.push(ra.index() as u8);
         }
         Instr::Nop => out.push(OP_NOP),
-        Instr::Br { cond, ra, rb, target } => {
+        Instr::Br {
+            cond,
+            ra,
+            rb,
+            target,
+        } => {
             let at = out.len();
             out.push(OP_BR);
             out.push(br_code(cond));
@@ -230,7 +235,14 @@ pub fn encode_instr(i: &Instr, out: &mut Vec<u8>) {
             out.push(ra.index() as u8);
             put_i32(out, off);
         }
-        Instr::DmaGet { rls, ls_off, rmem, mem_off, bytes, tag } => {
+        Instr::DmaGet {
+            rls,
+            ls_off,
+            rmem,
+            mem_off,
+            bytes,
+            tag,
+        } => {
             let at = out.len();
             out.push(OP_DMAGET);
             out.push(rls.index() as u8);
@@ -241,7 +253,16 @@ pub fn encode_instr(i: &Instr, out: &mut Vec<u8>) {
             let bit = src_payload(out, bytes);
             out[at] |= bit;
         }
-        Instr::DmaGetStrided { rls, ls_off, rmem, mem_off, elem_bytes, count, stride, tag } => {
+        Instr::DmaGetStrided {
+            rls,
+            ls_off,
+            rmem,
+            mem_off,
+            elem_bytes,
+            count,
+            stride,
+            tag,
+        } => {
             // Two Src operands: encode their tags in one flags byte.
             out.push(OP_DMAGETS);
             let mut flags = 0u8;
@@ -261,7 +282,14 @@ pub fn encode_instr(i: &Instr, out: &mut Vec<u8>) {
             src_payload(out, stride);
             out.push(tag);
         }
-        Instr::DmaPut { rls, ls_off, rmem, mem_off, bytes, tag } => {
+        Instr::DmaPut {
+            rls,
+            ls_off,
+            rmem,
+            mem_off,
+            bytes,
+            tag,
+        } => {
             let at = out.len();
             out.push(OP_DMAPUT);
             out.push(rls.index() as u8);
@@ -290,7 +318,12 @@ fn decode_one(c: &mut Cursor) -> Result<Instr, DecodeError> {
             let rd = c.reg()?;
             let ra = c.reg()?;
             let rb = read_src(c, imm)?;
-            Instr::Alu { op: alu, rd, ra, rb }
+            Instr::Alu {
+                op: alu,
+                rd,
+                ra,
+                rb,
+            }
         }
         OP_LI => Instr::Li {
             rd: c.reg()?,
@@ -307,7 +340,12 @@ fn decode_one(c: &mut Cursor) -> Result<Instr, DecodeError> {
             let ra = c.reg()?;
             let target = c.u32()?;
             let rb = read_src(c, imm)?;
-            Instr::Br { cond, ra, rb, target }
+            Instr::Br {
+                cond,
+                ra,
+                rb,
+                target,
+            }
         }
         OP_JMP => Instr::Jmp { target: c.u32()? },
         OP_LOAD => Instr::Load {
@@ -353,7 +391,14 @@ fn decode_one(c: &mut Cursor) -> Result<Instr, DecodeError> {
             let mem_off = c.i32()?;
             let tag = c.u8()?;
             let bytes = read_src(c, imm)?;
-            Instr::DmaGet { rls, ls_off, rmem, mem_off, bytes, tag }
+            Instr::DmaGet {
+                rls,
+                ls_off,
+                rmem,
+                mem_off,
+                bytes,
+                tag,
+            }
         }
         OP_DMAGETS => {
             let flags = c.u8()?;
@@ -365,7 +410,16 @@ fn decode_one(c: &mut Cursor) -> Result<Instr, DecodeError> {
             let count = read_src(c, flags & 1 != 0)?;
             let stride = read_src(c, flags & 2 != 0)?;
             let tag = c.u8()?;
-            Instr::DmaGetStrided { rls, ls_off, rmem, mem_off, elem_bytes, count, stride, tag }
+            Instr::DmaGetStrided {
+                rls,
+                ls_off,
+                rmem,
+                mem_off,
+                elem_bytes,
+                count,
+                stride,
+                tag,
+            }
         }
         OP_DMAPUT => {
             let rls = c.reg()?;
@@ -374,7 +428,14 @@ fn decode_one(c: &mut Cursor) -> Result<Instr, DecodeError> {
             let mem_off = c.i32()?;
             let tag = c.u8()?;
             let bytes = read_src(c, imm)?;
-            Instr::DmaPut { rls, ls_off, rmem, mem_off, bytes, tag }
+            Instr::DmaPut {
+                rls,
+                ls_off,
+                rmem,
+                mem_off,
+                bytes,
+                tag,
+            }
         }
         OP_DMAYIELD => Instr::DmaYield,
         OP_DMAWAIT => Instr::DmaWait { tag: c.u8()? },
@@ -493,28 +554,93 @@ mod tests {
 
     fn sample_instrs() -> Vec<Instr> {
         vec![
-            Instr::Alu { op: AluOp::Add, rd: r(3), ra: r(4), rb: Src::Imm(-9) },
-            Instr::Alu { op: AluOp::Sltu, rd: r(3), ra: r(4), rb: Src::Reg(r(5)) },
-            Instr::Li { rd: r(6), imm: i64::MIN },
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: r(3),
+                ra: r(4),
+                rb: Src::Imm(-9),
+            },
+            Instr::Alu {
+                op: AluOp::Sltu,
+                rd: r(3),
+                ra: r(4),
+                rb: Src::Reg(r(5)),
+            },
+            Instr::Li {
+                rd: r(6),
+                imm: i64::MIN,
+            },
             Instr::Mov { rd: r(1), ra: r(2) },
             Instr::Nop,
-            Instr::Br { cond: BrCond::Geu, ra: r(7), rb: Src::Imm(42), target: 9 },
+            Instr::Br {
+                cond: BrCond::Geu,
+                ra: r(7),
+                rb: Src::Imm(42),
+                target: 9,
+            },
             Instr::Jmp { target: 0 },
-            Instr::Load { rd: r(8), slot: 65535 },
-            Instr::Store { rs: r(9), rframe: r(10), slot: 3 },
-            Instr::Falloc { rd: r(11), thread: ThreadId(7), sc: 12 },
+            Instr::Load {
+                rd: r(8),
+                slot: 65535,
+            },
+            Instr::Store {
+                rs: r(9),
+                rframe: r(10),
+                slot: 3,
+            },
+            Instr::Falloc {
+                rd: r(11),
+                thread: ThreadId(7),
+                sc: 12,
+            },
             Instr::Ffree { rframe: r(1) },
             Instr::Stop,
-            Instr::Read { rd: r(12), ra: r(13), off: -128 },
-            Instr::Write { rs: r(14), ra: r(15), off: i32::MAX },
-            Instr::LsLoad { rd: r(16), ra: r(17), off: 4 },
-            Instr::LsStore { rs: r(18), ra: r(19), off: -4 },
-            Instr::DmaGet { rls: r(2), ls_off: 0, rmem: r(20), mem_off: 64, bytes: Src::Imm(128), tag: 5 },
-            Instr::DmaGetStrided {
-                rls: r(2), ls_off: 16, rmem: r(21), mem_off: 0,
-                elem_bytes: 4, count: Src::Reg(r(22)), stride: Src::Imm(1024), tag: 6,
+            Instr::Read {
+                rd: r(12),
+                ra: r(13),
+                off: -128,
             },
-            Instr::DmaPut { rls: r(2), ls_off: 8, rmem: r(23), mem_off: -8, bytes: Src::Reg(r(24)), tag: 7 },
+            Instr::Write {
+                rs: r(14),
+                ra: r(15),
+                off: i32::MAX,
+            },
+            Instr::LsLoad {
+                rd: r(16),
+                ra: r(17),
+                off: 4,
+            },
+            Instr::LsStore {
+                rs: r(18),
+                ra: r(19),
+                off: -4,
+            },
+            Instr::DmaGet {
+                rls: r(2),
+                ls_off: 0,
+                rmem: r(20),
+                mem_off: 64,
+                bytes: Src::Imm(128),
+                tag: 5,
+            },
+            Instr::DmaGetStrided {
+                rls: r(2),
+                ls_off: 16,
+                rmem: r(21),
+                mem_off: 0,
+                elem_bytes: 4,
+                count: Src::Reg(r(22)),
+                stride: Src::Imm(1024),
+                tag: 6,
+            },
+            Instr::DmaPut {
+                rls: r(2),
+                ls_off: 8,
+                rmem: r(23),
+                mem_off: -8,
+                bytes: Src::Reg(r(24)),
+                tag: 7,
+            },
             Instr::DmaYield,
             Instr::DmaWait { tag: 31 },
         ]
@@ -551,14 +677,20 @@ mod tests {
         let mut buf = Vec::new();
         encode_instr(&Instr::Li { rd: r(3), imm: 1 }, &mut buf);
         for cut in 1..buf.len() {
-            let mut c = Cursor { buf: &buf[..cut], pos: 0 };
+            let mut c = Cursor {
+                buf: &buf[..cut],
+                pos: 0,
+            };
             assert_eq!(decode_one(&mut c), Err(DecodeError::Truncated), "cut {cut}");
         }
     }
 
     #[test]
     fn bad_opcode_is_an_error() {
-        let mut c = Cursor { buf: &[0x7F], pos: 0 };
+        let mut c = Cursor {
+            buf: &[0x7F],
+            pos: 0,
+        };
         assert_eq!(decode_one(&mut c), Err(DecodeError::BadOpcode(0x7F)));
     }
 

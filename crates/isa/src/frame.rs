@@ -12,11 +12,10 @@
 //! receives the frame pointers of its consumers through its own frame), so
 //! they have a canonical [`u64` encoding](FramePtr::encode).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A global frame identifier: owning PE + frame index within that PE.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FramePtr {
     /// Global index of the owning processing element.
     pub pe: u16,

@@ -19,11 +19,10 @@
 
 use crate::program::ThreadId;
 use crate::reg::Reg;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// ALU operations over 64-bit two's-complement integers.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AluOp {
     /// Wrapping addition.
     Add,
@@ -137,7 +136,7 @@ impl AluOp {
 }
 
 /// Branch conditions (compare two operands, branch when true).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum BrCond {
     /// Equal.
     Eq,
@@ -191,7 +190,7 @@ impl BrCond {
 }
 
 /// A flexible second operand: register or signed immediate.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Src {
     /// Register operand.
     Reg(Reg),
@@ -242,7 +241,7 @@ impl fmt::Display for Src {
 
 /// Instruction class — drives dual-issue pairing and the per-class dynamic
 /// instruction counts of the paper's Table 5.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum IClass {
     /// ALU / immediate / move — issued on the even (compute) pipe.
     Compute,
@@ -339,11 +338,16 @@ impl<'a> IntoIterator for &'a RegList {
 ///
 /// Branch targets are absolute instruction indices within the owning
 /// thread's code (labels are resolved by the builder/assembler).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Instr {
     // ---- compute class -------------------------------------------------
     /// `rd = op(ra, rb)`.
-    Alu { op: AluOp, rd: Reg, ra: Reg, rb: Src },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        ra: Reg,
+        rb: Src,
+    },
     /// Load a 64-bit immediate: `rd = imm`.
     Li { rd: Reg, imm: i64 },
     /// Register move: `rd = ra`.
@@ -504,7 +508,12 @@ impl Instr {
                 l.push(rs);
                 l.push(ra);
             }
-            Instr::DmaGet { rls, rmem, bytes, .. } | Instr::DmaPut { rls, rmem, bytes, .. } => {
+            Instr::DmaGet {
+                rls, rmem, bytes, ..
+            }
+            | Instr::DmaPut {
+                rls, rmem, bytes, ..
+            } => {
                 l.push(rls);
                 l.push(rmem);
                 l.push_src(bytes);

@@ -10,12 +10,11 @@
 //! **PS** (post-store — writes results to consumer frames).
 
 use crate::instr::{IClass, Instr};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a static thread (an index into [`Program::threads`]).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ThreadId(pub u32);
 
 impl ThreadId {
@@ -39,7 +38,7 @@ impl fmt::Debug for ThreadId {
 }
 
 /// The four code blocks of a DTA thread (paper Fig. 3).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum CodeBlock {
     /// PreFetch: programs the DMA unit; cycles here are the paper's
     /// "Prefetching" overhead category.
@@ -79,7 +78,7 @@ impl fmt::Display for CodeBlock {
 /// Block boundaries within a thread's code: instruction indices
 /// `[0, pf_end)` = PF, `[pf_end, pl_end)` = PL, `[pl_end, ex_end)` = EX,
 /// `[ex_end, code.len())` = PS.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct BlockMap {
     /// End of the PF block (0 when the thread has no prefetch code).
     pub pf_end: u32,
@@ -121,7 +120,7 @@ impl BlockMap {
 }
 
 /// The code of one static thread.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ThreadCode {
     /// Human-readable name (used by the assembler and traces).
     pub name: String,
@@ -201,7 +200,7 @@ impl Ord for IClass {
 }
 
 /// One global object in main memory.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct GlobalDef {
     /// Symbol name.
     pub name: String,
@@ -250,7 +249,7 @@ impl GlobalDef {
 }
 
 /// A complete DTA program.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Program {
     /// All static threads; [`ThreadId`] indexes this vector.
     pub threads: Vec<ThreadCode>,
@@ -303,7 +302,11 @@ impl Program {
     /// Largest prefetch-buffer requirement over all threads (used to size
     /// the per-frame prefetch region).
     pub fn max_prefetch_bytes(&self) -> u32 {
-        self.threads.iter().map(|t| t.prefetch_bytes).max().unwrap_or(0)
+        self.threads
+            .iter()
+            .map(|t| t.prefetch_bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// `true` if any thread still performs direct main-memory accesses.

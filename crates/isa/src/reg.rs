@@ -5,14 +5,13 @@
 //! are initialised by the hardware when a thread starts (self frame pointer
 //! and prefetch-buffer base, respectively) but are otherwise ordinary.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of architectural registers per thread context.
 pub const NUM_REGS: usize = 64;
 
 /// An architectural register index (`r0` .. `r63`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Reg(u8);
 
 /// `r0`: hard-wired zero.

@@ -33,17 +33,36 @@ pub enum ValidationError {
     /// A thread has no instructions.
     EmptyThread { thread: String },
     /// A branch or jump target is out of range.
-    BranchOutOfRange { thread: String, pc: u32, target: u32 },
+    BranchOutOfRange {
+        thread: String,
+        pc: u32,
+        target: u32,
+    },
     /// No `STOP` anywhere in the thread.
     MissingStop { thread: String },
     /// A frame `LOAD` reads a slot beyond the declared frame size.
-    LoadSlotOutOfRange { thread: String, pc: u32, slot: u16, frame_slots: u16 },
+    LoadSlotOutOfRange {
+        thread: String,
+        pc: u32,
+        slot: u16,
+        frame_slots: u16,
+    },
     /// `FALLOC` references a non-existent thread.
-    UnknownFallocTarget { thread: String, pc: u32, target: ThreadId },
+    UnknownFallocTarget {
+        thread: String,
+        pc: u32,
+        target: ThreadId,
+    },
     /// `FALLOC` would create an instance that waits forever (SC is zero but
     /// the target reads frame inputs) or can never become ready (SC smaller
     /// than the highest input slot the target reads).
-    InsufficientSyncCount { thread: String, pc: u32, target: ThreadId, sc: u16, needed: u16 },
+    InsufficientSyncCount {
+        thread: String,
+        pc: u32,
+        target: ThreadId,
+        sc: u16,
+        needed: u16,
+    },
     /// `DMAYIELD` outside a PF block.
     DmaYieldOutsidePf { thread: String, pc: u32 },
     /// DMA tag out of range.
@@ -135,39 +154,37 @@ pub fn validate_thread(
             }
         }
         match *instr {
-            Instr::Load { slot, .. }
-                if slot >= thread.frame_slots => {
-                    errors.push(ValidationError::LoadSlotOutOfRange {
-                        thread: name(),
-                        pc,
-                        slot,
-                        frame_slots: thread.frame_slots,
-                    });
-                }
-            Instr::Falloc { thread: target, sc, .. } => {
-                match threads.get(target.index()) {
-                    None => errors.push(ValidationError::UnknownFallocTarget {
-                        thread: name(),
-                        pc,
-                        target,
-                    }),
-                    Some(t) => {
-                        if sc < t.frame_slots {
-                            errors.push(ValidationError::InsufficientSyncCount {
-                                thread: name(),
-                                pc,
-                                target,
-                                sc,
-                                needed: t.frame_slots,
-                            });
-                        }
+            Instr::Load { slot, .. } if slot >= thread.frame_slots => {
+                errors.push(ValidationError::LoadSlotOutOfRange {
+                    thread: name(),
+                    pc,
+                    slot,
+                    frame_slots: thread.frame_slots,
+                });
+            }
+            Instr::Falloc {
+                thread: target, sc, ..
+            } => match threads.get(target.index()) {
+                None => errors.push(ValidationError::UnknownFallocTarget {
+                    thread: name(),
+                    pc,
+                    target,
+                }),
+                Some(t) => {
+                    if sc < t.frame_slots {
+                        errors.push(ValidationError::InsufficientSyncCount {
+                            thread: name(),
+                            pc,
+                            target,
+                            sc,
+                            needed: t.frame_slots,
+                        });
                     }
                 }
+            },
+            Instr::DmaYield if thread.block_of(pc) != CodeBlock::Pf => {
+                errors.push(ValidationError::DmaYieldOutsidePf { thread: name(), pc });
             }
-            Instr::DmaYield
-                if thread.block_of(pc) != CodeBlock::Pf => {
-                    errors.push(ValidationError::DmaYieldOutsidePf { thread: name(), pc });
-                }
             Instr::DmaGet { tag, .. }
             | Instr::DmaGetStrided { tag, .. }
             | Instr::DmaPut { tag, .. }
@@ -326,9 +343,14 @@ mod tests {
             sc: 0,
         };
         let errs = validate_program(&p);
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, ValidationError::InsufficientSyncCount { sc: 0, needed: 1, .. })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidationError::InsufficientSyncCount {
+                sc: 0,
+                needed: 1,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -395,9 +417,13 @@ mod tests {
         p.entry = crate::ThreadId(1); // worker reads 1 slot
         p.entry_args = 0;
         let errs = validate_program(&p);
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, ValidationError::EntryArgsTooFew { needed: 1, provided: 0 })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ValidationError::EntryArgsTooFew {
+                needed: 1,
+                provided: 0
+            }
+        )));
     }
 
     #[test]

@@ -1,210 +1,285 @@
-//! Property tests for the ISA crate: assembler round-trips, serde
-//! round-trips, and structural invariants over arbitrary instructions.
+//! Randomised property tests for the ISA crate: assembler round-trips,
+//! binary-image round-trips, and structural invariants over arbitrary
+//! instructions.
+//!
+//! Deterministic seeded PRNG (no external property-testing dependency —
+//! the repo builds hermetically); failures print the seed so a case can
+//! be replayed by pinning `SEED`.
 
 use dta_isa::asm::{assemble, program_to_asm};
 use dta_isa::{AluOp, BlockMap, BrCond, Instr, Program, Reg, Src, ThreadCode, ThreadId, NUM_REGS};
-use proptest::prelude::*;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0..NUM_REGS as u8).prop_map(Reg::new)
-}
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 
-fn arb_src() -> impl Strategy<Value = Src> {
-    prop_oneof![
-        arb_reg().prop_map(Src::Reg),
-        any::<i32>().prop_map(Src::Imm),
-    ]
-}
+/// xorshift64* — small, fast, deterministic.
+struct Rng(u64);
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop::sample::select(AluOp::ALL.to_vec())
-}
-
-fn arb_br_cond() -> impl Strategy<Value = BrCond> {
-    prop::sample::select(BrCond::ALL.to_vec())
-}
-
-prop_compose! {
-    fn arb_instr()(
-        choice in 0..17usize,
-        op in arb_alu_op(),
-        cond in arb_br_cond(),
-        rd in arb_reg(),
-        ra in arb_reg(),
-        rs in arb_reg(),
-        rb in arb_src(),
-        imm in any::<i64>(),
-        off in -4096..4096i32,
-        slot in 0..32u16,
-        target in 0..512u32,
-        thread in 0..2u32, // the generated programs have two threads
-        sc in 0..16u16,
-        tag in 0..32u8,
-        bytes in 0..4096i32,
-        count in 1..64i32,
-        stride in prop::sample::select(vec![4i64, 8, 16, 64, 128, 1024]),
-    ) -> Instr {
-        match choice {
-            0 => Instr::Alu { op, rd, ra, rb },
-            1 => Instr::Li { rd, imm },
-            2 => Instr::Mov { rd, ra },
-            3 => Instr::Nop,
-            4 => Instr::Br { cond, ra, rb, target },
-            5 => Instr::Jmp { target },
-            6 => Instr::Load { rd, slot },
-            7 => Instr::Store { rs, rframe: ra, slot },
-            8 => Instr::Falloc { rd, thread: ThreadId(thread), sc },
-            9 => Instr::Ffree { rframe: ra },
-            10 => Instr::Read { rd, ra, off },
-            11 => Instr::Write { rs, ra, off },
-            12 => Instr::LsLoad { rd, ra, off },
-            13 => Instr::LsStore { rs, ra, off },
-            14 => Instr::DmaGet { rls: ra, ls_off: off, rmem: rs, mem_off: off, bytes: Src::Imm(bytes), tag },
-            15 => Instr::DmaGetStrided {
-                rls: ra, ls_off: off, rmem: rs, mem_off: off,
-                elem_bytes: 4, count: Src::Imm(count), stride: Src::Imm(stride as i32), tag,
-            },
-            _ => Instr::DmaPut { rls: ra, ls_off: off, rmem: rs, mem_off: off, bytes: Src::Imm(bytes), tag },
-        }
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    /// Uniform in `[lo, hi)`.
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.below((hi - lo) as u64) as i64)
+    }
+    fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
+        xs[self.below(xs.len() as u64) as usize]
     }
 }
 
-prop_compose! {
-    fn arb_thread(name: &'static str)(
-        mut code in prop::collection::vec(arb_instr(), 1..40),
-        cuts in prop::collection::vec(0..40u32, 3),
-        frame_slots in 0..32u16,
-        prefetch in prop::sample::select(vec![0u32, 16, 256, 4096]),
-    ) -> ThreadCode {
-        code.push(Instr::Stop);
-        let len = code.len() as u32;
-        let mut cuts: Vec<u32> = cuts.into_iter().map(|c| c.min(len)).collect();
-        cuts.sort_unstable();
-        ThreadCode {
-            name: name.to_string(),
-            code,
-            blocks: BlockMap { pf_end: cuts[0], pl_end: cuts[1], ex_end: cuts[2] },
-            frame_slots,
-            prefetch_bytes: prefetch,
-        }
+fn arb_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.below(NUM_REGS as u64) as u8)
+}
+
+fn arb_src(rng: &mut Rng) -> Src {
+    if rng.below(2) == 0 {
+        Src::Reg(arb_reg(rng))
+    } else {
+        Src::Imm(rng.next() as i32)
     }
 }
 
-fn arb_program() -> impl Strategy<Value = Program> {
-    (arb_thread("alpha"), arb_thread("beta"), 0..4u16).prop_map(|(a, b, entry_args)| Program {
-        threads: vec![a, b],
+fn arb_instr(rng: &mut Rng) -> Instr {
+    let op = rng.pick(&AluOp::ALL);
+    let cond = rng.pick(&BrCond::ALL);
+    let rd = arb_reg(rng);
+    let ra = arb_reg(rng);
+    let rs = arb_reg(rng);
+    let rb = arb_src(rng);
+    let imm = rng.next() as i64;
+    let off = rng.range_i64(-4096, 4096) as i32;
+    let slot = rng.below(32) as u16;
+    let target = rng.below(512) as u32;
+    let thread = rng.below(2) as u32; // the generated programs have two threads
+    let sc = rng.below(16) as u16;
+    let tag = rng.below(32) as u8;
+    let bytes = rng.below(4096) as i32;
+    let count = rng.range_i64(1, 64) as i32;
+    let stride = rng.pick(&[4i32, 8, 16, 64, 128, 1024]);
+    match rng.below(17) {
+        0 => Instr::Alu { op, rd, ra, rb },
+        1 => Instr::Li { rd, imm },
+        2 => Instr::Mov { rd, ra },
+        3 => Instr::Nop,
+        4 => Instr::Br {
+            cond,
+            ra,
+            rb,
+            target,
+        },
+        5 => Instr::Jmp { target },
+        6 => Instr::Load { rd, slot },
+        7 => Instr::Store {
+            rs,
+            rframe: ra,
+            slot,
+        },
+        8 => Instr::Falloc {
+            rd,
+            thread: ThreadId(thread),
+            sc,
+        },
+        9 => Instr::Ffree { rframe: ra },
+        10 => Instr::Read { rd, ra, off },
+        11 => Instr::Write { rs, ra, off },
+        12 => Instr::LsLoad { rd, ra, off },
+        13 => Instr::LsStore { rs, ra, off },
+        14 => Instr::DmaGet {
+            rls: ra,
+            ls_off: off,
+            rmem: rs,
+            mem_off: off,
+            bytes: Src::Imm(bytes),
+            tag,
+        },
+        15 => Instr::DmaGetStrided {
+            rls: ra,
+            ls_off: off,
+            rmem: rs,
+            mem_off: off,
+            elem_bytes: 4,
+            count: Src::Imm(count),
+            stride: Src::Imm(stride),
+            tag,
+        },
+        _ => Instr::DmaPut {
+            rls: ra,
+            ls_off: off,
+            rmem: rs,
+            mem_off: off,
+            bytes: Src::Imm(bytes),
+            tag,
+        },
+    }
+}
+
+fn arb_thread(rng: &mut Rng, name: &str) -> ThreadCode {
+    let len = rng.range_i64(1, 40) as usize;
+    let mut code: Vec<Instr> = (0..len).map(|_| arb_instr(rng)).collect();
+    code.push(Instr::Stop);
+    let total = code.len() as u32;
+    let mut cuts: Vec<u32> = (0..3).map(|_| (rng.below(40) as u32).min(total)).collect();
+    cuts.sort_unstable();
+    ThreadCode {
+        name: name.to_string(),
+        code,
+        blocks: BlockMap {
+            pf_end: cuts[0],
+            pl_end: cuts[1],
+            ex_end: cuts[2],
+        },
+        frame_slots: rng.below(32) as u16,
+        prefetch_bytes: rng.pick(&[0u32, 16, 256, 4096]),
+    }
+}
+
+fn arb_program(rng: &mut Rng) -> Program {
+    Program {
+        threads: vec![arb_thread(rng, "alpha"), arb_thread(rng, "beta")],
         entry: ThreadId(0),
-        entry_args,
+        entry_args: rng.below(4) as u16,
         globals: vec![
             dta_isa::GlobalDef::from_words("tbl", 0x10_0000, &[1, 2, 3, 4]),
             dta_isa::GlobalDef::zeroed("buf", 0x10_0020, 32),
         ],
-    })
+    }
 }
 
-proptest! {
-    /// Disassembling then re-assembling reproduces the program exactly
-    /// (instructions, block maps, frame sizes, globals, entry).
-    #[test]
-    fn asm_round_trip(program in arb_program()) {
+/// Disassembling then re-assembling reproduces the program exactly
+/// (instructions, block maps, frame sizes, globals, entry).
+#[test]
+fn asm_round_trip() {
+    let mut rng = Rng::new(SEED);
+    for case in 0..128 {
+        let program = arb_program(&mut rng);
         let text = program_to_asm(&program);
         let back = assemble(&text)
-            .unwrap_or_else(|e| panic!("re-assembly failed: {e}\n{text}"));
-        prop_assert_eq!(&back.threads, &program.threads);
-        prop_assert_eq!(back.entry, program.entry);
-        prop_assert_eq!(back.entry_args, program.entry_args);
-        prop_assert_eq!(&back.globals, &program.globals);
+            .unwrap_or_else(|e| panic!("case {case}: re-assembly failed: {e}\n{text}"));
+        assert_eq!(&back.threads, &program.threads, "case {case}");
+        assert_eq!(back.entry, program.entry, "case {case}");
+        assert_eq!(back.entry_args, program.entry_args, "case {case}");
+        assert_eq!(&back.globals, &program.globals, "case {case}");
     }
+}
 
-    /// Programs survive a serde JSON round trip.
-    #[test]
-    fn serde_round_trip(program in arb_program()) {
-        let json = serde_json::to_string(&program).unwrap();
-        let back: Program = serde_json::from_str(&json).unwrap();
-        prop_assert_eq!(back, program);
-    }
-
-    /// `defs`/`uses` always return in-range registers, and `defs` has at
-    /// most one element (single-output ISA).
-    #[test]
-    fn defs_uses_invariants(instr in arb_instr()) {
+/// `defs`/`uses` always return in-range registers, and `defs` has at
+/// most one element (single-output ISA).
+#[test]
+fn defs_uses_invariants() {
+    let mut rng = Rng::new(SEED ^ 1);
+    for case in 0..512 {
+        let instr = arb_instr(&mut rng);
         let defs = instr.defs();
-        prop_assert!(defs.len() <= 1);
+        assert!(defs.len() <= 1, "case {case}: {instr}");
         for r in &defs {
-            prop_assert!(r.index() < NUM_REGS);
+            assert!(r.index() < NUM_REGS, "case {case}");
         }
         for r in &instr.uses() {
-            prop_assert!(r.index() < NUM_REGS);
+            assert!(r.index() < NUM_REGS, "case {case}");
         }
         // Display never panics and never emits newlines (one instruction
         // per line in listings).
         let s = instr.to_string();
-        prop_assert!(!s.contains('\n'));
-        prop_assert!(!s.is_empty());
+        assert!(!s.contains('\n'), "case {case}");
+        assert!(!s.is_empty(), "case {case}");
     }
+}
 
-    /// `block_of` is consistent with `range`: every pc belongs to exactly
-    /// the block whose range contains it.
-    #[test]
-    fn blockmap_partition(
-        len in 1..200u32,
-        cuts in prop::collection::vec(0..200u32, 3),
-    ) {
-        let mut cuts: Vec<u32> = cuts.into_iter().map(|c| c.min(len)).collect();
+/// `block_of` is consistent with `range`: every pc belongs to exactly
+/// the block whose range contains it.
+#[test]
+fn blockmap_partition() {
+    let mut rng = Rng::new(SEED ^ 2);
+    for case in 0..64 {
+        let len = rng.range_i64(1, 200) as u32;
+        let mut cuts: Vec<u32> = (0..3).map(|_| (rng.below(200) as u32).min(len)).collect();
         cuts.sort_unstable();
-        let map = BlockMap { pf_end: cuts[0], pl_end: cuts[1], ex_end: cuts[2] };
-        prop_assert!(map.is_well_formed(len));
+        let map = BlockMap {
+            pf_end: cuts[0],
+            pl_end: cuts[1],
+            ex_end: cuts[2],
+        };
+        assert!(map.is_well_formed(len), "case {case}");
         for pc in 0..len {
             let b = map.block_of(pc);
             let r = map.range(b, len);
-            prop_assert!(r.contains(&pc), "pc {} not in {:?} range {:?}", pc, b, r);
-            // ...and in no other block's range.
+            assert!(
+                r.contains(&pc),
+                "case {case}: pc {pc} not in {b:?} range {r:?}"
+            );
             for other in dta_isa::CodeBlock::ALL {
                 if other != b {
-                    prop_assert!(!map.range(other, len).contains(&pc));
+                    assert!(!map.range(other, len).contains(&pc), "case {case}: pc {pc}");
                 }
             }
         }
     }
+}
 
-    /// ALU evaluation matches the obvious i64 reference for the
-    /// non-trapping operations.
-    #[test]
-    fn alu_eval_reference(a in any::<i64>(), b in any::<i64>()) {
-        prop_assert_eq!(AluOp::Add.eval(a, b), a.wrapping_add(b));
-        prop_assert_eq!(AluOp::Sub.eval(a, b), a.wrapping_sub(b));
-        prop_assert_eq!(AluOp::Mul.eval(a, b), a.wrapping_mul(b));
-        prop_assert_eq!(AluOp::And.eval(a, b), a & b);
-        prop_assert_eq!(AluOp::Or.eval(a, b), a | b);
-        prop_assert_eq!(AluOp::Xor.eval(a, b), a ^ b);
-        prop_assert_eq!(AluOp::Min.eval(a, b), a.min(b));
-        prop_assert_eq!(AluOp::Max.eval(a, b), a.max(b));
-        prop_assert_eq!(AluOp::Slt.eval(a, b), (a < b) as i64);
-        prop_assert_eq!(AluOp::Sltu.eval(a, b), ((a as u64) < (b as u64)) as i64);
+/// ALU evaluation matches the obvious i64 reference for the
+/// non-trapping operations.
+#[test]
+fn alu_eval_reference() {
+    let mut rng = Rng::new(SEED ^ 3);
+    for _ in 0..512 {
+        let a = rng.next() as i64;
+        let b = rng.next() as i64;
+        assert_eq!(AluOp::Add.eval(a, b), a.wrapping_add(b));
+        assert_eq!(AluOp::Sub.eval(a, b), a.wrapping_sub(b));
+        assert_eq!(AluOp::Mul.eval(a, b), a.wrapping_mul(b));
+        assert_eq!(AluOp::And.eval(a, b), a & b);
+        assert_eq!(AluOp::Or.eval(a, b), a | b);
+        assert_eq!(AluOp::Xor.eval(a, b), a ^ b);
+        assert_eq!(AluOp::Min.eval(a, b), a.min(b));
+        assert_eq!(AluOp::Max.eval(a, b), a.max(b));
+        assert_eq!(AluOp::Slt.eval(a, b), (a < b) as i64);
+        assert_eq!(AluOp::Sltu.eval(a, b), ((a as u64) < (b as u64)) as i64);
         if b != 0 {
-            prop_assert_eq!(AluOp::Div.eval(a, b), a.wrapping_div(b));
-            prop_assert_eq!(AluOp::Rem.eval(a, b), a.wrapping_rem(b));
+            assert_eq!(AluOp::Div.eval(a, b), a.wrapping_div(b));
+            assert_eq!(AluOp::Rem.eval(a, b), a.wrapping_rem(b));
         }
         let sh = (b & 63) as u32;
-        prop_assert_eq!(AluOp::Shl.eval(a, b), ((a as u64) << sh) as i64);
-        prop_assert_eq!(AluOp::Shr.eval(a, b), ((a as u64) >> sh) as i64);
-        prop_assert_eq!(AluOp::Sra.eval(a, b), a >> sh);
+        assert_eq!(AluOp::Shl.eval(a, b), ((a as u64) << sh) as i64);
+        assert_eq!(AluOp::Shr.eval(a, b), ((a as u64) >> sh) as i64);
+        assert_eq!(AluOp::Sra.eval(a, b), a >> sh);
     }
+}
 
-    /// Binary program images round-trip exactly.
-    #[test]
-    fn binary_encode_round_trip(program in arb_program()) {
+/// Binary program images round-trip exactly.
+#[test]
+fn binary_encode_round_trip() {
+    let mut rng = Rng::new(SEED ^ 4);
+    for case in 0..128 {
+        let program = arb_program(&mut rng);
         let img = dta_isa::encode_program(&program);
         let back = dta_isa::decode_program(&img).unwrap();
-        prop_assert_eq!(back, program);
+        assert_eq!(back, program, "case {case}");
     }
+}
 
-    /// Frame pointers round-trip through their register encoding, and no
-    /// small integer ever decodes as one.
-    #[test]
-    fn frame_ptr_encoding(pe in any::<u16>(), index in any::<u32>(), junk in 0..0x1_0000_0000u64) {
+/// Frame pointers round-trip through their register encoding, and no
+/// small integer ever decodes as one.
+#[test]
+fn frame_ptr_encoding() {
+    let mut rng = Rng::new(SEED ^ 5);
+    for _ in 0..512 {
+        let pe = rng.next() as u16;
+        let index = rng.next() as u32;
+        let junk = rng.below(0x1_0000_0000);
         let fp = dta_isa::FramePtr::new(pe, index);
-        prop_assert_eq!(dta_isa::FramePtr::decode(fp.encode()), Some(fp));
-        prop_assert_eq!(dta_isa::FramePtr::decode(junk), None);
+        assert_eq!(dta_isa::FramePtr::decode(fp.encode()), Some(fp));
+        assert_eq!(dta_isa::FramePtr::decode(junk), None);
     }
 }

@@ -6,8 +6,7 @@
 //! bytes each) leave bandwidth idle while DMA can saturate it — and a
 //! single-ported main memory with 150-cycle latency.
 
-use crate::resource::{ResourcePool, Reservation};
-use serde::{Deserialize, Serialize};
+use crate::resource::{Reservation, ResourcePool};
 
 /// Default number of buses (Table 4).
 pub const DEFAULT_BUSES: usize = 4;
@@ -29,7 +28,7 @@ pub const DEFAULT_MEM_ARRAY_BYTES_PER_CYCLE: u64 = 32;
 pub const REQUEST_PACKET_BYTES: u64 = 8;
 
 /// The kinds of main-memory transactions the system performs.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TransferKind {
     /// A blocking 4-byte `READ` issued by a pipeline.
     ScalarRead,
@@ -88,7 +87,11 @@ impl BusModel {
 
     /// Paper-default bus bank.
     pub fn paper_default() -> Self {
-        Self::new(DEFAULT_BUSES, DEFAULT_BUS_BYTES_PER_CYCLE, DEFAULT_WIRE_LATENCY)
+        Self::new(
+            DEFAULT_BUSES,
+            DEFAULT_BUS_BYTES_PER_CYCLE,
+            DEFAULT_WIRE_LATENCY,
+        )
     }
 
     /// Sends `bytes` of *data* over the earliest-free bus starting at
@@ -146,7 +149,10 @@ pub struct MemoryModel {
 impl MemoryModel {
     /// Creates a memory controller.
     pub fn new(ports: usize, latency: u64, array_bytes_per_cycle: u64) -> Self {
-        assert!(array_bytes_per_cycle > 0, "array bandwidth must be positive");
+        assert!(
+            array_bytes_per_cycle > 0,
+            "array bandwidth must be positive"
+        );
         MemoryModel {
             ports: ResourcePool::new(ports),
             latency,
@@ -194,7 +200,7 @@ impl MemoryModel {
 }
 
 /// Per-kind transaction counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MemTrafficStats {
     /// Scalar READ transactions.
     pub scalar_reads: u64,
@@ -286,7 +292,9 @@ impl MemorySystem {
                     let mut done = now;
                     for _ in 0..count {
                         let req = self.bus.command(now);
-                        let data = self.mem.access(req, elem_bytes, self.stride_penalty_per_elem);
+                        let data = self
+                            .mem
+                            .access(req, elem_bytes, self.stride_penalty_per_elem);
                         done = done.max(self.bus.send(data, elem_bytes));
                     }
                     return done;
@@ -451,11 +459,7 @@ mod tests {
     fn memory_latency_one_is_fast() {
         // The paper's §4.3 all-latency-1 experiment: the fabric should then
         // be dominated by wire/bus time only.
-        let mut sys = MemorySystem::new(
-            BusModel::new(4, 8, 1),
-            MemoryModel::new(1, 1, 32),
-            1,
-        );
+        let mut sys = MemorySystem::new(BusModel::new(4, 8, 1), MemoryModel::new(1, 1, 32), 1);
         let done = sys.request(0, TransferKind::ScalarRead);
         assert!(done < 10, "latency-1 scalar read took {done}");
     }

@@ -14,10 +14,9 @@
 //! It is intentionally not coherent with DMA writes (neither was Cell).
 
 use crate::bus::{MemorySystem, TransferKind};
-use serde::{Deserialize, Serialize};
 
 /// Cache configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheParams {
     /// Total capacity in bytes (0 disables the cache).
     pub size_bytes: u32,
@@ -38,7 +37,7 @@ impl Default for CacheParams {
 }
 
 /// Hit/miss counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Read hits.
     pub hits: u64,
@@ -154,7 +153,10 @@ mod tests {
     use super::*;
 
     fn rig() -> (Cache, MemorySystem) {
-        (Cache::new(CacheParams::default()), MemorySystem::paper_default())
+        (
+            Cache::new(CacheParams::default()),
+            MemorySystem::paper_default(),
+        )
     }
 
     #[test]

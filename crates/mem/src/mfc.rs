@@ -13,11 +13,10 @@
 
 use crate::bus::{MemorySystem, TransferKind};
 use crate::store::{LocalStore, MainMemory};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// MFC configuration (Table 4 defaults).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MfcParams {
     /// Command queue size (max outstanding commands).
     pub queue_capacity: usize,
@@ -35,7 +34,7 @@ impl Default for MfcParams {
 }
 
 /// What a DMA command moves.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DmaKind {
     /// Contiguous main memory → local store.
     Get {
@@ -72,7 +71,7 @@ impl DmaKind {
 }
 
 /// One DMA command (Table 3 operands).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct DmaCommand {
     /// Opaque token identifying the issuing thread instance; returned in
     /// the [`DmaCompletion`] so the scheduler can re-ready the right
@@ -89,7 +88,7 @@ pub struct DmaCommand {
 }
 
 /// A completed (or scheduled-to-complete) transfer.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct DmaCompletion {
     /// The issuing instance's token.
     pub owner: u64,
@@ -100,7 +99,7 @@ pub struct DmaCompletion {
 }
 
 /// Counters exposed for benchmarking and tests.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MfcStats {
     /// Commands accepted into the queue.
     pub commands: u64,
@@ -119,6 +118,10 @@ pub struct Mfc {
     /// `queue_capacity`, so a linear scan is fine and allocation-free in
     /// steady state).
     outstanding: VecDeque<u64>,
+    /// Commands admitted via [`Mfc::admit`] whose [`Mfc::commit`] has not
+    /// happened yet (epoch-batched sharded execution admits shard-locally
+    /// and commits at the epoch barrier).
+    admitted_pending: usize,
     stats: MfcStats,
 }
 
@@ -129,6 +132,7 @@ impl Mfc {
             params,
             engine_free_at: 0,
             outstanding: VecDeque::with_capacity(params.queue_capacity),
+            admitted_pending: 0,
             stats: MfcStats::default(),
         }
     }
@@ -167,10 +171,41 @@ impl Mfc {
         ls: &mut LocalStore,
         mem: &mut MainMemory,
     ) -> Option<DmaCompletion> {
-        if self.outstanding(now) >= self.params.queue_capacity {
-            self.stats.queue_full_rejections += 1;
+        if !self.admit(now) {
             return None;
         }
+        Some(self.commit(now, cmd, sys, ls, mem))
+    }
+
+    /// Capacity check half of [`Mfc::enqueue`]: reserves a queue slot at
+    /// cycle `now` without touching the shared memory system, so sharded
+    /// execution can decide admission inside a shard and run the data
+    /// movement ([`Mfc::commit`]) at the epoch barrier.
+    ///
+    /// Sound as a split because a command admitted at `now` cannot retire
+    /// before `now + command_latency`, which is at or beyond the epoch
+    /// horizon — so pending commits always still occupy their slot at any
+    /// admission decision inside the same epoch.
+    pub fn admit(&mut self, now: u64) -> bool {
+        if self.outstanding(now) + self.admitted_pending >= self.params.queue_capacity {
+            self.stats.queue_full_rejections += 1;
+            return false;
+        }
+        self.admitted_pending += 1;
+        true
+    }
+
+    /// Data-movement + timing half of [`Mfc::enqueue`]; must follow a
+    /// successful [`Mfc::admit`] at the same logical cycle `now`.
+    pub fn commit(
+        &mut self,
+        now: u64,
+        cmd: DmaCommand,
+        sys: &mut MemorySystem,
+        ls: &mut LocalStore,
+        mem: &mut MainMemory,
+    ) -> DmaCompletion {
+        self.admitted_pending = self.admitted_pending.saturating_sub(1);
 
         // Functional data movement.
         match cmd.kind {
@@ -235,18 +270,17 @@ impl Mfc {
         self.outstanding.push_back(at);
         self.stats.commands += 1;
         self.stats.bytes += total;
-        Some(DmaCompletion {
+        DmaCompletion {
             owner: cmd.owner,
             tag: cmd.tag,
             at,
-        })
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn rig() -> (Mfc, MemorySystem, LocalStore, MainMemory) {
         (
@@ -348,12 +382,15 @@ mod tests {
         };
         for i in 0..16 {
             assert!(
-                mfc.enqueue(0, cmd(i), &mut sys, &mut ls, &mut mem).is_some(),
+                mfc.enqueue(0, cmd(i), &mut sys, &mut ls, &mut mem)
+                    .is_some(),
                 "command {i} should fit"
             );
         }
         // 17th at cycle 0 is rejected.
-        assert!(mfc.enqueue(0, cmd(16), &mut sys, &mut ls, &mut mem).is_none());
+        assert!(mfc
+            .enqueue(0, cmd(16), &mut sys, &mut ls, &mut mem)
+            .is_none());
         assert_eq!(mfc.stats().queue_full_rejections, 1);
         // ...but after everything drains there is room again.
         assert!(mfc

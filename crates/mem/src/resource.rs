@@ -100,8 +100,22 @@ mod tests {
         let mut p = ResourcePool::new(1);
         let a = p.reserve(0, 10);
         let b = p.reserve(0, 5);
-        assert_eq!(a, Reservation { channel: 0, start: 0, end: 10 });
-        assert_eq!(b, Reservation { channel: 0, start: 10, end: 15 });
+        assert_eq!(
+            a,
+            Reservation {
+                channel: 0,
+                start: 0,
+                end: 10
+            }
+        );
+        assert_eq!(
+            b,
+            Reservation {
+                channel: 0,
+                start: 10,
+                end: 15
+            }
+        );
         assert_eq!(b.wait(0), 10);
     }
 
@@ -115,7 +129,14 @@ mod tests {
         assert_eq!(b.channel, 1);
         assert_eq!((a.start, b.start), (0, 0));
         // Third request queues behind the earliest-free channel (0).
-        assert_eq!(c, Reservation { channel: 0, start: 10, end: 20 });
+        assert_eq!(
+            c,
+            Reservation {
+                channel: 0,
+                start: 10,
+                end: 20
+            }
+        );
     }
 
     #[test]

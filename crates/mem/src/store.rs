@@ -47,7 +47,8 @@ impl MainMemory {
     #[track_caller]
     fn check(&self, addr: u64, len: usize) {
         assert!(
-            addr.checked_add(len as u64).is_some_and(|end| end <= self.size),
+            addr.checked_add(len as u64)
+                .is_some_and(|end| end <= self.size),
             "main-memory access [{addr:#x}, +{len}) out of range (size {:#x})",
             self.size
         );
@@ -164,7 +165,9 @@ impl LocalStore {
     #[track_caller]
     fn check(&self, addr: u32, len: usize) {
         assert!(
-            (addr as usize).checked_add(len).is_some_and(|end| end <= self.data.len()),
+            (addr as usize)
+                .checked_add(len)
+                .is_some_and(|end| end <= self.data.len()),
             "local-store access [{addr:#x}, +{len}) out of range (size {:#x})",
             self.data.len()
         );
@@ -194,7 +197,12 @@ impl LocalStore {
     pub fn read_u32(&self, addr: u32) -> u32 {
         self.check(addr, 4);
         let a = addr as usize;
-        u32::from_le_bytes([self.data[a], self.data[a + 1], self.data[a + 2], self.data[a + 3]])
+        u32::from_le_bytes([
+            self.data[a],
+            self.data[a + 1],
+            self.data[a + 2],
+            self.data[a + 3],
+        ])
     }
 
     /// Writes a 32-bit little-endian value.

@@ -1,55 +1,88 @@
-//! Property tests for the memory subsystem: reservation invariants,
-//! backing-store equivalence against a naive model, and timing sanity.
+//! Randomised property tests for the memory subsystem: reservation
+//! invariants, backing-store equivalence against a naive model, and
+//! timing sanity.
+//!
+//! Deterministic seeded PRNG (no external property-testing dependency —
+//! the repo builds hermetically); failures print the seed so a case can
+//! be replayed by pinning `SEED`.
 
 use dta_mem::{
     BusModel, DmaCommand, DmaKind, LocalStore, MainMemory, MemoryModel, MemorySystem, Mfc,
     MfcParams, ResourcePool, TransferKind,
 };
-use proptest::prelude::*;
 use std::collections::HashMap;
 
-proptest! {
-    /// Reservations on one pool never overlap within a channel, never
-    /// start before the request time, and have the requested duration.
-    #[test]
-    fn resource_pool_reservations_are_disjoint(
-        channels in 1..6usize,
-        ops in prop::collection::vec((0..10_000u64, 1..200u64), 1..200),
-    ) {
+const SEED: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// xorshift64* — small, fast, deterministic.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+}
+
+/// Reservations on one pool never overlap within a channel, never
+/// start before the request time, and have the requested duration.
+#[test]
+fn resource_pool_reservations_are_disjoint() {
+    let mut rng = Rng::new(SEED);
+    for case in 0..64 {
+        let channels = rng.range(1, 6) as usize;
+        let ops = rng.range(1, 200) as usize;
         let mut pool = ResourcePool::new(channels);
         let mut now = 0u64;
         let mut per_channel: Vec<Vec<(u64, u64)>> = vec![Vec::new(); channels];
-        for (advance, dur) in ops {
-            now += advance / 100; // mostly-monotone request times
+        for _ in 0..ops {
+            now += rng.below(10_000) / 100; // mostly-monotone request times
+            let dur = rng.range(1, 200);
             let r = pool.reserve(now, dur);
-            prop_assert!(r.start >= now);
-            prop_assert_eq!(r.end - r.start, dur.max(1));
+            assert!(r.start >= now, "case {case}");
+            assert_eq!(r.end - r.start, dur.max(1), "case {case}");
             per_channel[r.channel].push((r.start, r.end));
         }
         for spans in &per_channel {
             for w in spans.windows(2) {
-                prop_assert!(
+                assert!(
                     w[0].1 <= w[1].0,
-                    "overlapping reservations {:?} then {:?}",
+                    "case {case}: overlapping reservations {:?} then {:?}",
                     w[0],
                     w[1]
                 );
             }
         }
     }
+}
 
-    /// MainMemory agrees with a byte-map model under arbitrary mixed
-    /// u8/u32/bulk traffic.
-    #[test]
-    fn main_memory_matches_model(
-        ops in prop::collection::vec(
-            (0..3usize, 0..65_500u64, any::<u32>(), 1..32usize),
-            1..200,
-        ),
-    ) {
+/// MainMemory agrees with a byte-map model under arbitrary mixed
+/// u8/u32/bulk traffic.
+#[test]
+fn main_memory_matches_model() {
+    let mut rng = Rng::new(SEED ^ 1);
+    for case in 0..48 {
         let mut mem = MainMemory::new(1 << 16);
         let mut model: HashMap<u64, u8> = HashMap::new();
-        for (kind, addr, value, len) in ops {
+        for _ in 0..rng.range(1, 200) {
+            let kind = rng.below(3) as usize;
+            let addr = rng.below(65_500);
+            let value = rng.next() as u32;
+            let len = rng.range(1, 32) as usize;
             match kind {
                 0 => {
                     let addr = addr.min((1 << 16) - 4);
@@ -63,7 +96,7 @@ proptest! {
                     let expect = u32::from_le_bytes(std::array::from_fn(|i| {
                         model.get(&(addr + i as u64)).copied().unwrap_or(0)
                     }));
-                    prop_assert_eq!(mem.read_u32(addr), expect);
+                    assert_eq!(mem.read_u32(addr), expect, "case {case}");
                 }
                 _ => {
                     let len = len.min(((1 << 16) - addr) as usize).max(1);
@@ -76,13 +109,17 @@ proptest! {
             }
         }
     }
+}
 
-    /// Every transaction completes strictly after it was issued, and
-    /// issuing the same kinds in the same order is deterministic.
-    #[test]
-    fn memory_system_timing_sane(
-        kinds in prop::collection::vec(0..5usize, 1..100),
-    ) {
+/// Every transaction completes strictly after it was issued, and
+/// issuing the same kinds in the same order is deterministic.
+#[test]
+fn memory_system_timing_sane() {
+    let mut rng = Rng::new(SEED ^ 2);
+    for case in 0..48 {
+        let kinds: Vec<usize> = (0..rng.range(1, 100))
+            .map(|_| rng.below(5) as usize)
+            .collect();
         let build = |kinds: &[usize]| {
             let mut sys = MemorySystem::paper_default();
             let mut now = 0;
@@ -93,7 +130,10 @@ proptest! {
                     1 => TransferKind::ScalarWrite,
                     2 => TransferKind::BlockGet { bytes: 256 },
                     3 => TransferKind::BlockPut { bytes: 64 },
-                    _ => TransferKind::StridedGet { count: 8, elem_bytes: 4 },
+                    _ => TransferKind::StridedGet {
+                        count: 8,
+                        elem_bytes: 4,
+                    },
                 };
                 let done = sys.request(now, kind);
                 times.push(done);
@@ -103,21 +143,22 @@ proptest! {
         };
         let a = build(&kinds);
         let b = build(&kinds);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b, "case {case}");
         for (i, &t) in a.iter().enumerate() {
-            prop_assert!(t > (i as u64) * 3, "transaction {i} completed at {t}");
+            assert!(
+                t > (i as u64) * 3,
+                "case {case}: transaction {i} completed at {t}"
+            );
         }
     }
+}
 
-    /// The MFC's functional data movement matches a plain memcpy model
-    /// for arbitrary command sequences over disjoint regions.
-    #[test]
-    fn mfc_moves_data_like_memcpy(
-        cmds in prop::collection::vec(
-            (0..2usize, 0..16u32, 1..16u32, 0..32u8),
-            1..24,
-        ),
-    ) {
+/// The MFC's functional data movement matches a plain memcpy model
+/// for arbitrary command sequences over disjoint regions.
+#[test]
+fn mfc_moves_data_like_memcpy() {
+    let mut rng = Rng::new(SEED ^ 3);
+    for case in 0..24 {
         let mut mfc = Mfc::new(MfcParams::default());
         let mut sys = MemorySystem::paper_default();
         let mut ls = LocalStore::new(64 * 1024);
@@ -128,7 +169,11 @@ proptest! {
         }
         let mut model_ls = vec![0u8; 64 * 1024];
         let mut now = 0u64;
-        for (dir, slot, blocks, tag) in cmds {
+        for _ in 0..rng.range(1, 24) {
+            let dir = rng.below(2) as usize;
+            let slot = rng.below(16) as u32;
+            let blocks = rng.range(1, 16) as u32;
+            let tag = rng.below(32) as u8;
             let ls_addr = slot * 1024; // disjoint-ish LS slots
             let mem_addr = (slot as u64) * 1024;
             let bytes = blocks * 16;
@@ -146,7 +191,10 @@ proptest! {
             // Retry until the queue accepts (time moves forward).
             loop {
                 if let Some(c) = mfc.enqueue(now, cmd, &mut sys, &mut ls, &mut mem) {
-                    prop_assert!(c.at >= now + MfcParams::default().command_latency);
+                    assert!(
+                        c.at >= now + MfcParams::default().command_latency,
+                        "case {case}"
+                    );
                     break;
                 }
                 now += 100;
@@ -164,17 +212,19 @@ proptest! {
         }
         let mut actual = vec![0u8; 64 * 1024];
         ls.read_bytes(0, &mut actual);
-        prop_assert_eq!(actual, model_ls);
+        assert_eq!(actual, model_ls, "case {case}");
     }
+}
 
-    /// Strided gathers pack exactly the elements a scalar loop would
-    /// read.
-    #[test]
-    fn strided_gather_matches_scalar_loop(
-        count in 1..64u32,
-        stride_words in 1..64i64,
-        base_word in 0..256u64,
-    ) {
+/// Strided gathers pack exactly the elements a scalar loop would
+/// read.
+#[test]
+fn strided_gather_matches_scalar_loop() {
+    let mut rng = Rng::new(SEED ^ 4);
+    for case in 0..48 {
+        let count = rng.range(1, 64) as u32;
+        let stride_words = rng.range(1, 64) as i64;
+        let base_word = rng.below(256);
         let mut mfc = Mfc::new(MfcParams::default());
         let mut sys = MemorySystem::paper_default();
         let mut ls = LocalStore::new(64 * 1024);
@@ -191,42 +241,51 @@ proptest! {
                 tag: 0,
                 ls_addr: 0,
                 mem_addr: base,
-                kind: DmaKind::GetStrided { elem_bytes: 4, count, stride },
+                kind: DmaKind::GetStrided {
+                    elem_bytes: 4,
+                    count,
+                    stride,
+                },
             },
             &mut sys,
             &mut ls,
             &mut mem,
-        ).expect("queue empty");
+        )
+        .expect("queue empty");
         for i in 0..count {
             let want = mem.read_u32(base + i as u64 * stride as u64);
-            prop_assert_eq!(ls.read_u32(i * 4), want, "element {}", i);
+            assert_eq!(ls.read_u32(i * 4), want, "case {case}: element {i}");
         }
     }
+}
 
-    /// Bus data transfers respect bandwidth: n back-to-back sends of B
-    /// bytes on one lane take at least n*ceil(B/bw) cycles.
-    #[test]
-    fn bus_bandwidth_bound(
-        sends in 1..40u64,
-        bytes in 1..512u64,
-    ) {
+/// Bus data transfers respect bandwidth: n back-to-back sends of B
+/// bytes on one lane take at least n*ceil(B/bw) cycles.
+#[test]
+fn bus_bandwidth_bound() {
+    let mut rng = Rng::new(SEED ^ 5);
+    for case in 0..64 {
+        let sends = rng.range(1, 40);
+        let bytes = rng.range(1, 512);
         let mut bus = BusModel::new(1, 8, 0);
         let mut last = 0;
         for _ in 0..sends {
             last = bus.send(0, bytes);
         }
-        prop_assert!(last >= sends * bytes.div_ceil(8));
-        prop_assert_eq!(bus.bytes_moved(), sends * bytes);
+        assert!(last >= sends * bytes.div_ceil(8), "case {case}");
+        assert_eq!(bus.bytes_moved(), sends * bytes, "case {case}");
     }
+}
 
-    /// Memory accesses complete no earlier than request + latency.
-    #[test]
-    fn memory_latency_is_a_floor(
-        at in 0..10_000u64,
-        bytes in 1..4096u64,
-    ) {
+/// Memory accesses complete no earlier than request + latency.
+#[test]
+fn memory_latency_is_a_floor() {
+    let mut rng = Rng::new(SEED ^ 6);
+    for case in 0..128 {
+        let at = rng.below(10_000);
+        let bytes = rng.range(1, 4096);
         let mut m = MemoryModel::new(1, 150, 32);
         let done = m.access(at, bytes, 0);
-        prop_assert!(done >= at + 150 + bytes.div_ceil(32));
+        assert!(done >= at + 150 + bytes.div_ceil(32), "case {case}");
     }
 }

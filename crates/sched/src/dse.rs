@@ -15,11 +15,10 @@ use crate::instance::InstanceId;
 use crate::message::Message;
 use dta_isa::ThreadId;
 use dta_mem::ResourcePool;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// DSE configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DseParams {
     /// DSE processing time per operation, cycles.
     pub op_latency: u64,
@@ -37,7 +36,7 @@ impl Default for DseParams {
 }
 
 /// A FALLOC that could not be served yet.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct PendingFalloc {
     /// PE whose pipeline is blocked.
     pub requester: u16,
@@ -64,7 +63,7 @@ pub enum FallocDecision {
 }
 
 /// DSE activity counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DseStats {
     /// Requests received.
     pub requests: u64,
@@ -285,7 +284,10 @@ mod tests {
             },
         );
         for _ in 0..10 {
-            assert!(matches!(d.on_falloc(req(0), 0), FallocDecision::Grant { pe: 0 }));
+            assert!(matches!(
+                d.on_falloc(req(0), 0),
+                FallocDecision::Grant { pe: 0 }
+            ));
         }
         assert_eq!(d.pending_len(), 0);
     }

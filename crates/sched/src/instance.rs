@@ -8,11 +8,10 @@
 //! introduced by the prefetching mechanism.
 
 use dta_isa::{FramePtr, Reg, ThreadId, NUM_REGS};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Globally unique identifier of a thread instance.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct InstanceId(pub u64);
 
 impl InstanceId {
@@ -46,7 +45,7 @@ impl fmt::Debug for InstanceId {
 /// Lifecycle states (paper Fig. 4). The two darker-background states of
 /// the figure — [`ThreadState::ProgramDma`] and [`ThreadState::WaitDma`] —
 /// exist only when prefetching is in play.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ThreadState {
     /// Frame assigned; waiting for the synchronisation counter to reach
     /// zero ("Wait for stores").
@@ -184,7 +183,11 @@ impl Instance {
     /// outstanding transfer and the instance was in *Wait for DMA* (so it
     /// becomes ready again).
     pub fn dma_complete(&mut self, tag: u8) -> bool {
-        assert!(self.outstanding_dma > 0, "{}: spurious DMA completion", self.id);
+        assert!(
+            self.outstanding_dma > 0,
+            "{}: spurious DMA completion",
+            self.id
+        );
         assert!(
             self.dma_by_tag[tag as usize] > 0,
             "{}: spurious DMA completion for tag {tag}",

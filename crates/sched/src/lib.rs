@@ -28,4 +28,4 @@ pub mod message;
 pub use dse::{Dse, DseParams, PendingFalloc};
 pub use instance::{Instance, InstanceId, ThreadState};
 pub use lse::{Lse, LseParams, LseStats};
-pub use message::{Dest, Envelope, Message};
+pub use message::{Dest, Envelope, Message, MsgSeq, Stamped};

@@ -21,11 +21,10 @@
 use crate::instance::{Instance, InstanceId, ThreadState};
 use dta_isa::{FramePtr, ThreadId};
 use dta_mem::ResourcePool;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// LSE configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LseParams {
     /// Physical frames per PE.
     pub frame_capacity: u32,
@@ -58,7 +57,7 @@ impl Default for LseParams {
 }
 
 /// LSE activity counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LseStats {
     /// Frames granted.
     pub allocs: u64,
@@ -160,6 +159,19 @@ impl Lse {
         self.instances.len()
     }
 
+    /// Lifecycle snapshot of every live instance, sorted by id (the
+    /// underlying map iterates in arbitrary order; deadlock reports must
+    /// be deterministic).
+    pub fn live_instance_states(&self) -> Vec<(InstanceId, ThreadState)> {
+        let mut v: Vec<(InstanceId, ThreadState)> = self
+            .instances
+            .iter()
+            .map(|(&id, inst)| (id, inst.state))
+            .collect();
+        v.sort_unstable_by_key(|&(id, _)| id);
+        v
+    }
+
     /// Reserves the LSE engine for one operation starting at `now`;
     /// returns the cycle at which the operation completes. Used by the
     /// core to model LSE contention.
@@ -240,7 +252,13 @@ impl Lse {
     /// Applies a store to a local frame; returns the instance id if the
     /// store made it ready.
     #[track_caller]
-    pub fn store(&mut self, now: u64, frame: FramePtr, slot: u16, value: i64) -> Option<InstanceId> {
+    pub fn store(
+        &mut self,
+        now: u64,
+        frame: FramePtr,
+        slot: u16,
+        value: i64,
+    ) -> Option<InstanceId> {
         assert_eq!(frame.pe, self.pe, "store routed to the wrong LSE");
         let id = self.frames[frame.index as usize]
             .unwrap_or_else(|| panic!("store to unallocated frame {frame}"));
@@ -271,8 +289,7 @@ impl Lse {
 
         // Retry parked allocations now that a buffer may be free.
         let mut granted = Vec::new();
-        while !self.pending.is_empty() && !self.pf_free.is_empty() && !self.free_frames.is_empty()
-        {
+        while !self.pending.is_empty() && !self.pf_free.is_empty() && !self.free_frames.is_empty() {
             let (req, for_inst, thread, sc, slots, needs_pf) =
                 self.pending.pop_front().expect("non-empty");
             if let Some(g) = self.alloc_frame(req, for_inst, thread, sc, slots, needs_pf) {
@@ -388,7 +405,9 @@ mod tests {
     #[test]
     fn alloc_store_ready_flow() {
         let mut l = lse();
-        let g = l.alloc_frame(0, InstanceId(900), ThreadId(0), 2, 2, false).unwrap();
+        let g = l
+            .alloc_frame(0, InstanceId(900), ThreadId(0), 2, 2, false)
+            .unwrap();
         assert_eq!(g.frame.pe, 0);
         assert_eq!(l.free_frames(), 1);
         assert!(l.pop_ready().is_none());
@@ -406,21 +425,27 @@ mod tests {
     #[test]
     fn sc_zero_instance_is_immediately_ready() {
         let mut l = lse();
-        let g = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false).unwrap();
+        let g = l
+            .alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false)
+            .unwrap();
         assert_eq!(l.pop_ready(), Some(g.instance));
     }
 
     #[test]
     fn ffree_recycles_frame_and_pf_buffer() {
         let mut l = lse();
-        let g1 = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, true).unwrap();
+        let g1 = l
+            .alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, true)
+            .unwrap();
         let a1 = l.instance(g1.instance).pf_buf_addr;
         assert_ne!(a1, u32::MAX);
         l.stop(g1.instance);
         assert!(l.ffree(g1.frame).is_empty());
         assert_eq!(l.free_frames(), 2);
         // The same frame index and buffer can be handed out again.
-        let g2 = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, true).unwrap();
+        let g2 = l
+            .alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, true)
+            .unwrap();
         assert_eq!(g2.frame.index, g1.frame.index);
         assert_eq!(l.instance(g2.instance).pf_buf_addr, a1);
         // ...but the instance id is fresh.
@@ -446,9 +471,15 @@ mod tests {
                 ..LseParams::default()
             },
         );
-        let g1 = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false).unwrap();
-        let g2 = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false).unwrap();
-        let g3 = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false).unwrap();
+        let g1 = l
+            .alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false)
+            .unwrap();
+        let g2 = l
+            .alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false)
+            .unwrap();
+        let g3 = l
+            .alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false)
+            .unwrap();
         let mut idx = vec![g1.frame.index, g2.frame.index, g3.frame.index];
         idx.dedup();
         assert_eq!(idx.len(), 3, "distinct virtual frames");
@@ -465,9 +496,13 @@ mod tests {
                 ..LseParams::default()
             },
         );
-        let g1 = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, true).unwrap();
+        let g1 = l
+            .alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, true)
+            .unwrap();
         // Only one pf buffer exists; second prefetching alloc parks.
-        assert!(l.alloc_frame(7, InstanceId(900), ThreadId(1), 1, 1, true).is_none());
+        assert!(l
+            .alloc_frame(7, InstanceId(900), ThreadId(1), 1, 1, true)
+            .is_none());
         // Freeing the first frame releases the buffer and grants the
         // parked request.
         l.stop(g1.instance);
@@ -479,7 +514,9 @@ mod tests {
     #[test]
     fn stop_with_outstanding_dma_defers_removal() {
         let mut l = lse();
-        let g = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false).unwrap();
+        let g = l
+            .alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false)
+            .unwrap();
         l.instance_mut(g.instance).dma_issued(2);
         l.stop(g.instance);
         assert!(l.has_instance(g.instance));
@@ -490,7 +527,9 @@ mod tests {
     #[test]
     fn dma_done_readies_waiting_instance() {
         let mut l = lse();
-        let g = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false).unwrap();
+        let g = l
+            .alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false)
+            .unwrap();
         assert_eq!(l.pop_ready(), Some(g.instance)); // drain initial ready
         let inst = l.instance_mut(g.instance);
         inst.dma_issued(0);
@@ -526,8 +565,12 @@ mod tests {
     #[test]
     fn stats_track_high_water_marks() {
         let mut l = lse();
-        let g1 = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false).unwrap();
-        let _g2 = l.alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false).unwrap();
+        let g1 = l
+            .alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false)
+            .unwrap();
+        let _g2 = l
+            .alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false)
+            .unwrap();
         let s = l.stats();
         assert_eq!(s.allocs, 2);
         assert_eq!(s.max_live_instances, 2);

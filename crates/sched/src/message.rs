@@ -10,10 +10,9 @@
 
 use crate::instance::InstanceId;
 use dta_isa::{FramePtr, ThreadId};
-use serde::{Deserialize, Serialize};
 
 /// Message destinations.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Dest {
     /// The DSE of a node.
     Dse(u16),
@@ -24,7 +23,7 @@ pub enum Dest {
 }
 
 /// Scheduler message payloads.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Message {
     /// PE → DSE: request a frame for an instance of `thread`.
     FallocRequest {
@@ -94,10 +93,18 @@ pub enum Message {
         /// Tag group of the completed command.
         tag: u8,
     },
+    /// Memory system → pipeline: a deferred scalar `READ` resolved
+    /// (sharded execution only — the sequential engine blocks inline).
+    ReadDone {
+        /// The loaded, sign-extended word.
+        value: i64,
+        /// Cycle at which the destination register becomes usable.
+        ready_at: u64,
+    },
 }
 
 /// A routed message with a relative delivery delay.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Envelope {
     /// Where it goes.
     pub to: Dest,
@@ -105,6 +112,50 @@ pub struct Envelope {
     pub msg: Message,
     /// Cycles from send to delivery.
     pub delay: u64,
+}
+
+/// A deterministic source stamp for a posted message.
+///
+/// Parallel (sharded) execution delivers messages from concurrently
+/// ticking units; to keep runs bit-identical regardless of shard count,
+/// every posted envelope carries the *logical* identity of its send:
+/// which unit sent it ([`MsgSeq::src_rank`], a partition-independent rank
+/// over all units in the machine) and that unit's monotonically
+/// increasing send counter ([`MsgSeq::seq`]). Sorting same-cycle
+/// deliveries by this stamp reproduces the sequential simulator's
+/// delivery order exactly, because ranks enumerate units in the order the
+/// sequential loop ticks them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub struct MsgSeq {
+    /// Rank of the sending unit in the sequential tick order (PEs first
+    /// by global index, then DSEs by node).
+    pub src_rank: u32,
+    /// The sender's per-unit monotonic send counter.
+    pub seq: u64,
+}
+
+impl MsgSeq {
+    /// The first stamp of a unit.
+    pub fn first(src_rank: u32) -> MsgSeq {
+        MsgSeq { src_rank, seq: 0 }
+    }
+
+    /// Returns the current stamp and advances the counter
+    /// (post-increment).
+    pub fn bump(&mut self) -> MsgSeq {
+        let s = *self;
+        self.seq += 1;
+        s
+    }
+}
+
+/// An [`Envelope`] carrying its deterministic source stamp.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Stamped {
+    /// The routed message.
+    pub env: Envelope,
+    /// Who sent it, and their how-many-eth send it was.
+    pub stamp: MsgSeq,
 }
 
 #[cfg(test)]
@@ -135,7 +186,26 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn msgseq_orders_by_rank_then_counter() {
+        let mut a = MsgSeq::first(0);
+        let mut b = MsgSeq::first(1);
+        let a0 = a.bump();
+        let a1 = a.bump();
+        let b0 = b.bump();
+        assert!(a0 < a1, "per-unit sends are ordered by counter");
+        assert!(a1 < b0, "lower ranks sort first regardless of counter");
+        assert_eq!(
+            a0,
+            MsgSeq {
+                src_rank: 0,
+                seq: 0
+            }
+        );
+        assert_eq!(a.bump().seq, 2);
+    }
+
+    #[test]
+    fn stamped_preserves_envelope() {
         let e = Envelope {
             to: Dest::Dse(0),
             msg: Message::FallocRequest {
@@ -147,8 +217,11 @@ mod tests {
             },
             delay: 4,
         };
-        let s = serde_json::to_string(&e).unwrap();
-        let back: Envelope = serde_json::from_str(&s).unwrap();
-        assert_eq!(e, back);
+        let s = Stamped {
+            env: e,
+            stamp: MsgSeq::first(7),
+        };
+        assert_eq!(s.env, e);
+        assert_eq!(s.stamp.src_rank, 7);
     }
 }

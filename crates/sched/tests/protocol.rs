@@ -17,13 +17,7 @@ fn small_machine(pes: u16, frames: u32) -> (Dse, Vec<Lse>) {
         virtual_frames: false,
     };
     let lses = (0..pes).map(|p| Lse::new(p, params)).collect();
-    let dse = Dse::new(
-        0,
-        (0..pes).collect(),
-        frames,
-        1,
-        DseParams::default(),
-    );
+    let dse = Dse::new(0, (0..pes).collect(), frames, 1, DseParams::default());
     (dse, lses)
 }
 

@@ -24,9 +24,7 @@ pub fn input(n: usize) -> Vec<i32> {
 /// Reference column sums.
 pub fn expected(n: usize) -> Vec<i32> {
     let m = input(n);
-    (0..n)
-        .map(|j| (0..n).map(|i| m[i * n + j]).sum())
-        .collect()
+    (0..n).map(|j| (0..n).map(|i| m[i * n + j]).sum()).collect()
 }
 
 /// Builds `colsum(n)`. The auto variant uses a buffer cap that forces the
@@ -36,7 +34,10 @@ pub fn expected(n: usize) -> Vec<i32> {
 ///
 /// If `n` is not a power of two (keeps the stride a power of two).
 pub fn build(n: usize, variant: Variant) -> WorkloadProgram {
-    assert!(n.is_power_of_two() && n >= 2, "colsum needs a power-of-two n");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "colsum needs a power-of-two n"
+    );
     let stride = (n * 4) as i32;
 
     let mut pb = ProgramBuilder::new();

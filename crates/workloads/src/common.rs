@@ -2,12 +2,11 @@
 
 use dta_compiler::{prefetch_program, ProgramReport, TransformOptions};
 use dta_isa::Program;
-use serde::{Deserialize, Serialize};
 
 /// Which code version of a benchmark to build (paper §4.2: benchmarks are
 /// "hand-coded for the original DTA", then "prefetching code blocks are
 /// added by hand"; our compiler automates the latter).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Variant {
     /// Original DTA: main-memory READs inside the EX blocks.
     Baseline,
@@ -19,7 +18,11 @@ pub enum Variant {
 
 impl Variant {
     /// All variants.
-    pub const ALL: [Variant; 3] = [Variant::Baseline, Variant::HandPrefetch, Variant::AutoPrefetch];
+    pub const ALL: [Variant; 3] = [
+        Variant::Baseline,
+        Variant::HandPrefetch,
+        Variant::AutoPrefetch,
+    ];
 
     /// Short label used in reports.
     pub fn label(self) -> &'static str {

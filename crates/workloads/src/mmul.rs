@@ -63,7 +63,10 @@ pub fn expected(n: usize) -> Vec<i32> {
 ///
 /// If `n` is not a power of two (the paper's constraint) or `n < 2`.
 pub fn build(n: usize, variant: Variant) -> WorkloadProgram {
-    assert!(n.is_power_of_two() && n >= 2, "mmul needs a power-of-two n >= 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "mmul needs a power-of-two n >= 2"
+    );
     let nb = (n * 4) as i32; // row bytes
 
     let mut pb = ProgramBuilder::new();
@@ -131,10 +134,10 @@ pub fn build(n: usize, variant: Variant) -> WorkloadProgram {
     w.shl(r(14), r(8), 2); // j*4, loop-invariant in k
     w.li(r(9), 0); // k
     w.li(r(10), 0); // acc
-    // The k-loop is unrolled by two with the loads scheduled ahead of
-    // their uses, as the paper's hand-unrolled SPU kernels would be —
-    // this is what keeps local-store latency hidden ("LS stalls ...
-    // mostly overlapped with the execution", §4.3).
+                    // The k-loop is unrolled by two with the loads scheduled ahead of
+                    // their uses, as the paper's hand-unrolled SPU kernels would be —
+                    // this is what keeps local-store latency hidden ("LS stalls ...
+                    // mostly overlapped with the execution", §4.3).
     let ktop = w.label_here();
     let kdone = w.new_label();
     w.br(BrCond::Ge, r(9), n as i32, kdone);

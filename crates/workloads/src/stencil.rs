@@ -37,7 +37,10 @@ pub fn expected(n: usize) -> Vec<i32> {
 ///
 /// If `chunks` does not divide `n`.
 pub fn build(n: usize, chunks: usize, variant: Variant) -> WorkloadProgram {
-    assert!(chunks > 0 && n.is_multiple_of(chunks), "chunks must divide n");
+    assert!(
+        chunks > 0 && n.is_multiple_of(chunks),
+        "chunks must divide n"
+    );
     let chunk = n / chunks;
     let chunk_bytes = (chunk * 4) as i32;
 

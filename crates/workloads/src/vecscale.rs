@@ -15,12 +15,18 @@ pub const SCALE: i32 = 3;
 
 /// Deterministic input vector.
 pub fn input(n: usize) -> Vec<i32> {
-    synth_values(0x5CA1E, n).into_iter().map(|v| v >> 8).collect()
+    synth_values(0x5CA1E, n)
+        .into_iter()
+        .map(|v| v >> 8)
+        .collect()
 }
 
 /// Reference output.
 pub fn expected(n: usize) -> Vec<i32> {
-    input(n).into_iter().map(|v| v.wrapping_mul(SCALE)).collect()
+    input(n)
+        .into_iter()
+        .map(|v| v.wrapping_mul(SCALE))
+        .collect()
 }
 
 /// Builds `vecscale(n)` split into `chunks` workers.
@@ -29,7 +35,10 @@ pub fn expected(n: usize) -> Vec<i32> {
 ///
 /// If `chunks` does not divide `n`.
 pub fn build(n: usize, chunks: usize, variant: Variant) -> WorkloadProgram {
-    assert!(chunks > 0 && n.is_multiple_of(chunks), "chunks must divide n");
+    assert!(
+        chunks > 0 && n.is_multiple_of(chunks),
+        "chunks must divide n"
+    );
     let chunk = n / chunks;
     let chunk_bytes = (chunk * 4) as i32;
 

@@ -63,7 +63,10 @@ pub fn expected(n: usize) -> Vec<i32> {
 ///
 /// If `n < 2` or `n` is not a power of two.
 pub fn build(n: usize, variant: Variant) -> WorkloadProgram {
-    assert!(n.is_power_of_two() && n >= 2, "zoom needs a power-of-two n >= 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "zoom needs a power-of-two n >= 2"
+    );
     let src_stride = ((n + 1) * 4) as i32;
     let on = FACTOR * n;
     let out_stride = (on * 4) as i32;
@@ -142,7 +145,7 @@ pub fn build(n: usize, variant: Variant) -> WorkloadProgram {
     w.add(r(12), r(12), r(9));
     w.shl(r(12), r(12), 2);
     w.add(r(12), r(4), r(12)); // &out[xi*4 + f]
-    // pixel = (a*(4-f) + b*f) / 4
+                               // pixel = (a*(4-f) + b*f) / 4
     w.mul(r(10), r(7), r(10));
     w.mul(r(11), r(8), r(9));
     w.add(r(10), r(10), r(11));

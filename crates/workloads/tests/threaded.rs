@@ -1,0 +1,29 @@
+//! Forces the real OS-thread epoch path (spin barrier + shard mutexes)
+//! even on single-core hosts, where the engine would otherwise run every
+//! shard inline. Lives in its own integration-test binary so the
+//! process-wide `DTA_HOST_PARALLELISM` override cannot leak into the
+//! other suites. Kept to one small workload: on a 1-core host each epoch
+//! barrier is a scheduler round-trip, so this is the slowest path we ship.
+
+use dta_core::{simulate, Parallelism, SystemConfig};
+use dta_workloads::{mmul, Variant};
+use std::sync::Arc;
+
+#[test]
+fn os_thread_path_matches_oracle() {
+    std::env::set_var("DTA_HOST_PARALLELISM", "4");
+    let run = |par: Parallelism| {
+        let wp = mmul::build(16, Variant::HandPrefetch);
+        let mut cfg = SystemConfig::paper_default();
+        cfg.parallelism = par;
+        simulate(cfg, Arc::new(wp.program), &wp.args)
+            .unwrap_or_else(|e| panic!("{par:?} failed: {e}"))
+    };
+    let (oracle, _) = run(Parallelism::Off);
+    let (threaded, sys) = run(Parallelism::Threads(2));
+    mmul::verify(&sys, 16).expect("threaded result wrong");
+    assert_eq!(
+        oracle, threaded,
+        "OS-thread epoch path diverged from the sequential oracle"
+    );
+}

@@ -119,7 +119,7 @@ sent:
         workers = WORKERS,
         chunk_bytes = N * 4,
         n = N,
-        x_base = "0x100000",   // DEFAULT_GLOBAL_BASE: x is laid out first
+        x_base = "0x100000", // DEFAULT_GLOBAL_BASE: x is laid out first
         y_base = 0x100000 + (N * WORKERS * 4).div_ceil(16) * 16,
         out_base = 0x100000 + 2 * ((N * WORKERS * 4).div_ceil(16) * 16),
     );
@@ -142,10 +142,12 @@ sent:
     );
 
     for (label, prog) in [("baseline ", program), ("prefetched", prefetched)] {
-        let (stats, sys) =
-            simulate(SystemConfig::with_pes(4), Arc::new(prog), &[]).expect("runs");
+        let (stats, sys) = simulate(SystemConfig::with_pes(4), Arc::new(prog), &[]).expect("runs");
         let got = sys.read_global_word("out", 0).expect("result written");
         assert_eq!(got as i64, expected, "dot product mismatch");
-        println!("{label}: {:>7} cycles, dot = {got} (verified)", stats.cycles);
+        println!(
+            "{label}: {:>7} cycles, dot = {got} (verified)",
+            stats.cycles
+        );
     }
 }

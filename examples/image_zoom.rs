@@ -33,8 +33,12 @@ fn main() {
     let mut cycles = Vec::new();
     for variant in [Variant::Baseline, Variant::HandPrefetch] {
         let wp = zoom::build(n, variant);
-        let (stats, sys) = simulate(SystemConfig::paper_default(), Arc::new(wp.program), &wp.args)
-            .expect("simulation runs");
+        let (stats, sys) = simulate(
+            SystemConfig::paper_default(),
+            Arc::new(wp.program),
+            &wp.args,
+        )
+        .expect("simulation runs");
         zoom::verify(&sys, n).expect("zoomed image verified");
         let b = stats.breakdown();
         println!(
@@ -44,7 +48,12 @@ fn main() {
             b.pipeline_usage
         );
         for cat in StallCat::ALL {
-            println!("  {:<14} {:5.1}% {}", cat.name(), b.pct(cat), bar(b.frac(cat)));
+            println!(
+                "  {:<14} {:5.1}% {}",
+                cat.name(),
+                b.pct(cat),
+                bar(b.frac(cat))
+            );
         }
         println!();
         cycles.push(stats.cycles);

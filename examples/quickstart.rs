@@ -75,8 +75,8 @@ fn main() {
 
     // ---- 3. Simulate both versions on the paper's 8-PE platform -------------
     for (label, prog) in [("original DTA ", program), ("with prefetch", prefetched)] {
-        let (stats, sys) = simulate(SystemConfig::paper_default(), Arc::new(prog), &[])
-            .expect("simulation runs");
+        let (stats, sys) =
+            simulate(SystemConfig::paper_default(), Arc::new(prog), &[]).expect("simulation runs");
         print!("{label}: {:>7} cycles | ", stats.cycles);
         println!(
             "working {:4.1}%  mem stalls {:4.1}%  prefetch {:4.1}%",

@@ -106,7 +106,9 @@ fn all_workloads_all_variants_verify() {
         check(mmul::build(8, variant), &|s| mmul::verify(s, 8));
         check(zoom::build(8, variant), &|s| zoom::verify(s, 8));
         check(bitcnt::build(96, variant), &|s| bitcnt::verify(s, 96));
-        check(vecscale::build(64, 4, variant), &|s| vecscale::verify(s, 64));
+        check(vecscale::build(64, 4, variant), &|s| {
+            vecscale::verify(s, 64)
+        });
         check(stencil::build(64, 4, variant), &|s| stencil::verify(s, 64));
         check(colsum::build(16, variant), &|s| colsum::verify(s, 16));
     }
@@ -118,8 +120,7 @@ fn all_workloads_all_variants_verify() {
 #[test]
 fn paper_speedup_ordering_holds() {
     let cfg = SystemConfig::with_pes(8);
-    let speedup = |base: dta::workloads::WorkloadProgram,
-                   pf: dta::workloads::WorkloadProgram| {
+    let speedup = |base: dta::workloads::WorkloadProgram, pf: dta::workloads::WorkloadProgram| {
         let (b, _) = simulate(cfg.clone(), Arc::new(base.program), &base.args).unwrap();
         let (p, _) = simulate(cfg.clone(), Arc::new(pf.program), &pf.args).unwrap();
         b.cycles as f64 / p.cycles as f64
@@ -138,7 +139,10 @@ fn paper_speedup_ordering_holds() {
     );
     assert!(mmul_s > 5.0, "mmul speedup {mmul_s:.2}");
     assert!(zoom_s > 5.0, "zoom speedup {zoom_s:.2}");
-    assert!(bitcnt_s > 0.9 && bitcnt_s < 3.0, "bitcnt speedup {bitcnt_s:.2}");
+    assert!(
+        bitcnt_s > 0.9 && bitcnt_s < 3.0,
+        "bitcnt speedup {bitcnt_s:.2}"
+    );
     assert!(mmul_s > bitcnt_s && zoom_s > bitcnt_s);
 }
 
@@ -159,12 +163,17 @@ fn breakdowns_partition_execution_time() {
 /// Run statistics serialise (the harness persists them as JSON).
 #[test]
 fn run_stats_serialise_to_json() {
+    use dta_json::{parse, Json, ToJson};
     let wp = vecscale::build(32, 2, Variant::AutoPrefetch);
     let (stats, _) = simulate(SystemConfig::with_pes(2), Arc::new(wp.program), &wp.args).unwrap();
-    let json = serde_json::to_string(&stats).unwrap();
-    let back: dta::core::RunStats = serde_json::from_str(&json).unwrap();
-    assert_eq!(back.cycles, stats.cycles);
-    assert_eq!(back.aggregate, stats.aggregate);
+    let json = stats.to_json();
+    let back = parse(&json.to_string_pretty()).unwrap();
+    assert_eq!(back, json);
+    assert_eq!(
+        back.get("cycles").and_then(Json::as_u64),
+        Some(stats.cycles)
+    );
+    assert_eq!(back.get("aggregate"), json.get("aggregate"));
 }
 
 /// A cycle limit surfaces as an error rather than a hang.
