@@ -2,23 +2,28 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--quick] [--pes N] [--threads N] [--out DIR]
+//!       [--fault-seed N] [--fault-rate PPM]
 //!
 //! EXPERIMENT: config table5 fig5 fig6 fig7 fig8 fig9 lat1
 //!             ablate-split ablate-vfp ablate-hw
 //!             ext-cache ext-spxp ext-wholeobj
-//!             parallel all                            (default: all)
+//!             parallel faults all                     (default: all)
 //! --quick     scaled-down workload sizes (CI-friendly)
 //! --pes N     PEs for the non-scalability experiments (default 8)
 //! --threads N run every experiment on the epoch-sharded engine with N
 //!             host threads (results are bit-identical to sequential;
 //!             the `parallel` experiment pins its own engine modes)
+//! --fault-seed N   base seed for the `faults` sweep (default 0xDA7A)
+//! --fault-rate PPM single injected fault rate for the `faults`
+//!                  experiment instead of the built-in 0/1k/10k/100k
+//!                  ppm sweep
 //! --out DIR   also write <exp>.json / <exp>.txt into DIR
 //!             (default: results/)
 //! ```
 
 use dta_bench::experiments::{
-    ablate_hw, ablate_split, ablate_vfp, config, ext_cache, ext_spxp, ext_wholeobj, fig5, fig9,
-    fig_exec_scalability, lat1, parallel_bench, table5,
+    ablate_hw, ablate_split, ablate_vfp, config, ext_cache, ext_spxp, ext_wholeobj, faults_bench,
+    fig5, fig9, fig_exec_scalability, lat1, parallel_bench, table5,
 };
 use dta_bench::{emit, Bench, ExperimentResult};
 use std::path::PathBuf;
@@ -29,6 +34,8 @@ struct Options {
     quick: bool,
     pes: u16,
     threads: Option<u16>,
+    fault_seed: u64,
+    fault_rate: Option<u32>,
     out: Option<PathBuf>,
 }
 
@@ -38,6 +45,8 @@ fn parse_args() -> Result<Options, String> {
         quick: false,
         pes: 8,
         threads: None,
+        fault_seed: 0xDA7A,
+        fault_rate: None,
         out: Some(PathBuf::from("results")),
     };
     let mut args = std::env::args().skip(1);
@@ -59,13 +68,29 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|_| "--threads needs a number")?,
                 );
             }
+            "--fault-seed" => {
+                let v = args.next().ok_or("--fault-seed needs a value")?;
+                opts.fault_seed = v
+                    .strip_prefix("0x")
+                    .map_or_else(|| v.parse().ok(), |h| u64::from_str_radix(h, 16).ok())
+                    .ok_or("--fault-seed needs a number")?;
+            }
+            "--fault-rate" => {
+                opts.fault_rate = Some(
+                    args.next()
+                        .ok_or("--fault-rate needs a value")?
+                        .parse()
+                        .map_err(|_| "--fault-rate needs a ppm number")?,
+                );
+            }
             "--out" => {
                 opts.out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?));
             }
             "--no-out" => opts.out = None,
             "--help" | "-h" => {
                 return Err(
-                    "usage: repro [EXPERIMENT ...] [--quick] [--pes N] [--threads N] [--out DIR]"
+                    "usage: repro [EXPERIMENT ...] [--quick] [--pes N] [--threads N] \
+                     [--fault-seed N] [--fault-rate PPM] [--out DIR]"
                         .into(),
                 )
             }
@@ -90,6 +115,7 @@ fn parse_args() -> Result<Options, String> {
             "ext-spxp",
             "ext-wholeobj",
             "parallel",
+            "faults",
         ]
         .map(str::to_string)
         .to_vec();
@@ -138,6 +164,13 @@ fn main() -> ExitCode {
             "ext-spxp" => ext_spxp(&suite, opts.pes),
             "ext-wholeobj" => ext_wholeobj(bitcnt_n, opts.pes),
             "parallel" => parallel_bench(if opts.quick { 16 } else { 64 }, opts.pes),
+            "faults" => {
+                let rates: Vec<u32> = match opts.fault_rate {
+                    Some(r) => vec![0, r],
+                    None => vec![0, 1_000, 10_000, 100_000],
+                };
+                faults_bench(&suite, opts.pes, opts.fault_seed, &rates)
+            }
             other => {
                 eprintln!("unknown experiment {other:?} (try --help)");
                 return ExitCode::FAILURE;

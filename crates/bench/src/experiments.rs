@@ -608,6 +608,78 @@ pub fn parallel_bench(mmul_n: usize, pes: u16) -> ExperimentResult {
     }
 }
 
+/// Fault-injection sweep (robustness PR): completion rate, retry cost,
+/// degradation, and cycle overhead vs an escalating injected fault rate.
+/// Written as `BENCH_faults.json` so successive PRs can track recovery
+/// behaviour. `rate` drives transient DMA failures directly; message
+/// faults and FALLOC denials ride along at a fraction of it.
+pub fn faults_bench(suite: &[Bench], pes: u16, seed: u64, rates: &[u32]) -> ExperimentResult {
+    use dta_core::FaultPlan;
+
+    const RUNS_PER_RATE: u64 = 3;
+    let mut rows = Vec::new();
+    let mut table = vec![vec![
+        "benchmark".to_string(),
+        "rate ppm".into(),
+        "completed".into(),
+        "mean retries".into(),
+        "exhausted".into(),
+        "degraded PEs".into(),
+        "fallbacks".into(),
+        "cycle overhead".into(),
+    ]];
+    for &bench in suite {
+        let clean = run(bench, Variant::HandPrefetch, pes8(pes));
+        for &rate in rates {
+            let mut completed = 0u64;
+            let (mut retries, mut exhausted, mut degraded, mut fallbacks, mut cycles) =
+                (0u64, 0u64, 0u64, 0u64, 0u64);
+            for k in 0..RUNS_PER_RATE {
+                let mut plan =
+                    FaultPlan::seeded(seed.wrapping_add(k).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+                plan.dma_fail_ppm = rate;
+                plan.msg_drop_ppm = rate / 10;
+                plan.msg_dup_ppm = rate / 10;
+                plan.msg_delay_ppm = rate / 10;
+                plan.falloc_deny_ppm = rate / 4;
+                let mut cfg = pes8(pes);
+                cfg.faults = Some(plan);
+                match try_run(bench, Variant::HandPrefetch, cfg) {
+                    Ok(mut row) => {
+                        completed += 1;
+                        retries += row.dma_retries;
+                        exhausted += row.dma_exhausted;
+                        degraded += row.degraded_pes;
+                        fallbacks += row.fallback_instances;
+                        cycles += row.cycles;
+                        row.fault_rate_ppm = Some(rate);
+                        row.fault_seed = Some(plan.seed);
+                        rows.push(row);
+                    }
+                    Err(e) => eprintln!("  [faults] run failed (counted as incomplete): {e}"),
+                }
+            }
+            let m = completed.max(1);
+            table.push(vec![
+                bench.name(),
+                rate.to_string(),
+                format!("{completed}/{RUNS_PER_RATE}"),
+                format!("{:.1}", retries as f64 / m as f64),
+                exhausted.to_string(),
+                format!("{:.1}", degraded as f64 / m as f64),
+                format!("{:.1}", fallbacks as f64 / m as f64),
+                format!("{:.2}x", (cycles as f64 / m as f64) / clean.cycles as f64),
+            ]);
+        }
+    }
+    ExperimentResult {
+        id: "BENCH_faults".into(),
+        title: "Fault-injection sweep: recovery cost and degradation vs rate".into(),
+        text: text_table(&table),
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -632,5 +704,14 @@ mod tests {
         let r = config();
         assert!(r.text.contains("512 MB"));
         assert!(r.text.contains("Tag ID"));
+    }
+
+    #[test]
+    fn quick_faults_sweep_reports_rates() {
+        let r = faults_bench(&[Bench::Mmul(8)], 2, 0xDA7A, &[0, 50_000]);
+        assert_eq!(r.id, "BENCH_faults");
+        assert!(r.rows.iter().any(|row| row.fault_rate_ppm == Some(50_000)));
+        assert!(r.rows.iter().all(|row| row.verified));
+        assert!(r.text.contains("cycle overhead"));
     }
 }

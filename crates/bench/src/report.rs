@@ -25,6 +25,12 @@ impl ToJson for Row {
             ("cache_hits", self.cache_hits.to_json()),
             ("cache_misses", self.cache_misses.to_json()),
             ("verified", self.verified.to_json()),
+            ("fault_rate_ppm", self.fault_rate_ppm.to_json()),
+            ("fault_seed", self.fault_seed.to_json()),
+            ("dma_retries", self.dma_retries.to_json()),
+            ("dma_exhausted", self.dma_exhausted.to_json()),
+            ("degraded_pes", self.degraded_pes.to_json()),
+            ("fallback_instances", self.fallback_instances.to_json()),
             ("wall_ms", self.wall_ms.to_json()),
             ("parallelism", self.parallelism.to_json()),
         ])

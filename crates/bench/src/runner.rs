@@ -100,6 +100,18 @@ pub struct Row {
     pub cache_misses: u64,
     /// Result checked against the host reference.
     pub verified: bool,
+    /// Injected transient DMA failure rate, ppm (`None` = no fault plan).
+    pub fault_rate_ppm: Option<u32>,
+    /// Fault-plan seed (`None` = no fault plan).
+    pub fault_seed: Option<u64>,
+    /// DMA command retries performed.
+    pub dma_retries: u64,
+    /// DMA commands that exhausted their retry budget.
+    pub dma_exhausted: u64,
+    /// PEs degraded to the PF-skip fallback path.
+    pub degraded_pes: u64,
+    /// Thread instances substituted with their fallback twin.
+    pub fallback_instances: u64,
     /// Host wall-clock for the run, milliseconds (only the `parallel`
     /// engine benchmark measures this; `None` elsewhere).
     pub wall_ms: Option<f64>,
@@ -181,6 +193,12 @@ fn row_from(
         cache_hits: stats.cache_hits,
         cache_misses: stats.cache_misses,
         verified,
+        fault_rate_ppm: None,
+        fault_seed: None,
+        dma_retries: stats.dma_retries,
+        dma_exhausted: stats.dma_exhausted,
+        degraded_pes: stats.degraded_pes.len() as u64,
+        fallback_instances: stats.fallback_instances,
         wall_ms: None,
         parallelism: None,
     }

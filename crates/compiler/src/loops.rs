@@ -387,6 +387,7 @@ mod tests {
             blocks: BlockMap::default(),
             frame_slots: 0,
             prefetch_bytes: 0,
+            fallback: None,
         };
         let err = find_loops(&t).unwrap_err();
         assert_eq!(err, LoopError::EntryIntoLoop { from: 0, to: 4 });

@@ -23,7 +23,9 @@
 use crate::analysis::{analyze, Analysis};
 use crate::regions::{plan, Plan, PlanOptions, Region, RegionShape, SkipReason};
 use crate::sym::Affine;
-use dta_isa::{AluOp, BlockMap, Instr, Program, Reg, Src, ThreadCode, NUM_REGS, PREFETCH_BASE_REG};
+use dta_isa::{
+    AluOp, BlockMap, Instr, Program, Reg, Src, ThreadCode, ThreadId, NUM_REGS, PREFETCH_BASE_REG,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Transformation options.
@@ -47,6 +49,9 @@ pub enum ThreadSkip {
     NoScratchRegisters,
     /// Nothing was decouplable.
     NothingDecouplable,
+    /// The thread is another thread's degradation fallback and must stay
+    /// PF-free.
+    FallbackTarget,
 }
 
 /// Per-thread transformation report.
@@ -457,6 +462,7 @@ pub fn prefetch_thread(thread: &ThreadCode, opts: &TransformOptions) -> (ThreadC
         blocks,
         frame_slots: thread.frame_slots,
         prefetch_bytes: region_plan.buffer_bytes.max(16),
+        fallback: None,
     };
 
     let report = ThreadReport {
@@ -473,14 +479,51 @@ pub fn prefetch_thread(thread: &ThreadCode, opts: &TransformOptions) -> (ThreadC
 
 /// Transforms every thread of a program (threads without global reads are
 /// untouched, as in the paper).
+///
+/// Each transformed thread also keeps its untouched original appended at
+/// the end of the program as a `__nopf` twin and linked via
+/// [`ThreadCode::fallback`], so a PE whose DMA engine has been declared
+/// unusable can re-run the thread without a PF block (same frame inputs,
+/// same results, baseline blocking READs).
 pub fn prefetch_program(program: &Program, opts: &TransformOptions) -> (Program, ProgramReport) {
+    let protected: BTreeSet<usize> = program
+        .threads
+        .iter()
+        .filter_map(|t| t.fallback.map(|f| f.index()))
+        .collect();
     let mut threads = Vec::with_capacity(program.threads.len());
     let mut reports = Vec::with_capacity(program.threads.len());
-    for t in &program.threads {
+    for (i, t) in program.threads.iter().enumerate() {
+        if protected.contains(&i) {
+            let reads = t
+                .code
+                .iter()
+                .filter(|i| matches!(i, Instr::Read { .. }))
+                .count();
+            threads.push(t.clone());
+            reports.push(skip_report(t, reads, ThreadSkip::FallbackTarget));
+            continue;
+        }
         let (nt, rep) = prefetch_thread(t, opts);
         threads.push(nt);
         reports.push(rep);
     }
+    // Append baseline twins after the original id range so existing
+    // FORK immediates keep pointing at the (now prefetching) threads.
+    let mut fallbacks = Vec::new();
+    for (i, rep) in reports.iter().enumerate() {
+        if !rep.transformed() {
+            continue;
+        }
+        let mut twin = program.threads[i].clone();
+        twin.name = format!("{}__nopf", twin.name);
+        debug_assert_eq!(twin.blocks.pf_end, 0);
+        debug_assert_eq!(twin.prefetch_bytes, 0);
+        let id = ThreadId((threads.len() + fallbacks.len()) as u32);
+        threads[i].fallback = Some(id);
+        fallbacks.push(twin);
+    }
+    threads.extend(fallbacks);
     (
         Program {
             threads,

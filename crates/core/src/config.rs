@@ -9,7 +9,7 @@
 //! * Topology: one node with eight SPE-like PEs and one DSE (the CellDTA
 //!   arrangement; `nodes` > 1 exercises DTA's inter-node forwarding).
 
-use dta_mem::{BusModel, MemoryModel, MemorySystem, MfcParams};
+use dta_mem::{BusModel, DmaFaultPlan, MemoryModel, MemorySystem, MfcParams};
 use dta_sched::{DseParams, LseParams};
 
 /// How the simulator itself executes on the host.
@@ -28,6 +28,107 @@ pub enum Parallelism {
     Threads(u16),
     /// `Threads(available_parallelism())`.
     Auto,
+}
+
+/// Seeded, deterministic fault-injection plan.
+///
+/// Every fault decision is a pure function of `(seed, site, stable key)`
+/// — per-MFC command index, message stamp, per-DSE request counter — so
+/// a plan's schedule is reproducible from its seed and bit-identical
+/// across `Parallelism::Off` and `Parallelism::Threads(n)`. Rates are in
+/// parts-per-million (integer-only config). `FaultPlan::default()` is
+/// benign: all rates zero, recovery budgets and the watchdog armed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for every roll.
+    pub seed: u64,
+
+    /// Per-attempt transient MFC command failure rate (ppm). Recovered
+    /// by bounded retry with exponential backoff.
+    pub dma_fail_ppm: u32,
+    /// Per-command permanent MFC stall rate (ppm). Unrecoverable: the
+    /// watchdog converts the resulting quiescence into a typed error.
+    pub dma_stall_ppm: u32,
+    /// Retries after the first attempt before the MFC gives up,
+    /// completes via the fail-safe slow path, and degrades its PE
+    /// (subsequent threads there skip the PF block).
+    pub dma_retry_budget: u32,
+    /// First-retry backoff in cycles; doubles per retry.
+    pub dma_backoff_base: u64,
+
+    /// Scheduler-message drop rate (ppm). Recovered by an idempotent
+    /// re-send with a fresh sequence stamp after `msg_resend_timeout`.
+    pub msg_drop_ppm: u32,
+    /// Scheduler-message duplication rate (ppm). The duplicate carries a
+    /// marked stamp and is discarded at delivery.
+    pub msg_dup_ppm: u32,
+    /// Scheduler-message delay rate (ppm); delayed messages arrive
+    /// `msg_delay_jitter` cycles late.
+    pub msg_delay_ppm: u32,
+    /// Re-send latency for dropped messages, cycles.
+    pub msg_resend_timeout: u64,
+    /// Added latency for delayed messages, cycles.
+    pub msg_delay_jitter: u64,
+
+    /// FALLOC arbitration denial rate (ppm): the DSE behaves as if frame
+    /// memory were exhausted and queues the request. Recovered by a
+    /// re-arbitration timer after `falloc_retry_timeout`.
+    pub falloc_deny_ppm: u32,
+    /// Re-arbitration timer for denied FALLOCs, cycles.
+    pub falloc_retry_timeout: u64,
+
+    /// Per-PE watchdog: after this many consecutive retry cycles on one
+    /// instruction the instance is parked off the pipeline (re-readied by
+    /// a DMA completion, or reported by the quiescence watchdog if none
+    /// ever comes).
+    pub watchdog_spin_limit: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            dma_fail_ppm: 0,
+            dma_stall_ppm: 0,
+            dma_retry_budget: 4,
+            dma_backoff_base: 64,
+            msg_drop_ppm: 0,
+            msg_dup_ppm: 0,
+            msg_delay_ppm: 0,
+            msg_resend_timeout: 200,
+            msg_delay_jitter: 23,
+            falloc_deny_ppm: 0,
+            falloc_retry_timeout: 500,
+            watchdog_spin_limit: 100_000,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A benign plan with a seed (useful as a sweep baseline).
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Derives the per-MFC DMA fault schedule for global PE index `pe`.
+    pub fn dma_plan_for(&self, pe: u16) -> DmaFaultPlan {
+        DmaFaultPlan {
+            seed: self.seed,
+            salt: pe as u64,
+            fail_ppm: self.dma_fail_ppm,
+            stall_ppm: self.dma_stall_ppm,
+            retry_budget: self.dma_retry_budget,
+            backoff_base: self.dma_backoff_base,
+        }
+    }
+
+    /// Do any message-level fault sites fire at all?
+    pub fn has_msg_faults(&self) -> bool {
+        self.msg_drop_ppm > 0 || self.msg_dup_ppm > 0 || self.msg_delay_ppm > 0
+    }
 }
 
 /// Full system configuration.
@@ -109,6 +210,10 @@ pub struct SystemConfig {
     /// Host-side execution strategy (simulated results are identical in
     /// every mode).
     pub parallelism: Parallelism,
+
+    /// Deterministic fault injection (`None` = the fault-free model;
+    /// recovery machinery and the watchdog are armed only when set).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SystemConfig {
@@ -152,6 +257,7 @@ impl SystemConfig {
             trace_capacity: 200_000,
             max_cycles: 2_000_000_000,
             parallelism: Parallelism::Off,
+            faults: None,
         }
     }
 

@@ -28,7 +28,8 @@
 //! on the calling thread instead of paying barrier rendezvous with no
 //! hardware parallelism behind them.
 
-use crate::config::SystemConfig;
+use crate::config::{FaultPlan, SystemConfig};
+use crate::fault::{msg_exempt, transform, FaultCounters, DUP_STAMP_BIT};
 use crate::pipeline::{Activity, MemPort, OutMsg, Pe, SysCtx, Ticket, TicketKind};
 use crate::stats::RunStats;
 use crate::system::{deliver, DeliverEnv, Event, RunError, System};
@@ -93,6 +94,14 @@ struct Shard {
     nodes: u16,
     pes_per_node: u16,
     msg_latency: u64,
+    /// Message-fault plan, pre-filtered to `None` when no message rates
+    /// are configured (DMA/FALLOC faults don't touch routing).
+    msg_faults: Option<FaultPlan>,
+    /// The whole fault plan (drives the deliver-time FALLOC denial roll).
+    faults: Option<FaultPlan>,
+    /// This shard's message-fault counters (merged into the system at
+    /// reassembly).
+    fault_counts: FaultCounters,
 }
 
 impl Shard {
@@ -104,25 +113,37 @@ impl Shard {
 
     /// Moves everything in `posts` into the local queue (clamped to
     /// strictly-future delivery, like the sequential engine's `post`) or
-    /// the cross-shard buffer.
+    /// the cross-shard buffer. Message faults are applied *here*, before
+    /// the local/remote split — the same single injection point per post
+    /// as the sequential engine's `post`, rolled on the same stamp key, so
+    /// both engines fault the same messages identically. Transforms only
+    /// ever increase delivery time, so they cannot violate the epoch
+    /// horizon.
     fn route_posts(&mut self, t: u64) {
         let pe_end = self.pe_base + self.pes.len() as u16;
         let dse_end = self.dse_base + self.dses.len() as u16;
         let mut posts = std::mem::take(&mut self.posts);
         for (time, to, msg, stamp) in posts.drain(..) {
+            let time = time.max(t + 1);
+            let ((time, stamp), dup) = match self.msg_faults {
+                Some(f) if !msg_exempt(&msg) => transform(&f, time, stamp, &mut self.fault_counts),
+                _ => ((time, stamp), None),
+            };
             let local = match to {
                 Dest::Dse(n) => n >= self.dse_base && n < dse_end,
                 Dest::Lse(p) | Dest::Pipeline(p) => p >= self.pe_base && p < pe_end,
             };
-            if local {
-                self.events.push(Event {
-                    time: time.max(t + 1),
-                    stamp,
-                    to,
-                    msg,
-                });
-            } else {
-                self.remote.push((time, to, msg, stamp));
+            for (time, stamp) in dup.into_iter().chain(std::iter::once((time, stamp))) {
+                if local {
+                    self.events.push(Event {
+                        time,
+                        stamp,
+                        to,
+                        msg,
+                    });
+                } else {
+                    self.remote.push((time, to, msg, stamp));
+                }
             }
         }
         self.posts = posts;
@@ -139,6 +160,11 @@ impl Shard {
 
             while self.events.peek().is_some_and(|e| e.time <= t) {
                 let e = self.events.pop().expect("peeked");
+                if e.stamp.seq & DUP_STAMP_BIT != 0 {
+                    // Injected duplicate — discard (same rule as the
+                    // sequential engine's event pop).
+                    continue;
+                }
                 let mut env = DeliverEnv {
                     pes: &mut self.pes,
                     pe_base: self.pe_base,
@@ -151,6 +177,7 @@ impl Shard {
                     msg_latency: self.msg_latency,
                     trace: &mut self.trace,
                     posts: &mut self.posts,
+                    faults: self.faults,
                 };
                 deliver(&mut env, t, e.to, e.msg);
                 self.route_posts(t);
@@ -251,15 +278,34 @@ fn merge_epoch(shards: &mut [&mut Shard], ctx: &mut MergeCtx<'_>) -> u64 {
             TicketKind::Dma { cmd, owner, stamp } => {
                 let pe = &mut shard.pes[idx];
                 let done = pe.mfc.commit(tk.time, cmd, ctx.memsys, &mut pe.ls, ctx.mem);
-                shard.events.push(Event {
-                    time: done.at.max(tk.time + 1),
-                    stamp,
-                    to: Dest::Lse(tk.pe),
-                    msg: Message::DmaDone {
-                        owner,
-                        tag: done.tag,
-                    },
-                });
+                if done.stalled {
+                    // Permanently stalled by fault injection: no data
+                    // moved and no completion is ever delivered (mirrors
+                    // the sequential Direct arm).
+                    continue;
+                }
+                // The completion takes the same fault rolls as the
+                // sequential engine's post of this very message (same
+                // stamp, so same key).
+                let msg = Message::DmaDone {
+                    owner,
+                    tag: done.tag,
+                };
+                let time = done.at.max(tk.time + 1);
+                let ((time, stamp), dup) = match shard.msg_faults {
+                    Some(f) if !msg_exempt(&msg) => {
+                        transform(&f, time, stamp, &mut shard.fault_counts)
+                    }
+                    _ => ((time, stamp), None),
+                };
+                for (time, stamp) in dup.into_iter().chain(std::iter::once((time, stamp))) {
+                    shard.events.push(Event {
+                        time,
+                        stamp,
+                        to: Dest::Lse(tk.pe),
+                        msg,
+                    });
+                }
             }
         }
     }
@@ -392,6 +438,9 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
                 nodes: sys.config.nodes,
                 pes_per_node: sys.config.pes_per_node,
                 msg_latency: sys.config.msg_latency,
+                msg_faults: sys.config.faults.filter(|f| f.has_msg_faults()),
+                faults: sys.config.faults,
+                fault_counts: FaultCounters::default(),
             });
             next_pe += n;
         }
@@ -528,6 +577,7 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
         sys.pes.append(&mut shard.pes);
         sys.dses.append(&mut shard.dses);
         sys.dse_stamps.append(&mut shard.dse_stamps);
+        sys.fault_counts.absorb(shard.fault_counts);
     }
     // The deepest cycle any shard's body visited is exactly the sequential
     // engine's final `now`: every shard-visited cycle is also visited by
@@ -536,11 +586,11 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
     sys.now = now;
 
     match outcome {
-        Outcome::CycleLimit => Err(RunError::CycleLimit(max_cycles)),
+        Outcome::CycleLimit => Err(sys.cycle_limit_error()),
         Outcome::Exhausted => {
             let live: usize = sys.pes.iter().map(|p| p.lse.live_instances()).sum();
             if live > 0 {
-                return Err(sys.deadlock_error());
+                return Err(sys.quiescence_error());
             }
             let final_cycle = sys.now.max(sys.drain_until);
             for pe in &mut sys.pes {

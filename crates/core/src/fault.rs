@@ -1,0 +1,195 @@
+//! Message-level fault injection for the core engines.
+//!
+//! DMA faults are resolved inside the MFC (see `dta_mem::fault`); this
+//! module handles the *protocol* faults — dropping, duplicating and
+//! delaying LSE↔DSE messages — plus the bookkeeping both engines share.
+//!
+//! Every decision is a pure roll on the message's deterministic source
+//! stamp ([`MsgSeq`]), so the sequential and epoch-sharded engines
+//! transform exactly the same messages in exactly the same way. All
+//! transforms only ever *increase* delivery time, which keeps the sharded
+//! engine's epoch horizon sound (a message can never be moved into an
+//! epoch that already executed).
+//!
+//! Recovery model:
+//!
+//! * **drop** — the message is lost on the wire; the sender's idempotent
+//!   re-send delivers it `msg_resend_timeout` cycles later with a fresh
+//!   stamp (the original stamp tagged [`RESEND_STAMP_BIT`], preserving
+//!   stamp uniqueness and the deterministic `(time, stamp)` tie-break).
+//! * **duplicate** — a second copy is delivered carrying
+//!   [`DUP_STAMP_BIT`]; receivers discard marked copies at event pop, so
+//!   duplicates cost network determinism nothing and handlers stay
+//!   single-delivery.
+//! * **delay** — delivery slips by `msg_delay_jitter` cycles.
+//!
+//! `FallocRetry` (the denial-recovery timer) and `ReadDone` (carries a
+//! synthetic stamp already) are exempt: faulting the recovery path itself
+//! would turn bounded recovery into unbounded recursion.
+
+use crate::config::FaultPlan;
+use dta_mem::fault::{roll, SITE_MSG_DELAY, SITE_MSG_DROP, SITE_MSG_DUP};
+use dta_sched::{Message, MsgSeq};
+
+/// Stamp-sequence bit marking a duplicated copy (discarded at delivery).
+pub const DUP_STAMP_BIT: u64 = 1 << 62;
+/// Stamp-sequence bit marking the re-send of a dropped message.
+pub const RESEND_STAMP_BIT: u64 = 1 << 61;
+
+/// Shared message-fault counters (per engine shard; merged at collect).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Messages dropped on the wire (each recovered by one re-send).
+    pub msgs_dropped: u64,
+    /// Duplicate copies injected (each discarded at delivery).
+    pub msgs_duplicated: u64,
+    /// Messages whose delivery slipped by the configured jitter.
+    pub msgs_delayed: u64,
+}
+
+impl FaultCounters {
+    /// Adds another counter set into this one (shard merge).
+    pub fn absorb(&mut self, other: FaultCounters) {
+        self.msgs_dropped += other.msgs_dropped;
+        self.msgs_duplicated += other.msgs_duplicated;
+        self.msgs_delayed += other.msgs_delayed;
+    }
+
+    /// Any fault recorded at all?
+    pub fn any(&self) -> bool {
+        self.msgs_dropped + self.msgs_duplicated + self.msgs_delayed > 0
+    }
+}
+
+/// Messages the injector must never touch: the recovery timer itself and
+/// the synthetic-stamped scalar-read completion.
+pub fn msg_exempt(msg: &Message) -> bool {
+    matches!(msg, Message::FallocRetry | Message::ReadDone { .. })
+}
+
+/// Applies the message-fault rolls of `plan` to a delivery scheduled at
+/// `(time, stamp)`. Returns the (possibly transformed) primary delivery
+/// and an optional duplicate copy. The caller must have checked
+/// [`msg_exempt`] first.
+pub fn transform(
+    plan: &FaultPlan,
+    time: u64,
+    stamp: MsgSeq,
+    counts: &mut FaultCounters,
+) -> ((u64, MsgSeq), Option<(u64, MsgSeq)>) {
+    let key = ((stamp.src_rank as u64) << 40) ^ stamp.seq;
+    if roll(plan.seed, SITE_MSG_DROP, key, plan.msg_drop_ppm) {
+        // Lost on the wire; the idempotent re-send is the only delivery.
+        counts.msgs_dropped += 1;
+        let resent = MsgSeq {
+            src_rank: stamp.src_rank,
+            seq: stamp.seq | RESEND_STAMP_BIT,
+        };
+        return ((time + plan.msg_resend_timeout, resent), None);
+    }
+    let mut at = time;
+    if roll(plan.seed, SITE_MSG_DELAY, key, plan.msg_delay_ppm) {
+        counts.msgs_delayed += 1;
+        at += plan.msg_delay_jitter;
+    }
+    let dup = if roll(plan.seed, SITE_MSG_DUP, key, plan.msg_dup_ppm) {
+        counts.msgs_duplicated += 1;
+        Some((
+            at,
+            MsgSeq {
+                src_rank: stamp.src_rank,
+                seq: stamp.seq | DUP_STAMP_BIT,
+            },
+        ))
+    } else {
+        None
+    };
+    ((at, stamp), dup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(drop: u32, dup: u32, delay: u32) -> FaultPlan {
+        FaultPlan {
+            msg_drop_ppm: drop,
+            msg_dup_ppm: dup,
+            msg_delay_ppm: delay,
+            ..FaultPlan::seeded(0x5EED)
+        }
+    }
+
+    fn stamp(rank: u32, seq: u64) -> MsgSeq {
+        MsgSeq {
+            src_rank: rank,
+            seq,
+        }
+    }
+
+    #[test]
+    fn benign_plan_is_identity() {
+        let p = plan(0, 0, 0);
+        let mut c = FaultCounters::default();
+        let ((t, s), dup) = transform(&p, 100, stamp(3, 7), &mut c);
+        assert_eq!((t, s), (100, stamp(3, 7)));
+        assert!(dup.is_none());
+        assert!(!c.any());
+    }
+
+    #[test]
+    fn drop_resends_later_with_marked_stamp() {
+        let p = plan(1_000_000, 1_000_000, 1_000_000);
+        let mut c = FaultCounters::default();
+        let ((t, s), dup) = transform(&p, 100, stamp(1, 5), &mut c);
+        assert_eq!(t, 100 + p.msg_resend_timeout);
+        assert_eq!(s.seq, 5 | RESEND_STAMP_BIT);
+        assert_eq!(s.src_rank, 1);
+        // Drop excludes the other faults.
+        assert!(dup.is_none());
+        assert_eq!(
+            (c.msgs_dropped, c.msgs_duplicated, c.msgs_delayed),
+            (1, 0, 0)
+        );
+    }
+
+    #[test]
+    fn dup_copies_the_delayed_time() {
+        let p = plan(0, 1_000_000, 1_000_000);
+        let mut c = FaultCounters::default();
+        let ((t, s), dup) = transform(&p, 100, stamp(2, 9), &mut c);
+        assert_eq!(t, 100 + p.msg_delay_jitter);
+        assert_eq!(s, stamp(2, 9), "primary stamp is unchanged");
+        let (dt, ds) = dup.expect("dup fires at 100%");
+        assert_eq!(dt, t);
+        assert_eq!(ds.seq, 9 | DUP_STAMP_BIT);
+        assert_eq!(
+            (c.msgs_dropped, c.msgs_duplicated, c.msgs_delayed),
+            (0, 1, 1)
+        );
+    }
+
+    #[test]
+    fn transforms_never_deliver_earlier() {
+        let p = plan(400_000, 400_000, 400_000);
+        let mut c = FaultCounters::default();
+        for seq in 0..2_000u64 {
+            let ((t, _), dup) = transform(&p, 50, stamp(0, seq), &mut c);
+            assert!(t >= 50);
+            if let Some((dt, _)) = dup {
+                assert!(dt >= 50);
+            }
+        }
+        assert!(c.any(), "40% rates must fire over 2000 rolls");
+    }
+
+    #[test]
+    fn exemptions_cover_recovery_messages() {
+        assert!(msg_exempt(&Message::FallocRetry));
+        assert!(msg_exempt(&Message::ReadDone {
+            value: 0,
+            ready_at: 0
+        }));
+        assert!(!msg_exempt(&Message::FrameFreed { pe: 0 }));
+    }
+}

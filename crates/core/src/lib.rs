@@ -48,12 +48,14 @@
 
 pub mod config;
 pub(crate) mod engine;
+pub mod fault;
 pub mod pipeline;
 pub mod stats;
 pub mod system;
 pub mod trace;
 
-pub use config::{Parallelism, SystemConfig};
+pub use config::{FaultPlan, Parallelism, SystemConfig};
+pub use fault::FaultCounters;
 pub use pipeline::{Activity, Pe, PipelineParams};
 pub use stats::{Breakdown, PeStats, RunStats, StallCat};
 pub use system::{simulate, RunError, System};

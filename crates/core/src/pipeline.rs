@@ -217,6 +217,20 @@ pub struct Pe {
     /// Which stall bucket a too-early consumer of each register charges.
     reg_stall: [StallCat; NUM_REGS],
     idle_since: Option<u64>,
+    /// A DMA command on this PE exhausted its retry budget: subsequent
+    /// frame allocations substitute the thread's PF-skipping fallback (the
+    /// baseline decoupled READ/WRITE path) when the program provides one.
+    pub degraded: bool,
+    /// Instances dispatched on a fallback (PF-skipped) thread body.
+    pub fallbacks: u64,
+    /// Watchdog: consecutive cycles the current instruction has retried
+    /// without issuing.
+    spin: u64,
+    /// Watchdog spin bound; `None` when fault injection is off, so
+    /// fault-free runs are cycle-identical to the unwatched pipeline.
+    watchdog_spin_limit: Option<u64>,
+    /// Instances parked off the pipeline by the spin watchdog.
+    pub watchdog_parks: u64,
     /// Executed-instruction counters.
     pub stats: PeStats,
     /// Pipeline-level trace events, drained by the system each tick.
@@ -254,9 +268,22 @@ impl Pe {
             reg_ready: [0; NUM_REGS],
             reg_stall: [StallCat::Working; NUM_REGS],
             idle_since: None,
+            degraded: false,
+            fallbacks: 0,
+            spin: 0,
+            watchdog_spin_limit: None,
+            watchdog_parks: 0,
             stats: PeStats::default(),
             trace_log: Vec::new(),
         }
+    }
+
+    /// Arms the spin watchdog: after `limit` consecutive retry cycles on
+    /// one instruction the current instance is parked off the pipeline
+    /// (recoverable if its DMA completions ever arrive; a quiescent park
+    /// is reported as a watchdog trip instead of a silent hang).
+    pub fn arm_watchdog(&mut self, limit: u64) {
+        self.watchdog_spin_limit = Some(limit.max(1));
     }
 
     /// Global PE index.
@@ -319,15 +346,13 @@ impl Pe {
     /// pipeline so other ready threads can run; its grant arrives later as
     /// a normal response.
     pub fn defer_falloc(&mut self, now: u64, for_inst: InstanceId) {
-        let rd = self
-            .waiting_falloc
-            .take()
-            .expect("FallocDeferred without a waiting FALLOC");
-        let id = self
-            .current
-            .take()
-            .expect("FallocDeferred with no current thread");
-        assert_eq!(id, for_inst, "FallocDeferred correlation mismatch");
+        if self.waiting_falloc.is_none() || self.current != Some(for_inst) {
+            // Under injected message delays a nack can arrive after the
+            // grant already completed the FALLOC; it is stale — ignore it.
+            return;
+        }
+        let rd = self.waiting_falloc.take().expect("checked");
+        let id = self.current.take().expect("checked");
         let inst = self.lse.instance_mut(id);
         inst.pending_falloc = Some(rd);
         inst.state = ThreadState::WaitFalloc;
@@ -496,8 +521,15 @@ impl Pe {
         if let Exec::Retry(cat) = r1 {
             self.stats.add_cycles(cat, 1);
             self.stats.dma_queue_retries += 1;
+            self.spin += 1;
+            if let Some(limit) = self.watchdog_spin_limit {
+                if self.spin >= limit {
+                    return self.watchdog_park(now, id);
+                }
+            }
             return Activity::Active;
         }
+        self.spin = 0;
 
         self.stats.record_issue(i1.class());
         self.count_mem_op(&i1);
@@ -583,6 +615,23 @@ impl Pe {
                 Activity::Active
             }
         }
+    }
+
+    /// Parks the current instance after `watchdog_spin_limit` consecutive
+    /// retry cycles on one instruction. The pc is *not* advanced: if the
+    /// instance's outstanding DMA completions ever arrive it is re-readied
+    /// and re-executes the same (idempotent) instruction — `DMAWAIT`
+    /// re-checks its tag, a DMA enqueue re-attempts admission. If nothing
+    /// re-readies it the machine quiesces and the run ends with a typed
+    /// watchdog error instead of spinning to the cycle limit.
+    fn watchdog_park(&mut self, now: u64, id: InstanceId) -> Activity {
+        self.spin = 0;
+        self.watchdog_parks += 1;
+        let inst = self.lse.instance_mut(id);
+        inst.state = ThreadState::WaitDma;
+        self.current = None;
+        self.record(now, id, TraceKind::WaitDma);
+        Activity::Active
     }
 
     fn apply_branch_penalty(&mut self, now: u64, cat: StallCat) {
@@ -858,24 +907,28 @@ impl Pe {
         };
         match &mut ctx.port {
             MemPort::Direct { sys, mem } => {
-                match self.mfc.enqueue(now, cmd, sys, &mut self.ls, mem) {
-                    Some(done) => {
-                        self.lse.instance_mut(id).dma_issued(cmd.tag);
-                        self.record(now, id, TraceKind::DmaIssued { tag: cmd.tag });
-                        let stamp = self.stamp.bump();
-                        ctx.out.push((
-                            done.at.max(now + 1),
-                            Dest::Lse(self.pe),
-                            Message::DmaDone {
-                                owner: id,
-                                tag: cmd.tag,
-                            },
-                            stamp,
-                        ));
-                        Exec::Next
-                    }
-                    None => retry(in_pf),
+                let Some(plan) = self.mfc.admit(now) else {
+                    return retry(in_pf);
+                };
+                if plan.exhausted {
+                    self.degraded = true;
                 }
+                let done = self.mfc.commit(now, cmd, sys, &mut self.ls, mem);
+                self.lse.instance_mut(id).dma_issued(cmd.tag);
+                self.record(now, id, TraceKind::DmaIssued { tag: cmd.tag });
+                let stamp = self.stamp.bump();
+                if !done.stalled {
+                    ctx.out.push((
+                        done.at.max(now + 1),
+                        Dest::Lse(self.pe),
+                        Message::DmaDone {
+                            owner: id,
+                            tag: cmd.tag,
+                        },
+                        stamp,
+                    ));
+                }
+                Exec::Next
             }
             MemPort::Deferred { tickets } => {
                 // Admission is decidable shard-locally: commands issued
@@ -883,9 +936,16 @@ impl Pe {
                 // outstanding set plus the admitted-pending counter is
                 // exact. The coordinator moves the data and schedules the
                 // completion; the stamp is consumed now so per-PE stamp
-                // streams match the sequential engine.
-                if !self.mfc.admit(now) {
+                // streams match the sequential engine. The fault outcome
+                // is planned at admission too, so retry exhaustion flips
+                // the degraded flag at the same logical point in both
+                // engines (the coordinator skips the completion event for
+                // stalled commands, mirroring the Direct arm).
+                let Some(plan) = self.mfc.admit(now) else {
                     return retry(in_pf);
+                };
+                if plan.exhausted {
+                    self.degraded = true;
                 }
                 self.lse.instance_mut(id).dma_issued(cmd.tag);
                 self.record(now, id, TraceKind::DmaIssued { tag: cmd.tag });
@@ -1002,11 +1062,30 @@ impl Pe {
                 }
                 Instr::DmaGet { .. } | Instr::DmaGetStrided { .. } | Instr::DmaPut { .. } => {
                     // Re-use the pipeline's command construction, retrying
-                    // on a full MFC queue at SP pace.
+                    // on a full MFC queue at SP pace. Under fault injection
+                    // a stalled command can wedge the queue forever, so
+                    // the watchdog bounds the retries: the offload is
+                    // abandoned at this pc and the main pipeline resumes
+                    // the PF block here if a completion ever re-readies
+                    // the instance.
+                    let mut spins: u64 = 0;
                     loop {
                         match self.exec(t, id, i, true, ctx) {
                             Exec::Next => break,
-                            Exec::Retry(_) => t += 1,
+                            Exec::Retry(_) => {
+                                t += 1;
+                                spins += 1;
+                                if self.watchdog_spin_limit.is_some_and(|l| spins >= l) {
+                                    self.watchdog_parks += 1;
+                                    self.sp_free_at = t;
+                                    self.stats.sp_pf_cycles += t - start;
+                                    let inst = self.lse.instance_mut(id);
+                                    inst.pc = pc;
+                                    inst.state = ThreadState::WaitDma;
+                                    self.record(now, id, TraceKind::WaitDma);
+                                    return;
+                                }
+                            }
                             _ => unreachable!("DMA exec is Next or Retry"),
                         }
                     }

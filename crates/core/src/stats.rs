@@ -257,6 +257,36 @@ pub struct RunStats {
     pub cache_hits: u64,
     /// Cache misses across all PEs.
     pub cache_misses: u64,
+    /// Fault injection & recovery — all zero on a fault-free run.
+    ///
+    /// Total DMA engine attempts (one per command plus one per retry).
+    pub dma_attempts: u64,
+    /// Retried DMA attempts across all MFCs.
+    pub dma_retries: u64,
+    /// DMA commands that exhausted their retry budget (completed via the
+    /// fail-safe slow path; their PE degraded).
+    pub dma_exhausted: u64,
+    /// DMA commands permanently stalled by injection.
+    pub dma_stalled: u64,
+    /// Total exponential-backoff cycles spent by DMA retries.
+    pub dma_backoff_cycles: u64,
+    /// Protocol messages dropped (each recovered by an idempotent
+    /// re-send).
+    pub msgs_dropped: u64,
+    /// Duplicate protocol messages injected (each discarded at delivery).
+    pub msgs_duplicated: u64,
+    /// Protocol messages delivered late by injected jitter.
+    pub msgs_delayed: u64,
+    /// FALLOC arbitrations denied by injection (each recovered by the
+    /// retry timer).
+    pub falloc_denials: u64,
+    /// PEs that were degraded (retry budget exhausted) at run end, sorted
+    /// by PE index.
+    pub degraded_pes: Vec<u16>,
+    /// Instances that ran a PF-skipping fallback thread body.
+    pub fallback_instances: u64,
+    /// Instances parked off a pipeline by the spin watchdog.
+    pub watchdog_parks: u64,
 }
 
 impl RunStats {
@@ -322,6 +352,18 @@ impl ToJson for RunStats {
             ("max_dse_pending", self.max_dse_pending.to_json()),
             ("cache_hits", self.cache_hits.to_json()),
             ("cache_misses", self.cache_misses.to_json()),
+            ("dma_attempts", self.dma_attempts.to_json()),
+            ("dma_retries", self.dma_retries.to_json()),
+            ("dma_exhausted", self.dma_exhausted.to_json()),
+            ("dma_stalled", self.dma_stalled.to_json()),
+            ("dma_backoff_cycles", self.dma_backoff_cycles.to_json()),
+            ("msgs_dropped", self.msgs_dropped.to_json()),
+            ("msgs_duplicated", self.msgs_duplicated.to_json()),
+            ("msgs_delayed", self.msgs_delayed.to_json()),
+            ("falloc_denials", self.falloc_denials.to_json()),
+            ("degraded_pes", self.degraded_pes.to_json()),
+            ("fallback_instances", self.fallback_instances.to_json()),
+            ("watchdog_parks", self.watchdog_parks.to_json()),
         ])
     }
 }

@@ -13,11 +13,13 @@
 //! event. Arbitration everywhere is deterministic, so a given
 //! (program, config) pair always produces identical results.
 
-use crate::config::{Parallelism, SystemConfig};
+use crate::config::{FaultPlan, Parallelism, SystemConfig};
+use crate::fault::{msg_exempt, transform, FaultCounters, DUP_STAMP_BIT};
 use crate::pipeline::{Activity, MemPort, OutMsg, Pe, PipelineParams, SysCtx};
 use crate::stats::{PeStats, RunStats};
 use crate::trace::{Trace, TraceKind, TraceRecord};
 use dta_isa::{validate_program, Program, ValidationError};
+use dta_mem::fault::{roll, SITE_FALLOC_DENY};
 use dta_mem::{MainMemory, MemorySystem};
 use dta_sched::dse::FallocDecision;
 use dta_sched::{Dest, Dse, InstanceId, Message, MsgSeq, PendingFalloc, ThreadState};
@@ -54,8 +56,35 @@ pub enum RunError {
         /// instances are omitted).
         pes: Vec<DeadlockPe>,
     },
-    /// `max_cycles` exceeded.
-    CycleLimit(u64),
+    /// The system quiesced with live instances *and* hard fault evidence
+    /// (stalled DMA commands or watchdog parks): an injected unrecoverable
+    /// fault, not a program bug. Same diagnostic payload as
+    /// [`RunError::Deadlock`].
+    Watchdog {
+        /// Cycle at which the watchdog classified the quiescence.
+        cycle: u64,
+        /// Instances still alive.
+        live: usize,
+        /// Permanently stalled DMA commands across all MFCs.
+        stalled_dma: u64,
+        /// Instances parked off a pipeline by the spin watchdog.
+        parked: u64,
+        /// Per-PE breakdown of the stuck instances (PEs with no live
+        /// instances are omitted).
+        pes: Vec<DeadlockPe>,
+    },
+    /// `max_cycles` exceeded; carries the same per-PE live-instance
+    /// breakdown as [`RunError::Deadlock`] so a spinning run is as
+    /// diagnosable as a wedged one.
+    CycleLimit {
+        /// The configured cycle budget that was exceeded.
+        cycle: u64,
+        /// Instances still alive.
+        live: usize,
+        /// Per-PE breakdown of the live instances (PEs with no live
+        /// instances are omitted).
+        pes: Vec<DeadlockPe>,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -71,17 +100,41 @@ impl fmt::Display for RunError {
             RunError::Launch(msg) => write!(f, "launch failed: {msg}"),
             RunError::Deadlock { cycle, live, pes } => {
                 write!(f, "deadlock at cycle {cycle}: {live} instances still alive")?;
-                for p in pes {
-                    write!(f, "\n  pe {}:", p.pe)?;
-                    for (id, state) in &p.instances {
-                        write!(f, " {id}:{state:?}")?;
-                    }
-                }
-                Ok(())
+                write_pe_report(f, pes)
             }
-            RunError::CycleLimit(n) => write!(f, "cycle limit of {n} exceeded"),
+            RunError::Watchdog {
+                cycle,
+                live,
+                stalled_dma,
+                parked,
+                pes,
+            } => {
+                write!(
+                    f,
+                    "watchdog at cycle {cycle}: {live} instances still alive \
+                     ({stalled_dma} stalled DMA commands, {parked} watchdog parks)"
+                )?;
+                write_pe_report(f, pes)
+            }
+            RunError::CycleLimit { cycle, live, pes } => {
+                write!(
+                    f,
+                    "cycle limit of {cycle} exceeded: {live} instances still alive"
+                )?;
+                write_pe_report(f, pes)
+            }
         }
     }
+}
+
+fn write_pe_report(f: &mut fmt::Formatter<'_>, pes: &[DeadlockPe]) -> fmt::Result {
+    for p in pes {
+        write!(f, "\n  pe {}:", p.pe)?;
+        for (id, state) in &p.instances {
+            write!(f, " {id}:{state:?}")?;
+        }
+    }
+    Ok(())
 }
 
 impl std::error::Error for RunError {}
@@ -130,6 +183,8 @@ pub(crate) struct DeliverEnv<'a> {
     /// Stamped posts generated by the delivery (absolute delivery times;
     /// the caller routes them into its event queue or across shards).
     pub posts: &'a mut Vec<OutMsg>,
+    /// Fault injection plan (None = fault-free).
+    pub faults: Option<FaultPlan>,
 }
 
 impl DeliverEnv<'_> {
@@ -179,6 +234,38 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                         thread,
                         sc,
                     };
+                    // Fault injection: deny this arbitration outright,
+                    // simulating transient frame-memory exhaustion. The
+                    // requester is parked exactly like a Queued decision,
+                    // and a one-shot FallocRetry timer re-runs the skipped
+                    // arbitration (a denial never touched the free-frame
+                    // mirror, so the retry is guaranteed the capacity this
+                    // request would have been granted — recovery cannot
+                    // itself starve).
+                    let denied = env.faults.is_some_and(|f| {
+                        roll(
+                            f.seed,
+                            SITE_FALLOC_DENY,
+                            ((node as u64) << 48) ^ dse.stats().requests,
+                            f.falloc_deny_ppm,
+                        )
+                    });
+                    if denied {
+                        dse.force_queue(req);
+                        let retry_at = now + env.faults.expect("checked").falloc_retry_timeout;
+                        let stamps = &mut env.dse_stamps[(node - env.dse_base) as usize];
+                        let stamp = stamps.bump();
+                        env.posts.push((
+                            done + msg_latency,
+                            Dest::Pipeline(requester),
+                            Message::FallocDeferred { for_inst },
+                            stamp,
+                        ));
+                        let stamp = env.dse_stamps[(node - env.dse_base) as usize].bump();
+                        env.posts
+                            .push((retry_at, Dest::Dse(node), Message::FallocRetry, stamp));
+                        return;
+                    }
                     let decision = dse.on_falloc(req, hops);
                     let stamp = env.dse_stamps[(node - env.dse_base) as usize].bump();
                     match decision {
@@ -240,6 +327,26 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                         ));
                     }
                 }
+                Message::FallocRetry => {
+                    // One-shot denial-recovery timer: re-run the
+                    // arbitration that an injected denial skipped.
+                    let done = dse.reserve_op(now);
+                    let grants = dse.re_arbitrate();
+                    for (target, req) in grants {
+                        let stamp = env.dse_stamps[(node - env.dse_base) as usize].bump();
+                        env.posts.push((
+                            done + msg_latency,
+                            Dest::Lse(target),
+                            Message::AllocFrame {
+                                requester: req.requester,
+                                for_inst: req.for_inst,
+                                thread: req.thread,
+                                sc: req.sc,
+                            },
+                            stamp,
+                        ));
+                    }
+                }
                 other => panic!("DSE {node} received unexpected message {other:?}"),
             }
         }
@@ -252,7 +359,26 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                     thread,
                     sc,
                 } => {
-                    let code = &env.program.threads[thread.index()];
+                    // Graceful degradation: once this PE's MFC exhausted a
+                    // DMA retry budget, new instances substitute the
+                    // thread's PF-skipping fallback body (the baseline
+                    // decoupled READ/WRITE path) — same results, degraded
+                    // performance. Substituting here, at frame grant,
+                    // keeps the decision deterministic: it depends only on
+                    // the PE's degraded flag at delivery time, which both
+                    // engines flip at the same logical admission.
+                    let program = env.program;
+                    let mut thread = thread;
+                    {
+                        let p = env.pe(pe);
+                        if p.degraded {
+                            if let Some(fb) = program.threads[thread.index()].fallback {
+                                thread = fb;
+                                p.fallbacks += 1;
+                            }
+                        }
+                    }
+                    let code = &program.threads[thread.index()];
                     let slots = code.frame_slots;
                     let needs_pf = code.prefetch_bytes > 0;
                     let p = env.pe(pe);
@@ -382,6 +508,8 @@ pub struct System {
     pub(crate) drain_until: u64,
     launched: bool,
     pub(crate) trace: Option<Trace>,
+    /// Message-fault bookkeeping (shard counters merge in here).
+    pub(crate) fault_counts: FaultCounters,
 }
 
 impl fmt::Debug for System {
@@ -421,14 +549,12 @@ impl System {
         let mut pes = Vec::with_capacity(config.total_pes() as usize);
         for pe in 0..config.total_pes() {
             let node = pe / config.pes_per_node;
-            pes.push(Pe::new(
-                pe,
-                node,
-                lse_params,
-                config.mfc,
-                config.ls_size,
-                pparams,
-            ));
+            let mut p = Pe::new(pe, node, lse_params, config.mfc, config.ls_size, pparams);
+            if let Some(f) = config.faults {
+                p.mfc.set_faults(f.dma_plan_for(pe));
+                p.arm_watchdog(f.watchdog_spin_limit);
+            }
+            pes.push(p);
         }
         let dses = (0..config.nodes)
             .map(|node| {
@@ -468,6 +594,7 @@ impl System {
             drain_until: 0,
             launched: false,
             trace,
+            fault_counts: FaultCounters::default(),
         })
     }
 
@@ -512,8 +639,29 @@ impl System {
     }
 
     fn post(&mut self, time: u64, to: Dest, msg: Message, stamp: MsgSeq) {
+        let time = time.max(self.now + 1);
+        if let Some(f) = self.config.faults {
+            if f.has_msg_faults() && !msg_exempt(&msg) {
+                let ((t1, s1), dup) = transform(&f, time, stamp, &mut self.fault_counts);
+                if let Some((t2, s2)) = dup {
+                    self.events.push(Event {
+                        time: t2,
+                        stamp: s2,
+                        to,
+                        msg,
+                    });
+                }
+                self.events.push(Event {
+                    time: t1,
+                    stamp: s1,
+                    to,
+                    msg,
+                });
+                return;
+            }
+        }
         self.events.push(Event {
-            time: time.max(self.now + 1),
+            time,
             stamp,
             to,
             msg,
@@ -577,9 +725,9 @@ impl System {
         Ok(())
     }
 
-    /// Builds the deterministic deadlock report (every PE's live
-    /// instances, sorted).
-    pub(crate) fn deadlock_error(&self) -> RunError {
+    /// The deterministic per-PE live-instance report shared by every
+    /// diagnostic error variant.
+    pub(crate) fn live_report(&self) -> (usize, Vec<DeadlockPe>) {
         let live: usize = self.pes.iter().map(|p| p.lse.live_instances()).sum();
         let pes = self
             .pes
@@ -590,8 +738,47 @@ impl System {
                 instances: p.lse.live_instance_states(),
             })
             .collect();
+        (live, pes)
+    }
+
+    /// Builds the deterministic deadlock report (every PE's live
+    /// instances, sorted).
+    pub(crate) fn deadlock_error(&self) -> RunError {
+        let (live, pes) = self.live_report();
         RunError::Deadlock {
             cycle: self.now,
+            live,
+            pes,
+        }
+    }
+
+    /// Classifies a quiescent machine with live instances: hard fault
+    /// evidence (permanently stalled DMA commands or watchdog parks)
+    /// means an injected unrecoverable fault ([`RunError::Watchdog`]);
+    /// otherwise it is a plain [`RunError::Deadlock`] (a synchronisation
+    /// bug in the program).
+    pub(crate) fn quiescence_error(&self) -> RunError {
+        let stalled_dma: u64 = self.pes.iter().map(|p| p.mfc.stats().stalled).sum();
+        let parked: u64 = self.pes.iter().map(|p| p.watchdog_parks).sum();
+        if stalled_dma + parked == 0 {
+            return self.deadlock_error();
+        }
+        let (live, pes) = self.live_report();
+        RunError::Watchdog {
+            cycle: self.now,
+            live,
+            stalled_dma,
+            parked,
+            pes,
+        }
+    }
+
+    /// Builds the enriched cycle-limit error (same live-instance
+    /// diagnostic as a deadlock).
+    pub(crate) fn cycle_limit_error(&self) -> RunError {
+        let (live, pes) = self.live_report();
+        RunError::CycleLimit {
+            cycle: self.config.max_cycles,
             live,
             pes,
         }
@@ -625,13 +812,19 @@ impl System {
 
         loop {
             if self.now > self.config.max_cycles {
-                return Err(RunError::CycleLimit(self.config.max_cycles));
+                return Err(self.cycle_limit_error());
             }
 
             // Deliver everything due now. Deliveries only post messages
             // for strictly later cycles, so flushing afterwards is safe.
             while self.events.peek().is_some_and(|e| e.time <= self.now) {
                 let e = self.events.pop().expect("peeked");
+                if e.stamp.seq & DUP_STAMP_BIT != 0 {
+                    // An injected duplicate: the primary copy already
+                    // delivered (or will, under the unmarked stamp);
+                    // discard so handlers stay single-delivery.
+                    continue;
+                }
                 let mut env = DeliverEnv {
                     pes: &mut self.pes,
                     pe_base: 0,
@@ -644,6 +837,7 @@ impl System {
                     msg_latency: self.config.msg_latency,
                     trace: &mut self.trace,
                     posts: &mut posts,
+                    faults: self.config.faults,
                 };
                 deliver(&mut env, self.now, e.to, e.msg);
                 for (time, to, msg, stamp) in posts.drain(..) {
@@ -703,7 +897,7 @@ impl System {
                 // Nothing will ever happen again.
                 let live: usize = self.pes.iter().map(|p| p.lse.live_instances()).sum();
                 if live > 0 {
-                    return Err(self.deadlock_error());
+                    return Err(self.quiescence_error());
                 }
                 break;
             }
@@ -750,6 +944,23 @@ impl System {
                 .filter_map(|p| p.cache.as_ref())
                 .map(|c| c.stats().misses)
                 .sum(),
+            dma_attempts: self.pes.iter().map(|p| p.mfc.stats().attempts).sum(),
+            dma_retries: self.pes.iter().map(|p| p.mfc.stats().retries).sum(),
+            dma_exhausted: self.pes.iter().map(|p| p.mfc.stats().exhausted).sum(),
+            dma_stalled: self.pes.iter().map(|p| p.mfc.stats().stalled).sum(),
+            dma_backoff_cycles: self.pes.iter().map(|p| p.mfc.stats().backoff_cycles).sum(),
+            msgs_dropped: self.fault_counts.msgs_dropped,
+            msgs_duplicated: self.fault_counts.msgs_duplicated,
+            msgs_delayed: self.fault_counts.msgs_delayed,
+            falloc_denials: self.dses.iter().map(|d| d.stats().denials).sum(),
+            degraded_pes: self
+                .pes
+                .iter()
+                .filter(|p| p.degraded)
+                .map(|p| p.id())
+                .collect(),
+            fallback_instances: self.pes.iter().map(|p| p.fallbacks).sum(),
+            watchdog_parks: self.pes.iter().map(|p| p.watchdog_parks).sum(),
             per_pe,
             aggregate,
         }

@@ -1,0 +1,277 @@
+//! Chaos properties for the fault-injection layer (ISSUE PR 2).
+//!
+//! Under any seeded [`FaultPlan`], a benchmark must either complete with
+//! results identical to the fault-free oracle, or fail with a typed
+//! [`RunError`] — never hang, never panic — and the entire outcome
+//! (including every `RunStats` counter) must be bit-identical across
+//! `Parallelism::Off` and `Parallelism::Threads(n)`.
+
+use dta_core::{simulate, FaultPlan, Parallelism, RunError, RunStats, System, SystemConfig};
+use dta_workloads::{bitcnt, mmul, zoom, Variant, WorkloadProgram};
+use std::sync::Arc;
+
+/// Hard per-run cycle bound: converts any liveness bug into a typed
+/// `CycleLimit` failure instead of a hung test.
+const MAX_CYCLES: u64 = 5_000_000;
+
+const SEED: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// In-tree xorshift64* generator (same idiom as `dta-mem`'s property
+/// tests) — no external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+fn cfg(faults: Option<FaultPlan>, par: Parallelism) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.max_cycles = MAX_CYCLES;
+    cfg.parallelism = par;
+    cfg.faults = faults;
+    cfg
+}
+
+fn run(
+    build: &dyn Fn() -> WorkloadProgram,
+    faults: Option<FaultPlan>,
+    par: Parallelism,
+) -> Result<(RunStats, System), RunError> {
+    let wp = build();
+    simulate(cfg(faults, par), Arc::new(wp.program), &wp.args)
+}
+
+const ENGINES: [Parallelism; 3] = [
+    Parallelism::Off,
+    Parallelism::Threads(2),
+    Parallelism::Threads(4),
+];
+
+/// Runs `build` under `plan` on every engine and checks the outcomes are
+/// identical: all `Ok` with bit-identical stats and verified results, or
+/// all `Err` with the same variant. Returns the sequential outcome.
+fn engine_invariant_outcome(
+    name: &str,
+    build: &dyn Fn() -> WorkloadProgram,
+    plan: FaultPlan,
+    verify: &dyn Fn(&System) -> Result<(), String>,
+) -> Result<RunStats, RunError> {
+    let oracle = run(build, Some(plan), Parallelism::Off);
+    for par in ENGINES {
+        let got = run(build, Some(plan), par);
+        match (&oracle, &got) {
+            (Ok((os, _)), Ok((gs, sys))) => {
+                assert_eq!(
+                    os, gs,
+                    "{name} seed={:#x}: {par:?} stats diverged",
+                    plan.seed
+                );
+                verify(sys).unwrap_or_else(|e| {
+                    panic!("{name} seed={:#x}: {par:?} wrong result: {e}", plan.seed)
+                });
+            }
+            (Err(oe), Err(ge)) => {
+                assert_eq!(
+                    std::mem::discriminant(oe),
+                    std::mem::discriminant(ge),
+                    "{name} seed={:#x}: {par:?} error kind diverged: {oe} vs {ge}",
+                    plan.seed
+                );
+            }
+            (o, g) => panic!(
+                "{name} seed={:#x}: outcome diverged: Off {} vs {par:?} {}",
+                plan.seed,
+                if o.is_ok() { "Ok" } else { "Err" },
+                if g.is_ok() { "Ok" } else { "Err" },
+            ),
+        }
+    }
+    oracle.map(|(s, _)| s)
+}
+
+struct Bench {
+    name: &'static str,
+    build: fn() -> WorkloadProgram,
+    verify: fn(&System) -> Result<(), String>,
+}
+
+const BENCHES: [Bench; 3] = [
+    Bench {
+        name: "bitcnt(1024)",
+        build: || bitcnt::build(1024, Variant::HandPrefetch),
+        verify: |s| bitcnt::verify(s, 1024),
+    },
+    Bench {
+        name: "mmul(16)",
+        build: || mmul::build(16, Variant::HandPrefetch),
+        verify: |s| mmul::verify(s, 16),
+    },
+    Bench {
+        name: "zoom(16)",
+        build: || zoom::build(16, Variant::HandPrefetch),
+        verify: |s| zoom::verify(s, 16),
+    },
+];
+
+/// Transient DMA failures with retry headroom are fully absorbed: runs
+/// complete, results match the fault-free oracle, and the retry counters
+/// prove the schedule actually fired.
+#[test]
+fn recoverable_dma_faults_preserve_results() {
+    for bench in &BENCHES {
+        let clean = run(&bench.build, None, Parallelism::Off).expect("fault-free run");
+        (bench.verify)(&clean.1).expect("fault-free result");
+
+        let mut retries_seen = 0;
+        for seed in [1, 2, 3] {
+            let mut plan = FaultPlan::seeded(seed);
+            plan.dma_fail_ppm = 50_000;
+            plan.dma_backoff_base = 16;
+            let stats = engine_invariant_outcome(bench.name, &bench.build, plan, &bench.verify)
+                .unwrap_or_else(|e| panic!("{} seed={seed}: {e}", bench.name));
+            assert_eq!(
+                stats.instructions, clean.0.instructions,
+                "{} seed={seed}: retries must not change the instruction stream",
+                bench.name
+            );
+            assert!(
+                stats.dma_exhausted == 0 && stats.degraded_pes.is_empty(),
+                "{} seed={seed}: budget should absorb a 5% transient rate",
+                bench.name
+            );
+            retries_seen += stats.dma_retries;
+        }
+        assert!(retries_seen > 0, "{}: no injected faults fired", bench.name);
+    }
+}
+
+/// A hopeless transient rate exhausts the retry budget: the command still
+/// completes via the fail-safe slow path, the PE degrades, and later
+/// threads there run their PF-free fallback twin — correct results, with
+/// the degradation visible in `RunStats`.
+#[test]
+fn dma_exhaustion_degrades_to_fallback_threads() {
+    for bench in &BENCHES {
+        let mut plan = FaultPlan::seeded(7);
+        plan.dma_fail_ppm = 1_000_000;
+        plan.dma_retry_budget = 2;
+        plan.dma_backoff_base = 8;
+        let stats = engine_invariant_outcome(bench.name, &bench.build, plan, &bench.verify)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        assert!(stats.dma_exhausted > 0, "{}: no exhaustion", bench.name);
+        assert!(
+            !stats.degraded_pes.is_empty(),
+            "{}: exhaustion must degrade PEs",
+            bench.name
+        );
+        assert!(
+            stats.fallback_instances > 0,
+            "{}: degraded PEs must substitute fallback threads",
+            bench.name
+        );
+    }
+}
+
+/// Dropped, duplicated, and delayed scheduler messages are recovered by
+/// re-send and duplicate discard; results stay correct and engines agree.
+#[test]
+fn message_faults_are_recovered() {
+    for bench in &BENCHES {
+        let mut fired = (0, 0, 0);
+        for seed in [11, 12] {
+            let mut plan = FaultPlan::seeded(seed);
+            plan.msg_drop_ppm = 20_000;
+            plan.msg_dup_ppm = 20_000;
+            plan.msg_delay_ppm = 20_000;
+            let stats = engine_invariant_outcome(bench.name, &bench.build, plan, &bench.verify)
+                .unwrap_or_else(|e| panic!("{} seed={seed}: {e}", bench.name));
+            fired.0 += stats.msgs_dropped;
+            fired.1 += stats.msgs_duplicated;
+            fired.2 += stats.msgs_delayed;
+        }
+        assert!(
+            fired.0 > 0 && fired.1 > 0 && fired.2 > 0,
+            "{}: message fault sites never fired: {fired:?}",
+            bench.name
+        );
+    }
+}
+
+/// Injected FALLOC denials park requests at the DSE and are recovered by
+/// the re-arbitration timer without losing frames.
+#[test]
+fn falloc_denials_are_re_arbitrated() {
+    for bench in &BENCHES {
+        let mut plan = FaultPlan::seeded(21);
+        plan.falloc_deny_ppm = 200_000;
+        plan.falloc_retry_timeout = 300;
+        let stats = engine_invariant_outcome(bench.name, &bench.build, plan, &bench.verify)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        assert!(stats.falloc_denials > 0, "{}: no denials fired", bench.name);
+    }
+}
+
+/// Permanently wedged DMA commands cannot complete; the run must end in a
+/// typed `Watchdog` error (not a hang, not a bare deadlock report), and
+/// both engines must agree.
+#[test]
+fn permanent_stalls_trip_the_watchdog() {
+    for bench in &BENCHES {
+        let mut plan = FaultPlan::seeded(31);
+        plan.dma_stall_ppm = 1_000_000;
+        let err = engine_invariant_outcome(bench.name, &bench.build, plan, &bench.verify)
+            .expect_err("an all-stall plan cannot complete");
+        match err {
+            RunError::Watchdog { stalled_dma, .. } => {
+                assert!(stalled_dma > 0, "{}: no stalled commands", bench.name)
+            }
+            other => panic!("{}: expected Watchdog, got {other}", bench.name),
+        }
+    }
+}
+
+/// Randomised sweep: whatever the mix of fault rates, every engine
+/// produces the same outcome — verified results or the same typed error —
+/// within the cycle bound. The test finishing at all is the no-hang proof.
+#[test]
+fn chaos_sweep_is_engine_invariant_and_bounded() {
+    let mut rng = Rng::new(SEED);
+    for case in 0..6 {
+        let mut plan = FaultPlan::seeded(rng.next());
+        plan.dma_fail_ppm = rng.below(100_000) as u32;
+        plan.dma_stall_ppm = if rng.below(4) == 0 { 2_000 } else { 0 };
+        plan.dma_retry_budget = 1 + rng.below(4) as u32;
+        plan.dma_backoff_base = 1 << rng.below(6);
+        plan.msg_drop_ppm = rng.below(10_000) as u32;
+        plan.msg_dup_ppm = rng.below(10_000) as u32;
+        plan.msg_delay_ppm = rng.below(10_000) as u32;
+        plan.falloc_deny_ppm = rng.below(50_000) as u32;
+        let bench = &BENCHES[case % BENCHES.len()];
+        let outcome = engine_invariant_outcome(bench.name, &bench.build, plan, &bench.verify);
+        if let Err(e) = outcome {
+            assert!(
+                matches!(
+                    e,
+                    RunError::Watchdog { .. }
+                        | RunError::Deadlock { .. }
+                        | RunError::CycleLimit { .. }
+                ),
+                "case {case} ({}): untyped failure {e}",
+                bench.name
+            );
+        }
+    }
+}

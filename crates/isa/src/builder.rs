@@ -464,6 +464,7 @@ impl ThreadBuilder {
             },
             frame_slots,
             prefetch_bytes: self.prefetch_bytes,
+            fallback: None,
         }
     }
 }

@@ -480,6 +480,7 @@ fn decode_thread(c: &mut Cursor) -> Result<ThreadCode, DecodeError> {
         blocks,
         frame_slots,
         prefetch_bytes,
+        fallback: None,
     })
 }
 
@@ -738,6 +739,7 @@ mod tests {
             blocks: BlockMap::default(),
             frame_slots: 0,
             prefetch_bytes: 0,
+            fallback: None,
         };
         assert_eq!(code_size(&t), 2);
     }

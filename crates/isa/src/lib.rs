@@ -48,4 +48,4 @@ pub use frame::FramePtr;
 pub use instr::{AluOp, BrCond, IClass, Instr, Src};
 pub use program::{BlockMap, CodeBlock, GlobalDef, Program, ThreadCode, ThreadId};
 pub use reg::{Reg, FRAME_PTR_REG, NUM_REGS, PREFETCH_BASE_REG, ZERO_REG};
-pub use validate::{validate_program, validate_thread, ValidationError};
+pub use validate::{validate_program, validate_thread, FallbackProblem, ValidationError};

@@ -134,6 +134,12 @@ pub struct ThreadCode {
     /// Bytes of local-store prefetch buffer each *instance* of this thread
     /// needs (0 when the thread has no PF block).
     pub prefetch_bytes: u32,
+    /// Degradation fallback: a thread with the same inputs and results
+    /// but no PF block (the baseline decoupled READ/WRITE path). When a
+    /// PE's DMA engine exhausts its retry budget, new instances of this
+    /// thread on that PE run the fallback body instead — correct results
+    /// at degraded performance. `None` means no fallback is available.
+    pub fallback: Option<ThreadId>,
 }
 
 impl ThreadCode {
@@ -346,6 +352,7 @@ mod tests {
             },
             frame_slots: 1,
             prefetch_bytes: 0,
+            fallback: None,
         }
     }
 

@@ -75,6 +75,29 @@ pub enum ValidationError {
     EntryArgsTooFew { needed: u16, provided: u16 },
     /// The entry thread id is out of range.
     BadEntry,
+    /// A degradation fallback is unusable: out of range, different frame
+    /// shape, still prefetching, or itself falling back (chains would make
+    /// degraded dispatch unbounded).
+    BadFallback {
+        thread: String,
+        target: ThreadId,
+        reason: FallbackProblem,
+    },
+}
+
+/// Why a `ThreadCode::fallback` link is rejected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FallbackProblem {
+    /// The fallback thread id is out of range.
+    OutOfRange,
+    /// The fallback declares a different number of frame slots, so a
+    /// frame granted for the original cannot serve it.
+    FrameMismatch,
+    /// The fallback still has a PF block / prefetch buffer — it would not
+    /// avoid the faulty DMA path.
+    StillPrefetches,
+    /// The fallback itself names a fallback (chains are not allowed).
+    Chained,
 }
 
 impl fmt::Display for ValidationError {
@@ -114,6 +137,11 @@ impl fmt::Display for ValidationError {
                 "entry thread reads {needed} input slots but the host provides {provided}"
             ),
             BadEntry => write!(f, "entry thread id out of range"),
+            BadFallback {
+                thread,
+                target,
+                reason,
+            } => write!(f, "thread {thread}: bad fallback {target}: {reason:?}"),
         }
     }
 }
@@ -227,6 +255,33 @@ pub fn validate_program(program: &Program) -> Vec<ValidationError> {
                 a: pair[0].name.clone(),
                 b: pair[1].name.clone(),
             });
+        }
+    }
+
+    // Fallback links must be substitutable at frame-grant time: same frame
+    // shape, no prefetching of their own, and no chains.
+    for thread in &program.threads {
+        let Some(target) = thread.fallback else {
+            continue;
+        };
+        let bad = |reason| ValidationError::BadFallback {
+            thread: thread.name.clone(),
+            target,
+            reason,
+        };
+        match program.threads.get(target.index()) {
+            None => errors.push(bad(FallbackProblem::OutOfRange)),
+            Some(fb) => {
+                if fb.frame_slots != thread.frame_slots {
+                    errors.push(bad(FallbackProblem::FrameMismatch));
+                }
+                if fb.blocks.pf_end != 0 || fb.prefetch_bytes != 0 {
+                    errors.push(bad(FallbackProblem::StillPrefetches));
+                }
+                if fb.fallback.is_some() {
+                    errors.push(bad(FallbackProblem::Chained));
+                }
+            }
         }
     }
 
@@ -438,6 +493,69 @@ mod tests {
         assert!(errs
             .iter()
             .any(|e| matches!(e, ValidationError::MalformedBlockMap { .. })));
+    }
+
+    #[test]
+    fn fallback_checks() {
+        // A fallback with identical shape and no PF block is legal…
+        let mut p = ok_program();
+        p.threads[0].fallback = Some(crate::ThreadId(1));
+        p.threads[0].frame_slots = p.threads[1].frame_slots;
+        p.entry_args = p.threads[0].frame_slots;
+        assert!(
+            validate_program(&p).is_empty(),
+            "{:?}",
+            validate_program(&p)
+        );
+
+        // …but an out-of-range target is not…
+        let mut p = ok_program();
+        p.threads[0].fallback = Some(crate::ThreadId(9));
+        assert!(validate_program(&p).iter().any(|e| matches!(
+            e,
+            ValidationError::BadFallback {
+                reason: FallbackProblem::OutOfRange,
+                ..
+            }
+        )));
+
+        // …nor a frame-shape mismatch…
+        let mut p = ok_program();
+        p.threads[0].fallback = Some(crate::ThreadId(1));
+        p.threads[0].frame_slots = p.threads[1].frame_slots + 3;
+        assert!(validate_program(&p).iter().any(|e| matches!(
+            e,
+            ValidationError::BadFallback {
+                reason: FallbackProblem::FrameMismatch,
+                ..
+            }
+        )));
+
+        // …nor a fallback that still prefetches…
+        let mut p = ok_program();
+        p.threads[0].fallback = Some(crate::ThreadId(1));
+        p.threads[0].frame_slots = p.threads[1].frame_slots;
+        p.threads[1].prefetch_bytes = 64;
+        assert!(validate_program(&p).iter().any(|e| matches!(
+            e,
+            ValidationError::BadFallback {
+                reason: FallbackProblem::StillPrefetches,
+                ..
+            }
+        )));
+
+        // …nor a chain of fallbacks.
+        let mut p = ok_program();
+        p.threads[0].fallback = Some(crate::ThreadId(1));
+        p.threads[0].frame_slots = p.threads[1].frame_slots;
+        p.threads[1].fallback = Some(crate::ThreadId(0));
+        assert!(validate_program(&p).iter().any(|e| matches!(
+            e,
+            ValidationError::BadFallback {
+                reason: FallbackProblem::Chained,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -142,6 +142,7 @@ fn arb_thread(rng: &mut Rng, name: &str) -> ThreadCode {
         },
         frame_slots: rng.below(32) as u16,
         prefetch_bytes: rng.pick(&[0u32, 16, 256, 4096]),
+        fallback: None,
     }
 }
 

@@ -27,12 +27,14 @@
 
 pub mod bus;
 pub mod cache;
+pub mod fault;
 pub mod mfc;
 pub mod resource;
 pub mod store;
 
 pub use bus::{BusModel, MemoryModel, MemorySystem, TransferKind};
 pub use cache::{Cache, CacheParams, CacheStats};
+pub use fault::{DmaFaultPlan, DmaPlan};
 pub use mfc::{DmaCommand, DmaCompletion, DmaKind, Mfc, MfcParams};
 pub use resource::{Reservation, ResourcePool};
 pub use store::{LocalStore, MainMemory};

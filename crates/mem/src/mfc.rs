@@ -12,6 +12,7 @@
 //! immediately starts on the next command.
 
 use crate::bus::{MemorySystem, TransferKind};
+use crate::fault::{DmaFaultPlan, DmaPlan};
 use crate::store::{LocalStore, MainMemory};
 use std::collections::VecDeque;
 
@@ -94,15 +95,39 @@ pub struct DmaCompletion {
     pub owner: u64,
     /// Tag ID of the command.
     pub tag: u8,
-    /// Cycle at which the transfer is architecturally complete.
+    /// Cycle at which the transfer is architecturally complete
+    /// (`u64::MAX` when the command stalled and never completes).
     pub at: u64,
+    /// Engine attempts the command consumed (1 = clean first try; a
+    /// retried command still yields exactly *one* completion).
+    pub attempts: u32,
+    /// The command is permanently stuck: the caller must not schedule a
+    /// completion delivery (the watchdog will surface the stall).
+    pub stalled: bool,
 }
 
 /// Counters exposed for benchmarking and tests.
+///
+/// Invariant (guarded by `crates/mem/tests/prop.rs`): a retried command
+/// contributes exactly one `commands` increment, one completion, and
+/// `attempts >= commands` attempt increments — retries never double-count
+/// commands, bytes, or completions.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MfcStats {
-    /// Commands accepted into the queue.
+    /// Commands accepted into the queue (one per command, regardless of
+    /// how many attempts it took).
     pub commands: u64,
+    /// Engine attempts, including retries (`>= commands`).
+    pub attempts: u64,
+    /// Retries (`attempts - commands`, accumulated per command).
+    pub retries: u64,
+    /// Commands whose retry budget ran out (delivered via the fail-safe
+    /// slow path; the owning PE degrades).
+    pub exhausted: u64,
+    /// Commands permanently stuck (never complete).
+    pub stalled: u64,
+    /// Total backoff cycles spent between retries.
+    pub backoff_cycles: u64,
     /// Enqueue attempts rejected because the queue was full.
     pub queue_full_rejections: u64,
     /// Total payload bytes transferred.
@@ -116,12 +141,18 @@ pub struct Mfc {
     engine_free_at: u64,
     /// Completion times of commands still outstanding (bounded by
     /// `queue_capacity`, so a linear scan is fine and allocation-free in
-    /// steady state).
+    /// steady state). Stalled commands sit here forever (`u64::MAX`),
+    /// wedging their queue slot — exactly like a stuck hardware tag.
     outstanding: VecDeque<u64>,
-    /// Commands admitted via [`Mfc::admit`] whose [`Mfc::commit`] has not
-    /// happened yet (epoch-batched sharded execution admits shard-locally
-    /// and commits at the epoch barrier).
-    admitted_pending: usize,
+    /// Fault outcomes planned (in admit order) for commands admitted via
+    /// [`Mfc::admit`] whose [`Mfc::commit`] has not happened yet
+    /// (epoch-batched sharded execution admits shard-locally and commits
+    /// at the epoch barrier; per-PE admit order equals commit order).
+    planned: VecDeque<DmaPlan>,
+    /// Monotone count of admitted commands — the deterministic fault key.
+    admitted: u64,
+    /// Fault schedule (`None` = fault-free).
+    faults: Option<DmaFaultPlan>,
     stats: MfcStats,
 }
 
@@ -132,9 +163,16 @@ impl Mfc {
             params,
             engine_free_at: 0,
             outstanding: VecDeque::with_capacity(params.queue_capacity),
-            admitted_pending: 0,
+            planned: VecDeque::new(),
+            admitted: 0,
+            faults: None,
             stats: MfcStats::default(),
         }
+    }
+
+    /// Arms the deterministic fault schedule for this engine.
+    pub fn set_faults(&mut self, plan: DmaFaultPlan) {
+        self.faults = Some(plan);
     }
 
     /// Configuration.
@@ -171,9 +209,7 @@ impl Mfc {
         ls: &mut LocalStore,
         mem: &mut MainMemory,
     ) -> Option<DmaCompletion> {
-        if !self.admit(now) {
-            return None;
-        }
+        self.admit(now)?;
         Some(self.commit(now, cmd, sys, ls, mem))
     }
 
@@ -186,17 +222,30 @@ impl Mfc {
     /// before `now + command_latency`, which is at or beyond the epoch
     /// horizon — so pending commits always still occupy their slot at any
     /// admission decision inside the same epoch.
-    pub fn admit(&mut self, now: u64) -> bool {
-        if self.outstanding(now) + self.admitted_pending >= self.params.queue_capacity {
+    ///
+    /// Returns `None` when the queue is full; otherwise the fault outcome
+    /// planned for this command. The plan is resolved *here* — at the
+    /// issue cycle, inside the shard — so retry exhaustion (and the PE
+    /// degradation it triggers) happens at the same logical point in both
+    /// engines.
+    pub fn admit(&mut self, now: u64) -> Option<DmaPlan> {
+        if self.outstanding(now) + self.planned.len() >= self.params.queue_capacity {
             self.stats.queue_full_rejections += 1;
-            return false;
+            return None;
         }
-        self.admitted_pending += 1;
-        true
+        let plan = match self.faults {
+            Some(f) => f.plan(self.admitted),
+            None => DmaPlan::CLEAN,
+        };
+        self.admitted += 1;
+        self.planned.push_back(plan);
+        Some(plan)
     }
 
     /// Data-movement + timing half of [`Mfc::enqueue`]; must follow a
     /// successful [`Mfc::admit`] at the same logical cycle `now`.
+    /// Commands must be committed in their admit order (both engines
+    /// preserve per-PE program order, so this holds by construction).
     pub fn commit(
         &mut self,
         now: u64,
@@ -205,7 +254,29 @@ impl Mfc {
         ls: &mut LocalStore,
         mem: &mut MainMemory,
     ) -> DmaCompletion {
-        self.admitted_pending = self.admitted_pending.saturating_sub(1);
+        let plan = self.planned.pop_front().unwrap_or(DmaPlan::CLEAN);
+
+        self.stats.commands += 1;
+        self.stats.attempts += plan.attempts as u64;
+        self.stats.retries += (plan.attempts - 1) as u64;
+        self.stats.backoff_cycles += plan.penalty;
+        if plan.exhausted {
+            self.stats.exhausted += 1;
+        }
+
+        if plan.stalled {
+            // The command wedges its queue slot forever; no data moves and
+            // no completion is ever delivered.
+            self.stats.stalled += 1;
+            self.outstanding.push_back(u64::MAX);
+            return DmaCompletion {
+                owner: cmd.owner,
+                tag: cmd.tag,
+                at: u64::MAX,
+                attempts: plan.attempts,
+                stalled: true,
+            };
+        }
 
         // Functional data movement.
         match cmd.kind {
@@ -233,9 +304,12 @@ impl Mfc {
             }
         }
 
-        // Timing: serial command processing, overlapped transfers.
+        // Timing: serial command processing, overlapped transfers. Failed
+        // attempts and their exponential backoff occupy the engine before
+        // the command finally issues, so retries back-pressure the queue
+        // exactly like slow commands.
         let engine_start = self.engine_free_at.max(now);
-        let issue = engine_start + self.params.command_latency;
+        let issue = engine_start + plan.penalty + self.params.command_latency;
         self.engine_free_at = issue;
 
         let total = cmd.kind.total_bytes();
@@ -268,12 +342,13 @@ impl Mfc {
         };
 
         self.outstanding.push_back(at);
-        self.stats.commands += 1;
         self.stats.bytes += total;
         DmaCompletion {
             owner: cmd.owner,
             tag: cmd.tag,
             at,
+            attempts: plan.attempts,
+            stalled: false,
         }
     }
 }

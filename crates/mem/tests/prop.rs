@@ -7,8 +7,8 @@
 //! be replayed by pinning `SEED`.
 
 use dta_mem::{
-    BusModel, DmaCommand, DmaKind, LocalStore, MainMemory, MemoryModel, MemorySystem, Mfc,
-    MfcParams, ResourcePool, TransferKind,
+    BusModel, DmaCommand, DmaFaultPlan, DmaKind, LocalStore, MainMemory, MemoryModel, MemorySystem,
+    Mfc, MfcParams, ResourcePool, TransferKind,
 };
 use std::collections::HashMap;
 
@@ -275,6 +275,153 @@ fn bus_bandwidth_bound() {
         assert!(last >= sends * bytes.div_ceil(8), "case {case}");
         assert_eq!(bus.bytes_moved(), sends * bytes, "case {case}");
     }
+}
+
+/// Regression (stats double-count hazard): a retried command must
+/// contribute exactly one `commands` increment, one completion, one
+/// `bytes` increment and N `attempts` — never one of each per retry.
+#[test]
+fn retried_command_counts_once() {
+    let mut mfc = Mfc::new(MfcParams::default());
+    // Every attempt fails; budget of 3 retries → 4 attempts, then the
+    // fail-safe path still delivers the data.
+    mfc.set_faults(DmaFaultPlan {
+        seed: 0x5EED,
+        salt: 0,
+        fail_ppm: 1_000_000,
+        stall_ppm: 0,
+        retry_budget: 3,
+        backoff_base: 64,
+    });
+    let mut sys = MemorySystem::paper_default();
+    let mut ls = LocalStore::new(64 * 1024);
+    let mut mem = MainMemory::new(1 << 20);
+    mem.write_u32(0x100, 0xCAFE);
+    let c = mfc
+        .enqueue(
+            0,
+            DmaCommand {
+                owner: 9,
+                tag: 2,
+                ls_addr: 0,
+                mem_addr: 0x100,
+                kind: DmaKind::Get { bytes: 8 },
+            },
+            &mut sys,
+            &mut ls,
+            &mut mem,
+        )
+        .expect("queue empty");
+    assert_eq!(c.attempts, 4);
+    assert!(!c.stalled);
+    assert_eq!(ls.read_u32(0), 0xCAFE, "fail-safe path still moves data");
+    let s = mfc.stats();
+    assert_eq!(s.commands, 1, "one command despite 4 attempts");
+    assert_eq!(s.attempts, 4);
+    assert_eq!(s.retries, 3);
+    assert_eq!(s.exhausted, 1);
+    assert_eq!(s.bytes, 8, "payload counted once, not per attempt");
+    assert_eq!(s.backoff_cycles, 64 + 128 + 256);
+    // The backoff occupied the engine before issue.
+    assert!(c.at >= 64 + 128 + 256 + 30, "completion at {}", c.at);
+}
+
+/// A stalled command wedges its queue slot forever, moves no data, and
+/// yields a completion the caller must not schedule.
+#[test]
+fn stalled_command_never_completes() {
+    let mut mfc = Mfc::new(MfcParams::default());
+    mfc.set_faults(DmaFaultPlan {
+        seed: 1,
+        salt: 0,
+        fail_ppm: 0,
+        stall_ppm: 1_000_000,
+        retry_budget: 3,
+        backoff_base: 64,
+    });
+    let mut sys = MemorySystem::paper_default();
+    let mut ls = LocalStore::new(64 * 1024);
+    let mut mem = MainMemory::new(1 << 20);
+    mem.write_u32(0, 0xBEEF);
+    let c = mfc
+        .enqueue(
+            0,
+            DmaCommand {
+                owner: 1,
+                tag: 0,
+                ls_addr: 0,
+                mem_addr: 0,
+                kind: DmaKind::Get { bytes: 4 },
+            },
+            &mut sys,
+            &mut ls,
+            &mut mem,
+        )
+        .unwrap();
+    assert!(c.stalled);
+    assert_eq!(c.at, u64::MAX);
+    assert_eq!(ls.read_u32(0), 0, "stalled command moves no data");
+    let s = mfc.stats();
+    assert_eq!((s.commands, s.stalled, s.bytes), (1, 1, 0));
+    // The wedged slot still occupies the queue arbitrarily far ahead.
+    assert_eq!(mfc.outstanding(1_000_000_000), 1);
+}
+
+/// Queue-full rejections must not consume fault-schedule indices or bump
+/// command/attempt counters: the Nth *accepted* command gets the Nth
+/// plan whether or not rejections happened in between (this is what keeps
+/// the two engines' schedules aligned — both see identical rejections,
+/// but neither charges them an index).
+#[test]
+fn rejection_does_not_advance_fault_schedule() {
+    let plan = DmaFaultPlan {
+        seed: 0xD15_EA5E,
+        salt: 3,
+        fail_ppm: 400_000,
+        stall_ppm: 0,
+        retry_budget: 4,
+        backoff_base: 32,
+    };
+    let params = MfcParams {
+        queue_capacity: 1,
+        command_latency: 30,
+    };
+    let run = |hammer: bool| {
+        let mut mfc = Mfc::new(params);
+        mfc.set_faults(plan);
+        let mut sys = MemorySystem::paper_default();
+        let mut ls = LocalStore::new(64 * 1024);
+        let mut mem = MainMemory::new(1 << 20);
+        let cmd = DmaCommand {
+            owner: 0,
+            tag: 0,
+            ls_addr: 0,
+            mem_addr: 0,
+            kind: DmaKind::Get { bytes: 4096 },
+        };
+        let mut seen = Vec::new();
+        for round in 0..8u64 {
+            let now = round * 1_000_000; // queue fully drained each round
+            let c = mfc.enqueue(now, cmd, &mut sys, &mut ls, &mut mem).unwrap();
+            seen.push(c.attempts);
+            if hammer {
+                // The queue (capacity 1) is now full: these are rejected.
+                for _ in 0..3 {
+                    assert!(mfc.enqueue(now, cmd, &mut sys, &mut ls, &mut mem).is_none());
+                }
+            }
+        }
+        (seen, mfc.stats())
+    };
+    let (clean, s0) = run(false);
+    let (with_rejects, s1) = run(true);
+    assert_eq!(clean, with_rejects, "rejections shifted the schedule");
+    assert_eq!(s0.commands, 8);
+    assert_eq!(s1.commands, 8, "rejections must not count as commands");
+    assert_eq!(s0.attempts, s1.attempts);
+    assert_eq!(s0.queue_full_rejections, 0);
+    assert_eq!(s1.queue_full_rejections, 24);
+    assert!(s1.attempts >= s1.commands);
 }
 
 /// Memory accesses complete no earlier than request + latency.

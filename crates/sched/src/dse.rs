@@ -73,6 +73,8 @@ pub struct DseStats {
     pub forwards: u64,
     /// High-water mark of the pending queue.
     pub max_pending: usize,
+    /// Requests denied by fault injection and parked for re-arbitration.
+    pub denials: u64,
 }
 
 /// The per-node Distributed Scheduler Element.
@@ -173,6 +175,37 @@ impl Dse {
                 FallocDecision::Queued
             }
         }
+    }
+
+    /// Parks a request without arbitration — used by fault injection to
+    /// simulate transient frame exhaustion. Unlike `Queued` decisions made
+    /// by [`Dse::on_falloc`], a denial never touched the free-frame
+    /// mirror, so a later [`Dse::re_arbitrate`] is guaranteed to find at
+    /// least the capacity the denied request would have been granted.
+    pub fn force_queue(&mut self, req: PendingFalloc) {
+        self.stats.denials += 1;
+        self.pending.push_back(req);
+        self.stats.max_pending = self.stats.max_pending.max(self.pending.len());
+    }
+
+    /// Drains parked requests against current capacity (the `FallocRetry`
+    /// timer handler). Same grant shape as [`Dse::on_frame_freed`] but
+    /// without a mirror increment: nothing was freed, we are only
+    /// re-running the arbitration a denial skipped.
+    pub fn re_arbitrate(&mut self) -> Vec<(u16, PendingFalloc)> {
+        let mut grants = Vec::new();
+        while !self.pending.is_empty() {
+            match self.pick_pe() {
+                Some(j) => {
+                    self.free_mirror[j] -= 1;
+                    self.stats.grants += 1;
+                    let req = self.pending.pop_front().expect("non-empty");
+                    grants.push((self.pes[j], req));
+                }
+                None => break,
+            }
+        }
+        grants
     }
 
     /// Handles a `FrameFreed` notification from local PE `pe`; returns any
@@ -317,6 +350,23 @@ mod tests {
     fn foreign_frame_freed_panics() {
         let mut d = Dse::new(0, vec![0, 1], 1, 1, DseParams::default());
         d.on_frame_freed(9);
+    }
+
+    #[test]
+    fn denial_parks_and_re_arbitration_grants() {
+        let mut d = Dse::new(0, vec![0, 1], 1, 1, DseParams::default());
+        // An injected denial parks the request without consuming capacity…
+        d.force_queue(req(3));
+        assert_eq!(d.pending_len(), 1);
+        assert_eq!(d.stats().denials, 1);
+        assert_eq!(d.stats().grants, 0);
+        // …so re-arbitration must find a frame for it.
+        let grants = d.re_arbitrate();
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].1.requester, 3);
+        assert_eq!(d.stats().grants, 1);
+        // A second re-arbitration with nothing parked is a no-op.
+        assert!(d.re_arbitrate().is_empty());
     }
 
     #[test]

@@ -101,6 +101,10 @@ pub enum Message {
         /// Cycle at which the destination register becomes usable.
         ready_at: u64,
     },
+    /// DSE → itself: re-arbitrate FALLOCs parked by an injected denial.
+    /// Posted as a one-shot timer when fault injection denies an
+    /// allocation; exempt from message faults so recovery always runs.
+    FallocRetry,
 }
 
 /// A routed message with a relative delivery delay.

@@ -363,7 +363,11 @@ pub fn build(n: usize, variant: Variant) -> WorkloadProgram {
     };
     match variant {
         Variant::AutoPrefetch => wp.auto_prefetch(),
-        _ => wp,
+        Variant::HandPrefetch => {
+            let base = build(n, Variant::Baseline);
+            wp.with_fallbacks(&base.program)
+        }
+        Variant::Baseline => wp,
     }
 }
 

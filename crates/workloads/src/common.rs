@@ -1,7 +1,7 @@
 //! Shared workload plumbing.
 
 use dta_compiler::{prefetch_program, ProgramReport, TransformOptions};
-use dta_isa::Program;
+use dta_isa::{Program, ThreadId};
 
 /// Which code version of a benchmark to build (paper §4.2: benchmarks are
 /// "hand-coded for the original DTA", then "prefetching code blocks are
@@ -59,6 +59,49 @@ impl WorkloadProgram {
         self.compiler_report = Some(report);
         self
     }
+
+    /// Links each prefetching thread to a PF-free twin taken from
+    /// `baseline` (see [`attach_fallbacks`]).
+    pub fn with_fallbacks(mut self, baseline: &Program) -> Self {
+        attach_fallbacks(&mut self.program, baseline);
+        self
+    }
+}
+
+/// Appends PF-free twins from `baseline` for every prefetching thread of
+/// `program` and links them via `ThreadCode::fallback`, so a PE whose DMA
+/// engine has been declared unusable can fall back to baseline blocking
+/// READs and still produce correct results.
+///
+/// Threads are matched by name, and a twin is only attached when its shape
+/// is legal as a fallback (same frame inputs, no PF block, not itself
+/// chained), so the result always validates. Returns the number of links
+/// made.
+pub fn attach_fallbacks(program: &mut Program, baseline: &Program) -> usize {
+    let mut linked = 0;
+    for i in 0..program.threads.len() {
+        let t = &program.threads[i];
+        if t.fallback.is_some() || (t.blocks.pf_end == 0 && t.prefetch_bytes == 0) {
+            continue;
+        }
+        let Some(twin) = baseline.threads.iter().find(|b| b.name == t.name) else {
+            continue;
+        };
+        if twin.frame_slots != t.frame_slots
+            || twin.blocks.pf_end != 0
+            || twin.prefetch_bytes != 0
+            || twin.fallback.is_some()
+        {
+            continue;
+        }
+        let mut twin = twin.clone();
+        twin.name = format!("{}__nopf", twin.name);
+        let id = ThreadId(program.threads.len() as u32);
+        program.threads.push(twin);
+        program.threads[i].fallback = Some(id);
+        linked += 1;
+    }
+    linked
 }
 
 /// Deterministic pseudo-random 32-bit values for workload inputs

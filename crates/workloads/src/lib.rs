@@ -32,4 +32,4 @@ pub mod stencil;
 pub mod vecscale;
 pub mod zoom;
 
-pub use common::{synth_values, Variant, WorkloadProgram};
+pub use common::{attach_fallbacks, synth_values, Variant, WorkloadProgram};

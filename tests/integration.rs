@@ -183,7 +183,14 @@ fn cycle_limit_is_enforced() {
     let mut cfg = SystemConfig::with_pes(1);
     cfg.max_cycles = 10_000;
     let err = simulate(cfg, Arc::new(wp.program), &[]).unwrap_err();
-    assert!(matches!(err, RunError::CycleLimit(10_000)), "{err}");
+    assert!(
+        matches!(err, RunError::CycleLimit { cycle: 10_000, .. }),
+        "{err}"
+    );
+    if let RunError::CycleLimit { live, pes, .. } = err {
+        assert!(live > 0, "a spinning mmul has live instances to report");
+        assert!(!pes.is_empty());
+    }
 }
 
 /// The latency-1 bound flips bitcnt: prefetch overhead outweighs the
