@@ -1,0 +1,28 @@
+//! Temporary review check: effective FALLOC denial rate vs configured ppm.
+
+use dta_core::{simulate, FaultPlan, Parallelism, SystemConfig};
+use dta_workloads::{bitcnt, Variant};
+use std::sync::Arc;
+
+#[test]
+fn measure_denial_rate() {
+    for ppm in [10_000u32, 50_000, 500_000] {
+        let wp = bitcnt::build(4096, Variant::HandPrefetch);
+        let mut cfg = SystemConfig::paper_default();
+        cfg.max_cycles = 50_000_000;
+        cfg.parallelism = Parallelism::Off;
+        let mut plan = FaultPlan::seeded(21);
+        plan.falloc_deny_ppm = ppm;
+        plan.falloc_retry_timeout = 300;
+        cfg.faults = Some(plan);
+        let (stats, _sys) = simulate(cfg, Arc::new(wp.program), &wp.args).expect("run");
+        println!(
+            "ppm={} instances={} denials={} (effective rate ~{:.1}%)",
+            ppm,
+            stats.instances,
+            stats.falloc_denials,
+            100.0 * stats.falloc_denials as f64
+                / (stats.instances + stats.falloc_denials) as f64
+        );
+    }
+}
