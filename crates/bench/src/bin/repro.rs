@@ -2,18 +2,22 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--quick] [--pes N] [--threads N] [--out DIR]
-//!       [--fault-seed N] [--fault-rate PPM]
+//!       [--sweep-threads N] [--fault-seed N] [--fault-rate PPM]
 //!
 //! EXPERIMENT: config table5 fig5 fig6 fig7 fig8 fig9 lat1
 //!             ablate-split ablate-vfp ablate-hw
 //!             ext-cache ext-spxp ext-wholeobj
-//!             parallel faults all                     (default: all)
+//!             parallel faults failover all            (default: all)
 //! --quick     scaled-down workload sizes (CI-friendly)
 //! --pes N     PEs for the non-scalability experiments (default 8)
 //! --threads N run every experiment on the epoch-sharded engine with N
 //!             host threads (results are bit-identical to sequential;
 //!             the `parallel` experiment pins its own engine modes)
-//! --fault-seed N   base seed for the `faults` sweep (default 0xDA7A)
+//! --sweep-threads N  run the independent points of parameter sweeps
+//!             (fig6/7/8 PE grids, faults/failover rate grids) on N
+//!             host threads; reports are identical to sequential
+//! --fault-seed N   base seed for the `faults`/`failover` sweeps
+//!                  (default 0xDA7A)
 //! --fault-rate PPM single injected fault rate for the `faults`
 //!                  experiment instead of the built-in 0/1k/10k/100k
 //!                  ppm sweep
@@ -22,18 +26,23 @@
 //! ```
 
 use dta_bench::experiments::{
-    ablate_hw, ablate_split, ablate_vfp, config, ext_cache, ext_spxp, ext_wholeobj, faults_bench,
-    fig5, fig9, fig_exec_scalability, lat1, parallel_bench, table5,
+    ablate_hw, ablate_split, ablate_vfp, config, ext_cache, ext_spxp, ext_wholeobj, failover_bench,
+    faults_bench, fig5, fig9, fig_exec_scalability, lat1, parallel_bench, table5,
 };
 use dta_bench::{emit, Bench, ExperimentResult};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Per-node crash probabilities for the failover sweep: off, likely-one,
+/// certain-all (the last exercises crash-of-successor and restart).
+const FAILOVER_RATES: &[u32] = &[0, 500_000, 1_000_000];
 
 struct Options {
     experiments: Vec<String>,
     quick: bool,
     pes: u16,
     threads: Option<u16>,
+    sweep_threads: Option<usize>,
     fault_seed: u64,
     fault_rate: Option<u32>,
     out: Option<PathBuf>,
@@ -45,6 +54,7 @@ fn parse_args() -> Result<Options, String> {
         quick: false,
         pes: 8,
         threads: None,
+        sweep_threads: None,
         fault_seed: 0xDA7A,
         fault_rate: None,
         out: Some(PathBuf::from("results")),
@@ -66,6 +76,14 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--threads needs a value")?
                         .parse()
                         .map_err(|_| "--threads needs a number")?,
+                );
+            }
+            "--sweep-threads" => {
+                opts.sweep_threads = Some(
+                    args.next()
+                        .ok_or("--sweep-threads needs a value")?
+                        .parse()
+                        .map_err(|_| "--sweep-threads needs a number")?,
                 );
             }
             "--fault-seed" => {
@@ -90,7 +108,7 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: repro [EXPERIMENT ...] [--quick] [--pes N] [--threads N] \
-                     [--fault-seed N] [--fault-rate PPM] [--out DIR]"
+                     [--sweep-threads N] [--fault-seed N] [--fault-rate PPM] [--out DIR]"
                         .into(),
                 )
             }
@@ -115,7 +133,7 @@ fn parse_args() -> Result<Options, String> {
             "ext-spxp",
             "ext-wholeobj",
             "parallel",
-            "faults",
+            "faults", // also emits the failover sweep
         ]
         .map(str::to_string)
         .to_vec();
@@ -133,6 +151,9 @@ fn main() -> ExitCode {
     };
     if let Some(n) = opts.threads {
         dta_bench::experiments::set_default_parallelism(dta_core::Parallelism::Threads(n));
+    }
+    if let Some(n) = opts.sweep_threads {
+        dta_bench::experiments::set_sweep_threads(n);
     }
     let suite = if opts.quick {
         Bench::quick_suite()
@@ -169,8 +190,16 @@ fn main() -> ExitCode {
                     Some(r) => vec![0, r],
                     None => vec![0, 1_000, 10_000, 100_000],
                 };
+                // The faults family also tracks DSE-crash recovery: emit
+                // the failover sweep alongside the fault sweep.
+                let fo = failover_bench(&suite, opts.pes, opts.fault_seed, FAILOVER_RATES);
+                if let Err(e) = emit(&fo, opts.out.as_deref()) {
+                    eprintln!("failed to write results: {e}");
+                    return ExitCode::FAILURE;
+                }
                 faults_bench(&suite, opts.pes, opts.fault_seed, &rates)
             }
+            "failover" => failover_bench(&suite, opts.pes, opts.fault_seed, FAILOVER_RATES),
             other => {
                 eprintln!("unknown experiment {other:?} (try --help)");
                 return ExitCode::FAILURE;

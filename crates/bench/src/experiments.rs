@@ -21,6 +21,68 @@ pub fn set_default_parallelism(par: Parallelism) {
     let _ = DEFAULT_PARALLELISM.set(par);
 }
 
+/// Process-wide worker count for parameter sweeps (set once by
+/// `repro --sweep-threads`; unset or 1 = sequential). Orthogonal to
+/// [`set_default_parallelism`]: that shards one simulation across
+/// threads, this runs independent simulations side by side — combining
+/// both oversubscribes the host.
+static SWEEP_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Sets how many independent sweep points run concurrently. First call
+/// wins; later calls are ignored.
+pub fn set_sweep_threads(n: usize) {
+    let _ = SWEEP_THREADS.set(n.max(1));
+}
+
+/// Maps `f` over `items` on `threads` scoped workers (atomic
+/// work-stealing), returning results in input order. Each point is an
+/// independent `simulate` call, so this is safe for any sweep; a worker
+/// panic propagates. `threads <= 1` degrades to a plain sequential map.
+fn par_map_with<I, O, F>(threads: usize, items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, O)> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, o)| o).collect()
+}
+
+/// [`par_map_with`] at the process-wide `--sweep-threads` setting.
+fn par_map<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    par_map_with(SWEEP_THREADS.get().copied().unwrap_or(1), items, f)
+}
+
 /// The result of one experiment.
 #[derive(Clone, Debug)]
 pub struct ExperimentResult {
@@ -169,13 +231,19 @@ pub fn fig_exec_scalability(id: &str, bench: Bench, max_pes: u16) -> ExperimentR
         "scal(base)".into(),
         "scal(hand)".into(),
     ]];
+    // The grid points are independent simulations — sweep them on the
+    // `--sweep-threads` workers (input order preserved, so the report is
+    // identical to the sequential sweep).
+    let grid: Vec<(u16, Variant)> = pes_list
+        .iter()
+        .flat_map(|&pes| VARIANTS.iter().map(move |&v| (pes, v)))
+        .collect();
+    let results = par_map(&grid, |&(pes, variant)| run(bench, variant, pes8(pes)));
     let mut per_variant: Vec<Vec<Row>> = vec![Vec::new(); VARIANTS.len()];
-    for &pes in &pes_list {
-        for (vi, &variant) in VARIANTS.iter().enumerate() {
-            let row = run(bench, variant, pes8(pes));
-            per_variant[vi].push(row.clone());
-            rows.push(row);
-        }
+    for ((_, variant), row) in grid.iter().zip(results) {
+        let vi = VARIANTS.iter().position(|v| v == variant).expect("grid");
+        per_variant[vi].push(row.clone());
+        rows.push(row);
     }
     for (i, &pes) in pes_list.iter().enumerate() {
         let base = per_variant[0][i].cycles;
@@ -630,31 +698,43 @@ pub fn faults_bench(suite: &[Bench], pes: u16, seed: u64, rates: &[u32]) -> Expe
     ]];
     for &bench in suite {
         let clean = run(bench, Variant::HandPrefetch, pes8(pes));
-        for &rate in rates {
+        // All (rate, repetition) points are independent seeded runs —
+        // sweep them on the `--sweep-threads` workers.
+        let grid: Vec<(u32, u64)> = rates
+            .iter()
+            .flat_map(|&rate| (0..RUNS_PER_RATE).map(move |k| (rate, k)))
+            .collect();
+        let outcomes = par_map(&grid, |&(rate, k)| {
+            let mut plan =
+                FaultPlan::seeded(seed.wrapping_add(k).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+            plan.dma_fail_ppm = rate;
+            plan.msg_drop_ppm = rate / 10;
+            plan.msg_dup_ppm = rate / 10;
+            plan.msg_delay_ppm = rate / 10;
+            plan.falloc_deny_ppm = rate / 4;
+            let mut cfg = pes8(pes);
+            cfg.faults = Some(plan);
+            try_run(bench, Variant::HandPrefetch, cfg).map(|mut row| {
+                row.fault_rate_ppm = Some(rate);
+                row.fault_seed = Some(plan.seed);
+                row
+            })
+        });
+        for (ri, &rate) in rates.iter().enumerate() {
+            let at_rate = &outcomes[ri * RUNS_PER_RATE as usize..][..RUNS_PER_RATE as usize];
             let mut completed = 0u64;
             let (mut retries, mut exhausted, mut degraded, mut fallbacks, mut cycles) =
                 (0u64, 0u64, 0u64, 0u64, 0u64);
-            for k in 0..RUNS_PER_RATE {
-                let mut plan =
-                    FaultPlan::seeded(seed.wrapping_add(k).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
-                plan.dma_fail_ppm = rate;
-                plan.msg_drop_ppm = rate / 10;
-                plan.msg_dup_ppm = rate / 10;
-                plan.msg_delay_ppm = rate / 10;
-                plan.falloc_deny_ppm = rate / 4;
-                let mut cfg = pes8(pes);
-                cfg.faults = Some(plan);
-                match try_run(bench, Variant::HandPrefetch, cfg) {
-                    Ok(mut row) => {
+            for outcome in at_rate {
+                match outcome {
+                    Ok(row) => {
                         completed += 1;
                         retries += row.dma_retries;
                         exhausted += row.dma_exhausted;
                         degraded += row.degraded_pes;
                         fallbacks += row.fallback_instances;
                         cycles += row.cycles;
-                        row.fault_rate_ppm = Some(rate);
-                        row.fault_seed = Some(plan.seed);
-                        rows.push(row);
+                        rows.push(row.clone());
                     }
                     Err(e) => eprintln!("  [faults] run failed (counted as incomplete): {e}"),
                 }
@@ -675,6 +755,102 @@ pub fn faults_bench(suite: &[Bench], pes: u16, seed: u64, rates: &[u32]) -> Expe
     ExperimentResult {
         id: "BENCH_faults".into(),
         title: "Fault-injection sweep: recovery cost and degradation vs rate".into(),
+        text: text_table(&table),
+        rows,
+    }
+}
+
+/// DSE crash/failover sweep (failover PR): completion rate, re-homed
+/// FALLOC traffic, resync cost and cycle overhead vs an escalating
+/// per-node crash probability, with and without planned restart. The
+/// platform is split into two nodes so a crashed DSE has a peer to fail
+/// over to. Written as `BENCH_failover.json` so successive PRs can track
+/// recovery behaviour.
+pub fn failover_bench(suite: &[Bench], pes: u16, seed: u64, rates: &[u32]) -> ExperimentResult {
+    use dta_core::FaultPlan;
+
+    const RUNS_PER_RATE: u64 = 3;
+    let two_nodes = |pes: u16| {
+        let mut cfg = pes8(pes);
+        cfg.nodes = 2;
+        cfg.pes_per_node = (pes / 2).max(1);
+        cfg
+    };
+    let mut rows = Vec::new();
+    let mut table = vec![vec![
+        "benchmark".to_string(),
+        "crash ppm".into(),
+        "restart".into(),
+        "completed".into(),
+        "crashes".into(),
+        "failovers".into(),
+        "rehomed".into(),
+        "resyncs".into(),
+        "cycle overhead".into(),
+    ]];
+    for &bench in suite {
+        let clean = run(bench, Variant::HandPrefetch, two_nodes(pes));
+        let grid: Vec<(u32, bool, u64)> = rates
+            .iter()
+            .flat_map(|&rate| {
+                [false, true]
+                    .into_iter()
+                    .flat_map(move |restart| (0..RUNS_PER_RATE).map(move |k| (rate, restart, k)))
+            })
+            .collect();
+        let outcomes = par_map(&grid, |&(rate, restart, k)| {
+            let mut plan =
+                FaultPlan::seeded(seed.wrapping_add(k).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+            plan.dse_crash_ppm = rate;
+            plan.dse_crash_window = 20_000;
+            plan.dse_failover_detect = 1_000;
+            plan.dse_restart_after = if restart { 10_000 } else { 0 };
+            let mut cfg = two_nodes(pes);
+            cfg.faults = Some(plan);
+            try_run(bench, Variant::HandPrefetch, cfg).map(|mut row| {
+                row.fault_rate_ppm = Some(rate);
+                row.fault_seed = Some(plan.seed);
+                row
+            })
+        });
+        for (gi, chunk) in outcomes.chunks(RUNS_PER_RATE as usize).enumerate() {
+            let (rate, restart, _) = grid[gi * RUNS_PER_RATE as usize];
+            let mut completed = 0u64;
+            let (mut crashes, mut failovers, mut rehomed, mut resyncs, mut cycles) =
+                (0u64, 0u64, 0u64, 0u64, 0u64);
+            for outcome in chunk {
+                match outcome {
+                    Ok(row) => {
+                        completed += 1;
+                        crashes += row.dse_crashes;
+                        failovers += row.failovers;
+                        rehomed += row.rehomed_fallocs;
+                        resyncs += row.resync_msgs;
+                        cycles += row.cycles;
+                        rows.push(row.clone());
+                    }
+                    // Total loss without restart legitimately ends in a
+                    // typed watchdog error — that *is* the data point.
+                    Err(e) => eprintln!("  [failover] run failed (counted as incomplete): {e}"),
+                }
+            }
+            let m = completed.max(1);
+            table.push(vec![
+                bench.name(),
+                rate.to_string(),
+                if restart { "yes" } else { "no" }.into(),
+                format!("{completed}/{RUNS_PER_RATE}"),
+                format!("{:.1}", crashes as f64 / m as f64),
+                format!("{:.1}", failovers as f64 / m as f64),
+                format!("{:.1}", rehomed as f64 / m as f64),
+                format!("{:.1}", resyncs as f64 / m as f64),
+                format!("{:.2}x", (cycles as f64 / m as f64) / clean.cycles as f64),
+            ]);
+        }
+    }
+    ExperimentResult {
+        id: "BENCH_failover".into(),
+        title: "DSE failover sweep: completion, re-homing cost and overhead vs crash rate".into(),
         text: text_table(&table),
         rows,
     }
@@ -704,6 +880,40 @@ mod tests {
         let r = config();
         assert!(r.text.contains("512 MB"));
         assert!(r.text.contains("Tag ID"));
+    }
+
+    #[test]
+    fn par_map_preserves_input_order_on_any_worker_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 4, 16] {
+            assert_eq!(par_map_with(threads, &items, |&x| x * x), want);
+        }
+        assert_eq!(par_map_with(4, &Vec::<u64>::new(), |&x: &u64| x), []);
+    }
+
+    #[test]
+    fn quick_failover_sweep_reports_crashes() {
+        let r = failover_bench(&[Bench::Bitcnt(512)], 4, 0xDA7A, &[0, 1_000_000]);
+        assert_eq!(r.id, "BENCH_failover");
+        assert!(r.text.contains("cycle overhead"));
+        // The certain-crash rows must have actually crashed and, when
+        // they completed, failed over.
+        let crashed: Vec<_> = r
+            .rows
+            .iter()
+            .filter(|row| row.fault_rate_ppm == Some(1_000_000))
+            .collect();
+        assert!(!crashed.is_empty(), "no certain-crash run completed");
+        assert!(crashed
+            .iter()
+            .all(|row| row.dse_crashes > 0 && row.verified));
+        // Rate-0 rows are crash-free.
+        assert!(r
+            .rows
+            .iter()
+            .filter(|row| row.fault_rate_ppm == Some(0))
+            .all(|row| row.dse_crashes == 0 && row.failovers == 0));
     }
 
     #[test]

@@ -31,6 +31,10 @@ impl ToJson for Row {
             ("dma_exhausted", self.dma_exhausted.to_json()),
             ("degraded_pes", self.degraded_pes.to_json()),
             ("fallback_instances", self.fallback_instances.to_json()),
+            ("dse_crashes", self.dse_crashes.to_json()),
+            ("failovers", self.failovers.to_json()),
+            ("rehomed_fallocs", self.rehomed_fallocs.to_json()),
+            ("resync_msgs", self.resync_msgs.to_json()),
             ("wall_ms", self.wall_ms.to_json()),
             ("parallelism", self.parallelism.to_json()),
         ])

@@ -112,6 +112,15 @@ pub struct Row {
     pub degraded_pes: u64,
     /// Thread instances substituted with their fallback twin.
     pub fallback_instances: u64,
+    /// Planned DSE crashes delivered (failover PR; zero without a
+    /// `dse_crash` schedule).
+    pub dse_crashes: u64,
+    /// Arbitration handovers to a successor DSE.
+    pub failovers: u64,
+    /// FALLOC requests re-homed away from a dead DSE.
+    pub rehomed_fallocs: u64,
+    /// Mirror-resync registrations processed after crash or restart.
+    pub resync_msgs: u64,
     /// Host wall-clock for the run, milliseconds (only the `parallel`
     /// engine benchmark measures this; `None` elsewhere).
     pub wall_ms: Option<f64>,
@@ -199,6 +208,10 @@ fn row_from(
         dma_exhausted: stats.dma_exhausted,
         degraded_pes: stats.degraded_pes.len() as u64,
         fallback_instances: stats.fallback_instances,
+        dse_crashes: stats.dse_crashes,
+        failovers: stats.failovers,
+        rehomed_fallocs: stats.rehomed_fallocs,
+        resync_msgs: stats.resync_msgs,
         wall_ms: None,
         parallelism: None,
     }

@@ -77,6 +77,23 @@ pub struct FaultPlan {
     /// Re-arbitration timer for denied FALLOCs, cycles.
     pub falloc_retry_timeout: u64,
 
+    /// Per-node DSE crash rate (ppm): each node rolls once at plan build;
+    /// a node that fires has its DSE fall silent at a planned cycle
+    /// within `dse_crash_window`. Recovered by deterministic failover to
+    /// the lowest-id live peer (re-homed queue, fostered mirrors, LSE
+    /// re-registration).
+    pub dse_crash_ppm: u32,
+    /// Window (cycles) within which a planned crash fires; the exact
+    /// cycle is a pure hash of `(seed, node)`.
+    pub dse_crash_window: u64,
+    /// Silence-detection latency in sim cycles: peers treat a DSE as dead
+    /// this long after its crash (clamped to at least the message
+    /// latency so failover traffic stays epoch-safe).
+    pub dse_failover_detect: u64,
+    /// Planned outage length: a crashed DSE restarts (cold) this many
+    /// cycles after its crash. Zero = never restarts.
+    pub dse_restart_after: u64,
+
     /// Per-PE watchdog: after this many consecutive retry cycles on one
     /// instruction the instance is parked off the pipeline (re-readied by
     /// a DMA completion, or reported by the quiescence watchdog if none
@@ -99,6 +116,10 @@ impl Default for FaultPlan {
             msg_delay_jitter: 23,
             falloc_deny_ppm: 0,
             falloc_retry_timeout: 500,
+            dse_crash_ppm: 0,
+            dse_crash_window: 50_000,
+            dse_failover_detect: 1_000,
+            dse_restart_after: 0,
             watchdog_spin_limit: 100_000,
         }
     }
@@ -128,6 +149,11 @@ impl FaultPlan {
     /// Do any message-level fault sites fire at all?
     pub fn has_msg_faults(&self) -> bool {
         self.msg_drop_ppm > 0 || self.msg_dup_ppm > 0 || self.msg_delay_ppm > 0
+    }
+
+    /// Can any DSE crash under this plan?
+    pub fn has_dse_crash(&self) -> bool {
+        self.dse_crash_ppm > 0
     }
 }
 
@@ -320,6 +346,10 @@ impl SystemConfig {
             pf_region_base: 0,
             op_latency: self.lse_op_latency,
             virtual_frames: self.virtual_frames,
+            // Failover successors arbitrate on approximate fostered
+            // mirrors, so bounded over-grants must park instead of
+            // tripping the over-commit assert.
+            park_on_full: self.faults.is_some_and(|f| f.has_dse_crash()),
         })
     }
 

@@ -29,7 +29,7 @@
 //! hardware parallelism behind them.
 
 use crate::config::{FaultPlan, SystemConfig};
-use crate::fault::{msg_exempt, transform, FaultCounters, DUP_STAMP_BIT};
+use crate::fault::{msg_exempt, transform, FailoverSchedule, FaultCounters, DUP_STAMP_BIT};
 use crate::pipeline::{Activity, MemPort, OutMsg, Pe, SysCtx, Ticket, TicketKind};
 use crate::stats::RunStats;
 use crate::system::{deliver, DeliverEnv, Event, RunError, System};
@@ -39,7 +39,7 @@ use dta_mem::{MainMemory, MemorySystem, TransferKind};
 use dta_sched::{Dest, Dse, Message, MsgSeq};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The conservative epoch width: no interaction that leaves a shard (or
 /// returns to one from the shared memory system) can take effect sooner
@@ -99,6 +99,11 @@ struct Shard {
     msg_faults: Option<FaultPlan>,
     /// The whole fault plan (drives the deliver-time FALLOC denial roll).
     faults: Option<FaultPlan>,
+    /// Shared DSE crash/restart schedule (pure-time queries, so every
+    /// shard answers routing questions identically). All failover posts
+    /// delay by ≥ the message latency ≥ the epoch width, so the protocol
+    /// is epoch-safe.
+    failover: Option<Arc<FailoverSchedule>>,
     /// This shard's message-fault counters (merged into the system at
     /// reassembly).
     fault_counts: FaultCounters,
@@ -178,6 +183,7 @@ impl Shard {
                     trace: &mut self.trace,
                     posts: &mut self.posts,
                     faults: self.faults,
+                    failover: self.failover.as_deref(),
                 };
                 deliver(&mut env, t, e.to, e.msg);
                 self.route_posts(t);
@@ -193,6 +199,7 @@ impl Shard {
                     program,
                     out: &mut self.posts,
                     drain_until: &mut self.scratch_drain,
+                    failover: self.failover.as_deref(),
                 };
                 for pe in self.pes.iter_mut() {
                     match pe.tick(t, &mut ctx) {
@@ -440,6 +447,7 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
                 msg_latency: sys.config.msg_latency,
                 msg_faults: sys.config.faults.filter(|f| f.has_msg_faults()),
                 faults: sys.config.faults,
+                failover: sys.failover.clone(),
                 fault_counts: FaultCounters::default(),
             });
             next_pe += n;
@@ -455,8 +463,9 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
         shard.dses.push(dse);
         shard.dse_stamps.push(stamp);
     }
-    // Route any events pending at run start (none today — launch posts
-    // nothing — but the invariant is cheap to keep).
+    // Route any events pending at run start (the failover schedule's
+    // pre-posted crash/restart injections; each lands in the shard owning
+    // the target DSE).
     for e in sys.events.drain() {
         let s = match e.to {
             Dest::Dse(n) => dse_owner[n as usize],

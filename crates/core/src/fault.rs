@@ -28,7 +28,7 @@
 //! would turn bounded recovery into unbounded recursion.
 
 use crate::config::FaultPlan;
-use dta_mem::fault::{roll, SITE_MSG_DELAY, SITE_MSG_DROP, SITE_MSG_DUP};
+use dta_mem::fault::{mix64, roll, SITE_DSE_CRASH, SITE_MSG_DELAY, SITE_MSG_DROP, SITE_MSG_DUP};
 use dta_sched::{Message, MsgSeq};
 
 /// Stamp-sequence bit marking a duplicated copy (discarded at delivery).
@@ -61,10 +61,148 @@ impl FaultCounters {
     }
 }
 
-/// Messages the injector must never touch: the recovery timer itself and
-/// the synthetic-stamped scalar-read completion.
+/// Messages the injector must never touch: the recovery timer itself, the
+/// synthetic-stamped scalar-read completion, and the whole crash/failover
+/// protocol (the injector silencing its own recovery traffic would turn a
+/// planned outage into an unrecoverable one).
 pub fn msg_exempt(msg: &Message) -> bool {
-    matches!(msg, Message::FallocRetry | Message::ReadDone { .. })
+    matches!(
+        msg,
+        Message::FallocRetry
+            | Message::ReadDone { .. }
+            | Message::DseCrash
+            | Message::DseRestart
+            | Message::DseResync
+            | Message::DseRegister { .. }
+            | Message::FosterRelease { .. }
+    )
+}
+
+/// The planned outage of one node's DSE.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DseOutage {
+    /// Cycle at which the DSE falls silent.
+    pub crash_at: u64,
+    /// Cycle at which peers treat it as dead (heartbeat lease expiry).
+    pub detect_at: u64,
+    /// Cycle at which it rejoins cold, if the plan restarts it at all.
+    pub restart_at: Option<u64>,
+}
+
+/// The fully resolved DSE crash/restart schedule of a fault plan.
+///
+/// Built once at system construction from pure hashes of `(seed, node)`,
+/// so both engines — and every shard — agree on every outage without
+/// exchanging any state. All liveness queries are pure functions of
+/// `(node, time)`, which is what makes the failover protocol
+/// engine-invariant by construction: routing decisions never depend on
+/// who observed what, only on the schedule and the current cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailoverSchedule {
+    /// Per-node planned outage (`None` = this node's roll did not fire).
+    outages: Vec<Option<DseOutage>>,
+    /// Silence-detection latency (clamped ≥ message latency ≥ 1 so every
+    /// failover hop is epoch-safe in the sharded engine).
+    detect: u64,
+}
+
+impl FailoverSchedule {
+    /// Resolves the plan's `dse_crash` sites for an `nodes`-node machine.
+    /// Returns `None` when the plan cannot crash anything (rate zero or
+    /// no node's roll fired) — the `None` gates every failover code path,
+    /// which is the zero-overhead-when-off guarantee.
+    pub fn from_plan(plan: &FaultPlan, nodes: u16, msg_latency: u64) -> Option<Self> {
+        if !plan.has_dse_crash() {
+            return None;
+        }
+        let detect = plan.dse_failover_detect.max(msg_latency).max(1);
+        let window = plan.dse_crash_window.max(1);
+        let outages: Vec<Option<DseOutage>> = (0..nodes)
+            .map(|n| {
+                if !roll(plan.seed, SITE_DSE_CRASH, n as u64, plan.dse_crash_ppm) {
+                    return None;
+                }
+                // Crash no earlier than cycle 1: launch seeds the first
+                // FALLOC through the DSE inline at t = 0.
+                let crash_at = 1 + mix64(
+                    mix64(plan.seed ^ SITE_DSE_CRASH).wrapping_add(0x43_5241_5348 ^ n as u64),
+                ) % window;
+                // Deliberately NOT clamped past detection: a restart
+                // before the lease expires is the restart-during-rehome
+                // interleaving (arbitration never leaves home).
+                let restart_at =
+                    (plan.dse_restart_after > 0).then(|| crash_at + plan.dse_restart_after);
+                Some(DseOutage {
+                    crash_at,
+                    detect_at: crash_at + detect,
+                    restart_at,
+                })
+            })
+            .collect();
+        outages
+            .iter()
+            .any(Option::is_some)
+            .then_some(FailoverSchedule { outages, detect })
+    }
+
+    /// The planned outage of `node`, if any.
+    #[inline]
+    pub fn outage(&self, node: u16) -> Option<DseOutage> {
+        self.outages[node as usize]
+    }
+
+    /// Silence-detection latency in cycles (≥ message latency).
+    #[inline]
+    pub fn detect_latency(&self) -> u64 {
+        self.detect
+    }
+
+    /// Is `node`'s DSE dead at cycle `t`? (Crashed, not yet restarted.)
+    pub fn dead(&self, node: u16, t: u64) -> bool {
+        self.outages[node as usize]
+            .is_some_and(|o| t >= o.crash_at && o.restart_at.is_none_or(|r| t < r))
+    }
+
+    /// Has `node`'s death been *detected* by cycle `t`? Peers keep
+    /// routing to a dead DSE until its lease expires (those messages
+    /// bounce), which is what makes detection a fixed-latency event both
+    /// engines agree on.
+    pub fn detected(&self, node: u16, t: u64) -> bool {
+        self.dead(node, t)
+            && self.outages[node as usize].is_some_and(|o| t >= o.crash_at + self.detect)
+    }
+
+    /// Who arbitrates `node`'s FALLOC traffic at cycle `t`?
+    ///
+    /// The node itself until its death is detected; then the lowest-id
+    /// live peer (deterministic successor election); if *every* DSE is
+    /// dead, the one that restarts soonest (its mailbox holds traffic
+    /// until the restart); `None` if nobody ever comes back.
+    pub fn arbiter(&self, node: u16, t: u64) -> Option<u16> {
+        if !self.detected(node, t) {
+            return Some(node);
+        }
+        let n = self.outages.len() as u16;
+        if let Some(m) = (0..n).find(|&m| !self.dead(m, t)) {
+            return Some(m);
+        }
+        (0..n)
+            .filter_map(|m| {
+                self.outages[m as usize]
+                    .and_then(|o| o.restart_at)
+                    .filter(|&r| r > t)
+                    .map(|r| (r, m))
+            })
+            .min()
+            .map(|(_, m)| m)
+    }
+
+    /// Send-time routing: the arbiter of `home` at `t`, or `home` itself
+    /// when nobody is left (the message dead-letters at the silent DSE,
+    /// and the quiescence watchdog reports the loss as a typed error).
+    pub fn route(&self, home: u16, t: u64) -> u16 {
+        self.arbiter(home, t).unwrap_or(home)
+    }
 }
 
 /// Applies the message-fault rolls of `plan` to a delivery scheduled at
@@ -190,6 +328,108 @@ mod tests {
             value: 0,
             ready_at: 0
         }));
+        assert!(msg_exempt(&Message::DseCrash));
+        assert!(msg_exempt(&Message::DseRestart));
+        assert!(msg_exempt(&Message::DseResync));
+        assert!(msg_exempt(&Message::DseRegister { pe: 0, free: 0 }));
+        assert!(msg_exempt(&Message::FosterRelease { node: 0 }));
         assert!(!msg_exempt(&Message::FrameFreed { pe: 0 }));
+    }
+
+    fn crash_plan(ppm: u32, restart_after: u64) -> FaultPlan {
+        FaultPlan {
+            dse_crash_ppm: ppm,
+            dse_crash_window: 1000,
+            dse_failover_detect: 50,
+            dse_restart_after: restart_after,
+            ..FaultPlan::seeded(0xC0FFEE)
+        }
+    }
+
+    #[test]
+    fn schedule_is_none_when_off_or_no_roll_fires() {
+        assert!(FailoverSchedule::from_plan(&crash_plan(0, 0), 4, 5).is_none());
+        // A zero-ppm-adjacent rate that cannot fire for any of 2 nodes:
+        // scan seeds for one where neither node rolls.
+        let mut plan = crash_plan(1, 0);
+        for seed in 0..64u64 {
+            plan.seed = seed;
+            if !(0..2).any(|n| roll(seed, SITE_DSE_CRASH, n, 1)) {
+                assert!(FailoverSchedule::from_plan(&plan, 2, 5).is_none());
+                return;
+            }
+        }
+        panic!("no quiet seed in 64 tries at 1 ppm");
+    }
+
+    #[test]
+    fn certain_crash_schedules_every_node_deterministically() {
+        let plan = crash_plan(1_000_000, 300);
+        let s = FailoverSchedule::from_plan(&plan, 3, 5).expect("all nodes fire");
+        let s2 = FailoverSchedule::from_plan(&plan, 3, 5).expect("replay");
+        assert_eq!(s, s2, "schedule is pure in the plan");
+        for n in 0..3 {
+            let o = s.outage(n).expect("fired");
+            assert!(o.crash_at >= 1 && o.crash_at <= 1000);
+            assert_eq!(o.detect_at, o.crash_at + 50);
+            assert_eq!(o.restart_at, Some(o.crash_at + 300));
+        }
+        // Crash cycles differ across nodes (per-node hash keys).
+        let c: Vec<u64> = (0..3).map(|n| s.outage(n).unwrap().crash_at).collect();
+        assert!(c[0] != c[1] || c[1] != c[2]);
+    }
+
+    #[test]
+    fn detect_clamps_to_message_latency() {
+        let mut plan = crash_plan(1_000_000, 0);
+        plan.dse_failover_detect = 0;
+        let s = FailoverSchedule::from_plan(&plan, 1, 7).unwrap();
+        assert_eq!(s.detect_latency(), 7);
+    }
+
+    #[test]
+    fn liveness_and_arbiter_follow_the_lease() {
+        let plan = crash_plan(1_000_000, 0); // no restart
+        let s = FailoverSchedule::from_plan(&plan, 2, 5).unwrap();
+        let o0 = s.outage(0).unwrap();
+        assert!(!s.dead(0, o0.crash_at - 1));
+        assert!(s.dead(0, o0.crash_at));
+        assert!(!s.detected(0, o0.detect_at - 1));
+        assert!(s.detected(0, o0.detect_at));
+        // Before detection the home node still arbitrates (bounces).
+        assert_eq!(s.arbiter(0, o0.crash_at), Some(0));
+        // After detection: lowest-id live peer... but with certain crash
+        // both fired; whoever is still alive at that cycle wins, else the
+        // soonest restarter, else None.
+        let o1 = s.outage(1).unwrap();
+        let t = o0.detect_at.max(o1.detect_at);
+        assert_eq!(s.arbiter(0, t), None, "no restart, everyone dead");
+    }
+
+    #[test]
+    fn arbiter_prefers_lowest_live_then_soonest_restart() {
+        let plan = crash_plan(1_000_000, 10_000);
+        let s = FailoverSchedule::from_plan(&plan, 2, 5).unwrap();
+        let o0 = s.outage(0).unwrap();
+        let o1 = s.outage(1).unwrap();
+        // Pick a cycle where 0 is detected dead but 1 still lives (or
+        // vice versa) — the live one must arbitrate for both.
+        if o0.detect_at < o1.crash_at {
+            assert_eq!(s.arbiter(0, o0.detect_at), Some(1));
+            assert_eq!(s.arbiter(1, o0.detect_at), Some(1));
+        } else if o1.detect_at < o0.crash_at {
+            assert_eq!(s.arbiter(1, o1.detect_at), Some(0));
+            assert_eq!(s.arbiter(0, o1.detect_at), Some(0));
+        }
+        // Once both are detected dead, the soonest restarter holds the
+        // mail; after restarts, home arbitrates again.
+        let both = o0.detect_at.max(o1.detect_at);
+        if s.dead(0, both) && s.dead(1, both) {
+            let soonest = if o0.restart_at <= o1.restart_at { 0 } else { 1 };
+            assert_eq!(s.arbiter(0, both), Some(soonest));
+        }
+        let back = o0.restart_at.unwrap().max(o1.restart_at.unwrap());
+        assert_eq!(s.arbiter(0, back), Some(0));
+        assert_eq!(s.route(1, back), 1);
     }
 }

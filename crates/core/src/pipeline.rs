@@ -146,6 +146,9 @@ pub struct SysCtx<'a> {
     pub out: &'a mut Vec<OutMsg>,
     /// Latest cycle at which posted writes will have drained.
     pub drain_until: &'a mut u64,
+    /// DSE crash/restart schedule: FALLOCs route to the home node's
+    /// *current* arbiter (None = fixed topology).
+    pub failover: Option<&'a crate::fault::FailoverSchedule>,
 }
 
 enum Exec {
@@ -709,9 +712,10 @@ impl Pe {
             }
             Instr::Falloc { rd, thread, sc } => {
                 let stamp = self.stamp.bump();
+                let target = ctx.failover.map_or(self.node, |f| f.route(self.node, now));
                 ctx.out.push((
                     now + self.params.msg_latency,
-                    Dest::Dse(self.node),
+                    Dest::Dse(target),
                     Message::FallocRequest {
                         requester: self.pe,
                         for_inst: id,

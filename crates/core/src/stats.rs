@@ -287,6 +287,17 @@ pub struct RunStats {
     pub fallback_instances: u64,
     /// Instances parked off a pipeline by the spin watchdog.
     pub watchdog_parks: u64,
+    /// DSE failover — all zero without a `dse_crash` schedule.
+    ///
+    /// Planned DSE crashes that fired.
+    pub dse_crashes: u64,
+    /// Arbitration hand-offs to a successor DSE.
+    pub failovers: u64,
+    /// FALLOC requests re-homed away from a dead DSE (orphan replays plus
+    /// in-flight bounces).
+    pub rehomed_fallocs: u64,
+    /// LSE re-registration messages absorbed by arbiters.
+    pub resync_msgs: u64,
 }
 
 impl RunStats {
@@ -364,6 +375,10 @@ impl ToJson for RunStats {
             ("degraded_pes", self.degraded_pes.to_json()),
             ("fallback_instances", self.fallback_instances.to_json()),
             ("watchdog_parks", self.watchdog_parks.to_json()),
+            ("dse_crashes", self.dse_crashes.to_json()),
+            ("failovers", self.failovers.to_json()),
+            ("rehomed_fallocs", self.rehomed_fallocs.to_json()),
+            ("resync_msgs", self.resync_msgs.to_json()),
         ])
     }
 }

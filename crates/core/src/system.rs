@@ -14,7 +14,7 @@
 //! (program, config) pair always produces identical results.
 
 use crate::config::{FaultPlan, Parallelism, SystemConfig};
-use crate::fault::{msg_exempt, transform, FaultCounters, DUP_STAMP_BIT};
+use crate::fault::{msg_exempt, transform, FailoverSchedule, FaultCounters, DUP_STAMP_BIT};
 use crate::pipeline::{Activity, MemPort, OutMsg, Pe, PipelineParams, SysCtx};
 use crate::stats::{PeStats, RunStats};
 use crate::trace::{Trace, TraceKind, TraceRecord};
@@ -69,6 +69,9 @@ pub enum RunError {
         stalled_dma: u64,
         /// Instances parked off a pipeline by the spin watchdog.
         parked: u64,
+        /// Planned DSE crashes that fired (unrecovered work dies with a
+        /// DSE when no successor ever takes over).
+        crashed_dses: u64,
         /// Per-PE breakdown of the stuck instances (PEs with no live
         /// instances are omitted).
         pes: Vec<DeadlockPe>,
@@ -107,12 +110,14 @@ impl fmt::Display for RunError {
                 live,
                 stalled_dma,
                 parked,
+                crashed_dses,
                 pes,
             } => {
                 write!(
                     f,
                     "watchdog at cycle {cycle}: {live} instances still alive \
-                     ({stalled_dma} stalled DMA commands, {parked} watchdog parks)"
+                     ({stalled_dma} stalled DMA commands, {parked} watchdog parks, \
+                     {crashed_dses} crashed DSEs)"
                 )?;
                 write_pe_report(f, pes)
             }
@@ -185,6 +190,9 @@ pub(crate) struct DeliverEnv<'a> {
     pub posts: &'a mut Vec<OutMsg>,
     /// Fault injection plan (None = fault-free).
     pub faults: Option<FaultPlan>,
+    /// Resolved DSE crash/restart schedule (None = no DSE can crash; the
+    /// gate for every failover code path).
+    pub failover: Option<&'a FailoverSchedule>,
 }
 
 impl DeliverEnv<'_> {
@@ -210,6 +218,141 @@ impl DeliverEnv<'_> {
     }
 }
 
+/// Handles the DSE crash/failover protocol for a message addressed to
+/// `node`'s DSE. Returns `true` when the message was consumed (the caller
+/// must not run the normal arms). All routing decisions are pure
+/// functions of the schedule and the current cycle, so both engines make
+/// them identically, and every post here delays by at least the message
+/// latency (the epoch width bound), keeping the sharded engine sound.
+fn deliver_failover(env: &mut DeliverEnv<'_>, now: u64, node: u16, msg: Message) -> bool {
+    let Some(f) = env.failover else {
+        return false;
+    };
+    let di = (node - env.dse_base) as usize;
+    let detect = f.detect_latency();
+    let msg_latency = env.msg_latency;
+    let ppn = env.pes_per_node;
+    match msg {
+        Message::DseCrash => {
+            // The planned silence: the DSE dies holding its pending queue
+            // and any fostered mirrors. Orphans replay to the successor
+            // (elected at lease expiry) straight from this admission-time
+            // event — the paper's "replayed from the fault schedule".
+            let orphans = env.dses[di].crash();
+            let o = f.outage(node).expect("crash event implies an outage");
+            if let Some(succ) = f.arbiter(node, o.detect_at) {
+                if succ != node {
+                    env.dses[di].note_failover();
+                }
+                env.dses[di].note_rehomed(orphans.len() as u64);
+                for req in orphans {
+                    let stamp = env.dse_stamps[di].bump();
+                    env.posts.push((
+                        now + detect,
+                        Dest::Dse(succ),
+                        Message::FallocRequest {
+                            requester: req.requester,
+                            for_inst: req.for_inst,
+                            thread: req.thread,
+                            sc: req.sc,
+                            hops: 0,
+                        },
+                        stamp,
+                    ));
+                }
+            }
+            // Every node this DSE arbitrated just before dying — its own,
+            // plus any it was fostering (crash-of-successor) — gets its
+            // LSEs told to re-register with whoever arbitrates next.
+            for m in 0..env.nodes {
+                if f.arbiter(m, now.saturating_sub(1)) != Some(node) {
+                    continue;
+                }
+                for i in 0..ppn {
+                    let pe = m * ppn + i;
+                    let stamp = env.dse_stamps[di].bump();
+                    env.posts
+                        .push((now + detect, Dest::Lse(pe), Message::DseResync, stamp));
+                }
+            }
+            true
+        }
+        Message::DseRestart => {
+            // Cold rejoin: empty queue, zeroed mirrors. Own LSEs resync
+            // the authoritative counts; the previous arbiter (if any —
+            // a restart inside the lease never moved arbitration) drops
+            // its fostered copies of our PEs.
+            let prev = f.arbiter(node, now - 1);
+            env.dses[di].restart();
+            for i in 0..ppn {
+                let pe = node * ppn + i;
+                let stamp = env.dse_stamps[di].bump();
+                env.posts
+                    .push((now + msg_latency, Dest::Lse(pe), Message::DseResync, stamp));
+            }
+            if let Some(p) = prev {
+                if p != node {
+                    let stamp = env.dse_stamps[di].bump();
+                    env.posts.push((
+                        now + msg_latency,
+                        Dest::Dse(p),
+                        Message::FosterRelease { node },
+                        stamp,
+                    ));
+                }
+            }
+            true
+        }
+        Message::DseRegister { pe, free } if env.dses[di].alive() => {
+            let done = env.dses[di].reserve_op(now);
+            let grants = env.dses[di].register(pe, free);
+            for (target, req) in grants {
+                let stamp = env.dse_stamps[di].bump();
+                env.posts.push((
+                    done + msg_latency,
+                    Dest::Lse(target),
+                    Dse::alloc_message(req),
+                    stamp,
+                ));
+            }
+            true
+        }
+        Message::FosterRelease { node: m } if env.dses[di].alive() => {
+            env.dses[di].release_foster(m * ppn, (m + 1) * ppn);
+            true
+        }
+        _ if !env.dses[di].alive() => {
+            // Delivery to a dead DSE. Work that must survive bounces to
+            // the current arbiter one lease later (each bounce advances
+            // time, so loops terminate at detection, restart, or — when
+            // nobody ever comes back — the drop that the quiescence
+            // watchdog turns into a typed error).
+            match msg {
+                Message::FallocRequest { .. } => {
+                    if let Some(target) = f.arbiter(node, now) {
+                        env.dses[di].note_rehomed(1);
+                        let stamp = env.dse_stamps[di].bump();
+                        env.posts
+                            .push((now + detect, Dest::Dse(target), msg, stamp));
+                    }
+                }
+                Message::FrameFreed { pe } | Message::DseRegister { pe, .. } => {
+                    if let Some(target) = f.arbiter(pe / ppn, now) {
+                        let stamp = env.dse_stamps[di].bump();
+                        env.posts
+                            .push((now + detect, Dest::Dse(target), msg, stamp));
+                    }
+                }
+                // Denial-retry timers, foster releases and other strays
+                // reference state that died with the DSE: drop them.
+                _ => {}
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
 /// Applies one message to its destination unit, collecting any posts it
 /// provokes. Shared verbatim between the sequential and sharded engines,
 /// which is what keeps their per-unit behaviour identical by
@@ -217,6 +360,9 @@ impl DeliverEnv<'_> {
 pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message) {
     match to {
         Dest::Dse(node) => {
+            if env.failover.is_some() && deliver_failover(env, now, node, msg) {
+                return;
+            }
             let msg_latency = env.msg_latency;
             let dse = &mut env.dses[(node - env.dse_base) as usize];
             match msg {
@@ -242,11 +388,16 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                     // mirror, so the retry is guaranteed the capacity this
                     // request would have been granted — recovery cannot
                     // itself starve).
+                    // Keyed by admission attempt (granted requests plus
+                    // prior denials), so the key advances even when this
+                    // roll denies — keying on `requests` alone would
+                    // freeze the roll after the first denial and deny
+                    // every later arrival too.
                     let denied = env.faults.is_some_and(|f| {
                         roll(
                             f.seed,
                             SITE_FALLOC_DENY,
-                            ((node as u64) << 48) ^ dse.stats().requests,
+                            ((node as u64) << 48) ^ (dse.stats().requests + dse.stats().denials),
                             f.falloc_deny_ppm,
                         )
                     });
@@ -283,7 +434,11 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                             ));
                         }
                         FallocDecision::Forward => {
-                            let next = (node + 1) % env.nodes;
+                            // Under failover, a forward skips dead peers
+                            // (send-time routing to the ring successor's
+                            // current arbiter).
+                            let ring = (node + 1) % env.nodes;
+                            let next = env.failover.map_or(ring, |f| f.route(ring, now));
                             env.posts.push((
                                 done + msg_latency,
                                 Dest::Dse(next),
@@ -458,11 +613,15 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                             stamp,
                         ));
                     }
+                    // The capacity notification goes to whoever arbitrates
+                    // this PE right now (its home DSE, or the successor
+                    // fostering it after a crash).
                     let node = pe / env.pes_per_node;
+                    let target = env.failover.map_or(node, |f| f.route(node, now));
                     let stamp = env.pe(pe).stamp.bump();
                     env.posts.push((
                         done + msg_latency,
-                        Dest::Dse(node),
+                        Dest::Dse(target),
                         Message::FrameFreed { pe },
                         stamp,
                     ));
@@ -475,6 +634,23 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                     if !p.current_dma_done(owner, tag) {
                         p.lse.dma_done(now, owner, tag);
                     }
+                }
+                Message::DseResync => {
+                    // Failover: the arbiter changed; report the
+                    // authoritative free-frame count to whoever
+                    // arbitrates this PE now.
+                    let p = env.pe(pe);
+                    let done = p.lse.reserve_op(now);
+                    let free = p.lse.free_frames();
+                    let home = pe / env.pes_per_node;
+                    let target = env.failover.map_or(home, |f| f.route(home, now));
+                    let stamp = env.pe(pe).stamp.bump();
+                    env.posts.push((
+                        done + msg_latency,
+                        Dest::Dse(target),
+                        Message::DseRegister { pe, free },
+                        stamp,
+                    ));
                 }
                 other => panic!("LSE {pe} received unexpected message {other:?}"),
             }
@@ -510,6 +686,8 @@ pub struct System {
     pub(crate) trace: Option<Trace>,
     /// Message-fault bookkeeping (shard counters merge in here).
     pub(crate) fault_counts: FaultCounters,
+    /// Resolved DSE crash/restart schedule (None = no DSE can crash).
+    pub(crate) failover: Option<Arc<FailoverSchedule>>,
 }
 
 impl fmt::Debug for System {
@@ -556,7 +734,7 @@ impl System {
             }
             pes.push(p);
         }
-        let dses = (0..config.nodes)
+        let mut dses: Vec<Dse> = (0..config.nodes)
             .map(|node| {
                 let local: Vec<u16> = (0..config.pes_per_node)
                     .map(|i| node * config.pes_per_node + i)
@@ -581,6 +759,47 @@ impl System {
         let dse_stamps = (0..config.nodes)
             .map(|node| MsgSeq::first(total + node as u32))
             .collect();
+        // Resolve the DSE crash/restart schedule and pre-post its
+        // injection events. The synthetic injector rank sits past every
+        // real unit, so a same-cycle crash delivers after all real
+        // protocol traffic of that cycle — deterministically in both
+        // engines. `None` gates every failover code path (zero overhead
+        // when off).
+        let failover = config
+            .faults
+            .as_ref()
+            .and_then(|f| FailoverSchedule::from_plan(f, config.nodes, config.msg_latency))
+            .map(Arc::new);
+        let mut events = BinaryHeap::new();
+        if let Some(f) = &failover {
+            for d in dses.iter_mut() {
+                d.enable_failover();
+            }
+            for node in 0..config.nodes {
+                let Some(o) = f.outage(node) else { continue };
+                let rank = total + config.nodes as u32 + node as u32;
+                events.push(Event {
+                    time: o.crash_at,
+                    stamp: MsgSeq {
+                        src_rank: rank,
+                        seq: 0,
+                    },
+                    to: Dest::Dse(node),
+                    msg: Message::DseCrash,
+                });
+                if let Some(r) = o.restart_at {
+                    events.push(Event {
+                        time: r,
+                        stamp: MsgSeq {
+                            src_rank: rank,
+                            seq: 1,
+                        },
+                        to: Dest::Dse(node),
+                        msg: Message::DseRestart,
+                    });
+                }
+            }
+        }
         Ok(System {
             memsys: config.memory_system(),
             config,
@@ -589,12 +808,13 @@ impl System {
             dses,
             dse_stamps,
             mem,
-            events: BinaryHeap::new(),
+            events,
             now: 0,
             drain_until: 0,
             launched: false,
             trace,
             fault_counts: FaultCounters::default(),
+            failover,
         })
     }
 
@@ -760,7 +980,8 @@ impl System {
     pub(crate) fn quiescence_error(&self) -> RunError {
         let stalled_dma: u64 = self.pes.iter().map(|p| p.mfc.stats().stalled).sum();
         let parked: u64 = self.pes.iter().map(|p| p.watchdog_parks).sum();
-        if stalled_dma + parked == 0 {
+        let crashed: u64 = self.dses.iter().map(|d| d.stats().crashes).sum();
+        if stalled_dma + parked + crashed == 0 {
             return self.deadlock_error();
         }
         let (live, pes) = self.live_report();
@@ -769,6 +990,7 @@ impl System {
             live,
             stalled_dma,
             parked,
+            crashed_dses: crashed,
             pes,
         }
     }
@@ -838,6 +1060,7 @@ impl System {
                     trace: &mut self.trace,
                     posts: &mut posts,
                     faults: self.config.faults,
+                    failover: self.failover.as_deref(),
                 };
                 deliver(&mut env, self.now, e.to, e.msg);
                 for (time, to, msg, stamp) in posts.drain(..) {
@@ -855,6 +1078,7 @@ impl System {
                     mem,
                     program,
                     drain_until,
+                    failover,
                     ..
                 } = self;
                 let mut ctx = SysCtx {
@@ -862,6 +1086,7 @@ impl System {
                     program,
                     out: &mut outbox,
                     drain_until,
+                    failover: failover.as_deref(),
                 };
                 for pe in pes.iter_mut() {
                     match pe.tick(self.now, &mut ctx) {
@@ -961,6 +1186,10 @@ impl System {
                 .collect(),
             fallback_instances: self.pes.iter().map(|p| p.fallbacks).sum(),
             watchdog_parks: self.pes.iter().map(|p| p.watchdog_parks).sum(),
+            dse_crashes: self.dses.iter().map(|d| d.stats().crashes).sum(),
+            failovers: self.dses.iter().map(|d| d.stats().failovers).sum(),
+            rehomed_fallocs: self.dses.iter().map(|d| d.stats().rehomed).sum(),
+            resync_msgs: self.dses.iter().map(|d| d.stats().resyncs).sum(),
             per_pe,
             aggregate,
         }

@@ -23,6 +23,9 @@ pub const SITE_MSG_DUP: u64 = 0x4D53_4755; // "MSGU"
 pub const SITE_MSG_DELAY: u64 = 0x4D53_474C; // "MSGL"
 /// Site salt: FALLOC arbitration denial (simulated frame exhaustion).
 pub const SITE_FALLOC_DENY: u64 = 0x4641_4C44; // "FALD"
+/// Site salt: per-node DSE crash (silences the node's scheduler at a
+/// planned cycle; recovered by deterministic failover to a live peer).
+pub const SITE_DSE_CRASH: u64 = 0x4453_4543; // "DSEC"
 
 /// SplitMix64 finaliser: a high-quality 64-bit avalanche mix.
 #[inline]

@@ -15,6 +15,7 @@ use crate::instance::InstanceId;
 use crate::message::Message;
 use dta_isa::ThreadId;
 use dta_mem::ResourcePool;
+use std::cmp::Reverse;
 use std::collections::VecDeque;
 
 /// DSE configuration.
@@ -75,6 +76,15 @@ pub struct DseStats {
     pub max_pending: usize,
     /// Requests denied by fault injection and parked for re-arbitration.
     pub denials: u64,
+    /// Injected crashes of this DSE.
+    pub crashes: u64,
+    /// Crashes of this DSE whose arbitration moved to a live peer.
+    pub failovers: u64,
+    /// FALLOC requests re-homed away from this DSE while it was dead
+    /// (orphans replayed at crash plus in-flight requests bounced).
+    pub rehomed: u64,
+    /// `DseRegister` resync messages this DSE applied.
+    pub resyncs: u64,
 }
 
 /// The per-node Distributed Scheduler Element.
@@ -85,11 +95,24 @@ pub struct Dse {
     pes: Vec<u16>,
     /// Mirror of per-PE free frame counts (indexed like `pes`).
     free_mirror: Vec<i64>,
+    /// Capacity mirrors fostered from crashed peer nodes while this DSE
+    /// acts as their successor arbiter: `(global PE, free frames)`,
+    /// sorted by PE for deterministic iteration. Foster slots are only
+    /// granted while strictly positive — the successor's view of a
+    /// remote PE is approximate, and over-granting a foreign LSE would
+    /// violate its capacity invariant.
+    foster: Vec<(u16, i64)>,
     pending: VecDeque<PendingFalloc>,
     params: DseParams,
     total_nodes: u16,
     busy: ResourcePool,
     stats: DseStats,
+    /// Cleared by an injected crash, set again by the planned restart.
+    alive: bool,
+    /// Crash/failover protocol armed (a `dse_crash` schedule exists).
+    /// When false, a `FrameFreed` from a foreign PE is still a routing
+    /// bug and panics.
+    failover_enabled: bool,
 }
 
 impl Dse {
@@ -108,11 +131,14 @@ impl Dse {
             node,
             pes,
             free_mirror: vec![frames_per_pe as i64; n],
+            foster: Vec::new(),
             pending: VecDeque::new(),
             params,
             total_nodes,
             busy: ResourcePool::new(1),
             stats: DseStats::default(),
+            alive: true,
+            failover_enabled: false,
         }
     }
 
@@ -139,18 +165,47 @@ impl Dse {
         self.busy.reserve(now, self.params.op_latency).end
     }
 
-    fn pick_pe(&self) -> Option<usize> {
-        // Least-loaded = most free frames; ties break to the lowest PE
-        // index for determinism.
-        let (best, &free) = self
-            .free_mirror
-            .iter()
-            .enumerate()
-            .max_by_key(|&(i, &f)| (f, std::cmp::Reverse(i)))?;
-        if free > 0 || self.params.virtual_frames {
-            Some(best)
+    /// Picks the least-loaded slot across own and fostered mirrors
+    /// (most free frames; ties break to the lowest global PE index for
+    /// determinism). Returns `(index, is_own)`. Identical to the pre-
+    /// failover pick whenever `foster` is empty: own PE indices are
+    /// ascending, so the `(free, Reverse(global_pe))` key orders exactly
+    /// like the old `(free, Reverse(slot))`.
+    fn pick_slot(&self) -> Option<(usize, bool)> {
+        let mut best: Option<(i64, u16, bool, usize)> = None;
+        for (i, &f) in self.free_mirror.iter().enumerate() {
+            let pe = self.pes[i];
+            if best.is_none_or(|(bf, bpe, _, _)| (f, Reverse(pe)) > (bf, Reverse(bpe))) {
+                best = Some((f, pe, true, i));
+            }
+        }
+        for (j, &(pe, f)) in self.foster.iter().enumerate() {
+            // Foster slots never over-grant: virtual frames apply only
+            // to a node's own PEs.
+            if f <= 0 {
+                continue;
+            }
+            if best.is_none_or(|(bf, bpe, _, _)| (f, Reverse(pe)) > (bf, Reverse(bpe))) {
+                best = Some((f, pe, false, j));
+            }
+        }
+        let (free, _, own, idx) = best?;
+        if free > 0 || (own && self.params.virtual_frames) {
+            Some((idx, own))
         } else {
             None
+        }
+    }
+
+    /// Picks and debits a slot; returns the granted global PE index.
+    fn take_slot(&mut self) -> Option<u16> {
+        let (idx, own) = self.pick_slot()?;
+        if own {
+            self.free_mirror[idx] -= 1;
+            Some(self.pes[idx])
+        } else {
+            self.foster[idx].1 -= 1;
+            Some(self.foster[idx].0)
         }
     }
 
@@ -159,11 +214,10 @@ impl Dse {
     /// forever).
     pub fn on_falloc(&mut self, req: PendingFalloc, hops: u16) -> FallocDecision {
         self.stats.requests += 1;
-        match self.pick_pe() {
-            Some(i) => {
-                self.free_mirror[i] -= 1;
+        match self.take_slot() {
+            Some(pe) => {
                 self.stats.grants += 1;
-                FallocDecision::Grant { pe: self.pes[i] }
+                FallocDecision::Grant { pe }
             }
             None if hops + 1 < self.total_nodes => {
                 self.stats.forwards += 1;
@@ -193,14 +247,17 @@ impl Dse {
     /// without a mirror increment: nothing was freed, we are only
     /// re-running the arbitration a denial skipped.
     pub fn re_arbitrate(&mut self) -> Vec<(u16, PendingFalloc)> {
+        self.drain_pending()
+    }
+
+    fn drain_pending(&mut self) -> Vec<(u16, PendingFalloc)> {
         let mut grants = Vec::new();
         while !self.pending.is_empty() {
-            match self.pick_pe() {
-                Some(j) => {
-                    self.free_mirror[j] -= 1;
+            match self.take_slot() {
+                Some(pe) => {
                     self.stats.grants += 1;
                     let req = self.pending.pop_front().expect("non-empty");
-                    grants.push((self.pes[j], req));
+                    grants.push((pe, req));
                 }
                 None => break,
             }
@@ -210,27 +267,87 @@ impl Dse {
 
     /// Handles a `FrameFreed` notification from local PE `pe`; returns any
     /// parked requests that can now be granted, as `(target_pe, request)`
-    /// pairs.
+    /// pairs. With failover armed, a foreign PE credits (or creates) a
+    /// fostered mirror — the free can race the arbiter moving back home.
     pub fn on_frame_freed(&mut self, pe: u16) -> Vec<(u16, PendingFalloc)> {
-        let i = self
-            .pes
-            .iter()
-            .position(|&p| p == pe)
-            .unwrap_or_else(|| panic!("FrameFreed from PE {pe} not in node {}", self.node));
-        self.free_mirror[i] += 1;
-        let mut grants = Vec::new();
-        while !self.pending.is_empty() {
-            match self.pick_pe() {
-                Some(j) => {
-                    self.free_mirror[j] -= 1;
-                    self.stats.grants += 1;
-                    let req = self.pending.pop_front().expect("non-empty");
-                    grants.push((self.pes[j], req));
+        match self.pes.iter().position(|&p| p == pe) {
+            Some(i) => self.free_mirror[i] += 1,
+            None if self.failover_enabled => {
+                match self.foster.binary_search_by_key(&pe, |&(p, _)| p) {
+                    Ok(j) => self.foster[j].1 += 1,
+                    Err(j) => self.foster.insert(j, (pe, 1)),
                 }
-                None => break,
+            }
+            None => panic!("FrameFreed from PE {pe} not in node {}", self.node),
+        }
+        self.drain_pending()
+    }
+
+    /// Arms the crash/failover protocol (a `dse_crash` schedule exists).
+    pub fn enable_failover(&mut self) {
+        self.failover_enabled = true;
+    }
+
+    /// Is this DSE currently alive? (Always true without failover.)
+    #[inline]
+    pub fn alive(&self) -> bool {
+        self.alive
+    }
+
+    /// The injected crash: the DSE falls silent. Returns the orphaned
+    /// pending queue (the caller replays it to the successor from the
+    /// admission-time schedule); fostered mirrors are simply lost — the
+    /// affected nodes' LSEs re-register with the next arbiter.
+    pub fn crash(&mut self) -> Vec<PendingFalloc> {
+        debug_assert!(self.alive, "DSE {} crashed twice", self.node);
+        self.alive = false;
+        self.stats.crashes += 1;
+        self.foster.clear();
+        self.pending.drain(..).collect()
+    }
+
+    /// The planned restart: the DSE rejoins cold — empty queue, no
+    /// fostered capacity, and its own mirrors zeroed until the node's
+    /// LSEs re-register their authoritative free counts.
+    pub fn restart(&mut self) {
+        self.alive = true;
+        self.free_mirror.iter_mut().for_each(|f| *f = 0);
+        self.foster.clear();
+        self.pending.clear();
+    }
+
+    /// Applies a `DseRegister` resync: `pe` reports `free` frames. An own
+    /// PE resets its mirror; a foreign PE upserts a fostered mirror.
+    /// Returns any parked requests the refreshed capacity can now grant.
+    pub fn register(&mut self, pe: u16, free: u32) -> Vec<(u16, PendingFalloc)> {
+        self.stats.resyncs += 1;
+        match self.pes.iter().position(|&p| p == pe) {
+            Some(i) => self.free_mirror[i] = free as i64,
+            None => {
+                debug_assert!(self.failover_enabled, "foreign register without failover");
+                match self.foster.binary_search_by_key(&pe, |&(p, _)| p) {
+                    Ok(j) => self.foster[j].1 = free as i64,
+                    Err(j) => self.foster.insert(j, (pe, free as i64)),
+                }
             }
         }
-        grants
+        self.drain_pending()
+    }
+
+    /// Drops fostered mirrors for global PEs in `[lo, hi)` — the home
+    /// node's DSE restarted and owns them again.
+    pub fn release_foster(&mut self, lo: u16, hi: u16) {
+        self.foster.retain(|&(p, _)| p < lo || p >= hi);
+    }
+
+    /// Records that this (crashed) DSE's arbitration moved to a peer.
+    pub fn note_failover(&mut self) {
+        self.stats.failovers += 1;
+    }
+
+    /// Records FALLOC requests re-homed away from this dead DSE.
+    pub fn note_rehomed(&mut self, n: u64) {
+        self.stats.rehomed += n;
     }
 
     /// Builds the `AllocFrame` message for a grant.

@@ -41,6 +41,13 @@ pub struct LseParams {
     /// Enable virtual frame pointers: FALLOC never fails for lack of
     /// physical frames (paper §4.3's proposed fix for LSE stalls).
     pub virtual_frames: bool,
+    /// Park allocations that arrive with no free physical frame instead
+    /// of panicking. Without failover the DSE's capacity mirror is exact
+    /// and an over-commit is a scheduler bug (the assert tripwire stays);
+    /// with DSE failover a successor arbitrates on *approximate* fostered
+    /// mirrors, so a bounded over-grant is legal and must queue here until
+    /// a frame frees up.
+    pub park_on_full: bool,
 }
 
 impl Default for LseParams {
@@ -52,6 +59,7 @@ impl Default for LseParams {
             pf_region_base: 0,
             op_latency: 2,
             virtual_frames: false,
+            park_on_full: false,
         }
     }
 }
@@ -211,17 +219,27 @@ impl Lse {
         }
         let index = match self.free_frames.pop() {
             Some(i) => i,
-            None => {
-                assert!(
-                    self.params.virtual_frames,
-                    "LSE {}: frame allocation beyond capacity without virtual frames \
-                     (the DSE must not over-commit)",
-                    self.pe
-                );
+            None if self.params.virtual_frames => {
                 let i = self.frames.len() as u32;
                 self.frames.push(None);
                 i
             }
+            None if self.params.park_on_full => {
+                // Failover mode: the arbiter's fostered mirror may lag
+                // reality; queue until FFREE returns a frame. The park
+                // happens before any prefetch buffer is popped, so no
+                // resource leaks.
+                self.pending
+                    .push_back((requester, for_inst, thread, sc, slots, needs_pf));
+                self.stats.max_pending_allocs =
+                    self.stats.max_pending_allocs.max(self.pending.len());
+                return None;
+            }
+            None => panic!(
+                "LSE {}: frame allocation beyond capacity without virtual frames \
+                 (the DSE must not over-commit)",
+                self.pe
+            ),
         };
         let id = self.fresh_instance_id();
         let pf_buf_addr = if needs_pf {
@@ -287,9 +305,16 @@ impl Lse {
         }
         self.stats.frees += 1;
 
-        // Retry parked allocations now that a buffer may be free.
+        // Retry parked allocations now that a frame (and maybe a buffer)
+        // freed up. Entries parked on a prefetch buffer must not be popped
+        // while the pool is dry (they would immediately re-park behind any
+        // frame-parked entries, reordering the queue).
         let mut granted = Vec::new();
-        while !self.pending.is_empty() && !self.pf_free.is_empty() && !self.free_frames.is_empty() {
+        while !self.pending.is_empty() && !self.free_frames.is_empty() {
+            let needs_pf = self.pending.front().expect("non-empty").5;
+            if needs_pf && self.pf_free.is_empty() {
+                break;
+            }
             let (req, for_inst, thread, sc, slots, needs_pf) =
                 self.pending.pop_front().expect("non-empty");
             if let Some(g) = self.alloc_frame(req, for_inst, thread, sc, slots, needs_pf) {
@@ -398,6 +423,7 @@ mod tests {
                 pf_region_base: 0x100,
                 op_latency: 2,
                 virtual_frames: false,
+                park_on_full: false,
             },
         )
     }
@@ -509,6 +535,31 @@ mod tests {
         let granted = l.ffree(g1.frame);
         assert_eq!(granted.len(), 1);
         assert_eq!(granted[0].requester, 7);
+    }
+
+    #[test]
+    fn park_on_full_queues_overgrants_until_ffree() {
+        let mut l = Lse::new(
+            0,
+            LseParams {
+                frame_capacity: 1,
+                park_on_full: true,
+                ..LseParams::default()
+            },
+        );
+        let g1 = l
+            .alloc_frame(0, InstanceId(900), ThreadId(0), 0, 0, false)
+            .unwrap();
+        // Over-grant from an approximate post-failover mirror: parks.
+        assert!(l
+            .alloc_frame(3, InstanceId(901), ThreadId(1), 1, 1, false)
+            .is_none());
+        assert_eq!(l.stats().max_pending_allocs, 1);
+        l.stop(g1.instance);
+        let granted = l.ffree(g1.frame);
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].requester, 3);
+        assert_eq!(granted[0].for_inst, InstanceId(901));
     }
 
     #[test]

@@ -105,6 +105,29 @@ pub enum Message {
     /// Posted as a one-shot timer when fault injection denies an
     /// allocation; exempt from message faults so recovery always runs.
     FallocRetry,
+    /// Fault injector → DSE: the scheduled crash fires — the DSE falls
+    /// silent and its queue/mirrors are re-homed to the successor node.
+    DseCrash,
+    /// Fault injector → DSE: the scheduled restart fires — the DSE
+    /// rejoins cold (empty queue, mirrors rebuilt from peer resyncs).
+    DseRestart,
+    /// Arbiter DSE → LSE: "your arbiter changed (crash or restart) —
+    /// re-register your free-frame count with the current arbiter".
+    DseResync,
+    /// LSE → arbiter DSE: re-registration carrying the PE's authoritative
+    /// free-frame count (rebuilds the arbiter's capacity mirror).
+    DseRegister {
+        /// The re-registering PE (global index).
+        pe: u16,
+        /// Its current free physical frame count.
+        free: u32,
+    },
+    /// Restarted DSE → its former successor: the home node is back —
+    /// drop any fostered capacity mirrors for its PEs.
+    FosterRelease {
+        /// The node whose DSE restarted.
+        node: u16,
+    },
 }
 
 /// A routed message with a relative delivery delay.

@@ -15,6 +15,7 @@ fn small_machine(pes: u16, frames: u32) -> (Dse, Vec<Lse>) {
         pf_region_base: 0,
         op_latency: 2,
         virtual_frames: false,
+        park_on_full: false,
     };
     let lses = (0..pes).map(|p| Lse::new(p, params)).collect();
     let dse = Dse::new(0, (0..pes).collect(), frames, 1, DseParams::default());
