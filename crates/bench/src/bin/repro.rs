@@ -3,11 +3,12 @@
 //! ```text
 //! repro [EXPERIMENT ...] [--quick] [--pes N] [--threads N] [--out DIR]
 //!       [--sweep-threads N] [--fault-seed N] [--fault-rate PPM]
+//!       [--obs MODE] [--metrics-interval N] [--trace-out PATH]
 //!
 //! EXPERIMENT: config table5 fig5 fig6 fig7 fig8 fig9 lat1
 //!             ablate-split ablate-vfp ablate-hw
 //!             ext-cache ext-spxp ext-wholeobj
-//!             parallel faults failover all            (default: all)
+//!             parallel faults failover observe all    (default: all)
 //! --quick     scaled-down workload sizes (CI-friendly)
 //! --pes N     PEs for the non-scalability experiments (default 8)
 //! --threads N run every experiment on the epoch-sharded engine with N
@@ -21,13 +22,23 @@
 //! --fault-rate PPM single injected fault rate for the `faults`
 //!                  experiment instead of the built-in 0/1k/10k/100k
 //!                  ppm sweep
+//! --obs MODE  run every experiment with the structured observability
+//!             bus on: events | metrics | all | off (default off).
+//!             Collection is pure observation — results and cycle
+//!             counts are byte-identical — and composes with
+//!             --threads and --sweep-threads
+//! --metrics-interval N  gauge sampling interval in cycles
+//!             (default 1000; implies nothing unless --obs samples)
+//! --trace-out PATH  additionally run the prefetched mmul under full
+//!             observability and write a Perfetto/Chrome trace.json
+//!             to PATH — load it at https://ui.perfetto.dev
 //! --out DIR   also write <exp>.json / <exp>.txt into DIR
 //!             (default: results/)
 //! ```
 
 use dta_bench::experiments::{
     ablate_hw, ablate_split, ablate_vfp, config, ext_cache, ext_spxp, ext_wholeobj, failover_bench,
-    faults_bench, fig5, fig9, fig_exec_scalability, lat1, parallel_bench, table5,
+    faults_bench, fig5, fig9, fig_exec_scalability, lat1, observe_bench, parallel_bench, table5,
 };
 use dta_bench::{emit, Bench, ExperimentResult};
 use std::path::PathBuf;
@@ -45,6 +56,9 @@ struct Options {
     sweep_threads: Option<usize>,
     fault_seed: u64,
     fault_rate: Option<u32>,
+    obs: Option<dta_core::ObsMode>,
+    metrics_interval: Option<u64>,
+    trace_out: Option<PathBuf>,
     out: Option<PathBuf>,
 }
 
@@ -57,6 +71,9 @@ fn parse_args() -> Result<Options, String> {
         sweep_threads: None,
         fault_seed: 0xDA7A,
         fault_rate: None,
+        obs: None,
+        metrics_interval: None,
+        trace_out: None,
         out: Some(PathBuf::from("results")),
     };
     let mut args = std::env::args().skip(1);
@@ -101,6 +118,28 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|_| "--fault-rate needs a ppm number")?,
                 );
             }
+            "--obs" => {
+                opts.obs = Some(match args.next().ok_or("--obs needs a value")?.as_str() {
+                    "off" => dta_core::ObsMode::Off,
+                    "events" => dta_core::ObsMode::Events,
+                    "metrics" => dta_core::ObsMode::Metrics,
+                    "all" => dta_core::ObsMode::All,
+                    other => return Err(format!("--obs: unknown mode {other:?}")),
+                });
+            }
+            "--metrics-interval" => {
+                opts.metrics_interval = Some(
+                    args.next()
+                        .ok_or("--metrics-interval needs a value")?
+                        .parse()
+                        .map_err(|_| "--metrics-interval needs a cycle count")?,
+                );
+            }
+            "--trace-out" => {
+                opts.trace_out = Some(PathBuf::from(
+                    args.next().ok_or("--trace-out needs a path")?,
+                ));
+            }
             "--out" => {
                 opts.out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?));
             }
@@ -134,6 +173,7 @@ fn parse_args() -> Result<Options, String> {
             "ext-wholeobj",
             "parallel",
             "faults", // also emits the failover sweep
+            "observe",
         ]
         .map(str::to_string)
         .to_vec();
@@ -154,6 +194,16 @@ fn main() -> ExitCode {
     }
     if let Some(n) = opts.sweep_threads {
         dta_bench::experiments::set_sweep_threads(n);
+    }
+    if opts.obs.is_some() || opts.metrics_interval.is_some() {
+        let mut obs = dta_core::ObsConfig::default();
+        if let Some(mode) = opts.obs {
+            obs.mode = mode;
+        }
+        if let Some(n) = opts.metrics_interval {
+            obs.metrics_interval = n;
+        }
+        dta_bench::experiments::set_default_obs(obs);
     }
     let suite = if opts.quick {
         Bench::quick_suite()
@@ -200,6 +250,7 @@ fn main() -> ExitCode {
                 faults_bench(&suite, opts.pes, opts.fault_seed, &rates)
             }
             "failover" => failover_bench(&suite, opts.pes, opts.fault_seed, FAILOVER_RATES),
+            "observe" => observe_bench(&suite, opts.pes),
             other => {
                 eprintln!("unknown experiment {other:?} (try --help)");
                 return ExitCode::FAILURE;
@@ -210,6 +261,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("[{exp} done in {:.1?}]\n", started.elapsed());
+    }
+    if let Some(path) = &opts.trace_out {
+        let bench = Bench::Mmul(mmul_n);
+        let mut cfg = dta_core::SystemConfig::with_pes(opts.pes);
+        if let Some(n) = opts.metrics_interval {
+            cfg.obs.metrics_interval = n;
+        }
+        match dta_bench::runner::try_run_traced(bench, dta_workloads::Variant::HandPrefetch, cfg) {
+            Ok((row, _, _, trace)) => {
+                if let Err(e) = std::fs::write(path, &trace) {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "[trace: {} {} events -> {} ({:.0} KB); open it at https://ui.perfetto.dev]",
+                    bench.name(),
+                    row.obs_events,
+                    path.display(),
+                    trace.len() as f64 / 1024.0,
+                );
+            }
+            Err(e) => {
+                eprintln!("--trace-out run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

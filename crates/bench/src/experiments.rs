@@ -5,8 +5,8 @@
 //! records paper-vs-measured for each.
 
 use crate::report::text_table;
-use crate::runner::{run, try_run, try_run_timed, Bench, Row};
-use dta_core::{Parallelism, StallCat, SystemConfig};
+use crate::runner::{run, try_run, try_run_timed, try_run_traced, Bench, Row};
+use dta_core::{ObsConfig, Parallelism, StallCat, SystemConfig};
 use dta_workloads::Variant;
 use std::sync::OnceLock;
 
@@ -32,6 +32,18 @@ static SWEEP_THREADS: OnceLock<usize> = OnceLock::new();
 /// wins; later calls are ignored.
 pub fn set_sweep_threads(n: usize) {
     let _ = SWEEP_THREADS.set(n.max(1));
+}
+
+/// Process-wide observability config, applied to every experiment run
+/// (set once by `repro --obs` / `--metrics-interval`). Collection is
+/// pure observation — every `RunStats` counter stays byte-identical —
+/// so it composes freely with `--threads` and `--sweep-threads`.
+static DEFAULT_OBS: OnceLock<ObsConfig> = OnceLock::new();
+
+/// Sets the observability config every experiment runs under. First
+/// call wins; later calls are ignored.
+pub fn set_default_obs(obs: ObsConfig) {
+    let _ = DEFAULT_OBS.set(obs);
 }
 
 /// Maps `f` over `items` on `threads` scoped workers (atomic
@@ -100,6 +112,9 @@ fn pes8(suite_pes: u16) -> SystemConfig {
     let mut cfg = SystemConfig::with_pes(suite_pes);
     if let Some(&par) = DEFAULT_PARALLELISM.get() {
         cfg.parallelism = par;
+    }
+    if let Some(&obs) = DEFAULT_OBS.get() {
+        cfg.obs = obs;
     }
     cfg
 }
@@ -856,9 +871,119 @@ pub fn failover_bench(suite: &[Bench], pes: u16, seed: u64, rates: &[u32]) -> Ex
     }
 }
 
+/// Observability overhead benchmark (observability PR): the same
+/// prefetched run with the bus off, with events only (bounded rings),
+/// and with everything on plus a Perfetto render. Simulated cycles and
+/// results must be **identical** across all three — collection happens
+/// post-run from the merged stream, so the only cost is host wall
+/// clock, which this table quantifies. Written as `BENCH_observe.json`.
+pub fn observe_bench(suite: &[Bench], pes: u16) -> ExperimentResult {
+    use dta_core::ObsMode;
+
+    let mut rows = Vec::new();
+    let mut table = vec![vec![
+        "benchmark".to_string(),
+        "obs".into(),
+        "cycles".into(),
+        "events".into(),
+        "dropped".into(),
+        "overlap cycles".into(),
+        "sim ms".into(),
+        "overhead".into(),
+        "trace KB".into(),
+    ]];
+    let mut worst_overhead = 1.0f64;
+    for &bench in suite {
+        let mut baseline: Option<(f64, Row)> = None;
+        for label in ["off", "events", "all+perfetto"] {
+            let mut cfg = pes8(pes);
+            let (row, sim_ms, render_ms, trace_kb) = match label {
+                "off" => {
+                    cfg.obs.mode = ObsMode::Off;
+                    let (row, ms) = try_run_timed(bench, Variant::HandPrefetch, cfg)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    (row, ms, 0.0, None)
+                }
+                "events" => {
+                    cfg.obs.mode = ObsMode::Events;
+                    let (row, ms) = try_run_timed(bench, Variant::HandPrefetch, cfg)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    (row, ms, 0.0, None)
+                }
+                _ => {
+                    let (row, ms, render_ms, trace) =
+                        try_run_traced(bench, Variant::HandPrefetch, cfg)
+                            .unwrap_or_else(|e| panic!("{e}"));
+                    (row, ms, render_ms, Some(trace.len() as f64 / 1024.0))
+                }
+            };
+            let (base_ms, base_row) = baseline.get_or_insert((sim_ms, row.clone()));
+            // Observation is pure: any simulated-state drift is a bug.
+            assert_eq!(
+                row.cycles,
+                base_row.cycles,
+                "{} [{label}]: observability changed the cycle count",
+                bench.name()
+            );
+            assert_eq!(
+                (row.table5, row.instances, row.dma_commands),
+                (base_row.table5, base_row.instances, base_row.dma_commands),
+                "{} [{label}]: observability changed the simulation",
+                bench.name()
+            );
+            let overhead = (sim_ms + render_ms) / *base_ms;
+            worst_overhead = worst_overhead.max(overhead);
+            let mut row = row;
+            row.wall_ms = Some(sim_ms + render_ms);
+            table.push(vec![
+                bench.name(),
+                label.to_string(),
+                row.cycles.to_string(),
+                row.obs_events.to_string(),
+                row.obs_dropped.to_string(),
+                row.overlap_cycles.to_string(),
+                format!("{sim_ms:.1}"),
+                format!("{overhead:.2}x"),
+                trace_kb.map_or("-".into(), |kb| format!("{kb:.0}")),
+            ]);
+            rows.push(row);
+        }
+    }
+    let mut text = text_table(&table);
+    text.push_str(&format!(
+        "worst host overhead: {worst_overhead:.2}x (simulated cycles identical in all modes; \
+         the cycle-delta budget is 0, and wall overhead is post-run collection only)\n"
+    ));
+    ExperimentResult {
+        id: "BENCH_observe".into(),
+        title: "Observability overhead: bus off vs event rings vs full metrics + Perfetto".into(),
+        text,
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quick_observe_bench_is_pure_and_counts_events() {
+        let r = observe_bench(&[Bench::Mmul(8)], 2);
+        assert_eq!(r.id, "BENCH_observe");
+        assert_eq!(r.rows.len(), 3);
+        // One cycle count across all modes.
+        let cycles: Vec<u64> = r.rows.iter().map(|row| row.cycles).collect();
+        assert!(cycles.windows(2).all(|w| w[0] == w[1]), "{cycles:?}");
+        // The off row collects nothing; the others collect events and
+        // the full mode measures non-blocking overlap.
+        assert_eq!(r.rows[0].obs_mode, None);
+        assert_eq!(r.rows[0].obs_events, 0);
+        assert_eq!(r.rows[1].obs_mode.as_deref(), Some("events"));
+        assert!(r.rows[1].obs_events > 0);
+        assert_eq!(r.rows[2].obs_mode.as_deref(), Some("all"));
+        assert!(r.rows[2].overlap_cycles > 0);
+        assert!(r.text.contains("trace KB"));
+    }
 
     #[test]
     fn quick_table5_has_three_benchmarks() {

@@ -37,6 +37,11 @@ impl ToJson for Row {
             ("resync_msgs", self.resync_msgs.to_json()),
             ("wall_ms", self.wall_ms.to_json()),
             ("parallelism", self.parallelism.to_json()),
+            ("obs_mode", self.obs_mode.to_json()),
+            ("obs_events", self.obs_events.to_json()),
+            ("obs_dropped", self.obs_dropped.to_json()),
+            ("overlap_cycles", self.overlap_cycles.to_json()),
+            ("overlap_fraction", self.overlap_fraction.to_json()),
         ])
     }
 }

@@ -1,6 +1,6 @@
 //! Running one benchmark configuration and collecting a result row.
 
-use dta_core::{simulate, Breakdown, RunStats, StallCat, SystemConfig};
+use dta_core::{simulate, Breakdown, ObsMode, RunStats, StallCat, System, SystemConfig};
 use dta_workloads::{bitcnt, colsum, mmul, stencil, vecscale, zoom, Variant, WorkloadProgram};
 use std::sync::Arc;
 
@@ -126,6 +126,17 @@ pub struct Row {
     pub wall_ms: Option<f64>,
     /// Engine mode label for the `parallel` benchmark (`None` elsewhere).
     pub parallelism: Option<String>,
+    /// Observability mode label (`None` when the bus is off).
+    pub obs_mode: Option<String>,
+    /// Structured events collected on the bus.
+    pub obs_events: u64,
+    /// Events dropped by the bounded per-unit rings.
+    pub obs_dropped: u64,
+    /// Cycles a pipeline spent busy while its own MFC had DMA in flight
+    /// (the paper's non-blocking overlap; zero unless metrics are on).
+    pub overlap_cycles: u64,
+    /// `overlap_cycles` over total busy cycles (zero unless metrics on).
+    pub overlap_fraction: f64,
 }
 
 impl Row {
@@ -150,9 +161,22 @@ pub fn try_run_timed(
     variant: Variant,
     cfg: SystemConfig,
 ) -> Result<(Row, f64), String> {
+    try_run_sys(bench, variant, cfg).map(|(row, ms, _)| (row, ms))
+}
+
+/// Core runner: simulates, verifies, and returns the row (with any
+/// observability fields filled from the system), the simulate wall
+/// clock in milliseconds, and the finished [`System`] for callers that
+/// need the full event stream or a trace export.
+pub fn try_run_sys(
+    bench: Bench,
+    variant: Variant,
+    cfg: SystemConfig,
+) -> Result<(Row, f64, System), String> {
     let wp = bench.build(variant);
     let mem_latency = cfg.mem_latency;
     let pes = cfg.total_pes();
+    let obs_mode = cfg.obs.mode;
     let started = std::time::Instant::now();
     let (stats, sys) = simulate(cfg, Arc::new(wp.program), &wp.args)
         .map_err(|e| format!("{} [{}]: {e}", bench.name(), variant.label()))?;
@@ -164,10 +188,45 @@ pub fn try_run_timed(
             variant.label()
         )
     })?;
-    Ok((
-        row_from(&bench, variant, pes, mem_latency, &stats, true),
-        sim_ms,
-    ))
+    let mut row = row_from(&bench, variant, pes, mem_latency, &stats, true);
+    row.obs_mode = obs_label(obs_mode);
+    if let Some(stream) = sys.obs() {
+        row.obs_events = stream.len() as u64;
+        row.obs_dropped = stream.dropped;
+    }
+    if let Some(metrics) = sys.metrics() {
+        row.overlap_cycles = metrics.overlap_cycles;
+        row.overlap_fraction = metrics.overlap_fraction();
+    }
+    Ok((row, sim_ms, sys))
+}
+
+/// Like [`try_run_timed`], but additionally renders the Perfetto trace
+/// (forcing full observability if the config left it off). Returns the
+/// row, the simulate wall clock, the trace render wall clock (both in
+/// milliseconds), and the `trace.json` text.
+pub fn try_run_traced(
+    bench: Bench,
+    variant: Variant,
+    mut cfg: SystemConfig,
+) -> Result<(Row, f64, f64, String), String> {
+    cfg.obs.mode = ObsMode::All;
+    let (row, sim_ms, sys) = try_run_sys(bench, variant, cfg)?;
+    let started = std::time::Instant::now();
+    let trace = sys
+        .perfetto_trace()
+        .expect("full observability was forced on");
+    let render_ms = started.elapsed().as_secs_f64() * 1e3;
+    Ok((row, sim_ms, render_ms, trace))
+}
+
+fn obs_label(mode: ObsMode) -> Option<String> {
+    match mode {
+        ObsMode::Off => None,
+        ObsMode::Events => Some("events".into()),
+        ObsMode::Metrics => Some("metrics".into()),
+        ObsMode::All => Some("all".into()),
+    }
 }
 
 /// Runs one benchmark configuration, verifying the result.
@@ -214,6 +273,11 @@ fn row_from(
         resync_msgs: stats.resync_msgs,
         wall_ms: None,
         parallelism: None,
+        obs_mode: None,
+        obs_events: 0,
+        obs_dropped: 0,
+        overlap_cycles: 0,
+        overlap_fraction: 0.0,
     }
 }
 

@@ -157,6 +157,55 @@ impl FaultPlan {
     }
 }
 
+/// What the observability layer records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObsMode {
+    /// Nothing (zero-cost: the per-unit logs compile down to a flag
+    /// check on the event path and no gauge sampling).
+    Off,
+    /// Structured events only.
+    Events,
+    /// Cycle-sampled gauges only.
+    Metrics,
+    /// Events and gauges.
+    All,
+}
+
+/// Observability configuration (see the `dta-obs` crate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// What to record.
+    pub mode: ObsMode,
+    /// Gauge sampling stride, cycles (used when `mode` includes
+    /// metrics; must be ≥ 1).
+    pub metrics_interval: u64,
+    /// Per-unit ring capacity for events and for gauge samples (the
+    /// newest records are kept; drops are counted).
+    pub event_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            mode: ObsMode::Off,
+            metrics_interval: 1_000,
+            event_capacity: 1 << 18,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Whether structured events are recorded.
+    pub fn events_on(&self) -> bool {
+        matches!(self.mode, ObsMode::Events | ObsMode::All)
+    }
+
+    /// Whether gauge sampling is active.
+    pub fn metrics_on(&self) -> bool {
+        matches!(self.mode, ObsMode::Metrics | ObsMode::All)
+    }
+}
+
 /// Full system configuration.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SystemConfig {
@@ -225,10 +274,14 @@ pub struct SystemConfig {
     pub dispatch_penalty: u64,
 
     /// Record a scheduler-level execution trace (see
-    /// [`crate::trace::Trace`]).
+    /// [`crate::trace::Trace`]). Compatibility shim over the structured
+    /// event bus: implies event recording (see [`ObsConfig`]).
     pub trace: bool,
     /// Maximum trace events retained.
     pub trace_capacity: usize,
+
+    /// Structured observability (event bus + cycle-sampled metrics).
+    pub obs: ObsConfig,
 
     /// Safety valve: abort `run` after this many cycles.
     pub max_cycles: u64,
@@ -281,6 +334,7 @@ impl SystemConfig {
             dispatch_penalty: 1,
             trace: false,
             trace_capacity: 200_000,
+            obs: ObsConfig::default(),
             max_cycles: 2_000_000_000,
             parallelism: Parallelism::Off,
             faults: None,
@@ -309,6 +363,29 @@ impl SystemConfig {
     #[inline]
     pub fn total_pes(&self) -> u16 {
         self.nodes * self.pes_per_node
+    }
+
+    /// Whether structured events are recorded (the legacy `trace` flag
+    /// rides on the event bus).
+    #[inline]
+    pub fn obs_events_on(&self) -> bool {
+        self.trace || self.obs.events_on()
+    }
+
+    /// Effective gauge sampling stride (0 = sampling off).
+    #[inline]
+    pub fn obs_interval(&self) -> u64 {
+        if self.obs.metrics_on() {
+            self.obs.metrics_interval.max(1)
+        } else {
+            0
+        }
+    }
+
+    /// Whether any observability state is collected at all.
+    #[inline]
+    pub fn obs_active(&self) -> bool {
+        self.obs_events_on() || self.obs_interval() > 0
     }
 
     /// Builds the shared memory system from this configuration.

@@ -29,13 +29,13 @@
 //! hardware parallelism behind them.
 
 use crate::config::{FaultPlan, SystemConfig};
-use crate::fault::{msg_exempt, transform, FailoverSchedule, FaultCounters, DUP_STAMP_BIT};
+use crate::fault::{msg_exempt, FailoverSchedule, FaultCounters, DUP_STAMP_BIT};
 use crate::pipeline::{Activity, MemPort, OutMsg, Pe, SysCtx, Ticket, TicketKind};
 use crate::stats::RunStats;
-use crate::system::{deliver, DeliverEnv, Event, RunError, System};
-use crate::trace::Trace;
+use crate::system::{deliver, transform_obs, DeliverEnv, Event, RunError, System};
 use dta_isa::Program;
 use dta_mem::{MainMemory, MemorySystem, TransferKind};
+use dta_obs::{ObsEvent, ObsLog, ObsRecord};
 use dta_sched::{Dest, Dse, Message, MsgSeq};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -81,8 +81,14 @@ struct Shard {
     /// Scratch post buffer (deliveries and ticks both fill it; routed
     /// after each step).
     posts: Vec<OutMsg>,
-    /// Always `None` — the sharded engine never runs with tracing on.
-    trace: Option<Trace>,
+    /// Observability logs of this shard's DSEs (riding with `dses`).
+    dse_obs: Vec<ObsLog>,
+    /// Message-fault records from this shard's transform sites (appended
+    /// to the system's at reassembly; order is irrelevant — the stream
+    /// sort restores deterministic wall order).
+    obs_misc: Vec<ObsRecord>,
+    /// Whether structured events are recorded (mirrors the PEs' logs).
+    obs_events: bool,
     /// Scratch `drain_until` for the tick context; never written through
     /// the deferred port (writes become tickets instead).
     scratch_drain: u64,
@@ -131,7 +137,14 @@ impl Shard {
         for (time, to, msg, stamp) in posts.drain(..) {
             let time = time.max(t + 1);
             let ((time, stamp), dup) = match self.msg_faults {
-                Some(f) if !msg_exempt(&msg) => transform(&f, time, stamp, &mut self.fault_counts),
+                Some(f) if !msg_exempt(&msg) => transform_obs(
+                    &f,
+                    time,
+                    stamp,
+                    &mut self.fault_counts,
+                    self.obs_events,
+                    &mut self.obs_misc,
+                ),
                 _ => ((time, stamp), None),
             };
             let local = match to {
@@ -180,7 +193,7 @@ impl Shard {
                     nodes: self.nodes,
                     pes_per_node: self.pes_per_node,
                     msg_latency: self.msg_latency,
-                    trace: &mut self.trace,
+                    dse_obs: &mut self.dse_obs,
                     posts: &mut self.posts,
                     faults: self.faults,
                     failover: self.failover.as_deref(),
@@ -300,9 +313,14 @@ fn merge_epoch(shards: &mut [&mut Shard], ctx: &mut MergeCtx<'_>) -> u64 {
                 };
                 let time = done.at.max(tk.time + 1);
                 let ((time, stamp), dup) = match shard.msg_faults {
-                    Some(f) if !msg_exempt(&msg) => {
-                        transform(&f, time, stamp, &mut shard.fault_counts)
-                    }
+                    Some(f) if !msg_exempt(&msg) => transform_obs(
+                        &f,
+                        time,
+                        stamp,
+                        &mut shard.fault_counts,
+                        shard.obs_events,
+                        &mut shard.obs_misc,
+                    ),
                     _ => ((time, stamp), None),
                 };
                 for (time, stamp) in dup.into_iter().chain(std::iter::once((time, stamp))) {
@@ -415,6 +433,8 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
     let mut pes = std::mem::take(&mut sys.pes);
     let mut dses = std::mem::take(&mut sys.dses);
     let mut dse_stamps = std::mem::take(&mut sys.dse_stamps);
+    let mut dse_obs_all = std::mem::take(&mut sys.dse_obs);
+    let obs_events = sys.config.obs_events_on();
     let base = total / nshards;
     let extra = total % nshards;
     let mut pe_owner = vec![0usize; total];
@@ -438,7 +458,9 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
                 tickets: Vec::new(),
                 remote: Vec::new(),
                 posts: Vec::new(),
-                trace: None,
+                dse_obs: Vec::new(),
+                obs_misc: Vec::new(),
+                obs_events,
                 scratch_drain: 0,
                 next_hint: 0,
                 last_t: 0,
@@ -453,7 +475,12 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
             next_pe += n;
         }
     }
-    for (node, (dse, stamp)) in dses.drain(..).zip(dse_stamps.drain(..)).enumerate() {
+    for (node, ((dse, stamp), obs)) in dses
+        .drain(..)
+        .zip(dse_stamps.drain(..))
+        .zip(dse_obs_all.drain(..))
+        .enumerate()
+    {
         let s = pe_owner[node * ppn];
         dse_owner[node] = s;
         let shard = &mut shards[s];
@@ -462,6 +489,7 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
         }
         shard.dses.push(dse);
         shard.dse_stamps.push(stamp);
+        shard.dse_obs.push(obs);
     }
     // Route any events pending at run start (the failover schedule's
     // pre-posted crash/restart injections; each lands in the shard owning
@@ -478,6 +506,7 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
     let max_cycles = sys.config.max_cycles;
     let program = sys.program.clone();
     let mut drain_until = sys.drain_until;
+    let engine_obs = &mut sys.engine_obs;
     let mut mctx = MergeCtx {
         memsys: &mut sys.memsys,
         mem: &mut sys.mem,
@@ -496,6 +525,13 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
         let mut e = 0u64;
         outcome = loop {
             let e_end = e.saturating_add(w).min(max_cycles.saturating_add(1));
+            engine_obs.emit(
+                e,
+                ObsEvent::Epoch {
+                    start: e,
+                    end: e_end,
+                },
+            );
             for shard in shards.iter_mut() {
                 shard.run_epoch(e, e_end, &program);
             }
@@ -542,6 +578,13 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
             let mut e = 0u64;
             loop {
                 let e_end = e.saturating_add(w).min(max_cycles.saturating_add(1));
+                engine_obs.emit(
+                    e,
+                    ObsEvent::Epoch {
+                        start: e,
+                        end: e_end,
+                    },
+                );
                 epoch_start.store(e, Ordering::Release);
                 epoch_end.store(e_end, Ordering::Release);
                 barrier.wait();
@@ -586,6 +629,8 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
         sys.pes.append(&mut shard.pes);
         sys.dses.append(&mut shard.dses);
         sys.dse_stamps.append(&mut shard.dse_stamps);
+        sys.dse_obs.append(&mut shard.dse_obs);
+        sys.obs_misc.append(&mut shard.obs_misc);
         sys.fault_counts.absorb(shard.fault_counts);
     }
     // The deepest cycle any shard's body visited is exactly the sequential
@@ -595,16 +640,21 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
     sys.now = now;
 
     match outcome {
-        Outcome::CycleLimit => Err(sys.cycle_limit_error()),
+        Outcome::CycleLimit => {
+            sys.finalize_obs(sys.now);
+            Err(sys.cycle_limit_error())
+        }
         Outcome::Exhausted => {
             let live: usize = sys.pes.iter().map(|p| p.lse.live_instances()).sum();
             if live > 0 {
+                sys.finalize_obs(sys.now);
                 return Err(sys.quiescence_error());
             }
             let final_cycle = sys.now.max(sys.drain_until);
             for pe in &mut sys.pes {
                 pe.finish(final_cycle);
             }
+            sys.finalize_obs(final_cycle);
             Ok(sys.collect(final_cycle))
         }
     }

@@ -54,9 +54,17 @@ pub mod stats;
 pub mod system;
 pub mod trace;
 
-pub use config::{FaultPlan, Parallelism, SystemConfig};
+pub use config::{FaultPlan, ObsConfig, ObsMode, Parallelism, SystemConfig};
 pub use fault::FaultCounters;
 pub use pipeline::{Activity, Pe, PipelineParams};
 pub use stats::{Breakdown, PeStats, RunStats, StallCat};
 pub use system::{simulate, RunError, System};
 pub use trace::{Trace, TraceKind, TraceRecord};
+
+// The structured observability layer (event bus, metrics, Perfetto
+// export). Re-exported so downstream crates need no direct `dta-obs`
+// dependency to consume `System::obs`/`metrics`/`perfetto_trace`.
+pub use dta_obs::{
+    CountingSink, GaugeKind, Histogram, MetricsReport, MetricsSink, NullSink, ObsEvent, ObsRecord,
+    ObsSink, ObsStream, PerfettoWriter, RingSink, ThreadEvent, TrackLayout,
+};

@@ -15,15 +15,15 @@
 //! queue) are *Prefetching* overhead, as in the paper's Fig. 5.
 
 use crate::stats::{PeStats, StallCat};
-use crate::trace::{TraceKind, TraceRecord};
 use dta_isa::{
     CodeBlock, FramePtr, IClass, Instr, Program, Reg, Src, FRAME_PTR_REG, NUM_REGS,
     PREFETCH_BASE_REG,
 };
 use dta_mem::{
-    Cache, CacheParams, DmaCommand, DmaKind, LocalStore, MainMemory, MemorySystem, Mfc, MfcParams,
-    ResourcePool, TransferKind,
+    Cache, CacheParams, DmaCommand, DmaKind, DmaPlan, LocalStore, MainMemory, MemorySystem, Mfc,
+    MfcParams, ResourcePool, TransferKind,
 };
+use dta_obs::{GaugeKind, ObsEvent, ObsLog, ThreadEvent};
 use dta_sched::{Dest, InstanceId, Lse, LseParams, Message, MsgSeq, ThreadState};
 use std::collections::VecDeque;
 
@@ -120,8 +120,12 @@ pub struct PipelineParams {
     pub cache: Option<CacheParams>,
     /// Run straight-line PF blocks on the LSE's SP pipeline (extension).
     pub sp_pf_overlap: bool,
-    /// Record pipeline-level trace events.
-    pub trace: bool,
+    /// Record structured observability events.
+    pub obs_events: bool,
+    /// Gauge sampling stride, cycles (0 = off).
+    pub obs_interval: u64,
+    /// Per-unit observability ring capacity.
+    pub obs_capacity: usize,
 }
 
 /// What a PE did this cycle — drives the system loop's time skipping.
@@ -236,8 +240,9 @@ pub struct Pe {
     pub watchdog_parks: u64,
     /// Executed-instruction counters.
     pub stats: PeStats,
-    /// Pipeline-level trace events, drained by the system each tick.
-    pub trace_log: Vec<TraceRecord>,
+    /// Structured observability log (events + gauge samples), merged
+    /// into the run's `ObsStream` at the end.
+    pub obs: ObsLog,
 }
 
 impl Pe {
@@ -277,7 +282,12 @@ impl Pe {
             watchdog_spin_limit: None,
             watchdog_parks: 0,
             stats: PeStats::default(),
-            trace_log: Vec::new(),
+            obs: ObsLog::new(
+                pe as u32,
+                params.obs_capacity,
+                params.obs_events,
+                params.obs_interval,
+            ),
         }
     }
 
@@ -360,7 +370,7 @@ impl Pe {
         inst.pending_falloc = Some(rd);
         inst.state = ThreadState::WaitFalloc;
         self.parked_fallocs.push_back(id);
-        self.record(now, id, TraceKind::ParkedWaitFalloc);
+        self.record(now, id, ThreadEvent::ParkedWaitFalloc);
         let resume = now + 1;
         self.stats
             .add_cycles(StallCat::LseStall, resume - self.falloc_block_start);
@@ -438,6 +448,9 @@ impl Pe {
 
     /// One simulation cycle.
     pub fn tick(&mut self, now: u64, ctx: &mut SysCtx<'_>) -> Activity {
+        if self.obs.metrics_on() {
+            self.flush_gauges(now);
+        }
         if self.waiting_falloc.is_some() || self.waiting_read.is_some() {
             return Activity::Blocked(u64::MAX);
         }
@@ -496,7 +509,7 @@ impl Pe {
         self.reg_ready = [now; NUM_REGS];
         self.stats.threads_dispatched += 1;
         self.current = Some(id);
-        self.record(now, id, TraceKind::Dispatched);
+        self.record(now, id, ThreadEvent::Dispatched);
     }
 
     fn issue(&mut self, now: u64, ctx: &mut SysCtx<'_>) -> Activity {
@@ -607,12 +620,12 @@ impl Pe {
                 inst.pc = pc + 1;
                 inst.state = ThreadState::WaitDma;
                 self.current = None;
-                self.record(now, id, TraceKind::WaitDma);
+                self.record(now, id, ThreadEvent::WaitDma);
                 Activity::Active
             }
             Exec::Stop => {
                 self.stats.add_cycles(cycle_cat, 1);
-                self.record(now, id, TraceKind::Stopped);
+                self.record(now, id, ThreadEvent::Stopped);
                 self.lse.stop(id);
                 self.current = None;
                 Activity::Active
@@ -633,7 +646,16 @@ impl Pe {
         let inst = self.lse.instance_mut(id);
         inst.state = ThreadState::WaitDma;
         self.current = None;
-        self.record(now, id, TraceKind::WaitDma);
+        if self.obs.events_on() {
+            self.obs.emit(
+                now,
+                ObsEvent::WatchdogPark {
+                    pe: self.pe,
+                    instance: id.0,
+                },
+            );
+        }
+        self.record(now, id, ThreadEvent::WaitDma);
         Activity::Active
     }
 
@@ -914,12 +936,10 @@ impl Pe {
                 let Some(plan) = self.mfc.admit(now) else {
                     return retry(in_pf);
                 };
-                if plan.exhausted {
-                    self.degraded = true;
-                }
+                self.note_dma_plan(now, &plan);
                 let done = self.mfc.commit(now, cmd, sys, &mut self.ls, mem);
                 self.lse.instance_mut(id).dma_issued(cmd.tag);
-                self.record(now, id, TraceKind::DmaIssued { tag: cmd.tag });
+                self.record(now, id, ThreadEvent::DmaIssued { tag: cmd.tag });
                 let stamp = self.stamp.bump();
                 if !done.stalled {
                     ctx.out.push((
@@ -948,11 +968,9 @@ impl Pe {
                 let Some(plan) = self.mfc.admit(now) else {
                     return retry(in_pf);
                 };
-                if plan.exhausted {
-                    self.degraded = true;
-                }
+                self.note_dma_plan(now, &plan);
                 self.lse.instance_mut(id).dma_issued(cmd.tag);
-                self.record(now, id, TraceKind::DmaIssued { tag: cmd.tag });
+                self.record(now, id, ThreadEvent::DmaIssued { tag: cmd.tag });
                 let stamp = self.stamp.bump();
                 tickets.push(Ticket {
                     time: now,
@@ -1019,7 +1037,7 @@ impl Pe {
             };
             inst.state = ThreadState::ProgramDma;
         }
-        self.record(now, id, TraceKind::PfOffloaded);
+        self.record(now, id, ThreadEvent::PfOffloaded);
         let start = self.sp_free_at.max(now);
         let mut t = start;
         for pc in 0..pf_end {
@@ -1086,7 +1104,16 @@ impl Pe {
                                     let inst = self.lse.instance_mut(id);
                                     inst.pc = pc;
                                     inst.state = ThreadState::WaitDma;
-                                    self.record(now, id, TraceKind::WaitDma);
+                                    if self.obs.events_on() {
+                                        self.obs.emit(
+                                            now,
+                                            ObsEvent::WatchdogPark {
+                                                pe: self.pe,
+                                                instance: id.0,
+                                            },
+                                        );
+                                    }
+                                    self.record(now, id, ThreadEvent::WaitDma);
                                     return;
                                 }
                             }
@@ -1105,22 +1132,106 @@ impl Pe {
         inst.pc = pf_end;
         if inst.outstanding_dma > 0 {
             inst.state = ThreadState::WaitDma;
-            self.record(now, id, TraceKind::WaitDma);
+            self.record(now, id, ThreadEvent::WaitDma);
         } else {
             self.lse.make_ready(now, id);
         }
     }
 
-    fn record(&mut self, cycle: u64, id: InstanceId, kind: TraceKind) {
-        if self.params.trace {
-            let thread = self.lse.instance(id).thread;
-            self.trace_log.push(TraceRecord {
+    /// Records a lifecycle event for `id` (no-op unless events are on).
+    /// The instance may already be gone (e.g. a `FrameFreed` for a frame
+    /// whose thread stopped before the FFREE message arrived); the
+    /// record then carries a sentinel thread id.
+    pub(crate) fn record(&mut self, cycle: u64, id: InstanceId, what: ThreadEvent) {
+        if self.obs.events_on() {
+            let thread = if self.lse.has_instance(id) {
+                self.lse.instance(id).thread.0
+            } else {
+                u32::MAX
+            };
+            self.obs.emit(
                 cycle,
-                pe: self.pe,
-                instance: id,
-                thread,
-                kind,
-            });
+                ObsEvent::Thread {
+                    pe: self.pe,
+                    instance: id.0,
+                    thread,
+                    what,
+                },
+            );
+        }
+    }
+
+    /// Flushes pending gauge boundaries strictly before `t`. Called at
+    /// the top of every tick: boundary records carry the boundary cycle
+    /// and grid-derived sequence numbers, so the (engine-dependent) host
+    /// time of the flush never shows in the stream.
+    fn flush_gauges(&mut self, t: u64) {
+        while let Some(b) = self.obs.next_boundary_before(t) {
+            self.emit_gauges(b);
+        }
+    }
+
+    /// Flushes gauge boundaries strictly before `now`. Must run before
+    /// any message delivery that can change a sampled value (stores,
+    /// frame grants, frees, DMA completions): a boundary's sample then
+    /// reflects state after all activity at cycles `<=` the boundary —
+    /// a pure function of simulated time, identical whether the PE's
+    /// next host-side tick comes from the sequential loop or from an
+    /// epoch-sharded engine's forced barrier.
+    pub(crate) fn gauge_sync(&mut self, now: u64) {
+        if self.obs.metrics_on() {
+            self.flush_gauges(now);
+        }
+    }
+
+    fn emit_gauges(&mut self, b: u64) {
+        let pe = self.pe;
+        let ready = self.lse.ready_len() as u64;
+        let frames = self.lse.frames_in_use() as u64;
+        let dma = self.mfc.in_flight(b) as u64;
+        let pipe = if self.current.is_some() {
+            2
+        } else if self.lse.waiting_dma() > 0 {
+            1
+        } else {
+            0
+        };
+        self.obs.emit_sample(b, GaugeKind::ReadyQueue, pe, ready);
+        self.obs.emit_sample(b, GaugeKind::FramesInUse, pe, frames);
+        self.obs.emit_sample(b, GaugeKind::DmaInFlight, pe, dma);
+        self.obs.emit_sample(b, GaugeKind::PipeState, pe, pipe);
+    }
+
+    /// Emits the remaining gauge boundaries through `final_cycle` at the
+    /// end of the run.
+    pub(crate) fn finish_obs(&mut self, final_cycle: u64) {
+        while let Some(b) = self.obs.next_boundary_through(final_cycle) {
+            self.emit_gauges(b);
+        }
+    }
+
+    /// Emits the fault-related events of a freshly admitted DMA plan and
+    /// applies the degradation transition.
+    fn note_dma_plan(&mut self, now: u64, plan: &DmaPlan) {
+        if self.obs.events_on() {
+            if plan.attempts > 1 {
+                self.obs.emit(
+                    now,
+                    ObsEvent::DmaRetry {
+                        pe: self.pe,
+                        retries: plan.attempts - 1,
+                    },
+                );
+            }
+            if plan.exhausted {
+                self.obs.emit(now, ObsEvent::DmaExhausted { pe: self.pe });
+                if !self.degraded {
+                    self.obs.emit(now, ObsEvent::PeDegraded { pe: self.pe });
+                }
+            }
+        }
+        if plan.exhausted {
+            self.degraded = true;
         }
     }
 

@@ -17,10 +17,14 @@ use crate::config::{FaultPlan, Parallelism, SystemConfig};
 use crate::fault::{msg_exempt, transform, FailoverSchedule, FaultCounters, DUP_STAMP_BIT};
 use crate::pipeline::{Activity, MemPort, OutMsg, Pe, PipelineParams, SysCtx};
 use crate::stats::{PeStats, RunStats};
-use crate::trace::{Trace, TraceKind, TraceRecord};
+use crate::trace::Trace;
 use dta_isa::{validate_program, Program, ValidationError};
 use dta_mem::fault::{roll, SITE_FALLOC_DENY};
 use dta_mem::{MainMemory, MemorySystem};
+use dta_obs::{
+    MetricsReport, MetricsSink, ObsEvent, ObsLog, ObsRecord, ObsStream, PerfettoWriter,
+    ThreadEvent, TrackLayout, ENGINE_UNIT, MSG_DELAY_SEQ_BIT, MSG_DUP_SEQ_BIT, MSG_SEQ_BIT,
+};
 use dta_sched::dse::FallocDecision;
 use dta_sched::{Dest, Dse, InstanceId, Message, MsgSeq, PendingFalloc, ThreadState};
 use std::cmp::Reverse;
@@ -184,7 +188,8 @@ pub(crate) struct DeliverEnv<'a> {
     pub nodes: u16,
     pub pes_per_node: u16,
     pub msg_latency: u64,
-    pub trace: &'a mut Option<Trace>,
+    /// Observability logs of the DSEs in `dses` (same indexing).
+    pub dse_obs: &'a mut [ObsLog],
     /// Stamped posts generated by the delivery (absolute delivery times;
     /// the caller routes them into its event queue or across shards).
     pub posts: &'a mut Vec<OutMsg>,
@@ -201,21 +206,67 @@ impl DeliverEnv<'_> {
         &mut self.pes[(pe - self.pe_base) as usize]
     }
 
-    fn record(&mut self, now: u64, pe: u16, instance: InstanceId, kind: TraceKind) {
-        if let Some(trace) = self.trace.as_mut() {
-            let thread = self.pes[(pe - self.pe_base) as usize]
-                .lse
-                .instance(instance)
-                .thread;
-            trace.push(TraceRecord {
-                cycle: now,
-                pe,
-                instance,
-                thread,
-                kind,
-            });
+    fn record(&mut self, now: u64, pe: u16, instance: InstanceId, what: ThreadEvent) {
+        self.pes[(pe - self.pe_base) as usize].record(now, instance, what);
+    }
+
+    /// Emits a structured event from `node`'s DSE (no-op with events off).
+    fn dse_emit(&mut self, now: u64, node: u16, ev: ObsEvent) {
+        self.dse_obs[(node - self.dse_base) as usize].emit(now, ev);
+    }
+}
+
+/// Applies the message-fault transforms of [`transform`] and records the
+/// corresponding observability events. The records are keyed by the
+/// faulted message's *own* stamp (`unit = src_rank`,
+/// `seq = stamp.seq | marker bits`) and the pre-transform delivery time,
+/// all of which are pure functions of the stamp and the plan — so the
+/// sequential engine's `post`, the shard router, and the barrier-time DMA
+/// merge produce bit-identical records for the same message.
+pub(crate) fn transform_obs(
+    plan: &FaultPlan,
+    time: u64,
+    stamp: MsgSeq,
+    counts: &mut FaultCounters,
+    events_on: bool,
+    obs: &mut Vec<ObsRecord>,
+) -> ((u64, MsgSeq), Option<(u64, MsgSeq)>) {
+    let before = *counts;
+    let out = transform(plan, time, stamp, counts);
+    if events_on {
+        let rec = |seq_bits: u64, ev: ObsEvent| ObsRecord {
+            cycle: time,
+            unit: stamp.src_rank,
+            seq: stamp.seq | MSG_SEQ_BIT | seq_bits,
+            ev,
+        };
+        if counts.msgs_dropped > before.msgs_dropped {
+            obs.push(rec(
+                0,
+                ObsEvent::MsgDropped {
+                    src: stamp.src_rank,
+                    resend_at: out.0 .0,
+                },
+            ));
+        }
+        if counts.msgs_delayed > before.msgs_delayed {
+            obs.push(rec(
+                MSG_DELAY_SEQ_BIT,
+                ObsEvent::MsgDelayed {
+                    src: stamp.src_rank,
+                },
+            ));
+        }
+        if counts.msgs_duplicated > before.msgs_duplicated {
+            obs.push(rec(
+                MSG_DUP_SEQ_BIT,
+                ObsEvent::MsgDuplicated {
+                    src: stamp.src_rank,
+                },
+            ));
         }
     }
+    out
 }
 
 /// Handles the DSE crash/failover protocol for a message addressed to
@@ -239,12 +290,29 @@ fn deliver_failover(env: &mut DeliverEnv<'_>, now: u64, node: u16, msg: Message)
             // (elected at lease expiry) straight from this admission-time
             // event — the paper's "replayed from the fault schedule".
             let orphans = env.dses[di].crash();
+            env.dse_emit(now, node, ObsEvent::DseCrash { node });
             let o = f.outage(node).expect("crash event implies an outage");
             if let Some(succ) = f.arbiter(node, o.detect_at) {
                 if succ != node {
                     env.dses[di].note_failover();
+                    env.dse_emit(
+                        now,
+                        node,
+                        ObsEvent::DseFailover {
+                            node,
+                            successor: succ,
+                        },
+                    );
                 }
                 env.dses[di].note_rehomed(orphans.len() as u64);
+                env.dse_emit(
+                    now,
+                    node,
+                    ObsEvent::DseRehomed {
+                        node,
+                        count: orphans.len() as u64,
+                    },
+                );
                 for req in orphans {
                     let stamp = env.dse_stamps[di].bump();
                     env.posts.push((
@@ -284,6 +352,7 @@ fn deliver_failover(env: &mut DeliverEnv<'_>, now: u64, node: u16, msg: Message)
             // its fostered copies of our PEs.
             let prev = f.arbiter(node, now - 1);
             env.dses[di].restart();
+            env.dse_emit(now, node, ObsEvent::DseRestart { node });
             for i in 0..ppn {
                 let pe = node * ppn + i;
                 let stamp = env.dse_stamps[di].bump();
@@ -306,6 +375,7 @@ fn deliver_failover(env: &mut DeliverEnv<'_>, now: u64, node: u16, msg: Message)
         Message::DseRegister { pe, free } if env.dses[di].alive() => {
             let done = env.dses[di].reserve_op(now);
             let grants = env.dses[di].register(pe, free);
+            env.dse_emit(now, node, ObsEvent::DseResync { node, pe, free });
             for (target, req) in grants {
                 let stamp = env.dse_stamps[di].bump();
                 env.posts.push((
@@ -331,6 +401,7 @@ fn deliver_failover(env: &mut DeliverEnv<'_>, now: u64, node: u16, msg: Message)
                 Message::FallocRequest { .. } => {
                     if let Some(target) = f.arbiter(node, now) {
                         env.dses[di].note_rehomed(1);
+                        env.dse_emit(now, node, ObsEvent::DseRehomed { node, count: 1 });
                         let stamp = env.dse_stamps[di].bump();
                         env.posts
                             .push((now + detect, Dest::Dse(target), msg, stamp));
@@ -403,6 +474,7 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                     });
                     if denied {
                         dse.force_queue(req);
+                        env.dse_emit(now, node, ObsEvent::FallocDenied { node, requester });
                         let retry_at = now + env.faults.expect("checked").falloc_retry_timeout;
                         let stamps = &mut env.dse_stamps[(node - env.dse_base) as usize];
                         let stamp = stamps.bump();
@@ -487,6 +559,14 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                     // arbitration that an injected denial skipped.
                     let done = dse.reserve_op(now);
                     let grants = dse.re_arbitrate();
+                    env.dse_emit(
+                        now,
+                        node,
+                        ObsEvent::FallocRearb {
+                            node,
+                            grants: grants.len() as u32,
+                        },
+                    );
                     for (target, req) in grants {
                         let stamp = env.dse_stamps[(node - env.dse_base) as usize].bump();
                         env.posts.push((
@@ -506,6 +586,7 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
             }
         }
         Dest::Lse(pe) => {
+            env.pe(pe).gauge_sync(now);
             let msg_latency = env.msg_latency;
             match msg {
                 Message::AllocFrame {
@@ -530,6 +611,12 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                             if let Some(fb) = program.threads[thread.index()].fallback {
                                 thread = fb;
                                 p.fallbacks += 1;
+                                if p.obs.events_on() {
+                                    p.obs.emit(
+                                        now,
+                                        ObsEvent::FallbackSubstituted { pe, thread: fb.0 },
+                                    );
+                                }
                             }
                         }
                     }
@@ -547,8 +634,8 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                                 now,
                                 pe,
                                 granted.instance,
-                                TraceKind::FrameGranted {
-                                    frame: granted.frame,
+                                ThreadEvent::FrameGranted {
+                                    frame: granted.frame.encode(),
                                 },
                             );
                             let stamp = env.pe(pe).stamp.bump();
@@ -587,7 +674,7 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                             now,
                             pe,
                             owner,
-                            TraceKind::StoreApplied {
+                            ThreadEvent::StoreApplied {
                                 slot,
                                 became_ready: ready.is_some(),
                             },
@@ -598,7 +685,7 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                     let p = env.pe(pe);
                     let done = p.lse.reserve_op(now);
                     if let Some(owner) = p.lse.frame_owner(frame) {
-                        env.record(now, pe, owner, TraceKind::FrameFreed);
+                        env.record(now, pe, owner, ThreadEvent::FrameFreed);
                     }
                     let granted = env.pe(pe).lse.ffree(frame);
                     for g in granted {
@@ -627,8 +714,8 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                     ));
                 }
                 Message::DmaDone { owner, tag } => {
-                    if env.trace.is_some() && env.pe(pe).lse.has_instance(owner) {
-                        env.record(now, pe, owner, TraceKind::DmaCompleted { tag });
+                    if env.pe(pe).obs.events_on() && env.pe(pe).lse.has_instance(owner) {
+                        env.record(now, pe, owner, ThreadEvent::DmaCompleted { tag });
                     }
                     let p = env.pe(pe);
                     if !p.current_dma_done(owner, tag) {
@@ -657,12 +744,15 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
         }
         Dest::Pipeline(pe) => match msg {
             Message::FallocResponse { frame, for_inst } => {
+                env.pe(pe).gauge_sync(now);
                 env.pe(pe).complete_falloc(now, frame, for_inst);
             }
             Message::FallocDeferred { for_inst } => {
+                env.pe(pe).gauge_sync(now);
                 env.pe(pe).defer_falloc(now, for_inst);
             }
             Message::ReadDone { value, ready_at } => {
+                env.pe(pe).gauge_sync(now);
                 env.pe(pe).complete_read(now, value, ready_at);
             }
             other => panic!("pipeline {pe} received unexpected message {other:?}"),
@@ -683,7 +773,19 @@ pub struct System {
     pub(crate) now: u64,
     pub(crate) drain_until: u64,
     launched: bool,
+    /// Legacy lifecycle trace, derived from the event stream at
+    /// finalisation when [`SystemConfig::trace`] is set.
     pub(crate) trace: Option<Trace>,
+    /// Per-DSE observability logs (unit rank = total PEs + node).
+    pub(crate) dse_obs: Vec<ObsLog>,
+    /// Message-fault records (engine-invariant stamps; see `post`).
+    pub(crate) obs_misc: Vec<ObsRecord>,
+    /// The engine's own log (epoch boundaries; excluded from the
+    /// deterministic stream).
+    pub(crate) engine_obs: ObsLog,
+    /// The merged wall-order stream, built once at run end.
+    pub(crate) obs: Option<ObsStream>,
+    obs_finalized: bool,
     /// Message-fault bookkeeping (shard counters merge in here).
     pub(crate) fault_counts: FaultCounters,
     /// Resolved DSE crash/restart schedule (None = no DSE can crash).
@@ -722,7 +824,9 @@ impl System {
             ls_ports: config.ls_ports,
             cache: config.cache,
             sp_pf_overlap: config.sp_pf_overlap,
-            trace: config.trace,
+            obs_events: config.obs_events_on(),
+            obs_interval: config.obs_interval(),
+            obs_capacity: config.obs.event_capacity,
         };
         let mut pes = Vec::with_capacity(config.total_pes() as usize);
         for pe in 0..config.total_pes() {
@@ -750,12 +854,23 @@ impl System {
             .collect();
         let mut mem = MainMemory::new(config.mem_size);
         mem.load_globals(&program.globals);
-        let trace = if config.trace {
-            Some(Trace::new(config.trace_capacity))
-        } else {
-            None
-        };
         let total = config.total_pes() as u32;
+        let dse_obs = (0..config.nodes)
+            .map(|node| {
+                ObsLog::new(
+                    total + node as u32,
+                    config.obs.event_capacity,
+                    config.obs_events_on(),
+                    0,
+                )
+            })
+            .collect();
+        let engine_obs = ObsLog::new(
+            ENGINE_UNIT,
+            config.obs.event_capacity,
+            config.obs_events_on(),
+            0,
+        );
         let dse_stamps = (0..config.nodes)
             .map(|node| MsgSeq::first(total + node as u32))
             .collect();
@@ -812,7 +927,12 @@ impl System {
             now: 0,
             drain_until: 0,
             launched: false,
-            trace,
+            trace: None,
+            dse_obs,
+            obs_misc: Vec::new(),
+            engine_obs,
+            obs: None,
+            obs_finalized: false,
             fault_counts: FaultCounters::default(),
             failover,
         })
@@ -862,7 +982,14 @@ impl System {
         let time = time.max(self.now + 1);
         if let Some(f) = self.config.faults {
             if f.has_msg_faults() && !msg_exempt(&msg) {
-                let ((t1, s1), dup) = transform(&f, time, stamp, &mut self.fault_counts);
+                let ((t1, s1), dup) = transform_obs(
+                    &f,
+                    time,
+                    stamp,
+                    &mut self.fault_counts,
+                    self.config.obs_events_on(),
+                    &mut self.obs_misc,
+                );
                 if let Some((t2, s2)) = dup {
                     self.events.push(Event {
                         time: t2,
@@ -1018,7 +1145,7 @@ impl System {
         assert!(self.launched, "run() before launch()");
         let threads = match self.config.parallelism {
             Parallelism::Off => None,
-            _ if self.config.trace || self.config.sp_pf_overlap => None,
+            _ if self.config.sp_pf_overlap => None,
             Parallelism::Threads(n) => Some(n.max(1) as usize),
             Parallelism::Auto => Some(std::thread::available_parallelism().map_or(1, |n| n.get())),
         };
@@ -1034,6 +1161,7 @@ impl System {
 
         loop {
             if self.now > self.config.max_cycles {
+                self.finalize_obs(self.now);
                 return Err(self.cycle_limit_error());
             }
 
@@ -1057,7 +1185,7 @@ impl System {
                     nodes: self.config.nodes,
                     pes_per_node: self.config.pes_per_node,
                     msg_latency: self.config.msg_latency,
-                    trace: &mut self.trace,
+                    dse_obs: &mut self.dse_obs,
                     posts: &mut posts,
                     faults: self.config.faults,
                     failover: self.failover.as_deref(),
@@ -1099,17 +1227,6 @@ impl System {
             for (time, to, msg, stamp) in outbox.drain(..) {
                 self.post(time, to, msg, stamp);
             }
-            if self.trace.is_some() {
-                let mut logs: Vec<TraceRecord> = Vec::new();
-                for pe in &mut self.pes {
-                    logs.append(&mut pe.trace_log);
-                }
-                if let Some(trace) = &mut self.trace {
-                    for rec in logs {
-                        trace.push(rec);
-                    }
-                }
-            }
 
             if any_active {
                 self.now += 1;
@@ -1122,6 +1239,7 @@ impl System {
                 // Nothing will ever happen again.
                 let live: usize = self.pes.iter().map(|p| p.lse.live_instances()).sum();
                 if live > 0 {
+                    self.finalize_obs(self.now);
                     return Err(self.quiescence_error());
                 }
                 break;
@@ -1134,7 +1252,73 @@ impl System {
         for pe in &mut self.pes {
             pe.finish(final_cycle);
         }
+        self.finalize_obs(final_cycle);
         Ok(self.collect(final_cycle))
+    }
+
+    /// Merges every unit's observability log into the wall-order stream
+    /// (idempotent; called once at the end of either engine). Builds the
+    /// legacy [`Trace`] view when [`SystemConfig::trace`] is set.
+    pub(crate) fn finalize_obs(&mut self, final_cycle: u64) {
+        if self.obs_finalized {
+            return;
+        }
+        self.obs_finalized = true;
+        if !self.config.obs_active() {
+            return;
+        }
+        let mut records: Vec<ObsRecord> = Vec::new();
+        let mut dropped = 0u64;
+        for pe in &mut self.pes {
+            pe.finish_obs(final_cycle);
+            dropped += pe.obs.drain_into(&mut records);
+        }
+        for log in &mut self.dse_obs {
+            dropped += log.drain_into(&mut records);
+        }
+        records.append(&mut self.obs_misc);
+        // Epoch records ride along for export but are excluded from the
+        // deterministic stream — and their drops from the drop count.
+        let _ = self.engine_obs.drain_into(&mut records);
+        let stream = ObsStream::from_records(records, dropped);
+        if self.config.trace {
+            self.trace = Some(Trace::from_obs(&stream.records, self.config.trace_capacity));
+        }
+        self.obs = Some(stream);
+    }
+
+    /// The merged observability stream of the finished run (None before
+    /// the run, or when observability was entirely off).
+    pub fn obs(&self) -> Option<&ObsStream> {
+        self.obs.as_ref()
+    }
+
+    /// Aggregated cycle-sampled metrics of the finished run.
+    pub fn metrics(&self) -> Option<MetricsReport> {
+        let stream = self.obs.as_ref()?;
+        let mut sink = MetricsSink::new(self.config.total_pes());
+        stream.feed(&mut sink);
+        Some(sink.finish())
+    }
+
+    /// Renders the finished run as a Chrome/Perfetto `trace.json`
+    /// document (one track per PE, MFC and DSE).
+    pub fn perfetto_trace(&self) -> Option<String> {
+        let stream = self.obs.as_ref()?;
+        let layout = TrackLayout {
+            total_pes: self.config.total_pes(),
+            pes_per_node: self.config.pes_per_node,
+            nodes: self.config.nodes,
+            thread_names: self
+                .program
+                .threads
+                .iter()
+                .map(|t| t.name.clone())
+                .collect(),
+        };
+        let mut writer = PerfettoWriter::new(layout);
+        stream.feed(&mut writer);
+        Some(writer.finish())
     }
 
     pub(crate) fn collect(&self, final_cycle: u64) -> RunStats {

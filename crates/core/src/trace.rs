@@ -1,13 +1,21 @@
-//! Execution tracing.
+//! Execution tracing (compatibility shim over the event bus).
 //!
 //! When enabled ([`crate::SystemConfig::trace`]), the simulator records
 //! the scheduler-visible life of every thread instance — frame grants,
 //! readiness, dispatches, DMA waits, parks, stops — so the paper's thread
 //! lifecycle (Fig. 4) can be *observed*, not just asserted. Traces are
-//! bounded (oldest events are kept; recording stops at capacity and the
-//! truncation is flagged) and render as a per-instance timeline.
+//! bounded true ring buffers: the **newest** events are kept (the
+//! interesting end-of-run events survive long runs), the number of
+//! dropped events is counted, and truncation is flagged in the rendered
+//! timeline.
+//!
+//! Since the structured observability layer landed (see the `dta-obs`
+//! crate and [`crate::ObsConfig`]), this type is derived from the merged
+//! event stream after the run ([`Trace::from_obs`]); `render()` output is
+//! unchanged for existing users.
 
 use dta_isa::{FramePtr, ThreadId};
+use dta_obs::{ObsEvent, ObsRecord, ThreadEvent};
 use dta_sched::InstanceId;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -51,6 +59,27 @@ pub enum TraceKind {
     FrameFreed,
 }
 
+impl TraceKind {
+    fn from_thread_event(ev: ThreadEvent) -> TraceKind {
+        match ev {
+            ThreadEvent::FrameGranted { frame } => TraceKind::FrameGranted {
+                frame: FramePtr::decode_expect(frame),
+            },
+            ThreadEvent::StoreApplied { slot, became_ready } => {
+                TraceKind::StoreApplied { slot, became_ready }
+            }
+            ThreadEvent::Dispatched => TraceKind::Dispatched,
+            ThreadEvent::PfOffloaded => TraceKind::PfOffloaded,
+            ThreadEvent::DmaIssued { tag } => TraceKind::DmaIssued { tag },
+            ThreadEvent::DmaCompleted { tag } => TraceKind::DmaCompleted { tag },
+            ThreadEvent::WaitDma => TraceKind::WaitDma,
+            ThreadEvent::ParkedWaitFalloc => TraceKind::ParkedWaitFalloc,
+            ThreadEvent::Stopped => TraceKind::Stopped,
+            ThreadEvent::FrameFreed => TraceKind::FrameFreed,
+        }
+    }
+}
+
 /// One trace record.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TraceRecord {
@@ -66,11 +95,15 @@ pub struct TraceRecord {
     pub kind: TraceKind,
 }
 
-/// A bounded event log.
+/// A bounded event log keeping the newest `capacity` events.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
+    /// Ring storage; `start` is the index of the oldest retained event.
     events: Vec<TraceRecord>,
+    start: usize,
     capacity: usize,
+    /// Events dropped at capacity (always the oldest).
+    pub dropped: u64,
     /// `true` when events were dropped at capacity.
     pub truncated: bool,
 }
@@ -80,31 +113,70 @@ impl Trace {
     pub fn new(capacity: usize) -> Self {
         Trace {
             events: Vec::new(),
+            start: 0,
             capacity,
+            dropped: 0,
             truncated: false,
         }
     }
 
-    /// Records an event (drops it when full).
+    /// Builds the legacy trace from a wall-order-sorted event stream,
+    /// keeping the newest `capacity` lifecycle events.
+    pub fn from_obs(records: &[ObsRecord], capacity: usize) -> Self {
+        let mut t = Trace::new(capacity);
+        for r in records {
+            if let ObsEvent::Thread {
+                pe,
+                instance,
+                thread,
+                what,
+            } = r.ev
+            {
+                t.push(TraceRecord {
+                    cycle: r.cycle,
+                    pe,
+                    instance: InstanceId(instance),
+                    thread: ThreadId(thread),
+                    kind: TraceKind::from_thread_event(what),
+                });
+            }
+        }
+        t
+    }
+
+    /// Records an event; at capacity the **oldest** retained event is
+    /// evicted and counted in [`Trace::dropped`].
     pub fn push(&mut self, rec: TraceRecord) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            self.truncated = true;
+            return;
+        }
         if self.events.len() < self.capacity {
             self.events.push(rec);
         } else {
+            self.events[self.start] = rec;
+            self.start = (self.start + 1) % self.capacity;
+            self.dropped += 1;
             self.truncated = true;
         }
     }
 
-    /// All events, in recording order (cycle-monotone per PE).
-    pub fn events(&self) -> &[TraceRecord] {
-        &self.events
+    /// All retained events, in recording order (cycle-monotone per PE).
+    pub fn events(&self) -> Vec<TraceRecord> {
+        let (tail, head) = self.events.split_at(self.start);
+        head.iter().chain(tail.iter()).copied().collect()
     }
 
     /// Events of one instance, in order.
-    pub fn for_instance(&self, id: InstanceId) -> Vec<&TraceRecord> {
-        self.events.iter().filter(|e| e.instance == id).collect()
+    pub fn for_instance(&self, id: InstanceId) -> Vec<TraceRecord> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.instance == id)
+            .collect()
     }
 
-    /// Count of events matching a predicate.
+    /// Count of retained events matching a predicate.
     pub fn count(&self, f: impl Fn(&TraceRecord) -> bool) -> usize {
         self.events.iter().filter(|e| f(e)).count()
     }
@@ -167,7 +239,11 @@ impl Trace {
             );
         }
         if self.truncated {
-            let _ = writeln!(out, "(trace truncated at {} events)", self.capacity);
+            let _ = writeln!(
+                out,
+                "(trace truncated at {} events; {} oldest dropped)",
+                self.capacity, self.dropped
+            );
         }
         out
     }
@@ -188,14 +264,19 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_enforced_and_flagged() {
+    fn capacity_keeps_newest_and_flags() {
         let mut t = Trace::new(2);
         t.push(rec(1, 1, TraceKind::Dispatched));
         t.push(rec(2, 1, TraceKind::Stopped));
         assert!(!t.truncated);
         t.push(rec(3, 1, TraceKind::FrameFreed));
         assert!(t.truncated);
-        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped, 1);
+        let ev = t.events();
+        assert_eq!(ev.len(), 2);
+        // The *newest* two survive; the oldest was evicted.
+        assert_eq!(ev[0].cycle, 2);
+        assert_eq!(ev[1].cycle, 3);
     }
 
     #[test]
@@ -231,5 +312,37 @@ mod tests {
         let line = s.lines().nth(1).unwrap();
         assert!(line.contains("60"), "{line}");
         assert!(line.contains('2'), "{line}");
+    }
+
+    #[test]
+    fn from_obs_keeps_newest_lifecycle_events() {
+        let mk = |cycle: u64, what: ThreadEvent| ObsRecord {
+            cycle,
+            unit: 0,
+            seq: cycle,
+            ev: ObsEvent::Thread {
+                pe: 0,
+                instance: 1,
+                thread: 0,
+                what,
+            },
+        };
+        let recs = vec![
+            mk(1, ThreadEvent::Dispatched),
+            ObsRecord {
+                cycle: 2,
+                unit: 5,
+                seq: 0,
+                ev: ObsEvent::DseCrash { node: 0 },
+            },
+            mk(3, ThreadEvent::WaitDma),
+            mk(4, ThreadEvent::Stopped),
+        ];
+        let t = Trace::from_obs(&recs, 2);
+        // Non-lifecycle events are skipped; newest two lifecycle events kept.
+        assert_eq!(t.dropped, 1);
+        let ev = t.events();
+        assert_eq!(ev[0].kind, TraceKind::WaitDma);
+        assert_eq!(ev[1].kind, TraceKind::Stopped);
     }
 }

@@ -1,0 +1,308 @@
+//! Engine-invariance property for the observability layer (PR 4).
+//!
+//! The merged event stream — sorted by the simulator's deterministic
+//! wall order `(cycle, unit, seq)` and stripped of the engine's own
+//! epoch records — must be **bit-identical** across `Parallelism::Off`
+//! and `Threads(2|4)`, on the paper's three benchmarks, with and
+//! without a seeded `FaultPlan`. Also checks the layer is pure
+//! observation (identical `RunStats` with sinks on or off) and that the
+//! Perfetto export of mmul(32) PF actually shows the paper's Fig. 4
+//! overlap: DMA-in-flight spans overlapping other threads' EX slices on
+//! the same PE.
+
+use dta_core::{
+    simulate, FaultPlan, ObsMode, Parallelism, RunStats, System, SystemConfig, ThreadEvent,
+};
+use dta_workloads::{bitcnt, mmul, zoom, Variant, WorkloadProgram};
+use std::sync::Arc;
+
+fn cfg(par: Parallelism, mode: ObsMode, faults: Option<FaultPlan>) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.parallelism = par;
+    cfg.obs.mode = mode;
+    cfg.obs.metrics_interval = 500;
+    cfg.faults = faults;
+    cfg.max_cycles = 50_000_000;
+    cfg
+}
+
+fn run(
+    build: &dyn Fn() -> WorkloadProgram,
+    par: Parallelism,
+    mode: ObsMode,
+    faults: Option<FaultPlan>,
+) -> (RunStats, System) {
+    let wp = build();
+    simulate(cfg(par, mode, faults), Arc::new(wp.program), &wp.args)
+        .unwrap_or_else(|e| panic!("{par:?}/{mode:?} failed: {e}"))
+}
+
+/// A mixed recoverable plan: transient DMA failures, every message-fault
+/// kind, and FALLOC denials — rates low enough that the paper benchmarks
+/// complete with verified results.
+fn mixed_plan() -> FaultPlan {
+    let mut plan = FaultPlan::seeded(0x0B5E_11A7);
+    plan.dma_fail_ppm = 30_000;
+    plan.dma_backoff_base = 16;
+    plan.msg_drop_ppm = 10_000;
+    plan.msg_dup_ppm = 10_000;
+    plan.msg_delay_ppm = 10_000;
+    plan.falloc_deny_ppm = 50_000;
+    plan
+}
+
+fn assert_stream_invariant(
+    name: &str,
+    build: &dyn Fn() -> WorkloadProgram,
+    verify: &dyn Fn(&System) -> Result<(), String>,
+    faults: Option<FaultPlan>,
+) {
+    let (oracle_stats, oracle_sys) = run(build, Parallelism::Off, ObsMode::All, faults);
+    verify(&oracle_sys).unwrap_or_else(|e| panic!("{name}: sequential result wrong: {e}"));
+    let oracle = oracle_sys.obs().expect("observability on");
+    let oracle_det = oracle.deterministic();
+    assert!(!oracle_det.is_empty(), "{name}: empty event stream");
+
+    for threads in [2u16, 4] {
+        let (stats, sys) = run(build, Parallelism::Threads(threads), ObsMode::All, faults);
+        verify(&sys).unwrap_or_else(|e| panic!("{name}: Threads({threads}) result wrong: {e}"));
+        assert_eq!(
+            oracle_stats, stats,
+            "{name}: Threads({threads}) stats diverged"
+        );
+        let stream = sys.obs().expect("observability on");
+        assert_eq!(
+            oracle.dropped, stream.dropped,
+            "{name}: Threads({threads}) ring-drop count diverged"
+        );
+        let det = stream.deterministic();
+        assert_eq!(
+            oracle_det.len(),
+            det.len(),
+            "{name}: Threads({threads}) stream length diverged"
+        );
+        // Bit-identical wall order: first divergence reported precisely.
+        for (i, (a, b)) in oracle_det.iter().zip(det.iter()).enumerate() {
+            assert_eq!(
+                a, b,
+                "{name}: Threads({threads}) stream diverged at record {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bitcnt_stream_is_engine_invariant() {
+    assert_stream_invariant(
+        "bitcnt(10000)",
+        &|| bitcnt::build(10_000, Variant::HandPrefetch),
+        &|s| bitcnt::verify(s, 10_000),
+        None,
+    );
+}
+
+#[test]
+fn mmul_stream_is_engine_invariant() {
+    assert_stream_invariant(
+        "mmul(32)",
+        &|| mmul::build(32, Variant::HandPrefetch),
+        &|s| mmul::verify(s, 32),
+        None,
+    );
+}
+
+#[test]
+fn zoom_stream_is_engine_invariant() {
+    assert_stream_invariant(
+        "zoom(32)",
+        &|| zoom::build(32, Variant::HandPrefetch),
+        &|s| zoom::verify(s, 32),
+        None,
+    );
+}
+
+#[test]
+fn bitcnt_stream_is_engine_invariant_under_faults() {
+    assert_stream_invariant(
+        "bitcnt(10000)+faults",
+        &|| bitcnt::build(10_000, Variant::HandPrefetch),
+        &|s| bitcnt::verify(s, 10_000),
+        Some(mixed_plan()),
+    );
+}
+
+#[test]
+fn mmul_stream_is_engine_invariant_under_faults() {
+    assert_stream_invariant(
+        "mmul(32)+faults",
+        &|| mmul::build(32, Variant::HandPrefetch),
+        &|s| mmul::verify(s, 32),
+        Some(mixed_plan()),
+    );
+}
+
+#[test]
+fn zoom_stream_is_engine_invariant_under_faults() {
+    assert_stream_invariant(
+        "zoom(32)+faults",
+        &|| zoom::build(32, Variant::HandPrefetch),
+        &|s| zoom::verify(s, 32),
+        Some(mixed_plan()),
+    );
+}
+
+/// Observation is free: enabling the full observability stack (events +
+/// gauges) must leave every `RunStats` counter — including the cycle
+/// count — byte-identical to a run with observability off.
+#[test]
+fn observability_is_pure_observation() {
+    let build = || mmul::build(16, Variant::HandPrefetch);
+    let (off, sys_off) = run(&build, Parallelism::Off, ObsMode::Off, None);
+    assert!(sys_off.obs().is_none(), "mode Off must collect nothing");
+    for mode in [ObsMode::Events, ObsMode::Metrics, ObsMode::All] {
+        let (on, _) = run(&build, Parallelism::Off, mode, None);
+        assert_eq!(off, on, "{mode:?} perturbed the simulation");
+        assert_eq!(off.cycles, on.cycles);
+    }
+}
+
+/// The metrics layer must quantify the paper's non-blocking property:
+/// on mmul(32) with hand prefetch, pipelines are busy while the same
+/// PE's MFC has DMA in flight (Fig. 4 overlap).
+#[test]
+fn mmul_pf_metrics_show_nonblocking_overlap() {
+    let (_, sys) = run(
+        &|| mmul::build(32, Variant::HandPrefetch),
+        Parallelism::Off,
+        ObsMode::All,
+        None,
+    );
+    let m = sys.metrics().expect("metrics on");
+    assert!(m.busy_cycles > 0, "no busy cycles measured");
+    assert!(
+        m.overlap_cycles > 0,
+        "PF variant must overlap execution with DMA: {}",
+        m.render()
+    );
+    assert!(m.dma_latency.total > 0, "no DMA latencies measured");
+    assert!(m.samples > 0, "no gauge samples taken");
+    assert!(m.max_dma_in_flight > 0, "gauges never saw DMA in flight");
+    // The report renders without panicking and mentions the overlap.
+    assert!(m.render().contains("overlap"));
+}
+
+/// The Perfetto export is well-formed JSON whose DMA async spans overlap
+/// EX slices of *other* thread instances on the same PE track — the
+/// visual form of the acceptance criterion.
+#[test]
+fn mmul_pf_perfetto_trace_shows_dma_overlapping_foreign_ex() {
+    let (_, sys) = run(
+        &|| mmul::build(32, Variant::HandPrefetch),
+        Parallelism::Off,
+        ObsMode::All,
+        None,
+    );
+    let text = sys.perfetto_trace().expect("observability on");
+    let doc = dta_json::parse(&text).expect("trace.json must parse");
+    let events = match doc.get("traceEvents") {
+        Some(dta_json::Json::Arr(a)) => a,
+        other => panic!("traceEvents missing or not an array: {other:?}"),
+    };
+    assert!(!events.is_empty());
+
+    let fget = |e: &dta_json::Json, k: &str| e.get(k).and_then(|v| v.as_u64());
+    let sget = |e: &dta_json::Json, k: &str| {
+        e.get(k)
+            .and_then(|v| v.as_str())
+            .map(str::to_string)
+            .unwrap_or_default()
+    };
+
+    // DMA async spans live on the MFC track (tid = 200000 + pe); EX
+    // slices on the PE track (tid = pe + 1). Pair begin/end by async id.
+    const MFC_TID_BASE: u64 = 200_000;
+    let mut dma_open: std::collections::HashMap<String, (u64, u64, u64)> =
+        std::collections::HashMap::new();
+    let mut dma_spans: Vec<(u64, u64, u64, u64)> = Vec::new(); // (pid, pe, b, e)
+    let mut ex: Vec<(u64, u64, u64, u64)> = Vec::new(); // (pid, pe, s, e)
+    for e in events {
+        let ph = sget(e, "ph");
+        let pid = fget(e, "pid").unwrap_or(0);
+        let tid = fget(e, "tid").unwrap_or(0);
+        let ts = fget(e, "ts").unwrap_or(0);
+        match ph.as_str() {
+            "b" => {
+                dma_open.insert(sget(e, "id"), (pid, tid - MFC_TID_BASE, ts));
+            }
+            "e" => {
+                if let Some((p, pe, b)) = dma_open.remove(&sget(e, "id")) {
+                    dma_spans.push((p, pe, b, ts));
+                }
+            }
+            "X" => {
+                let dur = fget(e, "dur").unwrap_or(0);
+                ex.push((pid, tid - 1, ts, ts + dur));
+            }
+            _ => {}
+        }
+    }
+    assert!(!dma_spans.is_empty(), "no DMA async spans exported");
+    assert!(!ex.is_empty(), "no EX slices exported");
+
+    // Some EX slice must overlap a DMA-in-flight span *on the same PE*:
+    // the pipeline keeps executing while its MFC moves memory — the
+    // paper's non-blocking claim, visible in Perfetto.
+    let overlapping = dma_spans.iter().any(|&(pid, pe, b, e)| {
+        ex.iter()
+            .any(|&(xp, xpe, s, t)| xp == pid && xpe == pe && s < e && b < t)
+    });
+    assert!(
+        overlapping,
+        "no EX slice overlaps a DMA-in-flight span on the same PE"
+    );
+}
+
+/// The lifecycle events on the bus match what the legacy `Trace` shim
+/// reconstructs: every retained trace record originates from a `Thread`
+/// event in the stream.
+#[test]
+fn trace_shim_is_a_view_of_the_stream() {
+    let build = || bitcnt::build(1024, Variant::HandPrefetch);
+    let wp = build();
+    let mut c = cfg(Parallelism::Off, ObsMode::Events, None);
+    c.trace = true;
+    let (_, sys) = simulate(c, Arc::new(wp.program), &wp.args).expect("run");
+    let trace = sys.trace().expect("trace shim built");
+    let stream = sys.obs().expect("events on");
+    let lifecycle = stream
+        .records
+        .iter()
+        .filter(|r| matches!(r.ev, dta_core::ObsEvent::Thread { .. }))
+        .count();
+    assert_eq!(
+        trace.events().len() as u64 + trace.dropped,
+        lifecycle as u64,
+        "trace shim must retain exactly the stream's lifecycle events"
+    );
+    assert!(trace.count(|e| matches!(e.kind, dta_core::TraceKind::Dispatched)) > 0);
+    // Nothing dropped at default capacity, so the counts match exactly.
+    assert_eq!(trace.dropped, 0);
+    let waits = stream
+        .records
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.ev,
+                dta_core::ObsEvent::Thread {
+                    what: ThreadEvent::WaitDma,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(
+        trace.count(|e| matches!(e.kind, dta_core::TraceKind::WaitDma)),
+        waits,
+        "trace and stream disagree on wait-DMA count"
+    );
+}

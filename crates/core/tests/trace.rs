@@ -61,7 +61,7 @@ fn trace_records_the_fig4_lifecycle() {
     // Find the worker instance: it issued DMA.
     let dma_issue = trace
         .events()
-        .iter()
+        .into_iter()
         .find(|e| matches!(e.kind, TraceKind::DmaIssued { .. }))
         .expect("worker issued DMA");
     let worker = dma_issue.instance;
@@ -149,7 +149,7 @@ fn sp_offload_appears_in_the_trace() {
     // Offloaded PF means only ONE pipeline dispatch for the worker.
     let off = trace
         .events()
-        .iter()
+        .into_iter()
         .find(|e| matches!(e.kind, TraceKind::PfOffloaded))
         .unwrap();
     assert_eq!(

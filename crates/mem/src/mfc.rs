@@ -187,6 +187,17 @@ impl Mfc {
         self.outstanding.len()
     }
 
+    /// Read-only in-flight count at cycle `now` (observability gauge).
+    ///
+    /// Counts admitted-but-uncommitted commands too: under sharded
+    /// execution a command sits in `planned` until the epoch barrier,
+    /// while the sequential engine commits it immediately — but its
+    /// completion can never be at or before the same epoch's horizon, so
+    /// both engines report the same total at any sample boundary.
+    pub fn in_flight(&self, now: u64) -> usize {
+        self.outstanding.iter().filter(|&&t| t > now).count() + self.planned.len()
+    }
+
     /// Counters.
     #[inline]
     pub fn stats(&self) -> MfcStats {

@@ -167,6 +167,20 @@ impl Lse {
         self.instances.len()
     }
 
+    /// Number of frames currently occupied (observability gauge).
+    pub fn frames_in_use(&self) -> u32 {
+        self.params.frame_capacity - self.free_frames.len() as u32
+    }
+
+    /// Number of live instances blocked in `WaitDma` (observability
+    /// gauge).
+    pub fn waiting_dma(&self) -> usize {
+        self.instances
+            .values()
+            .filter(|i| i.state == ThreadState::WaitDma)
+            .count()
+    }
+
     /// Lifecycle snapshot of every live instance, sorted by id (the
     /// underlying map iterates in arbitrary order; deadlock reports must
     /// be deterministic).
