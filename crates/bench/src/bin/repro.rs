@@ -2,21 +2,25 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--quick] [--pes N] [--threads N] [--out DIR]
-//!       [--sweep-threads N] [--fault-seed N] [--fault-rate PPM]
-//!       [--obs MODE] [--metrics-interval N] [--trace-out PATH]
+//!       [--sweep-threads N] [--sched MODE] [--fault-seed N]
+//!       [--fault-rate PPM] [--obs MODE] [--metrics-interval N]
+//!       [--obs-stream N] [--trace-out PATH]
 //!
 //! EXPERIMENT: config table5 fig5 fig6 fig7 fig8 fig9 lat1
 //!             ablate-split ablate-vfp ablate-hw
 //!             ext-cache ext-spxp ext-wholeobj
-//!             parallel faults failover observe all    (default: all)
+//!             parallel speed faults failover observe all  (default: all)
 //! --quick     scaled-down workload sizes (CI-friendly)
 //! --pes N     PEs for the non-scalability experiments (default 8)
 //! --threads N run every experiment on the epoch-sharded engine with N
 //!             host threads (results are bit-identical to sequential;
 //!             the `parallel` experiment pins its own engine modes)
 //! --sweep-threads N  run the independent points of parameter sweeps
-//!             (fig6/7/8 PE grids, faults/failover rate grids) on N
-//!             host threads; reports are identical to sequential
+//!             (every per-benchmark/per-config grid) on N host
+//!             threads; reports are identical to sequential
+//! --sched MODE  cycle scheduler: fast-forward (default) | dense.
+//!             A pure host-time choice — results are bit-identical —
+//!             mainly for A/B timing; the `speed` experiment pins both
 //! --fault-seed N   base seed for the `faults`/`failover` sweeps
 //!                  (default 0xDA7A)
 //! --fault-rate PPM single injected fault rate for the `faults`
@@ -29,6 +33,10 @@
 //!             --threads and --sweep-threads
 //! --metrics-interval N  gauge sampling interval in cycles
 //!             (default 1000; implies nothing unless --obs samples)
+//! --obs-stream N  drain observability records out of the per-unit
+//!             rings every ~N simulated cycles instead of only at run
+//!             end (0 = post-run merge; needs --obs). The merged stream
+//!             is identical; long runs stop overflowing the rings
 //! --trace-out PATH  additionally run the prefetched mmul under full
 //!             observability and write a Perfetto/Chrome trace.json
 //!             to PATH — load it at https://ui.perfetto.dev
@@ -38,7 +46,8 @@
 
 use dta_bench::experiments::{
     ablate_hw, ablate_split, ablate_vfp, config, ext_cache, ext_spxp, ext_wholeobj, failover_bench,
-    faults_bench, fig5, fig9, fig_exec_scalability, lat1, observe_bench, parallel_bench, table5,
+    faults_bench, fig5, fig9, fig_exec_scalability, lat1, observe_bench, parallel_bench,
+    speed_bench, table5,
 };
 use dta_bench::{emit, Bench, ExperimentResult};
 use std::path::PathBuf;
@@ -54,10 +63,12 @@ struct Options {
     pes: u16,
     threads: Option<u16>,
     sweep_threads: Option<usize>,
+    sched: Option<dta_core::SchedMode>,
     fault_seed: u64,
     fault_rate: Option<u32>,
     obs: Option<dta_core::ObsMode>,
     metrics_interval: Option<u64>,
+    obs_stream: Option<u64>,
     trace_out: Option<PathBuf>,
     out: Option<PathBuf>,
 }
@@ -69,10 +80,12 @@ fn parse_args() -> Result<Options, String> {
         pes: 8,
         threads: None,
         sweep_threads: None,
+        sched: None,
         fault_seed: 0xDA7A,
         fault_rate: None,
         obs: None,
         metrics_interval: None,
+        obs_stream: None,
         trace_out: None,
         out: Some(PathBuf::from("results")),
     };
@@ -102,6 +115,13 @@ fn parse_args() -> Result<Options, String> {
                         .parse()
                         .map_err(|_| "--sweep-threads needs a number")?,
                 );
+            }
+            "--sched" => {
+                opts.sched = Some(match args.next().ok_or("--sched needs a value")?.as_str() {
+                    "dense" => dta_core::SchedMode::Dense,
+                    "fast-forward" | "ff" => dta_core::SchedMode::FastForward,
+                    other => return Err(format!("--sched: unknown mode {other:?}")),
+                });
             }
             "--fault-seed" => {
                 let v = args.next().ok_or("--fault-seed needs a value")?;
@@ -133,6 +153,14 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--metrics-interval needs a value")?
                         .parse()
                         .map_err(|_| "--metrics-interval needs a cycle count")?,
+                );
+            }
+            "--obs-stream" => {
+                opts.obs_stream = Some(
+                    args.next()
+                        .ok_or("--obs-stream needs a value")?
+                        .parse()
+                        .map_err(|_| "--obs-stream needs a cycle count")?,
                 );
             }
             "--trace-out" => {
@@ -172,6 +200,7 @@ fn parse_args() -> Result<Options, String> {
             "ext-spxp",
             "ext-wholeobj",
             "parallel",
+            "speed",
             "faults", // also emits the failover sweep
             "observe",
         ]
@@ -195,13 +224,19 @@ fn main() -> ExitCode {
     if let Some(n) = opts.sweep_threads {
         dta_bench::experiments::set_sweep_threads(n);
     }
-    if opts.obs.is_some() || opts.metrics_interval.is_some() {
+    if let Some(sched) = opts.sched {
+        dta_bench::experiments::set_default_sched(sched);
+    }
+    if opts.obs.is_some() || opts.metrics_interval.is_some() || opts.obs_stream.is_some() {
         let mut obs = dta_core::ObsConfig::default();
         if let Some(mode) = opts.obs {
             obs.mode = mode;
         }
         if let Some(n) = opts.metrics_interval {
             obs.metrics_interval = n;
+        }
+        if let Some(n) = opts.obs_stream {
+            obs.stream_interval = n;
         }
         dta_bench::experiments::set_default_obs(obs);
     }
@@ -235,6 +270,22 @@ fn main() -> ExitCode {
             "ext-spxp" => ext_spxp(&suite, opts.pes),
             "ext-wholeobj" => ext_wholeobj(bitcnt_n, opts.pes),
             "parallel" => parallel_bench(if opts.quick { 16 } else { 64 }, opts.pes),
+            "speed" => {
+                use dta_workloads::Variant::{Baseline, HandPrefetch};
+                let gather_n = if opts.quick { 256 } else { 2048 };
+                // Fast-forward pays off when many PEs sit idle while a few
+                // work, so the sweep includes a wide-machine gather case on
+                // top of the paper-default width (see DESIGN.md §12).
+                let wide = if opts.quick { 32 } else { 128 };
+                let cases = [
+                    (Bench::Bitcnt(bitcnt_n), HandPrefetch, opts.pes),
+                    (Bench::Mmul(mmul_n), HandPrefetch, opts.pes),
+                    (Bench::Zoom(zoom_n), HandPrefetch, opts.pes),
+                    (Bench::Gather(gather_n), Baseline, opts.pes),
+                    (Bench::Gather(gather_n), Baseline, wide),
+                ];
+                speed_bench(&cases)
+            }
             "faults" => {
                 let rates: Vec<u32> = match opts.fault_rate {
                     Some(r) => vec![0, r],

@@ -6,7 +6,7 @@
 
 use crate::report::text_table;
 use crate::runner::{run, try_run, try_run_timed, try_run_traced, Bench, Row};
-use dta_core::{ObsConfig, Parallelism, StallCat, SystemConfig};
+use dta_core::{ObsConfig, Parallelism, SchedMode, StallCat, SystemConfig};
 use dta_workloads::Variant;
 use std::sync::OnceLock;
 
@@ -44,6 +44,19 @@ static DEFAULT_OBS: OnceLock<ObsConfig> = OnceLock::new();
 /// call wins; later calls are ignored.
 pub fn set_default_obs(obs: ObsConfig) {
     let _ = DEFAULT_OBS.set(obs);
+}
+
+/// Process-wide cycle scheduler, applied to every experiment config (set
+/// once by `repro --sched`). Scheduling is a pure host-time optimisation
+/// — results are bit-identical either way — so it composes freely with
+/// the other defaults. The `speed` benchmark ignores it because it pins
+/// both modes explicitly.
+static DEFAULT_SCHED: OnceLock<SchedMode> = OnceLock::new();
+
+/// Sets the cycle scheduler every experiment runs under. First call
+/// wins; later calls are ignored.
+pub fn set_default_sched(sched: SchedMode) {
+    let _ = DEFAULT_SCHED.set(sched);
 }
 
 /// Maps `f` over `items` on `threads` scoped workers (atomic
@@ -116,6 +129,9 @@ fn pes8(suite_pes: u16) -> SystemConfig {
     if let Some(&obs) = DEFAULT_OBS.get() {
         cfg.obs = obs;
     }
+    if let Some(&sched) = DEFAULT_SCHED.get() {
+        cfg.sched = sched;
+    }
     cfg
 }
 
@@ -165,8 +181,10 @@ pub fn table5(suite: &[Bench], pes: u16) -> ExperimentResult {
         "WRITE".into(),
         "paper(total/LOAD/STORE/READ/WRITE)".into(),
     ]];
-    for &bench in suite {
-        let row = run(bench, Variant::Baseline, pes8(pes));
+    // One independent run per benchmark — sweep them on the
+    // `--sweep-threads` workers (input order preserved).
+    let results = par_map(suite, |&bench| run(bench, Variant::Baseline, pes8(pes)));
+    for row in results {
         let (t, l, s, r, w) = row.table5;
         let paper_col = paper
             .iter()
@@ -206,21 +224,23 @@ pub fn fig5(suite: &[Bench], pes: u16) -> ExperimentResult {
         "LSE%".into(),
         "Prefetch%".into(),
     ]];
-    for &bench in suite {
-        for variant in VARIANTS {
-            let row = run(bench, variant, pes8(pes));
-            table.push(vec![
-                row.bench.clone(),
-                row.variant.clone(),
-                format!("{:5.1}", row.pct(StallCat::Working)),
-                format!("{:5.1}", row.pct(StallCat::Idle)),
-                format!("{:5.1}", row.pct(StallCat::MemStall)),
-                format!("{:5.1}", row.pct(StallCat::LsStall)),
-                format!("{:5.1}", row.pct(StallCat::LseStall)),
-                format!("{:5.1}", row.pct(StallCat::Prefetch)),
-            ]);
-            rows.push(row);
-        }
+    let grid: Vec<(Bench, Variant)> = suite
+        .iter()
+        .flat_map(|&bench| VARIANTS.iter().map(move |&v| (bench, v)))
+        .collect();
+    let results = par_map(&grid, |&(bench, variant)| run(bench, variant, pes8(pes)));
+    for row in results {
+        table.push(vec![
+            row.bench.clone(),
+            row.variant.clone(),
+            format!("{:5.1}", row.pct(StallCat::Working)),
+            format!("{:5.1}", row.pct(StallCat::Idle)),
+            format!("{:5.1}", row.pct(StallCat::MemStall)),
+            format!("{:5.1}", row.pct(StallCat::LsStall)),
+            format!("{:5.1}", row.pct(StallCat::LseStall)),
+            format!("{:5.1}", row.pct(StallCat::Prefetch)),
+        ]);
+        rows.push(row);
     }
     ExperimentResult {
         id: "fig5".into(),
@@ -291,17 +311,19 @@ pub fn fig9(suite: &[Bench], pes: u16) -> ExperimentResult {
         "pipeline usage".into(),
         "IPC".into(),
     ]];
-    for &bench in suite {
-        for variant in VARIANTS {
-            let row = run(bench, variant, pes8(pes));
-            table.push(vec![
-                row.bench.clone(),
-                row.variant.clone(),
-                format!("{:.3}", row.breakdown.pipeline_usage),
-                format!("{:.3}", row.breakdown.ipc),
-            ]);
-            rows.push(row);
-        }
+    let grid: Vec<(Bench, Variant)> = suite
+        .iter()
+        .flat_map(|&bench| VARIANTS.iter().map(move |&v| (bench, v)))
+        .collect();
+    let results = par_map(&grid, |&(bench, variant)| run(bench, variant, pes8(pes)));
+    for row in results {
+        table.push(vec![
+            row.bench.clone(),
+            row.variant.clone(),
+            format!("{:.3}", row.breakdown.pipeline_usage),
+            format!("{:.3}", row.breakdown.ipc),
+        ]);
+        rows.push(row);
     }
     ExperimentResult {
         id: "fig9".into(),
@@ -323,12 +345,31 @@ pub fn lat1(suite: &[Bench], pes: u16) -> ExperimentResult {
         "speedup@lat1".into(),
         "speedup@lat150".into(),
     ]];
-    for &bench in suite {
-        let cfg1 = pes8(pes).latency_one();
-        let b1 = run(bench, Variant::Baseline, cfg1.clone());
-        let p1 = run(bench, Variant::HandPrefetch, cfg1);
-        let b150 = run(bench, Variant::Baseline, pes8(pes));
-        let p150 = run(bench, Variant::HandPrefetch, pes8(pes));
+    // Four independent runs per benchmark: {baseline, prefetch} at
+    // latency 1 and at the paper latency.
+    let grid: Vec<(Bench, Variant, bool)> = suite
+        .iter()
+        .flat_map(|&bench| {
+            [
+                (bench, Variant::Baseline, true),
+                (bench, Variant::HandPrefetch, true),
+                (bench, Variant::Baseline, false),
+                (bench, Variant::HandPrefetch, false),
+            ]
+        })
+        .collect();
+    let results = par_map(&grid, |&(bench, variant, lat1)| {
+        let cfg = if lat1 {
+            pes8(pes).latency_one()
+        } else {
+            pes8(pes)
+        };
+        run(bench, variant, cfg)
+    });
+    for chunk in results.chunks_exact(4) {
+        let [b1, p1, b150, p150] = chunk else {
+            unreachable!()
+        };
         table.push(vec![
             b1.bench.clone(),
             b1.cycles.to_string(),
@@ -336,7 +377,7 @@ pub fn lat1(suite: &[Bench], pes: u16) -> ExperimentResult {
             format!("{:.2}x", b1.cycles as f64 / p1.cycles as f64),
             format!("{:.2}x", b150.cycles as f64 / p150.cycles as f64),
         ]);
-        rows.extend([b1, p1, b150, p150]);
+        rows.extend(chunk.iter().cloned());
     }
     ExperimentResult {
         id: "lat1".into(),
@@ -356,11 +397,17 @@ pub fn ablate_split(n: usize, pes: u16) -> ExperimentResult {
         "cycles".into(),
         "vs single-transaction".into(),
     ]];
-    let base = run(bench, Variant::Baseline, pes8(pes));
-    let single = run(bench, Variant::HandPrefetch, pes8(pes));
-    let mut split_cfg = pes8(pes);
-    split_cfg.dma_split_transactions = true;
-    let split = run(bench, Variant::HandPrefetch, split_cfg);
+    let grid = [
+        (Variant::Baseline, false),
+        (Variant::HandPrefetch, false),
+        (Variant::HandPrefetch, true),
+    ];
+    let results = par_map(&grid, |&(variant, split)| {
+        let mut cfg = pes8(pes);
+        cfg.dma_split_transactions = split;
+        run(bench, variant, cfg)
+    });
+    let [base, single, split] = results.try_into().map_err(|_| ()).expect("three runs");
     for (label, row) in [
         ("baseline (READs)", &base),
         ("DMA, one transaction", &single),
@@ -397,12 +444,19 @@ pub fn ablate_vfp(n: usize, pes: u16) -> ExperimentResult {
         "LSE stall %".into(),
         "Idle %".into(),
     ]];
-    for capacity in [2u32, 4, 64] {
-        for vfp in [false, true] {
-            let mut cfg = pes8(pes);
-            cfg.frame_capacity = capacity;
-            cfg.virtual_frames = vfp;
-            match try_run(bench, Variant::Baseline, cfg) {
+    let grid: Vec<(u32, bool)> = [2u32, 4, 64]
+        .into_iter()
+        .flat_map(|capacity| [false, true].map(|vfp| (capacity, vfp)))
+        .collect();
+    let outcomes = par_map(&grid, |&(capacity, vfp)| {
+        let mut cfg = pes8(pes);
+        cfg.frame_capacity = capacity;
+        cfg.virtual_frames = vfp;
+        try_run(bench, Variant::Baseline, cfg)
+    });
+    {
+        for (&(capacity, vfp), outcome) in grid.iter().zip(outcomes) {
+            match outcome {
                 Ok(row) => {
                     table.push(vec![
                         capacity.to_string(),
@@ -452,20 +506,24 @@ pub fn ablate_hw(n: usize, pes: u16) -> ExperimentResult {
         "cycles".into(),
         "bus util".into(),
     ]];
-    for buses in [1usize, 2, 4] {
-        for queue in [2usize, 16] {
-            let mut cfg = pes8(pes);
-            cfg.buses = buses;
-            cfg.mfc.queue_capacity = queue;
-            let row = run(bench, Variant::HandPrefetch, cfg);
-            table.push(vec![
-                buses.to_string(),
-                queue.to_string(),
-                row.cycles.to_string(),
-                format!("{:.3}", row.bus_utilisation),
-            ]);
-            rows.push(row);
-        }
+    let grid: Vec<(usize, usize)> = [1usize, 2, 4]
+        .into_iter()
+        .flat_map(|buses| [2usize, 16].map(|queue| (buses, queue)))
+        .collect();
+    let results = par_map(&grid, |&(buses, queue)| {
+        let mut cfg = pes8(pes);
+        cfg.buses = buses;
+        cfg.mfc.queue_capacity = queue;
+        run(bench, Variant::HandPrefetch, cfg)
+    });
+    for (&(buses, queue), row) in grid.iter().zip(results) {
+        table.push(vec![
+            buses.to_string(),
+            queue.to_string(),
+            row.cycles.to_string(),
+            format!("{:.3}", row.bus_utilisation),
+        ]);
+        rows.push(row);
     }
     ExperimentResult {
         id: "ablate-hw".into(),
@@ -486,31 +544,40 @@ pub fn ext_cache(mmul_n: usize, zoom_n: usize, pes: u16) -> ExperimentResult {
         "cycles".into(),
         "hit rate".into(),
     ]];
-    for bench in [Bench::Mmul(mmul_n), Bench::Zoom(zoom_n)] {
-        for (label, variant, cache) in [
-            ("original DTA", Variant::Baseline, false),
-            ("original DTA + cache", Variant::Baseline, true),
-            ("DMA prefetch", Variant::HandPrefetch, false),
-            ("DMA prefetch + cache", Variant::HandPrefetch, true),
-        ] {
-            let mut cfg = pes8(pes);
-            if cache {
-                cfg.cache = Some(dta_mem::CacheParams::default());
-            }
-            let row = run(bench, variant, cfg);
-            let hits = row.cache_hits + row.cache_misses;
-            table.push(vec![
-                row.bench.clone(),
-                label.to_string(),
-                row.cycles.to_string(),
-                if hits == 0 {
-                    "-".into()
-                } else {
-                    format!("{:.2}", row.cache_hits as f64 / hits as f64)
-                },
-            ]);
-            rows.push(row);
+    let configs = [
+        ("original DTA", Variant::Baseline, false),
+        ("original DTA + cache", Variant::Baseline, true),
+        ("DMA prefetch", Variant::HandPrefetch, false),
+        ("DMA prefetch + cache", Variant::HandPrefetch, true),
+    ];
+    let grid: Vec<(Bench, &str, Variant, bool)> = [Bench::Mmul(mmul_n), Bench::Zoom(zoom_n)]
+        .into_iter()
+        .flat_map(|bench| {
+            configs
+                .iter()
+                .map(move |&(label, variant, cache)| (bench, label, variant, cache))
+        })
+        .collect();
+    let results = par_map(&grid, |&(bench, _, variant, cache)| {
+        let mut cfg = pes8(pes);
+        if cache {
+            cfg.cache = Some(dta_mem::CacheParams::default());
         }
+        run(bench, variant, cfg)
+    });
+    for (&(_, label, _, _), row) in grid.iter().zip(results) {
+        let hits = row.cache_hits + row.cache_misses;
+        table.push(vec![
+            row.bench.clone(),
+            label.to_string(),
+            row.cycles.to_string(),
+            if hits == 0 {
+                "-".into()
+            } else {
+                format!("{:.2}", row.cache_hits as f64 / hits as f64)
+            },
+        ]);
+        rows.push(row);
     }
     ExperimentResult {
         id: "ext-cache".into(),
@@ -531,20 +598,24 @@ pub fn ext_spxp(suite: &[Bench], pes: u16) -> ExperimentResult {
         "Prefetch%".into(),
         "SP cycles".into(),
     ]];
-    for &bench in suite {
-        for overlap in [false, true] {
-            let mut cfg = pes8(pes);
-            cfg.sp_pf_overlap = overlap;
-            let row = run(bench, Variant::HandPrefetch, cfg);
-            table.push(vec![
-                row.bench.clone(),
-                if overlap { "on" } else { "off (CellDTA)" }.into(),
-                row.cycles.to_string(),
-                format!("{:.1}", row.pct(StallCat::Prefetch)),
-                row.sp_pf_cycles.to_string(),
-            ]);
-            rows.push(row);
-        }
+    let grid: Vec<(Bench, bool)> = suite
+        .iter()
+        .flat_map(|&bench| [false, true].map(|overlap| (bench, overlap)))
+        .collect();
+    let results = par_map(&grid, |&(bench, overlap)| {
+        let mut cfg = pes8(pes);
+        cfg.sp_pf_overlap = overlap;
+        run(bench, Variant::HandPrefetch, cfg)
+    });
+    for (&(_, overlap), row) in grid.iter().zip(results) {
+        table.push(vec![
+            row.bench.clone(),
+            if overlap { "on" } else { "off (CellDTA)" }.into(),
+            row.cycles.to_string(),
+            format!("{:.1}", row.pct(StallCat::Prefetch)),
+            row.sp_pf_cycles.to_string(),
+        ]);
+        rows.push(row);
     }
     ExperimentResult {
         id: "ext-spxp".into(),
@@ -572,8 +643,10 @@ pub fn ext_wholeobj(n: usize, pes: u16) -> ExperimentResult {
         "READs left".into(),
         "speedup vs baseline".into(),
     ]];
-    let base_row = run(Bench::Bitcnt(n), Variant::Baseline, pes8(pes));
-    let auto_row = run(Bench::Bitcnt(n), Variant::AutoPrefetch, pes8(pes));
+    let variants = [Variant::Baseline, Variant::AutoPrefetch];
+    let mut results = par_map(&variants, |&v| run(Bench::Bitcnt(n), v, pes8(pes)));
+    let auto_row = results.pop().expect("two runs");
+    let base_row = results.pop().expect("two runs");
 
     // The "next release": auto-prefetch with whole-object fetching on.
     let wp = bitcnt::build(n, Variant::Baseline);
@@ -687,6 +760,70 @@ pub fn parallel_bench(mmul_n: usize, pes: u16) -> ExperimentResult {
         id: "BENCH_parallel".into(),
         title: format!("Engine wall-clock: sequential vs epoch-sharded, mmul({mmul_n}) {pes} PEs"),
         text,
+        rows,
+    }
+}
+
+/// Scheduler benchmark: host wall-clock of the dense cycle loop vs the
+/// event-driven fast-forward scheduler, on the paper suite plus the
+/// DMA-dominated `gather` stress. Written as `BENCH_speed.json` so
+/// successive PRs can track simulator performance. Every pair must
+/// report identical simulated cycles — fast-forward is a pure host-time
+/// optimisation — and the table carries the skipped-tick and
+/// epoch-merge counters that explain the speedup.
+pub fn speed_bench(cases: &[(Bench, Variant, u16)]) -> ExperimentResult {
+    let mut rows = Vec::new();
+    let mut table = vec![vec![
+        "benchmark".to_string(),
+        "variant".into(),
+        "pes".into(),
+        "sched".into(),
+        "cycles".into(),
+        "visited".into(),
+        "PE ticks".into(),
+        "skipped".into(),
+        "merged epochs".into(),
+        "sim ms".into(),
+        "Mcyc/s".into(),
+        "speedup".into(),
+    ]];
+    for &(bench, variant, pes) in cases {
+        let mut dense_ms = None;
+        for sched in [SchedMode::Dense, SchedMode::FastForward] {
+            let mut cfg = pes8(pes);
+            cfg.sched = sched;
+            let (mut row, ms) =
+                try_run_timed(bench, variant, cfg).unwrap_or_else(|e| panic!("{e}"));
+            let (base_ms, base_cycles) = *dense_ms.get_or_insert((ms, row.cycles));
+            assert_eq!(
+                row.cycles,
+                base_cycles,
+                "{} [{}]: fast-forward changed the simulation",
+                bench.name(),
+                row.variant
+            );
+            row.wall_ms = Some(ms);
+            table.push(vec![
+                row.bench.clone(),
+                row.variant.clone(),
+                row.pes.to_string(),
+                row.sched.clone(),
+                row.cycles.to_string(),
+                row.visited_cycles.to_string(),
+                row.pe_ticks.to_string(),
+                row.skipped_ticks.to_string(),
+                row.merged_epochs.to_string(),
+                format!("{ms:.1}"),
+                format!("{:.2}", row.cycles as f64 / ms / 1e3),
+                format!("{:.2}x", base_ms / ms),
+            ]);
+            rows.push(row);
+        }
+    }
+    ExperimentResult {
+        id: "BENCH_speed".into(),
+        title: "Scheduler wall-clock: dense cycle loop vs event-driven fast-forward".into(),
+        text: text_table(&table),
         rows,
     }
 }
@@ -1039,6 +1176,22 @@ mod tests {
             .iter()
             .filter(|row| row.fault_rate_ppm == Some(0))
             .all(|row| row.dse_crashes == 0 && row.failovers == 0));
+    }
+
+    #[test]
+    fn quick_speed_bench_is_pure_and_skips_ticks() {
+        let r = speed_bench(&[(Bench::Gather(64), Variant::Baseline, 4)]);
+        assert_eq!(r.id, "BENCH_speed");
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].sched, "dense");
+        assert_eq!(r.rows[1].sched, "fast-forward");
+        // Pure host-time optimisation: identical simulated outcome...
+        assert_eq!(r.rows[0].cycles, r.rows[1].cycles);
+        assert_eq!(r.rows[0].visited_cycles, r.rows[1].visited_cycles);
+        // ...with strictly less engine work.
+        assert_eq!(r.rows[0].skipped_ticks, 0);
+        assert!(r.rows[1].skipped_ticks > 0);
+        assert!(r.rows[1].pe_ticks < r.rows[0].pe_ticks);
     }
 
     #[test]

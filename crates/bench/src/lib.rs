@@ -17,6 +17,7 @@
 //! | `ablate-vfp`   | §4.3 virtual frame pointers |
 //! | `ablate-hw`    | bus/queue sensitivity |
 //! | `parallel` | engine wall-clock, sequential vs epoch-sharded (`BENCH_parallel.json`) |
+//! | `speed`    | host scheduler wall-clock, dense vs event-driven fast-forward (`BENCH_speed.json`) |
 //! | `faults`   | fault-injection sweep: recovery cost vs rate (`BENCH_faults.json`) |
 //! | `failover` | DSE crash/failover sweep (`BENCH_failover.json`) |
 //! | `observe`  | observability overhead: bus off vs events vs full metrics + Perfetto (`BENCH_observe.json`) |

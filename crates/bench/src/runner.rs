@@ -1,7 +1,9 @@
 //! Running one benchmark configuration and collecting a result row.
 
-use dta_core::{simulate, Breakdown, ObsMode, RunStats, StallCat, System, SystemConfig};
-use dta_workloads::{bitcnt, colsum, mmul, stencil, vecscale, zoom, Variant, WorkloadProgram};
+use dta_core::{simulate, Breakdown, ObsMode, RunStats, SchedMode, StallCat, System, SystemConfig};
+use dta_workloads::{
+    bitcnt, colsum, gather, mmul, stencil, vecscale, zoom, Variant, WorkloadProgram,
+};
 use std::sync::Arc;
 
 /// A benchmark instance (workload + size).
@@ -19,6 +21,8 @@ pub enum Bench {
     Stencil(usize, usize),
     /// `colsum(n)`.
     Colsum(usize),
+    /// `gather(n)` — data-dependent sparse gather (fast-forward stress).
+    Gather(usize),
 }
 
 impl Bench {
@@ -42,6 +46,7 @@ impl Bench {
             Bench::Vecscale(n, _) => format!("vecscale({n})"),
             Bench::Stencil(n, _) => format!("stencil({n})"),
             Bench::Colsum(n) => format!("colsum({n})"),
+            Bench::Gather(n) => format!("gather({n})"),
         }
     }
 
@@ -54,6 +59,7 @@ impl Bench {
             Bench::Vecscale(n, c) => vecscale::build(n, c, variant),
             Bench::Stencil(n, c) => stencil::build(n, c, variant),
             Bench::Colsum(n) => colsum::build(n, variant),
+            Bench::Gather(n) => gather::build(n, variant),
         }
     }
 
@@ -65,6 +71,7 @@ impl Bench {
             Bench::Vecscale(n, _) => vecscale::verify(sys, n),
             Bench::Stencil(n, _) => stencil::verify(sys, n),
             Bench::Colsum(n) => colsum::verify(sys, n),
+            Bench::Gather(n) => gather::verify(sys, n),
         }
     }
 }
@@ -137,6 +144,20 @@ pub struct Row {
     pub overlap_cycles: u64,
     /// `overlap_cycles` over total busy cycles (zero unless metrics on).
     pub overlap_fraction: f64,
+    /// Scheduler label (`dense` / `fast-forward`).
+    pub sched: String,
+    /// Distinct simulated cycles the engine actually visited (host-side
+    /// work counter; simulated results never depend on it).
+    pub visited_cycles: u64,
+    /// PE ticks the engine performed.
+    pub pe_ticks: u64,
+    /// Blocked/idle PE ticks the fast-forward scheduler skipped.
+    pub skipped_ticks: u64,
+    /// Barrier epochs the sharded engine ran (zero on the sequential
+    /// engine).
+    pub epochs: u64,
+    /// Fixed-width epochs the adaptive coordinator merged away.
+    pub merged_epochs: u64,
 }
 
 impl Row {
@@ -177,6 +198,7 @@ pub fn try_run_sys(
     let mem_latency = cfg.mem_latency;
     let pes = cfg.total_pes();
     let obs_mode = cfg.obs.mode;
+    let sched = cfg.sched;
     let started = std::time::Instant::now();
     let (stats, sys) = simulate(cfg, Arc::new(wp.program), &wp.args)
         .map_err(|e| format!("{} [{}]: {e}", bench.name(), variant.label()))?;
@@ -190,6 +212,16 @@ pub fn try_run_sys(
     })?;
     let mut row = row_from(&bench, variant, pes, mem_latency, &stats, true);
     row.obs_mode = obs_label(obs_mode);
+    row.sched = match sched {
+        SchedMode::Dense => "dense".into(),
+        SchedMode::FastForward => "fast-forward".into(),
+    };
+    let engine = sys.engine_report();
+    row.visited_cycles = engine.visited_cycles;
+    row.pe_ticks = engine.pe_ticks;
+    row.skipped_ticks = engine.skipped_ticks;
+    row.epochs = engine.epochs;
+    row.merged_epochs = engine.merged_epochs;
     if let Some(stream) = sys.obs() {
         row.obs_events = stream.len() as u64;
         row.obs_dropped = stream.dropped;
@@ -278,6 +310,12 @@ fn row_from(
         obs_dropped: 0,
         overlap_cycles: 0,
         overlap_fraction: 0.0,
+        sched: String::new(),
+        visited_cycles: 0,
+        pe_ticks: 0,
+        skipped_ticks: 0,
+        epochs: 0,
+        merged_epochs: 0,
     }
 }
 

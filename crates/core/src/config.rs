@@ -30,6 +30,27 @@ pub enum Parallelism {
     Auto,
 }
 
+/// How the engine advances simulated time on the host.
+///
+/// Both modes produce bit-identical [`RunStats`](crate::stats::RunStats)
+/// and observability streams: fast-forward is a pure optimisation of host
+/// wall-clock, never of simulated behaviour (`fastforward_invariance.rs`
+/// pins this). The scheduler choice is host-side only, exactly like
+/// [`Parallelism`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// Tick every PE at every visited cycle (the original dense loop).
+    Dense,
+    /// Event-driven fast-forward: each PE carries a wake horizon
+    /// (`Activity::Blocked(w)` from its own tick, or the delivery time of
+    /// a message addressed to it) held in a per-engine binary heap, and
+    /// only *due* PEs are ticked at each visited cycle. Under the
+    /// `Threads(n)` engine this also enables adaptive epoch widths and
+    /// all-local epoch merging (see DESIGN.md §12).
+    #[default]
+    FastForward,
+}
+
 /// Seeded, deterministic fault-injection plan.
 ///
 /// Every fault decision is a pure function of `(seed, site, stable key)`
@@ -182,6 +203,15 @@ pub struct ObsConfig {
     /// Per-unit ring capacity for events and for gauge samples (the
     /// newest records are kept; drops are counted).
     pub event_capacity: usize,
+    /// Incremental streaming stride, simulated cycles (0 = off). When
+    /// set, the engine drains fully-simulated records out of the
+    /// per-unit rings roughly every this many cycles — at loop bottoms
+    /// in the sequential engines, at epoch barriers in the sharded one —
+    /// feeding any sink attached with `System::attach_stream_sink` in
+    /// wall order as the run progresses. The final merged stream is
+    /// identical to the post-run merge (the `obs_stream` suite pins
+    /// this), except that long runs no longer overflow the rings.
+    pub stream_interval: u64,
 }
 
 impl Default for ObsConfig {
@@ -190,6 +220,7 @@ impl Default for ObsConfig {
             mode: ObsMode::Off,
             metrics_interval: 1_000,
             event_capacity: 1 << 18,
+            stream_interval: 0,
         }
     }
 }
@@ -290,6 +321,10 @@ pub struct SystemConfig {
     /// every mode).
     pub parallelism: Parallelism,
 
+    /// Host-side time-advance strategy (simulated results are identical
+    /// in every mode; see [`SchedMode`]).
+    pub sched: SchedMode,
+
     /// Deterministic fault injection (`None` = the fault-free model;
     /// recovery machinery and the watchdog are armed only when set).
     pub faults: Option<FaultPlan>,
@@ -337,6 +372,7 @@ impl SystemConfig {
             obs: ObsConfig::default(),
             max_cycles: 2_000_000_000,
             parallelism: Parallelism::Off,
+            sched: SchedMode::FastForward,
             faults: None,
         }
     }
@@ -386,6 +422,16 @@ impl SystemConfig {
     #[inline]
     pub fn obs_active(&self) -> bool {
         self.obs_events_on() || self.obs_interval() > 0
+    }
+
+    /// Effective incremental-streaming stride (0 = post-run merge only).
+    #[inline]
+    pub fn obs_stream_interval(&self) -> u64 {
+        if self.obs_active() {
+            self.obs.stream_interval
+        } else {
+            0
+        }
     }
 
     /// Builds the shared memory system from this configuration.

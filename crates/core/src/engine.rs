@@ -28,15 +28,16 @@
 //! on the calling thread instead of paying barrier rendezvous with no
 //! hardware parallelism behind them.
 
-use crate::config::{FaultPlan, SystemConfig};
+use crate::config::{FaultPlan, SchedMode, SystemConfig};
 use crate::fault::{msg_exempt, FailoverSchedule, FaultCounters, DUP_STAMP_BIT};
 use crate::pipeline::{Activity, MemPort, OutMsg, Pe, SysCtx, Ticket, TicketKind};
-use crate::stats::RunStats;
+use crate::stats::{EngineReport, RunStats};
 use crate::system::{deliver, transform_obs, DeliverEnv, Event, RunError, System};
 use dta_isa::Program;
 use dta_mem::{MainMemory, MemorySystem, TransferKind};
-use dta_obs::{ObsEvent, ObsLog, ObsRecord};
+use dta_obs::{ObsEvent, ObsLog, ObsRecord, ObsSink};
 use dta_sched::{Dest, Dse, Message, MsgSeq};
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -113,6 +114,21 @@ struct Shard {
     /// This shard's message-fault counters (merged into the system at
     /// reassembly).
     fault_counts: FaultCounters,
+    /// Host time-advance mode (fast-forward uses the wake heap below).
+    sched: SchedMode,
+    /// Cached epoch width (the conservative cross-shard lookahead; also
+    /// the adaptive clamp distance).
+    epoch_w: u64,
+    /// Fast-forward: each local PE's earliest scheduled tick
+    /// (`u64::MAX` = none; only a delivery can make it runnable).
+    wake: Vec<u64>,
+    /// Fast-forward: (time, local PE) wake entries with lazy
+    /// invalidation — an entry is stale when its time no longer matches
+    /// `wake[pe]`. Pops in (time, pe) order, preserving the dense
+    /// engine's within-cycle PE tick order.
+    wheap: BinaryHeap<Reverse<(u64, u16)>>,
+    /// This shard's visited-cycle/tick counters (merged at reassembly).
+    report: EngineReport,
 }
 
 impl Shard {
@@ -171,10 +187,22 @@ impl Shard {
     /// same deliver-then-tick body as the sequential engine, restricted to
     /// this shard's units, with event-based time skipping inside the
     /// window.
-    fn run_epoch(&mut self, e_start: u64, e_end: u64, program: &Program) {
+    ///
+    /// In fast-forward mode only *due* PEs tick (see the wake-heap notes
+    /// on `System::run_sequential_ff`; the skipped ticks are the dense
+    /// loop's blocked/idle no-ops). When `adaptive` widening granted a
+    /// window beyond one lookahead, the shard self-clamps: the first
+    /// cycle `c` that initiates any cross-epoch interaction (a deferred
+    /// shared-memory ticket, whose completion is synthesized only at the
+    /// barrier, or a cross-shard post) shrinks the window to `c +
+    /// epoch_w`, since nothing initiated at `c` can take effect — or
+    /// provoke a response — before `c + epoch_w` (DESIGN.md §12).
+    fn run_epoch(&mut self, e_start: u64, mut e_end: u64, adaptive: bool, program: &Program) {
+        let ff = self.sched == SchedMode::FastForward;
         let mut t = self.next_ready().max(e_start);
         while t < e_end {
             self.last_t = t;
+            self.report.visited_cycles += 1;
 
             while self.events.peek().is_some_and(|e| e.time <= t) {
                 let e = self.events.pop().expect("peeked");
@@ -182,6 +210,19 @@ impl Shard {
                     // Injected duplicate — discard (same rule as the
                     // sequential engine's event pop).
                     continue;
+                }
+                if ff {
+                    // A delivery to a PE means it must tick this cycle.
+                    match e.to {
+                        Dest::Lse(p) | Dest::Pipeline(p) => {
+                            let slot = &mut self.wake[(p - self.pe_base) as usize];
+                            if t < *slot {
+                                *slot = t;
+                                self.wheap.push(Reverse((t, p - self.pe_base)));
+                            }
+                        }
+                        Dest::Dse(_) => {}
+                    }
                 }
                 let mut env = DeliverEnv {
                     pes: &mut self.pes,
@@ -214,17 +255,63 @@ impl Shard {
                     drain_until: &mut self.scratch_drain,
                     failover: self.failover.as_deref(),
                 };
-                for pe in self.pes.iter_mut() {
-                    match pe.tick(t, &mut ctx) {
-                        Activity::Active => any_active = true,
-                        Activity::Blocked(w) => next_wake = next_wake.min(w),
-                        Activity::Idle => {}
+                if ff {
+                    while let Some(&Reverse((wt, p))) = self.wheap.peek() {
+                        if wt > t {
+                            break;
+                        }
+                        self.wheap.pop();
+                        let pi = p as usize;
+                        if self.wake[pi] != wt {
+                            continue; // stale entry
+                        }
+                        self.wake[pi] = u64::MAX;
+                        self.report.pe_ticks += 1;
+                        let next = match self.pes[pi].tick(t, &mut ctx) {
+                            Activity::Active => t + 1,
+                            Activity::Blocked(w) => w,
+                            Activity::Idle => u64::MAX,
+                        };
+                        if next < u64::MAX {
+                            debug_assert!(next > t, "wake must be in the future");
+                            self.wake[pi] = next;
+                            self.wheap.push(Reverse((next, p)));
+                        }
+                    }
+                } else {
+                    self.report.pe_ticks += self.pes.len() as u64;
+                    for pe in self.pes.iter_mut() {
+                        match pe.tick(t, &mut ctx) {
+                            Activity::Active => any_active = true,
+                            Activity::Blocked(w) => next_wake = next_wake.min(w),
+                            Activity::Idle => {}
+                        }
                     }
                 }
             }
             self.route_posts(t);
 
-            if any_active {
+            if adaptive
+                && e_end > t + self.epoch_w
+                && (!self.tickets.is_empty() || !self.remote.is_empty())
+            {
+                // First cross-epoch initiation in this widened window.
+                e_end = t + self.epoch_w;
+            }
+
+            if ff {
+                let nw = loop {
+                    match self.wheap.peek() {
+                        Some(&Reverse((wt, p))) if self.wake[p as usize] != wt => {
+                            self.wheap.pop(); // stale
+                        }
+                        Some(&Reverse((wt, _))) => break wt,
+                        None => break u64::MAX,
+                    }
+                };
+                let peek = self.events.peek().map_or(u64::MAX, |e| e.time);
+                t = nw.min(peek).max(t + 1);
+            } else if any_active {
                 t += 1;
             } else {
                 let peek = self.events.peek().map_or(u64::MAX, |e| e.time);
@@ -244,13 +331,20 @@ struct MergeCtx<'a> {
     pe_owner: &'a [usize],
     /// Owning shard of each node's DSE.
     dse_owner: &'a [usize],
+    /// Ticket scratch, reused across barriers (cleared by `drain`).
+    tickets: Vec<Ticket>,
+    /// Cross-shard post scratch, reused across barriers.
+    remote: Vec<OutMsg>,
 }
 
 /// Resolves the epoch's deferred shared-memory tickets in sequential wall
-/// order, exchanges cross-shard posts, and returns the next epoch start
-/// (`u64::MAX` when the whole machine is quiescent).
-fn merge_epoch(shards: &mut [&mut Shard], ctx: &mut MergeCtx<'_>) -> u64 {
-    let mut tickets: Vec<Ticket> = Vec::new();
+/// order, exchanges cross-shard posts, and returns the two earliest
+/// shard-ready cycles `(r1, r2)` — `r1` is the next epoch start
+/// (`u64::MAX` when the whole machine is quiescent), `r2` bounds the next
+/// adaptive widening.
+fn merge_epoch(shards: &mut [&mut Shard], ctx: &mut MergeCtx<'_>) -> (u64, u64) {
+    let tickets = &mut ctx.tickets;
+    debug_assert!(tickets.is_empty());
     for s in shards.iter_mut() {
         tickets.append(&mut s.tickets);
     }
@@ -258,7 +352,7 @@ fn merge_epoch(shards: &mut [&mut Shard], ctx: &mut MergeCtx<'_>) -> u64 {
     // the shared memory system: it ticks PEs in index order within each
     // cycle, and deliveries never touch it.
     tickets.sort_unstable_by_key(|t| (t.time, t.pe, t.seq));
-    for tk in tickets {
+    for tk in tickets.drain(..) {
         let shard = &mut *shards[ctx.pe_owner[tk.pe as usize]];
         let idx = (tk.pe - shard.pe_base) as usize;
         match tk.kind {
@@ -335,11 +429,12 @@ fn merge_epoch(shards: &mut [&mut Shard], ctx: &mut MergeCtx<'_>) -> u64 {
         }
     }
 
-    let mut remote: Vec<OutMsg> = Vec::new();
+    let remote = &mut ctx.remote;
+    debug_assert!(remote.is_empty());
     for s in shards.iter_mut() {
         remote.append(&mut s.remote);
     }
-    for (time, to, msg, stamp) in remote {
+    for (time, to, msg, stamp) in remote.drain(..) {
         let s = match to {
             Dest::Dse(n) => ctx.dse_owner[n as usize],
             Dest::Lse(p) | Dest::Pipeline(p) => ctx.pe_owner[p as usize],
@@ -352,11 +447,64 @@ fn merge_epoch(shards: &mut [&mut Shard], ctx: &mut MergeCtx<'_>) -> u64 {
         });
     }
 
-    shards
-        .iter()
-        .map(|s| s.next_ready())
-        .min()
-        .unwrap_or(u64::MAX)
+    let (mut r1, mut r2) = (u64::MAX, u64::MAX);
+    for r in shards.iter().map(|s| s.next_ready()) {
+        if r < r1 {
+            r2 = r1;
+            r1 = r;
+        } else if r < r2 {
+            r2 = r;
+        }
+    }
+    (r1, r2)
+}
+
+/// Incremental obs streaming at an epoch barrier: drains every record
+/// stamped `<= h` out of the shards' per-unit rings (forced gauge flush
+/// first — sound because unit state is untouched between visits, so the
+/// samples are identical whenever they materialise) and the engine's own
+/// log, feeds the attached sink in wall order, and accumulates the batch
+/// for the final merge. `h` must be a safe horizon: with `h = next - 1`
+/// where `next` is the earliest shard-ready cycle after the merge, every
+/// cycle `<= h` is fully simulated machine-wide.
+fn stream_epoch<'s>(
+    shards: impl Iterator<Item = &'s mut Shard>,
+    engine_obs: &mut ObsLog,
+    h: u64,
+    batch: &mut Vec<ObsRecord>,
+    streamed: &mut Vec<ObsRecord>,
+    sink: &mut Option<Box<dyn ObsSink + Send>>,
+) {
+    debug_assert!(batch.is_empty());
+    for s in shards {
+        for pe in &mut s.pes {
+            pe.finish_obs(h);
+            pe.obs.drain_through(h, batch);
+        }
+        for log in &mut s.dse_obs {
+            log.drain_through(h, batch);
+        }
+        // Shard-local fault records carry the faulted message's
+        // *delivery* stamp, which can lie past the post time, so the vec
+        // is not cycle-sorted: extract by predicate (residual order is
+        // irrelevant — the final merge re-sorts on unique keys).
+        let mut i = 0;
+        while i < s.obs_misc.len() {
+            if s.obs_misc[i].cycle <= h {
+                batch.push(s.obs_misc.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+    }
+    engine_obs.drain_through(h, batch);
+    batch.sort_unstable_by_key(ObsRecord::key);
+    if let Some(sink) = sink.as_deref_mut() {
+        for r in batch.iter() {
+            sink.record(r);
+        }
+    }
+    streamed.append(batch);
 }
 
 /// A sense-reversing spin barrier. Epochs are short (a handful of
@@ -404,6 +552,27 @@ enum Outcome {
     CycleLimit,
 }
 
+/// Chooses the end of the epoch starting at `e`.
+///
+/// Fixed width `w` in dense mode. Under fast-forward, when the
+/// second-earliest shard activity `r2` lies at least one lookahead past
+/// `e`, the window widens to `r2`: exactly one shard can run before `r2`,
+/// so the only deliveries that could land in a visited past are that
+/// shard's own barrier-resolved responses — and its body self-clamps to
+/// one lookahead past its first cross-epoch initiation, keeping every
+/// such delivery strictly in its future (see `Shard::run_epoch` and
+/// DESIGN.md §12). Every other shard first acts at `≥ r2 ≥` the window
+/// end, so it simulates nothing inside the window at all.
+fn epoch_end_cycle(e: u64, r2: u64, w: u64, adaptive: bool, max_cycles: u64) -> u64 {
+    let cap = max_cycles.saturating_add(1);
+    let fixed = e.saturating_add(w);
+    if adaptive && r2 >= fixed {
+        r2.min(cap)
+    } else {
+        fixed.min(cap)
+    }
+}
+
 /// How many OS threads are worth spawning. Shard *partitioning* never
 /// affects results, so the engine is free to run every shard on one
 /// thread when the host has a single core — spawning more would turn
@@ -435,6 +604,8 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
     let mut dse_stamps = std::mem::take(&mut sys.dse_stamps);
     let mut dse_obs_all = std::mem::take(&mut sys.dse_obs);
     let obs_events = sys.config.obs_events_on();
+    let w = epoch_width(&sys.config);
+    let sched = sys.config.sched;
     let base = total / nshards;
     let extra = total % nshards;
     let mut pe_owner = vec![0usize; total];
@@ -471,6 +642,12 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
                 faults: sys.config.faults,
                 failover: sys.failover.clone(),
                 fault_counts: FaultCounters::default(),
+                sched,
+                epoch_w: w,
+                // Every PE is due at cycle 0.
+                wake: vec![0; n],
+                wheap: (0..n).map(|p| Reverse((0u64, p as u16))).collect(),
+                report: EngineReport::default(),
             });
             next_pe += n;
         }
@@ -502,8 +679,10 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
         shards[s].events.push(e);
     }
 
-    let w = epoch_width(&sys.config);
     let max_cycles = sys.config.max_cycles;
+    // Adaptive widening needs the self-clamp, which only the fast-forward
+    // epoch body implements; dense keeps the fixed lookahead.
+    let adaptive = sched == SchedMode::FastForward;
     let program = sys.program.clone();
     let mut drain_until = sys.drain_until;
     let engine_obs = &mut sys.engine_obs;
@@ -513,7 +692,16 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
         drain_until: &mut drain_until,
         pe_owner: &pe_owner,
         dse_owner: &dse_owner,
+        tickets: Vec::new(),
+        remote: Vec::new(),
     };
+    let mut epochs = 0u64;
+    let mut merged_epochs = 0u64;
+    let stream_every = sys.config.obs_stream_interval();
+    let mut stream_sink = sys.stream_sink.take();
+    let mut streamed: Vec<ObsRecord> = Vec::new();
+    let mut stream_batch: Vec<ObsRecord> = Vec::new();
+    let mut stream_next = stream_every;
 
     let outcome;
     if nshards == 1 || host_parallelism() == 1 {
@@ -523,8 +711,10 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
         // has one core (results are partition-independent, so skipping the
         // OS threads changes nothing but wall-clock).
         let mut e = 0u64;
+        let mut r2 = 0u64;
         outcome = loop {
-            let e_end = e.saturating_add(w).min(max_cycles.saturating_add(1));
+            let e_end = epoch_end_cycle(e, r2, w, adaptive, max_cycles);
+            epochs += 1;
             engine_obs.emit(
                 e,
                 ObsEvent::Epoch {
@@ -533,10 +723,26 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
                 },
             );
             for shard in shards.iter_mut() {
-                shard.run_epoch(e, e_end, &program);
+                shard.run_epoch(e, e_end, adaptive, &program);
             }
             let mut refs: Vec<&mut Shard> = shards.iter_mut().collect();
-            let next = merge_epoch(&mut refs, &mut mctx);
+            let (next, next2) = merge_epoch(&mut refs, &mut mctx);
+            if stream_every > 0 && next != u64::MAX && next.saturating_sub(1) >= stream_next {
+                stream_epoch(
+                    refs.iter_mut().map(|s| &mut **s),
+                    engine_obs,
+                    next - 1,
+                    &mut stream_batch,
+                    &mut streamed,
+                    &mut stream_sink,
+                );
+                stream_next = next.saturating_add(stream_every);
+            }
+            if e_end > e.saturating_add(w) {
+                // Widened window: count the fixed-width barriers it saved.
+                let span = next.min(e_end).saturating_sub(e);
+                merged_epochs += span.div_ceil(w).saturating_sub(1);
+            }
             if next == u64::MAX {
                 break Outcome::Exhausted;
             }
@@ -544,6 +750,7 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
                 break Outcome::CycleLimit;
             }
             e = next;
+            r2 = next2;
         };
     } else {
         let stop = AtomicBool::new(false);
@@ -553,6 +760,7 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
         let mutexes: Vec<Mutex<Shard>> = shards.drain(..).map(Mutex::new).collect();
         let program_ref: &Program = &program;
 
+        let adaptive_flag = adaptive;
         outcome = std::thread::scope(|scope| {
             for i in 1..nshards {
                 let (barrier, stop) = (&barrier, &stop);
@@ -566,7 +774,7 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
                     let s = epoch_start.load(Ordering::Acquire);
                     let e = epoch_end.load(Ordering::Acquire);
                     let mut shard = mutexes[i].lock().expect("shard mutex poisoned");
-                    shard.run_epoch(s, e, program_ref);
+                    shard.run_epoch(s, e, adaptive_flag, program_ref);
                     drop(shard);
                     barrier.wait();
                 });
@@ -576,8 +784,10 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
             // merges, the workers spin at the next epoch's opening
             // barrier, so locking every shard here cannot contend.
             let mut e = 0u64;
+            let mut r2 = 0u64;
             loop {
-                let e_end = e.saturating_add(w).min(max_cycles.saturating_add(1));
+                let e_end = epoch_end_cycle(e, r2, w, adaptive, max_cycles);
+                epochs += 1;
                 engine_obs.emit(
                     e,
                     ObsEvent::Epoch {
@@ -588,10 +798,12 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
                 epoch_start.store(e, Ordering::Release);
                 epoch_end.store(e_end, Ordering::Release);
                 barrier.wait();
-                mutexes[0]
-                    .lock()
-                    .expect("shard mutex poisoned")
-                    .run_epoch(e, e_end, program_ref);
+                mutexes[0].lock().expect("shard mutex poisoned").run_epoch(
+                    e,
+                    e_end,
+                    adaptive_flag,
+                    program_ref,
+                );
                 barrier.wait();
 
                 let mut guards: Vec<_> = mutexes
@@ -599,8 +811,23 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
                     .map(|m| m.lock().expect("shard mutex poisoned"))
                     .collect();
                 let mut refs: Vec<&mut Shard> = guards.iter_mut().map(|g| &mut **g).collect();
-                let next = merge_epoch(&mut refs, &mut mctx);
+                let (next, next2) = merge_epoch(&mut refs, &mut mctx);
+                if stream_every > 0 && next != u64::MAX && next.saturating_sub(1) >= stream_next {
+                    stream_epoch(
+                        refs.iter_mut().map(|s| &mut **s),
+                        engine_obs,
+                        next - 1,
+                        &mut stream_batch,
+                        &mut streamed,
+                        &mut stream_sink,
+                    );
+                    stream_next = next.saturating_add(stream_every);
+                }
                 drop(guards);
+                if e_end > e.saturating_add(w) {
+                    let span = next.min(e_end).saturating_sub(e);
+                    merged_epochs += span.div_ceil(w).saturating_sub(1);
+                }
 
                 if next == u64::MAX || next > max_cycles {
                     stop.store(true, Ordering::Release);
@@ -612,6 +839,7 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
                     };
                 }
                 e = next;
+                r2 = next2;
             }
         });
 
@@ -624,8 +852,21 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
     // Reassemble the machine (shards hold contiguous, ordered slices).
     sys.drain_until = drain_until;
     let mut now = 0u64;
+    let mut report = EngineReport {
+        epochs,
+        merged_epochs,
+        ..EngineReport::default()
+    };
     for shard in &mut shards {
         now = now.max(shard.last_t);
+        let npes = shard.pes.len() as u64;
+        report.visited_cycles += shard.report.visited_cycles;
+        report.pe_ticks += shard.report.pe_ticks;
+        report.skipped_ticks += shard
+            .report
+            .visited_cycles
+            .saturating_mul(npes)
+            .saturating_sub(shard.report.pe_ticks);
         sys.pes.append(&mut shard.pes);
         sys.dses.append(&mut shard.dses);
         sys.dse_stamps.append(&mut shard.dse_stamps);
@@ -633,6 +874,9 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
         sys.obs_misc.append(&mut shard.obs_misc);
         sys.fault_counts.absorb(shard.fault_counts);
     }
+    sys.engine_report = report;
+    sys.streamed.append(&mut streamed);
+    sys.stream_sink = stream_sink;
     // The deepest cycle any shard's body visited is exactly the sequential
     // engine's final `now`: every shard-visited cycle is also visited by
     // the sequential loop, and the last sequentially-visited cycle belongs

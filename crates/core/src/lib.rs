@@ -54,7 +54,7 @@ pub mod stats;
 pub mod system;
 pub mod trace;
 
-pub use config::{FaultPlan, ObsConfig, ObsMode, Parallelism, SystemConfig};
+pub use config::{FaultPlan, ObsConfig, ObsMode, Parallelism, SchedMode, SystemConfig};
 pub use fault::FaultCounters;
 pub use pipeline::{Activity, Pe, PipelineParams};
 pub use stats::{Breakdown, PeStats, RunStats, StallCat};

@@ -226,6 +226,48 @@ impl fmt::Display for Breakdown {
     }
 }
 
+/// Host-engine execution report: how the engine advanced simulated time.
+///
+/// Deliberately *not* part of [`RunStats`]: these counters describe the
+/// host-side schedule (which differs across [`SchedMode`] and
+/// [`Parallelism`] by design), while `RunStats` is compared bit-for-bit
+/// across engines by the determinism suites. Read it from
+/// [`System::engine_report`] after a run.
+///
+/// [`SchedMode`]: crate::config::SchedMode
+/// [`Parallelism`]: crate::config::Parallelism
+/// [`System::engine_report`]: crate::system::System::engine_report
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Simulated cycles the engine actually visited (summed across shards
+    /// under the threaded engine).
+    pub visited_cycles: u64,
+    /// `Pe::tick` calls actually made.
+    pub pe_ticks: u64,
+    /// Ticks a dense engine would have made at the visited cycles but
+    /// fast-forward skipped (`Σ visited_cycles × shard PEs − pe_ticks`;
+    /// zero in dense mode).
+    pub skipped_ticks: u64,
+    /// Epoch barriers executed by the sharded engine (zero sequential).
+    pub epochs: u64,
+    /// Fixed-width epochs that adaptive widening merged away — how many
+    /// extra barrier rendezvous a fixed-width schedule would have run
+    /// (zero when dense or sequential).
+    pub merged_epochs: u64,
+}
+
+impl ToJson for EngineReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("visited_cycles", self.visited_cycles.to_json()),
+            ("pe_ticks", self.pe_ticks.to_json()),
+            ("skipped_ticks", self.skipped_ticks.to_json()),
+            ("epochs", self.epochs.to_json()),
+            ("merged_epochs", self.merged_epochs.to_json()),
+        ])
+    }
+}
+
 /// Whole-run results returned by the simulator.
 ///
 /// `PartialEq` exists so determinism tests can assert bit-identical runs

@@ -13,16 +13,16 @@
 //! event. Arbitration everywhere is deterministic, so a given
 //! (program, config) pair always produces identical results.
 
-use crate::config::{FaultPlan, Parallelism, SystemConfig};
+use crate::config::{FaultPlan, Parallelism, SchedMode, SystemConfig};
 use crate::fault::{msg_exempt, transform, FailoverSchedule, FaultCounters, DUP_STAMP_BIT};
 use crate::pipeline::{Activity, MemPort, OutMsg, Pe, PipelineParams, SysCtx};
-use crate::stats::{PeStats, RunStats};
+use crate::stats::{EngineReport, PeStats, RunStats};
 use crate::trace::Trace;
 use dta_isa::{validate_program, Program, ValidationError};
 use dta_mem::fault::{roll, SITE_FALLOC_DENY};
 use dta_mem::{MainMemory, MemorySystem};
 use dta_obs::{
-    MetricsReport, MetricsSink, ObsEvent, ObsLog, ObsRecord, ObsStream, PerfettoWriter,
+    MetricsReport, MetricsSink, ObsEvent, ObsLog, ObsRecord, ObsSink, ObsStream, PerfettoWriter,
     ThreadEvent, TrackLayout, ENGINE_UNIT, MSG_DELAY_SEQ_BIT, MSG_DUP_SEQ_BIT, MSG_SEQ_BIT,
 };
 use dta_sched::dse::FallocDecision;
@@ -786,8 +786,22 @@ pub struct System {
     /// The merged wall-order stream, built once at run end.
     pub(crate) obs: Option<ObsStream>,
     obs_finalized: bool,
+    /// Records already drained out of the per-unit rings by incremental
+    /// streaming ([`ObsConfig::stream_interval`]); prepended to the
+    /// final merge.
+    pub(crate) streamed: Vec<ObsRecord>,
+    /// Scratch batch buffer for `stream_obs_through` (reused across
+    /// flushes).
+    pub(crate) stream_scratch: Vec<ObsRecord>,
+    /// Optional live consumer: fed each streamed batch in wall order as
+    /// the run progresses, then the post-run remainder at finalisation.
+    pub(crate) stream_sink: Option<Box<dyn ObsSink + Send>>,
     /// Message-fault bookkeeping (shard counters merge in here).
     pub(crate) fault_counts: FaultCounters,
+    /// Host-engine execution report (how time was advanced; outside
+    /// [`RunStats`] so determinism suites can compare those bit-for-bit
+    /// across engines).
+    pub(crate) engine_report: EngineReport,
     /// Resolved DSE crash/restart schedule (None = no DSE can crash).
     pub(crate) failover: Option<Arc<FailoverSchedule>>,
 }
@@ -933,7 +947,11 @@ impl System {
             engine_obs,
             obs: None,
             obs_finalized: false,
+            streamed: Vec::new(),
+            stream_scratch: Vec::new(),
+            stream_sink: None,
             fault_counts: FaultCounters::default(),
+            engine_report: EngineReport::default(),
             failover,
         })
     }
@@ -946,6 +964,13 @@ impl System {
     /// Current simulation time.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// How the host engine advanced time in the finished run (visited
+    /// cycles, ticks made/skipped, epoch barriers/merges). Host-side
+    /// only — simulated results are independent of it.
+    pub fn engine_report(&self) -> EngineReport {
+        self.engine_report
     }
 
     /// Read-only view of main memory (for verifying results after a run).
@@ -1156,45 +1181,72 @@ impl System {
     }
 
     pub(crate) fn run_sequential(&mut self) -> Result<RunStats, RunError> {
+        match self.config.sched {
+            SchedMode::Dense => self.run_sequential_dense(),
+            SchedMode::FastForward => self.run_sequential_ff(),
+        }
+    }
+
+    /// Drains and delivers every event due at `self.now`, feeding the
+    /// resulting posts back into the queue. With `wakes`, each delivery
+    /// addressed to a PE (LSE or pipeline) also reports the PE index so
+    /// the fast-forward engine can tick it this cycle.
+    fn deliver_due(&mut self, posts: &mut Vec<OutMsg>, mut wake: Option<&mut dyn FnMut(u16)>) {
+        while self.events.peek().is_some_and(|e| e.time <= self.now) {
+            let e = self.events.pop().expect("peeked");
+            if e.stamp.seq & DUP_STAMP_BIT != 0 {
+                // An injected duplicate: the primary copy already
+                // delivered (or will, under the unmarked stamp);
+                // discard so handlers stay single-delivery.
+                continue;
+            }
+            if let Some(wake) = wake.as_deref_mut() {
+                match e.to {
+                    Dest::Lse(pe) | Dest::Pipeline(pe) => wake(pe),
+                    Dest::Dse(_) => {}
+                }
+            }
+            let mut env = DeliverEnv {
+                pes: &mut self.pes,
+                pe_base: 0,
+                dses: &mut self.dses,
+                dse_base: 0,
+                dse_stamps: &mut self.dse_stamps,
+                program: &self.program,
+                nodes: self.config.nodes,
+                pes_per_node: self.config.pes_per_node,
+                msg_latency: self.config.msg_latency,
+                dse_obs: &mut self.dse_obs,
+                posts,
+                faults: self.config.faults,
+                failover: self.failover.as_deref(),
+            };
+            deliver(&mut env, self.now, e.to, e.msg);
+            for (time, to, msg, stamp) in posts.drain(..) {
+                self.post(time, to, msg, stamp);
+            }
+        }
+    }
+
+    /// The original dense loop: every PE ticks at every visited cycle.
+    fn run_sequential_dense(&mut self) -> Result<RunStats, RunError> {
         let mut outbox: Vec<OutMsg> = Vec::new();
         let mut posts: Vec<OutMsg> = Vec::new();
+        let mut report = EngineReport::default();
+        let stream_every = self.config.obs_stream_interval();
+        let mut stream_next = stream_every;
 
         loop {
             if self.now > self.config.max_cycles {
+                self.engine_report = report;
                 self.finalize_obs(self.now);
                 return Err(self.cycle_limit_error());
             }
+            report.visited_cycles += 1;
 
             // Deliver everything due now. Deliveries only post messages
             // for strictly later cycles, so flushing afterwards is safe.
-            while self.events.peek().is_some_and(|e| e.time <= self.now) {
-                let e = self.events.pop().expect("peeked");
-                if e.stamp.seq & DUP_STAMP_BIT != 0 {
-                    // An injected duplicate: the primary copy already
-                    // delivered (or will, under the unmarked stamp);
-                    // discard so handlers stay single-delivery.
-                    continue;
-                }
-                let mut env = DeliverEnv {
-                    pes: &mut self.pes,
-                    pe_base: 0,
-                    dses: &mut self.dses,
-                    dse_base: 0,
-                    dse_stamps: &mut self.dse_stamps,
-                    program: &self.program,
-                    nodes: self.config.nodes,
-                    pes_per_node: self.config.pes_per_node,
-                    msg_latency: self.config.msg_latency,
-                    dse_obs: &mut self.dse_obs,
-                    posts: &mut posts,
-                    faults: self.config.faults,
-                    failover: self.failover.as_deref(),
-                };
-                deliver(&mut env, self.now, e.to, e.msg);
-                for (time, to, msg, stamp) in posts.drain(..) {
-                    self.post(time, to, msg, stamp);
-                }
-            }
+            self.deliver_due(&mut posts, None);
 
             // Tick every PE.
             let mut any_active = false;
@@ -1216,6 +1268,7 @@ impl System {
                     drain_until,
                     failover: failover.as_deref(),
                 };
+                report.pe_ticks += pes.len() as u64;
                 for pe in pes.iter_mut() {
                     match pe.tick(self.now, &mut ctx) {
                         Activity::Active => any_active = true,
@@ -1226,6 +1279,12 @@ impl System {
             }
             for (time, to, msg, stamp) in outbox.drain(..) {
                 self.post(time, to, msg, stamp);
+            }
+            // Cycle `now` is fully simulated (posts only target later
+            // cycles), so it is a safe streaming horizon.
+            if stream_every > 0 && self.now >= stream_next {
+                self.stream_obs_through(self.now);
+                stream_next = self.now + stream_every;
             }
 
             if any_active {
@@ -1239,6 +1298,7 @@ impl System {
                 // Nothing will ever happen again.
                 let live: usize = self.pes.iter().map(|p| p.lse.live_instances()).sum();
                 if live > 0 {
+                    self.engine_report = report;
                     self.finalize_obs(self.now);
                     return Err(self.quiescence_error());
                 }
@@ -1248,6 +1308,158 @@ impl System {
             self.now = target;
         }
 
+        self.engine_report = report;
+        let final_cycle = self.now.max(self.drain_until);
+        for pe in &mut self.pes {
+            pe.finish(final_cycle);
+        }
+        self.finalize_obs(final_cycle);
+        Ok(self.collect(final_cycle))
+    }
+
+    /// Event-driven fast-forward: each PE carries a wake time in a binary
+    /// heap and only *due* PEs tick at a visited cycle.
+    ///
+    /// Wake sources, covering every way a PE can need a tick:
+    /// * `Activity::Active` → the PE must tick again at `now + 1` (this
+    ///   also covers the Active→Idle transition tick that records
+    ///   `idle_since`);
+    /// * `Activity::Blocked(t)`, `t < u64::MAX` → tick at `t` (pipeline
+    ///   `resume_at`, MFC backoff, dispatch penalty);
+    /// * a message delivered to the PE's LSE or pipeline → tick at the
+    ///   delivery cycle itself (`complete_read` sets `resume_at = now`, so
+    ///   deferring that tick would lose a cycle);
+    /// * `Activity::Blocked(u64::MAX)` / `Activity::Idle` → no wake: only
+    ///   a delivery can make the PE runnable again.
+    ///
+    /// Ticks this schedule skips are exactly the dense loop's no-ops —
+    /// blocked/idle early returns whose only effect, gauge-boundary
+    /// flushing, is a pure function of simulated time and unchanged unit
+    /// state, so it emits identical samples whenever it runs (DESIGN.md
+    /// §12 has the full argument; `fastforward_invariance.rs` pins it).
+    /// Within a cycle the heap pops in ascending PE order, preserving the
+    /// dense loop's memory-port reservation order.
+    fn run_sequential_ff(&mut self) -> Result<RunStats, RunError> {
+        let npes = self.pes.len();
+        let mut outbox: Vec<OutMsg> = Vec::new();
+        let mut posts: Vec<OutMsg> = Vec::new();
+        let mut report = EngineReport::default();
+        // `wake[p]` is PE p's earliest scheduled tick (u64::MAX = none);
+        // the heap holds (time, pe) entries with lazy invalidation:
+        // entries whose time no longer matches `wake[p]` are stale.
+        let mut wake: Vec<u64> = vec![0; npes];
+        let mut heap: BinaryHeap<Reverse<(u64, u16)>> =
+            (0..npes).map(|p| Reverse((0u64, p as u16))).collect();
+        let stream_every = self.config.obs_stream_interval();
+        let mut stream_next = stream_every;
+
+        let finish = |mut r: EngineReport| {
+            r.skipped_ticks = r
+                .visited_cycles
+                .saturating_mul(npes as u64)
+                .saturating_sub(r.pe_ticks);
+            r
+        };
+
+        loop {
+            if self.now > self.config.max_cycles {
+                self.engine_report = finish(report);
+                self.finalize_obs(self.now);
+                return Err(self.cycle_limit_error());
+            }
+            report.visited_cycles += 1;
+
+            // Deliver everything due now; every delivery addressed to a
+            // PE schedules a tick of that PE this cycle.
+            let now = self.now;
+            self.deliver_due(
+                &mut posts,
+                Some(&mut |pe: u16| {
+                    let slot = &mut wake[pe as usize];
+                    if now < *slot {
+                        *slot = now;
+                        heap.push(Reverse((now, pe)));
+                    }
+                }),
+            );
+
+            // Tick the due PEs, in ascending PE order within the cycle.
+            {
+                let System {
+                    pes,
+                    memsys,
+                    mem,
+                    program,
+                    drain_until,
+                    failover,
+                    ..
+                } = self;
+                let mut ctx = SysCtx {
+                    port: MemPort::Direct { sys: memsys, mem },
+                    program,
+                    out: &mut outbox,
+                    drain_until,
+                    failover: failover.as_deref(),
+                };
+                while let Some(&Reverse((t, p))) = heap.peek() {
+                    if t > now {
+                        break;
+                    }
+                    heap.pop();
+                    let pi = p as usize;
+                    if wake[pi] != t {
+                        continue; // stale entry
+                    }
+                    wake[pi] = u64::MAX;
+                    report.pe_ticks += 1;
+                    let next = match pes[pi].tick(now, &mut ctx) {
+                        Activity::Active => now + 1,
+                        Activity::Blocked(t) => t,
+                        Activity::Idle => u64::MAX,
+                    };
+                    if next < u64::MAX {
+                        debug_assert!(next > now, "wake must be in the future");
+                        wake[pi] = next;
+                        heap.push(Reverse((next, p)));
+                    }
+                }
+            }
+            for (time, to, msg, stamp) in outbox.drain(..) {
+                self.post(time, to, msg, stamp);
+            }
+            // Cycle `now` is fully simulated — a safe streaming horizon.
+            if stream_every > 0 && self.now >= stream_next {
+                self.stream_obs_through(self.now);
+                stream_next = self.now + stream_every;
+            }
+
+            // Jump to the next due wake or event.
+            let next_wake = loop {
+                match heap.peek() {
+                    Some(&Reverse((t, p))) if wake[p as usize] != t => {
+                        heap.pop(); // stale
+                    }
+                    Some(&Reverse((t, _))) => break t,
+                    None => break u64::MAX,
+                }
+            };
+            let next_event = self.events.peek().map(|e| e.time).unwrap_or(u64::MAX);
+            let target = next_event.min(next_wake);
+            if target == u64::MAX {
+                // Nothing will ever happen again.
+                let live: usize = self.pes.iter().map(|p| p.lse.live_instances()).sum();
+                if live > 0 {
+                    self.engine_report = finish(report);
+                    self.finalize_obs(self.now);
+                    return Err(self.quiescence_error());
+                }
+                break;
+            }
+            debug_assert!(target > self.now, "time must advance");
+            self.now = target;
+        }
+
+        self.engine_report = finish(report);
         let final_cycle = self.now.max(self.drain_until);
         for pe in &mut self.pes {
             pe.finish(final_cycle);
@@ -1267,24 +1479,94 @@ impl System {
         if !self.config.obs_active() {
             return;
         }
-        let mut records: Vec<ObsRecord> = Vec::new();
+        // Records not yet taken by incremental streaming. The per-log
+        // drop counters are cumulative, so the totals are right no
+        // matter how much was streamed out mid-run.
+        let mut tail: Vec<ObsRecord> = Vec::new();
         let mut dropped = 0u64;
         for pe in &mut self.pes {
             pe.finish_obs(final_cycle);
-            dropped += pe.obs.drain_into(&mut records);
+            dropped += pe.obs.drain_into(&mut tail);
         }
         for log in &mut self.dse_obs {
-            dropped += log.drain_into(&mut records);
+            dropped += log.drain_into(&mut tail);
         }
-        records.append(&mut self.obs_misc);
+        tail.append(&mut self.obs_misc);
         // Epoch records ride along for export but are excluded from the
         // deterministic stream — and their drops from the drop count.
-        let _ = self.engine_obs.drain_into(&mut records);
+        let _ = self.engine_obs.drain_into(&mut tail);
+        if let Some(sink) = self.stream_sink.as_deref_mut() {
+            // Everything streamed mid-run was already fed; deliver the
+            // remainder in wall order, then the final drop count.
+            tail.sort_unstable_by_key(ObsRecord::key);
+            for r in &tail {
+                sink.record(r);
+            }
+            sink.dropped(dropped);
+        }
+        let mut records = std::mem::take(&mut self.streamed);
+        records.append(&mut tail);
         let stream = ObsStream::from_records(records, dropped);
         if self.config.trace {
             self.trace = Some(Trace::from_obs(&stream.records, self.config.trace_capacity));
         }
         self.obs = Some(stream);
+    }
+
+    /// Drains every record stamped `<= h` out of the per-unit rings into
+    /// the streamed accumulator, feeding the attached sink in wall
+    /// order. `h` must be a **safe horizon**: every cycle `<= h` is
+    /// fully simulated, so no unit can emit a record stamped `<= h`
+    /// afterwards. Gauge boundaries `<= h` are force-flushed first —
+    /// sound for the same reason lazy flushing is: unit state is
+    /// untouched between visits, so the samples are identical whenever
+    /// they materialise (DESIGN.md §12).
+    pub(crate) fn stream_obs_through(&mut self, h: u64) {
+        let mut batch = std::mem::take(&mut self.stream_scratch);
+        debug_assert!(batch.is_empty());
+        for pe in &mut self.pes {
+            pe.finish_obs(h);
+            pe.obs.drain_through(h, &mut batch);
+        }
+        for log in &mut self.dse_obs {
+            log.drain_through(h, &mut batch);
+        }
+        // Fault records are stamped with the faulted message's *delivery*
+        // time — which can lie past the post time — so `obs_misc` is not
+        // cycle-sorted: extract by predicate. Its residual order is
+        // irrelevant (keys are unique; the final merge re-sorts), so
+        // `swap_remove` is fine.
+        let mut i = 0;
+        while i < self.obs_misc.len() {
+            if self.obs_misc[i].cycle <= h {
+                batch.push(self.obs_misc.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        batch.sort_unstable_by_key(ObsRecord::key);
+        if let Some(sink) = self.stream_sink.as_deref_mut() {
+            for r in &batch {
+                sink.record(r);
+            }
+        }
+        self.streamed.append(&mut batch);
+        self.stream_scratch = batch;
+    }
+
+    /// Attaches a live observability consumer. With
+    /// [`ObsConfig::stream_interval`] set, the engine feeds it batches
+    /// of records in wall order *during* the run; the remainder (and the
+    /// final ring-overflow drop count) arrives at finalisation. Without
+    /// a stream interval the whole stream is delivered at run end.
+    pub fn attach_stream_sink(&mut self, sink: Box<dyn ObsSink + Send>) {
+        self.stream_sink = Some(sink);
+    }
+
+    /// Detaches the streaming sink (typically after the run, to inspect
+    /// what it consumed).
+    pub fn take_stream_sink(&mut self) -> Option<Box<dyn ObsSink + Send>> {
+        self.stream_sink.take()
     }
 
     /// The merged observability stream of the finished run (None before

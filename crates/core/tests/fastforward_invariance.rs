@@ -1,0 +1,318 @@
+//! Fast-forward invariance properties (PR 5).
+//!
+//! The event-driven fast-forward scheduler and the adaptive epoch
+//! coordinator are pure *host-time* optimisations: `RunStats`, the
+//! deterministic observability stream (minus the engine's own epoch
+//! markers, which [`ObsStream::deterministic`] already strips), and
+//! every typed `RunError` must be **bit-identical** across the full
+//! `{Dense, FastForward} × {Off, Threads(2), Threads(4)}` matrix — on
+//! the paper's benchmarks, under a seeded mixed `FaultPlan`, and under
+//! DSE crash/restart schedules. A final pair of tests pins that the
+//! optimisation actually does something: fast-forward skips blocked/idle
+//! ticks and the adaptive coordinator merges epochs when only one shard
+//! has activity due.
+
+use dta_core::{
+    simulate, FaultPlan, ObsMode, Parallelism, RunError, RunStats, SchedMode, System, SystemConfig,
+};
+use dta_mem::fault::{roll, SITE_DSE_CRASH};
+use dta_workloads::{bitcnt, mmul, zoom, Variant, WorkloadProgram};
+use std::sync::Arc;
+
+/// Every engine configuration the invariance property quantifies over.
+/// `(Dense, Off)` is the oracle; the other five must match it exactly.
+const MATRIX: [(SchedMode, Parallelism); 6] = [
+    (SchedMode::Dense, Parallelism::Off),
+    (SchedMode::Dense, Parallelism::Threads(2)),
+    (SchedMode::Dense, Parallelism::Threads(4)),
+    (SchedMode::FastForward, Parallelism::Off),
+    (SchedMode::FastForward, Parallelism::Threads(2)),
+    (SchedMode::FastForward, Parallelism::Threads(4)),
+];
+
+fn cfg(sched: SchedMode, par: Parallelism, faults: Option<FaultPlan>) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.sched = sched;
+    cfg.parallelism = par;
+    cfg.obs.mode = ObsMode::All;
+    cfg.obs.metrics_interval = 500;
+    cfg.faults = faults;
+    cfg.max_cycles = 50_000_000;
+    cfg
+}
+
+fn run(
+    build: &dyn Fn() -> WorkloadProgram,
+    sched: SchedMode,
+    par: Parallelism,
+    faults: Option<FaultPlan>,
+) -> (RunStats, System) {
+    let wp = build();
+    simulate(cfg(sched, par, faults), Arc::new(wp.program), &wp.args)
+        .unwrap_or_else(|e| panic!("{sched:?}/{par:?} failed: {e}"))
+}
+
+/// Same mixed recoverable plan as the obs-invariance suite: transient
+/// DMA failures, every message-fault kind, and FALLOC denials.
+fn mixed_plan() -> FaultPlan {
+    let mut plan = FaultPlan::seeded(0x0B5E_11A7);
+    plan.dma_fail_ppm = 30_000;
+    plan.dma_backoff_base = 16;
+    plan.msg_drop_ppm = 10_000;
+    plan.msg_dup_ppm = 10_000;
+    plan.msg_delay_ppm = 10_000;
+    plan.falloc_deny_ppm = 50_000;
+    plan
+}
+
+fn assert_ff_invariant(
+    name: &str,
+    build: &dyn Fn() -> WorkloadProgram,
+    verify: &dyn Fn(&System) -> Result<(), String>,
+    faults: Option<FaultPlan>,
+) {
+    let (oracle_stats, oracle_sys) = run(build, SchedMode::Dense, Parallelism::Off, faults);
+    verify(&oracle_sys).unwrap_or_else(|e| panic!("{name}: dense oracle result wrong: {e}"));
+    let oracle = oracle_sys.obs().expect("observability on");
+    let oracle_det = oracle.deterministic();
+    assert!(!oracle_det.is_empty(), "{name}: empty event stream");
+
+    for (sched, par) in MATRIX {
+        if (sched, par) == (SchedMode::Dense, Parallelism::Off) {
+            continue;
+        }
+        let (stats, sys) = run(build, sched, par, faults);
+        verify(&sys).unwrap_or_else(|e| panic!("{name}: {sched:?}/{par:?} result wrong: {e}"));
+        assert_eq!(
+            oracle_stats, stats,
+            "{name}: {sched:?}/{par:?} stats diverged"
+        );
+        let stream = sys.obs().expect("observability on");
+        assert_eq!(
+            oracle.dropped, stream.dropped,
+            "{name}: {sched:?}/{par:?} ring-drop count diverged"
+        );
+        let det = stream.deterministic();
+        assert_eq!(
+            oracle_det.len(),
+            det.len(),
+            "{name}: {sched:?}/{par:?} stream length diverged"
+        );
+        for (i, (a, b)) in oracle_det.iter().zip(det.iter()).enumerate() {
+            assert_eq!(
+                a, b,
+                "{name}: {sched:?}/{par:?} stream diverged at record {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bitcnt_is_ff_invariant() {
+    assert_ff_invariant(
+        "bitcnt(10000)",
+        &|| bitcnt::build(10_000, Variant::HandPrefetch),
+        &|s| bitcnt::verify(s, 10_000),
+        None,
+    );
+}
+
+#[test]
+fn mmul_is_ff_invariant() {
+    assert_ff_invariant(
+        "mmul(32)",
+        &|| mmul::build(32, Variant::HandPrefetch),
+        &|s| mmul::verify(s, 32),
+        None,
+    );
+}
+
+#[test]
+fn zoom_is_ff_invariant() {
+    assert_ff_invariant(
+        "zoom(32)",
+        &|| zoom::build(32, Variant::HandPrefetch),
+        &|s| zoom::verify(s, 32),
+        None,
+    );
+}
+
+#[test]
+fn bitcnt_is_ff_invariant_under_faults() {
+    assert_ff_invariant(
+        "bitcnt(10000)+faults",
+        &|| bitcnt::build(10_000, Variant::HandPrefetch),
+        &|s| bitcnt::verify(s, 10_000),
+        Some(mixed_plan()),
+    );
+}
+
+#[test]
+fn mmul_is_ff_invariant_under_faults() {
+    assert_ff_invariant(
+        "mmul(32)+faults",
+        &|| mmul::build(32, Variant::HandPrefetch),
+        &|s| mmul::verify(s, 32),
+        Some(mixed_plan()),
+    );
+}
+
+/// Baseline (decoupled-READ) variants spend most cycles blocked on
+/// memory — exactly the shape fast-forward exists for. Pin that too.
+#[test]
+fn mmul_baseline_is_ff_invariant() {
+    assert_ff_invariant(
+        "mmul(32)/baseline",
+        &|| mmul::build(32, Variant::Baseline),
+        &|s| mmul::verify(s, 32),
+        None,
+    );
+}
+
+/// Picks a seed whose per-node crash rolls match `want` (same idiom as
+/// the chaos suite).
+fn seed_where(ppm: u32, want: &[bool]) -> u64 {
+    (0..20_000u64)
+        .find(|&s| {
+            want.iter()
+                .enumerate()
+                .all(|(n, &w)| roll(s, SITE_DSE_CRASH, n as u64, ppm) == w)
+        })
+        .expect("no seed matches the wanted crash pattern in 20k tries")
+}
+
+/// DSE crash + cold restart on a two-node topology: the failover
+/// detection timers, re-homing, and restart schedule must land on the
+/// same cycles whichever scheduler and engine runs them.
+#[test]
+fn dse_crash_restart_is_ff_invariant() {
+    let ppm = 500_000;
+    let seed = seed_where(ppm, &[true, false]);
+    let mut plan = FaultPlan::seeded(seed);
+    plan.dse_crash_ppm = ppm;
+    plan.dse_crash_window = 10_000;
+    plan.dse_failover_detect = 500;
+    plan.dse_restart_after = 20_000;
+
+    let go = |sched: SchedMode, par: Parallelism| {
+        let mut c = cfg(sched, par, Some(plan));
+        c.nodes = 2;
+        c.pes_per_node = 4;
+        c.max_cycles = 5_000_000;
+        let wp = mmul::build(16, Variant::HandPrefetch);
+        simulate(c, Arc::new(wp.program), &wp.args)
+    };
+    let (oracle_stats, oracle_sys) =
+        go(SchedMode::Dense, Parallelism::Off).expect("dense oracle failed");
+    mmul::verify(&oracle_sys, 16).expect("dense oracle result wrong");
+    let oracle_det = oracle_sys.obs().expect("obs on").deterministic();
+    for (sched, par) in MATRIX {
+        if (sched, par) == (SchedMode::Dense, Parallelism::Off) {
+            continue;
+        }
+        let (stats, sys) = go(sched, par).unwrap_or_else(|e| panic!("{sched:?}/{par:?}: {e}"));
+        mmul::verify(&sys, 16).unwrap_or_else(|e| panic!("{sched:?}/{par:?} result wrong: {e}"));
+        assert_eq!(oracle_stats, stats, "{sched:?}/{par:?} stats diverged");
+        assert_eq!(
+            oracle_det,
+            sys.obs().expect("obs on").deterministic(),
+            "{sched:?}/{par:?} stream diverged"
+        );
+    }
+}
+
+/// An unrecoverable plan must produce the *same typed error* on every
+/// scheduler/engine combination — fast-forward may not turn a watchdog
+/// trip into a hang or a different failure.
+#[test]
+fn watchdog_error_is_ff_invariant() {
+    let mut plan = FaultPlan::seeded(31);
+    plan.dma_stall_ppm = 1_000_000;
+    let go = |sched: SchedMode, par: Parallelism| {
+        let mut c = cfg(sched, par, Some(plan));
+        c.max_cycles = 5_000_000;
+        let wp = bitcnt::build(1024, Variant::HandPrefetch);
+        simulate(c, Arc::new(wp.program), &wp.args)
+    };
+    let oracle =
+        go(SchedMode::Dense, Parallelism::Off).expect_err("an all-stall plan cannot complete");
+    let RunError::Watchdog { cycle, .. } = &oracle else {
+        panic!("expected a watchdog trip, got: {oracle}");
+    };
+    let oracle_cycle = *cycle;
+    for (sched, par) in MATRIX {
+        if (sched, par) == (SchedMode::Dense, Parallelism::Off) {
+            continue;
+        }
+        let err = go(sched, par).expect_err("all engines must fail alike");
+        match err {
+            RunError::Watchdog { cycle, .. } => assert_eq!(
+                cycle, oracle_cycle,
+                "{sched:?}/{par:?} watchdog tripped at a different cycle"
+            ),
+            other => panic!("{sched:?}/{par:?}: expected watchdog, got {other}"),
+        }
+    }
+}
+
+/// Fast-forward must actually skip work: on a DMA-dominated baseline
+/// run the dense engine ticks every PE every visited cycle, while the
+/// fast-forward engine touches only due PEs.
+#[test]
+fn fast_forward_skips_blocked_ticks() {
+    let build = || mmul::build(32, Variant::Baseline);
+    let (_, dense) = run(&build, SchedMode::Dense, Parallelism::Off, None);
+    let (_, ff) = run(&build, SchedMode::FastForward, Parallelism::Off, None);
+    let d = dense.engine_report();
+    let f = ff.engine_report();
+    assert_eq!(d.visited_cycles, f.visited_cycles, "visited sets diverged");
+    assert_eq!(d.skipped_ticks, 0, "dense engine must tick everything");
+    assert!(f.skipped_ticks > 0, "fast-forward skipped nothing: {f:?}");
+    assert!(
+        f.pe_ticks < d.pe_ticks,
+        "fast-forward did not reduce tick work: dense={d:?} ff={f:?}"
+    );
+}
+
+/// When only one shard has activity due, the adaptive coordinator must
+/// widen epochs past the fixed lookahead. A single-thread program pins
+/// this deterministically: all activity lives on PE 0, so the second
+/// shard of a `Threads(2)` split is idle from cycle 0.
+#[test]
+fn adaptive_coordinator_merges_single_runner_epochs() {
+    use dta_isa::{reg::r, ProgramBuilder, ThreadBuilder};
+    let mut pb = ProgramBuilder::new();
+    let out = pb.global_zeroed("out", 4);
+    let main = pb.declare("main");
+    let mut t = ThreadBuilder::new("main");
+    t.begin_pl();
+    t.load(r(3), 0);
+    t.begin_ex();
+    t.add(r(4), r(3), 1);
+    t.li(r(5), out as i64);
+    t.begin_ps();
+    t.write(r(4), r(5), 0);
+    t.ffree_self();
+    t.stop();
+    pb.define(main, t);
+    pb.set_entry(main, 1);
+    let program = Arc::new(pb.build());
+
+    let go = |sched: SchedMode| {
+        let mut c = cfg(sched, Parallelism::Threads(2), None);
+        c.obs.mode = ObsMode::Off;
+        simulate(c, Arc::clone(&program), &[41]).expect("single-thread run failed")
+    };
+    let (ff_stats, ff_sys) = go(SchedMode::FastForward);
+    assert_eq!(ff_sys.read_global_word("out", 0), Some(42));
+    let report = ff_sys.engine_report();
+    assert!(
+        report.merged_epochs > 0,
+        "single-runner epochs were not merged: {report:?}"
+    );
+    assert!(report.epochs > 0);
+
+    let (dense_stats, dense_sys) = go(SchedMode::Dense);
+    assert_eq!(ff_stats, dense_stats, "adaptive epochs perturbed stats");
+    assert_eq!(dense_sys.engine_report().merged_epochs, 0);
+}

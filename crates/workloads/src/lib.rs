@@ -18,7 +18,7 @@
 //!   output row, 2 READs per output pixel, fully decouplable.
 //!
 //! Extra workloads for examples/ablations: [`vecscale`], [`stencil`],
-//! [`colsum`].
+//! [`colsum`], [`gather`].
 //!
 //! Every module exposes `build(...) -> WorkloadProgram`, a host-side
 //! `expected(...)`, and `verify(&System, ...)` so results are always
@@ -27,6 +27,7 @@
 pub mod bitcnt;
 pub mod colsum;
 pub mod common;
+pub mod gather;
 pub mod mmul;
 pub mod stencil;
 pub mod vecscale;
