@@ -12,15 +12,22 @@
 //!   --cache            add a 16 kB per-PE data cache
 //!   --sp-overlap       run PF blocks on the LSE's SP pipeline
 //!   --trace            print the per-instance lifecycle table
+//!   --trace-out PATH   write a Perfetto/Chrome trace.json of the run
+//!                      to PATH — load it at https://ui.perfetto.dev
 //!   --dump-asm         print the (possibly transformed) program and exit
 //!   --dump-global NAME print a global's words after the run
 //! ```
 //!
+//! The run itself is one [`dta_core::run_job`] call on a [`SimJob`]
+//! value; stats, globals and traces all come out of the returned
+//! [`dta_core::JobResult`], the same document `dta-serve` caches.
+//!
 //! Example program: `examples/asm/dotprod.dtasm`.
 
 use dta_compiler::{prefetch_program, PlanOptions, TransformOptions};
-use dta_core::{simulate, StallCat, SystemConfig};
+use dta_core::{run_job, GlobalRead, ObsMode, SimJob, StallCat, SystemConfig, Trace};
 use dta_isa::asm::{assemble, program_to_asm};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -35,6 +42,7 @@ struct Options {
     cache: bool,
     sp_overlap: bool,
     trace: bool,
+    trace_out: Option<PathBuf>,
     dump_asm: bool,
     dump_globals: Vec<String>,
 }
@@ -51,6 +59,7 @@ fn parse() -> Result<Options, String> {
         cache: false,
         sp_overlap: false,
         trace: false,
+        trace_out: None,
         dump_asm: false,
         dump_globals: Vec::new(),
     };
@@ -76,6 +85,7 @@ fn parse() -> Result<Options, String> {
             "--cache" => o.cache = true,
             "--sp-overlap" => o.sp_overlap = true,
             "--trace" => o.trace = true,
+            "--trace-out" => o.trace_out = Some(PathBuf::from(need("--trace-out")?)),
             "--dump-asm" => o.dump_asm = true,
             "--dump-global" => o.dump_globals.push(need("--dump-global")?),
             "--help" | "-h" => return Err("see the module docs (dta-run --help)".into()),
@@ -142,20 +152,30 @@ fn main() -> ExitCode {
     cfg.nodes = o.nodes;
     cfg.mem_latency = o.latency;
     cfg.sp_pf_overlap = o.sp_overlap;
-    cfg.trace = o.trace;
     if o.cache {
         cfg.cache = Some(dta_mem::CacheParams::default());
     }
+    // Both trace flavours fold the observability stream the job result
+    // carries: the Perfetto export needs everything, the lifecycle
+    // table only thread events.
+    if o.trace_out.is_some() {
+        cfg.obs.mode = ObsMode::All;
+    } else if o.trace {
+        cfg.obs.mode = ObsMode::Events;
+    }
 
-    let globals: Vec<String> = program.globals.iter().map(|g| g.name.clone()).collect();
-    let (stats, sys) = match simulate(cfg, Arc::new(program), &o.args) {
-        Ok(r) => r,
+    let job = SimJob::new(Arc::new(program), o.args.clone(), cfg);
+    let result = run_job(&job);
+    let out = match &result.outcome {
+        Ok(out) => out,
         Err(e) => {
             eprintln!("simulation failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let stats = &out.stats;
 
+    println!("job key       {}", result.key.hex());
     println!("cycles        {}", stats.cycles);
     println!("instructions  {}", stats.instructions);
     println!("instances     {}", stats.instances);
@@ -166,14 +186,20 @@ fn main() -> ExitCode {
     }
     println!("pipeline usage {:.3}  IPC {:.3}", b.pipeline_usage, b.ipc);
 
+    let globals: Vec<&str> = job
+        .program
+        .globals
+        .iter()
+        .map(|g| g.name.as_str())
+        .collect();
     for name in &o.dump_globals {
-        if !globals.iter().any(|g| g == name) {
+        if !globals.contains(&name.as_str()) {
             eprintln!("no global named {name:?} (have: {})", globals.join(", "));
             return ExitCode::FAILURE;
         }
         print!("{name} =");
         let mut idx = 0;
-        while let Some(w) = sys.read_global_word(name, idx) {
+        while let Some(w) = out.globals.read_global_word(name, idx) {
             print!(" {w}");
             idx += 1;
             if idx >= 64 {
@@ -183,10 +209,25 @@ fn main() -> ExitCode {
         }
         println!();
     }
-    if o.trace {
-        if let Some(t) = sys.render_trace() {
-            println!("\n{t}");
+    if let Some(path) = &o.trace_out {
+        let stream = out.obs.as_ref().expect("full observability was forced on");
+        let trace = dta_core::perfetto_trace(&job.config, &job.program, stream);
+        if let Err(e) = std::fs::write(path, &trace) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
         }
+        eprintln!(
+            "[trace: {} events -> {} ({:.0} KB); open it at https://ui.perfetto.dev]",
+            stream.len(),
+            path.display(),
+            trace.len() as f64 / 1024.0,
+        );
+    }
+    if o.trace {
+        let stream = out.obs.as_ref().expect("events were forced on");
+        let names: Vec<String> = job.program.threads.iter().map(|t| t.name.clone()).collect();
+        let table = Trace::from_obs(&stream.records, job.config.trace_capacity).render(&names);
+        println!("\n{table}");
     }
     ExitCode::SUCCESS
 }

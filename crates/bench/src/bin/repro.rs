@@ -2,14 +2,15 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--quick] [--pes N] [--threads N] [--out DIR]
-//!       [--sweep-threads N] [--sched MODE] [--fault-seed N]
-//!       [--fault-rate PPM] [--obs MODE] [--metrics-interval N]
-//!       [--obs-stream N] [--trace-out PATH]
+//!       [--sweep-threads N] [--cache-dir DIR] [--sched MODE]
+//!       [--fault-seed N] [--fault-rate PPM] [--obs MODE]
+//!       [--metrics-interval N] [--obs-stream N] [--trace-out PATH]
 //!
 //! EXPERIMENT: config table5 fig5 fig6 fig7 fig8 fig9 lat1
 //!             ablate-split ablate-vfp ablate-hw
 //!             ext-cache ext-spxp ext-wholeobj
-//!             parallel speed faults failover observe all  (default: all)
+//!             parallel speed faults failover observe serve all
+//!             (default: all)
 //! --quick     scaled-down workload sizes (CI-friendly)
 //! --pes N     PEs for the non-scalability experiments (default 8)
 //! --threads N run every experiment on the epoch-sharded engine with N
@@ -17,7 +18,12 @@
 //!             the `parallel` experiment pins its own engine modes)
 //! --sweep-threads N  run the independent points of parameter sweeps
 //!             (every per-benchmark/per-config grid) on N host
-//!             threads; reports are identical to sequential
+//!             threads — the service's batch-executor pool; reports
+//!             are identical to sequential
+//! --cache-dir DIR  persist canonical `JobResult`s to DIR (the
+//!             service's on-disk content-addressed store): repeated
+//!             `repro` invocations replay identical points from disk
+//!             instead of re-simulating
 //! --sched MODE  cycle scheduler: fast-forward (default) | dense.
 //!             A pure host-time choice — results are bit-identical —
 //!             mainly for A/B timing; the `speed` experiment pins both
@@ -47,7 +53,7 @@
 use dta_bench::experiments::{
     ablate_hw, ablate_split, ablate_vfp, config, ext_cache, ext_spxp, ext_wholeobj, failover_bench,
     faults_bench, fig5, fig9, fig_exec_scalability, lat1, observe_bench, parallel_bench,
-    speed_bench, table5,
+    serve_bench, speed_bench, table5,
 };
 use dta_bench::{emit, Bench, ExperimentResult};
 use std::path::PathBuf;
@@ -63,6 +69,7 @@ struct Options {
     pes: u16,
     threads: Option<u16>,
     sweep_threads: Option<usize>,
+    cache_dir: Option<PathBuf>,
     sched: Option<dta_core::SchedMode>,
     fault_seed: u64,
     fault_rate: Option<u32>,
@@ -80,6 +87,7 @@ fn parse_args() -> Result<Options, String> {
         pes: 8,
         threads: None,
         sweep_threads: None,
+        cache_dir: None,
         sched: None,
         fault_seed: 0xDA7A,
         fault_rate: None,
@@ -115,6 +123,11 @@ fn parse_args() -> Result<Options, String> {
                         .parse()
                         .map_err(|_| "--sweep-threads needs a number")?,
                 );
+            }
+            "--cache-dir" => {
+                opts.cache_dir = Some(PathBuf::from(
+                    args.next().ok_or("--cache-dir needs a value")?,
+                ));
             }
             "--sched" => {
                 opts.sched = Some(match args.next().ok_or("--sched needs a value")?.as_str() {
@@ -203,6 +216,7 @@ fn parse_args() -> Result<Options, String> {
             "speed",
             "faults", // also emits the failover sweep
             "observe",
+            "serve",
         ]
         .map(str::to_string)
         .to_vec();
@@ -221,9 +235,9 @@ fn main() -> ExitCode {
     if let Some(n) = opts.threads {
         dta_bench::experiments::set_default_parallelism(dta_core::Parallelism::Threads(n));
     }
-    if let Some(n) = opts.sweep_threads {
-        dta_bench::experiments::set_sweep_threads(n);
-    }
+    // One process-wide service carries every untimed run: sweep workers
+    // from --sweep-threads, the on-disk result store from --cache-dir.
+    dta_bench::configure_service(opts.sweep_threads.unwrap_or(1), opts.cache_dir.as_deref());
     if let Some(sched) = opts.sched {
         dta_bench::experiments::set_default_sched(sched);
     }
@@ -302,6 +316,7 @@ fn main() -> ExitCode {
             }
             "failover" => failover_bench(&suite, opts.pes, opts.fault_seed, FAILOVER_RATES),
             "observe" => observe_bench(&suite, opts.pes),
+            "serve" => serve_bench(&suite, opts.pes, opts.sweep_threads.unwrap_or(1)),
             other => {
                 eprintln!("unknown experiment {other:?} (try --help)");
                 return ExitCode::FAILURE;

@@ -5,7 +5,9 @@
 //! records paper-vs-measured for each.
 
 use crate::report::text_table;
-use crate::runner::{run, try_run, try_run_timed, try_run_traced, Bench, Row};
+use crate::runner::{
+    job_for, run, sweep, sweep_ok, try_run_timed, try_run_traced, Bench, Row, SweepPoint,
+};
 use dta_core::{ObsConfig, Parallelism, SchedMode, StallCat, SystemConfig};
 use dta_workloads::Variant;
 use std::sync::OnceLock;
@@ -19,19 +21,6 @@ static DEFAULT_PARALLELISM: OnceLock<Parallelism> = OnceLock::new();
 /// later calls are ignored.
 pub fn set_default_parallelism(par: Parallelism) {
     let _ = DEFAULT_PARALLELISM.set(par);
-}
-
-/// Process-wide worker count for parameter sweeps (set once by
-/// `repro --sweep-threads`; unset or 1 = sequential). Orthogonal to
-/// [`set_default_parallelism`]: that shards one simulation across
-/// threads, this runs independent simulations side by side — combining
-/// both oversubscribes the host.
-static SWEEP_THREADS: OnceLock<usize> = OnceLock::new();
-
-/// Sets how many independent sweep points run concurrently. First call
-/// wins; later calls are ignored.
-pub fn set_sweep_threads(n: usize) {
-    let _ = SWEEP_THREADS.set(n.max(1));
 }
 
 /// Process-wide observability config, applied to every experiment run
@@ -57,55 +46,6 @@ static DEFAULT_SCHED: OnceLock<SchedMode> = OnceLock::new();
 /// wins; later calls are ignored.
 pub fn set_default_sched(sched: SchedMode) {
     let _ = DEFAULT_SCHED.set(sched);
-}
-
-/// Maps `f` over `items` on `threads` scoped workers (atomic
-/// work-stealing), returning results in input order. Each point is an
-/// independent `simulate` call, so this is safe for any sweep; a worker
-/// panic propagates. `threads <= 1` degrades to a plain sequential map.
-fn par_map_with<I, O, F>(threads: usize, items: &[I], f: F) -> Vec<O>
-where
-    I: Sync,
-    O: Send,
-    F: Fn(&I) -> O + Sync,
-{
-    let threads = threads.min(items.len());
-    if threads <= 1 {
-        return items.iter().map(f).collect();
-    }
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, O)> = std::thread::scope(|s| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        out.push((i, f(item)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .flat_map(|w| w.join().expect("sweep worker panicked"))
-            .collect()
-    });
-    tagged.sort_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, o)| o).collect()
-}
-
-/// [`par_map_with`] at the process-wide `--sweep-threads` setting.
-fn par_map<I, O, F>(items: &[I], f: F) -> Vec<O>
-where
-    I: Sync,
-    O: Send,
-    F: Fn(&I) -> O + Sync,
-{
-    par_map_with(SWEEP_THREADS.get().copied().unwrap_or(1), items, f)
 }
 
 /// The result of one experiment.
@@ -181,10 +121,13 @@ pub fn table5(suite: &[Bench], pes: u16) -> ExperimentResult {
         "WRITE".into(),
         "paper(total/LOAD/STORE/READ/WRITE)".into(),
     ]];
-    // One independent run per benchmark — sweep them on the
-    // `--sweep-threads` workers (input order preserved).
-    let results = par_map(suite, |&bench| run(bench, Variant::Baseline, pes8(pes)));
-    for row in results {
+    // One independent job per benchmark — submitted as one grid to the
+    // shared service (input order preserved).
+    let points: Vec<SweepPoint> = suite
+        .iter()
+        .map(|&bench| SweepPoint::new(bench, Variant::Baseline, pes8(pes)))
+        .collect();
+    for row in sweep_ok(&points) {
         let (t, l, s, r, w) = row.table5;
         let paper_col = paper
             .iter()
@@ -224,12 +167,15 @@ pub fn fig5(suite: &[Bench], pes: u16) -> ExperimentResult {
         "LSE%".into(),
         "Prefetch%".into(),
     ]];
-    let grid: Vec<(Bench, Variant)> = suite
+    let points: Vec<SweepPoint> = suite
         .iter()
-        .flat_map(|&bench| VARIANTS.iter().map(move |&v| (bench, v)))
+        .flat_map(|&bench| {
+            VARIANTS
+                .iter()
+                .map(move |&v| SweepPoint::new(bench, v, pes8(pes)))
+        })
         .collect();
-    let results = par_map(&grid, |&(bench, variant)| run(bench, variant, pes8(pes)));
-    for row in results {
+    for row in sweep_ok(&points) {
         table.push(vec![
             row.bench.clone(),
             row.variant.clone(),
@@ -266,14 +212,18 @@ pub fn fig_exec_scalability(id: &str, bench: Bench, max_pes: u16) -> ExperimentR
         "scal(base)".into(),
         "scal(hand)".into(),
     ]];
-    // The grid points are independent simulations — sweep them on the
-    // `--sweep-threads` workers (input order preserved, so the report is
-    // identical to the sequential sweep).
+    // The grid points are independent jobs — one grid submission to the
+    // shared service (input order preserved, so the report is identical
+    // to the sequential sweep).
     let grid: Vec<(u16, Variant)> = pes_list
         .iter()
         .flat_map(|&pes| VARIANTS.iter().map(move |&v| (pes, v)))
         .collect();
-    let results = par_map(&grid, |&(pes, variant)| run(bench, variant, pes8(pes)));
+    let points: Vec<SweepPoint> = grid
+        .iter()
+        .map(|&(pes, v)| SweepPoint::new(bench, v, pes8(pes)))
+        .collect();
+    let results = sweep_ok(&points);
     let mut per_variant: Vec<Vec<Row>> = vec![Vec::new(); VARIANTS.len()];
     for ((_, variant), row) in grid.iter().zip(results) {
         let vi = VARIANTS.iter().position(|v| v == variant).expect("grid");
@@ -311,12 +261,15 @@ pub fn fig9(suite: &[Bench], pes: u16) -> ExperimentResult {
         "pipeline usage".into(),
         "IPC".into(),
     ]];
-    let grid: Vec<(Bench, Variant)> = suite
+    let points: Vec<SweepPoint> = suite
         .iter()
-        .flat_map(|&bench| VARIANTS.iter().map(move |&v| (bench, v)))
+        .flat_map(|&bench| {
+            VARIANTS
+                .iter()
+                .map(move |&v| SweepPoint::new(bench, v, pes8(pes)))
+        })
         .collect();
-    let results = par_map(&grid, |&(bench, variant)| run(bench, variant, pes8(pes)));
-    for row in results {
+    for row in sweep_ok(&points) {
         table.push(vec![
             row.bench.clone(),
             row.variant.clone(),
@@ -358,14 +311,18 @@ pub fn lat1(suite: &[Bench], pes: u16) -> ExperimentResult {
             ]
         })
         .collect();
-    let results = par_map(&grid, |&(bench, variant, lat1)| {
-        let cfg = if lat1 {
-            pes8(pes).latency_one()
-        } else {
-            pes8(pes)
-        };
-        run(bench, variant, cfg)
-    });
+    let points: Vec<SweepPoint> = grid
+        .iter()
+        .map(|&(bench, variant, lat1)| {
+            let cfg = if lat1 {
+                pes8(pes).latency_one()
+            } else {
+                pes8(pes)
+            };
+            SweepPoint::new(bench, variant, cfg)
+        })
+        .collect();
+    let results = sweep_ok(&points);
     for chunk in results.chunks_exact(4) {
         let [b1, p1, b150, p150] = chunk else {
             unreachable!()
@@ -402,11 +359,15 @@ pub fn ablate_split(n: usize, pes: u16) -> ExperimentResult {
         (Variant::HandPrefetch, false),
         (Variant::HandPrefetch, true),
     ];
-    let results = par_map(&grid, |&(variant, split)| {
-        let mut cfg = pes8(pes);
-        cfg.dma_split_transactions = split;
-        run(bench, variant, cfg)
-    });
+    let points: Vec<SweepPoint> = grid
+        .iter()
+        .map(|&(variant, split)| {
+            let mut cfg = pes8(pes);
+            cfg.dma_split_transactions = split;
+            SweepPoint::new(bench, variant, cfg)
+        })
+        .collect();
+    let results = sweep_ok(&points);
     let [base, single, split] = results.try_into().map_err(|_| ()).expect("three runs");
     for (label, row) in [
         ("baseline (READs)", &base),
@@ -448,12 +409,16 @@ pub fn ablate_vfp(n: usize, pes: u16) -> ExperimentResult {
         .into_iter()
         .flat_map(|capacity| [false, true].map(|vfp| (capacity, vfp)))
         .collect();
-    let outcomes = par_map(&grid, |&(capacity, vfp)| {
-        let mut cfg = pes8(pes);
-        cfg.frame_capacity = capacity;
-        cfg.virtual_frames = vfp;
-        try_run(bench, Variant::Baseline, cfg)
-    });
+    let points: Vec<SweepPoint> = grid
+        .iter()
+        .map(|&(capacity, vfp)| {
+            let mut cfg = pes8(pes);
+            cfg.frame_capacity = capacity;
+            cfg.virtual_frames = vfp;
+            SweepPoint::new(bench, Variant::Baseline, cfg)
+        })
+        .collect();
+    let outcomes = sweep(&points);
     {
         for (&(capacity, vfp), outcome) in grid.iter().zip(outcomes) {
             match outcome {
@@ -510,12 +475,16 @@ pub fn ablate_hw(n: usize, pes: u16) -> ExperimentResult {
         .into_iter()
         .flat_map(|buses| [2usize, 16].map(|queue| (buses, queue)))
         .collect();
-    let results = par_map(&grid, |&(buses, queue)| {
-        let mut cfg = pes8(pes);
-        cfg.buses = buses;
-        cfg.mfc.queue_capacity = queue;
-        run(bench, Variant::HandPrefetch, cfg)
-    });
+    let points: Vec<SweepPoint> = grid
+        .iter()
+        .map(|&(buses, queue)| {
+            let mut cfg = pes8(pes);
+            cfg.buses = buses;
+            cfg.mfc.queue_capacity = queue;
+            SweepPoint::new(bench, Variant::HandPrefetch, cfg)
+        })
+        .collect();
+    let results = sweep_ok(&points);
     for (&(buses, queue), row) in grid.iter().zip(results) {
         table.push(vec![
             buses.to_string(),
@@ -558,13 +527,17 @@ pub fn ext_cache(mmul_n: usize, zoom_n: usize, pes: u16) -> ExperimentResult {
                 .map(move |&(label, variant, cache)| (bench, label, variant, cache))
         })
         .collect();
-    let results = par_map(&grid, |&(bench, _, variant, cache)| {
-        let mut cfg = pes8(pes);
-        if cache {
-            cfg.cache = Some(dta_mem::CacheParams::default());
-        }
-        run(bench, variant, cfg)
-    });
+    let points: Vec<SweepPoint> = grid
+        .iter()
+        .map(|&(bench, _, variant, cache)| {
+            let mut cfg = pes8(pes);
+            if cache {
+                cfg.cache = Some(dta_mem::CacheParams::default());
+            }
+            SweepPoint::new(bench, variant, cfg)
+        })
+        .collect();
+    let results = sweep_ok(&points);
     for (&(_, label, _, _), row) in grid.iter().zip(results) {
         let hits = row.cache_hits + row.cache_misses;
         table.push(vec![
@@ -602,11 +575,15 @@ pub fn ext_spxp(suite: &[Bench], pes: u16) -> ExperimentResult {
         .iter()
         .flat_map(|&bench| [false, true].map(|overlap| (bench, overlap)))
         .collect();
-    let results = par_map(&grid, |&(bench, overlap)| {
-        let mut cfg = pes8(pes);
-        cfg.sp_pf_overlap = overlap;
-        run(bench, Variant::HandPrefetch, cfg)
-    });
+    let points: Vec<SweepPoint> = grid
+        .iter()
+        .map(|&(bench, overlap)| {
+            let mut cfg = pes8(pes);
+            cfg.sp_pf_overlap = overlap;
+            SweepPoint::new(bench, Variant::HandPrefetch, cfg)
+        })
+        .collect();
+    let results = sweep_ok(&points);
     for (&(_, overlap), row) in grid.iter().zip(results) {
         table.push(vec![
             row.bench.clone(),
@@ -631,7 +608,7 @@ pub fn ext_spxp(suite: &[Bench], pes: u16) -> ExperimentResult {
 /// releases of our simulator)". This is that next release.
 pub fn ext_wholeobj(n: usize, pes: u16) -> ExperimentResult {
     use dta_compiler::{prefetch_program, PlanOptions, TransformOptions};
-    use dta_core::simulate;
+    use dta_core::SimJob;
     use dta_workloads::bitcnt;
     use std::sync::Arc;
 
@@ -643,12 +620,17 @@ pub fn ext_wholeobj(n: usize, pes: u16) -> ExperimentResult {
         "READs left".into(),
         "speedup vs baseline".into(),
     ]];
-    let variants = [Variant::Baseline, Variant::AutoPrefetch];
-    let mut results = par_map(&variants, |&v| run(Bench::Bitcnt(n), v, pes8(pes)));
+    let points = [
+        SweepPoint::new(Bench::Bitcnt(n), Variant::Baseline, pes8(pes)),
+        SweepPoint::new(Bench::Bitcnt(n), Variant::AutoPrefetch, pes8(pes)),
+    ];
+    let mut results = sweep_ok(&points);
     let auto_row = results.pop().expect("two runs");
     let base_row = results.pop().expect("two runs");
 
     // The "next release": auto-prefetch with whole-object fetching on.
+    // A custom program is still just a job value — submit it to the
+    // shared service like any benchmark point.
     let wp = bitcnt::build(n, Variant::Baseline);
     let opts = TransformOptions {
         plan: PlanOptions {
@@ -657,9 +639,15 @@ pub fn ext_wholeobj(n: usize, pes: u16) -> ExperimentResult {
         },
     };
     let (program, _) = prefetch_program(&wp.program, &opts);
-    let (stats, sys) =
-        simulate(pes8(pes), Arc::new(program), &wp.args).expect("whole-object bitcnt runs");
-    bitcnt::verify(&sys, n).expect("whole-object bitcnt verifies");
+    let job = SimJob::new(Arc::new(program), wp.args.clone(), pes8(pes));
+    let done = crate::runner::service().submit(&job);
+    let out = done
+        .result
+        .outcome
+        .as_ref()
+        .expect("whole-object bitcnt runs");
+    bitcnt::verify(&out.globals, n).expect("whole-object bitcnt verifies");
+    let stats = &out.stats;
 
     let entries = [
         (
@@ -850,28 +838,39 @@ pub fn faults_bench(suite: &[Bench], pes: u16, seed: u64, rates: &[u32]) -> Expe
     ]];
     for &bench in suite {
         let clean = run(bench, Variant::HandPrefetch, pes8(pes));
-        // All (rate, repetition) points are independent seeded runs —
-        // sweep them on the `--sweep-threads` workers.
+        // All (rate, repetition) points are independent seeded jobs —
+        // one grid submission to the shared service.
         let grid: Vec<(u32, u64)> = rates
             .iter()
             .flat_map(|&rate| (0..RUNS_PER_RATE).map(move |k| (rate, k)))
             .collect();
-        let outcomes = par_map(&grid, |&(rate, k)| {
-            let mut plan =
-                FaultPlan::seeded(seed.wrapping_add(k).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
-            plan.dma_fail_ppm = rate;
-            plan.msg_drop_ppm = rate / 10;
-            plan.msg_dup_ppm = rate / 10;
-            plan.msg_delay_ppm = rate / 10;
-            plan.falloc_deny_ppm = rate / 4;
-            let mut cfg = pes8(pes);
-            cfg.faults = Some(plan);
-            try_run(bench, Variant::HandPrefetch, cfg).map(|mut row| {
-                row.fault_rate_ppm = Some(rate);
-                row.fault_seed = Some(plan.seed);
-                row
+        let points: Vec<SweepPoint> = grid
+            .iter()
+            .map(|&(rate, k)| {
+                let mut plan =
+                    FaultPlan::seeded(seed.wrapping_add(k).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+                plan.dma_fail_ppm = rate;
+                plan.msg_drop_ppm = rate / 10;
+                plan.msg_dup_ppm = rate / 10;
+                plan.msg_delay_ppm = rate / 10;
+                plan.falloc_deny_ppm = rate / 4;
+                let mut cfg = pes8(pes);
+                cfg.faults = Some(plan);
+                SweepPoint::new(bench, Variant::HandPrefetch, cfg)
             })
-        });
+            .collect();
+        let outcomes: Vec<Result<Row, String>> = points
+            .iter()
+            .zip(sweep(&points))
+            .map(|(p, outcome)| {
+                outcome.map(|mut row| {
+                    let plan = p.cfg.faults.as_ref().expect("seeded point");
+                    row.fault_rate_ppm = Some(plan.dma_fail_ppm);
+                    row.fault_seed = Some(plan.seed);
+                    row
+                })
+            })
+            .collect();
         for (ri, &rate) in rates.iter().enumerate() {
             let at_rate = &outcomes[ri * RUNS_PER_RATE as usize..][..RUNS_PER_RATE as usize];
             let mut completed = 0u64;
@@ -950,21 +949,32 @@ pub fn failover_bench(suite: &[Bench], pes: u16, seed: u64, rates: &[u32]) -> Ex
                     .flat_map(move |restart| (0..RUNS_PER_RATE).map(move |k| (rate, restart, k)))
             })
             .collect();
-        let outcomes = par_map(&grid, |&(rate, restart, k)| {
-            let mut plan =
-                FaultPlan::seeded(seed.wrapping_add(k).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
-            plan.dse_crash_ppm = rate;
-            plan.dse_crash_window = 20_000;
-            plan.dse_failover_detect = 1_000;
-            plan.dse_restart_after = if restart { 10_000 } else { 0 };
-            let mut cfg = two_nodes(pes);
-            cfg.faults = Some(plan);
-            try_run(bench, Variant::HandPrefetch, cfg).map(|mut row| {
-                row.fault_rate_ppm = Some(rate);
-                row.fault_seed = Some(plan.seed);
-                row
+        let points: Vec<SweepPoint> = grid
+            .iter()
+            .map(|&(rate, restart, k)| {
+                let mut plan =
+                    FaultPlan::seeded(seed.wrapping_add(k).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+                plan.dse_crash_ppm = rate;
+                plan.dse_crash_window = 20_000;
+                plan.dse_failover_detect = 1_000;
+                plan.dse_restart_after = if restart { 10_000 } else { 0 };
+                let mut cfg = two_nodes(pes);
+                cfg.faults = Some(plan);
+                SweepPoint::new(bench, Variant::HandPrefetch, cfg)
             })
-        });
+            .collect();
+        let outcomes: Vec<Result<Row, String>> = points
+            .iter()
+            .zip(sweep(&points))
+            .map(|(p, outcome)| {
+                outcome.map(|mut row| {
+                    let plan = p.cfg.faults.as_ref().expect("seeded point");
+                    row.fault_rate_ppm = Some(plan.dse_crash_ppm);
+                    row.fault_seed = Some(plan.seed);
+                    row
+                })
+            })
+            .collect();
         for (gi, chunk) in outcomes.chunks(RUNS_PER_RATE as usize).enumerate() {
             let (rate, restart, _) = grid[gi * RUNS_PER_RATE as usize];
             let mut completed = 0u64;
@@ -1099,6 +1109,128 @@ pub fn observe_bench(suite: &[Bench], pes: u16) -> ExperimentResult {
     }
 }
 
+/// Service benchmark (jobs-as-values PR): submit the fig6/7/8 PE grid
+/// to a dedicated `dta-serve` instance twice and measure the
+/// content-addressed cache. The second pass must be served almost
+/// entirely from cache (≥90% — in practice 100%) with **byte-identical**
+/// canonical results, and its wall clock must sit well below the cold
+/// pass. Written as `BENCH_serve.json` so successive PRs can track the
+/// service layer; every row carries its `JobKey` and cache-hit flag.
+pub fn serve_bench(suite: &[Bench], max_pes: u16, threads: usize) -> ExperimentResult {
+    use dta_core::{ObsMode, SimJob};
+    use dta_serve::Service;
+
+    // A dedicated service: the two-pass hit-rate accounting must not be
+    // diluted by whatever earlier experiments already cached.
+    let service = Service::in_memory(threads);
+    let pes_list: Vec<u16> = [1u16, 2, 4, 8]
+        .into_iter()
+        .filter(|&p| p <= max_pes)
+        .collect();
+    let points: Vec<(Bench, Variant, SystemConfig)> = suite
+        .iter()
+        .flat_map(|&bench| {
+            pes_list.iter().flat_map(move |&pes| {
+                VARIANTS.iter().map(move |&v| {
+                    let mut cfg = pes8(pes);
+                    // Events on: the cache must replay full obs streams
+                    // byte-identically, not just scalar stats.
+                    cfg.obs.mode = ObsMode::Events;
+                    (bench, v, cfg)
+                })
+            })
+        })
+        .collect();
+    let jobs: Vec<SimJob> = points
+        .iter()
+        .map(|(b, v, cfg)| job_for(*b, *v, cfg.clone()))
+        .collect();
+
+    let started = std::time::Instant::now();
+    let cold = service.run_grid(&jobs);
+    let cold_ms = started.elapsed().as_secs_f64() * 1e3;
+    let after_cold = service.stats();
+
+    let started = std::time::Instant::now();
+    let warm = service.run_grid(&jobs);
+    let warm_ms = started.elapsed().as_secs_f64() * 1e3;
+    let after_warm = service.stats();
+
+    // The contracts the PR promises, checked hard on every run.
+    let warm_hits = (after_warm.hits_memory + after_warm.hits_disk + after_warm.coalesced)
+        - (after_cold.hits_memory + after_cold.hits_disk + after_cold.coalesced);
+    let warm_hit_rate = warm_hits as f64 / jobs.len() as f64;
+    assert!(
+        warm_hit_rate >= 0.9,
+        "second pass must be >=90% cache hits, got {warm_hit_rate:.2}"
+    );
+    assert_eq!(
+        after_warm.executed, after_cold.executed,
+        "the warm pass must not re-simulate anything"
+    );
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(
+            c.result.canonical_string(),
+            w.result.canonical_string(),
+            "cached result must be byte-identical to the cold run"
+        );
+    }
+    assert!(
+        warm_ms < cold_ms,
+        "warm pass ({warm_ms:.1} ms) must beat cold ({cold_ms:.1} ms)"
+    );
+
+    let mut rows = Vec::new();
+    for (pass, completions) in [("cold", &cold), ("warm", &warm)] {
+        for ((bench, variant, cfg), done) in points.iter().zip(completions.iter()) {
+            let mut row = crate::runner::row_from_result(*bench, *variant, cfg, &done.result)
+                .unwrap_or_else(|e| panic!("[serve/{pass}] {e}"));
+            row.cache_hit = done.status.is_hit();
+            row.wall_ms = Some(done.wall_ms);
+            rows.push(row);
+        }
+    }
+
+    let table = vec![
+        vec![
+            "pass".to_string(),
+            "points".into(),
+            "executed".into(),
+            "hits".into(),
+            "hit rate".into(),
+            "wall ms".into(),
+        ],
+        vec![
+            "cold".into(),
+            jobs.len().to_string(),
+            after_cold.executed.to_string(),
+            (after_cold.hits_memory + after_cold.hits_disk + after_cold.coalesced).to_string(),
+            format!("{:.2}", after_cold.hit_rate()),
+            format!("{cold_ms:.1}"),
+        ],
+        vec![
+            "warm".into(),
+            jobs.len().to_string(),
+            "0".into(),
+            warm_hits.to_string(),
+            format!("{warm_hit_rate:.2}"),
+            format!("{warm_ms:.1}"),
+        ],
+    ];
+    let mut text = text_table(&table);
+    text.push_str(&format!(
+        "all {} warm results byte-identical to cold; warm/cold wall = {:.3}x\n",
+        jobs.len(),
+        warm_ms / cold_ms
+    ));
+    ExperimentResult {
+        id: "BENCH_serve".into(),
+        title: "Service cache: repeated fig6/7/8 PE grid through dta-serve".into(),
+        text,
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1145,13 +1277,20 @@ mod tests {
     }
 
     #[test]
-    fn par_map_preserves_input_order_on_any_worker_count() {
-        let items: Vec<u64> = (0..37).collect();
-        let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
-        for threads in [1, 2, 4, 16] {
-            assert_eq!(par_map_with(threads, &items, |&x| x * x), want);
+    fn quick_serve_bench_hits_cache_on_second_pass() {
+        let r = serve_bench(&[Bench::Mmul(8)], 2, 2);
+        assert_eq!(r.id, "BENCH_serve");
+        // 2 PE counts x 3 variants, cold + warm passes.
+        assert_eq!(r.rows.len(), 12);
+        let (cold, warm) = r.rows.split_at(6);
+        assert!(cold.iter().all(|row| !row.cache_hit));
+        assert!(warm.iter().all(|row| row.cache_hit));
+        // Identical grid order: pass-paired rows share their JobKey.
+        for (c, w) in cold.iter().zip(warm) {
+            assert_eq!(c.job_key, w.job_key);
+            assert_eq!(c.cycles, w.cycles);
         }
-        assert_eq!(par_map_with(4, &Vec::<u64>::new(), |&x: &u64| x), []);
+        assert!(r.text.contains("byte-identical"));
     }
 
     #[test]

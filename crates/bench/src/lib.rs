@@ -21,8 +21,15 @@
 //! | `faults`   | fault-injection sweep: recovery cost vs rate (`BENCH_faults.json`) |
 //! | `failover` | DSE crash/failover sweep (`BENCH_failover.json`) |
 //! | `observe`  | observability overhead: bus off vs events vs full metrics + Perfetto (`BENCH_observe.json`) |
+//! | `serve`    | service cache: the fig6/7/8 grid twice through `dta-serve` (`BENCH_serve.json`) |
 //!
 //! Run with `cargo run -p dta-bench --release --bin repro [-- <exp>...]`.
+//!
+//! Every untimed run goes through the process-wide
+//! [`dta_serve::Service`] ([`runner::service`]): benchmark points are
+//! [`dta_core::SimJob`] values, identical points are deduplicated by
+//! content hash, and each [`Row`] records its `JobKey` and whether it
+//! was served from cache.
 
 pub mod experiments;
 pub mod report;
@@ -30,4 +37,4 @@ pub mod runner;
 
 pub use experiments::ExperimentResult;
 pub use report::{emit, text_table};
-pub use runner::{run, Bench, Row};
+pub use runner::{configure_service, run, service, sweep, Bench, Row, SweepPoint};

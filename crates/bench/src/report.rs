@@ -48,6 +48,8 @@ impl ToJson for Row {
             ("skipped_ticks", self.skipped_ticks.to_json()),
             ("epochs", self.epochs.to_json()),
             ("merged_epochs", self.merged_epochs.to_json()),
+            ("job_key", self.job_key.to_json()),
+            ("cache_hit", self.cache_hit.to_json()),
         ])
     }
 }

@@ -1,10 +1,48 @@
 //! Running one benchmark configuration and collecting a result row.
+//!
+//! Since the jobs-as-values refactor this module is a thin client of
+//! [`dta_serve::Service`]: a benchmark point becomes a [`SimJob`] value,
+//! the job goes to the process-wide service (identical points hit the
+//! content-addressed cache or coalesce onto an in-flight run), and the
+//! returned [`dta_core::JobResult`] is folded into a [`Row`].
+//!
+//! The timed paths ([`try_run_timed`], [`try_run_traced`]) bypass the
+//! cache on purpose, calling [`run_job`] directly: the speed/parallel/
+//! observe benchmarks measure the *simulator*, and a cache hit would
+//! report a near-zero wall clock and corrupt every measured speedup.
 
-use dta_core::{simulate, Breakdown, ObsMode, RunStats, SchedMode, StallCat, System, SystemConfig};
+use dta_core::{
+    run_job, Breakdown, GlobalRead, JobResult, MetricsSink, ObsMode, RunStats, SchedMode, SimJob,
+    StallCat, SystemConfig,
+};
+use dta_serve::Service;
 use dta_workloads::{
     bitcnt, colsum, gather, mmul, stencil, vecscale, zoom, Variant, WorkloadProgram,
 };
-use std::sync::Arc;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide simulation service every untimed run goes through.
+/// Sharing one instance deduplicates identical points *across*
+/// experiments in a `repro` invocation, not just within one sweep.
+static SERVICE: OnceLock<Service> = OnceLock::new();
+
+/// Configures the shared service (sweep workers and optional on-disk
+/// result store). First call wins — call it from `main` before any run;
+/// later calls (and runs before any call) fall back to a sequential,
+/// memory-only service.
+pub fn configure_service(threads: usize, disk_dir: Option<&Path>) {
+    let _ = SERVICE.set(match disk_dir {
+        Some(dir) => Service::with_disk(threads, dir),
+        None => Service::in_memory(threads),
+    });
+}
+
+/// The shared service (sequential and memory-only unless
+/// [`configure_service`] ran first).
+pub fn service() -> &'static Service {
+    SERVICE.get_or_init(|| Service::in_memory(1))
+}
 
 /// A benchmark instance (workload + size).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -63,7 +101,10 @@ impl Bench {
         }
     }
 
-    fn verify(&self, sys: &dta_core::System) -> Result<(), String> {
+    /// Checks a finished run against the host reference. Works on any
+    /// [`GlobalRead`] view — a live `System` or the serializable
+    /// `GlobalSnapshot` a cached [`JobResult`] carries.
+    pub fn verify(&self, sys: &dyn GlobalRead) -> Result<(), String> {
         match *self {
             Bench::Bitcnt(n) => bitcnt::verify(sys, n),
             Bench::Mmul(n) => mmul::verify(sys, n),
@@ -72,6 +113,29 @@ impl Bench {
             Bench::Stencil(n, _) => stencil::verify(sys, n),
             Bench::Colsum(n) => colsum::verify(sys, n),
             Bench::Gather(n) => gather::verify(sys, n),
+        }
+    }
+}
+
+/// One point of a sweep grid: a benchmark configuration to run through
+/// [`sweep`].
+#[derive(Clone)]
+pub struct SweepPoint {
+    /// Workload + size.
+    pub bench: Bench,
+    /// Program variant.
+    pub variant: Variant,
+    /// Machine configuration.
+    pub cfg: SystemConfig,
+}
+
+impl SweepPoint {
+    /// Convenience constructor.
+    pub fn new(bench: Bench, variant: Variant, cfg: SystemConfig) -> SweepPoint {
+        SweepPoint {
+            bench,
+            variant,
+            cfg,
         }
     }
 }
@@ -128,8 +192,8 @@ pub struct Row {
     pub rehomed_fallocs: u64,
     /// Mirror-resync registrations processed after crash or restart.
     pub resync_msgs: u64,
-    /// Host wall-clock for the run, milliseconds (only the `parallel`
-    /// engine benchmark measures this; `None` elsewhere).
+    /// Host wall-clock for the run, milliseconds (only the wall-clock
+    /// benchmarks measure this; `None` elsewhere).
     pub wall_ms: Option<f64>,
     /// Engine mode label for the `parallel` benchmark (`None` elsewhere).
     pub parallelism: Option<String>,
@@ -158,6 +222,11 @@ pub struct Row {
     pub epochs: u64,
     /// Fixed-width epochs the adaptive coordinator merged away.
     pub merged_epochs: u64,
+    /// Content hash of the job that produced this row (`JobKey` hex).
+    pub job_key: String,
+    /// Whether this row was served from the result cache (memory, disk
+    /// or coalesced onto an in-flight run) instead of simulating.
+    pub cache_hit: bool,
 }
 
 impl Row {
@@ -167,89 +236,145 @@ impl Row {
     }
 }
 
-/// Runs one benchmark configuration, verifying the result. Returns an
-/// error description on deadlock/launch failure (used by ablations that
-/// deliberately under-provision the machine).
-pub fn try_run(bench: Bench, variant: Variant, cfg: SystemConfig) -> Result<Row, String> {
-    try_run_timed(bench, variant, cfg).map(|(row, _)| row)
-}
-
-/// Like [`try_run`], additionally returning the host wall-clock of the
-/// `simulate` call alone (excluding workload build and host-side
-/// verification), in milliseconds.
-pub fn try_run_timed(
-    bench: Bench,
-    variant: Variant,
-    cfg: SystemConfig,
-) -> Result<(Row, f64), String> {
-    try_run_sys(bench, variant, cfg).map(|(row, ms, _)| (row, ms))
-}
-
-/// Core runner: simulates, verifies, and returns the row (with any
-/// observability fields filled from the system), the simulate wall
-/// clock in milliseconds, and the finished [`System`] for callers that
-/// need the full event stream or a trace export.
-pub fn try_run_sys(
-    bench: Bench,
-    variant: Variant,
-    cfg: SystemConfig,
-) -> Result<(Row, f64, System), String> {
+/// Builds the [`SimJob`] value for one benchmark point. The job is pure
+/// data — hashable, serializable and independent of any live machine.
+pub fn job_for(bench: Bench, variant: Variant, cfg: SystemConfig) -> SimJob {
     let wp = bench.build(variant);
-    let mem_latency = cfg.mem_latency;
-    let pes = cfg.total_pes();
-    let obs_mode = cfg.obs.mode;
-    let sched = cfg.sched;
-    let started = std::time::Instant::now();
-    let (stats, sys) = simulate(cfg, Arc::new(wp.program), &wp.args)
-        .map_err(|e| format!("{} [{}]: {e}", bench.name(), variant.label()))?;
-    let sim_ms = started.elapsed().as_secs_f64() * 1e3;
-    bench.verify(&sys).map_err(|e| {
+    SimJob::new(Arc::new(wp.program), wp.args, cfg)
+}
+
+/// Folds a job's result into a [`Row`], verifying the outcome against
+/// the host reference via the result's detached global snapshot.
+pub(crate) fn row_from_result(
+    bench: Bench,
+    variant: Variant,
+    cfg: &SystemConfig,
+    result: &JobResult,
+) -> Result<Row, String> {
+    let out = match &result.outcome {
+        Ok(out) => out,
+        Err(e) => return Err(format!("{} [{}]: {e}", bench.name(), variant.label())),
+    };
+    bench.verify(&out.globals).map_err(|e| {
         format!(
             "{} [{}]: result mismatch: {e}",
             bench.name(),
             variant.label()
         )
     })?;
-    let mut row = row_from(&bench, variant, pes, mem_latency, &stats, true);
-    row.obs_mode = obs_label(obs_mode);
-    row.sched = match sched {
+    let mut row = row_from(
+        &bench,
+        variant,
+        cfg.total_pes(),
+        cfg.mem_latency,
+        &out.stats,
+    );
+    row.job_key = result.key.hex();
+    row.obs_mode = obs_label(cfg.obs.mode);
+    row.sched = match cfg.sched {
         SchedMode::Dense => "dense".into(),
         SchedMode::FastForward => "fast-forward".into(),
     };
-    let engine = sys.engine_report();
-    row.visited_cycles = engine.visited_cycles;
-    row.pe_ticks = engine.pe_ticks;
-    row.skipped_ticks = engine.skipped_ticks;
-    row.epochs = engine.epochs;
-    row.merged_epochs = engine.merged_epochs;
-    if let Some(stream) = sys.obs() {
+    row.visited_cycles = out.engine.visited_cycles;
+    row.pe_ticks = out.engine.pe_ticks;
+    row.skipped_ticks = out.engine.skipped_ticks;
+    row.epochs = out.engine.epochs;
+    row.merged_epochs = out.engine.merged_epochs;
+    if let Some(stream) = &out.obs {
         row.obs_events = stream.len() as u64;
         row.obs_dropped = stream.dropped;
-    }
-    if let Some(metrics) = sys.metrics() {
+        // Metrics are a pure fold over the stream, so a cached stream
+        // yields the same report a live run would.
+        let mut sink = MetricsSink::new(cfg.total_pes());
+        stream.feed(&mut sink);
+        let metrics = sink.finish();
         row.overlap_cycles = metrics.overlap_cycles;
         row.overlap_fraction = metrics.overlap_fraction();
     }
-    Ok((row, sim_ms, sys))
+    Ok(row)
+}
+
+/// Runs one benchmark configuration through the shared service,
+/// verifying the result. Returns an error description on deadlock or
+/// launch failure (used by ablations that deliberately under-provision
+/// the machine). Identical points are served from the cache.
+pub fn try_run(bench: Bench, variant: Variant, cfg: SystemConfig) -> Result<Row, String> {
+    let job = job_for(bench, variant, cfg);
+    let done = service().submit(&job);
+    let mut row = row_from_result(bench, variant, &job.config, &done.result)?;
+    row.cache_hit = done.status.is_hit();
+    Ok(row)
+}
+
+/// Like [`try_run`], additionally returning the host wall-clock of the
+/// simulation alone (excluding workload build and host-side
+/// verification), in milliseconds. **Bypasses the cache**: a hit would
+/// report lookup time, not simulation time.
+pub fn try_run_timed(
+    bench: Bench,
+    variant: Variant,
+    cfg: SystemConfig,
+) -> Result<(Row, f64), String> {
+    let job = job_for(bench, variant, cfg);
+    let started = std::time::Instant::now();
+    let result = run_job(&job);
+    let sim_ms = started.elapsed().as_secs_f64() * 1e3;
+    let row = row_from_result(bench, variant, &job.config, &result)?;
+    Ok((row, sim_ms))
 }
 
 /// Like [`try_run_timed`], but additionally renders the Perfetto trace
 /// (forcing full observability if the config left it off). Returns the
 /// row, the simulate wall clock, the trace render wall clock (both in
-/// milliseconds), and the `trace.json` text.
+/// milliseconds), and the `trace.json` text. Bypasses the cache like
+/// every timed path.
 pub fn try_run_traced(
     bench: Bench,
     variant: Variant,
     mut cfg: SystemConfig,
 ) -> Result<(Row, f64, f64, String), String> {
     cfg.obs.mode = ObsMode::All;
-    let (row, sim_ms, sys) = try_run_sys(bench, variant, cfg)?;
+    let job = job_for(bench, variant, cfg);
     let started = std::time::Instant::now();
-    let trace = sys
-        .perfetto_trace()
-        .expect("full observability was forced on");
+    let result = run_job(&job);
+    let sim_ms = started.elapsed().as_secs_f64() * 1e3;
+    let row = row_from_result(bench, variant, &job.config, &result)?;
+    let out = result.outcome.as_ref().expect("row_from_result verified");
+    let stream = out.obs.as_ref().expect("full observability was forced on");
+    let started = std::time::Instant::now();
+    let trace = dta_core::perfetto_trace(&job.config, &job.program, stream);
     let render_ms = started.elapsed().as_secs_f64() * 1e3;
     Ok((row, sim_ms, render_ms, trace))
+}
+
+/// Runs a whole sweep grid through the shared service's batch executor
+/// (the `--sweep-threads` pool), returning per-point outcomes in grid
+/// order. Duplicate points — within the grid or across earlier
+/// experiments — are served from the cache or coalesced.
+pub fn sweep(points: &[SweepPoint]) -> Vec<Result<Row, String>> {
+    let jobs: Vec<SimJob> = points
+        .iter()
+        .map(|p| job_for(p.bench, p.variant, p.cfg.clone()))
+        .collect();
+    let completions = service().run_grid(&jobs);
+    points
+        .iter()
+        .zip(jobs.iter().zip(completions))
+        .map(|(p, (job, done))| {
+            let mut row = row_from_result(p.bench, p.variant, &job.config, &done.result)?;
+            row.cache_hit = done.status.is_hit();
+            Ok(row)
+        })
+        .collect()
+}
+
+/// [`sweep`], panicking on any failed point (the common case for
+/// experiments whose grids must all complete).
+pub fn sweep_ok(points: &[SweepPoint]) -> Vec<Row> {
+    sweep(points)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect()
 }
 
 fn obs_label(mode: ObsMode) -> Option<String> {
@@ -270,14 +395,7 @@ pub fn run(bench: Bench, variant: Variant, cfg: SystemConfig) -> Row {
     try_run(bench, variant, cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
-fn row_from(
-    bench: &Bench,
-    variant: Variant,
-    pes: u16,
-    mem_latency: u64,
-    stats: &RunStats,
-    verified: bool,
-) -> Row {
+fn row_from(bench: &Bench, variant: Variant, pes: u16, mem_latency: u64, stats: &RunStats) -> Row {
     Row {
         bench: bench.name(),
         variant: variant.label().to_string(),
@@ -292,7 +410,7 @@ fn row_from(
         sp_pf_cycles: stats.aggregate.sp_pf_cycles,
         cache_hits: stats.cache_hits,
         cache_misses: stats.cache_misses,
-        verified,
+        verified: true,
         fault_rate_ppm: None,
         fault_seed: None,
         dma_retries: stats.dma_retries,
@@ -316,6 +434,8 @@ fn row_from(
         skipped_ticks: 0,
         epochs: 0,
         merged_epochs: 0,
+        job_key: String::new(),
+        cache_hit: false,
     }
 }
 
@@ -330,7 +450,18 @@ mod tests {
             assert!(row.verified);
             assert!(row.cycles > 0);
             assert_eq!(row.pes, 2);
+            assert_eq!(row.job_key.len(), 32, "rows carry the JobKey hash");
         }
+    }
+
+    #[test]
+    fn repeated_run_is_a_cache_hit() {
+        let bench = Bench::Vecscale(64, 4);
+        let cold = run(bench, Variant::Baseline, SystemConfig::with_pes(2));
+        let warm = run(bench, Variant::Baseline, SystemConfig::with_pes(2));
+        assert_eq!(cold.job_key, warm.job_key);
+        assert!(warm.cache_hit, "second identical run must be served cached");
+        assert_eq!(cold.cycles, warm.cycles);
     }
 
     #[test]

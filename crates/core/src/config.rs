@@ -9,6 +9,7 @@
 //! * Topology: one node with eight SPE-like PEs and one DSE (the CellDTA
 //!   arrangement; `nodes` > 1 exercises DTA's inter-node forwarding).
 
+use dta_json::{u64_json, Json};
 use dta_mem::{BusModel, DmaFaultPlan, MemoryModel, MemorySystem, MfcParams};
 use dta_sched::{DseParams, LseParams};
 
@@ -49,6 +50,18 @@ pub enum SchedMode {
     /// all-local epoch merging (see DESIGN.md §12).
     #[default]
     FastForward,
+}
+
+impl Parallelism {
+    /// Canonical encoding (part of the versioned job form; see
+    /// [`SystemConfig::canonical_json`]).
+    pub fn canonical_json(&self) -> Json {
+        match self {
+            Parallelism::Off => Json::Str("off".into()),
+            Parallelism::Threads(n) => Json::Str(format!("threads:{n}")),
+            Parallelism::Auto => Json::Str("auto".into()),
+        }
+    }
 }
 
 /// Seeded, deterministic fault-injection plan.
@@ -176,6 +189,34 @@ impl FaultPlan {
     pub fn has_dse_crash(&self) -> bool {
         self.dse_crash_ppm > 0
     }
+
+    /// Canonical encoding of every fault knob, in declaration order.
+    ///
+    /// The seed goes through [`u64_json`]: seeds are frequently derived
+    /// by full-width multiplicative hashing and must not be rounded by
+    /// the `f64` number representation, or two distinct plans could
+    /// canonicalise (and therefore hash) identically.
+    pub fn canonical_json(&self) -> Json {
+        Json::obj([
+            ("seed", u64_json(self.seed)),
+            ("dma_fail_ppm", Json::Num(self.dma_fail_ppm as f64)),
+            ("dma_stall_ppm", Json::Num(self.dma_stall_ppm as f64)),
+            ("dma_retry_budget", Json::Num(self.dma_retry_budget as f64)),
+            ("dma_backoff_base", u64_json(self.dma_backoff_base)),
+            ("msg_drop_ppm", Json::Num(self.msg_drop_ppm as f64)),
+            ("msg_dup_ppm", Json::Num(self.msg_dup_ppm as f64)),
+            ("msg_delay_ppm", Json::Num(self.msg_delay_ppm as f64)),
+            ("msg_resend_timeout", u64_json(self.msg_resend_timeout)),
+            ("msg_delay_jitter", u64_json(self.msg_delay_jitter)),
+            ("falloc_deny_ppm", Json::Num(self.falloc_deny_ppm as f64)),
+            ("falloc_retry_timeout", u64_json(self.falloc_retry_timeout)),
+            ("dse_crash_ppm", Json::Num(self.dse_crash_ppm as f64)),
+            ("dse_crash_window", u64_json(self.dse_crash_window)),
+            ("dse_failover_detect", u64_json(self.dse_failover_detect)),
+            ("dse_restart_after", u64_json(self.dse_restart_after)),
+            ("watchdog_spin_limit", u64_json(self.watchdog_spin_limit)),
+        ])
+    }
 }
 
 /// What the observability layer records.
@@ -225,6 +266,28 @@ impl Default for ObsConfig {
     }
 }
 
+impl ObsMode {
+    /// Canonical string form.
+    pub fn canonical_str(&self) -> &'static str {
+        match self {
+            ObsMode::Off => "off",
+            ObsMode::Events => "events",
+            ObsMode::Metrics => "metrics",
+            ObsMode::All => "all",
+        }
+    }
+}
+
+impl SchedMode {
+    /// Canonical string form.
+    pub fn canonical_str(&self) -> &'static str {
+        match self {
+            SchedMode::Dense => "dense",
+            SchedMode::FastForward => "fast-forward",
+        }
+    }
+}
+
 impl ObsConfig {
     /// Whether structured events are recorded.
     pub fn events_on(&self) -> bool {
@@ -234,6 +297,16 @@ impl ObsConfig {
     /// Whether gauge sampling is active.
     pub fn metrics_on(&self) -> bool {
         matches!(self.mode, ObsMode::Metrics | ObsMode::All)
+    }
+
+    /// Canonical encoding (part of the versioned job form).
+    pub fn canonical_json(&self) -> Json {
+        Json::obj([
+            ("mode", Json::Str(self.mode.canonical_str().into())),
+            ("metrics_interval", u64_json(self.metrics_interval)),
+            ("event_capacity", Json::Num(self.event_capacity as f64)),
+            ("stream_interval", u64_json(self.stream_interval)),
+        ])
     }
 }
 
@@ -484,6 +557,89 @@ impl SystemConfig {
         }
     }
 
+    /// Canonical, versioned encoding of the complete configuration.
+    ///
+    /// This is the config half of the job identity: `JobKey` hashes
+    /// `program bytes ‖ args ‖ canonical config` (see `crate::job`), so
+    /// **every** field that can influence simulated *or host-side*
+    /// behaviour must appear here, in declaration order, with a stable
+    /// encoding. Adding, removing, or re-encoding a field is a format
+    /// change: bump `crate::job::JOB_FORMAT_VERSION` in the same commit
+    /// (DESIGN.md §13 records the rules), which invalidates every
+    /// previously cached result.
+    ///
+    /// Host-side knobs ([`Parallelism`], [`SchedMode`]) are deliberately
+    /// *included* even though simulated results are invariant across
+    /// them: the determinism suites pin that invariance by comparing
+    /// runs across distinct keys, and host-schedule reports
+    /// ([`crate::stats::EngineReport`]) legitimately differ per mode.
+    pub fn canonical_json(&self) -> Json {
+        Json::obj([
+            ("nodes", Json::Num(self.nodes as f64)),
+            ("pes_per_node", Json::Num(self.pes_per_node as f64)),
+            ("mem_size", u64_json(self.mem_size)),
+            ("mem_latency", u64_json(self.mem_latency)),
+            ("mem_ports", Json::Num(self.mem_ports as f64)),
+            (
+                "mem_array_bytes_per_cycle",
+                u64_json(self.mem_array_bytes_per_cycle),
+            ),
+            ("ls_size", Json::Num(self.ls_size as f64)),
+            ("ls_latency", u64_json(self.ls_latency)),
+            ("ls_ports", Json::Num(self.ls_ports as f64)),
+            ("buses", Json::Num(self.buses as f64)),
+            ("bus_bytes_per_cycle", u64_json(self.bus_bytes_per_cycle)),
+            ("wire_latency", u64_json(self.wire_latency)),
+            (
+                "stride_penalty_per_elem",
+                u64_json(self.stride_penalty_per_elem),
+            ),
+            (
+                "dma_split_transactions",
+                Json::Bool(self.dma_split_transactions),
+            ),
+            (
+                "mfc",
+                Json::obj([
+                    ("queue_capacity", Json::Num(self.mfc.queue_capacity as f64)),
+                    ("command_latency", u64_json(self.mfc.command_latency)),
+                ]),
+            ),
+            ("msg_latency", u64_json(self.msg_latency)),
+            ("frame_capacity", Json::Num(self.frame_capacity as f64)),
+            ("lse_op_latency", u64_json(self.lse_op_latency)),
+            ("dse_op_latency", u64_json(self.dse_op_latency)),
+            ("virtual_frames", Json::Bool(self.virtual_frames)),
+            (
+                "cache",
+                match &self.cache {
+                    None => Json::Null,
+                    Some(c) => Json::obj([
+                        ("size_bytes", Json::Num(c.size_bytes as f64)),
+                        ("line_bytes", Json::Num(c.line_bytes as f64)),
+                        ("hit_latency", u64_json(c.hit_latency)),
+                    ]),
+                },
+            ),
+            ("sp_pf_overlap", Json::Bool(self.sp_pf_overlap)),
+            ("taken_branch_penalty", u64_json(self.taken_branch_penalty)),
+            ("dispatch_penalty", u64_json(self.dispatch_penalty)),
+            ("trace", Json::Bool(self.trace)),
+            ("trace_capacity", Json::Num(self.trace_capacity as f64)),
+            ("obs", self.obs.canonical_json()),
+            ("max_cycles", u64_json(self.max_cycles)),
+            ("parallelism", self.parallelism.canonical_json()),
+            ("sched", Json::Str(self.sched.canonical_str().into())),
+            (
+                "faults",
+                match &self.faults {
+                    None => Json::Null,
+                    Some(f) => f.canonical_json(),
+                },
+            ),
+        ])
+    }
+
     /// Renders the configuration as the paper's Tables 2-4 (used by the
     /// `repro config` experiment).
     pub fn to_tables(&self) -> String {
@@ -577,5 +733,38 @@ mod tests {
     #[test]
     fn with_pes_sets_count() {
         assert_eq!(SystemConfig::with_pes(4).total_pes(), 4);
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_field_sensitive() {
+        let a = SystemConfig::paper_default()
+            .canonical_json()
+            .to_string_compact();
+        let b = SystemConfig::paper_default()
+            .canonical_json()
+            .to_string_compact();
+        assert_eq!(a, b, "canonical form must be deterministic");
+
+        let mut dense = SystemConfig::paper_default();
+        dense.sched = SchedMode::Dense;
+        assert_ne!(a, dense.canonical_json().to_string_compact());
+
+        let mut threads = SystemConfig::paper_default();
+        threads.parallelism = Parallelism::Threads(2);
+        assert_ne!(a, threads.canonical_json().to_string_compact());
+    }
+
+    #[test]
+    fn canonical_json_keeps_full_width_seeds_exact() {
+        // Adjacent full-width seeds would collapse to the same f64; the
+        // canonical form must keep them distinct.
+        let mut a = SystemConfig::paper_default();
+        a.faults = Some(FaultPlan::seeded(u64::MAX));
+        let mut b = SystemConfig::paper_default();
+        b.faults = Some(FaultPlan::seeded(u64::MAX - 1));
+        assert_ne!(
+            a.canonical_json().to_string_compact(),
+            b.canonical_json().to_string_compact()
+        );
     }
 }

@@ -1,0 +1,709 @@
+//! # Jobs as values
+//!
+//! A simulation run, reified: [`SimJob`] bundles everything that
+//! determines a run's outcome — the program, its host arguments, and the
+//! complete [`SystemConfig`] — and [`run_job`] maps it to a
+//! self-contained [`JobResult`]. Because the simulator is deterministic
+//! (same job → bit-identical [`RunStats`] and observability stream,
+//! across engines and sched modes), a job's identity *is* its content:
+//!
+//! ```text
+//! JobKey = fnv1a128("dta-job\0" ‖ format ‖ program bytes ‖ args ‖ canonical config)
+//! ```
+//!
+//! which is what makes results content-addressable — the `dta-serve`
+//! crate builds its in-memory and on-disk caches on this key. The
+//! canonical config encoding lives in [`SystemConfig::canonical_json`];
+//! the rules for evolving it (and when [`JOB_FORMAT_VERSION`] must be
+//! bumped) are in DESIGN.md §13.
+//!
+//! [`JobResult`] deliberately excludes host wall-clock time: a cached
+//! result must be byte-identical to a fresh one, and wall time is the
+//! one thing a cache hit changes. Timing is measured and reported by the
+//! caller (see `dta-serve`'s completion records).
+
+use crate::config::SystemConfig;
+use crate::stats::{EngineReport, RunStats};
+use crate::system::{RunError, System};
+use dta_isa::{encode_program, Program};
+use dta_json::{fnv1a128, u64_from_json, u64_json, Json, ToJson};
+use dta_obs::codec as obs_codec;
+use dta_obs::{ObsSink, ObsStream, PerfettoWriter, TrackLayout};
+use std::fmt;
+use std::sync::Arc;
+
+/// Version of the canonical job/result encoding.
+///
+/// Participates in every [`JobKey`] and is stamped into every serialized
+/// [`JobResult`], so bumping it atomically invalidates all previously
+/// cached results (they simply stop matching any key, and entries whose
+/// stored format disagrees are discarded on load). Bump it whenever the
+/// canonical config form, the program byte encoding, or the result
+/// encoding changes meaning.
+pub const JOB_FORMAT_VERSION: u32 = 1;
+
+/// Content hash identifying a job (see the module docs for the exact
+/// preimage). Rendered as 32 lowercase hex digits in reports and file
+/// names.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct JobKey(pub u128);
+
+impl JobKey {
+    /// 32-digit lowercase hex form (stable: used as cache file names and
+    /// stamped into `BENCH_*.json` records).
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the [`JobKey::hex`] form.
+    pub fn from_hex(s: &str) -> Option<JobKey> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(JobKey)
+    }
+}
+
+impl fmt::Display for JobKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// A simulation run as a value: program + arguments + full config.
+#[derive(Clone, Debug)]
+pub struct SimJob {
+    /// The program to run.
+    pub program: Arc<Program>,
+    /// Host arguments passed to the entry thread.
+    pub args: Vec<i64>,
+    /// Complete system configuration (including host-side engine knobs;
+    /// see [`SystemConfig::canonical_json`] for why those count).
+    pub config: SystemConfig,
+}
+
+impl SimJob {
+    /// Bundles a job.
+    pub fn new(program: Arc<Program>, args: Vec<i64>, config: SystemConfig) -> Self {
+        SimJob {
+            program,
+            args,
+            config,
+        }
+    }
+
+    /// The job's content hash. Pure function of the job value; any
+    /// behavioural field perturbation (one instruction, one argument,
+    /// one config field) yields a different key.
+    pub fn key(&self) -> JobKey {
+        let prog = encode_program(&self.program);
+        let cfg = self.config.canonical_json().to_string_compact();
+        let mut bytes = Vec::with_capacity(16 + prog.len() + 8 * self.args.len() + cfg.len() + 16);
+        bytes.extend_from_slice(b"dta-job\0");
+        bytes.extend_from_slice(&JOB_FORMAT_VERSION.to_le_bytes());
+        // Length-prefix the variable-size sections so field boundaries
+        // cannot alias across sections.
+        bytes.extend_from_slice(&(prog.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&prog);
+        bytes.extend_from_slice(&(self.args.len() as u64).to_le_bytes());
+        for a in &self.args {
+            bytes.extend_from_slice(&a.to_le_bytes());
+        }
+        bytes.extend_from_slice(cfg.as_bytes());
+        JobKey(fnv1a128(&bytes))
+    }
+}
+
+/// Read access to a run's final global-memory words.
+///
+/// Implemented by the live [`System`] and by the detached
+/// [`GlobalSnapshot`], so result verification (the workload `verify`
+/// functions) works identically on a fresh run and on a cached
+/// [`JobOutput`].
+pub trait GlobalRead {
+    /// Reads 32-bit word `index` of global `name`.
+    fn read_global_word(&self, name: &str, index: usize) -> Option<i32>;
+}
+
+impl GlobalRead for System {
+    fn read_global_word(&self, name: &str, index: usize) -> Option<i32> {
+        System::read_global_word(self, name, index)
+    }
+}
+
+/// The final contents of every program global, detached from the
+/// [`System`] that produced them.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct GlobalSnapshot {
+    globals: Vec<(String, Vec<i32>)>,
+}
+
+impl GlobalSnapshot {
+    /// Builds a snapshot from `(name, words)` pairs (in program
+    /// declaration order, which makes the encoding canonical).
+    pub fn new(globals: Vec<(String, Vec<i32>)>) -> Self {
+        GlobalSnapshot { globals }
+    }
+
+    /// Canonical encoding: `[{"name": ..., "words": [...]}, ...]`.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.globals
+                .iter()
+                .map(|(name, words)| {
+                    Json::obj([
+                        ("name", Json::Str(name.clone())),
+                        (
+                            "words",
+                            Json::Arr(words.iter().map(|w| Json::Num(*w as f64)).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Decodes the [`GlobalSnapshot::to_json`] encoding.
+    pub fn from_json(v: &Json) -> Option<GlobalSnapshot> {
+        let globals = v
+            .as_arr()?
+            .iter()
+            .map(|g| {
+                let name = g.get("name")?.as_str()?.to_string();
+                let words = g
+                    .get("words")?
+                    .as_arr()?
+                    .iter()
+                    .map(|w| w.as_f64().map(|w| w as i32))
+                    .collect::<Option<Vec<_>>>()?;
+                Some((name, words))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(GlobalSnapshot { globals })
+    }
+}
+
+impl GlobalRead for GlobalSnapshot {
+    fn read_global_word(&self, name: &str, index: usize) -> Option<i32> {
+        self.globals
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, words)| words.get(index).copied())
+    }
+}
+
+/// Serializable, comparable mirror of [`RunError`].
+///
+/// A faulting job is as cacheable as a succeeding one — replaying it
+/// from the cache must yield the *same typed error* — so the error needs
+/// `Clone`/`PartialEq` and a canonical encoding, which [`RunError`]
+/// itself (borrowing validation AST nodes, deep per-PE diagnostics)
+/// doesn't carry. Structured fields keep the variant and its headline
+/// numbers; the full human-readable diagnosis is preserved in `detail`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The program failed static validation.
+    Validation {
+        /// One rendered message per validation error.
+        errors: Vec<String>,
+    },
+    /// The program/config combination cannot be launched.
+    Launch {
+        /// What was wrong.
+        message: String,
+    },
+    /// The system wedged with live instances (program bug).
+    Deadlock {
+        /// Detection cycle.
+        cycle: u64,
+        /// Instances still alive.
+        live: u64,
+        /// Full rendered diagnosis (per-PE breakdown included).
+        detail: String,
+    },
+    /// Quiescence with hard fault evidence (injected unrecoverable
+    /// fault).
+    Watchdog {
+        /// Classification cycle.
+        cycle: u64,
+        /// Instances still alive.
+        live: u64,
+        /// Permanently stalled DMA commands.
+        stalled_dma: u64,
+        /// Watchdog-parked instances.
+        parked: u64,
+        /// DSE crashes that fired.
+        crashed_dses: u64,
+        /// Full rendered diagnosis.
+        detail: String,
+    },
+    /// `max_cycles` exceeded.
+    CycleLimit {
+        /// The exceeded budget.
+        cycle: u64,
+        /// Instances still alive.
+        live: u64,
+        /// Full rendered diagnosis.
+        detail: String,
+    },
+}
+
+impl From<&RunError> for JobError {
+    fn from(e: &RunError) -> Self {
+        let detail = e.to_string();
+        match e {
+            RunError::Validation(errs) => JobError::Validation {
+                errors: errs.iter().map(|v| v.to_string()).collect(),
+            },
+            RunError::Launch(msg) => JobError::Launch {
+                message: msg.clone(),
+            },
+            RunError::Deadlock { cycle, live, .. } => JobError::Deadlock {
+                cycle: *cycle,
+                live: *live as u64,
+                detail,
+            },
+            RunError::Watchdog {
+                cycle,
+                live,
+                stalled_dma,
+                parked,
+                crashed_dses,
+                ..
+            } => JobError::Watchdog {
+                cycle: *cycle,
+                live: *live as u64,
+                stalled_dma: *stalled_dma,
+                parked: *parked,
+                crashed_dses: *crashed_dses,
+                detail,
+            },
+            RunError::CycleLimit { cycle, live, .. } => JobError::CycleLimit {
+                cycle: *cycle,
+                live: *live as u64,
+                detail,
+            },
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Validation { errors } => {
+                writeln!(f, "program failed validation:")?;
+                for e in errors {
+                    writeln!(f, "  {e}")?;
+                }
+                Ok(())
+            }
+            JobError::Launch { message } => write!(f, "launch failed: {message}"),
+            JobError::Deadlock { detail, .. }
+            | JobError::Watchdog { detail, .. }
+            | JobError::CycleLimit { detail, .. } => f.write_str(detail),
+        }
+    }
+}
+
+impl JobError {
+    /// Canonical encoding: `{"kind": ..., ...fields}`.
+    pub fn to_json(&self) -> Json {
+        match self {
+            JobError::Validation { errors } => Json::obj([
+                ("kind", Json::Str("validation".into())),
+                ("errors", errors.to_json()),
+            ]),
+            JobError::Launch { message } => Json::obj([
+                ("kind", Json::Str("launch".into())),
+                ("message", Json::Str(message.clone())),
+            ]),
+            JobError::Deadlock {
+                cycle,
+                live,
+                detail,
+            } => Json::obj([
+                ("kind", Json::Str("deadlock".into())),
+                ("cycle", u64_json(*cycle)),
+                ("live", u64_json(*live)),
+                ("detail", Json::Str(detail.clone())),
+            ]),
+            JobError::Watchdog {
+                cycle,
+                live,
+                stalled_dma,
+                parked,
+                crashed_dses,
+                detail,
+            } => Json::obj([
+                ("kind", Json::Str("watchdog".into())),
+                ("cycle", u64_json(*cycle)),
+                ("live", u64_json(*live)),
+                ("stalled_dma", u64_json(*stalled_dma)),
+                ("parked", u64_json(*parked)),
+                ("crashed_dses", u64_json(*crashed_dses)),
+                ("detail", Json::Str(detail.clone())),
+            ]),
+            JobError::CycleLimit {
+                cycle,
+                live,
+                detail,
+            } => Json::obj([
+                ("kind", Json::Str("cycle-limit".into())),
+                ("cycle", u64_json(*cycle)),
+                ("live", u64_json(*live)),
+                ("detail", Json::Str(detail.clone())),
+            ]),
+        }
+    }
+
+    /// Decodes the [`JobError::to_json`] encoding.
+    pub fn from_json(v: &Json) -> Option<JobError> {
+        let cycle = || v.get("cycle").and_then(u64_from_json);
+        let live = || v.get("live").and_then(u64_from_json);
+        let detail = || v.get("detail").and_then(Json::as_str).map(str::to_string);
+        Some(match v.get("kind")?.as_str()? {
+            "validation" => JobError::Validation {
+                errors: v
+                    .get("errors")?
+                    .as_arr()?
+                    .iter()
+                    .map(|e| e.as_str().map(str::to_string))
+                    .collect::<Option<Vec<_>>>()?,
+            },
+            "launch" => JobError::Launch {
+                message: v.get("message")?.as_str()?.to_string(),
+            },
+            "deadlock" => JobError::Deadlock {
+                cycle: cycle()?,
+                live: live()?,
+                detail: detail()?,
+            },
+            "watchdog" => JobError::Watchdog {
+                cycle: cycle()?,
+                live: live()?,
+                stalled_dma: v.get("stalled_dma").and_then(u64_from_json)?,
+                parked: v.get("parked").and_then(u64_from_json)?,
+                crashed_dses: v.get("crashed_dses").and_then(u64_from_json)?,
+                detail: detail()?,
+            },
+            "cycle-limit" => JobError::CycleLimit {
+                cycle: cycle()?,
+                live: live()?,
+                detail: detail()?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// Everything a successful run produces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobOutput {
+    /// Engine-invariant simulation results (bit-identical across
+    /// [`crate::config::Parallelism`] and [`crate::config::SchedMode`]
+    /// for a fixed job — but those knobs are part of the key anyway).
+    pub stats: RunStats,
+    /// How the host engine advanced time. Deterministic for a fixed job
+    /// on a fixed host, except under `Parallelism::Auto` where the host
+    /// core count leaks in — keys meant to be shared across machines
+    /// should pin an explicit mode.
+    pub engine: EngineReport,
+    /// Final contents of every program global (for verification without
+    /// the live [`System`]).
+    pub globals: GlobalSnapshot,
+    /// The merged observability stream, when the job's
+    /// [`crate::config::ObsConfig`] collects anything.
+    pub obs: Option<ObsStream>,
+}
+
+impl JobOutput {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("stats", self.stats.to_json()),
+            ("engine", self.engine.to_json()),
+            ("globals", self.globals.to_json()),
+            (
+                "obs",
+                match &self.obs {
+                    None => Json::Null,
+                    Some(s) => obs_codec::stream_to_json(s),
+                },
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<JobOutput> {
+        Some(JobOutput {
+            stats: RunStats::from_json(v.get("stats")?)?,
+            engine: EngineReport::from_json(v.get("engine")?)?,
+            globals: GlobalSnapshot::from_json(v.get("globals")?)?,
+            obs: match v.get("obs")? {
+                Json::Null => None,
+                s => Some(obs_codec::stream_from_json(s)?),
+            },
+        })
+    }
+}
+
+/// The complete, cacheable outcome of one job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResult {
+    /// [`JOB_FORMAT_VERSION`] at production time.
+    pub format: u32,
+    /// The job's content hash.
+    pub key: JobKey,
+    /// Success payload or typed error — both sides replay identically
+    /// from the cache.
+    pub outcome: Result<JobOutput, JobError>,
+}
+
+impl JobResult {
+    /// Canonical document form. Byte-identity of
+    /// `canonical_json().to_string_compact()` is the cache-correctness
+    /// contract the serve test-suite pins.
+    pub fn canonical_json(&self) -> Json {
+        Json::obj([
+            ("format", Json::Num(self.format as f64)),
+            ("key", Json::Str(self.key.hex())),
+            (
+                "ok",
+                match &self.outcome {
+                    Ok(out) => out.to_json(),
+                    Err(_) => Json::Null,
+                },
+            ),
+            (
+                "err",
+                match &self.outcome {
+                    Ok(_) => Json::Null,
+                    Err(e) => e.to_json(),
+                },
+            ),
+        ])
+    }
+
+    /// The canonical byte form (compact rendering of
+    /// [`JobResult::canonical_json`]).
+    pub fn canonical_string(&self) -> String {
+        self.canonical_json().to_string_compact()
+    }
+
+    /// Decodes a canonical document. Returns `None` for malformed input
+    /// *or* a format mismatch — a stale cache entry from an older format
+    /// must read as absent, never as wrong data.
+    pub fn from_canonical_json(v: &Json) -> Option<JobResult> {
+        let format = v.get("format")?.as_u64()? as u32;
+        if format != JOB_FORMAT_VERSION {
+            return None;
+        }
+        let key = JobKey::from_hex(v.get("key")?.as_str()?)?;
+        let outcome = match (v.get("ok")?, v.get("err")?) {
+            (Json::Null, e) => Err(JobError::from_json(e)?),
+            (o, Json::Null) => Ok(JobOutput::from_json(o)?),
+            _ => return None,
+        };
+        Some(JobResult {
+            format,
+            key,
+            outcome,
+        })
+    }
+
+    /// Parses and decodes a canonical document from text.
+    pub fn from_canonical_str(text: &str) -> Option<JobResult> {
+        JobResult::from_canonical_json(&dta_json::parse(text).ok()?)
+    }
+}
+
+/// Runs a job to completion. The single entry point subsuming
+/// `System::new` + `launch` + `run` + report collection; `dta-serve`
+/// adds caching and dedup on top of this.
+pub fn run_job(job: &SimJob) -> JobResult {
+    run_job_with_sink(job, None).0
+}
+
+/// [`run_job`] with an optional live observability subscriber.
+///
+/// The sink is attached via [`System::attach_stream_sink`], so with
+/// [`crate::config::ObsConfig::stream_interval`] set it receives records
+/// incrementally *during* the run; otherwise the whole stream arrives at
+/// finalisation. Either way the final [`JobOutput::obs`] stream is
+/// complete and identical to what the sink saw (the obs layer retains
+/// streamed records), which is what lets cache hits replay the exact
+/// same stream to later subscribers. The sink is returned to the caller
+/// afterwards.
+pub fn run_job_with_sink(
+    job: &SimJob,
+    sink: Option<Box<dyn ObsSink + Send>>,
+) -> (JobResult, Option<Box<dyn ObsSink + Send>>) {
+    let key = job.key();
+    let finish = |outcome| JobResult {
+        format: JOB_FORMAT_VERSION,
+        key,
+        outcome,
+    };
+    let mut sys = match System::new(job.config.clone(), Arc::clone(&job.program)) {
+        Ok(sys) => sys,
+        Err(e) => return (finish(Err(JobError::from(&e))), sink),
+    };
+    let had_sink = sink.is_some();
+    if let Some(s) = sink {
+        sys.attach_stream_sink(s);
+    }
+    let run = sys.launch(&job.args).and_then(|()| sys.run());
+    let sink = if had_sink {
+        sys.take_stream_sink()
+    } else {
+        None
+    };
+    let outcome = match run {
+        Ok(stats) => Ok(JobOutput {
+            stats,
+            engine: sys.engine_report(),
+            globals: sys.snapshot_globals(),
+            obs: sys.obs().cloned(),
+        }),
+        Err(e) => Err(JobError::from(&e)),
+    };
+    (finish(outcome), sink)
+}
+
+/// Renders a finished job's observability stream as a Chrome/Perfetto
+/// `trace.json` document — the detached equivalent of
+/// `System::perfetto_trace`, usable on cached results.
+pub fn perfetto_trace(config: &SystemConfig, program: &Program, stream: &ObsStream) -> String {
+    let layout = TrackLayout {
+        total_pes: config.total_pes(),
+        pes_per_node: config.pes_per_node,
+        nodes: config.nodes,
+        thread_names: program.threads.iter().map(|t| t.name.clone()).collect(),
+    };
+    let mut writer = PerfettoWriter::new(layout);
+    stream.feed(&mut writer);
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ObsMode, Parallelism, SchedMode};
+    use dta_isa::{reg::r, ProgramBuilder, ThreadBuilder};
+
+    fn tiny_program() -> Arc<Program> {
+        let mut pb = ProgramBuilder::new();
+        let out = pb.global_zeroed("out", 8);
+        let main = pb.declare("main");
+        let mut t = ThreadBuilder::new("main");
+        t.begin_pl();
+        t.load(r(3), 0);
+        t.begin_ex();
+        t.add(r(4), r(3), 1);
+        t.li(r(5), out as i64);
+        t.begin_ps();
+        t.write(r(4), r(5), 0);
+        t.ffree_self();
+        t.stop();
+        pb.define(main, t);
+        pb.set_entry(main, 1);
+        Arc::new(pb.build())
+    }
+
+    fn tiny_job() -> SimJob {
+        SimJob::new(tiny_program(), vec![41], SystemConfig::with_pes(1))
+    }
+
+    #[test]
+    fn job_key_is_stable_and_sensitive() {
+        let base = tiny_job();
+        let k = base.key();
+        assert_eq!(k, tiny_job().key(), "same content, same key");
+
+        let mut other_arg = base.clone();
+        other_arg.args = vec![42];
+        assert_ne!(k, other_arg.key());
+
+        let mut other_pes = base.clone();
+        other_pes.config.pes_per_node = 2;
+        assert_ne!(k, other_pes.key());
+
+        let mut other_sched = base.clone();
+        other_sched.config.sched = SchedMode::Dense;
+        assert_ne!(k, other_sched.key());
+
+        let mut other_par = base.clone();
+        other_par.config.parallelism = Parallelism::Threads(2);
+        assert_ne!(k, other_par.key());
+    }
+
+    #[test]
+    fn key_hex_roundtrips() {
+        let k = tiny_job().key();
+        assert_eq!(JobKey::from_hex(&k.hex()), Some(k));
+        assert_eq!(k.hex().len(), 32);
+        assert!(JobKey::from_hex("xyz").is_none());
+    }
+
+    #[test]
+    fn run_job_matches_simulate_and_snapshots_globals() {
+        let job = tiny_job();
+        let result = run_job(&job);
+        assert_eq!(result.key, job.key());
+        let out = result.outcome.expect("tiny job succeeds");
+        let (stats, sys) =
+            crate::system::simulate(job.config.clone(), job.program.clone(), &job.args).unwrap();
+        assert_eq!(out.stats, stats);
+        assert_eq!(out.globals.read_global_word("out", 0), Some(42));
+        assert_eq!(
+            out.globals.read_global_word("out", 0),
+            GlobalRead::read_global_word(&sys, "out", 0)
+        );
+        assert_eq!(out.globals.read_global_word("out", 2), None);
+        assert_eq!(out.globals.read_global_word("missing", 0), None);
+    }
+
+    #[test]
+    fn job_result_roundtrips_with_obs_stream() {
+        let mut job = tiny_job();
+        job.config.obs.mode = ObsMode::All;
+        let result = run_job(&job);
+        assert!(result
+            .outcome
+            .as_ref()
+            .is_ok_and(|o| o.obs.as_ref().is_some_and(|s| !s.records.is_empty())));
+        let text = result.canonical_string();
+        let back = JobResult::from_canonical_str(&text).expect("canonical form decodes");
+        assert_eq!(back, result);
+        assert_eq!(back.canonical_string(), text, "re-encode is byte-identical");
+    }
+
+    #[test]
+    fn faulting_job_produces_typed_replayable_error() {
+        let mut job = tiny_job();
+        job.config.max_cycles = 1;
+        let result = run_job(&job);
+        let err = result.outcome.clone().expect_err("budget of 1 must trip");
+        assert!(matches!(err, JobError::CycleLimit { cycle: 1, .. }));
+        let back = JobResult::from_canonical_str(&result.canonical_string()).unwrap();
+        assert_eq!(back.outcome, Err(err));
+    }
+
+    #[test]
+    fn format_mismatch_reads_as_absent() {
+        let result = run_job(&tiny_job());
+        let mut doc = result.canonical_json();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs[0].1 = Json::Num((JOB_FORMAT_VERSION + 1) as f64);
+        }
+        assert!(JobResult::from_canonical_json(&doc).is_none());
+    }
+
+    #[test]
+    fn perfetto_trace_works_detached_from_system() {
+        let mut job = tiny_job();
+        job.config.obs.mode = ObsMode::All;
+        let result = run_job(&job);
+        let out = result.outcome.unwrap();
+        let text = perfetto_trace(&job.config, &job.program, out.obs.as_ref().unwrap());
+        assert!(dta_json::parse(&text).is_ok());
+    }
+}

@@ -425,6 +425,113 @@ impl ToJson for RunStats {
     }
 }
 
+// --- JSON decoders -------------------------------------------------------
+//
+// The `ToJson` impls above define the canonical encoding used by cached
+// `JobResult`s (see `crate::job`); these decoders are their inverses so a
+// result can be reloaded from the on-disk store bit-for-bit. All counters
+// here are cycle/instruction counts far below 2^53, so plain JSON numbers
+// round-trip exactly.
+
+fn u64_field(v: &Json, key: &str) -> Option<u64> {
+    v.get(key).and_then(Json::as_u64)
+}
+
+fn f64_field(v: &Json, key: &str) -> Option<f64> {
+    v.get(key).and_then(Json::as_f64)
+}
+
+fn u64_array<const N: usize>(v: &Json, key: &str) -> Option<[u64; N]> {
+    let arr = v.get(key)?.as_arr()?;
+    if arr.len() != N {
+        return None;
+    }
+    let mut out = [0u64; N];
+    for (slot, item) in out.iter_mut().zip(arr) {
+        *slot = item.as_u64()?;
+    }
+    Some(out)
+}
+
+impl PeStats {
+    /// Decodes the [`ToJson`] encoding.
+    pub fn from_json(v: &Json) -> Option<PeStats> {
+        Some(PeStats {
+            cycles: u64_array::<NUM_CATS>(v, "cycles")?,
+            issued: u64_field(v, "issued")?,
+            dual_cycles: u64_field(v, "dual_cycles")?,
+            issue_cycles: u64_field(v, "issue_cycles")?,
+            class_counts: u64_array::<NUM_CLASSES>(v, "class_counts")?,
+            loads: u64_field(v, "loads")?,
+            stores: u64_field(v, "stores")?,
+            reads: u64_field(v, "reads")?,
+            writes: u64_field(v, "writes")?,
+            threads_dispatched: u64_field(v, "threads_dispatched")?,
+            dma_queue_retries: u64_field(v, "dma_queue_retries")?,
+            sp_pf_cycles: u64_field(v, "sp_pf_cycles")?,
+        })
+    }
+}
+
+impl EngineReport {
+    /// Decodes the [`ToJson`] encoding.
+    pub fn from_json(v: &Json) -> Option<EngineReport> {
+        Some(EngineReport {
+            visited_cycles: u64_field(v, "visited_cycles")?,
+            pe_ticks: u64_field(v, "pe_ticks")?,
+            skipped_ticks: u64_field(v, "skipped_ticks")?,
+            epochs: u64_field(v, "epochs")?,
+            merged_epochs: u64_field(v, "merged_epochs")?,
+        })
+    }
+}
+
+impl RunStats {
+    /// Decodes the [`ToJson`] encoding.
+    pub fn from_json(v: &Json) -> Option<RunStats> {
+        Some(RunStats {
+            cycles: u64_field(v, "cycles")?,
+            per_pe: v
+                .get("per_pe")?
+                .as_arr()?
+                .iter()
+                .map(PeStats::from_json)
+                .collect::<Option<Vec<_>>>()?,
+            aggregate: PeStats::from_json(v.get("aggregate")?)?,
+            instructions: u64_field(v, "instructions")?,
+            instances: u64_field(v, "instances")?,
+            bus_utilisation: f64_field(v, "bus_utilisation")?,
+            mem_utilisation: f64_field(v, "mem_utilisation")?,
+            mem_payload_bytes: u64_field(v, "mem_payload_bytes")?,
+            dma_commands: u64_field(v, "dma_commands")?,
+            max_dse_pending: u64_field(v, "max_dse_pending")? as usize,
+            cache_hits: u64_field(v, "cache_hits")?,
+            cache_misses: u64_field(v, "cache_misses")?,
+            dma_attempts: u64_field(v, "dma_attempts")?,
+            dma_retries: u64_field(v, "dma_retries")?,
+            dma_exhausted: u64_field(v, "dma_exhausted")?,
+            dma_stalled: u64_field(v, "dma_stalled")?,
+            dma_backoff_cycles: u64_field(v, "dma_backoff_cycles")?,
+            msgs_dropped: u64_field(v, "msgs_dropped")?,
+            msgs_duplicated: u64_field(v, "msgs_duplicated")?,
+            msgs_delayed: u64_field(v, "msgs_delayed")?,
+            falloc_denials: u64_field(v, "falloc_denials")?,
+            degraded_pes: v
+                .get("degraded_pes")?
+                .as_arr()?
+                .iter()
+                .map(|p| p.as_u64().map(|p| p as u16))
+                .collect::<Option<Vec<_>>>()?,
+            fallback_instances: u64_field(v, "fallback_instances")?,
+            watchdog_parks: u64_field(v, "watchdog_parks")?,
+            dse_crashes: u64_field(v, "dse_crashes")?,
+            failovers: u64_field(v, "failovers")?,
+            rehomed_fallocs: u64_field(v, "rehomed_fallocs")?,
+            resync_msgs: u64_field(v, "resync_msgs")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,6 +604,59 @@ mod tests {
         for cat in StallCat::ALL {
             assert!(s.contains(cat.name()), "missing {cat}");
         }
+    }
+
+    #[test]
+    fn stats_json_roundtrip() {
+        let mut pe = PeStats::default();
+        pe.add_cycles(StallCat::MemStall, 11);
+        pe.record_issue(IClass::Dma);
+        pe.loads = 3;
+        let stats = RunStats {
+            cycles: 1234,
+            per_pe: vec![pe, PeStats::default()],
+            aggregate: pe,
+            instructions: 42,
+            instances: 7,
+            bus_utilisation: 0.25,
+            mem_utilisation: 0.5,
+            mem_payload_bytes: 4096,
+            dma_commands: 9,
+            max_dse_pending: 3,
+            cache_hits: 1,
+            cache_misses: 2,
+            dma_attempts: 10,
+            dma_retries: 1,
+            dma_exhausted: 0,
+            dma_stalled: 0,
+            dma_backoff_cycles: 64,
+            msgs_dropped: 0,
+            msgs_duplicated: 0,
+            msgs_delayed: 0,
+            falloc_denials: 0,
+            degraded_pes: vec![1, 5],
+            fallback_instances: 2,
+            watchdog_parks: 0,
+            dse_crashes: 0,
+            failovers: 0,
+            rehomed_fallocs: 0,
+            resync_msgs: 0,
+        };
+        let text = stats.to_json().to_string_compact();
+        let back = RunStats::from_json(&dta_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, stats);
+        let er = EngineReport {
+            visited_cycles: 5,
+            pe_ticks: 4,
+            skipped_ticks: 3,
+            epochs: 2,
+            merged_epochs: 1,
+        };
+        let er_text = er.to_json().to_string_compact();
+        assert_eq!(
+            EngineReport::from_json(&dta_json::parse(&er_text).unwrap()),
+            Some(er)
+        );
     }
 
     #[test]

@@ -1003,6 +1003,25 @@ impl System {
         Some(self.mem.read_u32(g.addr + index as u64 * 4) as i32)
     }
 
+    /// Captures the final contents of every program global as a
+    /// self-contained, serializable snapshot, so results can be verified
+    /// (and cached) without keeping the [`System`] alive. Part of
+    /// [`crate::job::JobOutput`].
+    pub fn snapshot_globals(&self) -> crate::job::GlobalSnapshot {
+        crate::job::GlobalSnapshot::new(
+            self.program
+                .globals
+                .iter()
+                .map(|g| {
+                    let words = (0..g.size() / 4)
+                        .map(|i| self.mem.read_u32(g.addr + i as u64 * 4) as i32)
+                        .collect();
+                    (g.name.clone(), words)
+                })
+                .collect(),
+        )
+    }
+
     fn post(&mut self, time: u64, to: Dest, msg: Message, stamp: MsgSeq) {
         let time = time.max(self.now + 1);
         if let Some(f) = self.config.faults {

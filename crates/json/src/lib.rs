@@ -59,6 +59,14 @@ impl Json {
         }
     }
 
+    /// The value as `bool`, if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as `&str`, if a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -230,6 +238,49 @@ impl<V: ToJson> ToJson for BTreeMap<String, V> {
     fn to_json(&self) -> Json {
         Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
     }
+}
+
+/// Encodes a `u64` so the full 64-bit range round-trips exactly.
+///
+/// [`Json::Num`] is an `f64`, which loses precision above 2^53 — fatal
+/// for values that feed content hashes (fault seeds) or identifiers
+/// (sequence stamps with high tag bits). Values that fit exactly render
+/// as numbers; larger ones fall back to a decimal string. Decode with
+/// [`u64_from_json`], which accepts both encodings.
+pub fn u64_json(v: u64) -> Json {
+    if v <= (1u64 << 53) {
+        Json::Num(v as f64)
+    } else {
+        Json::Str(v.to_string())
+    }
+}
+
+/// Decodes a `u64` written by [`u64_json`] (number or decimal string).
+pub fn u64_from_json(v: &Json) -> Option<u64> {
+    match v {
+        Json::Num(_) => v.as_u64(),
+        Json::Str(s) => s.parse().ok(),
+        _ => None,
+    }
+}
+
+/// 128-bit FNV-1a over a byte string.
+///
+/// Used as the stable content hash behind `JobKey`: no external crates,
+/// pure `u128` arithmetic, and collision-resistant enough for cache
+/// addressing of canonical job encodings (the cache validates the key
+/// stored inside each entry, so a collision degrades to a miss, never a
+/// wrong result). Constants are the standard FNV-128 offset basis and
+/// prime.
+pub fn fnv1a128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
 }
 
 /// A parse failure: byte offset and description.
@@ -485,6 +536,29 @@ mod tests {
         let rows = v.get("rows").and_then(Json::as_arr).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].get("pes").and_then(Json::as_u64), Some(8));
+    }
+
+    #[test]
+    fn u64_json_roundtrips_full_range() {
+        for v in [0u64, 1, (1 << 53) - 1, 1 << 53, (1 << 53) + 1, u64::MAX] {
+            let j = u64_json(v);
+            assert_eq!(u64_from_json(&j), Some(v), "value {v}");
+            // Survives a render/parse cycle too.
+            let parsed = parse(&j.to_string_compact()).unwrap();
+            assert_eq!(u64_from_json(&parsed), Some(v), "value {v}");
+        }
+        assert!(matches!(u64_json(u64::MAX), Json::Str(_)));
+        assert!(matches!(u64_json(7), Json::Num(_)));
+    }
+
+    #[test]
+    fn fnv1a128_is_stable_and_input_sensitive() {
+        let a = fnv1a128(b"dta");
+        assert_eq!(a, fnv1a128(b"dta"));
+        assert_ne!(a, fnv1a128(b"dtb"));
+        assert_ne!(fnv1a128(b""), fnv1a128(b"\0"));
+        // Pinned value: the hash is part of the on-disk cache format.
+        assert_eq!(fnv1a128(b""), 0x6c62272e07bb014262b821756295c58d);
     }
 
     #[test]

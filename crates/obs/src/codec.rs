@@ -1,0 +1,368 @@
+//! JSON codec for observability streams.
+//!
+//! [`ObsStream`]s ride inside cached `JobResult`s, so they need a
+//! canonical, lossless round-trip through `dta-json`. Records encode as
+//! compact tagged arrays (`[cycle, unit, seq, [event-tag, ...]]`) rather
+//! than keyed objects: a stream can hold hundreds of thousands of
+//! records and the array form keeps canonical payloads small while
+//! staying diffable.
+//!
+//! `u64` payloads that can carry high tag bits (sequence stamps,
+//! instance tokens) go through [`dta_json::u64_json`] so the full 64-bit
+//! range survives the `f64` number representation.
+
+use crate::{GaugeKind, ObsEvent, ObsRecord, ObsStream, ThreadEvent};
+use dta_json::{u64_from_json, u64_json, Json};
+
+/// Encodes a stream as `{"records": [...], "dropped": n}`.
+pub fn stream_to_json(s: &ObsStream) -> Json {
+    Json::obj([
+        (
+            "records",
+            Json::Arr(s.records.iter().map(record_to_json).collect()),
+        ),
+        ("dropped", u64_json(s.dropped)),
+    ])
+}
+
+/// Decodes a stream written by [`stream_to_json`].
+///
+/// Records are re-sorted by their deterministic key on the way in, so a
+/// decoded stream is canonical even if the document was edited.
+pub fn stream_from_json(v: &Json) -> Option<ObsStream> {
+    let records = v
+        .get("records")?
+        .as_arr()?
+        .iter()
+        .map(record_from_json)
+        .collect::<Option<Vec<_>>>()?;
+    let dropped = u64_from_json(v.get("dropped")?)?;
+    Some(ObsStream::from_records(records, dropped))
+}
+
+/// Encodes one record as `[cycle, unit, seq, event]`.
+pub fn record_to_json(r: &ObsRecord) -> Json {
+    Json::Arr(vec![
+        u64_json(r.cycle),
+        Json::Num(r.unit as f64),
+        u64_json(r.seq),
+        event_to_json(&r.ev),
+    ])
+}
+
+/// Decodes one record written by [`record_to_json`].
+pub fn record_from_json(v: &Json) -> Option<ObsRecord> {
+    let a = v.as_arr()?;
+    if a.len() != 4 {
+        return None;
+    }
+    Some(ObsRecord {
+        cycle: u64_from_json(&a[0])?,
+        unit: a[1].as_u64()? as u32,
+        seq: u64_from_json(&a[2])?,
+        ev: event_from_json(&a[3])?,
+    })
+}
+
+fn thread_event_parts(what: &ThreadEvent) -> (u64, Json, Json) {
+    let n = |v: u64| Json::Num(v as f64);
+    match *what {
+        ThreadEvent::FrameGranted { frame } => (0, u64_json(frame), n(0)),
+        ThreadEvent::StoreApplied { slot, became_ready } => {
+            (1, n(slot as u64), n(became_ready as u64))
+        }
+        ThreadEvent::Dispatched => (2, n(0), n(0)),
+        ThreadEvent::PfOffloaded => (3, n(0), n(0)),
+        ThreadEvent::DmaIssued { tag } => (4, n(tag as u64), n(0)),
+        ThreadEvent::DmaCompleted { tag } => (5, n(tag as u64), n(0)),
+        ThreadEvent::WaitDma => (6, n(0), n(0)),
+        ThreadEvent::ParkedWaitFalloc => (7, n(0), n(0)),
+        ThreadEvent::Stopped => (8, n(0), n(0)),
+        ThreadEvent::FrameFreed => (9, n(0), n(0)),
+    }
+}
+
+fn thread_event_from(tag: u64, a: &Json, b: &Json) -> Option<ThreadEvent> {
+    Some(match tag {
+        0 => ThreadEvent::FrameGranted {
+            frame: u64_from_json(a)?,
+        },
+        1 => ThreadEvent::StoreApplied {
+            slot: a.as_u64()? as u16,
+            became_ready: b.as_u64()? != 0,
+        },
+        2 => ThreadEvent::Dispatched,
+        3 => ThreadEvent::PfOffloaded,
+        4 => ThreadEvent::DmaIssued {
+            tag: a.as_u64()? as u8,
+        },
+        5 => ThreadEvent::DmaCompleted {
+            tag: a.as_u64()? as u8,
+        },
+        6 => ThreadEvent::WaitDma,
+        7 => ThreadEvent::ParkedWaitFalloc,
+        8 => ThreadEvent::Stopped,
+        9 => ThreadEvent::FrameFreed,
+        _ => return None,
+    })
+}
+
+fn gauge_kind_from(slot: u64) -> Option<GaugeKind> {
+    Some(match slot {
+        0 => GaugeKind::ReadyQueue,
+        1 => GaugeKind::FramesInUse,
+        2 => GaugeKind::DmaInFlight,
+        3 => GaugeKind::PipeState,
+        _ => return None,
+    })
+}
+
+/// Encodes an event as a tagged array.
+pub fn event_to_json(ev: &ObsEvent) -> Json {
+    let n = |v: u64| Json::Num(v as f64);
+    let arr = |items: Vec<Json>| Json::Arr(items);
+    match *ev {
+        ObsEvent::Thread {
+            pe,
+            instance,
+            thread,
+            what,
+        } => {
+            let (wt, wa, wb) = thread_event_parts(&what);
+            arr(vec![
+                n(0),
+                n(pe as u64),
+                u64_json(instance),
+                n(thread as u64),
+                n(wt),
+                wa,
+                wb,
+            ])
+        }
+        ObsEvent::DmaRetry { pe, retries } => arr(vec![n(1), n(pe as u64), n(retries as u64)]),
+        ObsEvent::DmaExhausted { pe } => arr(vec![n(2), n(pe as u64)]),
+        ObsEvent::PeDegraded { pe } => arr(vec![n(3), n(pe as u64)]),
+        ObsEvent::WatchdogPark { pe, instance } => {
+            arr(vec![n(4), n(pe as u64), u64_json(instance)])
+        }
+        ObsEvent::FallbackSubstituted { pe, thread } => {
+            arr(vec![n(5), n(pe as u64), n(thread as u64)])
+        }
+        ObsEvent::MsgDropped { src, resend_at } => {
+            arr(vec![n(6), n(src as u64), u64_json(resend_at)])
+        }
+        ObsEvent::MsgDuplicated { src } => arr(vec![n(7), n(src as u64)]),
+        ObsEvent::MsgDelayed { src } => arr(vec![n(8), n(src as u64)]),
+        ObsEvent::FallocDenied { node, requester } => {
+            arr(vec![n(9), n(node as u64), n(requester as u64)])
+        }
+        ObsEvent::FallocRearb { node, grants } => {
+            arr(vec![n(10), n(node as u64), n(grants as u64)])
+        }
+        ObsEvent::DseCrash { node } => arr(vec![n(11), n(node as u64)]),
+        ObsEvent::DseFailover { node, successor } => {
+            arr(vec![n(12), n(node as u64), n(successor as u64)])
+        }
+        ObsEvent::DseRehomed { node, count } => arr(vec![n(13), n(node as u64), u64_json(count)]),
+        ObsEvent::DseRestart { node } => arr(vec![n(14), n(node as u64)]),
+        ObsEvent::DseResync { node, pe, free } => {
+            arr(vec![n(15), n(node as u64), n(pe as u64), n(free as u64)])
+        }
+        ObsEvent::Gauge { pe, kind, value } => {
+            arr(vec![n(16), n(pe as u64), n(kind.slot()), u64_json(value)])
+        }
+        ObsEvent::Epoch { start, end } => arr(vec![n(17), u64_json(start), u64_json(end)]),
+    }
+}
+
+/// Decodes an event written by [`event_to_json`].
+pub fn event_from_json(v: &Json) -> Option<ObsEvent> {
+    let a = v.as_arr()?;
+    let tag = a.first()?.as_u64()?;
+    let u16_at = |i: usize| a.get(i).and_then(Json::as_u64).map(|v| v as u16);
+    let u32_at = |i: usize| a.get(i).and_then(Json::as_u64).map(|v| v as u32);
+    let u64_at = |i: usize| a.get(i).and_then(u64_from_json);
+    Some(match tag {
+        0 => ObsEvent::Thread {
+            pe: u16_at(1)?,
+            instance: u64_at(2)?,
+            thread: u32_at(3)?,
+            what: thread_event_from(a.get(4)?.as_u64()?, a.get(5)?, a.get(6)?)?,
+        },
+        1 => ObsEvent::DmaRetry {
+            pe: u16_at(1)?,
+            retries: u32_at(2)?,
+        },
+        2 => ObsEvent::DmaExhausted { pe: u16_at(1)? },
+        3 => ObsEvent::PeDegraded { pe: u16_at(1)? },
+        4 => ObsEvent::WatchdogPark {
+            pe: u16_at(1)?,
+            instance: u64_at(2)?,
+        },
+        5 => ObsEvent::FallbackSubstituted {
+            pe: u16_at(1)?,
+            thread: u32_at(2)?,
+        },
+        6 => ObsEvent::MsgDropped {
+            src: u32_at(1)?,
+            resend_at: u64_at(2)?,
+        },
+        7 => ObsEvent::MsgDuplicated { src: u32_at(1)? },
+        8 => ObsEvent::MsgDelayed { src: u32_at(1)? },
+        9 => ObsEvent::FallocDenied {
+            node: u16_at(1)?,
+            requester: u16_at(2)?,
+        },
+        10 => ObsEvent::FallocRearb {
+            node: u16_at(1)?,
+            grants: u32_at(2)?,
+        },
+        11 => ObsEvent::DseCrash { node: u16_at(1)? },
+        12 => ObsEvent::DseFailover {
+            node: u16_at(1)?,
+            successor: u16_at(2)?,
+        },
+        13 => ObsEvent::DseRehomed {
+            node: u16_at(1)?,
+            count: u64_at(2)?,
+        },
+        14 => ObsEvent::DseRestart { node: u16_at(1)? },
+        15 => ObsEvent::DseResync {
+            node: u16_at(1)?,
+            pe: u16_at(2)?,
+            free: u32_at(3)?,
+        },
+        16 => ObsEvent::Gauge {
+            pe: u16_at(1)?,
+            kind: gauge_kind_from(a.get(2)?.as_u64()?)?,
+            value: u64_at(3)?,
+        },
+        17 => ObsEvent::Epoch {
+            start: u64_at(1)?,
+            end: u64_at(2)?,
+        },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GAUGE_SEQ_BIT, MSG_SEQ_BIT};
+
+    fn sample_events() -> Vec<ObsEvent> {
+        vec![
+            ObsEvent::Thread {
+                pe: 3,
+                instance: (7 << 48) | 42,
+                thread: 2,
+                what: ThreadEvent::FrameGranted { frame: 1 << 60 },
+            },
+            ObsEvent::Thread {
+                pe: 0,
+                instance: 1,
+                thread: 0,
+                what: ThreadEvent::StoreApplied {
+                    slot: 5,
+                    became_ready: true,
+                },
+            },
+            ObsEvent::Thread {
+                pe: 1,
+                instance: 2,
+                thread: 1,
+                what: ThreadEvent::DmaIssued { tag: 9 },
+            },
+            ObsEvent::Thread {
+                pe: 1,
+                instance: 2,
+                thread: 1,
+                what: ThreadEvent::Stopped,
+            },
+            ObsEvent::DmaRetry { pe: 4, retries: 3 },
+            ObsEvent::DmaExhausted { pe: 4 },
+            ObsEvent::PeDegraded { pe: 4 },
+            ObsEvent::WatchdogPark {
+                pe: 2,
+                instance: u64::MAX,
+            },
+            ObsEvent::FallbackSubstituted { pe: 2, thread: 7 },
+            ObsEvent::MsgDropped {
+                src: 11,
+                resend_at: 999,
+            },
+            ObsEvent::MsgDuplicated { src: 12 },
+            ObsEvent::MsgDelayed { src: 13 },
+            ObsEvent::FallocDenied {
+                node: 1,
+                requester: 6,
+            },
+            ObsEvent::FallocRearb { node: 1, grants: 2 },
+            ObsEvent::DseCrash { node: 0 },
+            ObsEvent::DseFailover {
+                node: 0,
+                successor: 1,
+            },
+            ObsEvent::DseRehomed { node: 0, count: 17 },
+            ObsEvent::DseRestart { node: 0 },
+            ObsEvent::DseResync {
+                node: 0,
+                pe: 3,
+                free: 60,
+            },
+            ObsEvent::Gauge {
+                pe: 5,
+                kind: GaugeKind::DmaInFlight,
+                value: 4,
+            },
+            ObsEvent::Epoch {
+                start: 100,
+                end: 200,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_variant_roundtrips() {
+        for (i, ev) in sample_events().into_iter().enumerate() {
+            let j = event_to_json(&ev);
+            assert_eq!(event_from_json(&j), Some(ev), "variant {i}");
+        }
+    }
+
+    #[test]
+    fn records_roundtrip_through_text_with_high_seq_bits() {
+        let recs = vec![
+            ObsRecord {
+                cycle: 5,
+                unit: 0,
+                seq: GAUGE_SEQ_BIT | 3,
+                ev: ObsEvent::Gauge {
+                    pe: 0,
+                    kind: GaugeKind::PipeState,
+                    value: 2,
+                },
+            },
+            ObsRecord {
+                cycle: 9,
+                unit: 8,
+                seq: MSG_SEQ_BIT | 1,
+                ev: ObsEvent::MsgDropped {
+                    src: 0,
+                    resend_at: 209,
+                },
+            },
+        ];
+        let stream = ObsStream::from_records(recs, 3);
+        let text = stream_to_json(&stream).to_string_compact();
+        let back = stream_from_json(&dta_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, stream);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_documents() {
+        assert!(stream_from_json(&Json::Null).is_none());
+        assert!(event_from_json(&Json::Arr(vec![Json::Num(99.0)])).is_none());
+        assert!(record_from_json(&Json::Arr(vec![Json::Num(1.0)])).is_none());
+    }
+}

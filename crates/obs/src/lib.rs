@@ -32,6 +32,7 @@
 //! boundary records depend on the shard layout and are excluded from
 //! [`ObsStream::deterministic`].
 
+pub mod codec;
 mod metrics;
 mod perfetto;
 mod sink;

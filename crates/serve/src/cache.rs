@@ -1,0 +1,158 @@
+//! Content-addressed result storage: in-memory LRU + optional on-disk
+//! store of canonical-JSON [`JobResult`] documents.
+//!
+//! Both tiers key on [`JobKey`] and both are *self-validating*: a disk
+//! entry decodes only if its embedded format version matches
+//! [`dta_core::JOB_FORMAT_VERSION`] and its embedded key matches its
+//! file name, so stale or corrupt entries degrade to misses, never to
+//! wrong results. Bumping the format version therefore invalidates the
+//! whole store without any migration step (DESIGN.md §13).
+
+use dta_core::{JobKey, JobResult};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Fixed-capacity LRU of completed results.
+///
+/// Eviction scans for the stalest entry (O(capacity)); capacities are
+/// small (hundreds) and hits bump a counter only, so this stays simpler
+/// and faster in practice than an intrusive list.
+pub struct LruCache {
+    cap: usize,
+    tick: u64,
+    map: HashMap<u128, (Arc<JobResult>, u64)>,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `cap` results (min 1).
+    pub fn new(cap: usize) -> Self {
+        LruCache {
+            cap: cap.max(1),
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Looks up a result, refreshing its recency.
+    pub fn get(&mut self, key: JobKey) -> Option<Arc<JobResult>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key.0).map(|(v, used)| {
+            *used = tick;
+            Arc::clone(v)
+        })
+    }
+
+    /// Inserts (or refreshes) a result, evicting the least-recently-used
+    /// entry when over capacity.
+    pub fn insert(&mut self, key: JobKey, value: Arc<JobResult>) {
+        self.tick += 1;
+        self.map.insert(key.0, (value, self.tick));
+        if self.map.len() > self.cap {
+            if let Some(&stalest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&stalest);
+            }
+        }
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// On-disk store: one `<key-hex>.json` canonical document per result.
+pub struct DiskStore {
+    dir: PathBuf,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn new(dir: &Path) -> io::Result<DiskStore> {
+        std::fs::create_dir_all(dir)?;
+        Ok(DiskStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn path(&self, key: JobKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.hex()))
+    }
+
+    /// Loads a result. `None` on absence, decode failure, format
+    /// mismatch, or an embedded key that disagrees with the file name.
+    pub fn load(&self, key: JobKey) -> Option<JobResult> {
+        let text = std::fs::read_to_string(self.path(key)).ok()?;
+        let result = JobResult::from_canonical_str(&text)?;
+        (result.key == key).then_some(result)
+    }
+
+    /// Persists a result (write-to-temp + rename, so readers never see a
+    /// torn document).
+    pub fn store(&self, result: &JobResult) -> io::Result<()> {
+        let path = self.path(result.key);
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, result.canonical_string())?;
+        std::fs::rename(&tmp, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_core::{JobError, JOB_FORMAT_VERSION};
+
+    fn fake_result(n: u128) -> Arc<JobResult> {
+        Arc::new(JobResult {
+            format: JOB_FORMAT_VERSION,
+            key: JobKey(n),
+            outcome: Err(JobError::Launch {
+                message: format!("entry {n}"),
+            }),
+        })
+    }
+
+    #[test]
+    fn lru_evicts_stalest() {
+        let mut c = LruCache::new(2);
+        c.insert(JobKey(1), fake_result(1));
+        c.insert(JobKey(2), fake_result(2));
+        assert!(c.get(JobKey(1)).is_some()); // 1 is now fresher than 2
+        c.insert(JobKey(3), fake_result(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(JobKey(2)).is_none(), "stalest entry evicted");
+        assert!(c.get(JobKey(1)).is_some());
+        assert!(c.get(JobKey(3)).is_some());
+    }
+
+    #[test]
+    fn disk_store_roundtrips_and_validates() {
+        let dir = std::env::temp_dir().join(format!("dta-serve-cache-test-{}", std::process::id()));
+        let store = DiskStore::new(&dir).unwrap();
+        let r = fake_result(77);
+        store.store(&r).unwrap();
+        assert_eq!(store.load(JobKey(77)).as_ref(), Some(r.as_ref()));
+        assert!(store.load(JobKey(78)).is_none());
+
+        // A document stored under the wrong name must not decode.
+        std::fs::rename(
+            dir.join(format!("{}.json", JobKey(77).hex())),
+            dir.join(format!("{}.json", JobKey(99).hex())),
+        )
+        .unwrap();
+        assert!(store.load(JobKey(99)).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,351 @@
+//! # dta-serve — content-addressed simulation service
+//!
+//! The simulator is deterministic: a [`SimJob`] value maps to exactly
+//! one [`JobResult`], bit for bit. This crate exploits that by putting a
+//! service boundary in front of `dta_core::run_job`:
+//!
+//! * **Job queue** — [`Service::submit`] for single jobs,
+//!   [`Service::run_grid`] for sweep grids (scheduled onto the
+//!   `--sweep-threads` work-stealing pool, [`pool::par_map_with`]);
+//! * **Result cache** — in-memory LRU plus an optional on-disk store of
+//!   canonical-JSON results keyed by [`JobKey`] ([`cache`]);
+//! * **In-flight dedup** — identical jobs submitted concurrently
+//!   simulate once; followers block on the leader's flight and receive
+//!   the same `Arc`'d result;
+//! * **Incremental delivery** — [`Service::submit_with_sink`] attaches
+//!   an observability subscriber: a leader streams live through the
+//!   `ObsConfig::stream_interval` seam, while followers and cache hits
+//!   replay the complete cached stream. Every subscriber sees the same
+//!   records (the dedup suite pins this).
+//!
+//! Wall-clock time is measured *around* the cache (`Completion::wall_ms`)
+//! and never stored inside a result, so cached and fresh results stay
+//! byte-identical while warm-vs-cold timing remains visible to callers.
+
+use dta_core::{run_job_with_sink, JobResult, ObsSink, SimJob};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+pub mod cache;
+pub mod pool;
+
+// Re-exported so thin clients need only a `dta-serve` dependency to
+// build jobs and consume results.
+pub use dta_core::{JobError, JobKey, JobOutput, SimJob as Job};
+
+use cache::{DiskStore, LruCache};
+
+/// How a submission was satisfied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheStatus {
+    /// Simulated by this submission (the leader).
+    Miss,
+    /// Served from the in-memory LRU.
+    Memory,
+    /// Served from the on-disk store (and promoted to memory).
+    Disk,
+    /// Coalesced onto an identical in-flight job; no simulation ran for
+    /// this submission.
+    Coalesced,
+}
+
+impl CacheStatus {
+    /// Did this submission avoid a simulation of its own?
+    pub fn is_hit(&self) -> bool {
+        !matches!(self, CacheStatus::Miss)
+    }
+
+    /// Stable label for reports (`BENCH_*.json`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheStatus::Miss => "miss",
+            CacheStatus::Memory => "memory",
+            CacheStatus::Disk => "disk",
+            CacheStatus::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// One satisfied submission.
+pub struct Completion {
+    /// The job's result (shared with the cache and with coalesced
+    /// submitters).
+    pub result: Arc<JobResult>,
+    /// How it was satisfied.
+    pub status: CacheStatus,
+    /// Wall-clock milliseconds from submission to delivery — simulation
+    /// time for a leader, lookup/replay time for a hit, wait time for a
+    /// coalesced follower.
+    pub wall_ms: f64,
+    /// The subscriber passed to [`Service::submit_with_sink`], returned
+    /// after it has received the full stream.
+    pub sink: Option<Box<dyn ObsSink + Send>>,
+}
+
+/// Monotonic service counters (snapshot).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs submitted (every `submit*` call).
+    pub submitted: u64,
+    /// Jobs actually simulated — the executor run count the dedup suite
+    /// asserts on.
+    pub executed: u64,
+    /// Submissions served from the in-memory LRU.
+    pub hits_memory: u64,
+    /// Submissions served from the on-disk store.
+    pub hits_disk: u64,
+    /// Submissions coalesced onto an in-flight identical job.
+    pub coalesced: u64,
+}
+
+impl ServiceStats {
+    /// Fraction of submissions that avoided a simulation.
+    pub fn hit_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        (self.hits_memory + self.hits_disk + self.coalesced) as f64 / self.submitted as f64
+    }
+}
+
+/// Service construction knobs.
+pub struct ServiceConfig {
+    /// Batch-executor workers for [`Service::run_grid`] (the
+    /// `--sweep-threads` value; 1 = sequential).
+    pub threads: usize,
+    /// In-memory LRU capacity, in results.
+    pub memory_capacity: usize,
+    /// Root of the on-disk store (`None` = memory only).
+    pub disk_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: 1,
+            memory_capacity: 512,
+            disk_dir: None,
+        }
+    }
+}
+
+/// A leader's promise to concurrent submitters of the same key.
+#[derive(Default)]
+struct Flight {
+    done: Mutex<Option<Arc<JobResult>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn wait(&self) -> Arc<JobResult> {
+        let mut done = self.done.lock().unwrap();
+        while done.is_none() {
+            done = self.cv.wait(done).unwrap();
+        }
+        Arc::clone(done.as_ref().unwrap())
+    }
+
+    fn fulfil(&self, result: Arc<JobResult>) {
+        *self.done.lock().unwrap() = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// Cache and in-flight set behind ONE mutex: the hit check, the
+/// coalesce check, and the leader election happen atomically, so two
+/// concurrent submissions of one key can never both become leaders
+/// (which would double-simulate and break the executor run-count
+/// guarantee).
+struct Registry {
+    cache: LruCache,
+    inflight: HashMap<u128, Arc<Flight>>,
+}
+
+enum Plan {
+    Hit(Arc<JobResult>, CacheStatus),
+    Wait(Arc<Flight>),
+    Lead(Arc<Flight>),
+}
+
+/// The simulation service. `Sync`: share one instance (e.g. behind a
+/// `OnceLock`) across every sweep in a process to deduplicate work
+/// globally.
+pub struct Service {
+    threads: usize,
+    registry: Mutex<Registry>,
+    disk: Option<DiskStore>,
+    submitted: AtomicU64,
+    executed: AtomicU64,
+    hits_memory: AtomicU64,
+    hits_disk: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl Service {
+    /// Builds a service. Disk-store creation failures degrade to a
+    /// memory-only service (the cache is an optimisation, never a
+    /// correctness dependency); the error is reported on stderr.
+    pub fn new(config: ServiceConfig) -> Service {
+        let disk = config.disk_dir.as_deref().and_then(|dir| {
+            DiskStore::new(dir)
+                .map_err(|e| eprintln!("dta-serve: disk cache at {} disabled: {e}", dir.display()))
+                .ok()
+        });
+        Service {
+            threads: config.threads.max(1),
+            registry: Mutex::new(Registry {
+                cache: LruCache::new(config.memory_capacity),
+                inflight: HashMap::new(),
+            }),
+            disk,
+            submitted: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            hits_memory: AtomicU64::new(0),
+            hits_disk: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// A memory-only service with default capacity.
+    pub fn in_memory(threads: usize) -> Service {
+        Service::new(ServiceConfig {
+            threads,
+            ..ServiceConfig::default()
+        })
+    }
+
+    /// A service with an on-disk store at `dir`.
+    pub fn with_disk(threads: usize, dir: &Path) -> Service {
+        Service::new(ServiceConfig {
+            threads,
+            memory_capacity: 512,
+            disk_dir: Some(dir.to_path_buf()),
+        })
+    }
+
+    /// Batch-executor worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            hits_memory: self.hits_memory.load(Ordering::Relaxed),
+            hits_disk: self.hits_disk.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submits one job.
+    pub fn submit(&self, job: &SimJob) -> Completion {
+        self.submit_with_sink(job, None)
+    }
+
+    /// Submits one job with an observability subscriber. Leaders stream
+    /// live through the run; hits and coalesced followers replay the
+    /// complete cached stream — every subscriber of one key receives
+    /// identical records.
+    pub fn submit_with_sink(
+        &self,
+        job: &SimJob,
+        mut sink: Option<Box<dyn ObsSink + Send>>,
+    ) -> Completion {
+        let start = Instant::now();
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let key = job.key();
+
+        let plan = {
+            let mut reg = self.registry.lock().unwrap();
+            if let Some(hit) = reg.cache.get(key) {
+                self.hits_memory.fetch_add(1, Ordering::Relaxed);
+                Plan::Hit(hit, CacheStatus::Memory)
+            } else if let Some(flight) = reg.inflight.get(&key.0) {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                Plan::Wait(Arc::clone(flight))
+            } else if let Some(loaded) = self.disk.as_ref().and_then(|d| d.load(key)) {
+                // Rare (once per key per process) and cheap relative to a
+                // simulation, so loading under the registry lock is fine
+                // and keeps leader election atomic.
+                let loaded = Arc::new(loaded);
+                reg.cache.insert(key, Arc::clone(&loaded));
+                self.hits_disk.fetch_add(1, Ordering::Relaxed);
+                Plan::Hit(loaded, CacheStatus::Disk)
+            } else {
+                let flight = Arc::new(Flight::default());
+                reg.inflight.insert(key.0, Arc::clone(&flight));
+                Plan::Lead(flight)
+            }
+        };
+
+        match plan {
+            Plan::Hit(result, status) => {
+                replay(&result, &mut sink);
+                Completion {
+                    result,
+                    status,
+                    wall_ms: ms_since(start),
+                    sink,
+                }
+            }
+            Plan::Wait(flight) => {
+                let result = flight.wait();
+                replay(&result, &mut sink);
+                Completion {
+                    result,
+                    status: CacheStatus::Coalesced,
+                    wall_ms: ms_since(start),
+                    sink,
+                }
+            }
+            Plan::Lead(flight) => {
+                self.executed.fetch_add(1, Ordering::Relaxed);
+                let (result, sink_back) = run_job_with_sink(job, sink);
+                let result = Arc::new(result);
+                if let Some(disk) = &self.disk {
+                    if let Err(e) = disk.store(&result) {
+                        eprintln!("dta-serve: failed to persist {}: {e}", result.key.hex());
+                    }
+                }
+                {
+                    let mut reg = self.registry.lock().unwrap();
+                    reg.cache.insert(key, Arc::clone(&result));
+                    reg.inflight.remove(&key.0);
+                }
+                flight.fulfil(Arc::clone(&result));
+                Completion {
+                    result,
+                    status: CacheStatus::Miss,
+                    wall_ms: ms_since(start),
+                    sink: sink_back,
+                }
+            }
+        }
+    }
+
+    /// Runs a sweep grid on the batch-executor pool, returning
+    /// completions in grid order. Duplicate points inside one grid
+    /// simulate once (dedup applies within a grid exactly as across
+    /// submissions).
+    pub fn run_grid(&self, jobs: &[SimJob]) -> Vec<Completion> {
+        pool::par_map_with(self.threads, jobs, |job| self.submit(job))
+    }
+}
+
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Feeds a cached result's complete stream into a follower's sink.
+fn replay(result: &JobResult, sink: &mut Option<Box<dyn ObsSink + Send>>) {
+    if let (Some(sink), Ok(out)) = (sink.as_mut(), &result.outcome) {
+        if let Some(stream) = &out.obs {
+            stream.feed(sink.as_mut());
+        }
+    }
+}

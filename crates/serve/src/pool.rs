@@ -1,0 +1,66 @@
+//! The batch-executor thread pool.
+//!
+//! Moved here from `dta-bench`'s experiment module (it used to be
+//! re-implemented next to every sweep): a minimal scoped-thread,
+//! atomic work-stealing map that every grid submitted to the service is
+//! scheduled onto. Sweep points are independent jobs, so plain index
+//! stealing is enough — no queues, no channels.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` on `threads` scoped workers (atomic
+/// work-stealing), returning results in input order. A worker panic
+/// propagates. `threads <= 1` degrades to a plain sequential map.
+pub fn par_map_with<I, O, F>(threads: usize, items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, O)> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("pool worker panicked"))
+            .collect()
+    });
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, o)| o).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 4, 7] {
+            let out = par_map_with(threads, &items, |&i| i * 2);
+            assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert!(par_map_with::<u32, u32, _>(4, &[], |&i| i).is_empty());
+        assert_eq!(par_map_with(4, &[9], |&i: &u32| i + 1), vec![10]);
+    }
+}

@@ -1,0 +1,137 @@
+//! In-flight dedup suite: the same job submitted N times concurrently
+//! simulates once, and every subscriber receives the full, identical
+//! observability stream.
+
+use dta_core::{ObsMode, ObsRecord, ObsSink, SimJob, SystemConfig};
+use dta_serve::{CacheStatus, Service};
+use dta_workloads::{vecscale, Variant};
+use std::sync::{Arc, Mutex};
+
+/// A subscriber that shares its collected records with the test thread
+/// (the boxed sink itself is consumed by the service API).
+struct ShareSink(Arc<Mutex<Vec<ObsRecord>>>);
+
+impl ObsSink for ShareSink {
+    fn record(&mut self, rec: &ObsRecord) {
+        self.0.lock().unwrap().push(*rec);
+    }
+}
+
+fn obs_job() -> SimJob {
+    let mut cfg = SystemConfig::with_pes(4);
+    cfg.obs.mode = ObsMode::Events;
+    cfg.obs.stream_interval = 64; // leaders stream incrementally
+    let wp = vecscale::build(128, 8, Variant::HandPrefetch);
+    SimJob::new(Arc::new(wp.program), wp.args, cfg)
+}
+
+/// Sorted-by-key copy (subscribers receive records in wall order; the
+/// canonical stream is stored key-sorted — same order, but sorting both
+/// sides keeps the assertion about *content*, not delivery batching).
+fn sorted(records: Vec<ObsRecord>) -> Vec<ObsRecord> {
+    let mut records = records;
+    records.sort_by_key(|r| r.key());
+    records
+}
+
+#[test]
+fn n_concurrent_submissions_simulate_once_with_identical_streams() {
+    const N: usize = 8;
+    let service = Service::in_memory(1);
+    let job = obs_job();
+
+    let collected: Vec<(CacheStatus, Vec<ObsRecord>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let service = &service;
+                let job = &job;
+                s.spawn(move || {
+                    let seen = Arc::new(Mutex::new(Vec::new()));
+                    let sink = Box::new(ShareSink(Arc::clone(&seen)));
+                    let done = service.submit_with_sink(job, Some(sink));
+                    assert!(done.sink.is_some(), "sink returned to caller");
+                    let records = std::mem::take(&mut *seen.lock().unwrap());
+                    (done.status, records)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Executor ran exactly once; every other submission was a hit or
+    // coalesced onto the leader's flight.
+    let stats = service.stats();
+    assert_eq!(stats.submitted, N as u64);
+    assert_eq!(stats.executed, 1, "N identical jobs must simulate once");
+    assert_eq!(
+        stats.hits_memory + stats.coalesced,
+        (N - 1) as u64,
+        "everyone but the leader is served without simulating"
+    );
+    assert_eq!(
+        collected
+            .iter()
+            .filter(|(s, _)| *s == CacheStatus::Miss)
+            .count(),
+        1,
+        "exactly one leader"
+    );
+
+    // Every subscriber saw the full stream, identical to the canonical
+    // cached one.
+    let reference = sorted(
+        service
+            .submit(&job)
+            .result
+            .outcome
+            .as_ref()
+            .expect("vecscale succeeds")
+            .obs
+            .as_ref()
+            .expect("events on")
+            .records
+            .clone(),
+    );
+    assert!(!reference.is_empty());
+    for (i, (status, records)) in collected.into_iter().enumerate() {
+        assert_eq!(
+            sorted(records),
+            reference,
+            "subscriber {i} ({status:?}) must see the full identical stream"
+        );
+    }
+}
+
+#[test]
+fn duplicate_points_inside_one_grid_simulate_once() {
+    let service = Service::in_memory(4);
+    let job = obs_job();
+    let grid: Vec<SimJob> = (0..6).map(|_| job.clone()).collect();
+
+    let completions = service.run_grid(&grid);
+    assert_eq!(completions.len(), 6);
+    assert_eq!(service.stats().executed, 1);
+    let reference = completions[0].result.canonical_string();
+    for c in &completions {
+        assert_eq!(c.result.canonical_string(), reference);
+    }
+}
+
+#[test]
+fn distinct_points_in_a_grid_all_simulate() {
+    let service = Service::in_memory(4);
+    let grid: Vec<SimJob> = (1..=4)
+        .map(|pes| {
+            let mut cfg = SystemConfig::with_pes(pes);
+            cfg.obs.mode = ObsMode::Off;
+            let wp = vecscale::build(64, 4, Variant::Baseline);
+            SimJob::new(Arc::new(wp.program), wp.args, cfg)
+        })
+        .collect();
+    let completions = service.run_grid(&grid);
+    assert_eq!(service.stats().executed, 4);
+    assert!(completions.iter().all(|c| c.status == CacheStatus::Miss));
+    // PE count is in the key, so all four results are distinct.
+    let keys: std::collections::HashSet<_> = completions.iter().map(|c| c.result.key).collect();
+    assert_eq!(keys.len(), 4);
+}

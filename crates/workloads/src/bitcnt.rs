@@ -27,7 +27,7 @@
 //! gains little, as in the paper.
 
 use crate::common::{synth_values, Variant, WorkloadProgram};
-use dta_core::System;
+use dta_core::GlobalRead;
 use dta_isa::{reg::r, BrCond, ProgramBuilder, ThreadBuilder, ZERO_REG};
 
 /// Samples per leaf thread.
@@ -372,7 +372,7 @@ pub fn build(n: usize, variant: Variant) -> WorkloadProgram {
 }
 
 /// Checks the simulated total against [`expected`].
-pub fn verify(sys: &System, n: usize) -> Result<(), String> {
+pub fn verify(sys: &dyn GlobalRead, n: usize) -> Result<(), String> {
     let want = expected(n) as i32;
     match sys.read_global_word("TOTAL", 0) {
         Some(got) if got == want => Ok(()),

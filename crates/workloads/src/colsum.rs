@@ -10,7 +10,7 @@
 
 use crate::common::{synth_values, Variant, WorkloadProgram};
 use dta_compiler::{PlanOptions, TransformOptions};
-use dta_core::System;
+use dta_core::GlobalRead;
 use dta_isa::{reg::r, BrCond, ProgramBuilder, ThreadBuilder};
 
 /// Input matrix (row-major, n×n, small values).
@@ -138,7 +138,7 @@ pub fn build(n: usize, variant: Variant) -> WorkloadProgram {
 }
 
 /// Checks the simulated sums against [`expected`].
-pub fn verify(sys: &System, n: usize) -> Result<(), String> {
+pub fn verify(sys: &dyn GlobalRead, n: usize) -> Result<(), String> {
     let want = expected(n);
     for (idx, &w) in want.iter().enumerate() {
         match sys.read_global_word("S", idx) {

@@ -13,7 +13,7 @@
 //! reach.
 
 use crate::common::{synth_values, Variant, WorkloadProgram};
-use dta_core::System;
+use dta_core::GlobalRead;
 use dta_isa::{reg::r, BrCond, ProgramBuilder, ThreadBuilder};
 
 /// Worker-thread count: deliberately fewer than the paper machine's PEs
@@ -155,7 +155,7 @@ pub fn build(n: usize, variant: Variant) -> WorkloadProgram {
 }
 
 /// Checks the simulated per-worker sums against [`expected`].
-pub fn verify(sys: &System, n: usize) -> Result<(), String> {
+pub fn verify(sys: &dyn GlobalRead, n: usize) -> Result<(), String> {
     let want = expected(n);
     for (w, &v) in want.iter().enumerate() {
         match sys.read_global_word("S", w) {

@@ -8,7 +8,7 @@
 //! prefetch compiler emits a single region per worker.
 
 use crate::common::{synth_values, Variant, WorkloadProgram};
-use dta_core::System;
+use dta_core::GlobalRead;
 use dta_isa::{reg::r, BrCond, ProgramBuilder, ThreadBuilder};
 
 /// Padded input: `n + 2` words, `in[0]` and `in[n+1]` are the edge
@@ -133,7 +133,7 @@ pub fn build(n: usize, chunks: usize, variant: Variant) -> WorkloadProgram {
 }
 
 /// Checks the simulated output against [`expected`].
-pub fn verify(sys: &System, n: usize) -> Result<(), String> {
+pub fn verify(sys: &dyn GlobalRead, n: usize) -> Result<(), String> {
     let want = expected(n);
     for (idx, &w) in want.iter().enumerate() {
         match sys.read_global_word("out", idx) {

@@ -7,7 +7,7 @@
 //! to bitcnt's worst case.
 
 use crate::common::{synth_values, Variant, WorkloadProgram};
-use dta_core::System;
+use dta_core::GlobalRead;
 use dta_isa::{reg::r, BrCond, ProgramBuilder, ThreadBuilder};
 
 /// Scale factor applied to every element.
@@ -123,7 +123,7 @@ pub fn build(n: usize, chunks: usize, variant: Variant) -> WorkloadProgram {
 }
 
 /// Checks the simulated output against [`expected`].
-pub fn verify(sys: &System, n: usize) -> Result<(), String> {
+pub fn verify(sys: &dyn GlobalRead, n: usize) -> Result<(), String> {
     let want = expected(n);
     for (idx, &w) in want.iter().enumerate() {
         match sys.read_global_word("dst", idx) {

@@ -18,7 +18,7 @@
 //! neighbour load never needs a clamp.
 
 use crate::common::{synth_values, Variant, WorkloadProgram};
-use dta_core::System;
+use dta_core::GlobalRead;
 use dta_isa::{reg::r, BrCond, ProgramBuilder, ThreadBuilder};
 
 /// Zoom factor (fixed, as in the paper's figures).
@@ -180,7 +180,7 @@ pub fn build(n: usize, variant: Variant) -> WorkloadProgram {
 }
 
 /// Checks the simulated output against [`expected`].
-pub fn verify(sys: &System, n: usize) -> Result<(), String> {
+pub fn verify(sys: &dyn GlobalRead, n: usize) -> Result<(), String> {
     let want = expected(n);
     for (idx, &w) in want.iter().enumerate() {
         match sys.read_global_word("OUT", idx) {
