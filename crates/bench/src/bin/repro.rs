@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--quick] [--pes N] [--threads N] [--out DIR]
-//!       [--sweep-threads N] [--cache-dir DIR] [--sched MODE]
+//!       [--sweep-threads N] [--cache-dir DIR] [--deadline-ms N] [--sched MODE]
 //!       [--fault-seed N] [--fault-rate PPM] [--obs MODE]
 //!       [--metrics-interval N] [--obs-stream N] [--trace-out PATH]
 //!
@@ -24,6 +24,10 @@
 //!             service's on-disk content-addressed store): repeated
 //!             `repro` invocations replay identical points from disk
 //!             instead of re-simulating
+//! --deadline-ms N  per-job wall-clock budget for service runs: a job
+//!             exceeding it completes as a typed host-side `Timeout`
+//!             (never cached); the deterministic backstop remains each
+//!             job's `max_cycles`
 //! --sched MODE  cycle scheduler: fast-forward (default) | dense.
 //!             A pure host-time choice — results are bit-identical —
 //!             mainly for A/B timing; the `speed` experiment pins both
@@ -70,6 +74,7 @@ struct Options {
     threads: Option<u16>,
     sweep_threads: Option<usize>,
     cache_dir: Option<PathBuf>,
+    deadline_ms: Option<u64>,
     sched: Option<dta_core::SchedMode>,
     fault_seed: u64,
     fault_rate: Option<u32>,
@@ -88,6 +93,7 @@ fn parse_args() -> Result<Options, String> {
         threads: None,
         sweep_threads: None,
         cache_dir: None,
+        deadline_ms: None,
         sched: None,
         fault_seed: 0xDA7A,
         fault_rate: None,
@@ -128,6 +134,14 @@ fn parse_args() -> Result<Options, String> {
                 opts.cache_dir = Some(PathBuf::from(
                     args.next().ok_or("--cache-dir needs a value")?,
                 ));
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    args.next()
+                        .ok_or("--deadline-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms needs a millisecond count")?,
+                );
             }
             "--sched" => {
                 opts.sched = Some(match args.next().ok_or("--sched needs a value")?.as_str() {
@@ -236,8 +250,13 @@ fn main() -> ExitCode {
         dta_bench::experiments::set_default_parallelism(dta_core::Parallelism::Threads(n));
     }
     // One process-wide service carries every untimed run: sweep workers
-    // from --sweep-threads, the on-disk result store from --cache-dir.
-    dta_bench::configure_service(opts.sweep_threads.unwrap_or(1), opts.cache_dir.as_deref());
+    // from --sweep-threads, the on-disk result store from --cache-dir,
+    // the per-job wall-clock budget from --deadline-ms.
+    dta_bench::configure_service(
+        opts.sweep_threads.unwrap_or(1),
+        opts.cache_dir.as_deref(),
+        opts.deadline_ms,
+    );
     if let Some(sched) = opts.sched {
         dta_bench::experiments::set_default_sched(sched);
     }

@@ -59,6 +59,9 @@ pub struct ExperimentResult {
     pub rows: Vec<Row>,
     /// Rendered text report.
     pub text: String,
+    /// Service supervision counters ([`dta_serve::ServiceHealth`] as
+    /// JSON) for experiments that own a service; `None` elsewhere.
+    pub health: Option<dta_json::Json>,
 }
 
 fn pes8(suite_pes: u16) -> SystemConfig {
@@ -93,6 +96,7 @@ pub fn config() -> ExperimentResult {
          \x20 (see dta_isa::Instr::DmaGet / DmaGetStrided / DmaPut)\n",
     );
     ExperimentResult {
+        health: None,
         id: "config".into(),
         title: "Tables 2-4: platform parameters".into(),
         rows: Vec::new(),
@@ -146,6 +150,7 @@ pub fn table5(suite: &[Bench], pes: u16) -> ExperimentResult {
         rows.push(row);
     }
     ExperimentResult {
+        health: None,
         id: "table5".into(),
         title: "Table 5: dynamic instruction counts (original DTA)".into(),
         text: text_table(&table),
@@ -189,6 +194,7 @@ pub fn fig5(suite: &[Bench], pes: u16) -> ExperimentResult {
         rows.push(row);
     }
     ExperimentResult {
+        health: None,
         id: "fig5".into(),
         title: "Figure 5: SPU execution-time breakdown (no-prefetch vs prefetch)".into(),
         text: text_table(&table),
@@ -245,6 +251,7 @@ pub fn fig_exec_scalability(id: &str, bench: Bench, max_pes: u16) -> ExperimentR
         ]);
     }
     ExperimentResult {
+        health: None,
         id: id.into(),
         title: format!("{}: execution time & scalability for {}", id, bench.name()),
         text: text_table(&table),
@@ -279,6 +286,7 @@ pub fn fig9(suite: &[Bench], pes: u16) -> ExperimentResult {
         rows.push(row);
     }
     ExperimentResult {
+        health: None,
         id: "fig9".into(),
         title: "Figure 9: pipeline usage (no-prefetch vs prefetch)".into(),
         text: text_table(&table),
@@ -337,6 +345,7 @@ pub fn lat1(suite: &[Bench], pes: u16) -> ExperimentResult {
         rows.extend(chunk.iter().cloned());
     }
     ExperimentResult {
+        health: None,
         id: "lat1".into(),
         title: "§4.3: all memory latencies = 1 cycle (always-hit bound)".into(),
         text: text_table(&table),
@@ -382,6 +391,7 @@ pub fn ablate_split(n: usize, pes: u16) -> ExperimentResult {
     }
     rows.extend([base, single, split]);
     ExperimentResult {
+        health: None,
         id: "ablate-split".into(),
         title: format!("Ablation: strided DMA vs split transactions, colsum({n})"),
         text: text_table(&table),
@@ -453,6 +463,7 @@ pub fn ablate_vfp(n: usize, pes: u16) -> ExperimentResult {
         }
     }
     ExperimentResult {
+        health: None,
         id: "ablate-vfp".into(),
         title: format!("Ablation: virtual frame pointers x frame capacity, bitcnt({n})"),
         text: text_table(&table),
@@ -495,6 +506,7 @@ pub fn ablate_hw(n: usize, pes: u16) -> ExperimentResult {
         rows.push(row);
     }
     ExperimentResult {
+        health: None,
         id: "ablate-hw".into(),
         title: format!("Ablation: bus count × MFC queue depth, mmul({n}) prefetched"),
         text: text_table(&table),
@@ -553,6 +565,7 @@ pub fn ext_cache(mmul_n: usize, zoom_n: usize, pes: u16) -> ExperimentResult {
         rows.push(row);
     }
     ExperimentResult {
+        health: None,
         id: "ext-cache".into(),
         title: "Extension: DMA prefetch vs a data cache (paper §4.3's missing module)".into(),
         text: text_table(&table),
@@ -595,6 +608,7 @@ pub fn ext_spxp(suite: &[Bench], pes: u16) -> ExperimentResult {
         rows.push(row);
     }
     ExperimentResult {
+        health: None,
         id: "ext-spxp".into(),
         title: "Extension: PF blocks on the LSE's SP pipeline (DTA-C overlap)".into(),
         text: text_table(&table),
@@ -680,6 +694,7 @@ pub fn ext_wholeobj(n: usize, pes: u16) -> ExperimentResult {
     }
     rows.extend([base_row, auto_row]);
     ExperimentResult {
+        health: None,
         id: "ext-wholeobj".into(),
         title: format!("Extension: whole-structure table prefetch, bitcnt({n})"),
         text: text_table(&table),
@@ -745,6 +760,7 @@ pub fn parallel_bench(mmul_n: usize, pes: u16) -> ExperimentResult {
         );
     }
     ExperimentResult {
+        health: None,
         id: "BENCH_parallel".into(),
         title: format!("Engine wall-clock: sequential vs epoch-sharded, mmul({mmul_n}) {pes} PEs"),
         text,
@@ -809,6 +825,7 @@ pub fn speed_bench(cases: &[(Bench, Variant, u16)]) -> ExperimentResult {
         }
     }
     ExperimentResult {
+        health: None,
         id: "BENCH_speed".into(),
         title: "Scheduler wall-clock: dense cycle loop vs event-driven fast-forward".into(),
         text: text_table(&table),
@@ -904,6 +921,7 @@ pub fn faults_bench(suite: &[Bench], pes: u16, seed: u64, rates: &[u32]) -> Expe
         }
     }
     ExperimentResult {
+        health: None,
         id: "BENCH_faults".into(),
         title: "Fault-injection sweep: recovery cost and degradation vs rate".into(),
         text: text_table(&table),
@@ -1011,6 +1029,7 @@ pub fn failover_bench(suite: &[Bench], pes: u16, seed: u64, rates: &[u32]) -> Ex
         }
     }
     ExperimentResult {
+        health: None,
         id: "BENCH_failover".into(),
         title: "DSE failover sweep: completion, re-homing cost and overhead vs crash rate".into(),
         text: text_table(&table),
@@ -1102,6 +1121,7 @@ pub fn observe_bench(suite: &[Bench], pes: u16) -> ExperimentResult {
          the cycle-delta budget is 0, and wall overhead is post-run collection only)\n"
     ));
     ExperimentResult {
+        health: None,
         id: "BENCH_observe".into(),
         title: "Observability overhead: bus off vs event rings vs full metrics + Perfetto".into(),
         text,
@@ -1223,7 +1243,27 @@ pub fn serve_bench(suite: &[Bench], max_pes: u16, threads: usize) -> ExperimentR
         jobs.len(),
         warm_ms / cold_ms
     ));
+
+    // Supervision ledger: a healthy two-pass grid must show zero host
+    // faults — any panic, timeout, shed or quarantine here is a bug.
+    let health = service.health();
+    assert_eq!(health.host_panics, 0, "no host panics in a healthy grid");
+    assert_eq!(health.timeouts, 0, "no deadline expiries in a healthy grid");
+    assert_eq!(health.sheds, 0, "no load shedding in a healthy grid");
+    text.push_str(&format!(
+        "health: executions={} coalesced_waits={} retries={} host_panics={} \
+         timeouts={} sheds={} quarantines={} disk_degraded={}\n",
+        health.executions,
+        health.coalesced_waits,
+        health.retries,
+        health.host_panics,
+        health.timeouts,
+        health.sheds,
+        health.quarantines,
+        health.disk_degraded,
+    ));
     ExperimentResult {
+        health: Some(health.to_json()),
         id: "BENCH_serve".into(),
         title: "Service cache: repeated fig6/7/8 PE grid through dta-serve".into(),
         text,

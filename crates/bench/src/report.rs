@@ -56,12 +56,16 @@ impl ToJson for Row {
 
 impl ToJson for ExperimentResult {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("id", self.id.to_json()),
             ("title", self.title.to_json()),
             ("rows", self.rows.to_json()),
             ("text", self.text.to_json()),
-        ])
+        ];
+        if let Some(health) = &self.health {
+            fields.push(("health", health.clone()));
+        }
+        Json::obj(fields)
     }
 }
 
