@@ -3,7 +3,7 @@
 //! ```text
 //! repro [EXPERIMENT ...] [--quick] [--pes N] [--threads N] [--out DIR]
 //!       [--sweep-threads N] [--cache-dir DIR] [--deadline-ms N] [--sched MODE]
-//!       [--fault-seed N] [--fault-rate PPM] [--obs MODE]
+//!       [--fault-seed N] [--fault-rate PPM] [--lse-crash-ppm PPM] [--obs MODE]
 //!       [--metrics-interval N] [--obs-stream N] [--trace-out PATH]
 //!
 //! EXPERIMENT: config table5 fig5 fig6 fig7 fig8 fig9 lat1
@@ -36,6 +36,9 @@
 //! --fault-rate PPM single injected fault rate for the `faults`
 //!                  experiment instead of the built-in 0/1k/10k/100k
 //!                  ppm sweep
+//! --lse-crash-ppm PPM single LSE crash rate for the `failover`
+//!                  experiment's LSE grid instead of the built-in
+//!                  0/200k/500k ppm sweep
 //! --obs MODE  run every experiment with the structured observability
 //!             bus on: events | metrics | all | off (default off).
 //!             Collection is pure observation — results and cycle
@@ -67,6 +70,10 @@ use std::process::ExitCode;
 /// certain-all (the last exercises crash-of-successor and restart).
 const FAILOVER_RATES: &[u32] = &[0, 500_000, 1_000_000];
 
+/// Per-PE LSE crash probabilities for the failover sweep's LSE grid
+/// (overridden by `--lse-crash-ppm`).
+const LSE_FAILOVER_RATES: &[u32] = &[0, 200_000, 500_000];
+
 struct Options {
     experiments: Vec<String>,
     quick: bool,
@@ -78,6 +85,7 @@ struct Options {
     sched: Option<dta_core::SchedMode>,
     fault_seed: u64,
     fault_rate: Option<u32>,
+    lse_crash_ppm: Option<u32>,
     obs: Option<dta_core::ObsMode>,
     metrics_interval: Option<u64>,
     obs_stream: Option<u64>,
@@ -97,6 +105,7 @@ fn parse_args() -> Result<Options, String> {
         sched: None,
         fault_seed: 0xDA7A,
         fault_rate: None,
+        lse_crash_ppm: None,
         obs: None,
         metrics_interval: None,
         obs_stream: None,
@@ -163,6 +172,14 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--fault-rate needs a value")?
                         .parse()
                         .map_err(|_| "--fault-rate needs a ppm number")?,
+                );
+            }
+            "--lse-crash-ppm" => {
+                opts.lse_crash_ppm = Some(
+                    args.next()
+                        .ok_or("--lse-crash-ppm needs a value")?
+                        .parse()
+                        .map_err(|_| "--lse-crash-ppm needs a ppm number")?,
                 );
             }
             "--obs" => {
@@ -326,14 +343,36 @@ fn main() -> ExitCode {
                 };
                 // The faults family also tracks DSE-crash recovery: emit
                 // the failover sweep alongside the fault sweep.
-                let fo = failover_bench(&suite, opts.pes, opts.fault_seed, FAILOVER_RATES);
+                let lse_rates: Vec<u32> = match opts.lse_crash_ppm {
+                    Some(r) => vec![0, r],
+                    None => LSE_FAILOVER_RATES.to_vec(),
+                };
+                let fo = failover_bench(
+                    &suite,
+                    opts.pes,
+                    opts.fault_seed,
+                    FAILOVER_RATES,
+                    &lse_rates,
+                );
                 if let Err(e) = emit(&fo, opts.out.as_deref()) {
                     eprintln!("failed to write results: {e}");
                     return ExitCode::FAILURE;
                 }
                 faults_bench(&suite, opts.pes, opts.fault_seed, &rates)
             }
-            "failover" => failover_bench(&suite, opts.pes, opts.fault_seed, FAILOVER_RATES),
+            "failover" => {
+                let lse_rates: Vec<u32> = match opts.lse_crash_ppm {
+                    Some(r) => vec![0, r],
+                    None => LSE_FAILOVER_RATES.to_vec(),
+                };
+                failover_bench(
+                    &suite,
+                    opts.pes,
+                    opts.fault_seed,
+                    FAILOVER_RATES,
+                    &lse_rates,
+                )
+            }
             "observe" => observe_bench(&suite, opts.pes),
             "serve" => serve_bench(&suite, opts.pes, opts.sweep_threads.unwrap_or(1)),
             other => {

@@ -929,13 +929,60 @@ pub fn faults_bench(suite: &[Bench], pes: u16, seed: u64, rates: &[u32]) -> Expe
     }
 }
 
+/// Compares capacity-aware vs the historical lowest-id DSE successor
+/// election on the resolved schedule of `plan` — a pure function of the
+/// plan, no simulation. Returns `(handovers, diverged)` over every
+/// planned DSE outage sampled at its detection cycle, and panics if the
+/// capacity-aware choice ever lands on a peer with *fewer* planned free
+/// frames than the lowest-id choice (the invariant the A/B certifies).
+fn election_ab(plan: &dta_core::FaultPlan, cfg: &SystemConfig) -> (u64, u64) {
+    use dta_core::fault::FailoverSchedule;
+    let Some(s) = FailoverSchedule::from_plan(
+        plan,
+        cfg.nodes,
+        cfg.pes_per_node,
+        cfg.frame_capacity,
+        cfg.msg_latency,
+    ) else {
+        return (0, 0);
+    };
+    let (mut handovers, mut diverged) = (0u64, 0u64);
+    for node in 0..cfg.nodes {
+        let Some(o) = s.outage(node) else { continue };
+        let t = o.detect_at;
+        let (Some(a), Some(l)) = (s.arbiter(node, t), s.lowest_id_arbiter(node, t)) else {
+            continue;
+        };
+        handovers += 1;
+        if a != l {
+            diverged += 1;
+        }
+        assert!(
+            s.planned_node_capacity(a, t) >= s.planned_node_capacity(l, t),
+            "capacity-aware election re-homed node {node} to a poorer peer \
+             ({a} over {l})"
+        );
+    }
+    (handovers, diverged)
+}
+
 /// DSE crash/failover sweep (failover PR): completion rate, re-homed
 /// FALLOC traffic, resync cost and cycle overhead vs an escalating
 /// per-node crash probability, with and without planned restart. The
 /// platform is split into two nodes so a crashed DSE has a peer to fail
-/// over to. Written as `BENCH_failover.json` so successive PRs can track
-/// recovery behaviour.
-pub fn failover_bench(suite: &[Bench], pes: u16, seed: u64, rates: &[u32]) -> ExperimentResult {
+/// over to. The robustness PR added a second grid over LSE crash rates
+/// (`lse_rates`): completion rate, evacuation/re-admission/kill counts
+/// and cycle overhead per rate, alone and combined with DSE crashes,
+/// plus a capacity-aware-vs-lowest-id election A/B sampled from the
+/// resolved schedule. Written as `BENCH_failover.json` so successive PRs
+/// can track recovery behaviour.
+pub fn failover_bench(
+    suite: &[Bench],
+    pes: u16,
+    seed: u64,
+    rates: &[u32],
+    lse_rates: &[u32],
+) -> ExperimentResult {
     use dta_core::FaultPlan;
 
     const RUNS_PER_RATE: u64 = 3;
@@ -1028,11 +1075,122 @@ pub fn failover_bench(suite: &[Bench], pes: u16, seed: u64, rates: &[u32]) -> Ex
             ]);
         }
     }
+    // LSE crash grid (robustness PR): evacuation/re-admission economics
+    // per rate, alone and combined with a likely DSE crash. The A/B
+    // column certifies the capacity-aware successor election against the
+    // historical lowest-id rule on the same resolved schedule.
+    let mut lse_table = vec![vec![
+        "benchmark".to_string(),
+        "lse ppm".into(),
+        "dse crash".into(),
+        "completed".into(),
+        "lse crashes".into(),
+        "evacuated".into(),
+        "readmitted".into(),
+        "killed".into(),
+        "cycle overhead".into(),
+        "cap-aware A/B".into(),
+    ]];
+    for &bench in suite {
+        let clean = run(bench, Variant::HandPrefetch, two_nodes(pes));
+        let grid: Vec<(u32, bool, u64)> = lse_rates
+            .iter()
+            .flat_map(|&rate| {
+                [false, true]
+                    .into_iter()
+                    .flat_map(move |with_dse| (0..RUNS_PER_RATE).map(move |k| (rate, with_dse, k)))
+            })
+            .collect();
+        let mk_plan = |rate: u32, with_dse: bool, k: u64| {
+            let mut plan =
+                FaultPlan::seeded(seed.wrapping_add(k).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+            plan.lse_crash_ppm = rate;
+            plan.lse_crash_window = 20_000;
+            plan.lse_detect = 1_000;
+            plan.lse_restart_after = 10_000;
+            if with_dse {
+                plan.dse_crash_ppm = 500_000;
+                plan.dse_crash_window = 20_000;
+                plan.dse_failover_detect = 1_000;
+                plan.dse_restart_after = 10_000;
+            }
+            plan
+        };
+        let points: Vec<SweepPoint> = grid
+            .iter()
+            .map(|&(rate, with_dse, k)| {
+                let mut cfg = two_nodes(pes);
+                cfg.faults = Some(mk_plan(rate, with_dse, k));
+                SweepPoint::new(bench, Variant::HandPrefetch, cfg)
+            })
+            .collect();
+        let outcomes: Vec<Result<Row, String>> = points
+            .iter()
+            .zip(sweep(&points))
+            .map(|(p, outcome)| {
+                outcome.map(|mut row| {
+                    let plan = p.cfg.faults.as_ref().expect("seeded point");
+                    row.fault_rate_ppm = Some(plan.lse_crash_ppm);
+                    row.fault_seed = Some(plan.seed);
+                    row
+                })
+            })
+            .collect();
+        for (gi, chunk) in outcomes.chunks(RUNS_PER_RATE as usize).enumerate() {
+            let (rate, with_dse, _) = grid[gi * RUNS_PER_RATE as usize];
+            let mut completed = 0u64;
+            let (mut crashes, mut evac, mut readmit, mut killed, mut cycles) =
+                (0u64, 0u64, 0u64, 0u64, 0u64);
+            // The election A/B is a pure function of each run's plan, so
+            // it covers incomplete runs too (a tainted-kill watchdog still
+            // had a resolved schedule to elect on).
+            let (mut handovers, mut diverged) = (0u64, 0u64);
+            for k in 0..RUNS_PER_RATE {
+                let (h, d) = election_ab(&mk_plan(rate, with_dse, k), &two_nodes(pes));
+                handovers += h;
+                diverged += d;
+            }
+            for outcome in chunk {
+                match outcome {
+                    Ok(row) => {
+                        completed += 1;
+                        crashes += row.lse_crashes;
+                        evac += row.evacuated_frames;
+                        readmit += row.readmitted_instances;
+                        killed += row.killed_instances;
+                        cycles += row.cycles;
+                        rows.push(row.clone());
+                    }
+                    // A tainted kill without a recoverable replay ends in
+                    // a typed watchdog — that *is* the completion-rate
+                    // data point.
+                    Err(e) => eprintln!("  [lse-crash] run failed (counted as incomplete): {e}"),
+                }
+            }
+            let m = completed.max(1);
+            lse_table.push(vec![
+                bench.name(),
+                rate.to_string(),
+                if with_dse { "yes" } else { "no" }.into(),
+                format!("{completed}/{RUNS_PER_RATE}"),
+                format!("{:.1}", crashes as f64 / m as f64),
+                format!("{:.1}", evac as f64 / m as f64),
+                format!("{:.1}", readmit as f64 / m as f64),
+                format!("{:.1}", killed as f64 / m as f64),
+                format!("{:.2}x", (cycles as f64 / m as f64) / clean.cycles as f64),
+                if handovers == 0 {
+                    "-".into()
+                } else {
+                    format!("never-poorer ({diverged}/{handovers} diverge)")
+                },
+            ]);
+        }
+    }
     ExperimentResult {
         health: None,
         id: "BENCH_failover".into(),
         title: "DSE failover sweep: completion, re-homing cost and overhead vs crash rate".into(),
-        text: text_table(&table),
+        text: format!("{}\n{}", text_table(&table), text_table(&lse_table)),
         rows,
     }
 }
@@ -1335,7 +1493,7 @@ mod tests {
 
     #[test]
     fn quick_failover_sweep_reports_crashes() {
-        let r = failover_bench(&[Bench::Bitcnt(512)], 4, 0xDA7A, &[0, 1_000_000]);
+        let r = failover_bench(&[Bench::Bitcnt(512)], 4, 0xDA7A, &[0, 1_000_000], &[]);
         assert_eq!(r.id, "BENCH_failover");
         assert!(r.text.contains("cycle overhead"));
         // The certain-crash rows must have actually crashed and, when
@@ -1355,6 +1513,56 @@ mod tests {
             .iter()
             .filter(|row| row.fault_rate_ppm == Some(0))
             .all(|row| row.dse_crashes == 0 && row.failovers == 0));
+    }
+
+    #[test]
+    fn quick_failover_sweep_reports_lse_grid() {
+        let r = failover_bench(&[Bench::Bitcnt(512)], 4, 0xDA7A, &[], &[0, 500_000]);
+        assert_eq!(r.id, "BENCH_failover");
+        assert!(r.text.contains("lse ppm"));
+        assert!(r.text.contains("cap-aware A/B"));
+        // The likely-crash rows that completed must have crashed and
+        // re-admitted at least as much as they evacuated; the rate-0 rows
+        // must be crash-free.
+        let crashed: Vec<_> = r
+            .rows
+            .iter()
+            .filter(|row| row.fault_rate_ppm == Some(500_000) && row.lse_crashes > 0)
+            .collect();
+        assert!(!crashed.is_empty(), "no lse-crash run completed");
+        assert!(crashed
+            .iter()
+            .all(|row| row.verified && row.readmitted_instances >= row.evacuated_frames));
+        assert!(r
+            .rows
+            .iter()
+            .filter(|row| row.fault_rate_ppm == Some(0))
+            .all(|row| row.lse_crashes == 0 && row.evacuated_frames == 0));
+    }
+
+    #[test]
+    fn election_ab_certifies_capacity_aware_choice() {
+        // Certain DSE + LSE crashes on a 2-node machine: every detected
+        // handover must elect a peer at least as frame-rich as the
+        // lowest-id rule would (election_ab panics otherwise).
+        let mut cfg = pes8(8);
+        cfg.nodes = 2;
+        cfg.pes_per_node = 4;
+        let mut handovers = 0;
+        for s in 0..32u64 {
+            let mut plan = dta_core::FaultPlan::seeded(s);
+            plan.dse_crash_ppm = 500_000;
+            plan.dse_crash_window = 10_000;
+            plan.dse_failover_detect = 500;
+            plan.dse_restart_after = 10_000;
+            plan.lse_crash_ppm = 500_000;
+            plan.lse_crash_window = 10_000;
+            plan.lse_detect = 500;
+            plan.lse_restart_after = 10_000;
+            let (h, _) = election_ab(&plan, &cfg);
+            handovers += h;
+        }
+        assert!(handovers > 0, "no seed produced a DSE handover");
     }
 
     #[test]

@@ -35,6 +35,10 @@ impl ToJson for Row {
             ("failovers", self.failovers.to_json()),
             ("rehomed_fallocs", self.rehomed_fallocs.to_json()),
             ("resync_msgs", self.resync_msgs.to_json()),
+            ("lse_crashes", self.lse_crashes.to_json()),
+            ("evacuated_frames", self.evacuated_frames.to_json()),
+            ("readmitted_instances", self.readmitted_instances.to_json()),
+            ("killed_instances", self.killed_instances.to_json()),
             ("wall_ms", self.wall_ms.to_json()),
             ("parallelism", self.parallelism.to_json()),
             ("obs_mode", self.obs_mode.to_json()),

@@ -195,6 +195,16 @@ pub struct Row {
     pub rehomed_fallocs: u64,
     /// Mirror-resync registrations processed after crash or restart.
     pub resync_msgs: u64,
+    /// Planned LSE crashes delivered (robustness PR; zero without an
+    /// `lse_crash` schedule).
+    pub lse_crashes: u64,
+    /// Pre-start frames evacuated to a same-node peer at LSE crashes.
+    pub evacuated_frames: u64,
+    /// Instances re-admitted at an adopting peer (evacuees plus replayed
+    /// untainted kills, so ≥ `evacuated_frames`).
+    pub readmitted_instances: u64,
+    /// Started instances killed by LSE crashes (tainted ones are lost).
+    pub killed_instances: u64,
     /// Host wall-clock for the run, milliseconds (only the wall-clock
     /// benchmarks measure this; `None` elsewhere).
     pub wall_ms: Option<f64>,
@@ -424,6 +434,10 @@ fn row_from(bench: &Bench, variant: Variant, pes: u16, mem_latency: u64, stats: 
         failovers: stats.failovers,
         rehomed_fallocs: stats.rehomed_fallocs,
         resync_msgs: stats.resync_msgs,
+        lse_crashes: stats.lse_crashes,
+        evacuated_frames: stats.evacuated_frames,
+        readmitted_instances: stats.readmitted_instances,
+        killed_instances: stats.killed_instances,
         wall_ms: None,
         parallelism: None,
         obs_mode: None,

@@ -128,6 +128,24 @@ pub struct FaultPlan {
     /// cycles after its crash. Zero = never restarts.
     pub dse_restart_after: u64,
 
+    /// Per-PE LSE crash rate (ppm): each PE rolls once at plan build; a
+    /// PE that fires has its scheduler (and pipeline) fall silent at a
+    /// planned cycle within `lse_crash_window`. Pre-start frames are
+    /// evacuated to a live same-node peer LSE; started instances are
+    /// killed and replayed from their frame snapshot when replay is
+    /// sound (no external effects yet), or reported as lost work via a
+    /// typed error otherwise.
+    pub lse_crash_ppm: u32,
+    /// Window (cycles) within which a planned LSE crash fires; the exact
+    /// cycle is a pure hash of `(seed, pe)`.
+    pub lse_crash_window: u64,
+    /// LSE silence-detection latency in sim cycles (clamped to at least
+    /// the message latency so evacuation traffic stays epoch-safe).
+    pub lse_detect: u64,
+    /// Planned LSE outage length: a crashed LSE restarts (cold) this
+    /// many cycles after its crash. Zero = never restarts.
+    pub lse_restart_after: u64,
+
     /// Per-PE watchdog: after this many consecutive retry cycles on one
     /// instruction the instance is parked off the pipeline (re-readied by
     /// a DMA completion, or reported by the quiescence watchdog if none
@@ -154,6 +172,10 @@ impl Default for FaultPlan {
             dse_crash_window: 50_000,
             dse_failover_detect: 1_000,
             dse_restart_after: 0,
+            lse_crash_ppm: 0,
+            lse_crash_window: 50_000,
+            lse_detect: 1_000,
+            lse_restart_after: 0,
             watchdog_spin_limit: 100_000,
         }
     }
@@ -190,6 +212,11 @@ impl FaultPlan {
         self.dse_crash_ppm > 0
     }
 
+    /// Can any LSE crash under this plan?
+    pub fn has_lse_crash(&self) -> bool {
+        self.lse_crash_ppm > 0
+    }
+
     /// Canonical encoding of every fault knob, in declaration order.
     ///
     /// The seed goes through [`u64_json`]: seeds are frequently derived
@@ -214,6 +241,10 @@ impl FaultPlan {
             ("dse_crash_window", u64_json(self.dse_crash_window)),
             ("dse_failover_detect", u64_json(self.dse_failover_detect)),
             ("dse_restart_after", u64_json(self.dse_restart_after)),
+            ("lse_crash_ppm", Json::Num(self.lse_crash_ppm as f64)),
+            ("lse_crash_window", u64_json(self.lse_crash_window)),
+            ("lse_detect", u64_json(self.lse_detect)),
+            ("lse_restart_after", u64_json(self.lse_restart_after)),
             ("watchdog_spin_limit", u64_json(self.watchdog_spin_limit)),
         ])
     }
@@ -543,9 +574,12 @@ impl SystemConfig {
             op_latency: self.lse_op_latency,
             virtual_frames: self.virtual_frames,
             // Failover successors arbitrate on approximate fostered
-            // mirrors, so bounded over-grants must park instead of
-            // tripping the over-commit assert.
-            park_on_full: self.faults.is_some_and(|f| f.has_dse_crash()),
+            // mirrors (and adoption after an LSE crash consumes frames
+            // the arbiter never granted), so bounded over-grants must
+            // park instead of tripping the over-commit assert.
+            park_on_full: self
+                .faults
+                .is_some_and(|f| f.has_dse_crash() || f.has_lse_crash()),
         })
     }
 

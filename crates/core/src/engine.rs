@@ -889,8 +889,10 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
             Err(sys.cycle_limit_error())
         }
         Outcome::Exhausted => {
+            // Same lost-work gate as the sequential loops: a quiet machine
+            // with unrecovered crash work is a fault outcome.
             let live: usize = sys.pes.iter().map(|p| p.lse.live_instances()).sum();
-            if live > 0 {
+            if live > 0 || sys.unrecovered_work() > 0 {
                 sys.finalize_obs(sys.now);
                 return Err(sys.quiescence_error());
             }

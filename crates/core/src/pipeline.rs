@@ -24,7 +24,7 @@ use dta_mem::{
     MfcParams, ResourcePool, TransferKind,
 };
 use dta_obs::{GaugeKind, ObsEvent, ObsLog, ThreadEvent};
-use dta_sched::{Dest, InstanceId, Lse, LseParams, Message, MsgSeq, ThreadState};
+use dta_sched::{CrashReport, Dest, InstanceId, Lse, LseParams, Message, MsgSeq, ThreadState};
 use std::collections::VecDeque;
 
 /// A stamped outbox entry: `(absolute delivery cycle, destination,
@@ -311,6 +311,73 @@ impl Pe {
         self.current
     }
 
+    /// Would a `FallocResponse` for `for_inst` land on a live wait?
+    /// (Stale responses for instances destroyed by an LSE crash drop.)
+    pub fn expects_falloc_response(&self, for_inst: InstanceId) -> bool {
+        (self.waiting_falloc.is_some() && self.current == Some(for_inst))
+            || self.parked_fallocs.contains(&for_inst)
+    }
+
+    /// Is the pipeline blocked on a deferred scalar READ?
+    pub fn expects_read(&self) -> bool {
+        self.waiting_read.is_some()
+    }
+
+    /// The scheduled LSE crash fires on this PE: the pipeline drops every
+    /// in-flight hold on destroyed instances and the LSE classifies its
+    /// population (see [`Lse::crash`]). `evac_to` is the planned adoption
+    /// peer from the failover schedule.
+    ///
+    /// Stall attribution is closed out *at the crash cycle*: open wait
+    /// spans are normally attributed by the event that completes them,
+    /// which will never arrive now, and the idle tail must start at a
+    /// point derived from simulated history — never from the (engine-
+    /// dependent) cycle at which the dead PE happens to be visited next.
+    pub fn crash_lse(&mut self, now: u64, evac_to: Option<u16>) -> CrashReport {
+        if self.waiting_falloc.take().is_some() {
+            self.stats
+                .add_cycles(StallCat::LseStall, now - self.falloc_block_start);
+        }
+        self.current = None;
+        self.parked_fallocs.clear();
+        self.spin = 0;
+        // Execution latencies are attributed at issue (through
+        // `resume_at`), so idle time starts at whichever of issue-horizon
+        // and crash cycle is later. An open deferred READ is the
+        // exception: the sequential engine charges a READ's full latency
+        // inline at issue, so the deferred twin must stay open until its
+        // in-flight `ReadDone` closes the span ([`Self::dead_read_done`])
+        // — truncating it at the crash cycle would skew the buckets
+        // between engines.
+        if self.waiting_read.is_none() {
+            self.idle_since.get_or_insert(self.resume_at.max(now));
+        }
+        self.lse.crash(evac_to)
+    }
+
+    /// Closes a deferred READ orphaned by an LSE crash: the `ReadDone`
+    /// arrives at exactly the cycle the sequential engine's inline charge
+    /// ran through, so charging the span here (and starting the idle tail
+    /// now) keeps the buckets engine-invariant. Returns false when there
+    /// is no orphaned wait (the message is for a live post-restart READ,
+    /// or a plain stale drop).
+    pub fn dead_read_done(&mut self, now: u64) -> bool {
+        if self.current.is_none() {
+            if let Some(w) = self.waiting_read.take() {
+                self.stats.add_cycles(w.cat, now - w.start);
+                self.idle_since = Some(now);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The scheduled LSE restart fires: the PE rejoins cold (the caller
+    /// re-registers its capacity with the arbiter).
+    pub fn restart_lse(&mut self) {
+        self.lse.restart();
+    }
+
     /// Closes out trailing idle time at the end of a run so per-PE
     /// category sums equal total cycles.
     pub fn finish(&mut self, final_cycle: u64) {
@@ -450,6 +517,14 @@ impl Pe {
     pub fn tick(&mut self, now: u64, ctx: &mut SysCtx<'_>) -> Activity {
         if self.obs.metrics_on() {
             self.flush_gauges(now);
+        }
+        // A crashed LSE takes its PE down with it: the pipeline cannot
+        // dispatch (the ready queue is gone) and must not retire the
+        // in-flight instruction of a destroyed instance. `idle_since` is
+        // NOT touched here — visit times are engine-dependent; the crash
+        // and `dead_read_done` paths pin it from simulated history.
+        if self.lse.is_dead() {
+            return Activity::Idle;
         }
         if self.waiting_falloc.is_some() || self.waiting_read.is_some() {
             return Activity::Blocked(u64::MAX);
@@ -724,6 +799,7 @@ impl Pe {
                 let value = self.reg(id, rs);
                 let delay = self.msg_delay(frame.pe);
                 let stamp = self.stamp.bump();
+                self.lse.instance_mut(id).tainted = true;
                 ctx.out.push((
                     now + delay,
                     Dest::Lse(frame.pe),
@@ -734,6 +810,7 @@ impl Pe {
             }
             Instr::Falloc { rd, thread, sc } => {
                 let stamp = self.stamp.bump();
+                self.lse.instance_mut(id).tainted = true;
                 let target = ctx.failover.map_or(self.node, |f| f.route(self.node, now));
                 ctx.out.push((
                     now + self.params.msg_latency,
@@ -754,6 +831,7 @@ impl Pe {
                 let frame = FramePtr::decode_expect(self.reg(id, rframe) as u64);
                 let delay = self.msg_delay(frame.pe);
                 let stamp = self.stamp.bump();
+                self.lse.instance_mut(id).tainted = true;
                 ctx.out.push((
                     now + delay,
                     Dest::Lse(frame.pe),
@@ -800,6 +878,7 @@ impl Pe {
             Instr::Write { rs, ra, off } => {
                 let addr = (self.reg(id, ra) + off as i64) as u64;
                 let value = self.reg(id, rs) as u32;
+                self.lse.instance_mut(id).tainted = true;
                 match &mut ctx.port {
                     MemPort::Direct { sys, mem } => {
                         mem.write_u32(addr, value);
@@ -893,7 +972,13 @@ impl Pe {
                         bytes: self.src_val(id, bytes) as u32,
                     },
                 };
-                self.enqueue_dma(now, id, cmd, in_pf, ctx)
+                let r = self.enqueue_dma(now, id, cmd, in_pf, ctx);
+                // A queue-full retry has not issued anything yet; only an
+                // accepted put makes the instance unreplayable.
+                if !matches!(r, Exec::Retry(_)) {
+                    self.lse.instance_mut(id).tainted = true;
+                }
+                r
             }
             Instr::DmaYield => {
                 if self.lse.instance(id).outstanding_dma > 0 {

@@ -340,6 +340,17 @@ pub struct RunStats {
     pub rehomed_fallocs: u64,
     /// LSE re-registration messages absorbed by arbiters.
     pub resync_msgs: u64,
+    /// LSE crash/recovery — all zero without an `lse_crash` schedule.
+    ///
+    /// Planned LSE crashes that fired.
+    pub lse_crashes: u64,
+    /// Pre-start frames evacuated off crashed LSEs.
+    pub evacuated_frames: u64,
+    /// Evacuated instances re-admitted on a peer LSE.
+    pub readmitted_instances: u64,
+    /// Started instances killed by LSE crashes (untainted ones are
+    /// replayed via a fresh FALLOC; tainted ones are lost work).
+    pub killed_instances: u64,
 }
 
 impl RunStats {
@@ -421,6 +432,10 @@ impl ToJson for RunStats {
             ("failovers", self.failovers.to_json()),
             ("rehomed_fallocs", self.rehomed_fallocs.to_json()),
             ("resync_msgs", self.resync_msgs.to_json()),
+            ("lse_crashes", self.lse_crashes.to_json()),
+            ("evacuated_frames", self.evacuated_frames.to_json()),
+            ("readmitted_instances", self.readmitted_instances.to_json()),
+            ("killed_instances", self.killed_instances.to_json()),
         ])
     }
 }
@@ -528,6 +543,10 @@ impl RunStats {
             failovers: u64_field(v, "failovers")?,
             rehomed_fallocs: u64_field(v, "rehomed_fallocs")?,
             resync_msgs: u64_field(v, "resync_msgs")?,
+            lse_crashes: u64_field(v, "lse_crashes")?,
+            evacuated_frames: u64_field(v, "evacuated_frames")?,
+            readmitted_instances: u64_field(v, "readmitted_instances")?,
+            killed_instances: u64_field(v, "killed_instances")?,
         })
     }
 }
@@ -641,6 +660,10 @@ mod tests {
             failovers: 0,
             rehomed_fallocs: 0,
             resync_msgs: 0,
+            lse_crashes: 1,
+            evacuated_frames: 4,
+            readmitted_instances: 3,
+            killed_instances: 2,
         };
         let text = stats.to_json().to_string_compact();
         let back = RunStats::from_json(&dta_json::parse(&text).unwrap()).unwrap();

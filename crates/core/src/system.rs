@@ -76,6 +76,9 @@ pub enum RunError {
         /// Planned DSE crashes that fired (unrecovered work dies with a
         /// DSE when no successor ever takes over).
         crashed_dses: u64,
+        /// Planned LSE crashes that fired (tainted instances and orphaned
+        /// adoptions die with a PE's scheduler).
+        crashed_lses: u64,
         /// Per-PE breakdown of the stuck instances (PEs with no live
         /// instances are omitted).
         pes: Vec<DeadlockPe>,
@@ -115,13 +118,14 @@ impl fmt::Display for RunError {
                 stalled_dma,
                 parked,
                 crashed_dses,
+                crashed_lses,
                 pes,
             } => {
                 write!(
                     f,
                     "watchdog at cycle {cycle}: {live} instances still alive \
                      ({stalled_dma} stalled DMA commands, {parked} watchdog parks, \
-                     {crashed_dses} crashed DSEs)"
+                     {crashed_dses} crashed DSEs, {crashed_lses} crashed LSEs)"
                 )?;
                 write_pe_report(f, pes)
             }
@@ -424,6 +428,298 @@ fn deliver_failover(env: &mut DeliverEnv<'_>, now: u64, node: u16, msg: Message)
     }
 }
 
+/// Handles the LSE crash/evacuation protocol for a message addressed to
+/// `pe`'s LSE. Returns `true` when the message was consumed. Mirrors
+/// [`deliver_failover`]: every routing decision is a pure function of the
+/// schedule and the current cycle, and every post delays by at least the
+/// message latency, keeping the sharded engine's epoch barrier sound.
+fn deliver_lse_failover(env: &mut DeliverEnv<'_>, now: u64, pe: u16, msg: Message) -> bool {
+    let Some(f) = env.failover else {
+        return false;
+    };
+    let msg_latency = env.msg_latency;
+    let lse_detect = f.lse_detect_latency();
+    let node = pe / env.pes_per_node;
+    match msg {
+        Message::LseCrash => {
+            // The planned per-PE scheduler death. The LSE classifies its
+            // population (evacuate / replay / lose — see `Lse::crash`);
+            // evacuees travel to the planned peer one lease later, and
+            // parked allocations replay as fresh FALLOCs through the
+            // current arbiter (PR 3's re-homing path).
+            let o = f.lse_outage(pe).expect("crash event implies an outage");
+            let report = env.pe(pe).crash_lse(now, o.evac_to);
+            let p = env.pe(pe);
+            if p.obs.events_on() {
+                p.obs.emit(now, ObsEvent::LseCrash { pe });
+                if report.evacuated > 0 {
+                    p.obs.emit(
+                        now,
+                        ObsEvent::LseEvacuated {
+                            pe,
+                            count: report.evacuated,
+                        },
+                    );
+                }
+                if report.killed > 0 {
+                    p.obs.emit(
+                        now,
+                        ObsEvent::LseKilled {
+                            pe,
+                            count: report.killed,
+                        },
+                    );
+                }
+            }
+            if let Some(peer) = o.evac_to {
+                for ev in &report.evacuees {
+                    let stamp = env.pe(pe).stamp.bump();
+                    env.posts.push((
+                        now + lse_detect,
+                        Dest::Lse(peer),
+                        Message::LseAdopt {
+                            home: pe,
+                            index: ev.index,
+                            thread: ev.thread,
+                            sc: ev.sc,
+                            slots: ev.slots,
+                            needs_pf: ev.needs_pf,
+                        },
+                        stamp,
+                    ));
+                    // The frame snapshot follows from the same stamp
+                    // stream, so it lands after the Adopt and before any
+                    // later producer store.
+                    for &(slot, value) in &ev.values {
+                        let stamp = env.pe(pe).stamp.bump();
+                        env.posts.push((
+                            now + lse_detect,
+                            Dest::Lse(peer),
+                            Message::LseAdoptStore {
+                                home: pe,
+                                index: ev.index,
+                                slot,
+                                value,
+                                sync: false,
+                            },
+                            stamp,
+                        ));
+                    }
+                }
+            }
+            for (requester, for_inst, thread, sc, _slots, _needs_pf) in report.replay {
+                let stamp = env.pe(pe).stamp.bump();
+                env.posts.push((
+                    now + lse_detect,
+                    Dest::Dse(f.route(node, now)),
+                    Message::FallocRequest {
+                        requester,
+                        for_inst,
+                        thread,
+                        sc,
+                        hops: 0,
+                    },
+                    stamp,
+                ));
+            }
+            true
+        }
+        Message::LseRestart => {
+            // Cold rejoin: fresh frame pool (minus addresses still
+            // draining evacuation forwards); re-register the authoritative
+            // capacity with whoever arbitrates this PE now.
+            let p = env.pe(pe);
+            p.restart_lse();
+            if p.obs.events_on() {
+                p.obs.emit(now, ObsEvent::LseRestart { pe });
+            }
+            let free = p.lse.free_frames();
+            let stamp = p.stamp.bump();
+            env.posts.push((
+                now + msg_latency,
+                Dest::Dse(f.route(node, now)),
+                Message::DseRegister { pe, free },
+                stamp,
+            ));
+            true
+        }
+        Message::LseAdopt {
+            home,
+            index,
+            thread,
+            sc,
+            slots,
+            needs_pf,
+        } => {
+            let p = env.pe(pe);
+            p.lse.reserve_op(now);
+            if p.lse.is_dead() {
+                // Simultaneous crashes: the adoption peer died before the
+                // evacuee arrived. Unrecoverable.
+                p.lse.adopt_lost(home, index);
+                return true;
+            }
+            if let dta_sched::Adopted::Installed(_) =
+                p.lse.adopt(now, home, index, thread, sc, slots, needs_pf)
+            {
+                let p = env.pe(pe);
+                if p.obs.events_on() {
+                    p.obs.emit(now, ObsEvent::LseReadmitted { pe, home });
+                }
+                // The install consumed a frame outside the grant path;
+                // reset the arbiter's capacity mirror to the truth.
+                let free = p.lse.free_frames();
+                let stamp = p.stamp.bump();
+                env.posts.push((
+                    now + msg_latency,
+                    Dest::Dse(f.route(node, now)),
+                    Message::DseRegister { pe, free },
+                    stamp,
+                ));
+            }
+            true
+        }
+        Message::LseAdoptStore {
+            home,
+            index,
+            slot,
+            value,
+            sync,
+        } => {
+            let delivery = env
+                .pe(pe)
+                .lse
+                .adopt_store(now, home, index, slot, value, sync);
+            if let dta_sched::StoreDelivery::Forward {
+                peer,
+                index: local,
+                freed,
+            } = delivery
+            {
+                // This LSE adopted the frame, then crashed and evacuated
+                // it onward: chain the forward, re-keyed to our index.
+                let stamp = env.pe(pe).stamp.bump();
+                env.posts.push((
+                    now + msg_latency,
+                    Dest::Lse(peer),
+                    Message::LseAdoptStore {
+                        home: pe,
+                        index: local,
+                        slot,
+                        value,
+                        sync: true,
+                    },
+                    stamp,
+                ));
+                if freed {
+                    let stamp = env.pe(pe).stamp.bump();
+                    env.posts.push((
+                        now + msg_latency,
+                        Dest::Dse(f.route(node, now)),
+                        Message::FrameFreed { pe },
+                        stamp,
+                    ));
+                }
+            }
+            true
+        }
+        Message::Store { frame, slot, value } if env.pe(pe).lse.ever_crashed() => {
+            // Producer stores at an LSE that has crashed at least once:
+            // evacuated frames forward to their adopter, live frames
+            // apply normally, stores for destroyed instances drop (safe:
+            // every killed instance had reached SC zero or was lost with
+            // its producers' knowledge — see DESIGN.md §14).
+            let p = env.pe(pe);
+            p.lse.reserve_op(now);
+            match p.lse.store_after_crash(now, frame, slot, value) {
+                dta_sched::StoreDelivery::Applied(ready) => {
+                    if let Some(owner) = env.pe(pe).lse.frame_owner(frame) {
+                        env.record(
+                            now,
+                            pe,
+                            owner,
+                            ThreadEvent::StoreApplied {
+                                slot,
+                                became_ready: ready.is_some(),
+                            },
+                        );
+                    }
+                }
+                dta_sched::StoreDelivery::Forward { peer, index, freed } => {
+                    let stamp = env.pe(pe).stamp.bump();
+                    env.posts.push((
+                        now + msg_latency,
+                        Dest::Lse(peer),
+                        Message::LseAdoptStore {
+                            home: pe,
+                            index,
+                            slot,
+                            value,
+                            sync: true,
+                        },
+                        stamp,
+                    ));
+                    if freed {
+                        let stamp = env.pe(pe).stamp.bump();
+                        env.posts.push((
+                            now + msg_latency,
+                            Dest::Dse(f.route(node, now)),
+                            Message::FrameFreed { pe },
+                            stamp,
+                        ));
+                    }
+                }
+                _ => {}
+            }
+            true
+        }
+        _ if env.pe(pe).lse.is_dead() => {
+            // Everything except a grant (Ffree / DmaDone / DseResync)
+            // references state that died with the LSE: drop it.
+            if let Message::AllocFrame {
+                requester,
+                for_inst,
+                thread,
+                sc,
+            } = msg
+            {
+                // A grant outran crash detection: bounce it back to
+                // the current arbiter as a fresh request one lease
+                // later (by then the dead PE is excluded).
+                let stamp = env.pe(pe).stamp.bump();
+                env.posts.push((
+                    now + lse_detect,
+                    Dest::Dse(f.route(node, now)),
+                    Message::FallocRequest {
+                        requester,
+                        for_inst,
+                        thread,
+                        sc,
+                        hops: 0,
+                    },
+                    stamp,
+                ));
+            }
+            true
+        }
+        _ if env.pe(pe).lse.ever_crashed() => {
+            // Restarted LSE: stale traffic for instances destroyed by the
+            // crash must drop instead of tripping consistency panics.
+            match msg {
+                Message::DmaDone { owner, .. }
+                    if !env.pe(pe).lse.has_instance(owner)
+                        && env.pe(pe).current() != Some(owner) =>
+                {
+                    true
+                }
+                Message::Ffree { frame } if env.pe(pe).lse.frame_owner(frame).is_none() => true,
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
 /// Applies one message to its destination unit, collecting any posts it
 /// provokes. Shared verbatim between the sequential and sharded engines,
 /// which is what keeps their per-unit behaviour identical by
@@ -431,6 +727,25 @@ fn deliver_failover(env: &mut DeliverEnv<'_>, now: u64, node: u16, msg: Message)
 pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message) {
     match to {
         Dest::Dse(node) => {
+            // Detected LSE deaths are excluded from arbitration before any
+            // handling. The set is a pure function of the schedule and the
+            // cycle, so both engines recompute it identically; a shrink
+            // (an LSE restart) can re-open capacity for parked requests.
+            if let Some(f) = env.failover {
+                if f.lse_dead_any() {
+                    let di = (node - env.dse_base) as usize;
+                    let grants = env.dses[di].set_dead_pes(f.all_detected_dead_pes(now));
+                    for (target, req) in grants {
+                        let stamp = env.dse_stamps[di].bump();
+                        env.posts.push((
+                            now + env.msg_latency,
+                            Dest::Lse(target),
+                            Dse::alloc_message(req),
+                            stamp,
+                        ));
+                    }
+                }
+            }
             if env.failover.is_some() && deliver_failover(env, now, node, msg) {
                 return;
             }
@@ -587,6 +902,9 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
         }
         Dest::Lse(pe) => {
             env.pe(pe).gauge_sync(now);
+            if env.failover.is_some() && deliver_lse_failover(env, now, pe, msg) {
+                return;
+            }
             let msg_latency = env.msg_latency;
             match msg {
                 Message::AllocFrame {
@@ -700,18 +1018,44 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                             stamp,
                         ));
                     }
-                    // The capacity notification goes to whoever arbitrates
-                    // this PE right now (its home DSE, or the successor
-                    // fostering it after a crash).
+                    // A freed frame can also install a parked adoption
+                    // from a crashed peer. When it does, the frame never
+                    // returns to the pool — so instead of a FrameFreed
+                    // (which would over-credit the arbiter's mirror) we
+                    // re-register the authoritative count.
+                    let mut adopted: Vec<(u16, u32, InstanceId)> = Vec::new();
+                    if env.failover.is_some() {
+                        adopted = env.pe(pe).lse.retry_adoptions(now);
+                    }
                     let node = pe / env.pes_per_node;
                     let target = env.failover.map_or(node, |f| f.route(node, now));
-                    let stamp = env.pe(pe).stamp.bump();
-                    env.posts.push((
-                        done + msg_latency,
-                        Dest::Dse(target),
-                        Message::FrameFreed { pe },
-                        stamp,
-                    ));
+                    if adopted.is_empty() {
+                        // The capacity notification goes to whoever
+                        // arbitrates this PE right now (its home DSE, or
+                        // the successor fostering it after a crash).
+                        let stamp = env.pe(pe).stamp.bump();
+                        env.posts.push((
+                            done + msg_latency,
+                            Dest::Dse(target),
+                            Message::FrameFreed { pe },
+                            stamp,
+                        ));
+                    } else {
+                        let p = env.pe(pe);
+                        if p.obs.events_on() {
+                            for &(home, _, _) in &adopted {
+                                p.obs.emit(now, ObsEvent::LseReadmitted { pe, home });
+                            }
+                        }
+                        let free = p.lse.free_frames();
+                        let stamp = p.stamp.bump();
+                        env.posts.push((
+                            done + msg_latency,
+                            Dest::Dse(target),
+                            Message::DseRegister { pe, free },
+                            stamp,
+                        ));
+                    }
                 }
                 Message::DmaDone { owner, tag } => {
                     if env.pe(pe).obs.events_on() && env.pe(pe).lse.has_instance(owner) {
@@ -742,21 +1086,52 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                 other => panic!("LSE {pe} received unexpected message {other:?}"),
             }
         }
-        Dest::Pipeline(pe) => match msg {
-            Message::FallocResponse { frame, for_inst } => {
-                env.pe(pe).gauge_sync(now);
-                env.pe(pe).complete_falloc(now, frame, for_inst);
+        Dest::Pipeline(pe) => {
+            if env.failover.is_some() {
+                let p = env.pe(pe);
+                // A `ReadDone` whose issuing instance the crash destroyed
+                // still closes the orphaned wait span (charging the same
+                // bucket the sequential engine charged inline at issue).
+                if p.lse.ever_crashed() {
+                    if let Message::ReadDone { .. } = msg {
+                        if p.dead_read_done(now) {
+                            return;
+                        }
+                    }
+                }
+                // A dead PE's pipeline consumes nothing; after a restart,
+                // responses for instances the crash destroyed are stale
+                // and must drop instead of tripping delivery panics.
+                let p = env.pe(pe);
+                let stale = p.lse.is_dead()
+                    || (p.lse.ever_crashed()
+                        && match msg {
+                            Message::FallocResponse { for_inst, .. } => {
+                                !p.expects_falloc_response(for_inst)
+                            }
+                            Message::ReadDone { .. } => !p.expects_read(),
+                            _ => false,
+                        });
+                if stale {
+                    return;
+                }
             }
-            Message::FallocDeferred { for_inst } => {
-                env.pe(pe).gauge_sync(now);
-                env.pe(pe).defer_falloc(now, for_inst);
+            match msg {
+                Message::FallocResponse { frame, for_inst } => {
+                    env.pe(pe).gauge_sync(now);
+                    env.pe(pe).complete_falloc(now, frame, for_inst);
+                }
+                Message::FallocDeferred { for_inst } => {
+                    env.pe(pe).gauge_sync(now);
+                    env.pe(pe).defer_falloc(now, for_inst);
+                }
+                Message::ReadDone { value, ready_at } => {
+                    env.pe(pe).gauge_sync(now);
+                    env.pe(pe).complete_read(now, value, ready_at);
+                }
+                other => panic!("pipeline {pe} received unexpected message {other:?}"),
             }
-            Message::ReadDone { value, ready_at } => {
-                env.pe(pe).gauge_sync(now);
-                env.pe(pe).complete_read(now, value, ready_at);
-            }
-            other => panic!("pipeline {pe} received unexpected message {other:?}"),
-        },
+        }
     }
 }
 
@@ -897,7 +1272,15 @@ impl System {
         let failover = config
             .faults
             .as_ref()
-            .and_then(|f| FailoverSchedule::from_plan(f, config.nodes, config.msg_latency))
+            .and_then(|f| {
+                FailoverSchedule::from_plan(
+                    f,
+                    config.nodes,
+                    config.pes_per_node,
+                    config.frame_capacity,
+                    config.msg_latency,
+                )
+            })
             .map(Arc::new);
         let mut events = BinaryHeap::new();
         if let Some(f) = &failover {
@@ -925,6 +1308,33 @@ impl System {
                         },
                         to: Dest::Dse(node),
                         msg: Message::DseRestart,
+                    });
+                }
+            }
+            // Per-PE LSE injectors rank past the DSE injectors, so a
+            // same-cycle LSE crash delivers after all DSE protocol
+            // traffic — deterministically in both engines.
+            for pe in 0..config.total_pes() {
+                let Some(o) = f.lse_outage(pe) else { continue };
+                let rank = total + 2 * config.nodes as u32 + pe as u32;
+                events.push(Event {
+                    time: o.crash_at,
+                    stamp: MsgSeq {
+                        src_rank: rank,
+                        seq: 0,
+                    },
+                    to: Dest::Lse(pe),
+                    msg: Message::LseCrash,
+                });
+                if let Some(r) = o.restart_at {
+                    events.push(Event {
+                        time: r,
+                        stamp: MsgSeq {
+                            src_rank: rank,
+                            seq: 1,
+                        },
+                        to: Dest::Lse(pe),
+                        msg: Message::LseRestart,
                     });
                 }
             }
@@ -1152,7 +1562,8 @@ impl System {
         let stalled_dma: u64 = self.pes.iter().map(|p| p.mfc.stats().stalled).sum();
         let parked: u64 = self.pes.iter().map(|p| p.watchdog_parks).sum();
         let crashed: u64 = self.dses.iter().map(|d| d.stats().crashes).sum();
-        if stalled_dma + parked + crashed == 0 {
+        let crashed_lses: u64 = self.pes.iter().map(|p| p.lse.stats().crashes).sum();
+        if stalled_dma + parked + crashed + crashed_lses == 0 {
             return self.deadlock_error();
         }
         let (live, pes) = self.live_report();
@@ -1162,8 +1573,18 @@ impl System {
             stalled_dma,
             parked,
             crashed_dses: crashed,
+            crashed_lses,
             pes,
         }
+    }
+
+    /// Work the run knows it lost to LSE crashes: tainted instances
+    /// killed unrecoverably, plus adoptions that never installed. A
+    /// quiescent machine with zero live instances but non-zero lost work
+    /// did *not* complete the program — it must report a typed error, not
+    /// success with silently missing results.
+    pub(crate) fn unrecovered_work(&self) -> u64 {
+        self.pes.iter().map(|p| p.lse.unrecovered_work()).sum()
     }
 
     /// Builds the enriched cycle-limit error (same live-instance
@@ -1314,9 +1735,11 @@ impl System {
             let next_event = self.events.peek().map(|e| e.time).unwrap_or(u64::MAX);
             let target = next_event.min(next_wake);
             if target == u64::MAX {
-                // Nothing will ever happen again.
+                // Nothing will ever happen again. A quiet machine with
+                // lost work (tainted kills, orphaned adoptions) is a
+                // fault outcome, not a completed program.
                 let live: usize = self.pes.iter().map(|p| p.lse.live_instances()).sum();
-                if live > 0 {
+                if live > 0 || self.unrecovered_work() > 0 {
                     self.engine_report = report;
                     self.finalize_obs(self.now);
                     return Err(self.quiescence_error());
@@ -1465,9 +1888,10 @@ impl System {
             let next_event = self.events.peek().map(|e| e.time).unwrap_or(u64::MAX);
             let target = next_event.min(next_wake);
             if target == u64::MAX {
-                // Nothing will ever happen again.
+                // Nothing will ever happen again. Same lost-work gate as
+                // the dense loop: quiet-but-lossy runs are fault outcomes.
                 let live: usize = self.pes.iter().map(|p| p.lse.live_instances()).sum();
-                if live > 0 {
+                if live > 0 || self.unrecovered_work() > 0 {
                     self.engine_report = finish(report);
                     self.finalize_obs(self.now);
                     return Err(self.quiescence_error());
@@ -1675,6 +2099,10 @@ impl System {
             failovers: self.dses.iter().map(|d| d.stats().failovers).sum(),
             rehomed_fallocs: self.dses.iter().map(|d| d.stats().rehomed).sum(),
             resync_msgs: self.dses.iter().map(|d| d.stats().resyncs).sum(),
+            lse_crashes: self.pes.iter().map(|p| p.lse.stats().crashes).sum(),
+            evacuated_frames: self.pes.iter().map(|p| p.lse.stats().evacuated).sum(),
+            readmitted_instances: self.pes.iter().map(|p| p.lse.stats().readmitted).sum(),
+            killed_instances: self.pes.iter().map(|p| p.lse.stats().killed).sum(),
             per_pe,
             aggregate,
         }

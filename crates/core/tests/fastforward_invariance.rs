@@ -15,7 +15,7 @@
 use dta_core::{
     simulate, FaultPlan, ObsMode, Parallelism, RunError, RunStats, SchedMode, System, SystemConfig,
 };
-use dta_mem::fault::{roll, SITE_DSE_CRASH};
+use dta_mem::fault::{roll, SITE_DSE_CRASH, SITE_LSE_CRASH};
 use dta_workloads::{bitcnt, mmul, zoom, Variant, WorkloadProgram};
 use std::sync::Arc;
 
@@ -212,6 +212,59 @@ fn dse_crash_restart_is_ff_invariant() {
         }
         let (stats, sys) = go(sched, par).unwrap_or_else(|e| panic!("{sched:?}/{par:?}: {e}"));
         mmul::verify(&sys, 16).unwrap_or_else(|e| panic!("{sched:?}/{par:?} result wrong: {e}"));
+        assert_eq!(oracle_stats, stats, "{sched:?}/{par:?} stats diverged");
+        assert_eq!(
+            oracle_det,
+            sys.obs().expect("obs on").deterministic(),
+            "{sched:?}/{par:?} stream diverged"
+        );
+    }
+}
+
+/// LSE crash + cold restart on a two-node topology (robustness PR): the
+/// evacuation/re-admission protocol, kill-and-replay, and the restart
+/// resync must land on the same cycles whichever scheduler and engine
+/// runs them — the capacity-aware elections are pure functions of the
+/// schedule, so the whole matrix must agree bit-for-bit.
+#[test]
+fn lse_crash_restart_is_ff_invariant() {
+    let ppm = 500_000;
+    // Exactly one PE's LSE crashes (pe 0 of 8), same scenario-picking
+    // idiom as the chaos suite's `lse_seed_where`.
+    let want = [true, false, false, false, false, false, false, false];
+    let seed = (0..2_000_000u64)
+        .find(|&s| {
+            want.iter()
+                .enumerate()
+                .all(|(pe, &w)| roll(s, SITE_LSE_CRASH, pe as u64, ppm) == w)
+        })
+        .expect("no seed matches the wanted LSE crash pattern in 2M tries");
+    let mut plan = FaultPlan::seeded(seed);
+    plan.lse_crash_ppm = ppm;
+    plan.lse_crash_window = 5_000;
+    plan.lse_detect = 500;
+    plan.lse_restart_after = 20_000;
+
+    let go = |sched: SchedMode, par: Parallelism| {
+        let mut c = cfg(sched, par, Some(plan));
+        c.nodes = 2;
+        c.pes_per_node = 4;
+        c.max_cycles = 5_000_000;
+        let wp = bitcnt::build(1024, Variant::HandPrefetch);
+        simulate(c, Arc::new(wp.program), &wp.args)
+    };
+    let (oracle_stats, oracle_sys) =
+        go(SchedMode::Dense, Parallelism::Off).expect("dense oracle failed");
+    bitcnt::verify(&oracle_sys, 1024).expect("dense oracle result wrong");
+    assert!(oracle_stats.lse_crashes > 0, "the plan must actually crash");
+    let oracle_det = oracle_sys.obs().expect("obs on").deterministic();
+    for (sched, par) in MATRIX {
+        if (sched, par) == (SchedMode::Dense, Parallelism::Off) {
+            continue;
+        }
+        let (stats, sys) = go(sched, par).unwrap_or_else(|e| panic!("{sched:?}/{par:?}: {e}"));
+        bitcnt::verify(&sys, 1024)
+            .unwrap_or_else(|e| panic!("{sched:?}/{par:?} result wrong: {e}"));
         assert_eq!(oracle_stats, stats, "{sched:?}/{par:?} stats diverged");
         assert_eq!(
             oracle_det,

@@ -26,6 +26,10 @@ pub const SITE_FALLOC_DENY: u64 = 0x4641_4C44; // "FALD"
 /// Site salt: per-node DSE crash (silences the node's scheduler at a
 /// planned cycle; recovered by deterministic failover to a live peer).
 pub const SITE_DSE_CRASH: u64 = 0x4453_4543; // "DSEC"
+/// Site salt: per-PE LSE crash (kills a single PE's scheduler while its
+/// node's DSE survives; recovered by frame evacuation / re-admission to a
+/// live same-node peer LSE).
+pub const SITE_LSE_CRASH: u64 = 0x4C53_4543; // "LSEC"
 
 /// SplitMix64 finaliser: a high-quality 64-bit avalanche mix.
 #[inline]

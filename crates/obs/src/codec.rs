@@ -172,6 +172,11 @@ pub fn event_to_json(ev: &ObsEvent) -> Json {
             arr(vec![n(16), n(pe as u64), n(kind.slot()), u64_json(value)])
         }
         ObsEvent::Epoch { start, end } => arr(vec![n(17), u64_json(start), u64_json(end)]),
+        ObsEvent::LseCrash { pe } => arr(vec![n(18), n(pe as u64)]),
+        ObsEvent::LseRestart { pe } => arr(vec![n(19), n(pe as u64)]),
+        ObsEvent::LseEvacuated { pe, count } => arr(vec![n(20), n(pe as u64), u64_json(count)]),
+        ObsEvent::LseReadmitted { pe, home } => arr(vec![n(21), n(pe as u64), n(home as u64)]),
+        ObsEvent::LseKilled { pe, count } => arr(vec![n(22), n(pe as u64), u64_json(count)]),
     }
 }
 
@@ -240,6 +245,20 @@ pub fn event_from_json(v: &Json) -> Option<ObsEvent> {
         17 => ObsEvent::Epoch {
             start: u64_at(1)?,
             end: u64_at(2)?,
+        },
+        18 => ObsEvent::LseCrash { pe: u16_at(1)? },
+        19 => ObsEvent::LseRestart { pe: u16_at(1)? },
+        20 => ObsEvent::LseEvacuated {
+            pe: u16_at(1)?,
+            count: u64_at(2)?,
+        },
+        21 => ObsEvent::LseReadmitted {
+            pe: u16_at(1)?,
+            home: u16_at(2)?,
+        },
+        22 => ObsEvent::LseKilled {
+            pe: u16_at(1)?,
+            count: u64_at(2)?,
         },
         _ => return None,
     })
@@ -319,6 +338,11 @@ mod tests {
                 start: 100,
                 end: 200,
             },
+            ObsEvent::LseCrash { pe: 6 },
+            ObsEvent::LseRestart { pe: 6 },
+            ObsEvent::LseEvacuated { pe: 6, count: 3 },
+            ObsEvent::LseReadmitted { pe: 7, home: 6 },
+            ObsEvent::LseKilled { pe: 6, count: 2 },
         ]
     }
 

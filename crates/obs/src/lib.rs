@@ -159,6 +159,16 @@ pub enum ObsEvent {
     DseRestart { node: u16 },
     /// An LSE re-registered its free-frame count after crash/restart.
     DseResync { node: u16, pe: u16, free: u32 },
+    /// An LSE crashed, destroying its frame table.
+    LseCrash { pe: u16 },
+    /// A crashed LSE restarted with an empty frame table.
+    LseRestart { pe: u16 },
+    /// `count` pre-start frames were evacuated off a crashed LSE.
+    LseEvacuated { pe: u16, count: u64 },
+    /// An evacuated instance from `home` was re-admitted on `pe`.
+    LseReadmitted { pe: u16, home: u16 },
+    /// `count` started instances were killed by an LSE crash.
+    LseKilled { pe: u16, count: u64 },
     /// A cycle-sampled gauge value.
     Gauge {
         pe: u16,

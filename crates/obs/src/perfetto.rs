@@ -334,6 +334,41 @@ impl ObsSink for PerfettoWriter {
                 let (pid, tid) = self.dse_track(node);
                 self.instant(format!("resync pe{pe} free={free}"), ts, pid, tid);
             }
+            ObsEvent::LseCrash { pe } => {
+                self.instant("lse-crash".to_string(), ts, self.pe_pid(pe), pe as u64 + 1);
+            }
+            ObsEvent::LseRestart { pe } => {
+                self.instant(
+                    "lse-restart".to_string(),
+                    ts,
+                    self.pe_pid(pe),
+                    pe as u64 + 1,
+                );
+            }
+            ObsEvent::LseEvacuated { pe, count } => {
+                self.instant(
+                    format!("lse-evacuated x{count}"),
+                    ts,
+                    self.pe_pid(pe),
+                    pe as u64 + 1,
+                );
+            }
+            ObsEvent::LseReadmitted { pe, home } => {
+                self.instant(
+                    format!("lse-readmitted from pe{home}"),
+                    ts,
+                    self.pe_pid(pe),
+                    pe as u64 + 1,
+                );
+            }
+            ObsEvent::LseKilled { pe, count } => {
+                self.instant(
+                    format!("lse-killed x{count}"),
+                    ts,
+                    self.pe_pid(pe),
+                    pe as u64 + 1,
+                );
+            }
             ObsEvent::Epoch { .. } => {}
         }
     }

@@ -110,6 +110,18 @@ pub struct CountingSink {
     pub dse_restarts: u64,
     /// Reconciles with `RunStats::resync_msgs`.
     pub resync_msgs: u64,
+    /// Reconciles with `RunStats::lse_crashes`.
+    pub lse_crashes: u64,
+    /// LSE restarts (no `RunStats` counterpart).
+    pub lse_restarts: u64,
+    /// Summed evacuation counts — reconciles with
+    /// `RunStats::evacuated_frames`.
+    pub evacuated_frames: u64,
+    /// Reconciles with `RunStats::readmitted_instances`.
+    pub readmitted_instances: u64,
+    /// Summed kill counts — reconciles with
+    /// `RunStats::killed_instances`.
+    pub killed_instances: u64,
     /// Gauge samples seen.
     pub gauges: u64,
     /// Engine epochs seen.
@@ -137,6 +149,11 @@ impl ObsSink for CountingSink {
             ObsEvent::DseRehomed { count, .. } => self.rehomed_fallocs += count,
             ObsEvent::DseRestart { .. } => self.dse_restarts += 1,
             ObsEvent::DseResync { .. } => self.resync_msgs += 1,
+            ObsEvent::LseCrash { .. } => self.lse_crashes += 1,
+            ObsEvent::LseRestart { .. } => self.lse_restarts += 1,
+            ObsEvent::LseEvacuated { count, .. } => self.evacuated_frames += count,
+            ObsEvent::LseReadmitted { .. } => self.readmitted_instances += 1,
+            ObsEvent::LseKilled { count, .. } => self.killed_instances += count,
             ObsEvent::Gauge { .. } => self.gauges += 1,
             ObsEvent::Epoch { .. } => self.epochs += 1,
         }

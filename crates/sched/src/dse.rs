@@ -113,6 +113,12 @@ pub struct Dse {
     /// When false, a `FrameFreed` from a foreign PE is still a routing
     /// bug and panics.
     failover_enabled: bool,
+    /// Global PE indices currently excluded from arbitration because
+    /// their LSE is known dead (detected LSE crashes). Kept sorted; the
+    /// core recomputes it purely from the failover schedule at every
+    /// delivery point, so it is a function of time — never of runtime
+    /// state.
+    dead_pes: Vec<u16>,
 }
 
 impl Dse {
@@ -139,6 +145,7 @@ impl Dse {
             stats: DseStats::default(),
             alive: true,
             failover_enabled: false,
+            dead_pes: Vec::new(),
         }
     }
 
@@ -175,6 +182,9 @@ impl Dse {
         let mut best: Option<(i64, u16, bool, usize)> = None;
         for (i, &f) in self.free_mirror.iter().enumerate() {
             let pe = self.pes[i];
+            if self.dead_pes.binary_search(&pe).is_ok() {
+                continue;
+            }
             if best.is_none_or(|(bf, bpe, _, _)| (f, Reverse(pe)) > (bf, Reverse(bpe))) {
                 best = Some((f, pe, true, i));
             }
@@ -182,7 +192,7 @@ impl Dse {
         for (j, &(pe, f)) in self.foster.iter().enumerate() {
             // Foster slots never over-grant: virtual frames apply only
             // to a node's own PEs.
-            if f <= 0 {
+            if f <= 0 || self.dead_pes.binary_search(&pe).is_ok() {
                 continue;
             }
             if best.is_none_or(|(bf, bpe, _, _)| (f, Reverse(pe)) > (bf, Reverse(bpe))) {
@@ -286,6 +296,23 @@ impl Dse {
     /// Arms the crash/failover protocol (a `dse_crash` schedule exists).
     pub fn enable_failover(&mut self) {
         self.failover_enabled = true;
+    }
+
+    /// Replaces the set of PEs excluded from arbitration because their
+    /// LSE is (detectedly) dead. `pes` must come from the pure failover
+    /// schedule — a function of the current cycle only — so that every
+    /// engine recomputes the same exclusion at the same delivery.
+    /// Returns parked requests that a shrunken exclusion set can now
+    /// grant (a dead PE's restart re-opens capacity).
+    pub fn set_dead_pes(&mut self, mut pes: Vec<u16>) -> Vec<(u16, PendingFalloc)> {
+        pes.sort_unstable();
+        let reopened = pes.len() < self.dead_pes.len();
+        self.dead_pes = pes;
+        if reopened {
+            self.drain_pending()
+        } else {
+            Vec::new()
+        }
     }
 
     /// Is this DSE currently alive? (Always true without failover.)
@@ -484,6 +511,38 @@ mod tests {
         assert_eq!(d.stats().grants, 1);
         // A second re-arbitration with nothing parked is a no-op.
         assert!(d.re_arbitrate().is_empty());
+    }
+
+    #[test]
+    fn dead_pes_are_skipped_by_arbitration() {
+        let mut d = Dse::new(0, vec![0, 1, 2], 2, 1, DseParams::default());
+        d.set_dead_pes(vec![0]);
+        // PE 0 would win every tie; while dead it must never be picked.
+        assert_eq!(d.on_falloc(req(0), 0), FallocDecision::Grant { pe: 1 });
+        assert_eq!(d.on_falloc(req(0), 0), FallocDecision::Grant { pe: 2 });
+        assert_eq!(d.on_falloc(req(0), 0), FallocDecision::Grant { pe: 1 });
+    }
+
+    #[test]
+    fn all_dead_queues_and_restart_reopens() {
+        let mut d = Dse::new(0, vec![0], 2, 1, DseParams::default());
+        d.set_dead_pes(vec![0]);
+        assert_eq!(d.on_falloc(req(3), 0), FallocDecision::Queued);
+        // The restart shrinks the exclusion set and re-arbitrates.
+        let grants = d.set_dead_pes(vec![]);
+        assert_eq!(grants.len(), 1);
+        assert_eq!((grants[0].0, grants[0].1.requester), (0, 3));
+    }
+
+    #[test]
+    fn dead_foster_slots_are_skipped_too() {
+        let mut d = Dse::new(1, vec![1], 0, 2, DseParams::default());
+        d.enable_failover();
+        // Fostered capacity for PE 0 (a crashed node's PE)…
+        d.register(0, 4);
+        // …must not be granted while PE 0's LSE is itself dead.
+        d.set_dead_pes(vec![0]);
+        assert_eq!(d.on_falloc(req(1), 1), FallocDecision::Queued);
     }
 
     #[test]

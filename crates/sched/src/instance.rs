@@ -108,6 +108,12 @@ pub struct Instance {
     pub pending_falloc: Option<Reg>,
     /// Cycle at which the instance became ready (for queue-delay stats).
     pub ready_at: u64,
+    /// Has the instance performed an externally visible effect (remote
+    /// store, FALLOC, memory write, DMA-out)? Untainted instances can be
+    /// replayed from their input frame after a scheduler crash; tainted
+    /// ones cannot (replay would double their effects) and become lost
+    /// work reported by a typed error.
+    pub tainted: bool,
 }
 
 impl Instance {
@@ -139,6 +145,7 @@ impl Instance {
             dma_by_tag: [0; 32],
             pending_falloc: None,
             ready_at: 0,
+            tainted: false,
         }
     }
 

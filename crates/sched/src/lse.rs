@@ -82,6 +82,95 @@ pub struct LseStats {
     /// High-water mark of allocations parked waiting for a prefetch
     /// buffer.
     pub max_pending_allocs: usize,
+    /// Scheduled LSE crashes that fired here.
+    pub crashes: u64,
+    /// Cold restarts after a crash.
+    pub restarts: u64,
+    /// Pre-start frames evacuated to a peer at a crash.
+    pub evacuated: u64,
+    /// Evacuated (or replayed) instances installed *here* by adoption.
+    pub readmitted: u64,
+    /// Started instances destroyed by a crash before completing.
+    pub killed: u64,
+    /// Unrecoverable work: tainted kills, evacuees with no live peer,
+    /// adoptions addressed to a dead peer. Any non-zero total turns a
+    /// quiescent run into a typed error instead of a silently wrong
+    /// completion.
+    pub lost: u64,
+}
+
+/// One not-yet-started instance re-created at the evacuation peer from
+/// its frame snapshot after an LSE crash (or a started-but-effect-free
+/// instance replayed from its inputs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Evacuee {
+    /// The frame index at the crashed LSE (producers keep addressing it;
+    /// the crashed LSE forwards their stores by this key).
+    pub index: u32,
+    /// Static thread of the instance.
+    pub thread: ThreadId,
+    /// Remaining synchronisation count (0 for a replayed snapshot).
+    pub sc: u16,
+    /// Frame slot count of the thread.
+    pub slots: u16,
+    /// Whether the thread declared a prefetch buffer.
+    pub needs_pf: bool,
+    /// Non-zero slot values to replay (zero slots need no replay: peer
+    /// frames start zeroed).
+    pub values: Vec<(u16, i64)>,
+}
+
+/// Everything the core must act on after [`Lse::crash`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrashReport {
+    /// Instances to re-admit at the evacuation peer (empty when the
+    /// schedule elected no peer — those count as lost instead).
+    pub evacuees: Vec<Evacuee>,
+    /// Parked allocations that were never granted a frame, to replay as
+    /// fresh `FallocRequest`s through the arbiter DSE (PR 3's re-homing
+    /// machinery): `(requester, for_inst, thread, sc, slots, needs_pf)`.
+    pub replay: Vec<(u16, InstanceId, ThreadId, u16, u16, bool)>,
+    /// Pre-start frames evacuated (== `evacuees` entries with `sc` ≥ 0
+    /// that were not started, for the obs event).
+    pub evacuated: u64,
+    /// Started instances destroyed before completing.
+    pub killed: u64,
+    /// Work that cannot be recovered (see [`LseStats::lost`]).
+    pub lost: u64,
+}
+
+/// Outcome of delivering an `LseAdopt` to a live peer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Adopted {
+    /// Installed as a live local instance.
+    Installed(InstanceId),
+    /// Parked until a frame (or prefetch buffer) frees up; installed by
+    /// [`Lse::retry_adoptions`] out of a later `FFREE`.
+    Parked,
+}
+
+/// Outcome of delivering a store (or `LseAdoptStore`) at an LSE that has
+/// crashed at least once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreDelivery {
+    /// Applied to a live local instance (`Some` if it became ready).
+    Applied(Option<InstanceId>),
+    /// The target frame was evacuated: the caller forwards the store to
+    /// `peer` re-keyed as `(this PE, index)`; `freed` reports that the
+    /// forward drained the evacuation entry and returned the frame to
+    /// the local pool (the caller posts `FrameFreed`).
+    Forward {
+        /// The adopting peer.
+        peer: u16,
+        /// The local frame index (the adopt-store correlation key).
+        index: u32,
+        /// The entry drained and the frame rejoined the free pool.
+        freed: bool,
+    },
+    /// Buffered until the matching adoption installs.
+    Stashed,
+    /// A stale store for an instance the crash destroyed; dropped.
+    Dropped,
 }
 
 /// An allocation the LSE granted; the caller must send the
@@ -118,7 +207,26 @@ pub struct Lse {
     busy: ResourcePool,
     next_instance: u64,
     stats: LseStats,
+    /// Dead while a scheduled LSE outage is in effect (crash delivered,
+    /// restart not yet).
+    dead: bool,
+    /// Evacuated-frame forwarding: local frame index → (adopting peer,
+    /// remaining producer stores). Entries drain as forwards arrive and
+    /// survive a restart so late producers still reach the adopter.
+    evac: HashMap<u32, (u16, u16)>,
+    /// Adopted instances: (home PE, home frame index) → (local instance,
+    /// local frame index). Kept across a later own-crash so forwarded
+    /// stores can chain to the next adopter.
+    adopted: HashMap<(u16, u32), (InstanceId, u32)>,
+    /// Adoptions parked for a free frame or prefetch buffer:
+    /// `(home, index, thread, sc, slots, needs_pf)`.
+    adopt_pending: VecDeque<(u16, u32, ThreadId, u16, u16, bool)>,
+    /// Adopt-stores that arrived before their adoption installed.
+    adopt_stash: HashMap<(u16, u32), StashedStores>,
 }
+
+/// Stores stashed for a not-yet-installed adoption: `(slot, value, sync)`.
+type StashedStores = Vec<(u16, i64, bool)>;
 
 impl Lse {
     /// Creates the LSE of PE `pe`.
@@ -136,6 +244,11 @@ impl Lse {
             busy: ResourcePool::new(1),
             next_instance: 0,
             stats: LseStats::default(),
+            dead: false,
+            evac: HashMap::new(),
+            adopted: HashMap::new(),
+            adopt_pending: VecDeque::new(),
+            adopt_stash: HashMap::new(),
         }
     }
 
@@ -421,6 +534,359 @@ impl Lse {
         assert_eq!(frame.pe, self.pe, "lookup routed to the wrong LSE");
         self.frames.get(frame.index as usize).copied().flatten()
     }
+
+    /// Is the LSE currently dead (crashed, not yet restarted)?
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Has this LSE ever crashed? Gates the tolerant message paths: once
+    /// a crash destroyed instances, stale traffic addressed to them must
+    /// drop instead of tripping the consistency asserts.
+    #[inline]
+    pub fn ever_crashed(&self) -> bool {
+        self.stats.crashes > 0
+    }
+
+    /// Work this LSE knows to be unrecovered: lost instances plus
+    /// adoptions still parked (and stashed stores with no installed
+    /// adoption). Non-zero at quiescence turns the run into a typed
+    /// error.
+    pub fn unrecovered_work(&self) -> u64 {
+        self.stats.lost
+            + self.adopt_pending.len() as u64
+            + self
+                .adopt_stash
+                .values()
+                .map(|v| v.len() as u64)
+                .sum::<u64>()
+    }
+
+    /// The scheduled crash fires: classify and destroy every live
+    /// instance, arm store-forwarding for the evacuees, and report what
+    /// the core must re-admit or replay. `evac_to` is the planned
+    /// adoption peer from the failover schedule (`None` = evacuees are
+    /// lost).
+    ///
+    /// Classification (the taint rule): an instance that has not yet
+    /// started (`pc == 0`, waiting for stores or ready) is *evacuated* —
+    /// its frame snapshot re-creates it at the peer, and future producer
+    /// stores forward. A started instance without external effects
+    /// (`!tainted`: no remote store, FALLOC, memory write, or DMA-out
+    /// yet) is *killed and replayed* the same way from its input frame —
+    /// replay is sound because everything it did was local. A tainted
+    /// instance is killed unrecoverably (replay would double its
+    /// effects) and counted lost. Instances already at `STOP` merely
+    /// lose their DMA-drain bookkeeping.
+    pub fn crash(&mut self, evac_to: Option<u16>) -> CrashReport {
+        self.dead = true;
+        self.stats.crashes += 1;
+        let mut report = CrashReport::default();
+        for index in 0..self.frames.len() as u32 {
+            let Some(id) = self.frames[index as usize] else {
+                continue;
+            };
+            // A stopped instance whose DMA drained is already gone from
+            // the table while its frame awaits FFREE: nothing to recover.
+            let Some(inst) = self.instances.get(&id) else {
+                continue;
+            };
+            let pre_start = inst.pc == 0
+                && !inst.tainted
+                && matches!(inst.state, ThreadState::WaitStores | ThreadState::Ready);
+            let evacuee = |inst: &Instance| Evacuee {
+                index,
+                thread: inst.thread,
+                sc: inst.sc,
+                slots: inst.slots.len() as u16,
+                needs_pf: inst.pf_buf_addr != u32::MAX,
+                values: inst
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &v)| v != 0)
+                    .map(|(s, &v)| (s as u16, v))
+                    .collect(),
+            };
+            if pre_start {
+                self.stats.evacuated += 1;
+                report.evacuated += 1;
+                if let Some(peer) = evac_to {
+                    if inst.sc > 0 {
+                        self.evac.insert(index, (peer, inst.sc));
+                    }
+                    report.evacuees.push(evacuee(inst));
+                } else {
+                    self.stats.lost += 1;
+                    report.lost += 1;
+                }
+            } else if inst.state == ThreadState::Done {
+                // STOP already executed; only its DMA-drain bookkeeping
+                // dies with the LSE.
+            } else if !inst.tainted {
+                // Started but effect-free: kill and replay from inputs.
+                self.stats.killed += 1;
+                report.killed += 1;
+                if evac_to.is_some() {
+                    report.evacuees.push(evacuee(inst));
+                } else {
+                    self.stats.lost += 1;
+                    report.lost += 1;
+                }
+            } else {
+                self.stats.killed += 1;
+                report.killed += 1;
+                self.stats.lost += 1;
+                report.lost += 1;
+            }
+        }
+        // Parked allocations never granted a frame replay as fresh
+        // FALLOCs through the arbiter (PR 3's re-homing path).
+        report.replay = self.pending.drain(..).collect();
+        // Adoptions we never managed to install die with us.
+        while let Some((home, index, ..)) = self.adopt_pending.pop_front() {
+            self.adopt_stash.remove(&(home, index));
+            self.stats.lost += 1;
+            report.lost += 1;
+        }
+        self.instances.clear();
+        self.ready.clear();
+        self.pf_assigned.clear();
+        self.free_frames.clear();
+        for f in &mut self.frames {
+            *f = None;
+        }
+        report
+    }
+
+    /// The scheduled restart fires: rejoin cold. Frames still draining
+    /// evacuation forwards stay out of the pool until their last
+    /// producer store has been forwarded (the `(pe, index)` address must
+    /// stay unambiguous); everything else is fresh. Instance ids stay
+    /// monotonic so stale DMA owner tokens can never collide.
+    pub fn restart(&mut self) {
+        self.dead = false;
+        self.stats.restarts += 1;
+        self.frames = vec![None; self.params.frame_capacity as usize];
+        self.free_frames = (0..self.params.frame_capacity)
+            .rev()
+            .filter(|i| !self.evac.contains_key(i))
+            .collect();
+        self.pf_free = (0..self.params.pf_pool_size).rev().collect();
+        self.pf_assigned.clear();
+    }
+
+    /// Re-admits one evacuated instance from a crashed peer. Parks when
+    /// no frame (or prefetch buffer) is free right now.
+    #[allow(clippy::too_many_arguments)]
+    pub fn adopt(
+        &mut self,
+        now: u64,
+        home: u16,
+        index: u32,
+        thread: ThreadId,
+        sc: u16,
+        slots: u16,
+        needs_pf: bool,
+    ) -> Adopted {
+        match self.try_install_adoption(now, home, index, thread, sc, slots, needs_pf) {
+            Some(id) => Adopted::Installed(id),
+            None => {
+                self.adopt_pending
+                    .push_back((home, index, thread, sc, slots, needs_pf));
+                Adopted::Parked
+            }
+        }
+    }
+
+    /// An adoption addressed to this LSE while it is dead (simultaneous
+    /// crashes): the instance is unrecoverable.
+    pub fn adopt_lost(&mut self, home: u16, index: u32) {
+        self.adopt_stash.remove(&(home, index));
+        self.stats.lost += 1;
+    }
+
+    /// Retries parked adoptions after a frame freed up; returns the
+    /// installs as `(home, index, instance)` so the caller can emit
+    /// events and correct the arbiter's capacity mirror.
+    pub fn retry_adoptions(&mut self, now: u64) -> Vec<(u16, u32, InstanceId)> {
+        let mut installed = Vec::new();
+        while let Some(&(home, index, thread, sc, slots, needs_pf)) = self.adopt_pending.front() {
+            match self.try_install_adoption(now, home, index, thread, sc, slots, needs_pf) {
+                Some(id) => {
+                    self.adopt_pending.pop_front();
+                    installed.push((home, index, id));
+                }
+                None => break,
+            }
+        }
+        installed
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_install_adoption(
+        &mut self,
+        now: u64,
+        home: u16,
+        index: u32,
+        thread: ThreadId,
+        sc: u16,
+        slots: u16,
+        needs_pf: bool,
+    ) -> Option<InstanceId> {
+        if needs_pf && self.pf_free.is_empty() {
+            return None;
+        }
+        let frame_index = match self.free_frames.pop() {
+            Some(i) => i,
+            None if self.params.virtual_frames => {
+                let i = self.frames.len() as u32;
+                self.frames.push(None);
+                i
+            }
+            None => return None,
+        };
+        let id = self.fresh_instance_id();
+        let pf_buf_addr = if needs_pf {
+            let buf = self.pf_free.pop().expect("checked above");
+            self.pf_assigned.insert(id, buf);
+            self.params.pf_region_base + buf * self.params.pf_buf_bytes
+        } else {
+            u32::MAX
+        };
+        let frame = FramePtr::new(self.pe, frame_index);
+        let inst = Instance::new(id, thread, frame, sc, slots, pf_buf_addr);
+        let became_ready = inst.state == ThreadState::Ready;
+        self.frames[frame_index as usize] = Some(id);
+        self.instances.insert(id, inst);
+        self.stats.readmitted += 1;
+        self.stats.max_live_instances = self.stats.max_live_instances.max(self.instances.len());
+        self.adopted.insert((home, index), (id, frame_index));
+        if became_ready {
+            self.push_ready(id, now);
+        }
+        if let Some(entries) = self.adopt_stash.remove(&(home, index)) {
+            for (slot, value, sync) in entries {
+                self.apply_adopt_value(now, id, slot, value, sync);
+            }
+        }
+        Some(id)
+    }
+
+    fn apply_adopt_value(
+        &mut self,
+        now: u64,
+        id: InstanceId,
+        slot: u16,
+        value: i64,
+        sync: bool,
+    ) -> Option<InstanceId> {
+        let inst = self.instances.get_mut(&id).expect("just installed");
+        if sync {
+            self.stats.stores += 1;
+            if inst.store(slot, value) {
+                self.push_ready(id, now);
+                return Some(id);
+            }
+        } else {
+            // Snapshot replay: the original store was already counted
+            // (and already decremented the SC) at the crashed home.
+            inst.slots[slot as usize] = value;
+        }
+        None
+    }
+
+    /// Delivers an `LseAdoptStore` addressed `(home, index)` to this
+    /// (live) LSE.
+    pub fn adopt_store(
+        &mut self,
+        now: u64,
+        home: u16,
+        index: u32,
+        slot: u16,
+        value: i64,
+        sync: bool,
+    ) -> StoreDelivery {
+        if let Some(&(id, local_index)) = self.adopted.get(&(home, index)) {
+            if self.instances.contains_key(&id) {
+                let ready = self.apply_adopt_value(now, id, slot, value, sync);
+                return StoreDelivery::Applied(ready);
+            }
+            // We adopted it, then crashed and re-evacuated it: chain the
+            // forward to the next adopter, re-keyed to our frame index.
+            if sync && self.evac.contains_key(&local_index) {
+                let (peer, freed) = self.evac_forward(local_index).expect("checked");
+                return StoreDelivery::Forward {
+                    peer,
+                    index: local_index,
+                    freed,
+                };
+            }
+            return StoreDelivery::Dropped;
+        }
+        if self.dead {
+            return StoreDelivery::Dropped;
+        }
+        // The forward outran the (slower, lease-delayed) adoption — or
+        // the adoption is parked. Buffer until it installs.
+        self.adopt_stash
+            .entry((home, index))
+            .or_default()
+            .push((slot, value, sync));
+        StoreDelivery::Stashed
+    }
+
+    /// Delivers an ordinary producer store at an LSE that has crashed at
+    /// least once: evacuated frames forward to their adopter, live
+    /// frames apply normally, anything else is a stale store for a
+    /// destroyed instance and drops.
+    pub fn store_after_crash(
+        &mut self,
+        now: u64,
+        frame: FramePtr,
+        slot: u16,
+        value: i64,
+    ) -> StoreDelivery {
+        assert_eq!(frame.pe, self.pe, "store routed to the wrong LSE");
+        if self.evac.contains_key(&frame.index) {
+            let (peer, freed) = self.evac_forward(frame.index).expect("checked");
+            return StoreDelivery::Forward {
+                peer,
+                index: frame.index,
+                freed,
+            };
+        }
+        if self.dead {
+            return StoreDelivery::Dropped;
+        }
+        match self.frames.get(frame.index as usize).copied().flatten() {
+            Some(_) => StoreDelivery::Applied(self.store(now, frame, slot, value)),
+            None => StoreDelivery::Dropped,
+        }
+    }
+
+    /// Accounts one forwarded producer store against an evacuation
+    /// entry; drains the entry at zero and returns the frame to the pool
+    /// (the second tuple field) once the address can no longer receive
+    /// forwarded traffic.
+    fn evac_forward(&mut self, index: u32) -> Option<(u16, bool)> {
+        let entry = self.evac.get_mut(&index)?;
+        let peer = entry.0;
+        entry.1 = entry.1.saturating_sub(1);
+        if entry.1 > 0 {
+            return Some((peer, false));
+        }
+        self.evac.remove(&index);
+        if !self.dead
+            && (index as usize) < self.frames.len()
+            && self.frames[index as usize].is_none()
+        {
+            self.free_frames.push(index);
+            return Some((peer, true));
+        }
+        Some((peer, false))
+    }
 }
 
 #[cfg(test)]
@@ -625,6 +1091,214 @@ mod tests {
     fn store_to_free_frame_panics() {
         let mut l = lse();
         l.store(0, FramePtr::new(0, 0), 0, 0);
+    }
+
+    fn big_lse(pe: u16, capacity: u32) -> Lse {
+        Lse::new(
+            pe,
+            LseParams {
+                frame_capacity: capacity,
+                ..LseParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn crash_classifies_pre_start_started_and_tainted() {
+        let mut l = big_lse(0, 4);
+        // A: pre-start, one of two producer stores arrived.
+        let a = l
+            .alloc_frame(0, InstanceId(900), ThreadId(1), 2, 2, false)
+            .unwrap();
+        l.store(1, a.frame, 0, 5);
+        // B: started but effect-free (replayable from its inputs).
+        let b = l
+            .alloc_frame(0, InstanceId(900), ThreadId(2), 0, 1, false)
+            .unwrap();
+        let ib = l.instance_mut(b.instance);
+        ib.pc = 3;
+        ib.state = ThreadState::Running;
+        // C: started and tainted (already stored remotely) — lost.
+        let c = l
+            .alloc_frame(0, InstanceId(900), ThreadId(3), 0, 0, false)
+            .unwrap();
+        let ic = l.instance_mut(c.instance);
+        ic.pc = 1;
+        ic.state = ThreadState::Running;
+        ic.tainted = true;
+
+        let r = l.crash(Some(1));
+        assert!(l.is_dead());
+        assert!(l.ever_crashed());
+        assert_eq!((r.evacuated, r.killed, r.lost), (1, 2, 1));
+        assert_eq!(r.evacuees.len(), 2, "A evacuated, B replayed, C lost");
+        let ea = &r.evacuees[0];
+        assert_eq!(
+            (ea.index, ea.thread, ea.sc, ea.slots),
+            (a.frame.index, ThreadId(1), 1, 2)
+        );
+        assert_eq!(ea.values, vec![(0, 5)], "only filled slots travel");
+        let eb = &r.evacuees[1];
+        assert_eq!(
+            (eb.thread, eb.sc),
+            (ThreadId(2), 0),
+            "replay restarts from pc 0"
+        );
+        assert_eq!(l.unrecovered_work(), 1, "only C is lost work");
+        // A's outstanding producer store must forward to the peer.
+        assert_eq!(
+            l.store_after_crash(9, a.frame, 1, 6),
+            StoreDelivery::Forward {
+                peer: 1,
+                index: a.frame.index,
+                freed: false
+            }
+        );
+        // ...and once drained, further stores to the dead LSE drop.
+        assert_eq!(
+            l.store_after_crash(9, a.frame, 1, 6),
+            StoreDelivery::Dropped
+        );
+    }
+
+    #[test]
+    fn crash_without_peer_loses_evacuees() {
+        let mut l = big_lse(0, 4);
+        let a = l
+            .alloc_frame(0, InstanceId(900), ThreadId(1), 2, 2, false)
+            .unwrap();
+        let r = l.crash(None);
+        assert!(r.evacuees.is_empty());
+        assert_eq!((r.evacuated, r.lost), (1, 1));
+        assert_eq!(
+            l.store_after_crash(5, a.frame, 0, 1),
+            StoreDelivery::Dropped
+        );
+    }
+
+    #[test]
+    fn restart_excludes_frames_still_draining_forwards() {
+        let mut l = big_lse(0, 2);
+        let a = l
+            .alloc_frame(0, InstanceId(900), ThreadId(1), 2, 2, false)
+            .unwrap();
+        l.crash(Some(1));
+        // First of two outstanding stores forwards while still dead.
+        assert_eq!(
+            l.store_after_crash(5, a.frame, 0, 1),
+            StoreDelivery::Forward {
+                peer: 1,
+                index: a.frame.index,
+                freed: false
+            }
+        );
+        l.restart();
+        assert!(!l.is_dead());
+        assert_eq!(
+            l.free_frames(),
+            1,
+            "the draining frame's address must stay reserved"
+        );
+        // The last forward releases the frame back to the pool.
+        assert_eq!(
+            l.store_after_crash(9, a.frame, 1, 2),
+            StoreDelivery::Forward {
+                peer: 1,
+                index: a.frame.index,
+                freed: true
+            }
+        );
+        assert_eq!(l.free_frames(), 2);
+    }
+
+    #[test]
+    fn adoption_applies_stashed_stores_in_arrival_order() {
+        let mut peer = big_lse(1, 2);
+        // Forwards outrun the lease-delayed Adopt: buffer them.
+        assert_eq!(
+            peer.adopt_store(3, 0, 7, 1, 9, false),
+            StoreDelivery::Stashed,
+            "snapshot replay before the adoption installs"
+        );
+        assert_eq!(
+            peer.adopt_store(4, 0, 7, 0, 7, true),
+            StoreDelivery::Stashed
+        );
+        let Adopted::Installed(id) = peer.adopt(5, 0, 7, ThreadId(4), 2, 2, false) else {
+            panic!("capacity available — must install");
+        };
+        let inst = peer.instance(id);
+        assert_eq!(inst.sc, 1, "sync store decremented, raw snapshot did not");
+        assert_eq!((inst.slot(0), inst.slot(1)), (7, 9));
+        assert_eq!(peer.stats().readmitted, 1);
+        // The last producer store arrives after install and readies it.
+        assert_eq!(
+            peer.adopt_store(6, 0, 7, 1, 10, true),
+            StoreDelivery::Applied(Some(id))
+        );
+        assert_eq!(peer.pop_ready(), Some(id));
+        assert_eq!(peer.unrecovered_work(), 0);
+    }
+
+    #[test]
+    fn adoption_parks_on_full_and_retries_after_ffree() {
+        let mut peer = big_lse(1, 1);
+        let g = peer
+            .alloc_frame(1, InstanceId(900), ThreadId(0), 0, 0, false)
+            .unwrap();
+        assert_eq!(peer.pop_ready(), Some(g.instance));
+        assert_eq!(
+            peer.adopt(2, 0, 3, ThreadId(4), 0, 0, false),
+            Adopted::Parked
+        );
+        assert_eq!(
+            peer.unrecovered_work(),
+            1,
+            "parked adoption is at-risk work"
+        );
+        assert!(peer.retry_adoptions(3).is_empty(), "still full");
+        peer.stop(g.instance);
+        peer.ffree(g.frame);
+        let installed = peer.retry_adoptions(4);
+        assert_eq!(installed.len(), 1);
+        assert_eq!((installed[0].0, installed[0].1), (0, 3));
+        assert_eq!(peer.unrecovered_work(), 0);
+        assert_eq!(
+            peer.pop_ready(),
+            Some(installed[0].2),
+            "sc 0 readies at once"
+        );
+    }
+
+    #[test]
+    fn chained_crash_re_forwards_adopted_stores() {
+        let mut peer = big_lse(1, 2);
+        let Adopted::Installed(_) = peer.adopt(2, 0, 5, ThreadId(4), 2, 2, false) else {
+            panic!("must install");
+        };
+        // The adopter itself crashes; the adopted copy is pre-start so it
+        // evacuates onward, and forwards addressed to the *original* home
+        // key chain to the new peer re-keyed to this LSE's frame.
+        let r = peer.crash(Some(2));
+        assert_eq!(r.evacuated, 1);
+        let local = r.evacuees[0].index;
+        assert_eq!(
+            peer.adopt_store(9, 0, 5, 0, 1, true),
+            StoreDelivery::Forward {
+                peer: 2,
+                index: local,
+                freed: false
+            }
+        );
+    }
+
+    #[test]
+    fn adopt_at_dead_lse_is_lost_work() {
+        let mut l = big_lse(0, 2);
+        l.crash(Some(1));
+        l.adopt_lost(2, 9);
+        assert_eq!(l.stats().lost, 1);
+        assert!(l.unrecovered_work() > 0);
     }
 
     #[test]

@@ -128,6 +128,49 @@ pub enum Message {
         /// The node whose DSE restarted.
         node: u16,
     },
+    /// Fault injector → LSE: the scheduled per-PE scheduler crash fires —
+    /// the PE's LSE (and with it the pipeline) falls silent; pre-start
+    /// frames evacuate to the planned same-node peer.
+    LseCrash,
+    /// Fault injector → LSE: the scheduled LSE restart fires — the PE
+    /// rejoins cold and re-registers its capacity with the arbiter.
+    LseRestart,
+    /// Crashed LSE → evacuation peer: re-admit one not-yet-started
+    /// instance. The peer allocates a local frame for it; the original
+    /// frame's filled slots follow as raw [`Message::LseAdoptStore`]s
+    /// (`sync: false`) from the same source stamp stream, so they land in
+    /// order before any later producer store.
+    LseAdopt {
+        /// The crashed PE (global index) the instance evacuates from.
+        home: u16,
+        /// The evacuated frame's index at the crashed LSE (correlation
+        /// key for adopt-stores: producers still address `(home, index)`).
+        index: u32,
+        /// Static thread of the instance.
+        thread: ThreadId,
+        /// Remaining synchronisation count (0 for a replayed snapshot).
+        sc: u16,
+        /// Frame slot count of the thread.
+        slots: u16,
+        /// Whether the thread declared a prefetch buffer.
+        needs_pf: bool,
+    },
+    /// A store for an evacuated frame, re-addressed to the adopting peer.
+    /// `sync: false` replays the crashed frame's snapshot (raw slot set,
+    /// no SC decrement — those stores were already counted); `sync: true`
+    /// forwards a live producer store (ordinary SC-decrementing store).
+    LseAdoptStore {
+        /// The crashed PE the frame evacuated from.
+        home: u16,
+        /// The evacuated frame's index at the crashed LSE.
+        index: u32,
+        /// Destination slot.
+        slot: u16,
+        /// The 64-bit datum.
+        value: i64,
+        /// Ordinary store (`true`) vs snapshot replay (`false`).
+        sync: bool,
+    },
 }
 
 /// A routed message with a relative delivery delay.
