@@ -9,7 +9,7 @@
 //! EXPERIMENT: config table5 fig5 fig6 fig7 fig8 fig9 lat1
 //!             ablate-split ablate-vfp ablate-hw
 //!             ext-cache ext-spxp ext-wholeobj
-//!             parallel speed faults failover observe serve all
+//!             parallel speed faults failover observe profile serve all
 //!             (default: all)
 //! --quick     scaled-down workload sizes (CI-friendly)
 //! --pes N     PEs for the non-scalability experiments (default 8)
@@ -60,7 +60,7 @@
 use dta_bench::experiments::{
     ablate_hw, ablate_split, ablate_vfp, config, ext_cache, ext_spxp, ext_wholeobj, failover_bench,
     faults_bench, fig5, fig9, fig_exec_scalability, lat1, observe_bench, parallel_bench,
-    serve_bench, speed_bench, table5,
+    profile_bench, serve_bench, speed_bench, table5,
 };
 use dta_bench::{emit, Bench, ExperimentResult};
 use std::path::PathBuf;
@@ -247,6 +247,7 @@ fn parse_args() -> Result<Options, String> {
             "speed",
             "faults", // also emits the failover sweep
             "observe",
+            "profile",
             "serve",
         ]
         .map(str::to_string)
@@ -374,6 +375,7 @@ fn main() -> ExitCode {
                 )
             }
             "observe" => observe_bench(&suite, opts.pes),
+            "profile" => profile_bench(&suite, opts.pes, opts.fault_seed),
             "serve" => serve_bench(&suite, opts.pes, opts.sweep_threads.unwrap_or(1)),
             other => {
                 eprintln!("unknown experiment {other:?} (try --help)");

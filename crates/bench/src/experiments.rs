@@ -62,6 +62,10 @@ pub struct ExperimentResult {
     /// Service supervision counters ([`dta_serve::ServiceHealth`] as
     /// JSON) for experiments that own a service; `None` elsewhere.
     pub health: Option<dta_json::Json>,
+    /// Structured profiling payload (`profile` experiment only):
+    /// attribution tables, critical-path summaries and the host engine
+    /// profile, one entry per run point.
+    pub profile: Option<dta_json::Json>,
 }
 
 fn pes8(suite_pes: u16) -> SystemConfig {
@@ -97,6 +101,7 @@ pub fn config() -> ExperimentResult {
     );
     ExperimentResult {
         health: None,
+        profile: None,
         id: "config".into(),
         title: "Tables 2-4: platform parameters".into(),
         rows: Vec::new(),
@@ -151,6 +156,7 @@ pub fn table5(suite: &[Bench], pes: u16) -> ExperimentResult {
     }
     ExperimentResult {
         health: None,
+        profile: None,
         id: "table5".into(),
         title: "Table 5: dynamic instruction counts (original DTA)".into(),
         text: text_table(&table),
@@ -195,6 +201,7 @@ pub fn fig5(suite: &[Bench], pes: u16) -> ExperimentResult {
     }
     ExperimentResult {
         health: None,
+        profile: None,
         id: "fig5".into(),
         title: "Figure 5: SPU execution-time breakdown (no-prefetch vs prefetch)".into(),
         text: text_table(&table),
@@ -252,6 +259,7 @@ pub fn fig_exec_scalability(id: &str, bench: Bench, max_pes: u16) -> ExperimentR
     }
     ExperimentResult {
         health: None,
+        profile: None,
         id: id.into(),
         title: format!("{}: execution time & scalability for {}", id, bench.name()),
         text: text_table(&table),
@@ -287,6 +295,7 @@ pub fn fig9(suite: &[Bench], pes: u16) -> ExperimentResult {
     }
     ExperimentResult {
         health: None,
+        profile: None,
         id: "fig9".into(),
         title: "Figure 9: pipeline usage (no-prefetch vs prefetch)".into(),
         text: text_table(&table),
@@ -346,6 +355,7 @@ pub fn lat1(suite: &[Bench], pes: u16) -> ExperimentResult {
     }
     ExperimentResult {
         health: None,
+        profile: None,
         id: "lat1".into(),
         title: "§4.3: all memory latencies = 1 cycle (always-hit bound)".into(),
         text: text_table(&table),
@@ -392,6 +402,7 @@ pub fn ablate_split(n: usize, pes: u16) -> ExperimentResult {
     rows.extend([base, single, split]);
     ExperimentResult {
         health: None,
+        profile: None,
         id: "ablate-split".into(),
         title: format!("Ablation: strided DMA vs split transactions, colsum({n})"),
         text: text_table(&table),
@@ -464,6 +475,7 @@ pub fn ablate_vfp(n: usize, pes: u16) -> ExperimentResult {
     }
     ExperimentResult {
         health: None,
+        profile: None,
         id: "ablate-vfp".into(),
         title: format!("Ablation: virtual frame pointers x frame capacity, bitcnt({n})"),
         text: text_table(&table),
@@ -507,6 +519,7 @@ pub fn ablate_hw(n: usize, pes: u16) -> ExperimentResult {
     }
     ExperimentResult {
         health: None,
+        profile: None,
         id: "ablate-hw".into(),
         title: format!("Ablation: bus count × MFC queue depth, mmul({n}) prefetched"),
         text: text_table(&table),
@@ -566,6 +579,7 @@ pub fn ext_cache(mmul_n: usize, zoom_n: usize, pes: u16) -> ExperimentResult {
     }
     ExperimentResult {
         health: None,
+        profile: None,
         id: "ext-cache".into(),
         title: "Extension: DMA prefetch vs a data cache (paper §4.3's missing module)".into(),
         text: text_table(&table),
@@ -609,6 +623,7 @@ pub fn ext_spxp(suite: &[Bench], pes: u16) -> ExperimentResult {
     }
     ExperimentResult {
         health: None,
+        profile: None,
         id: "ext-spxp".into(),
         title: "Extension: PF blocks on the LSE's SP pipeline (DTA-C overlap)".into(),
         text: text_table(&table),
@@ -695,6 +710,7 @@ pub fn ext_wholeobj(n: usize, pes: u16) -> ExperimentResult {
     rows.extend([base_row, auto_row]);
     ExperimentResult {
         health: None,
+        profile: None,
         id: "ext-wholeobj".into(),
         title: format!("Extension: whole-structure table prefetch, bitcnt({n})"),
         text: text_table(&table),
@@ -761,6 +777,7 @@ pub fn parallel_bench(mmul_n: usize, pes: u16) -> ExperimentResult {
     }
     ExperimentResult {
         health: None,
+        profile: None,
         id: "BENCH_parallel".into(),
         title: format!("Engine wall-clock: sequential vs epoch-sharded, mmul({mmul_n}) {pes} PEs"),
         text,
@@ -826,6 +843,7 @@ pub fn speed_bench(cases: &[(Bench, Variant, u16)]) -> ExperimentResult {
     }
     ExperimentResult {
         health: None,
+        profile: None,
         id: "BENCH_speed".into(),
         title: "Scheduler wall-clock: dense cycle loop vs event-driven fast-forward".into(),
         text: text_table(&table),
@@ -922,6 +940,7 @@ pub fn faults_bench(suite: &[Bench], pes: u16, seed: u64, rates: &[u32]) -> Expe
     }
     ExperimentResult {
         health: None,
+        profile: None,
         id: "BENCH_faults".into(),
         title: "Fault-injection sweep: recovery cost and degradation vs rate".into(),
         text: text_table(&table),
@@ -1188,6 +1207,7 @@ pub fn failover_bench(
     }
     ExperimentResult {
         health: None,
+        profile: None,
         id: "BENCH_failover".into(),
         title: "DSE failover sweep: completion, re-homing cost and overhead vs crash rate".into(),
         text: format!("{}\n{}", text_table(&table), text_table(&lse_table)),
@@ -1280,8 +1300,207 @@ pub fn observe_bench(suite: &[Bench], pes: u16) -> ExperimentResult {
     ));
     ExperimentResult {
         health: None,
+        profile: None,
         id: "BENCH_observe".into(),
         title: "Observability overhead: bus off vs event rings vs full metrics + Perfetto".into(),
+        text,
+        rows,
+    }
+}
+
+/// Cycle-exact profiling (observability PR): run the suite under full
+/// observability, with and without a seeded fault plan, and derive the
+/// paper's Figure-5-style stall breakdown from the exclusive
+/// [`dta_core::FineCat`] attribution — plus the cross-unit critical
+/// path, per-thread PF coverage, and the host engine profile. Two hard
+/// invariants are asserted on every point: per-PE fine categories sum
+/// *exactly* to that PE's cycles (conservation), and the
+/// attribution-side overlap census never exceeds the event-derived
+/// `MetricsReport` overlap (the former excludes intra-span stalls).
+/// Written as `BENCH_profile.json`; the structured payload (attribution
+/// tables, critical-path summaries, engine profile) rides in
+/// [`ExperimentResult::profile`].
+pub fn profile_bench(suite: &[Bench], pes: u16, seed: u64) -> ExperimentResult {
+    use crate::runner::{row_from_result, service};
+    use dta_core::{analyze, FaultPlan, FineCat, ObsMode};
+    use dta_json::{Json, ToJson};
+
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    let mut table = vec![{
+        let mut h = vec!["benchmark".to_string(), "faults".into(), "cycles".into()];
+        h.extend(FineCat::ALL.iter().map(|c| format!("{}%", c.name())));
+        h.push("dominant edge".into());
+        h.push("PF coverage".into());
+        h
+    }];
+    let mut host = vec![vec![
+        "benchmark".to_string(),
+        "faults".into(),
+        "visited".into(),
+        "PE ticks".into(),
+        "PE deliv".into(),
+        "DSE deliv".into(),
+        "mem req".into(),
+        "shard wall us".into(),
+        "merge us".into(),
+        "heap mean/max".into(),
+    ]];
+    let mut tail = String::new();
+    for (bi, &bench) in suite.iter().enumerate() {
+        for faulted in [false, true] {
+            let mut cfg = pes8(pes);
+            // Attribution analysis needs the full event stream; the
+            // counters themselves are engine- and obs-invariant.
+            cfg.obs.mode = ObsMode::All;
+            if faulted {
+                let mut plan = FaultPlan::seeded(
+                    seed.wrapping_add(bi as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        | 1,
+                );
+                plan.dma_fail_ppm = 10_000;
+                plan.msg_drop_ppm = 1_000;
+                plan.msg_dup_ppm = 1_000;
+                plan.msg_delay_ppm = 1_000;
+                plan.falloc_deny_ppm = 2_500;
+                cfg.faults = Some(plan);
+            }
+            let job = job_for(bench, Variant::HandPrefetch, cfg.clone());
+            let done = service().submit(&job);
+            let mut row = match row_from_result(bench, Variant::HandPrefetch, &cfg, &done.result) {
+                Ok(row) => row,
+                Err(e) => {
+                    tail.push_str(&format!("skipped (did not complete): {e}\n"));
+                    continue;
+                }
+            };
+            if let Some(plan) = &cfg.faults {
+                row.fault_rate_ppm = Some(plan.dma_fail_ppm);
+                row.fault_seed = Some(plan.seed);
+            }
+            let out = done.result.outcome.as_ref().expect("row built from Ok");
+
+            // Conservation: every simulated PE-cycle is charged to
+            // exactly one exclusive fine category — with or without
+            // injected faults.
+            for (pe, p) in out.stats.per_pe.iter().enumerate() {
+                assert_eq!(
+                    p.total_fine_cycles(),
+                    p.total_cycles(),
+                    "fine-attribution conservation violated on PE {pe} of {} (faults {})",
+                    bench.name(),
+                    faulted,
+                );
+            }
+            // Reconciliation: the attribution overlap census (compute
+            // cycles with DMA in flight) is a strict subset of the
+            // busy-span overlap the metrics fold reports.
+            let attr_overlap: u64 = out.stats.per_pe.iter().map(|p| p.attr_overlap_cycles).sum();
+            assert!(
+                attr_overlap <= row.overlap_cycles,
+                "attribution overlap {attr_overlap} exceeds metrics overlap {} on {}",
+                row.overlap_cycles,
+                bench.name(),
+            );
+            if !faulted {
+                assert!(
+                    attr_overlap > 0 && row.overlap_cycles > 0,
+                    "hand-PF {} reported no DMA/compute overlap",
+                    bench.name(),
+                );
+            }
+
+            let stream = out.obs.as_ref().expect("ObsMode::All collects a stream");
+            let fine: Vec<_> = out.stats.per_pe.iter().map(|p| p.fine).collect();
+            let cycles: Vec<u64> = out.stats.per_pe.iter().map(|p| p.total_cycles()).collect();
+            let names: Vec<String> = job.program.threads.iter().map(|t| t.name.clone()).collect();
+            let analysis = analyze(&stream.records, &fine, &cycles, &names);
+
+            let totals = analysis.totals();
+            let total_cycles: u64 = cycles.iter().sum();
+            let (dec, blk) = analysis.threads.iter().fold((0u64, 0u64), |(d, b), t| {
+                (d + t.reads_decoupled, b + t.reads_blocking)
+            });
+            let coverage = if dec + blk == 0 {
+                1.0
+            } else {
+                dec as f64 / (dec + blk) as f64
+            };
+            let dominant = analysis
+                .critical_path
+                .dominant()
+                .map_or("-".to_string(), |e| e.kind.name().to_string());
+            let flabel = if faulted { "seeded" } else { "off" };
+            let mut cells = vec![bench.name(), flabel.into(), row.cycles.to_string()];
+            cells.extend(FineCat::ALL.iter().map(|&c| {
+                format!(
+                    "{:.1}",
+                    100.0 * totals[c as usize] as f64 / total_cycles.max(1) as f64
+                )
+            }));
+            cells.push(dominant.clone());
+            cells.push(format!("{:.0}%", 100.0 * coverage));
+            table.push(cells);
+            host.push(vec![
+                bench.name(),
+                flabel.into(),
+                row.visited_cycles.to_string(),
+                row.pe_ticks.to_string(),
+                row.pe_deliveries.to_string(),
+                row.dse_deliveries.to_string(),
+                row.mem_requests.to_string(),
+                row.shard_wall_us.iter().sum::<u64>().to_string(),
+                row.merge_wall_us.to_string(),
+                format!("{:.1}/{}", row.wake_heap_mean, row.wake_heap_max),
+            ]);
+            let cp = &analysis.critical_path;
+            tail.push_str(&format!(
+                "{} [faults {flabel}]: critical path [{}..{}] across {} instances, \
+                 dominant edge {dominant}",
+                bench.name(),
+                cp.start_cycle,
+                cp.end_cycle,
+                cp.instances,
+            ));
+            if let Some(d) = cp.dominant() {
+                tail.push_str(&format!(
+                    " ({} cycles over {} segments, {:.0}% of walked path)",
+                    d.cycles,
+                    d.count,
+                    100.0 * d.cycles as f64 / cp.total_cycles().max(1) as f64
+                ));
+            }
+            tail.push('\n');
+
+            payload.push(Json::obj([
+                ("bench", Json::Str(bench.name())),
+                ("variant", Variant::HandPrefetch.label().to_json()),
+                ("faulted", faulted.to_json()),
+                (
+                    "fault_seed",
+                    cfg.faults
+                        .as_ref()
+                        .map_or(Json::Null, |p| dta_json::u64_json(p.seed)),
+                ),
+                ("attr_overlap_cycles", attr_overlap.to_json()),
+                ("metrics_overlap_cycles", row.overlap_cycles.to_json()),
+                ("analysis", analysis.to_json()),
+                ("engine", out.engine.to_json()),
+            ]));
+            rows.push(row);
+        }
+    }
+    let mut text = text_table(&table);
+    text.push('\n');
+    text.push_str(&text_table(&host));
+    text.push('\n');
+    text.push_str(&tail);
+    ExperimentResult {
+        health: None,
+        profile: Some(Json::Arr(payload)),
+        id: "BENCH_profile".into(),
+        title: "Stall attribution, critical path and host engine profile (hand-PF, ±faults)".into(),
         text,
         rows,
     }
@@ -1422,6 +1641,7 @@ pub fn serve_bench(suite: &[Bench], max_pes: u16, threads: usize) -> ExperimentR
     ));
     ExperimentResult {
         health: Some(health.to_json()),
+        profile: None,
         id: "BENCH_serve".into(),
         title: "Service cache: repeated fig6/7/8 PE grid through dta-serve".into(),
         text,

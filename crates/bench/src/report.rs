@@ -52,6 +52,13 @@ impl ToJson for Row {
             ("skipped_ticks", self.skipped_ticks.to_json()),
             ("epochs", self.epochs.to_json()),
             ("merged_epochs", self.merged_epochs.to_json()),
+            ("shard_wall_us", self.shard_wall_us.to_json()),
+            ("merge_wall_us", self.merge_wall_us.to_json()),
+            ("pe_deliveries", self.pe_deliveries.to_json()),
+            ("dse_deliveries", self.dse_deliveries.to_json()),
+            ("mem_requests", self.mem_requests.to_json()),
+            ("wake_heap_mean", self.wake_heap_mean.to_json()),
+            ("wake_heap_max", self.wake_heap_max.to_json()),
             ("job_key", self.job_key.to_json()),
             ("cache_hit", self.cache_hit.to_json()),
         ])
@@ -68,6 +75,9 @@ impl ToJson for ExperimentResult {
         ];
         if let Some(health) = &self.health {
             fields.push(("health", health.clone()));
+        }
+        if let Some(profile) = &self.profile {
+            fields.push(("profile", profile.clone()));
         }
         Json::obj(fields)
     }

@@ -235,6 +235,23 @@ pub struct Row {
     pub epochs: u64,
     /// Fixed-width epochs the adaptive coordinator merged away.
     pub merged_epochs: u64,
+    /// Per-shard host wall time, µs (one entry per shard; the sequential
+    /// engines report a single entry). Host-side — cached rows replay
+    /// the producing run's clock.
+    pub shard_wall_us: Vec<u64>,
+    /// Host wall time spent in epoch-barrier merges, µs.
+    pub merge_wall_us: u64,
+    /// Events delivered to PEs (LSE + pipeline) — per-unit host work.
+    pub pe_deliveries: u64,
+    /// Events delivered to DSEs (DSEs never tick; this is their entire
+    /// host cost).
+    pub dse_deliveries: u64,
+    /// Shared memory-system transactions served.
+    pub mem_requests: u64,
+    /// Mean fast-forward wake-heap occupancy (0 under dense).
+    pub wake_heap_mean: f64,
+    /// Peak fast-forward wake-heap occupancy.
+    pub wake_heap_max: u64,
     /// Content hash of the job that produced this row (`JobKey` hex).
     pub job_key: String,
     /// Whether this row was served from the result cache (memory, disk
@@ -293,6 +310,13 @@ pub(crate) fn row_from_result(
     row.skipped_ticks = out.engine.skipped_ticks;
     row.epochs = out.engine.epochs;
     row.merged_epochs = out.engine.merged_epochs;
+    row.shard_wall_us = out.engine.shard_wall_us.clone();
+    row.merge_wall_us = out.engine.merge_wall_us;
+    row.pe_deliveries = out.engine.pe_deliveries;
+    row.dse_deliveries = out.engine.dse_deliveries;
+    row.mem_requests = out.engine.mem_requests;
+    row.wake_heap_mean = out.engine.wake_heap_occupancy.mean();
+    row.wake_heap_max = out.engine.wake_heap_occupancy.max;
     if let Some(stream) = &out.obs {
         row.obs_events = stream.len() as u64;
         row.obs_dropped = stream.dropped;
@@ -451,6 +475,13 @@ fn row_from(bench: &Bench, variant: Variant, pes: u16, mem_latency: u64, stats: 
         skipped_ticks: 0,
         epochs: 0,
         merged_epochs: 0,
+        shard_wall_us: Vec::new(),
+        merge_wall_us: 0,
+        pe_deliveries: 0,
+        dse_deliveries: 0,
+        mem_requests: 0,
+        wake_heap_mean: 0.0,
+        wake_heap_max: 0,
         job_key: String::new(),
         cache_hit: false,
     }

@@ -198,11 +198,18 @@ impl Shard {
     /// epoch_w`, since nothing initiated at `c` can take effect — or
     /// provoke a response — before `c + epoch_w` (DESIGN.md §12).
     fn run_epoch(&mut self, e_start: u64, mut e_end: u64, adaptive: bool, program: &Program) {
+        let wall = std::time::Instant::now();
         let ff = self.sched == SchedMode::FastForward;
         let mut t = self.next_ready().max(e_start);
         while t < e_end {
             self.last_t = t;
             self.report.visited_cycles += 1;
+            if ff {
+                // Host-side heap pressure, sampled once per visited
+                // cycle (stale lazy-invalidation entries are real
+                // occupancy).
+                self.report.wake_heap_occupancy.add(self.wheap.len() as u64);
+            }
 
             while self.events.peek().is_some_and(|e| e.time <= t) {
                 let e = self.events.pop().expect("peeked");
@@ -210,6 +217,10 @@ impl Shard {
                     // Injected duplicate — discard (same rule as the
                     // sequential engine's event pop).
                     continue;
+                }
+                match e.to {
+                    Dest::Lse(_) | Dest::Pipeline(_) => self.report.pe_deliveries += 1,
+                    Dest::Dse(_) => self.report.dse_deliveries += 1,
                 }
                 if ff {
                     // A delivery to a PE means it must tick this cycle.
@@ -319,6 +330,13 @@ impl Shard {
             }
         }
         self.next_hint = t;
+        // Accumulate this epoch's body wall time into the shard total
+        // (single slot; reassembly collects one entry per shard).
+        let us = wall.elapsed().as_micros() as u64;
+        match self.report.shard_wall_us.first_mut() {
+            Some(acc) => *acc += us,
+            None => self.report.shard_wall_us.push(us),
+        }
     }
 }
 
@@ -697,6 +715,7 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
     };
     let mut epochs = 0u64;
     let mut merged_epochs = 0u64;
+    let mut merge_wall_us = 0u64;
     let stream_every = sys.config.obs_stream_interval();
     let mut stream_sink = sys.stream_sink.take();
     let mut streamed: Vec<ObsRecord> = Vec::new();
@@ -726,7 +745,9 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
                 shard.run_epoch(e, e_end, adaptive, &program);
             }
             let mut refs: Vec<&mut Shard> = shards.iter_mut().collect();
+            let merge_t0 = std::time::Instant::now();
             let (next, next2) = merge_epoch(&mut refs, &mut mctx);
+            merge_wall_us += merge_t0.elapsed().as_micros() as u64;
             if stream_every > 0 && next != u64::MAX && next.saturating_sub(1) >= stream_next {
                 stream_epoch(
                     refs.iter_mut().map(|s| &mut **s),
@@ -811,7 +832,9 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
                     .map(|m| m.lock().expect("shard mutex poisoned"))
                     .collect();
                 let mut refs: Vec<&mut Shard> = guards.iter_mut().map(|g| &mut **g).collect();
+                let merge_t0 = std::time::Instant::now();
                 let (next, next2) = merge_epoch(&mut refs, &mut mctx);
+                merge_wall_us += merge_t0.elapsed().as_micros() as u64;
                 if stream_every > 0 && next != u64::MAX && next.saturating_sub(1) >= stream_next {
                     stream_epoch(
                         refs.iter_mut().map(|s| &mut **s),
@@ -855,6 +878,8 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
     let mut report = EngineReport {
         epochs,
         merged_epochs,
+        merge_wall_us,
+        mem_requests: sys.memsys.stats().total(),
         ..EngineReport::default()
     };
     for shard in &mut shards {
@@ -867,6 +892,14 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
             .visited_cycles
             .saturating_mul(npes)
             .saturating_sub(shard.report.pe_ticks);
+        report
+            .shard_wall_us
+            .push(shard.report.shard_wall_us.first().copied().unwrap_or(0));
+        report
+            .wake_heap_occupancy
+            .absorb(&shard.report.wake_heap_occupancy);
+        report.pe_deliveries += shard.report.pe_deliveries;
+        report.dse_deliveries += shard.report.dse_deliveries;
         sys.pes.append(&mut shard.pes);
         sys.dses.append(&mut shard.dses);
         sys.dse_stamps.append(&mut shard.dse_stamps);

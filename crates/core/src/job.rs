@@ -40,7 +40,7 @@ use std::sync::Arc;
 /// stored format disagrees are discarded on load). Bump it whenever the
 /// canonical config form, the program byte encoding, or the result
 /// encoding changes meaning.
-pub const JOB_FORMAT_VERSION: u32 = 2;
+pub const JOB_FORMAT_VERSION: u32 = 3;
 
 /// Content hash identifying a job (see the module docs for the exact
 /// preimage). Rendered as 32 lowercase hex digits in reports and file
@@ -498,9 +498,20 @@ pub struct JobOutput {
 
 impl JobOutput {
     fn to_json(&self) -> Json {
+        // Wall-clock fields are host-nondeterministic: two simulations
+        // of the same job must produce byte-identical canonical results
+        // (the quarantine-and-resimulate contract), so the canonical
+        // form zeroes them. Live runs expose the real numbers through
+        // the in-memory `JobOutput`; a cache hit reports none, which is
+        // accurate — it did no simulation work.
+        let engine = EngineReport {
+            shard_wall_us: Vec::new(),
+            merge_wall_us: 0,
+            ..self.engine.clone()
+        };
         Json::obj([
             ("stats", self.stats.to_json()),
-            ("engine", self.engine.to_json()),
+            ("engine", engine.to_json()),
             ("globals", self.globals.to_json()),
             (
                 "obs",
@@ -646,7 +657,7 @@ pub fn run_job_with_sink(
     let outcome = match run {
         Ok(stats) => Ok(JobOutput {
             stats,
-            engine: sys.engine_report(),
+            engine: sys.engine_report().clone(),
             globals: sys.snapshot_globals(),
             obs: sys.obs().cloned(),
         }),
@@ -759,7 +770,15 @@ mod tests {
             .is_ok_and(|o| o.obs.as_ref().is_some_and(|s| !s.records.is_empty())));
         let text = result.canonical_string();
         let back = JobResult::from_canonical_str(&text).expect("canonical form decodes");
-        assert_eq!(back, result);
+        // The canonical form deliberately zeroes host wall-clock fields
+        // (nondeterministic; see `JobOutput::to_json`) — everything else
+        // must survive, and the re-encode must be byte-identical.
+        let mut normalized = result.clone();
+        if let Ok(out) = &mut normalized.outcome {
+            out.engine.shard_wall_us = Vec::new();
+            out.engine.merge_wall_us = 0;
+        }
+        assert_eq!(back, normalized);
         assert_eq!(back.canonical_string(), text, "re-encode is byte-identical");
     }
 

@@ -70,6 +70,7 @@ pub use trace::{Trace, TraceKind, TraceRecord};
 // export). Re-exported so downstream crates need no direct `dta-obs`
 // dependency to consume `System::obs`/`metrics`/`perfetto_trace`.
 pub use dta_obs::{
-    CountingSink, GaugeKind, Histogram, MetricsReport, MetricsSink, NullSink, ObsEvent, ObsRecord,
-    ObsSink, ObsStream, PerfettoWriter, RingSink, ThreadEvent, TrackLayout,
+    analyze, Analysis, CountingSink, CriticalPath, EdgeKind, FineCat, GaugeKind, Histogram,
+    MetricsReport, MetricsSink, NullSink, ObsEvent, ObsRecord, ObsSink, ObsStream, PeAttribution,
+    PerfettoWriter, RingSink, ThreadBreakdown, ThreadEvent, TrackLayout, NUM_FINE,
 };

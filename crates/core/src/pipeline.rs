@@ -14,7 +14,7 @@
 //! spent anywhere inside a PF code block (including waiting for a full MFC
 //! queue) are *Prefetching* overhead, as in the paper's Fig. 5.
 
-use crate::stats::{PeStats, StallCat};
+use crate::stats::{FineCat, PeStats, StallCat};
 use dta_isa::{
     CodeBlock, FramePtr, IClass, Instr, Program, Reg, Src, FRAME_PTR_REG, NUM_REGS,
     PREFETCH_BASE_REG,
@@ -161,9 +161,13 @@ enum Exec {
     /// Taken branch/jump to this pc.
     Redirect(u32),
     /// Could not issue (e.g. MFC queue full); retry next cycle.
-    Retry(StallCat),
+    Retry(StallCat, FineCat),
     /// Issued; pipeline blocked until the given cycle.
-    Block { until: u64, cat: StallCat },
+    Block {
+        until: u64,
+        cat: StallCat,
+        fine: FineCat,
+    },
     /// Issued a FALLOC; blocked until the response message arrives.
     BlockFalloc,
     /// Issued a deferred scalar READ (sharded engine); blocked until the
@@ -184,6 +188,8 @@ struct ReadWait {
     start: u64,
     /// Stall bucket the blocked span belongs to (decided at issue).
     cat: StallCat,
+    /// Fine attribution twin of `cat` (also decided at issue).
+    fine: FineCat,
 }
 
 /// A processing element.
@@ -238,6 +244,17 @@ pub struct Pe {
     watchdog_spin_limit: Option<u64>,
     /// Instances parked off the pipeline by the spin watchdog.
     pub watchdog_parks: u64,
+    /// The most recent pipeline vacancy came from a watchdog park: the
+    /// next closed idle span is attributed [`FineCat::Parked`]. Set at
+    /// park, cleared at the next dispatch — both simulated events, so
+    /// the attribution is engine-invariant.
+    parked_hint: bool,
+    /// DMA commands issued by this PE and not yet completed, maintained
+    /// at the same points that emit `DmaIssued`/`DmaCompleted` events
+    /// (issue in [`Self::tick`]'s exec, completion at `DmaDone`
+    /// delivery). Compute cycles charged while this is non-zero feed
+    /// `PeStats::attr_overlap_cycles`.
+    pub dma_open: u64,
     /// Executed-instruction counters.
     pub stats: PeStats,
     /// Structured observability log (events + gauge samples), merged
@@ -281,6 +298,8 @@ impl Pe {
             spin: 0,
             watchdog_spin_limit: None,
             watchdog_parks: 0,
+            parked_hint: false,
+            dma_open: 0,
             stats: PeStats::default(),
             obs: ObsLog::new(
                 pe as u32,
@@ -311,6 +330,43 @@ impl Pe {
         self.current
     }
 
+    /// Charges `n` cycles to a coarse/fine category pair, accumulating
+    /// the attribution-side DMA overlap: compute cycles charged while
+    /// this PE has DMA in flight are exactly the paper's "pipeline busy
+    /// while DMA transfers" claim, counted from the simulator's own
+    /// books rather than the event stream.
+    #[inline]
+    fn charge(&mut self, cat: StallCat, fine: FineCat, n: u64) {
+        self.stats.add_cycles(cat, fine, n);
+        if self.dma_open > 0 && matches!(fine, FineCat::Compute | FineCat::Degraded) {
+            self.stats.attr_overlap_cycles += n;
+        }
+    }
+
+    /// Fine category for productive pipeline activity: PF-block cycles
+    /// are prefetch overhead; otherwise compute, demoted to `Degraded`
+    /// once the PE's DMA retry budget is exhausted.
+    #[inline]
+    fn act_fine(&self, in_pf: bool) -> FineCat {
+        if in_pf {
+            FineCat::PfGated
+        } else if self.degraded {
+            FineCat::Degraded
+        } else {
+            FineCat::Compute
+        }
+    }
+
+    /// Fine category for the idle span that is closing now.
+    #[inline]
+    fn idle_fine(&self) -> FineCat {
+        if self.parked_hint {
+            FineCat::Parked
+        } else {
+            FineCat::Idle
+        }
+    }
+
     /// Would a `FallocResponse` for `for_inst` land on a live wait?
     /// (Stale responses for instances destroyed by an LSE crash drop.)
     pub fn expects_falloc_response(&self, for_inst: InstanceId) -> bool {
@@ -335,10 +391,17 @@ impl Pe {
     /// dependent) cycle at which the dead PE happens to be visited next.
     pub fn crash_lse(&mut self, now: u64, evac_to: Option<u16>) -> CrashReport {
         if self.waiting_falloc.take().is_some() {
-            self.stats
-                .add_cycles(StallCat::LseStall, now - self.falloc_block_start);
+            self.charge(
+                StallCat::LseStall,
+                FineCat::FallocWait,
+                now - self.falloc_block_start,
+            );
         }
         self.current = None;
+        // The crash destroys every local instance; their in-flight DMA
+        // completions (if any) will be dropped as stale upstream, so the
+        // overlap census restarts from zero.
+        self.dma_open = 0;
         self.parked_fallocs.clear();
         self.spin = 0;
         // Execution latencies are attributed at issue (through
@@ -364,7 +427,7 @@ impl Pe {
     pub fn dead_read_done(&mut self, now: u64) -> bool {
         if self.current.is_none() {
             if let Some(w) = self.waiting_read.take() {
-                self.stats.add_cycles(w.cat, now - w.start);
+                self.charge(w.cat, w.fine, now - w.start);
                 self.idle_since = Some(now);
                 return true;
             }
@@ -382,8 +445,11 @@ impl Pe {
     /// category sums equal total cycles.
     pub fn finish(&mut self, final_cycle: u64) {
         if let Some(t0) = self.idle_since.take() {
-            self.stats
-                .add_cycles(StallCat::Idle, final_cycle.saturating_sub(t0));
+            self.charge(
+                StallCat::Idle,
+                self.idle_fine(),
+                final_cycle.saturating_sub(t0),
+            );
         }
     }
 
@@ -397,8 +463,11 @@ impl Pe {
             self.set_reg(for_inst, rd, frame.encode() as i64, now, StallCat::Working);
             // The response itself takes a cycle to process.
             let resume = now + 1;
-            self.stats
-                .add_cycles(StallCat::LseStall, resume - self.falloc_block_start);
+            self.charge(
+                StallCat::LseStall,
+                FineCat::FallocWait,
+                resume - self.falloc_block_start,
+            );
             self.resume_at = resume;
             return;
         }
@@ -439,8 +508,11 @@ impl Pe {
         self.parked_fallocs.push_back(id);
         self.record(now, id, ThreadEvent::ParkedWaitFalloc);
         let resume = now + 1;
-        self.stats
-            .add_cycles(StallCat::LseStall, resume - self.falloc_block_start);
+        self.charge(
+            StallCat::LseStall,
+            FineCat::FallocWait,
+            resume - self.falloc_block_start,
+        );
         self.resume_at = resume;
     }
 
@@ -457,7 +529,7 @@ impl Pe {
             .expect("ReadDone without a waiting READ");
         let id = self.current.expect("ReadDone with no current thread");
         self.set_reg(id, wait.rd, value, ready_at, StallCat::MemStall);
-        self.stats.add_cycles(wait.cat, now - wait.start);
+        self.charge(wait.cat, wait.fine, now - wait.start);
         self.resume_at = now;
     }
 
@@ -500,9 +572,12 @@ impl Pe {
         }
     }
 
-    /// If an operand of `instr` is not yet ready, returns the stall bucket
-    /// to charge.
-    fn operand_stall(&self, instr: &Instr, now: u64, in_pf: bool) -> Option<StallCat> {
+    /// If an operand of `instr` is not yet ready, returns the coarse and
+    /// fine stall buckets to charge. The fine twin is derived from the
+    /// producer's coarse bucket — `LsStall` operands come from
+    /// local-store loads, `MemStall` operands from blocking READs — so
+    /// the mapping is a pure function of simulated state.
+    fn operand_stall(&self, instr: &Instr, now: u64, in_pf: bool) -> Option<(StallCat, FineCat)> {
         let mut worst: Option<(u64, StallCat)> = None;
         for r in &instr.uses() {
             let t = self.reg_ready[r.index()];
@@ -510,7 +585,18 @@ impl Pe {
                 worst = Some((t, self.reg_stall[r.index()]));
             }
         }
-        worst.map(|(_, cat)| if in_pf { StallCat::Prefetch } else { cat })
+        worst.map(|(_, cat)| {
+            if in_pf {
+                (StallCat::Prefetch, FineCat::PfGated)
+            } else {
+                let fine = match cat {
+                    StallCat::LsStall => FineCat::LsStall,
+                    StallCat::MemStall => FineCat::ReadStall,
+                    _ => self.act_fine(false),
+                };
+                (cat, fine)
+            }
+        })
     }
 
     /// One simulation cycle.
@@ -549,12 +635,15 @@ impl Pe {
                 break id;
             };
             if let Some(t0) = self.idle_since.take() {
-                self.stats.add_cycles(StallCat::Idle, now - t0);
+                self.charge(StallCat::Idle, self.idle_fine(), now - t0);
             }
             self.dispatch(id, now, ctx.program);
             if self.params.dispatch_penalty > 0 {
-                self.stats
-                    .add_cycles(StallCat::Working, self.params.dispatch_penalty);
+                self.charge(
+                    StallCat::Working,
+                    self.act_fine(false),
+                    self.params.dispatch_penalty,
+                );
                 self.resume_at = now + self.params.dispatch_penalty;
                 return Activity::Blocked(self.resume_at);
             }
@@ -584,6 +673,7 @@ impl Pe {
         self.reg_ready = [now; NUM_REGS];
         self.stats.threads_dispatched += 1;
         self.current = Some(id);
+        self.parked_hint = false;
         self.record(now, id, ThreadEvent::Dispatched);
     }
 
@@ -603,14 +693,14 @@ impl Pe {
         };
 
         let i1 = thread.code[pc as usize];
-        if let Some(cat) = self.operand_stall(&i1, now, in_pf) {
-            self.stats.add_cycles(cat, 1);
+        if let Some((cat, fine)) = self.operand_stall(&i1, now, in_pf) {
+            self.charge(cat, fine, 1);
             return Activity::Active;
         }
 
         let r1 = self.exec(now, id, i1, in_pf, ctx);
-        if let Exec::Retry(cat) = r1 {
-            self.stats.add_cycles(cat, 1);
+        if let Exec::Retry(cat, fine) = r1 {
+            self.charge(cat, fine, 1);
             self.stats.dma_queue_retries += 1;
             self.spin += 1;
             if let Some(limit) = self.watchdog_spin_limit {
@@ -627,7 +717,7 @@ impl Pe {
         self.stats.issue_cycles += 1;
 
         match r1 {
-            Exec::Retry(_) => unreachable!("handled above"),
+            Exec::Retry(..) => unreachable!("handled above"),
             Exec::Next => {
                 pc += 1;
                 // Try to pair a second instruction (dual issue).
@@ -649,7 +739,7 @@ impl Pe {
                                 self.stats.record_issue(i2.class());
                                 self.stats.dual_cycles += 1;
                                 pc = target;
-                                self.apply_branch_penalty(now, cycle_cat);
+                                self.apply_branch_penalty(now, cycle_cat, in_pf);
                             }
                             // Pairable classes never block, retry, yield
                             // or stop.
@@ -657,13 +747,13 @@ impl Pe {
                         }
                     }
                 }
-                self.stats.add_cycles(cycle_cat, 1);
+                self.charge(cycle_cat, self.act_fine(in_pf), 1);
                 self.lse.instance_mut(id).pc = pc;
                 Activity::Active
             }
             Exec::Redirect(target) => {
-                self.stats.add_cycles(cycle_cat, 1);
-                self.apply_branch_penalty(now, cycle_cat);
+                self.charge(cycle_cat, self.act_fine(in_pf), 1);
+                self.apply_branch_penalty(now, cycle_cat, in_pf);
                 self.lse.instance_mut(id).pc = target;
                 if self.resume_at > now + 1 {
                     Activity::Blocked(self.resume_at)
@@ -671,9 +761,9 @@ impl Pe {
                     Activity::Active
                 }
             }
-            Exec::Block { until, cat } => {
+            Exec::Block { until, cat, fine } => {
                 let until = until.max(now + 1);
-                self.stats.add_cycles(cat, until - now);
+                self.charge(cat, fine, until - now);
                 self.resume_at = until;
                 self.lse.instance_mut(id).pc = pc + 1;
                 Activity::Blocked(until)
@@ -690,7 +780,7 @@ impl Pe {
                 Activity::Blocked(u64::MAX)
             }
             Exec::Yield => {
-                self.stats.add_cycles(cycle_cat, 1);
+                self.charge(cycle_cat, self.act_fine(in_pf), 1);
                 let inst = self.lse.instance_mut(id);
                 inst.pc = pc + 1;
                 inst.state = ThreadState::WaitDma;
@@ -699,7 +789,7 @@ impl Pe {
                 Activity::Active
             }
             Exec::Stop => {
-                self.stats.add_cycles(cycle_cat, 1);
+                self.charge(cycle_cat, self.act_fine(in_pf), 1);
                 self.record(now, id, ThreadEvent::Stopped);
                 self.lse.stop(id);
                 self.current = None;
@@ -718,6 +808,7 @@ impl Pe {
     fn watchdog_park(&mut self, now: u64, id: InstanceId) -> Activity {
         self.spin = 0;
         self.watchdog_parks += 1;
+        self.parked_hint = true;
         let inst = self.lse.instance_mut(id);
         inst.state = ThreadState::WaitDma;
         self.current = None;
@@ -734,9 +825,9 @@ impl Pe {
         Activity::Active
     }
 
-    fn apply_branch_penalty(&mut self, now: u64, cat: StallCat) {
+    fn apply_branch_penalty(&mut self, now: u64, cat: StallCat, in_pf: bool) {
         if self.params.taken_branch_penalty > 0 {
-            self.stats.add_cycles(cat, self.params.taken_branch_penalty);
+            self.charge(cat, self.act_fine(in_pf), self.params.taken_branch_penalty);
             self.resume_at = now + 1 + self.params.taken_branch_penalty;
         }
     }
@@ -843,11 +934,16 @@ impl Pe {
             Instr::Stop => Exec::Stop,
             Instr::Read { rd, ra, off } => {
                 let addr = (self.reg(id, ra) + off as i64) as u64;
-                let cat = if in_pf {
-                    StallCat::Prefetch
+                let (cat, fine) = if in_pf {
+                    (StallCat::Prefetch, FineCat::PfGated)
                 } else {
-                    StallCat::MemStall
+                    (StallCat::MemStall, FineCat::ReadStall)
                 };
+                if !in_pf {
+                    // The stall the prefetch mechanism exists to remove:
+                    // feed the per-thread PF-coverage census.
+                    self.record(now, id, ThreadEvent::ReadBlocked);
+                }
                 match &mut ctx.port {
                     MemPort::Direct { sys, mem } => {
                         let v = mem.read_i32_sext(addr);
@@ -856,7 +952,7 @@ impl Pe {
                             None => sys.request(now, TransferKind::ScalarRead),
                         };
                         self.set_reg(id, rd, v, until, StallCat::MemStall);
-                        Exec::Block { until, cat }
+                        Exec::Block { until, cat, fine }
                     }
                     MemPort::Deferred { tickets } => {
                         tickets.push(Ticket {
@@ -870,6 +966,7 @@ impl Pe {
                             rd,
                             start: now,
                             cat,
+                            fine,
                         });
                         Exec::BlockRead
                     }
@@ -975,7 +1072,7 @@ impl Pe {
                 let r = self.enqueue_dma(now, id, cmd, in_pf, ctx);
                 // A queue-full retry has not issued anything yet; only an
                 // accepted put makes the instance unreplayable.
-                if !matches!(r, Exec::Retry(_)) {
+                if !matches!(r, Exec::Retry(..)) {
                     self.lse.instance_mut(id).tainted = true;
                 }
                 r
@@ -989,11 +1086,11 @@ impl Pe {
             }
             Instr::DmaWait { tag } => {
                 if self.lse.instance(id).dma_by_tag[tag as usize] > 0 {
-                    Exec::Retry(if in_pf {
-                        StallCat::Prefetch
+                    if in_pf {
+                        Exec::Retry(StallCat::Prefetch, FineCat::PfGated)
                     } else {
-                        StallCat::MemStall
-                    })
+                        Exec::Retry(StallCat::MemStall, FineCat::DmaWait)
+                    }
                 } else {
                     Exec::Next
                 }
@@ -1009,12 +1106,18 @@ impl Pe {
         in_pf: bool,
         ctx: &mut SysCtx<'_>,
     ) -> Exec {
+        // A full MFC queue stalls a PUT on the saturated write path and
+        // a GET on the DMA engine itself; inside a PF block both are
+        // prefetch-programming overhead.
+        let put = matches!(cmd.kind, DmaKind::Put { .. });
         let retry = |in_pf: bool| {
-            Exec::Retry(if in_pf {
-                StallCat::Prefetch
+            if in_pf {
+                Exec::Retry(StallCat::Prefetch, FineCat::PfGated)
+            } else if put {
+                Exec::Retry(StallCat::MemStall, FineCat::WriteStall)
             } else {
-                StallCat::MemStall
-            })
+                Exec::Retry(StallCat::MemStall, FineCat::DmaWait)
+            }
         };
         match &mut ctx.port {
             MemPort::Direct { sys, mem } => {
@@ -1024,6 +1127,7 @@ impl Pe {
                 self.note_dma_plan(now, &plan);
                 let done = self.mfc.commit(now, cmd, sys, &mut self.ls, mem);
                 self.lse.instance_mut(id).dma_issued(cmd.tag);
+                self.dma_open += 1;
                 self.record(now, id, ThreadEvent::DmaIssued { tag: cmd.tag });
                 let stamp = self.stamp.bump();
                 if !done.stalled {
@@ -1055,6 +1159,7 @@ impl Pe {
                 };
                 self.note_dma_plan(now, &plan);
                 self.lse.instance_mut(id).dma_issued(cmd.tag);
+                self.dma_open += 1;
                 self.record(now, id, ThreadEvent::DmaIssued { tag: cmd.tag });
                 let stamp = self.stamp.bump();
                 tickets.push(Ticket {
@@ -1179,11 +1284,12 @@ impl Pe {
                     loop {
                         match self.exec(t, id, i, true, ctx) {
                             Exec::Next => break,
-                            Exec::Retry(_) => {
+                            Exec::Retry(..) => {
                                 t += 1;
                                 spins += 1;
                                 if self.watchdog_spin_limit.is_some_and(|l| spins >= l) {
                                     self.watchdog_parks += 1;
+                                    self.parked_hint = true;
                                     self.sp_free_at = t;
                                     self.stats.sp_pf_cycles += t - start;
                                     let inst = self.lse.instance_mut(id);

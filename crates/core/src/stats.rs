@@ -14,6 +14,7 @@
 
 use dta_isa::IClass;
 use dta_json::{Json, ToJson};
+pub use dta_obs::{FineCat, NUM_FINE};
 use std::fmt;
 
 /// Cycle-breakdown categories (the paper's Fig. 5 legend).
@@ -86,6 +87,17 @@ fn class_index(c: IClass) -> usize {
 pub struct PeStats {
     /// Cycle counts per [`StallCat`] (indexed by the enum discriminant).
     pub cycles: [u64; NUM_CATS],
+    /// Cycle counts per exclusive [`FineCat`] attribution category.
+    /// Charged at the same sites as `cycles`, so both arrays sum to the
+    /// same total (the conservation invariant) and stay bit-identical
+    /// across engines.
+    pub fine: [u64; NUM_FINE],
+    /// Cycles charged [`FineCat::Compute`] (or `Degraded`) while this
+    /// PE had DMA commands in flight — the attribution-side view of the
+    /// paper's non-blocking overlap. A strict subset of the
+    /// `MetricsReport::overlap_cycles` busy-span accounting, which also
+    /// counts intra-span stall cycles.
+    pub attr_overlap_cycles: u64,
     /// Instructions issued.
     pub issued: u64,
     /// Cycles in which two instructions issued.
@@ -113,10 +125,14 @@ pub struct PeStats {
 }
 
 impl PeStats {
-    /// Adds `n` cycles to a category.
+    /// Adds `n` cycles to a coarse category and its exclusive fine
+    /// attribution twin. Taking both at once makes the conservation
+    /// invariant structural: no charge site can update one array
+    /// without the other.
     #[inline]
-    pub fn add_cycles(&mut self, cat: StallCat, n: u64) {
+    pub fn add_cycles(&mut self, cat: StallCat, fine: FineCat, n: u64) {
         self.cycles[cat as usize] += n;
+        self.fine[fine as usize] += n;
     }
 
     /// Records an issued instruction of class `c`.
@@ -137,6 +153,18 @@ impl PeStats {
         self.cycles[cat as usize]
     }
 
+    /// Cycles in a fine attribution category.
+    #[inline]
+    pub fn fine_cat(&self, f: FineCat) -> u64 {
+        self.fine[f as usize]
+    }
+
+    /// Total fine-attributed cycles; equals [`Self::total_cycles`] by
+    /// the conservation invariant.
+    pub fn total_fine_cycles(&self) -> u64 {
+        self.fine.iter().sum()
+    }
+
     /// Instructions of a class.
     #[inline]
     pub fn class(&self, c: IClass) -> u64 {
@@ -148,6 +176,10 @@ impl PeStats {
         for i in 0..NUM_CATS {
             self.cycles[i] += other.cycles[i];
         }
+        for i in 0..NUM_FINE {
+            self.fine[i] += other.fine[i];
+        }
+        self.attr_overlap_cycles += other.attr_overlap_cycles;
         for i in 0..NUM_CLASSES {
             self.class_counts[i] += other.class_counts[i];
         }
@@ -237,7 +269,7 @@ impl fmt::Display for Breakdown {
 /// [`SchedMode`]: crate::config::SchedMode
 /// [`Parallelism`]: crate::config::Parallelism
 /// [`System::engine_report`]: crate::system::System::engine_report
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EngineReport {
     /// Simulated cycles the engine actually visited (summed across shards
     /// under the threaded engine).
@@ -254,6 +286,25 @@ pub struct EngineReport {
     /// extra barrier rendezvous a fixed-width schedule would have run
     /// (zero when dense or sequential).
     pub merged_epochs: u64,
+    /// Wall-clock µs each shard spent ticking its PEs (one entry per
+    /// shard; a single entry covering the whole loop for the sequential
+    /// engine). Host-time: varies run to run by design.
+    pub shard_wall_us: Vec<u64>,
+    /// Wall-clock µs the coordinator spent resolving epoch barriers
+    /// (ticket merge + rendezvous); zero for the sequential engine.
+    pub merge_wall_us: u64,
+    /// Occupancy of the fast-forward wake heap, sampled once per
+    /// visited cycle per shard (empty in dense mode). Quantifies the
+    /// pending-wakeup population the event-driven scheduler carries.
+    pub wake_heap_occupancy: dta_obs::Histogram,
+    /// Host-side message deliveries to PE-owned units (LSE + pipeline).
+    pub pe_deliveries: u64,
+    /// Host-side message deliveries to DSE arbiters — the per-unit
+    /// "tick" count of the purely event-driven frame arbiters.
+    pub dse_deliveries: u64,
+    /// Host-side transfer requests resolved by the shared memory system
+    /// (bus + memory ports), including DMA, scalar and PF traffic.
+    pub mem_requests: u64,
 }
 
 impl ToJson for EngineReport {
@@ -264,6 +315,15 @@ impl ToJson for EngineReport {
             ("skipped_ticks", self.skipped_ticks.to_json()),
             ("epochs", self.epochs.to_json()),
             ("merged_epochs", self.merged_epochs.to_json()),
+            ("shard_wall_us", self.shard_wall_us.to_json()),
+            ("merge_wall_us", self.merge_wall_us.to_json()),
+            (
+                "wake_heap_occupancy",
+                dta_obs::codec::histogram_to_json(&self.wake_heap_occupancy),
+            ),
+            ("pe_deliveries", self.pe_deliveries.to_json()),
+            ("dse_deliveries", self.dse_deliveries.to_json()),
+            ("mem_requests", self.mem_requests.to_json()),
         ])
     }
 }
@@ -376,6 +436,8 @@ impl ToJson for PeStats {
     fn to_json(&self) -> Json {
         Json::obj([
             ("cycles", self.cycles.to_json()),
+            ("fine", self.fine.to_json()),
+            ("attr_overlap_cycles", self.attr_overlap_cycles.to_json()),
             ("issued", self.issued.to_json()),
             ("dual_cycles", self.dual_cycles.to_json()),
             ("issue_cycles", self.issue_cycles.to_json()),
@@ -473,6 +535,8 @@ impl PeStats {
     pub fn from_json(v: &Json) -> Option<PeStats> {
         Some(PeStats {
             cycles: u64_array::<NUM_CATS>(v, "cycles")?,
+            fine: u64_array::<NUM_FINE>(v, "fine")?,
+            attr_overlap_cycles: u64_field(v, "attr_overlap_cycles")?,
             issued: u64_field(v, "issued")?,
             dual_cycles: u64_field(v, "dual_cycles")?,
             issue_cycles: u64_field(v, "issue_cycles")?,
@@ -497,6 +561,19 @@ impl EngineReport {
             skipped_ticks: u64_field(v, "skipped_ticks")?,
             epochs: u64_field(v, "epochs")?,
             merged_epochs: u64_field(v, "merged_epochs")?,
+            shard_wall_us: v
+                .get("shard_wall_us")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Option<Vec<_>>>()?,
+            merge_wall_us: u64_field(v, "merge_wall_us")?,
+            wake_heap_occupancy: dta_obs::codec::histogram_from_json(
+                v.get("wake_heap_occupancy")?,
+            )?,
+            pe_deliveries: u64_field(v, "pe_deliveries")?,
+            dse_deliveries: u64_field(v, "dse_deliveries")?,
+            mem_requests: u64_field(v, "mem_requests")?,
         })
     }
 }
@@ -558,9 +635,10 @@ mod tests {
     #[test]
     fn breakdown_fractions_sum_to_one() {
         let mut s = PeStats::default();
-        s.add_cycles(StallCat::Working, 30);
-        s.add_cycles(StallCat::MemStall, 60);
-        s.add_cycles(StallCat::Idle, 10);
+        s.add_cycles(StallCat::Working, FineCat::Compute, 30);
+        s.add_cycles(StallCat::MemStall, FineCat::ReadStall, 60);
+        s.add_cycles(StallCat::Idle, FineCat::Idle, 10);
+        assert_eq!(s.total_fine_cycles(), s.total_cycles());
         let b = Breakdown::from_stats(&s);
         let sum: f64 = b.fractions.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
@@ -591,15 +669,19 @@ mod tests {
     #[test]
     fn merge_adds_everything() {
         let mut a = PeStats::default();
-        a.add_cycles(StallCat::Working, 5);
+        a.add_cycles(StallCat::Working, FineCat::Compute, 5);
         a.loads = 2;
         a.issued = 7;
         let mut b = PeStats::default();
-        b.add_cycles(StallCat::Working, 3);
+        b.add_cycles(StallCat::Working, FineCat::Degraded, 3);
+        b.attr_overlap_cycles = 2;
         b.loads = 1;
         b.issued = 2;
         a.merge(&b);
         assert_eq!(a.cat(StallCat::Working), 8);
+        assert_eq!(a.fine_cat(FineCat::Compute), 5);
+        assert_eq!(a.fine_cat(FineCat::Degraded), 3);
+        assert_eq!(a.attr_overlap_cycles, 2);
         assert_eq!(a.loads, 3);
         assert_eq!(a.issued, 9);
     }
@@ -607,8 +689,8 @@ mod tests {
     #[test]
     fn pipeline_usage_and_ipc() {
         let mut s = PeStats::default();
-        s.add_cycles(StallCat::Working, 50);
-        s.add_cycles(StallCat::MemStall, 50);
+        s.add_cycles(StallCat::Working, FineCat::Compute, 50);
+        s.add_cycles(StallCat::MemStall, FineCat::ReadStall, 50);
         s.issue_cycles = 50;
         s.issued = 80; // 30 dual-issue cycles
         let b = Breakdown::from_stats(&s);
@@ -628,8 +710,9 @@ mod tests {
     #[test]
     fn stats_json_roundtrip() {
         let mut pe = PeStats::default();
-        pe.add_cycles(StallCat::MemStall, 11);
+        pe.add_cycles(StallCat::MemStall, FineCat::DmaWait, 11);
         pe.record_issue(IClass::Dma);
+        pe.attr_overlap_cycles = 4;
         pe.loads = 3;
         let stats = RunStats {
             cycles: 1234,
@@ -668,18 +751,35 @@ mod tests {
         let text = stats.to_json().to_string_compact();
         let back = RunStats::from_json(&dta_json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, stats);
+        let mut heap = dta_obs::Histogram::default();
+        heap.add(0);
+        heap.add(7);
         let er = EngineReport {
             visited_cycles: 5,
             pe_ticks: 4,
             skipped_ticks: 3,
             epochs: 2,
             merged_epochs: 1,
+            shard_wall_us: vec![120, 95],
+            merge_wall_us: 33,
+            wake_heap_occupancy: heap,
+            pe_deliveries: 17,
+            dse_deliveries: 6,
+            mem_requests: 12,
         };
         let er_text = er.to_json().to_string_compact();
         assert_eq!(
             EngineReport::from_json(&dta_json::parse(&er_text).unwrap()),
             Some(er)
         );
+    }
+
+    #[test]
+    fn finecat_names_are_unique_and_cover_all() {
+        let mut names: Vec<_> = FineCat::ALL.iter().map(|c| c.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), NUM_FINE);
     }
 
     #[test]

@@ -1062,6 +1062,13 @@ pub(crate) fn deliver(env: &mut DeliverEnv<'_>, now: u64, to: Dest, msg: Message
                         env.record(now, pe, owner, ThreadEvent::DmaCompleted { tag });
                     }
                     let p = env.pe(pe);
+                    if p.lse.has_instance(owner) {
+                        // Mirror of the issue-side increment: the overlap
+                        // census closes at the same simulated point the
+                        // DmaCompleted event is stamped, in both engines
+                        // (deliveries precede ticks within a cycle).
+                        p.dma_open = p.dma_open.saturating_sub(1);
+                    }
                     if !p.current_dma_done(owner, tag) {
                         p.lse.dma_done(now, owner, tag);
                     }
@@ -1379,8 +1386,8 @@ impl System {
     /// How the host engine advanced time in the finished run (visited
     /// cycles, ticks made/skipped, epoch barriers/merges). Host-side
     /// only — simulated results are independent of it.
-    pub fn engine_report(&self) -> EngineReport {
-        self.engine_report
+    pub fn engine_report(&self) -> &EngineReport {
+        &self.engine_report
     }
 
     /// Read-only view of main memory (for verifying results after a run).
@@ -1631,7 +1638,12 @@ impl System {
     /// resulting posts back into the queue. With `wakes`, each delivery
     /// addressed to a PE (LSE or pipeline) also reports the PE index so
     /// the fast-forward engine can tick it this cycle.
-    fn deliver_due(&mut self, posts: &mut Vec<OutMsg>, mut wake: Option<&mut dyn FnMut(u16)>) {
+    fn deliver_due(
+        &mut self,
+        posts: &mut Vec<OutMsg>,
+        report: &mut EngineReport,
+        mut wake: Option<&mut dyn FnMut(u16)>,
+    ) {
         while self.events.peek().is_some_and(|e| e.time <= self.now) {
             let e = self.events.pop().expect("peeked");
             if e.stamp.seq & DUP_STAMP_BIT != 0 {
@@ -1639,6 +1651,10 @@ impl System {
                 // delivered (or will, under the unmarked stamp);
                 // discard so handlers stay single-delivery.
                 continue;
+            }
+            match e.to {
+                Dest::Lse(_) | Dest::Pipeline(_) => report.pe_deliveries += 1,
+                Dest::Dse(_) => report.dse_deliveries += 1,
             }
             if let Some(wake) = wake.as_deref_mut() {
                 match e.to {
@@ -1668,8 +1684,18 @@ impl System {
         }
     }
 
+    /// Stamps the host-profiling tail onto a finished engine report —
+    /// total loop wall time (the sequential engines are one "shard") and
+    /// the shared memory system's request count — and installs it.
+    fn seal_report(&mut self, mut report: EngineReport, wall: std::time::Instant) {
+        report.shard_wall_us = vec![wall.elapsed().as_micros() as u64];
+        report.mem_requests = self.memsys.stats().total();
+        self.engine_report = report;
+    }
+
     /// The original dense loop: every PE ticks at every visited cycle.
     fn run_sequential_dense(&mut self) -> Result<RunStats, RunError> {
+        let wall = std::time::Instant::now();
         let mut outbox: Vec<OutMsg> = Vec::new();
         let mut posts: Vec<OutMsg> = Vec::new();
         let mut report = EngineReport::default();
@@ -1678,7 +1704,7 @@ impl System {
 
         loop {
             if self.now > self.config.max_cycles {
-                self.engine_report = report;
+                self.seal_report(report, wall);
                 self.finalize_obs(self.now);
                 return Err(self.cycle_limit_error());
             }
@@ -1686,7 +1712,7 @@ impl System {
 
             // Deliver everything due now. Deliveries only post messages
             // for strictly later cycles, so flushing afterwards is safe.
-            self.deliver_due(&mut posts, None);
+            self.deliver_due(&mut posts, &mut report, None);
 
             // Tick every PE.
             let mut any_active = false;
@@ -1740,7 +1766,7 @@ impl System {
                 // fault outcome, not a completed program.
                 let live: usize = self.pes.iter().map(|p| p.lse.live_instances()).sum();
                 if live > 0 || self.unrecovered_work() > 0 {
-                    self.engine_report = report;
+                    self.seal_report(report, wall);
                     self.finalize_obs(self.now);
                     return Err(self.quiescence_error());
                 }
@@ -1750,7 +1776,7 @@ impl System {
             self.now = target;
         }
 
-        self.engine_report = report;
+        self.seal_report(report, wall);
         let final_cycle = self.now.max(self.drain_until);
         for pe in &mut self.pes {
             pe.finish(final_cycle);
@@ -1782,6 +1808,7 @@ impl System {
     /// Within a cycle the heap pops in ascending PE order, preserving the
     /// dense loop's memory-port reservation order.
     fn run_sequential_ff(&mut self) -> Result<RunStats, RunError> {
+        let wall = std::time::Instant::now();
         let npes = self.pes.len();
         let mut outbox: Vec<OutMsg> = Vec::new();
         let mut posts: Vec<OutMsg> = Vec::new();
@@ -1805,17 +1832,21 @@ impl System {
 
         loop {
             if self.now > self.config.max_cycles {
-                self.engine_report = finish(report);
+                self.seal_report(finish(report), wall);
                 self.finalize_obs(self.now);
                 return Err(self.cycle_limit_error());
             }
             report.visited_cycles += 1;
+            // Host-side heap pressure, sampled once per visited cycle
+            // (stale lazy-invalidation entries are real occupancy).
+            report.wake_heap_occupancy.add(heap.len() as u64);
 
             // Deliver everything due now; every delivery addressed to a
             // PE schedules a tick of that PE this cycle.
             let now = self.now;
             self.deliver_due(
                 &mut posts,
+                &mut report,
                 Some(&mut |pe: u16| {
                     let slot = &mut wake[pe as usize];
                     if now < *slot {
@@ -1892,7 +1923,7 @@ impl System {
                 // the dense loop: quiet-but-lossy runs are fault outcomes.
                 let live: usize = self.pes.iter().map(|p| p.lse.live_instances()).sum();
                 if live > 0 || self.unrecovered_work() > 0 {
-                    self.engine_report = finish(report);
+                    self.seal_report(finish(report), wall);
                     self.finalize_obs(self.now);
                     return Err(self.quiescence_error());
                 }
@@ -1902,7 +1933,7 @@ impl System {
             self.now = target;
         }
 
-        self.engine_report = finish(report);
+        self.seal_report(finish(report), wall);
         let final_cycle = self.now.max(self.drain_until);
         for pe in &mut self.pes {
             pe.finish(final_cycle);

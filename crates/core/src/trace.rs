@@ -57,6 +57,8 @@ pub enum TraceKind {
     Stopped,
     /// Released its frame.
     FrameFreed,
+    /// Issued a blocking scalar main-memory READ on the EX pipeline.
+    ReadBlocked,
 }
 
 impl TraceKind {
@@ -76,6 +78,7 @@ impl TraceKind {
             ThreadEvent::ParkedWaitFalloc => TraceKind::ParkedWaitFalloc,
             ThreadEvent::Stopped => TraceKind::Stopped,
             ThreadEvent::FrameFreed => TraceKind::FrameFreed,
+            ThreadEvent::ReadBlocked => TraceKind::ReadBlocked,
         }
     }
 }

@@ -80,6 +80,18 @@ fn engine_invariant_outcome(
                     "{name} seed={:#x}: {par:?} stats diverged",
                     plan.seed
                 );
+                // Conservation holds under arbitrary seeded fault plans:
+                // crashes, degradation and retries must never leak a
+                // cycle out of the exclusive fine attribution.
+                for (pe, p) in gs.per_pe.iter().enumerate() {
+                    assert_eq!(
+                        p.total_fine_cycles(),
+                        p.total_cycles(),
+                        "{name} seed={:#x}: fine-attribution conservation \
+                         violated on PE {pe} under {par:?}",
+                        plan.seed
+                    );
+                }
                 verify(sys).unwrap_or_else(|e| {
                     panic!("{name} seed={:#x}: {par:?} wrong result: {e}", plan.seed)
                 });

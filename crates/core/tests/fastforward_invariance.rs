@@ -73,6 +73,18 @@ fn assert_ff_invariant(
 ) {
     let (oracle_stats, oracle_sys) = run(build, SchedMode::Dense, Parallelism::Off, faults);
     verify(&oracle_sys).unwrap_or_else(|e| panic!("{name}: dense oracle result wrong: {e}"));
+    // Conservation: the exclusive fine attribution sums to the cycle
+    // count on every PE. Because the fine array is part of `PeStats`,
+    // the stats `assert_eq!` in the matrix loop below then proves the
+    // attribution is bit-identical across {dense, fast-forward} ×
+    // {Off, Threads(2), Threads(4)}.
+    for (pe, p) in oracle_stats.per_pe.iter().enumerate() {
+        assert_eq!(
+            p.total_fine_cycles(),
+            p.total_cycles(),
+            "{name}: fine-attribution conservation violated on PE {pe}"
+        );
+    }
     let oracle = oracle_sys.obs().expect("observability on");
     let oracle_det = oracle.deterministic();
     assert!(!oracle_det.is_empty(), "{name}: empty event stream");

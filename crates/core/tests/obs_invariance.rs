@@ -59,6 +59,31 @@ fn assert_stream_invariant(
 ) {
     let (oracle_stats, oracle_sys) = run(build, Parallelism::Off, ObsMode::All, faults);
     verify(&oracle_sys).unwrap_or_else(|e| panic!("{name}: sequential result wrong: {e}"));
+    // Conservation: every simulated PE-cycle lands in exactly one fine
+    // attribution category — with or without injected faults. (The fine
+    // array rides in `PeStats`, so the `assert_eq!` below also proves
+    // attribution is bit-identical across engines.)
+    for (pe, p) in oracle_stats.per_pe.iter().enumerate() {
+        assert_eq!(
+            p.total_fine_cycles(),
+            p.total_cycles(),
+            "{name}: fine-attribution conservation violated on PE {pe}"
+        );
+    }
+    // Reconciliation: the attribution-side overlap census (compute with
+    // DMA open) can never exceed the busy-span overlap the metrics fold
+    // reports, which also counts intra-span stall cycles.
+    let attr_overlap: u64 = oracle_stats
+        .per_pe
+        .iter()
+        .map(|p| p.attr_overlap_cycles)
+        .sum();
+    let metrics = oracle_sys.metrics().expect("metrics on");
+    assert!(
+        attr_overlap <= metrics.overlap_cycles,
+        "{name}: attribution overlap {attr_overlap} exceeds metrics overlap {}",
+        metrics.overlap_cycles
+    );
     let oracle = oracle_sys.obs().expect("observability on");
     let oracle_det = oracle.deterministic();
     assert!(!oracle_det.is_empty(), "{name}: empty event stream");
@@ -171,7 +196,7 @@ fn observability_is_pure_observation() {
 /// PE's MFC has DMA in flight (Fig. 4 overlap).
 #[test]
 fn mmul_pf_metrics_show_nonblocking_overlap() {
-    let (_, sys) = run(
+    let (stats, sys) = run(
         &|| mmul::build(32, Variant::HandPrefetch),
         Parallelism::Off,
         ObsMode::All,
@@ -183,6 +208,18 @@ fn mmul_pf_metrics_show_nonblocking_overlap() {
         m.overlap_cycles > 0,
         "PF variant must overlap execution with DMA: {}",
         m.render()
+    );
+    // The attribution-side census must see the same overlap: positive on
+    // a PF workload, and bounded above by the busy-span accounting.
+    let attr_overlap: u64 = stats.per_pe.iter().map(|p| p.attr_overlap_cycles).sum();
+    assert!(
+        attr_overlap > 0,
+        "attribution saw no compute cycles with DMA in flight"
+    );
+    assert!(
+        attr_overlap <= m.overlap_cycles,
+        "attribution overlap {attr_overlap} exceeds metrics overlap {}",
+        m.overlap_cycles
     );
     assert!(m.dma_latency.total > 0, "no DMA latencies measured");
     assert!(m.samples > 0, "no gauge samples taken");

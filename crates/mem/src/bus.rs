@@ -214,6 +214,14 @@ pub struct MemTrafficStats {
     pub payload_bytes: u64,
 }
 
+impl MemTrafficStats {
+    /// Total transactions of all kinds (one strided gather counts once
+    /// even under split-transaction ablation — it is one request).
+    pub fn total(&self) -> u64 {
+        self.scalar_reads + self.scalar_writes + self.dma_gets + self.dma_puts
+    }
+}
+
 /// The complete shared memory system: interconnect + controller.
 ///
 /// All PEs (and their MFCs) funnel their main-memory traffic through one

@@ -11,8 +11,49 @@
 //! instance tokens) go through [`dta_json::u64_json`] so the full 64-bit
 //! range survives the `f64` number representation.
 
-use crate::{GaugeKind, ObsEvent, ObsRecord, ObsStream, ThreadEvent};
+use crate::{GaugeKind, Histogram, ObsEvent, ObsRecord, ObsStream, ThreadEvent};
 use dta_json::{u64_from_json, u64_json, Json};
+
+/// Encodes a [`Histogram`] sparsely as
+/// `{"buckets": [[bit_len, count], ...], "total": n, "sum": n, "max": n}`
+/// (most of the 65 bit-length buckets are empty).
+pub fn histogram_to_json(h: &Histogram) -> Json {
+    let buckets: Vec<Json> = h
+        .counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| Json::Arr(vec![Json::Num(i as f64), u64_json(c)]))
+        .collect();
+    Json::obj([
+        ("buckets", Json::Arr(buckets)),
+        ("total", u64_json(h.total)),
+        ("sum", u64_json(h.sum)),
+        ("max", u64_json(h.max)),
+    ])
+}
+
+/// Decodes a histogram written by [`histogram_to_json`].
+pub fn histogram_from_json(v: &Json) -> Option<Histogram> {
+    let mut h = Histogram {
+        total: u64_from_json(v.get("total")?)?,
+        sum: u64_from_json(v.get("sum")?)?,
+        max: u64_from_json(v.get("max")?)?,
+        ..Histogram::default()
+    };
+    for b in v.get("buckets")?.as_arr()? {
+        let pair = b.as_arr()?;
+        if pair.len() != 2 {
+            return None;
+        }
+        let i = pair[0].as_u64()? as usize;
+        if i >= h.counts.len() {
+            return None;
+        }
+        h.counts[i] = u64_from_json(&pair[1])?;
+    }
+    Some(h)
+}
 
 /// Encodes a stream as `{"records": [...], "dropped": n}`.
 pub fn stream_to_json(s: &ObsStream) -> Json {
@@ -79,6 +120,7 @@ fn thread_event_parts(what: &ThreadEvent) -> (u64, Json, Json) {
         ThreadEvent::ParkedWaitFalloc => (7, n(0), n(0)),
         ThreadEvent::Stopped => (8, n(0), n(0)),
         ThreadEvent::FrameFreed => (9, n(0), n(0)),
+        ThreadEvent::ReadBlocked => (10, n(0), n(0)),
     }
 }
 
@@ -103,6 +145,7 @@ fn thread_event_from(tag: u64, a: &Json, b: &Json) -> Option<ThreadEvent> {
         7 => ThreadEvent::ParkedWaitFalloc,
         8 => ThreadEvent::Stopped,
         9 => ThreadEvent::FrameFreed,
+        10 => ThreadEvent::ReadBlocked,
         _ => return None,
     })
 }
@@ -297,6 +340,12 @@ mod tests {
                 instance: 2,
                 thread: 1,
                 what: ThreadEvent::Stopped,
+            },
+            ObsEvent::Thread {
+                pe: 2,
+                instance: 3,
+                thread: 1,
+                what: ThreadEvent::ReadBlocked,
             },
             ObsEvent::DmaRetry { pe: 4, retries: 3 },
             ObsEvent::DmaExhausted { pe: 4 },

@@ -32,11 +32,13 @@
 //! boundary records depend on the shard layout and are excluded from
 //! [`ObsStream::deterministic`].
 
+pub mod analyze;
 pub mod codec;
 mod metrics;
 mod perfetto;
 mod sink;
 
+pub use analyze::{analyze, Analysis, CriticalPath, EdgeKind, PeAttribution, ThreadBreakdown};
 pub use metrics::{Histogram, MetricsReport, MetricsSink};
 pub use perfetto::{PerfettoWriter, TrackLayout};
 pub use sink::{CountingSink, NullSink, ObsSink, RingSink};
@@ -59,6 +61,79 @@ pub const MSG_SEQ_BIT: u64 = 1 << 63;
 pub const MSG_DELAY_SEQ_BIT: u64 = 1 << 60;
 /// Added to [`MSG_SEQ_BIT`] for duplicate records.
 pub const MSG_DUP_SEQ_BIT: u64 = 1 << 59;
+
+/// Exclusive fine-grained cycle-attribution categories.
+///
+/// Every simulated PE-cycle is charged to exactly one of these, at the
+/// same charge sites that feed the coarse Fig.-5 buckets, so per-PE
+/// category sums equal the total attributed cycles *by construction*
+/// (the conservation invariant) and — because each charge is a pure
+/// function of simulated state — the tables are bit-identical across
+/// `{dense, fast-forward} × {Off, Threads(n)}` engines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum FineCat {
+    /// Issue, dispatch and branch cycles of a healthy pipeline.
+    Compute = 0,
+    /// Any cycle spent inside a PF code block (issue, operand stalls,
+    /// MFC-queue retries, DMAWAIT spins): prefetch-programming overhead.
+    PfGated = 1,
+    /// Blocking main-memory READ spans, and operand stalls fed by a
+    /// blocking READ's destination register.
+    ReadStall = 2,
+    /// Cycles retrying a full MFC queue on a PUT outside PF: the write
+    /// path back to main memory is saturated.
+    WriteStall = 3,
+    /// Operand stalls fed by local-store load latency or port pressure.
+    LsStall = 4,
+    /// FALLOC round-trip waits (request until grant/defer response).
+    FallocWait = 5,
+    /// DMAWAIT spins and GET-side MFC-queue retries outside PF.
+    DmaWait = 6,
+    /// Idle spans entered through a watchdog park (the instance left the
+    /// pipeline involuntarily and nothing else was ready).
+    Parked = 7,
+    /// Compute cycles on a degraded PE (DMA retry budget exhausted; the
+    /// PE runs PF-skipping fallback bodies).
+    Degraded = 8,
+    /// No ready thread and no parked-instance hint.
+    Idle = 9,
+}
+
+/// Number of [`FineCat`] categories.
+pub const NUM_FINE: usize = 10;
+
+impl FineCat {
+    /// All categories, in display order.
+    pub const ALL: [FineCat; NUM_FINE] = [
+        FineCat::Compute,
+        FineCat::PfGated,
+        FineCat::ReadStall,
+        FineCat::WriteStall,
+        FineCat::LsStall,
+        FineCat::FallocWait,
+        FineCat::DmaWait,
+        FineCat::Parked,
+        FineCat::Degraded,
+        FineCat::Idle,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FineCat::Compute => "Compute",
+            FineCat::PfGated => "PfGated",
+            FineCat::ReadStall => "ReadStall",
+            FineCat::WriteStall => "WriteStall",
+            FineCat::LsStall => "LsStall",
+            FineCat::FallocWait => "FallocWait",
+            FineCat::DmaWait => "DmaWait",
+            FineCat::Parked => "Parked",
+            FineCat::Degraded => "Degraded",
+            FineCat::Idle => "Idle",
+        }
+    }
+}
 
 /// Per-thread-instance lifecycle events (the Fig. 4 states of the
 /// paper, as recorded by the legacy `Trace`).
@@ -84,6 +159,10 @@ pub enum ThreadEvent {
     Stopped,
     /// The instance's frame was released.
     FrameFreed,
+    /// A blocking scalar main-memory READ issued on the EX pipeline
+    /// (outside any PF block) — the stall the prefetch mechanism exists
+    /// to remove. PF coverage = decoupled GETs vs these.
+    ReadBlocked,
 }
 
 /// What a cycle-sampled gauge measures.

@@ -43,6 +43,16 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Merges another histogram into this one (bucket-wise sum).
+    pub fn absorb(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// Arithmetic mean (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
@@ -258,7 +268,7 @@ impl ObsSink for MetricsSink {
                         *f = f.saturating_sub(1);
                     }
                 }
-                ThreadEvent::PfOffloaded | ThreadEvent::FrameFreed => {}
+                ThreadEvent::PfOffloaded | ThreadEvent::FrameFreed | ThreadEvent::ReadBlocked => {}
             },
             ObsEvent::Gauge { kind, value, .. } => {
                 self.report.samples += 1;

@@ -140,6 +140,16 @@ impl PerfettoWriter {
             Json::Num(end.saturating_sub(start) as f64),
         ));
         e.push(("cat".to_string(), Json::Str("ex".to_string())));
+        // Chrome trace palette name keyed on why the span ended: slices
+        // that end blocked on memory render distinctly from clean stops,
+        // making stall structure visible at a glance in the timeline.
+        let cname = match reason {
+            "wait-dma" => "thread_state_iowait",
+            "wait-falloc" => "thread_state_runnable",
+            "stop" => "good",
+            _ => "thread_state_running",
+        };
+        e.push(("cname".to_string(), Json::Str(cname.to_string())));
         e.push((
             "args".to_string(),
             Json::obj([
@@ -243,6 +253,9 @@ impl ObsSink for PerfettoWriter {
                     }
                     ThreadEvent::PfOffloaded => {
                         self.instant("pf-offload".to_string(), ts, pid, pe_tid);
+                    }
+                    ThreadEvent::ReadBlocked => {
+                        self.instant("read-blocked".to_string(), ts, pid, pe_tid);
                     }
                     ThreadEvent::FrameGranted { .. }
                     | ThreadEvent::StoreApplied { .. }
