@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--quick] [--pes N] [--threads N] [--out DIR]
-//!       [--sweep-threads N] [--cache-dir DIR] [--deadline-ms N] [--sched MODE]
+//!       [--sweep-threads N] [--cache-dir DIR] [--deadline-ms N] [--sched MODE] [--memo]
 //!       [--fault-seed N] [--fault-rate PPM] [--lse-crash-ppm PPM] [--obs MODE]
 //!       [--metrics-interval N] [--obs-stream N] [--trace-out PATH]
 //!
@@ -31,6 +31,10 @@
 //! --sched MODE  cycle scheduler: fast-forward (default) | dense.
 //!             A pure host-time choice — results are bit-identical —
 //!             mainly for A/B timing; the `speed` experiment pins both
+//! --memo      run every experiment with instance memoization + timing
+//!             replay on. A pure host-time optimisation — results are
+//!             bit-identical — mainly for A/B timing; the `speed`
+//!             experiment pins memo on/off explicitly
 //! --fault-seed N   base seed for the `faults`/`failover` sweeps
 //!                  (default 0xDA7A)
 //! --fault-rate PPM single injected fault rate for the `faults`
@@ -83,6 +87,7 @@ struct Options {
     cache_dir: Option<PathBuf>,
     deadline_ms: Option<u64>,
     sched: Option<dta_core::SchedMode>,
+    memo: bool,
     fault_seed: u64,
     fault_rate: Option<u32>,
     lse_crash_ppm: Option<u32>,
@@ -103,6 +108,7 @@ fn parse_args() -> Result<Options, String> {
         cache_dir: None,
         deadline_ms: None,
         sched: None,
+        memo: false,
         fault_seed: 0xDA7A,
         fault_rate: None,
         lse_crash_ppm: None,
@@ -159,6 +165,7 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("--sched: unknown mode {other:?}")),
                 });
             }
+            "--memo" => opts.memo = true,
             "--fault-seed" => {
                 let v = args.next().ok_or("--fault-seed needs a value")?;
                 opts.fault_seed = v
@@ -277,6 +284,9 @@ fn main() -> ExitCode {
     );
     if let Some(sched) = opts.sched {
         dta_bench::experiments::set_default_sched(sched);
+    }
+    if opts.memo {
+        dta_bench::experiments::set_default_memo(dta_core::MemoConfig::on());
     }
     if opts.obs.is_some() || opts.metrics_interval.is_some() || opts.obs_stream.is_some() {
         let mut obs = dta_core::ObsConfig::default();

@@ -6,9 +6,10 @@
 
 use crate::report::text_table;
 use crate::runner::{
-    job_for, run, sweep, sweep_ok, try_run_timed, try_run_traced, Bench, Row, SweepPoint,
+    job_for, run, sweep, sweep_ok, try_run_timed, try_run_timed_stats, try_run_traced, Bench, Row,
+    SweepPoint,
 };
-use dta_core::{ObsConfig, Parallelism, SchedMode, StallCat, SystemConfig};
+use dta_core::{MemoConfig, ObsConfig, Parallelism, SchedMode, StallCat, SystemConfig};
 use dta_workloads::Variant;
 use std::sync::OnceLock;
 
@@ -48,6 +49,19 @@ pub fn set_default_sched(sched: SchedMode) {
     let _ = DEFAULT_SCHED.set(sched);
 }
 
+/// Process-wide memoization config, applied to every experiment run
+/// (set once by `repro --memo`). Memoized timing replay is a pure
+/// host-time optimisation — results are bit-identical either way — so
+/// it composes freely with the other defaults. The `speed` benchmark
+/// ignores it because it pins memo on/off explicitly.
+static DEFAULT_MEMO: OnceLock<MemoConfig> = OnceLock::new();
+
+/// Sets the memoization config every experiment runs under. First call
+/// wins; later calls are ignored.
+pub fn set_default_memo(memo: MemoConfig) {
+    let _ = DEFAULT_MEMO.set(memo);
+}
+
 /// The result of one experiment.
 #[derive(Clone, Debug)]
 pub struct ExperimentResult {
@@ -78,6 +92,9 @@ fn pes8(suite_pes: u16) -> SystemConfig {
     }
     if let Some(&sched) = DEFAULT_SCHED.get() {
         cfg.sched = sched;
+    }
+    if let Some(&memo) = DEFAULT_MEMO.get() {
+        cfg.memo = memo;
     }
     cfg
 }
@@ -786,12 +803,13 @@ pub fn parallel_bench(mmul_n: usize, pes: u16) -> ExperimentResult {
 }
 
 /// Scheduler benchmark: host wall-clock of the dense cycle loop vs the
-/// event-driven fast-forward scheduler, on the paper suite plus the
-/// DMA-dominated `gather` stress. Written as `BENCH_speed.json` so
-/// successive PRs can track simulator performance. Every pair must
-/// report identical simulated cycles — fast-forward is a pure host-time
-/// optimisation — and the table carries the skipped-tick and
-/// epoch-merge counters that explain the speedup.
+/// event-driven fast-forward scheduler vs fast-forward with instance
+/// memoization, on the paper suite plus the DMA-dominated `gather`
+/// stress. Written as `BENCH_speed.json` so successive PRs can track
+/// simulator performance. Every triple must report a byte-identical
+/// `RunStats` — fast-forward and memoized replay are pure host-time
+/// optimisations — and the table carries the skipped-tick, epoch-merge
+/// and memo counters that explain the speedups.
 pub fn speed_bench(cases: &[(Bench, Variant, u16)]) -> ExperimentResult {
     let mut rows = Vec::new();
     let mut table = vec![vec![
@@ -804,26 +822,47 @@ pub fn speed_bench(cases: &[(Bench, Variant, u16)]) -> ExperimentResult {
         "PE ticks".into(),
         "skipped".into(),
         "merged epochs".into(),
+        "memo hits".into(),
+        "replayed cyc".into(),
         "sim ms".into(),
         "Mcyc/s".into(),
         "speedup".into(),
     ]];
     for &(bench, variant, pes) in cases {
-        let mut dense_ms = None;
-        for sched in [SchedMode::Dense, SchedMode::FastForward] {
+        let mut dense = None;
+        for (sched, memo) in [
+            (SchedMode::Dense, false),
+            (SchedMode::FastForward, false),
+            (SchedMode::FastForward, true),
+        ] {
             let mut cfg = pes8(pes);
             cfg.sched = sched;
-            let (mut row, ms) =
-                try_run_timed(bench, variant, cfg).unwrap_or_else(|e| panic!("{e}"));
-            let (base_ms, base_cycles) = *dense_ms.get_or_insert((ms, row.cycles));
+            if memo {
+                cfg.memo = MemoConfig::on();
+            }
+            let (mut row, ms, stats) =
+                try_run_timed_stats(bench, variant, cfg).unwrap_or_else(|e| panic!("{e}"));
+            let (base_ms, base_stats) = dense.get_or_insert((ms, stats.clone()));
+            // The hard invariance gate: every counter, per-PE breakdown
+            // and fault tally of the simulated run must be bit-identical
+            // to the dense interpreter's.
             assert_eq!(
-                row.cycles,
-                base_cycles,
-                "{} [{}]: fast-forward changed the simulation",
+                &stats,
+                base_stats,
+                "{} [{}]: {} changed the simulation",
                 bench.name(),
-                row.variant
+                row.variant,
+                if memo {
+                    "memoized replay"
+                } else {
+                    "fast-forward"
+                },
             );
+            let base_ms = *base_ms;
             row.wall_ms = Some(ms);
+            if memo {
+                row.sched.push_str("+memo");
+            }
             table.push(vec![
                 row.bench.clone(),
                 row.variant.clone(),
@@ -834,6 +873,8 @@ pub fn speed_bench(cases: &[(Bench, Variant, u16)]) -> ExperimentResult {
                 row.pe_ticks.to_string(),
                 row.skipped_ticks.to_string(),
                 row.merged_epochs.to_string(),
+                row.memo_hits.to_string(),
+                row.memo_replayed_cycles.to_string(),
                 format!("{ms:.1}"),
                 format!("{:.2}", row.cycles as f64 / ms / 1e3),
                 format!("{:.2}x", base_ms / ms),
@@ -845,7 +886,7 @@ pub fn speed_bench(cases: &[(Bench, Variant, u16)]) -> ExperimentResult {
         health: None,
         profile: None,
         id: "BENCH_speed".into(),
-        title: "Scheduler wall-clock: dense cycle loop vs event-driven fast-forward".into(),
+        title: "Scheduler wall-clock: dense loop vs fast-forward vs memoized replay".into(),
         text: text_table(&table),
         rows,
     }
@@ -1789,16 +1830,24 @@ mod tests {
     fn quick_speed_bench_is_pure_and_skips_ticks() {
         let r = speed_bench(&[(Bench::Gather(64), Variant::Baseline, 4)]);
         assert_eq!(r.id, "BENCH_speed");
-        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows.len(), 3);
         assert_eq!(r.rows[0].sched, "dense");
         assert_eq!(r.rows[1].sched, "fast-forward");
-        // Pure host-time optimisation: identical simulated outcome...
+        assert_eq!(r.rows[2].sched, "fast-forward+memo");
+        // Pure host-time optimisations: identical simulated outcome
+        // (speed_bench itself hard-asserts full RunStats equality)...
         assert_eq!(r.rows[0].cycles, r.rows[1].cycles);
+        assert_eq!(r.rows[0].cycles, r.rows[2].cycles);
         assert_eq!(r.rows[0].visited_cycles, r.rows[1].visited_cycles);
         // ...with strictly less engine work.
         assert_eq!(r.rows[0].skipped_ticks, 0);
         assert!(r.rows[1].skipped_ticks > 0);
         assert!(r.rows[1].pe_ticks < r.rows[0].pe_ticks);
+        // The memo row replays segments instead of re-interpreting them.
+        assert_eq!(r.rows[0].memo_hits, 0);
+        assert!(r.rows[2].memo_hits > 0);
+        assert!(r.rows[2].memo_replayed_cycles > 0);
+        assert!(r.rows[2].pe_ticks <= r.rows[1].pe_ticks);
     }
 
     #[test]

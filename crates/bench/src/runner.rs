@@ -252,6 +252,15 @@ pub struct Row {
     pub wake_heap_mean: f64,
     /// Peak fast-forward wake-heap occupancy.
     pub wake_heap_max: u64,
+    /// Memoized segment replays fired (0 with memo off).
+    pub memo_hits: u64,
+    /// Segment recordings started (memo cold paths).
+    pub memo_misses: u64,
+    /// Simulated cycles covered by replays instead of interpretation.
+    pub memo_replayed_cycles: u64,
+    /// Replay attempts refused (contention window open, invalidated
+    /// recording, cache full, or the cycle budget would be crossed).
+    pub memo_aborts: u64,
     /// Content hash of the job that produced this row (`JobKey` hex).
     pub job_key: String,
     /// Whether this row was served from the result cache (memory, disk
@@ -317,6 +326,10 @@ pub(crate) fn row_from_result(
     row.mem_requests = out.engine.mem_requests;
     row.wake_heap_mean = out.engine.wake_heap_occupancy.mean();
     row.wake_heap_max = out.engine.wake_heap_occupancy.max;
+    row.memo_hits = out.engine.memo_hits;
+    row.memo_misses = out.engine.memo_misses;
+    row.memo_replayed_cycles = out.engine.memo_replayed_cycles;
+    row.memo_aborts = out.engine.memo_aborts;
     if let Some(stream) = &out.obs {
         row.obs_events = stream.len() as u64;
         row.obs_dropped = stream.dropped;
@@ -358,6 +371,28 @@ pub fn try_run_timed(
     let sim_ms = started.elapsed().as_secs_f64() * 1e3;
     let row = row_from_result(bench, variant, &job.config, &result)?;
     Ok((row, sim_ms))
+}
+
+/// Like [`try_run_timed`], additionally returning the full [`RunStats`]
+/// so callers can hard-assert byte-identity of simulated results across
+/// engine/memoization configurations (the `speed` benchmark does).
+pub fn try_run_timed_stats(
+    bench: Bench,
+    variant: Variant,
+    cfg: SystemConfig,
+) -> Result<(Row, f64, RunStats), String> {
+    let job = job_for(bench, variant, cfg);
+    let started = std::time::Instant::now();
+    let result = run_job(&job);
+    let sim_ms = started.elapsed().as_secs_f64() * 1e3;
+    let row = row_from_result(bench, variant, &job.config, &result)?;
+    let stats = result
+        .outcome
+        .as_ref()
+        .expect("row_from_result verified")
+        .stats
+        .clone();
+    Ok((row, sim_ms, stats))
 }
 
 /// Like [`try_run_timed`], but additionally renders the Perfetto trace
@@ -482,6 +517,10 @@ fn row_from(bench: &Bench, variant: Variant, pes: u16, mem_latency: u64, stats: 
         mem_requests: 0,
         wake_heap_mean: 0.0,
         wake_heap_max: 0,
+        memo_hits: 0,
+        memo_misses: 0,
+        memo_replayed_cycles: 0,
+        memo_aborts: 0,
         job_key: String::new(),
         cache_hit: false,
     }

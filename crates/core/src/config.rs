@@ -217,6 +217,48 @@ impl FaultPlan {
         self.lse_crash_ppm > 0
     }
 
+    /// Is this plan's schedule guaranteed fault-free? True when every
+    /// rate is zero: the plan arms the watchdog but can never fire a
+    /// fault, so execution is cycle-identical to running with no plan at
+    /// all. Memoized timing replay keys off this — any plan that *can*
+    /// fire disables replay firing entirely, so fault schedules (which
+    /// are keyed by per-site counters, not wall cycles) are never
+    /// perturbed. Destructured without `..` so a new fault knob fails to
+    /// compile here until its benignity is classified.
+    pub fn is_benign(&self) -> bool {
+        let FaultPlan {
+            seed: _,
+            dma_fail_ppm,
+            dma_stall_ppm,
+            dma_retry_budget: _,
+            dma_backoff_base: _,
+            msg_drop_ppm,
+            msg_dup_ppm,
+            msg_delay_ppm,
+            msg_resend_timeout: _,
+            msg_delay_jitter: _,
+            falloc_deny_ppm,
+            falloc_retry_timeout: _,
+            dse_crash_ppm,
+            dse_crash_window: _,
+            dse_failover_detect: _,
+            dse_restart_after: _,
+            lse_crash_ppm,
+            lse_crash_window: _,
+            lse_detect: _,
+            lse_restart_after: _,
+            watchdog_spin_limit: _,
+        } = *self;
+        dma_fail_ppm == 0
+            && dma_stall_ppm == 0
+            && msg_drop_ppm == 0
+            && msg_dup_ppm == 0
+            && msg_delay_ppm == 0
+            && falloc_deny_ppm == 0
+            && dse_crash_ppm == 0
+            && lse_crash_ppm == 0
+    }
+
     /// Canonical encoding of every fault knob, in declaration order.
     ///
     /// The seed goes through [`u64_json`]: seeds are frequently derived
@@ -341,6 +383,64 @@ impl ObsConfig {
     }
 }
 
+/// Instance-level memoization & timing replay (DESIGN.md §16).
+///
+/// When enabled, each PE keeps a per-PE cache of *timing skeletons* for
+/// pure instruction segments (spans between boundary instructions that
+/// touch shared resources). A repeated segment is replayed — its cycle
+/// charges, scoreboard end state, and outbound messages re-injected at
+/// shifted absolute cycles — instead of re-interpreted instruction by
+/// instruction. Replay is an optimization only: `RunStats`, the
+/// deterministic `ObsStream`, and typed errors are bit-identical with
+/// memoization on or off (pinned by `memo_invariance`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoConfig {
+    /// Master switch (off reproduces the PR 5 interpreter exactly —
+    /// trivially, since nothing else runs).
+    pub enabled: bool,
+    /// Per-PE skeleton cache capacity (entries). When full, new segments
+    /// are no longer recorded (existing entries keep firing).
+    pub max_entries: usize,
+    /// Minimum segment length, in instructions, worth memoizing; shorter
+    /// segments are interpreted (counted as neither hit nor miss).
+    pub min_span: u32,
+    /// Functional pre-execution step cap: a segment whose pure prefix
+    /// exceeds this many instructions is not memoized (guards against
+    /// unbounded pure loops).
+    pub max_steps: u32,
+}
+
+impl Default for MemoConfig {
+    fn default() -> Self {
+        MemoConfig {
+            enabled: false,
+            max_entries: 1024,
+            min_span: 3,
+            max_steps: 4096,
+        }
+    }
+}
+
+impl MemoConfig {
+    /// The default tuning with the master switch on.
+    pub fn on() -> Self {
+        MemoConfig {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// Canonical encoding (part of the versioned job form).
+    pub fn canonical_json(&self) -> Json {
+        Json::obj([
+            ("enabled", Json::Bool(self.enabled)),
+            ("max_entries", Json::Num(self.max_entries as f64)),
+            ("min_span", Json::Num(self.min_span as f64)),
+            ("max_steps", Json::Num(self.max_steps as f64)),
+        ])
+    }
+}
+
 /// Full system configuration.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SystemConfig {
@@ -432,6 +532,10 @@ pub struct SystemConfig {
     /// Deterministic fault injection (`None` = the fault-free model;
     /// recovery machinery and the watchdog are armed only when set).
     pub faults: Option<FaultPlan>,
+
+    /// Instance-level memoization & timing replay (host-side perf; the
+    /// simulated results are bit-identical on or off).
+    pub memo: MemoConfig,
 }
 
 impl Default for SystemConfig {
@@ -478,6 +582,7 @@ impl SystemConfig {
             parallelism: Parallelism::Off,
             sched: SchedMode::FastForward,
             faults: None,
+            memo: MemoConfig::default(),
         }
     }
 
@@ -671,6 +776,7 @@ impl SystemConfig {
                     Some(f) => f.canonical_json(),
                 },
             ),
+            ("memo", self.memo.canonical_json()),
         ])
     }
 

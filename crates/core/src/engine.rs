@@ -209,6 +209,11 @@ impl Shard {
                 // cycle (stale lazy-invalidation entries are real
                 // occupancy).
                 self.report.wake_heap_occupancy.add(self.wheap.len() as u64);
+            } else {
+                // Dense shards tick every PE each visited cycle; sample
+                // the same "wake set" notion so host-profile occupancy
+                // tables compare like with like across engines.
+                self.report.wake_heap_occupancy.add(self.pes.len() as u64);
             }
 
             while self.events.peek().is_some_and(|e| e.time <= t) {
@@ -900,6 +905,13 @@ pub(crate) fn run_sharded(sys: &mut System, threads: usize) -> Result<RunStats, 
             .absorb(&shard.report.wake_heap_occupancy);
         report.pe_deliveries += shard.report.pe_deliveries;
         report.dse_deliveries += shard.report.dse_deliveries;
+        for pe in &shard.pes {
+            let m = pe.memo_counters();
+            report.memo_hits += m.hits;
+            report.memo_misses += m.misses;
+            report.memo_replayed_cycles += m.replayed_cycles;
+            report.memo_aborts += m.aborts;
+        }
         sys.pes.append(&mut shard.pes);
         sys.dses.append(&mut shard.dses);
         sys.dse_stamps.append(&mut shard.dse_stamps);

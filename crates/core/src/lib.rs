@@ -50,17 +50,19 @@ pub mod config;
 pub(crate) mod engine;
 pub mod fault;
 pub mod job;
+pub mod memo;
 pub mod pipeline;
 pub mod stats;
 pub mod system;
 pub mod trace;
 
-pub use config::{FaultPlan, ObsConfig, ObsMode, Parallelism, SchedMode, SystemConfig};
+pub use config::{FaultPlan, MemoConfig, ObsConfig, ObsMode, Parallelism, SchedMode, SystemConfig};
 pub use fault::FaultCounters;
 pub use job::{
     perfetto_trace, run_job, run_job_with_sink, GlobalRead, GlobalSnapshot, JobError, JobKey,
     JobOutput, JobResult, SimJob, JOB_FORMAT_VERSION,
 };
+pub use memo::MemoCounters;
 pub use pipeline::{Activity, Pe, PipelineParams};
 pub use stats::{Breakdown, EngineReport, PeStats, RunStats, StallCat};
 pub use system::{simulate, RunError, System};

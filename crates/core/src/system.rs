@@ -1223,6 +1223,15 @@ impl System {
             obs_events: config.obs_events_on(),
             obs_interval: config.obs_interval(),
             obs_capacity: config.obs.event_capacity,
+            memo: config.memo,
+            // Memoization only runs where it is provably inert: the SP
+            // offload mutates LS bytes asynchronously mid-segment, and a
+            // non-benign fault plan perturbs latencies/liveness in ways
+            // the contention-window check cannot see.
+            memo_active: config.memo.enabled
+                && !config.sp_pf_overlap
+                && config.faults.is_none_or(|f| f.is_benign()),
+            max_cycles: config.max_cycles,
         };
         let mut pes = Vec::with_capacity(config.total_pes() as usize);
         for pe in 0..config.total_pes() {
@@ -1690,6 +1699,13 @@ impl System {
     fn seal_report(&mut self, mut report: EngineReport, wall: std::time::Instant) {
         report.shard_wall_us = vec![wall.elapsed().as_micros() as u64];
         report.mem_requests = self.memsys.stats().total();
+        for pe in &self.pes {
+            let m = pe.memo_counters();
+            report.memo_hits += m.hits;
+            report.memo_misses += m.misses;
+            report.memo_replayed_cycles += m.replayed_cycles;
+            report.memo_aborts += m.aborts;
+        }
         self.engine_report = report;
     }
 
@@ -1735,6 +1751,10 @@ impl System {
                     failover: failover.as_deref(),
                 };
                 report.pe_ticks += pes.len() as u64;
+                // The dense engine's "wake set" is every PE, every
+                // visited cycle; sampling it keeps the host-profile
+                // occupancy tables comparable with fast-forward's.
+                report.wake_heap_occupancy.add(pes.len() as u64);
                 for pe in pes.iter_mut() {
                     match pe.tick(self.now, &mut ctx) {
                         Activity::Active => any_active = true,

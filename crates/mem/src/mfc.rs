@@ -198,6 +198,15 @@ impl Mfc {
         self.outstanding.iter().filter(|&&t| t > now).count() + self.planned.len()
     }
 
+    /// True when no DMA completion can land in the half-open window
+    /// `(now, horizon]`: nothing is admitted-but-uncommitted, and no
+    /// outstanding command completes inside the window. Over such a
+    /// window the in-flight count is constant, so timing recorded with
+    /// DMA overlap replays with the same overlap attribution.
+    pub fn quiet_until(&self, now: u64, horizon: u64) -> bool {
+        self.planned.is_empty() && !self.outstanding.iter().any(|&t| t > now && t <= horizon)
+    }
+
     /// Counters.
     #[inline]
     pub fn stats(&self) -> MfcStats {

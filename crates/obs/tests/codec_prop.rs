@@ -208,6 +208,50 @@ fn every_record_field_survives_full_u64_range() {
 }
 
 #[test]
+fn random_engine_reports_reencode_byte_identically() {
+    // The EngineReport codec lives in dta-core, but it rides on this
+    // crate's histogram codec and JSON numerics; pin the full report —
+    // memo counters included — next to the other codec properties.
+    use dta_json::ToJson;
+    let mut r = Lcg(0x3E7A11);
+    for i in 0..200 {
+        let mut heap = Histogram::default();
+        for _ in 0..r.pick(32) {
+            heap.add(r.next() >> r.pick(60));
+        }
+        let report = dta_core::EngineReport {
+            visited_cycles: r.next(),
+            pe_ticks: r.next(),
+            skipped_ticks: r.next(),
+            epochs: r.next(),
+            merged_epochs: r.next(),
+            shard_wall_us: (0..r.pick(4)).map(|_| r.next()).collect(),
+            merge_wall_us: r.next(),
+            wake_heap_occupancy: heap,
+            pe_deliveries: r.next(),
+            dse_deliveries: r.next(),
+            mem_requests: r.next(),
+            memo_hits: r.next(),
+            memo_misses: r.next(),
+            // The core stats codec carries counters as plain JSON
+            // numbers, exact up to 2^53 — Lcg::next() (53 bits) spans
+            // exactly that domain.
+            memo_replayed_cycles: r.next(),
+            memo_aborts: r.next(),
+        };
+        let text = report.to_json().to_string_compact();
+        let back = dta_core::EngineReport::from_json(&dta_json::parse(&text).unwrap())
+            .unwrap_or_else(|| panic!("report {i} failed to decode: {text}"));
+        assert_eq!(back, report, "report {i} changed across the round-trip");
+        assert_eq!(
+            back.to_json().to_string_compact(),
+            text,
+            "report {i} re-encoded differently"
+        );
+    }
+}
+
+#[test]
 fn random_histograms_reencode_byte_identically() {
     let mut r = Lcg(0x4157);
     for _ in 0..200 {
